@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: flag
+ * parsing, run helpers for every workload x hardware level, and table
+ * printing. Each bench binary regenerates one of the paper's figures or
+ * tables (see DESIGN.md's experiment index) and accepts size overrides
+ * so paper-scale runs are possible:
+ *
+ *   --keys=N --queries=N --bodies=N --points=N --res=N --seed=N
+ */
+
+#ifndef TTA_BENCH_COMMON_HH
+#define TTA_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workloads/btree_workload.hh"
+#include "workloads/nbody_workload.hh"
+#include "workloads/raytracing_workload.hh"
+#include "workloads/rtnn_workload.hh"
+
+namespace bench {
+
+using namespace tta;
+using namespace ::tta::workloads;
+
+struct Args
+{
+    size_t keys = 100000;
+    size_t queries = 16384;
+    size_t bodies = 4096;
+    size_t points = 32768;
+    uint32_t res = 48;
+    uint64_t seed = 7;
+
+    static Args
+    parse(int argc, char **argv)
+    {
+        Args args;
+        for (int i = 1; i < argc; ++i) {
+            auto grab = [&](const char *name, auto &field) {
+                std::string prefix = std::string("--") + name + "=";
+                if (std::strncmp(argv[i], prefix.c_str(),
+                                 prefix.size()) == 0) {
+                    field = std::strtoull(argv[i] + prefix.size(),
+                                          nullptr, 10);
+                    return true;
+                }
+                return false;
+            };
+            bool ok = grab("keys", args.keys) ||
+                      grab("queries", args.queries) ||
+                      grab("bodies", args.bodies) ||
+                      grab("points", args.points) ||
+                      grab("res", args.res) || grab("seed", args.seed);
+            if (!ok)
+                std::fprintf(stderr, "ignoring unknown flag %s\n",
+                             argv[i]);
+        }
+        return args;
+    }
+};
+
+inline sim::Config
+modeConfig(sim::AccelMode mode)
+{
+    sim::Config cfg;
+    cfg.accelMode = mode;
+    return cfg;
+}
+
+/** One measured run. */
+struct Run
+{
+    std::string label;
+    RunMetrics metrics;
+};
+
+inline double
+speedup(const RunMetrics &base, const RunMetrics &accel)
+{
+    return static_cast<double>(base.cycles) / accel.cycles;
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return xs.empty() ? 0.0 : std::exp(acc / xs.size());
+}
+
+inline void
+printHeader(const char *figure, const char *what, const Args &args)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s: %s\n", figure, what);
+    std::printf("  workload sizes: keys=%zu queries=%zu bodies=%zu "
+                "points=%zu res=%ux%u seed=%llu\n",
+                args.keys, args.queries, args.bodies, args.points,
+                args.res, args.res,
+                static_cast<unsigned long long>(args.seed));
+    std::printf("  (paper scale via --keys/--queries/... overrides; "
+                "shapes hold at these defaults)\n");
+    std::printf("-----------------------------------------------------------"
+                "---------------------\n");
+}
+
+} // namespace bench
+
+#endif // TTA_BENCH_COMMON_HH

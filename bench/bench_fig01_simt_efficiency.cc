@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 1: SIMT efficiency and DRAM bandwidth utilization of tree
+ * traversal applications on GPUs with and without TTAs.
+ *
+ * Paper expectation: B-Tree variants and radius search show low SIMT
+ * efficiency and low DRAM utilization on the baseline GPU; N-Body shows
+ * high SIMT efficiency (its CUDA kernel is warp-synchronous) but still
+ * low DRAM utilization; the TTA raises DRAM utilization by keeping many
+ * more traversals in flight.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+int
+main(int argc, char **argv)
+{
+    Args args = Args::parse(argc, argv);
+    printHeader("Figure 1",
+                "SIMT efficiency / DRAM bandwidth utilization, baseline "
+                "GPU vs TTA", args);
+    std::printf("%-12s %14s %14s %14s\n", "app", "simt_eff(GPU)",
+                "dram_util(GPU)", "dram_util(TTA)");
+
+    auto row = [&](const char *name, const RunMetrics &base,
+                   const RunMetrics &tta) {
+        std::printf("%-12s %13.1f%% %13.1f%% %13.1f%%\n", name,
+                    100.0 * base.simtEfficiency,
+                    100.0 * base.dramUtilization,
+                    100.0 * tta.dramUtilization);
+    };
+
+    for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
+                      trees::BTreeKind::BPlusTree}) {
+        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+        sim::StatRegistry s0, s1;
+        RunMetrics base =
+            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
+        RunMetrics tta =
+            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
+        row(trees::bTreeKindName(kind), base, tta);
+    }
+
+    for (int dims : {2, 3}) {
+        NBodyWorkload wl(dims, args.bodies, args.seed);
+        sim::StatRegistry s0, s1;
+        RunMetrics base =
+            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
+        RunMetrics tta =
+            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
+        row(dims == 2 ? "NBODY-2D" : "NBODY-3D", base, tta);
+    }
+
+    {
+        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
+        sim::StatRegistry s0, s1;
+        RunMetrics base =
+            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
+        RunMetrics tta = wl.runAccelerated(
+            modeConfig(sim::AccelMode::Tta), s1, true);
+        row("RTNN", base, tta);
+    }
+
+    {
+        // Ray tracing without the RTA: the divergent SIMT-core tracer.
+        RayTracingWorkload wl(SceneKind::SponzaAo, args.res, args.res,
+                              args.seed);
+        sim::StatRegistry s0, s1;
+        RunMetrics base = wl.runBaselineCores(
+            modeConfig(sim::AccelMode::BaselineGpu), s0);
+        RunMetrics rta = wl.runAccelerated(
+            modeConfig(sim::AccelMode::BaselineRta), s1);
+        row("RAYTRACE", base, rta);
+    }
+
+    std::printf("\nPaper shape check: index/radius searches diverge "
+                "(low SIMT eff), N-Body's warp-synchronous kernel does "
+                "not; the accelerator raises DRAM utilization.\n");
+    return 0;
+}

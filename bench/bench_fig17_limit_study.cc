@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 17: limit study of TTA+ with architectural improvements on
+ * WKND_PT and *WKND_PT.
+ *
+ * Paper expectation: zero-latency node fetches ("Perf. RT", e.g. a
+ * perfect prefetcher) and zero-latency memory ("Perf. Mem") compound
+ * with the *WKND_PT software optimization — the gains are orthogonal.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+int
+main(int argc, char **argv)
+{
+    Args args = Args::parse(argc, argv);
+    printHeader("Figure 17", "Limit study on WKND_PT (TTA+)", args);
+
+    RayTracingWorkload wl(SceneKind::WkndPt, args.res, args.res,
+                          args.seed);
+
+    struct Variant
+    {
+        const char *name;
+        bool offload;
+        bool perfect_rt;
+        bool perfect_mem;
+    };
+    const Variant variants[] = {
+        {"WKND_PT", false, false, false},
+        {"WKND_PT  + Perf.RT", false, true, false},
+        {"WKND_PT  + Perf.Mem", false, false, true},
+        {"*WKND_PT", true, false, false},
+        {"*WKND_PT + Perf.RT", true, true, false},
+        {"*WKND_PT + Perf.Mem", true, false, true},
+    };
+
+    double base_cycles = 0.0;
+    for (const Variant &v : variants) {
+        sim::Config cfg = modeConfig(sim::AccelMode::TtaPlus);
+        cfg.perfectNodeFetch = v.perfect_rt;
+        cfg.perfectMemory = v.perfect_mem;
+        sim::StatRegistry stats;
+        RtOptions opt;
+        opt.offloadSpheres = v.offload;
+        RunMetrics m = wl.runAccelerated(cfg, stats, opt);
+        if (base_cycles == 0.0)
+            base_cycles = static_cast<double>(m.cycles);
+        std::printf("%-22s %12llu cycles   %6.2fx vs naive TTA+\n",
+                    v.name, static_cast<unsigned long long>(m.cycles),
+                    base_cycles / m.cycles);
+    }
+
+    std::printf("\nPaper shape check: Perf.RT < Perf.Mem in benefit, and "
+                "both compound with the *WKND_PT intersection-shader "
+                "offload (the software and architectural improvements "
+                "are orthogonal).\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 20: breakdown of the total dynamically executed instructions
+ * for baseline, TTA and TTA+.
+ *
+ * Paper expectation: a single traverseTree instruction replaces the
+ * entire software traversal loop, eliminating ~91% of dynamic
+ * instructions on average; the accelerator instructions themselves are
+ * only ~2% of the total.
+ */
+
+#include "bench_common.hh"
+
+using namespace bench;
+
+namespace {
+
+void
+printRow(const char *label, const RunMetrics &m, uint64_t base_total)
+{
+    uint64_t total = m.totalInsts();
+    std::printf("  %-6s total %10llu (%5.1f%% of base)  alu %9llu  "
+                "sfu %7llu  mem %9llu  ctrl %9llu  accel %6llu "
+                "(%4.1f%% of total)\n",
+                label, static_cast<unsigned long long>(total),
+                100.0 * total / base_total,
+                static_cast<unsigned long long>(m.instsAlu),
+                static_cast<unsigned long long>(m.instsSfu),
+                static_cast<unsigned long long>(m.instsMem),
+                static_cast<unsigned long long>(m.instsCtrl),
+                static_cast<unsigned long long>(m.instsAccel),
+                total ? 100.0 * m.instsAccel / total : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = Args::parse(argc, argv);
+    printHeader("Figure 20", "Dynamic instruction breakdown", args);
+
+    std::vector<double> reductions;
+
+    for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
+                      trees::BTreeKind::BPlusTree}) {
+        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+        sim::StatRegistry s0, s1, s2;
+        RunMetrics base =
+            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
+        RunMetrics tta =
+            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
+        RunMetrics ttap =
+            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2);
+        std::printf("%s:\n", trees::bTreeKindName(kind));
+        printRow("BASE", base, base.totalInsts());
+        printRow("TTA", tta, base.totalInsts());
+        printRow("TTA+", ttap, base.totalInsts());
+        reductions.push_back(
+            1.0 - static_cast<double>(tta.totalInsts()) /
+                      base.totalInsts());
+    }
+
+    for (int dims : {2, 3}) {
+        NBodyWorkload wl(dims, args.bodies, args.seed);
+        sim::StatRegistry s0, s1, s2;
+        RunMetrics base =
+            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
+        RunMetrics tta =
+            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
+        RunMetrics ttap =
+            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2);
+        std::printf("%s:\n", dims == 2 ? "NBODY-2D" : "NBODY-3D");
+        printRow("BASE", base, base.totalInsts());
+        printRow("TTA", tta, base.totalInsts());
+        printRow("TTA+", ttap, base.totalInsts());
+        reductions.push_back(
+            1.0 - static_cast<double>(ttap.totalInsts()) /
+                      base.totalInsts());
+    }
+
+    {
+        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
+        sim::StatRegistry s0, s1;
+        RunMetrics base =
+            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
+        RunMetrics star =
+            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1, true);
+        std::printf("RTNN:\n");
+        printRow("BASE", base, base.totalInsts());
+        printRow("*TTA", star, base.totalInsts());
+        reductions.push_back(
+            1.0 - static_cast<double>(star.totalInsts()) /
+                      base.totalInsts());
+    }
+
+    double avg = 0;
+    for (double r : reductions)
+        avg += r;
+    avg /= reductions.size();
+    std::printf("\naverage dynamic-instruction reduction: %.1f%% "
+                "(paper: ~91%%; traverseTree instructions ~2%% of "
+                "total)\n", 100.0 * avg);
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tables I, III and IV: the hardware inventory.
+ *
+ *  - Table I: OP unit types and latencies (configuration constants).
+ *  - Table III: uop counts per intersection test, derived from the
+ *    actual ConfigI/ConfigL programs each workload installs (not
+ *    hard-coded numbers).
+ *  - Table IV: baseline RTA vs TTA+ synthesis areas and the TTA Ray-Box
+ *    modification cost.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "power/area.hh"
+#include "ttaplus/program.hh"
+
+using namespace tta;
+using namespace tta::ttaplus;
+
+namespace {
+
+void
+printProgramRow(const char *bench_name, const char *test_name,
+                const Program &prog)
+{
+    auto counts = prog.unitCounts();
+    std::printf("%-24s %-28s %5zu ", bench_name, test_name, prog.size());
+    const OpUnit cols[] = {OpUnit::Vec3AddSub, OpUnit::Multiplier,
+                           OpUnit::Sqrt,       OpUnit::Rcp,
+                           OpUnit::MinMax,     OpUnit::Cross,
+                           OpUnit::Dot,        OpUnit::Vec3Cmp,
+                           OpUnit::Logical,    OpUnit::RXform};
+    for (OpUnit unit : cols) {
+        uint32_t n = counts[static_cast<size_t>(unit)];
+        if (unit == OpUnit::MinMax)
+            n += counts[static_cast<size_t>(OpUnit::MaxMin)];
+        std::printf("%5u", n);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table I: Operation units in TTA+\n");
+    std::printf("%-14s %10s\n", "unit", "latency");
+    for (uint32_t u = 0; u < kNumOpUnits; ++u) {
+        auto unit = static_cast<OpUnit>(u);
+        std::printf("%-14s %8u cy\n", opUnitName(unit),
+                    opUnitLatency(unit));
+    }
+
+    std::printf("\nTable III: TTA+ intersection test statistics "
+                "(derived from the installed programs)\n");
+    std::printf("%-24s %-28s %5s %5s %5s %5s %5s %5s %5s %5s %5s %5s "
+                "%5s\n",
+                "benchmark", "intersection test", "uops", "SUB", "MUL",
+                "SQRT", "RCP", "MM", "CROSS", "DOT", "CMP", "OR", "XFRM");
+    printProgramRow("B-Tree/B*Tree/B+Tree", "Inner (Query-Key)",
+                    programs::queryKeyInner());
+    printProgramRow("", "Leaf (Query-Key)", programs::queryKeyLeaf());
+    printProgramRow("N-Body 2D/3D", "Inner (Point-to-Point)",
+                    programs::pointDistInner());
+    printProgramRow("", "Leaf (Force computation)",
+                    programs::nbodyForceLeaf());
+    printProgramRow("*RTNN", "Inner (Ray-Box)", programs::rayBoxInner());
+    printProgramRow("", "Leaf (Point-to-Point)",
+                    programs::rtnnPointDistLeaf());
+    printProgramRow("*WKND_PT", "Inner (Ray-Box)",
+                    programs::rayBoxInner());
+    printProgramRow("", "Leaf (Ray-Sphere)", programs::raySphereLeaf());
+    printProgramRow("LumiBench", "Inner (Ray-Box)",
+                    programs::rayBoxInner());
+    printProgramRow("", "Leaf (Ray-Tri)", programs::rayTriangleLeaf());
+    printProgramRow("two-level BVH", "Transition (R-XFORM)",
+                    programs::rayTransform());
+    std::printf("(paper totals: 12/3, 3/5, 19/5, 19/18, 19/17 — matched "
+                "by construction and asserted in tests)\n");
+
+    std::printf("\n");
+    power::AreaModel::printTable(std::cout);
+    std::printf("\nTTA overhead summary (Section V-C1): Ray-Box area "
+                "+%.1f%% (0.2708 -> 0.2756 mm^2), power 259.4 -> 261.1 "
+                "mW (+0.7%%); <1%% of total operation-unit area.\n",
+                power::AreaModel::ttaRayBoxDeltaPercent());
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Point-cloud radius search (the RTNN use case): find all neighbors
+ * within a radius for a batch of query points over a LiDAR-like cloud,
+ * on every hardware level — including the paper's *RTNN configuration
+ * that replaces the intersection shaders with the TTA's Point-to-Point
+ * units.
+ *
+ * Usage: ./examples/radius_search [n_points] [n_queries] [radius_mm]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/rtnn_workload.hh"
+
+using namespace tta;
+using workloads::RtnnWorkload;
+using workloads::RunMetrics;
+
+int
+main(int argc, char **argv)
+{
+    size_t n_points = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32768;
+    size_t n_queries =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4096;
+    float radius = argc > 3 ? std::atof(argv[3]) / 1000.0f : 1.0f;
+
+    std::printf("Radius search: %zu-point LiDAR-like cloud, %zu queries, "
+                "radius %.2fm\n", n_points, n_queries, radius);
+
+    RtnnWorkload wl(n_points, n_queries, radius, /*seed=*/7);
+
+    // A peek at the data: neighbor counts around actual cloud points.
+    std::printf("sample neighbor counts: ");
+    for (int q = 0; q < 6; ++q) {
+        const geom::Vec3 &p = wl.index().bvh().worldBox().center();
+        std::printf("%zu ",
+                    wl.index()
+                        .query({p.x + 3.0f * q - 9.0f, p.y + 2.0f * q,
+                                0.2f})
+                        .size());
+    }
+    std::printf("\n\n%-22s %12s %10s\n", "configuration", "cycles",
+                "speedup");
+
+    sim::Config base_cfg;
+    sim::StatRegistry base_stats;
+    RunMetrics cuda = wl.runBaseline(base_cfg, base_stats);
+    std::printf("%-22s %12llu %9.2fx\n", "CUDA (SIMT cores)",
+                static_cast<unsigned long long>(cuda.cycles), 1.0);
+
+    struct Cfg
+    {
+        const char *name;
+        sim::AccelMode mode;
+        bool offload;
+    };
+    for (const Cfg &c :
+         {Cfg{"RTNN on the RTA", sim::AccelMode::BaselineRta, false},
+          Cfg{"RTNN on TTA", sim::AccelMode::Tta, false},
+          Cfg{"*RTNN on TTA", sim::AccelMode::Tta, true},
+          Cfg{"RTNN on TTA+", sim::AccelMode::TtaPlus, false},
+          Cfg{"*RTNN on TTA+", sim::AccelMode::TtaPlus, true}}) {
+        sim::Config cfg;
+        cfg.accelMode = c.mode;
+        sim::StatRegistry stats;
+        RunMetrics m = wl.runAccelerated(cfg, stats, c.offload);
+        std::printf("%-22s %12llu %9.2fx\n", c.name,
+                    static_cast<unsigned long long>(m.cycles),
+                    static_cast<double>(cuda.cycles) / m.cycles);
+    }
+
+    std::printf("\nStarred (*) runs execute the leaf distance checks in "
+                "the repurposed Ray-Triangle / OP units instead of SM "
+                "intersection shaders. All neighbor counts are verified "
+                "against a brute-force-checked host index.\n");
+    return 0;
+}

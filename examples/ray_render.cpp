@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Render a procedural scene through the simulated RTA and write a PPM
+ * depth image — the classic "is the tracer actually tracing" eyeball
+ * check, plus a hardware-level comparison.
+ *
+ * Usage: ./examples/ray_render [scene] [res] [out.ppm]
+ *   scene: cornell | sponza | ship | teapot | wknd | mask
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "workloads/raytracing_workload.hh"
+
+using namespace tta;
+using namespace ::tta::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const char *scene_name = argc > 1 ? argv[1] : "teapot";
+    uint32_t res = argc > 2 ? std::atoi(argv[2]) : 96;
+    const char *out_path = argc > 3 ? argv[3] : "render.ppm";
+
+    SceneKind kind = SceneKind::TeapotRf;
+    if (!std::strcmp(scene_name, "cornell"))
+        kind = SceneKind::CornellPt;
+    else if (!std::strcmp(scene_name, "sponza"))
+        kind = SceneKind::SponzaAo;
+    else if (!std::strcmp(scene_name, "ship"))
+        kind = SceneKind::ShipSh;
+    else if (!std::strcmp(scene_name, "wknd"))
+        kind = SceneKind::WkndPt;
+    else if (!std::strcmp(scene_name, "mask"))
+        kind = SceneKind::MaskAm;
+
+    RayTracingWorkload workload(kind, res, res, /*seed=*/3);
+    std::printf("Scene %s: %zu primitives, %zu rays across the ray "
+                "waves (%s BVH)\n",
+                sceneName(kind),
+                workload.scene().geometry().primitiveCount(),
+                workload.totalRays(),
+                workload.scene().geometry().twoLevel() ? "two-level"
+                                                       : "single-level");
+
+    // Trace everything on the simulated RTA; the run verifies every ray
+    // against the host reference before returning.
+    sim::Config cfg;
+    cfg.accelMode = sim::AccelMode::BaselineRta;
+    sim::StatRegistry stats;
+    RunMetrics m = workload.runAccelerated(cfg, stats);
+    std::printf("RTA traced everything in %llu cycles (%llu node visits, "
+                "%llu intersection-shader calls)\n",
+                static_cast<unsigned long long>(m.cycles),
+                static_cast<unsigned long long>(m.nodesVisited),
+                static_cast<unsigned long long>(
+                    stats.counterValue("shader.calls")));
+
+    // And once more on TTA+ to show the programmable path agrees.
+    sim::Config tp_cfg;
+    tp_cfg.accelMode = sim::AccelMode::TtaPlus;
+    sim::StatRegistry tp_stats;
+    RunMetrics tp = workload.runAccelerated(tp_cfg, tp_stats);
+    std::printf("TTA+ reproduced identical hits in %llu cycles "
+                "(%.2fx the RTA)\n",
+                static_cast<unsigned long long>(tp.cycles),
+                static_cast<double>(tp.cycles) / m.cycles);
+
+    std::vector<uint8_t> pixels(static_cast<size_t>(res) * res, 0);
+    float tmin = 0.0f, tmax = 0.0f;
+    workload.renderDepth(pixels.data(), &tmin, &tmax);
+
+    std::ofstream ppm(out_path, std::ios::binary);
+    ppm << "P5\n" << res << " " << res << "\n255\n";
+    ppm.write(reinterpret_cast<const char *>(pixels.data()),
+              static_cast<std::streamsize>(pixels.size()));
+    std::printf("wrote %s (%ux%u, hit depth range %.2f..%.2f)\n",
+                out_path, res, res, tmin, tmax);
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The TTA programming interface (Section III-A, Listing 1).
+ *
+ * Mirrors the Vulkan-style flow the paper proposes:
+ *
+ *   TtaPipelineDesc desc;
+ *   desc.decodeR({12, 12, 4, 4, ...});        // DecodeR: ray layout
+ *   desc.decodeI({12, 12, 4, 4});             // DecodeI: inner node
+ *   desc.decodeL({12, 12, 12});               // DecodeL: leaf node
+ *   desc.configI(&rayBoxProgram);             // ConfigI("RayBoxProg.asm")
+ *   desc.configL(&rayTriProgram);             // ConfigL("RayTriProg.asm")
+ *   desc.configTerminate(...);                // ConfigTerminate
+ *   TtaPipeline pipe = TtaPipeline::create(desc);   // vkCreateTTAPipeline
+ *
+ *   TtaDevice device(config, stats);
+ *   device.bindPipeline(pipe, &spec);
+ *   device.cmdTraverseTree(n_queries);        // vkCmdTraverseTree
+ *
+ * The TraversalSpec supplies the functional node processing that the
+ * configured programs/layouts describe (see rta/traversal_spec.hh); the
+ * pipeline carries the architectural configuration and validates it
+ * against the selected hardware level.
+ */
+
+#ifndef TTA_API_TTA_API_HH
+#define TTA_API_TTA_API_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "rta/rta_unit.hh"
+#include "rta/traversal_spec.hh"
+#include "sim/config.hh"
+#include "tta/layout.hh"
+#include "ttaplus/program.hh"
+
+namespace tta::api {
+
+/** Pipeline description accumulated by the Listing 1 API calls. */
+class TtaPipelineDesc
+{
+  public:
+    explicit TtaPipelineDesc(std::string name) : name_(std::move(name)) {}
+
+    /** DecodeR: ray data layout (byte sizes per field). */
+    TtaPipelineDesc &decodeR(std::vector<uint32_t> field_sizes);
+    /** DecodeI: internal node layout. */
+    TtaPipelineDesc &decodeI(std::vector<uint32_t> field_sizes);
+    /** DecodeL: leaf node layout. */
+    TtaPipelineDesc &decodeL(std::vector<uint32_t> field_sizes);
+    /** ConfigI: intersection test for internal nodes (TTA+ uops). */
+    TtaPipelineDesc &configI(const ttaplus::Program *prog);
+    /** ConfigL: intersection test for leaf nodes (TTA+ uops). */
+    TtaPipelineDesc &configL(const ttaplus::Program *prog);
+    /** ConfigTerminate: traversal termination criteria. */
+    TtaPipelineDesc &configTerminate(const tta::TerminationConfig &term);
+
+    const std::string &name() const { return name_; }
+    const tta::DataLayout &rayLayout() const { return ray_; }
+    const tta::DataLayout &innerLayout() const { return inner_; }
+    const tta::DataLayout &leafLayout() const { return leaf_; }
+    const ttaplus::Program *innerProgram() const { return innerProg_; }
+    const ttaplus::Program *leafProgram() const { return leafProg_; }
+    const tta::TerminationConfig &termination() const { return term_; }
+
+  private:
+    std::string name_;
+    tta::DataLayout ray_;
+    tta::DataLayout inner_;
+    tta::DataLayout leaf_;
+    const ttaplus::Program *innerProg_ = nullptr;
+    const ttaplus::Program *leafProg_ = nullptr;
+    tta::TerminationConfig term_;
+};
+
+/** A validated, immutable pipeline (vkCreateTTAPipeline result). */
+class TtaPipeline
+{
+  public:
+    /**
+     * Validate and freeze a pipeline description.
+     * @throws sim::FatalError when the description is inconsistent
+     *         (missing layouts, oversized entries).
+     */
+    static TtaPipeline create(const TtaPipelineDesc &desc);
+
+    const TtaPipelineDesc &desc() const { return desc_; }
+
+  private:
+    explicit TtaPipeline(TtaPipelineDesc desc) : desc_(std::move(desc)) {}
+    TtaPipelineDesc desc_;
+};
+
+/**
+ * A GPU plus one traversal accelerator per SM, at the hardware level
+ * selected by Config::accelMode.
+ */
+class TtaDevice
+{
+  public:
+    TtaDevice(const sim::Config &cfg, sim::StatRegistry &stats);
+    ~TtaDevice();
+
+    gpu::Gpu &gpu() { return *gpu_; }
+    mem::GlobalMemory &memory() { return gpu_->memory(); }
+    const sim::Config &config() const { return cfg_; }
+
+    /**
+     * Bind a pipeline + its functional spec to every accelerator.
+     * Validates the pipeline against the hardware level (e.g. TTA+
+     * requires ConfigI/ConfigL programs).
+     */
+    void bindPipeline(const TtaPipeline &pipeline,
+                      rta::TraversalSpec *spec);
+
+    /**
+     * vkCmdTraverseTree: launch one traversal per query id [0, n) using
+     * the standard launcher kernel (tid -> traverseTreeTTA(tid)).
+     * @return elapsed cycles.
+     */
+    sim::Cycle cmdTraverseTree(uint64_t n_queries);
+
+    /** The launcher kernel, for co-scheduling via Gpu::runKernels. */
+    const gpu::KernelProgram &launcherKernel() const { return launcher_; }
+
+    bool hasAccelerators() const { return !rtas_.empty(); }
+
+  private:
+    const sim::Config cfg_;
+    std::unique_ptr<gpu::Gpu> gpu_;
+    std::vector<std::unique_ptr<rta::RtaUnit>> rtas_;
+    gpu::KernelProgram launcher_;
+    bool bound_ = false;
+};
+
+/** Build the standard traversal launcher kernel. */
+gpu::KernelProgram makeTraversalLauncher();
+
+} // namespace tta::api
+
+#endif // TTA_API_TTA_API_HH

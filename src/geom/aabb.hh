@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Axis-aligned bounding box, the inner-node volume of every BVH in the
+ * repository (ray tracing scenes, RTNN point clouds, N-Body cells).
+ */
+
+#ifndef TTA_GEOM_AABB_HH
+#define TTA_GEOM_AABB_HH
+
+#include <limits>
+
+#include "geom/vec.hh"
+
+namespace tta::geom {
+
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    constexpr Aabb() = default;
+    constexpr Aabb(const Vec3 &l, const Vec3 &h) : lo(l), hi(h) {}
+
+    /** True once at least one point/box has been folded in. */
+    bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+    void
+    extend(const Vec3 &p)
+    {
+        lo = vmin(lo, p);
+        hi = vmax(hi, p);
+    }
+
+    void
+    extend(const Aabb &b)
+    {
+        lo = vmin(lo, b.lo);
+        hi = vmax(hi, b.hi);
+    }
+
+    Vec3 center() const { return (lo + hi) * 0.5f; }
+    Vec3 extent() const { return hi - lo; }
+
+    /** Surface area (for SAH builds and the SATO traversal order). */
+    float
+    surfaceArea() const
+    {
+        if (!valid())
+            return 0.0f;
+        Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** Index (0/1/2) of the widest axis. */
+    int
+    widestAxis() const
+    {
+        Vec3 e = extent();
+        if (e.x >= e.y && e.x >= e.z)
+            return 0;
+        return e.y >= e.z ? 1 : 2;
+    }
+};
+
+} // namespace tta::geom
+
+#endif // TTA_GEOM_AABB_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Ray representation shared by the software reference tracer, the RTA
+ * timing model and the workloads. Matches the 32B ray payload the paper's
+ * TTA+ interconnect carries (origin, direction, tmin, tmax).
+ */
+
+#ifndef TTA_GEOM_RAY_HH
+#define TTA_GEOM_RAY_HH
+
+#include <limits>
+
+#include "geom/vec.hh"
+
+namespace tta::geom {
+
+struct Ray
+{
+    Vec3 origin;
+    Vec3 dir;
+    float tmin = 0.0f;
+    float tmax = std::numeric_limits<float>::max();
+
+    Vec3 at(float t) const { return origin + dir * t; }
+};
+
+} // namespace tta::geom
+
+#endif // TTA_GEOM_RAY_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal 3-component float vector used throughout the geometry, tree and
+ * accelerator models. Deliberately FP32 everywhere: the RTA/TTA/TTA+
+ * operation units are FP32 datapaths (Table I), and the software baselines
+ * must compute bit-identical results for the correctness cross-checks in
+ * the test suite.
+ */
+
+#ifndef TTA_GEOM_VEC_HH
+#define TTA_GEOM_VEC_HH
+
+#include <cmath>
+#include <ostream>
+
+namespace tta::geom {
+
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+    Vec3 &operator-=(const Vec3 &o)
+    {
+        x -= o.x; y -= o.y; z -= o.z;
+        return *this;
+    }
+    Vec3 &operator*=(float s)
+    {
+        x *= s; y *= s; z *= s;
+        return *this;
+    }
+
+    constexpr bool operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+
+    float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    /** Component-wise multiply. */
+    constexpr Vec3 cwiseMul(const Vec3 &o) const
+    {
+        return {x * o.x, y * o.y, z * o.z};
+    }
+};
+
+inline constexpr Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+
+inline constexpr float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline float length(const Vec3 &v) { return std::sqrt(dot(v, v)); }
+
+inline float lengthSquared(const Vec3 &v) { return dot(v, v); }
+
+inline Vec3
+normalize(const Vec3 &v)
+{
+    float len = length(v);
+    return len > 0.0f ? v / len : Vec3(0.0f);
+}
+
+inline Vec3
+vmin(const Vec3 &a, const Vec3 &b)
+{
+    return {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z)};
+}
+
+inline Vec3
+vmax(const Vec3 &a, const Vec3 &b)
+{
+    return {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z)};
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+} // namespace tta::geom
+
+#endif // TTA_GEOM_VEC_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Interface between the SIMT core and a traversal accelerator
+ * (baseline RTA, TTA, or TTA+).
+ *
+ * The AccelTraverse instruction hands a warp's active lanes to the
+ * attached device; the warp blocks (the paper's `traceRay` semantics:
+ * "warps only need to synchronize the rays at the end of the traversal")
+ * while other warps keep the SM busy. The device calls back into the core
+ * when every lane's traversal completed.
+ */
+
+#ifndef TTA_GPU_ACCEL_HH
+#define TTA_GPU_ACCEL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tta::gpu {
+
+class SimtCore;
+
+class AccelDevice
+{
+  public:
+    virtual ~AccelDevice() = default;
+
+    /**
+     * Offer a warp's traversal to the accelerator.
+     *
+     * @param core         the issuing core (for the completion callback).
+     * @param warp_slot    warp identifier within the core.
+     * @param active_mask  lanes participating in the traversal.
+     * @param lane_operands per-lane 32-bit operand (typically the query
+     *                     index or a pointer to the per-thread ray record).
+     * @retval false if the accelerator has no free warp-buffer slot; the
+     *         instruction retries next cycle (back-pressure).
+     */
+    virtual bool launchWarp(SimtCore *core, uint32_t warp_slot,
+                            uint32_t active_mask,
+                            const std::vector<uint32_t> &lane_operands) = 0;
+};
+
+} // namespace tta::gpu
+
+#endif // TTA_GPU_ACCEL_HH

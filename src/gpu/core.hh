@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SIMT core (Streaming Multiprocessor) timing + functional model.
+ *
+ * In-order, single-issue per cycle, greedy-then-oldest warp scheduling
+ * (Table II), scoreboarded register hazards, non-blocking loads through
+ * the coalescer into the memory system, and SIMT-stack divergence. The
+ * model executes instructions functionally at issue and enforces timing
+ * with the scoreboard, which is sufficient for the relative performance,
+ * SIMT-efficiency and instruction-mix measurements the paper reports.
+ */
+
+#ifndef TTA_GPU_CORE_HH
+#define TTA_GPU_CORE_HH
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "gpu/accel.hh"
+#include "gpu/isa.hh"
+#include "gpu/kernel.hh"
+#include "gpu/simt_stack.hh"
+#include "mem/global_memory.hh"
+#include "mem/memsys.hh"
+#include "sim/config.hh"
+#include "sim/ticked.hh"
+
+namespace tta::gpu {
+
+/** One resident warp context. */
+struct WarpContext
+{
+    enum class State
+    {
+        Invalid,   //!< slot free
+        Active,    //!< eligible for issue
+        WaitAccel, //!< blocked on the traversal accelerator
+        Finished,  //!< all lanes exited; slot reclaimable
+    };
+
+    State state = State::Invalid;
+    const KernelProgram *prog = nullptr;
+    const std::vector<uint32_t> *params = nullptr;
+    uint64_t baseThread = 0;
+    uint32_t launchMask = 0;
+    uint64_t age = 0; //!< global launch sequence number (GTO "oldest")
+
+    SimtStack stack;
+    std::vector<uint32_t> regs; //!< warpSize x kNumRegs, lane-major
+
+    uint32_t pendingRegs = 0;   //!< scoreboard: registers awaiting a write
+
+    /** Outstanding load: token -> (dest reg, transactions left). */
+    struct PendingLoad
+    {
+        uint64_t token;
+        uint8_t rd;
+        uint32_t transactionsLeft;
+    };
+    std::vector<PendingLoad> pendingLoads;
+
+    uint32_t &
+    reg(uint32_t lane, uint32_t r)
+    {
+        return regs[lane * kNumRegs + r];
+    }
+    uint32_t
+    regValue(uint32_t lane, uint32_t r) const
+    {
+        return regs[lane * kNumRegs + r];
+    }
+};
+
+class SimtCore : public sim::TickedComponent
+{
+  public:
+    SimtCore(const sim::Config &cfg, uint32_t sm_id, mem::MemSystem &memsys,
+             mem::GlobalMemory &gmem, sim::StatRegistry &stats);
+
+    /** Attach (or detach with nullptr) the traversal accelerator. */
+    void setAccel(AccelDevice *accel) { accel_ = accel; }
+
+    /** Number of free warp slots. */
+    uint32_t freeSlots() const;
+
+    /**
+     * Install a warp.
+     * @param prog     program to run.
+     * @param base     global thread id of lane 0.
+     * @param n_threads active thread count (1..warpSize).
+     * @param params   launch parameters (must outlive the kernel).
+     */
+    void launchWarp(const KernelProgram *prog, uint64_t base,
+                    uint32_t n_threads, const std::vector<uint32_t> *params);
+
+    /** Completion callback from the accelerator. */
+    void accelDone(uint32_t warp_slot);
+
+    void tick(sim::Cycle cycle) override;
+    bool busy() const override;
+
+    uint32_t smId() const { return smId_; }
+    mem::GlobalMemory &globalMemory() { return *gmem_; }
+
+  private:
+    bool canIssue(const WarpContext &warp) const;
+    /** Execute one instruction for a warp; returns false if it could not
+     *  issue this cycle after all (structural stall). */
+    bool issue(sim::Cycle cycle, uint32_t slot);
+    void execAlu(WarpContext &warp, const Instruction &inst, uint32_t mask);
+    bool execMemory(sim::Cycle cycle, uint32_t slot, WarpContext &warp,
+                    const Instruction &inst, uint32_t mask);
+    bool execAccel(uint32_t slot, WarpContext &warp,
+                   const Instruction &inst, uint32_t mask);
+    void drainResponses();
+    void drainWriteback(sim::Cycle cycle);
+    void countIssue(const Instruction &inst, uint32_t mask);
+
+    const sim::Config cfg_;
+    uint32_t smId_;
+    mem::MemSystem *memsys_;
+    mem::GlobalMemory *gmem_;
+    AccelDevice *accel_ = nullptr;
+
+    std::vector<WarpContext> warps_;
+    uint32_t residentWarps_ = 0;
+    uint64_t nextAge_ = 0;
+    uint64_t nextToken_ = 1;
+    int lastIssued_ = -1; //!< GTO: greedy warp
+
+    /** ALU writeback events: (ready cycle, slot, reg bit). */
+    struct Writeback
+    {
+        sim::Cycle ready;
+        uint32_t slot;
+        uint32_t regMask;
+        bool operator>(const Writeback &o) const { return ready > o.ready; }
+    };
+    std::priority_queue<Writeback, std::vector<Writeback>,
+                        std::greater<Writeback>>
+        writebacks_;
+
+    static constexpr size_t kMaxPendingLoads = 16;
+
+    // Aggregate (all-SM) statistics.
+    sim::Counter *instsAlu_;
+    sim::Counter *instsSfu_;
+    sim::Counter *instsMem_;
+    sim::Counter *instsCtrl_;
+    sim::Counter *instsAccel_;
+    sim::Counter *activeLaneSum_;
+    sim::Counter *issued_;
+    sim::Counter *laneInsts_;
+    sim::Counter *flopCount_;
+    sim::Counter *stallCycles_;
+    sim::Counter *memTransactions_;
+};
+
+} // namespace tta::gpu
+
+#endif // TTA_GPU_CORE_HH

@@ -1,0 +1,121 @@
+#include "gpu/isa.hh"
+
+#include <cstring>
+
+namespace tta::gpu {
+
+InstClass
+instClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+        return InstClass::Memory;
+      case Opcode::BranchZ:
+      case Opcode::BranchNZ:
+      case Opcode::Jump:
+      case Opcode::Exit:
+        return InstClass::Control;
+      case Opcode::FSqrt:
+      case Opcode::FRcp:
+      case Opcode::FDiv:
+        return InstClass::Sfu;
+      case Opcode::AccelTraverse:
+        return InstClass::Accel;
+      default:
+        return InstClass::Alu;
+    }
+}
+
+uint32_t
+instLatency(Opcode op)
+{
+    switch (instClass(op)) {
+      case InstClass::Sfu:
+        return 16; // SFU ops: sqrt / rcp / div
+      case InstClass::Alu:
+        return 4;  // full-throughput FP32/INT pipe
+      default:
+        return 1;  // control & issue latency; memory handled separately
+    }
+}
+
+float
+Instruction::immF() const
+{
+    float f;
+    std::memcpy(&f, &imm, sizeof(f));
+    return f;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd: return "iadd";
+      case Opcode::ISub: return "isub";
+      case Opcode::IMul: return "imul";
+      case Opcode::IAddI: return "iaddi";
+      case Opcode::IMulI: return "imuli";
+      case Opcode::IAnd: return "iand";
+      case Opcode::IOr: return "ior";
+      case Opcode::IXor: return "ixor";
+      case Opcode::INot: return "inot";
+      case Opcode::IShlI: return "ishli";
+      case Opcode::IShrI: return "ishri";
+      case Opcode::SetEqI: return "seteqi";
+      case Opcode::SetNeI: return "setnei";
+      case Opcode::SetLtI: return "setlti";
+      case Opcode::SetLeI: return "setlei";
+      case Opcode::SetEqF: return "seteqf";
+      case Opcode::SetLtF: return "setltf";
+      case Opcode::SetLeF: return "setlef";
+      case Opcode::IMin: return "imin";
+      case Opcode::IMax: return "imax";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FAddI: return "faddi";
+      case Opcode::FMulI: return "fmuli";
+      case Opcode::FMin: return "fmin";
+      case Opcode::FMax: return "fmax";
+      case Opcode::FNeg: return "fneg";
+      case Opcode::FAbs: return "fabs";
+      case Opcode::CvtIF: return "cvt.i.f";
+      case Opcode::CvtFI: return "cvt.f.i";
+      case Opcode::FSqrt: return "fsqrt";
+      case Opcode::FRcp: return "frcp";
+      case Opcode::MovI: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Tid: return "tid";
+      case Opcode::Param: return "param";
+      case Opcode::VoteAny: return "vote.any";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "st";
+      case Opcode::BranchZ: return "brz";
+      case Opcode::BranchNZ: return "brnz";
+      case Opcode::Jump: return "jmp";
+      case Opcode::Exit: return "exit";
+      case Opcode::AccelTraverse: return "traverse";
+    }
+    return "???";
+}
+
+std::string
+Instruction::toString() const
+{
+    std::string s = opcodeName(op);
+    s += " rd=r" + std::to_string(rd);
+    s += " rs1=r" + std::to_string(rs1);
+    s += " rs2=r" + std::to_string(rs2);
+    s += " imm=" + std::to_string(imm);
+    if (op == Opcode::BranchZ || op == Opcode::BranchNZ ||
+        op == Opcode::Jump) {
+        s += " target=" + std::to_string(target) +
+             " reconv=" + std::to_string(reconv);
+    }
+    return s;
+}
+
+} // namespace tta::gpu

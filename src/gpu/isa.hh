@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The SIMT core's instruction set.
+ *
+ * A compact RISC-style ISA sufficient to express the paper's baseline
+ * "CUDA" kernels (Algorithm 1/2/3 traversal loops) one-to-one. Each thread
+ * owns 32 x 32-bit registers viewed as int or float. Control flow is
+ * structured: every conditional branch carries its immediate-post-dominator
+ * reconvergence PC, which the KernelBuilder computes by construction.
+ *
+ * The single AccelTraverse instruction offloads an entire tree traversal to
+ * the attached RTA/TTA/TTA+ device — the paper's `traceRay` /
+ * `traverseTreeTTA` (Section II-C advantage 2: one dynamic instruction
+ * replaces the whole traversal loop).
+ */
+
+#ifndef TTA_GPU_ISA_HH
+#define TTA_GPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tta::gpu {
+
+enum class Opcode : uint8_t
+{
+    // Integer ALU
+    IAdd, ISub, IMul, IAddI, IMulI,
+    IAnd, IOr, IXor, INot, IShlI, IShrI,
+    SetEqI, SetNeI, SetLtI, SetLeI,
+    SetEqF, SetLtF, SetLeF,
+    IMin, IMax,
+
+    // Float ALU
+    FAdd, FSub, FMul, FDiv, FAddI, FMulI,
+    FMin, FMax, FNeg, FAbs,
+    CvtIF, CvtFI,
+
+    // Special function unit (longer latency)
+    FSqrt, FRcp,
+
+    // Moves / constants
+    MovI,   //!< rd = 32-bit immediate (int or float bit pattern)
+    Mov,    //!< rd = rs1
+
+    // Special registers / launch parameters
+    Tid,    //!< rd = global thread id
+    Param,  //!< rd = launch parameter [imm]
+
+    // Warp vote: rd = 1 in every active lane iff rs1 != 0 in any active
+    // lane (CUDA __any_sync; the warp-synchronous traversal primitive).
+    VoteAny,
+
+    // Memory (32-bit word per lane)
+    Load,   //!< rd = mem[rs1 + imm]
+    Store,  //!< mem[rs1 + imm] = rs2
+
+    // Control flow
+    BranchZ,  //!< if (rs1 == 0) goto target; reconverge at reconv
+    BranchNZ, //!< if (rs1 != 0) goto target; reconverge at reconv
+    Jump,     //!< unconditional goto target
+    Exit,     //!< thread terminates
+
+    // Accelerator offload: per-lane operand rs1 names the query
+    AccelTraverse,
+};
+
+/** Broad instruction class, the Fig 20 breakdown categories. */
+enum class InstClass : uint8_t
+{
+    Alu,
+    Sfu,
+    Memory,
+    Control,
+    Accel,
+};
+
+InstClass instClass(Opcode op);
+
+/** Issue-to-writeback latency in core cycles for each class. */
+uint32_t instLatency(Opcode op);
+
+const char *opcodeName(Opcode op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Exit;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;      //!< immediate (or float bit pattern)
+    uint32_t target = 0;  //!< branch/jump target PC
+    uint32_t reconv = 0;  //!< reconvergence PC for conditional branches
+
+    float immF() const;
+    std::string toString() const;
+};
+
+/** Number of general-purpose registers per thread. */
+inline constexpr uint32_t kNumRegs = 32;
+
+} // namespace tta::gpu
+
+#endif // TTA_GPU_ISA_HH

@@ -1,0 +1,209 @@
+#include "gpu/kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace tta::gpu {
+
+std::string
+KernelProgram::disassemble() const
+{
+    std::string out = name + ":\n";
+    for (size_t pc = 0; pc < insts.size(); ++pc) {
+        out += "  " + std::to_string(pc) + ": " + insts[pc].toString() +
+               "\n";
+    }
+    return out;
+}
+
+void
+KernelBuilder::emit(Opcode op, Reg rd, Reg rs1, Reg rs2, int32_t imm)
+{
+    panic_if(built_, "KernelBuilder reused after build()");
+    panic_if(rd >= kNumRegs || rs1 >= kNumRegs || rs2 >= kNumRegs,
+             "register index out of range in %s", name_.c_str());
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    inst.imm = imm;
+    insts_.push_back(inst);
+}
+
+Label
+KernelBuilder::newLabel()
+{
+    labelPcs_.push_back(-1);
+    return Label{static_cast<uint32_t>(labelPcs_.size() - 1)};
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    panic_if(labelPcs_[l.id] != -1, "label bound twice in %s",
+             name_.c_str());
+    labelPcs_[l.id] = static_cast<int64_t>(insts_.size());
+}
+
+void
+KernelBuilder::branchTo(Opcode op, Reg cond, Label target)
+{
+    emit(op, 0, cond);
+    uint32_t pc = static_cast<uint32_t>(insts_.size() - 1);
+    fixups_.push_back({pc, FixField::Target, target.id});
+    // Default reconvergence point: the fall-through instruction. This is
+    // the IPDOM for a loop back-edge; structured if/else overrides it.
+    insts_[pc].reconv = pc + 1;
+}
+
+void
+KernelBuilder::branchZ(Reg cond, Label target)
+{
+    branchTo(Opcode::BranchZ, cond, target);
+}
+
+void
+KernelBuilder::branchNZ(Reg cond, Label target)
+{
+    branchTo(Opcode::BranchNZ, cond, target);
+}
+
+void
+KernelBuilder::jump(Label target)
+{
+    emit(Opcode::Jump);
+    uint32_t pc = static_cast<uint32_t>(insts_.size() - 1);
+    fixups_.push_back({pc, FixField::Target, target.id});
+    insts_[pc].reconv = pc + 1;
+}
+
+void
+KernelBuilder::ifThen(Reg cond, const std::function<void()> &then_body)
+{
+    Label end = newLabel();
+    // Lanes failing the condition skip to end; both paths reconverge there.
+    emit(Opcode::BranchZ, 0, cond);
+    uint32_t pc = static_cast<uint32_t>(insts_.size() - 1);
+    fixups_.push_back({pc, FixField::Target, end.id});
+    fixups_.push_back({pc, FixField::Reconv, end.id});
+    then_body();
+    bind(end);
+}
+
+void
+KernelBuilder::ifThenElse(Reg cond, const std::function<void()> &then_body,
+                          const std::function<void()> &else_body)
+{
+    Label else_l = newLabel();
+    Label end = newLabel();
+    emit(Opcode::BranchZ, 0, cond);
+    uint32_t pc = static_cast<uint32_t>(insts_.size() - 1);
+    fixups_.push_back({pc, FixField::Target, else_l.id});
+    fixups_.push_back({pc, FixField::Reconv, end.id});
+    then_body();
+    jump(end);
+    bind(else_l);
+    else_body();
+    bind(end);
+}
+
+void
+KernelBuilder::doWhile(const std::function<Reg()> &body)
+{
+    Label top = newLabel();
+    bind(top);
+    Reg cond = body();
+    branchNZ(cond, top);
+}
+
+void
+KernelBuilder::loadVec3(Reg base, Reg addr, int32_t off)
+{
+    load(base, addr, off);
+    load(static_cast<Reg>(base + 1), addr, off + 4);
+    load(static_cast<Reg>(base + 2), addr, off + 8);
+}
+
+void
+KernelBuilder::vsub(Reg d, Reg a, Reg b)
+{
+    for (int i = 0; i < 3; ++i) {
+        fsub(static_cast<Reg>(d + i), static_cast<Reg>(a + i),
+             static_cast<Reg>(b + i));
+    }
+}
+
+void
+KernelBuilder::vadd(Reg d, Reg a, Reg b)
+{
+    for (int i = 0; i < 3; ++i) {
+        fadd(static_cast<Reg>(d + i), static_cast<Reg>(a + i),
+             static_cast<Reg>(b + i));
+    }
+}
+
+void
+KernelBuilder::vdot(Reg d, Reg a, Reg b, Reg tmp)
+{
+    fmul(d, a, b);
+    fmul(tmp, static_cast<Reg>(a + 1), static_cast<Reg>(b + 1));
+    fadd(d, d, tmp);
+    fmul(tmp, static_cast<Reg>(a + 2), static_cast<Reg>(b + 2));
+    fadd(d, d, tmp);
+}
+
+void
+KernelBuilder::vcross(Reg d, Reg a, Reg b, Reg tmp)
+{
+    Reg a0 = a, a1 = static_cast<Reg>(a + 1), a2 = static_cast<Reg>(a + 2);
+    Reg b0 = b, b1 = static_cast<Reg>(b + 1), b2 = static_cast<Reg>(b + 2);
+    Reg t0 = tmp, t1 = static_cast<Reg>(tmp + 1);
+    // d.x = a1*b2 - a2*b1
+    fmul(t0, a1, b2);
+    fmul(t1, a2, b1);
+    fsub(d, t0, t1);
+    // d.y = a2*b0 - a0*b2
+    fmul(t0, a2, b0);
+    fmul(t1, a0, b2);
+    fsub(static_cast<Reg>(d + 1), t0, t1);
+    // d.z = a0*b1 - a1*b0
+    fmul(t0, a0, b1);
+    fmul(t1, a1, b0);
+    fsub(static_cast<Reg>(d + 2), t0, t1);
+}
+
+void
+KernelBuilder::vscale(Reg d, Reg a, Reg s)
+{
+    for (int i = 0; i < 3; ++i)
+        fmul(static_cast<Reg>(d + i), static_cast<Reg>(a + i), s);
+}
+
+KernelProgram
+KernelBuilder::build()
+{
+    panic_if(built_, "KernelBuilder::build() called twice");
+    built_ = true;
+
+    if (insts_.empty() || insts_.back().op != Opcode::Exit)
+        insts_.push_back(Instruction{}); // default-constructed == Exit
+
+    for (const Fixup &fix : fixups_) {
+        int64_t pc = labelPcs_[fix.label];
+        panic_if(pc < 0, "unbound label %u in kernel %s", fix.label,
+                 name_.c_str());
+        panic_if(pc > static_cast<int64_t>(insts_.size()),
+                 "label PC out of range in %s", name_.c_str());
+        if (fix.field == FixField::Target)
+            insts_[fix.inst].target = static_cast<uint32_t>(pc);
+        else
+            insts_[fix.inst].reconv = static_cast<uint32_t>(pc);
+    }
+
+    KernelProgram prog;
+    prog.name = name_;
+    prog.insts = std::move(insts_);
+    return prog;
+}
+
+} // namespace tta::gpu

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Kernel programs and the KernelBuilder assembler.
+ *
+ * Baseline "CUDA" kernels are assembled with this builder. Structured
+ * control-flow helpers (ifThen / ifThenElse / doWhile) emit branches whose
+ * reconvergence PC is the immediate post-dominator by construction, so the
+ * SIMT stack reconverges exactly as NVIDIA-style hardware would.
+ */
+
+#ifndef TTA_GPU_KERNEL_HH
+#define TTA_GPU_KERNEL_HH
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/isa.hh"
+
+namespace tta::gpu {
+
+/** A register index (0..31). */
+using Reg = uint8_t;
+
+/** An immutable, validated instruction sequence. */
+struct KernelProgram
+{
+    std::string name;
+    std::vector<Instruction> insts;
+
+    size_t size() const { return insts.size(); }
+    std::string disassemble() const;
+};
+
+/** Forward-reference label for branch targets. */
+struct Label
+{
+    uint32_t id;
+};
+
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+    // --- Raw emitters -----------------------------------------------------
+    void emit(Opcode op, Reg rd = 0, Reg rs1 = 0, Reg rs2 = 0,
+              int32_t imm = 0);
+
+    void iadd(Reg rd, Reg a, Reg b) { emit(Opcode::IAdd, rd, a, b); }
+    void isub(Reg rd, Reg a, Reg b) { emit(Opcode::ISub, rd, a, b); }
+    void imul(Reg rd, Reg a, Reg b) { emit(Opcode::IMul, rd, a, b); }
+    void iaddi(Reg rd, Reg a, int32_t i) { emit(Opcode::IAddI, rd, a, 0, i); }
+    void imuli(Reg rd, Reg a, int32_t i) { emit(Opcode::IMulI, rd, a, 0, i); }
+    void iand(Reg rd, Reg a, Reg b) { emit(Opcode::IAnd, rd, a, b); }
+    void ior(Reg rd, Reg a, Reg b) { emit(Opcode::IOr, rd, a, b); }
+    void ixor(Reg rd, Reg a, Reg b) { emit(Opcode::IXor, rd, a, b); }
+    void inot(Reg rd, Reg a) { emit(Opcode::INot, rd, a); }
+    void ishli(Reg rd, Reg a, int32_t i) { emit(Opcode::IShlI, rd, a, 0, i); }
+    void ishri(Reg rd, Reg a, int32_t i) { emit(Opcode::IShrI, rd, a, 0, i); }
+    void seteqi(Reg rd, Reg a, Reg b) { emit(Opcode::SetEqI, rd, a, b); }
+    void setnei(Reg rd, Reg a, Reg b) { emit(Opcode::SetNeI, rd, a, b); }
+    void setlti(Reg rd, Reg a, Reg b) { emit(Opcode::SetLtI, rd, a, b); }
+    void setlei(Reg rd, Reg a, Reg b) { emit(Opcode::SetLeI, rd, a, b); }
+    void seteqf(Reg rd, Reg a, Reg b) { emit(Opcode::SetEqF, rd, a, b); }
+    void setltf(Reg rd, Reg a, Reg b) { emit(Opcode::SetLtF, rd, a, b); }
+    void setlef(Reg rd, Reg a, Reg b) { emit(Opcode::SetLeF, rd, a, b); }
+    void imin(Reg rd, Reg a, Reg b) { emit(Opcode::IMin, rd, a, b); }
+    void imax(Reg rd, Reg a, Reg b) { emit(Opcode::IMax, rd, a, b); }
+
+    void fadd(Reg rd, Reg a, Reg b) { emit(Opcode::FAdd, rd, a, b); }
+    void fsub(Reg rd, Reg a, Reg b) { emit(Opcode::FSub, rd, a, b); }
+    void fmul(Reg rd, Reg a, Reg b) { emit(Opcode::FMul, rd, a, b); }
+    void fdiv(Reg rd, Reg a, Reg b) { emit(Opcode::FDiv, rd, a, b); }
+    void
+    faddi(Reg rd, Reg a, float i)
+    {
+        int32_t bits;
+        std::memcpy(&bits, &i, sizeof(bits));
+        emit(Opcode::FAddI, rd, a, 0, bits);
+    }
+    void
+    fmuli(Reg rd, Reg a, float i)
+    {
+        int32_t bits;
+        std::memcpy(&bits, &i, sizeof(bits));
+        emit(Opcode::FMulI, rd, a, 0, bits);
+    }
+    void fmin(Reg rd, Reg a, Reg b) { emit(Opcode::FMin, rd, a, b); }
+    void fmax(Reg rd, Reg a, Reg b) { emit(Opcode::FMax, rd, a, b); }
+    void fneg(Reg rd, Reg a) { emit(Opcode::FNeg, rd, a); }
+    void fabs_(Reg rd, Reg a) { emit(Opcode::FAbs, rd, a); }
+    void fsqrt(Reg rd, Reg a) { emit(Opcode::FSqrt, rd, a); }
+    void frcp(Reg rd, Reg a) { emit(Opcode::FRcp, rd, a); }
+    void cvtif(Reg rd, Reg a) { emit(Opcode::CvtIF, rd, a); }
+    void cvtfi(Reg rd, Reg a) { emit(Opcode::CvtFI, rd, a); }
+
+    void movi(Reg rd, int32_t value) { emit(Opcode::MovI, rd, 0, 0, value); }
+    void
+    movif(Reg rd, float value)
+    {
+        int32_t bits;
+        std::memcpy(&bits, &value, sizeof(bits));
+        emit(Opcode::MovI, rd, 0, 0, bits);
+    }
+    void mov(Reg rd, Reg a) { emit(Opcode::Mov, rd, a); }
+
+    void tid(Reg rd) { emit(Opcode::Tid, rd); }
+    void voteany(Reg rd, Reg a) { emit(Opcode::VoteAny, rd, a); }
+    void param(Reg rd, int32_t idx) { emit(Opcode::Param, rd, 0, 0, idx); }
+
+    void load(Reg rd, Reg addr, int32_t off = 0)
+    {
+        emit(Opcode::Load, rd, addr, 0, off);
+    }
+    void store(Reg addr, Reg value, int32_t off = 0)
+    {
+        emit(Opcode::Store, 0, addr, value, off);
+    }
+
+    void exit() { emit(Opcode::Exit); }
+    void accelTraverse(Reg operand)
+    {
+        emit(Opcode::AccelTraverse, 0, operand);
+    }
+
+    // --- Labels and branches -----------------------------------------------
+    Label newLabel();
+    void bind(Label l);
+    /** brz/brnz to a label; reconvergence defaults to the fall-through PC
+     *  (correct for loop back-edges). */
+    void branchZ(Reg cond, Label target);
+    void branchNZ(Reg cond, Label target);
+    void jump(Label target);
+
+    // --- Structured control flow -------------------------------------------
+    /** if (cond != 0) { then_body(); } — reconverges after the block. */
+    void ifThen(Reg cond, const std::function<void()> &then_body);
+    /** if (cond != 0) { then } else { otherwise } */
+    void ifThenElse(Reg cond, const std::function<void()> &then_body,
+                    const std::function<void()> &else_body);
+    /** do { body(); } while (cond-reg produced by body != 0); */
+    void doWhile(const std::function<Reg()> &body);
+
+    // --- Vec3 composite helpers (expand to scalar ops) ----------------------
+    /** Load three consecutive floats into base, base+1, base+2. */
+    void loadVec3(Reg base, Reg addr, int32_t off = 0);
+    /** (d,d+1,d+2) = (a..) - (b..) */
+    void vsub(Reg d, Reg a, Reg b);
+    void vadd(Reg d, Reg a, Reg b);
+    /** d = dot((a..), (b..)); clobbers tmp. */
+    void vdot(Reg d, Reg a, Reg b, Reg tmp);
+    /** (d..) = cross((a..), (b..)); clobbers tmp, tmp+1. */
+    void vcross(Reg d, Reg a, Reg b, Reg tmp);
+    /** (d..) = (a..) * scalar reg s */
+    void vscale(Reg d, Reg a, Reg s);
+
+    /** Validate, patch labels, ensure a trailing Exit, and produce the
+     *  program. The builder must not be reused afterwards. */
+    KernelProgram build();
+
+    uint32_t currentPc() const
+    {
+        return static_cast<uint32_t>(insts_.size());
+    }
+
+  private:
+    enum class FixField { Target, Reconv };
+    struct Fixup
+    {
+        uint32_t inst;
+        FixField field;
+        uint32_t label;
+    };
+
+    void branchTo(Opcode op, Reg cond, Label target);
+
+    std::string name_;
+    std::vector<Instruction> insts_;
+    std::vector<int64_t> labelPcs_; //!< -1 while unbound
+    std::vector<Fixup> fixups_;
+    bool built_ = false;
+};
+
+} // namespace tta::gpu
+
+#endif // TTA_GPU_KERNEL_HH

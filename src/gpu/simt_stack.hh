@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-warp SIMT reconvergence stack.
+ *
+ * Implements immediate-post-dominator stack-based reconvergence: on a
+ * divergent branch the current top entry is converted into a reconvergence
+ * entry at the branch's reconv PC and one entry per outcome is pushed.
+ * Entries pop when their PC reaches their reconvergence PC. Lanes that
+ * execute Exit are scrubbed from every remaining entry so early-exiting
+ * threads never resume.
+ */
+
+#ifndef TTA_GPU_SIMT_STACK_HH
+#define TTA_GPU_SIMT_STACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tta::gpu {
+
+class SimtStack
+{
+  public:
+    static constexpr uint32_t kNoReconv = UINT32_MAX;
+
+    /** Reset for a fresh warp starting at pc with the given lanes. */
+    void
+    start(uint32_t pc, uint32_t mask)
+    {
+        entries_.clear();
+        entries_.push_back({pc, kNoReconv, mask});
+    }
+
+    bool empty() const { return entries_.empty(); }
+    uint32_t pc() const { return top().pc; }
+    uint32_t activeMask() const { return top().mask; }
+
+    /** Fall through to the next instruction. */
+    void
+    advance()
+    {
+        top().pc += 1;
+        popReconverged();
+    }
+
+    /** Uniform jump of all active lanes. */
+    void
+    jump(uint32_t target)
+    {
+        top().pc = target;
+        popReconverged();
+    }
+
+    /**
+     * Resolve a (possibly divergent) conditional branch.
+     *
+     * @param taken_mask lanes (subset of activeMask) that take the branch.
+     * @param target     branch target PC.
+     * @param reconv     immediate post-dominator PC.
+     */
+    void
+    branch(uint32_t taken_mask, uint32_t target, uint32_t reconv)
+    {
+        uint32_t mask = top().mask;
+        uint32_t not_taken = mask & ~taken_mask;
+        if (taken_mask == mask) {
+            jump(target);
+            return;
+        }
+        if (taken_mask == 0) {
+            advance();
+            return;
+        }
+        // Divergence: the current entry waits at the reconvergence point;
+        // execute the taken side first, then the fall-through side.
+        uint32_t fallthrough = top().pc + 1;
+        top().pc = reconv;
+        entries_.push_back({fallthrough, reconv, not_taken});
+        entries_.push_back({target, reconv, taken_mask});
+        // A side that branches directly to the reconvergence point (an
+        // if-then skip) has nothing to execute: pop it immediately so its
+        // lanes wait at the reconvergence entry instead of running the
+        // tail with a partial mask.
+        popReconverged();
+    }
+
+    /**
+     * Retire the currently active lanes (Exit instruction). Scrubs them
+     * from every remaining entry.
+     * @return lanes that exited.
+     */
+    uint32_t
+    exitLanes()
+    {
+        uint32_t exited = top().mask;
+        entries_.pop_back();
+        for (auto &e : entries_)
+            e.mask &= ~exited;
+        while (!entries_.empty() && entries_.back().mask == 0)
+            entries_.pop_back();
+        popReconverged();
+        return exited;
+    }
+
+    size_t depth() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        uint32_t pc;
+        uint32_t reconvPc;
+        uint32_t mask;
+    };
+
+    Entry &top()
+    {
+        panic_if(entries_.empty(), "SIMT stack underflow");
+        return entries_.back();
+    }
+    const Entry &top() const
+    {
+        panic_if(entries_.empty(), "SIMT stack underflow");
+        return entries_.back();
+    }
+
+    void
+    popReconverged()
+    {
+        while (!entries_.empty() &&
+               entries_.back().reconvPc != kNoReconv &&
+               entries_.back().pc == entries_.back().reconvPc) {
+            entries_.pop_back();
+        }
+        // Skip entries whose lanes all exited inside the region.
+        while (!entries_.empty() && entries_.back().mask == 0)
+            entries_.pop_back();
+    }
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace tta::gpu
+
+#endif // TTA_GPU_SIMT_STACK_HH

@@ -1,0 +1,112 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace tta::mem {
+
+Cache::Cache(const std::string &name, uint32_t size_bytes, uint32_t assoc,
+             uint32_t line_size, uint32_t mshrs, sim::StatRegistry &stats)
+    : assoc_(assoc), lineSize_(line_size), mshrCapacity_(mshrs)
+{
+    uint32_t num_lines = size_bytes / line_size;
+    panic_if(num_lines == 0, "cache smaller than one line");
+    panic_if(assoc_ == 0 || num_lines % assoc_ != 0,
+             "cache lines (%u) not divisible by associativity (%u)",
+             num_lines, assoc_);
+    numSets_ = num_lines / assoc_;
+    lines_.resize(num_lines);
+    hits_ = &stats.counter(name + ".hits");
+    misses_ = &stats.counter(name + ".misses");
+    mshrMerges_ = &stats.counter(name + ".mshr_merges");
+    mshrStalls_ = &stats.counter(name + ".mshr_stalls");
+}
+
+uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<uint32_t>((line_addr / lineSize_) % numSets_);
+}
+
+Cache::Result
+Cache::access(Addr line_addr, bool is_write)
+{
+    ++useClock_;
+    uint32_t set = setIndex(line_addr);
+    Line *ways = &lines_[static_cast<size_t>(set) * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (ways[w].valid && ways[w].tag == line_addr) {
+            ways[w].lastUse = useClock_;
+            ++*hits_;
+            return Result::Hit;
+        }
+    }
+
+    // Writes are write-through / no-allocate: a write miss does not fetch
+    // the line, it just flows downstream. Report it as a (new) miss so the
+    // caller forwards it, but do not hold an MSHR.
+    if (is_write) {
+        ++*misses_;
+        return Result::MissNew;
+    }
+
+    auto it = mshrs_.find(line_addr);
+    if (it != mshrs_.end()) {
+        ++it->second;
+        ++*mshrMerges_;
+        return Result::MissMerged;
+    }
+    if (mshrs_.size() >= mshrCapacity_) {
+        ++*mshrStalls_;
+        return Result::NoMshr;
+    }
+    mshrs_.emplace(line_addr, 1);
+    ++*misses_;
+    return Result::MissNew;
+}
+
+void
+Cache::fill(Addr line_addr)
+{
+    mshrs_.erase(line_addr);
+
+    uint32_t set = setIndex(line_addr);
+    Line *ways = &lines_[static_cast<size_t>(set) * assoc_];
+    // Already resident (e.g. refilled by a racing writeback path)?
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (ways[w].valid && ways[w].tag == line_addr) {
+            ways[w].lastUse = ++useClock_;
+            return;
+        }
+    }
+    // Choose a victim: first invalid way, else LRU.
+    uint32_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (!ways[w].valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (ways[w].lastUse < oldest) {
+            oldest = ways[w].lastUse;
+            victim = w;
+        }
+    }
+    ways[victim] = {line_addr, true, ++useClock_};
+}
+
+bool
+Cache::missPending(Addr line_addr) const
+{
+    return mshrs_.find(line_addr) != mshrs_.end();
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+    mshrs_.clear();
+}
+
+} // namespace tta::mem

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tag-array cache model with MSHRs.
+ *
+ * Timing-only: data always lives in GlobalMemory; the cache tracks which
+ * lines are resident to decide hit/miss and merges outstanding misses to
+ * the same line in Miss Status Holding Registers. Used for the per-SM L1
+ * (fully associative LRU, Table II) and the unified L2 (16-way LRU).
+ */
+
+#ifndef TTA_MEM_CACHE_HH
+#define TTA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/request.hh"
+#include "sim/stats.hh"
+
+namespace tta::mem {
+
+class Cache
+{
+  public:
+    enum class Result
+    {
+        Hit,        //!< line resident
+        MissNew,    //!< miss; new MSHR allocated, forward downstream
+        MissMerged, //!< miss; merged into an existing MSHR, do not forward
+        NoMshr,     //!< miss but MSHRs exhausted; retry later
+    };
+
+    /**
+     * @param name        stat prefix (e.g. "sm0.l1d").
+     * @param size_bytes  total capacity.
+     * @param assoc       ways per set; == size/line for fully associative.
+     * @param line_size   line size in bytes.
+     * @param mshrs       max outstanding distinct line misses.
+     */
+    Cache(const std::string &name, uint32_t size_bytes, uint32_t assoc,
+          uint32_t line_size, uint32_t mshrs, sim::StatRegistry &stats);
+
+    /** Look up a line; allocate/merge an MSHR on miss. */
+    Result access(Addr line_addr, bool is_write);
+
+    /** Install a line returned from downstream and free its MSHR. */
+    void fill(Addr line_addr);
+
+    /** True if the line currently has an outstanding MSHR. */
+    bool missPending(Addr line_addr) const;
+
+    /** Invalidate all resident lines (between kernels in tests). */
+    void flush();
+
+    uint32_t lineSize() const { return lineSize_; }
+    uint64_t hits() const { return hits_->value(); }
+    uint64_t misses() const { return misses_->value(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    uint32_t setIndex(Addr line_addr) const;
+
+    uint32_t assoc_;
+    uint32_t lineSize_;
+    uint32_t numSets_;
+    uint32_t mshrCapacity_;
+    uint64_t useClock_ = 0;
+
+    /** ways-per-set tag store, sets_ concatenated. */
+    std::vector<Line> lines_;
+    /** outstanding line-miss registers: line addr -> merged count. */
+    std::unordered_map<Addr, uint32_t> mshrs_;
+
+    sim::Counter *hits_;
+    sim::Counter *misses_;
+    sim::Counter *mshrMerges_;
+    sim::Counter *mshrStalls_;
+};
+
+} // namespace tta::mem
+
+#endif // TTA_MEM_CACHE_HH

@@ -1,0 +1,34 @@
+#include "mem/coalescer.hh"
+
+namespace tta::mem {
+
+std::vector<CoalescedAccess>
+coalesce(const std::vector<Addr> &addrs, uint32_t active,
+         uint32_t access_size, uint32_t line_size)
+{
+    std::vector<CoalescedAccess> out;
+    const Addr line_mask = ~static_cast<Addr>(line_size - 1);
+    for (uint32_t lane = 0; lane < addrs.size(); ++lane) {
+        if (!(active & (1u << lane)))
+            continue;
+        // An access may straddle a line boundary; emit one transaction per
+        // line touched (rare for aligned tree nodes, but handled).
+        Addr first = addrs[lane] & line_mask;
+        Addr last = (addrs[lane] + access_size - 1) & line_mask;
+        for (Addr line = first; line <= last; line += line_size) {
+            bool merged = false;
+            for (auto &acc : out) {
+                if (acc.lineAddr == line) {
+                    acc.laneMask |= 1u << lane;
+                    merged = true;
+                    break;
+                }
+            }
+            if (!merged)
+                out.push_back({line, 1u << lane});
+        }
+    }
+    return out;
+}
+
+} // namespace tta::mem

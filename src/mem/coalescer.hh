@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Warp-level memory-access coalescer.
+ *
+ * Groups the per-lane addresses of a warp memory instruction into
+ * line-granularity transactions, exactly like the GPU's LD/ST unit: lanes
+ * touching the same cache line share one transaction. The number of
+ * transactions a divergent access generates (up to 32) is the memory
+ * divergence the paper's Fig 1 highlights.
+ */
+
+#ifndef TTA_MEM_COALESCER_HH
+#define TTA_MEM_COALESCER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/request.hh"
+
+namespace tta::mem {
+
+/** One coalesced line transaction and the lanes it serves. */
+struct CoalescedAccess
+{
+    Addr lineAddr;
+    uint32_t laneMask;
+};
+
+/**
+ * Coalesce per-lane accesses into line transactions.
+ *
+ * @param addrs      per-lane byte addresses (size = warp size, <= 32).
+ * @param active     bitmask of lanes that execute the access.
+ * @param access_size bytes accessed per lane.
+ * @param line_size  cache-line size in bytes (power of two).
+ * @return one entry per distinct line touched, in first-lane order.
+ */
+std::vector<CoalescedAccess>
+coalesce(const std::vector<Addr> &addrs, uint32_t active,
+         uint32_t access_size, uint32_t line_size);
+
+} // namespace tta::mem
+
+#endif // TTA_MEM_COALESCER_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory request/response types exchanged between the SIMT cores / RTAs
+ * and the memory hierarchy.
+ */
+
+#ifndef TTA_MEM_REQUEST_HH
+#define TTA_MEM_REQUEST_HH
+
+#include <cstdint>
+
+namespace tta::mem {
+
+using Addr = uint64_t;
+
+/** Who issued a request (routing key for the response). */
+enum class RequestSource : uint8_t
+{
+    CoreLoad,   //!< SIMT core load instruction
+    CoreStore,  //!< SIMT core store instruction
+    RtaNode,    //!< RTA/TTA node fetch
+    RtaWriteback, //!< RTA/TTA result writeback
+};
+
+/** One line-granularity memory transaction. */
+struct MemRequest
+{
+    Addr addr = 0;          //!< line-aligned address
+    uint32_t size = 0;      //!< bytes (<= line size)
+    bool isWrite = false;
+    RequestSource source = RequestSource::CoreLoad;
+    uint32_t smId = 0;      //!< issuing SM
+    uint64_t tag = 0;       //!< opaque requester cookie, echoed back
+};
+
+/** Completion notification for a read (writes are fire-and-forget). */
+struct MemResponse
+{
+    Addr addr = 0;
+    RequestSource source = RequestSource::CoreLoad;
+    uint32_t smId = 0;
+    uint64_t tag = 0;
+};
+
+} // namespace tta::mem
+
+#endif // TTA_MEM_REQUEST_HH

@@ -1,0 +1,72 @@
+#include "power/area.hh"
+
+#include <iomanip>
+
+namespace tta::power {
+
+double
+AreaModel::opUnitArea(ttaplus::OpUnit unit)
+{
+    using ttaplus::OpUnit;
+    switch (unit) {
+      case OpUnit::Vec3AddSub: return kVec3AddSub;
+      case OpUnit::Multiplier: return kMultiplier;
+      case OpUnit::Rcp: return kRcpX3 / 3.0;
+      case OpUnit::Cross: return kCross;
+      case OpUnit::Dot: return kDot;
+      case OpUnit::Vec3Cmp: return 1200.0;  //!< comparator-class cell
+      case OpUnit::MinMax: return kMinMax;
+      case OpUnit::MaxMin: return kMaxMin;
+      case OpUnit::Logical: return 900.0;   //!< gate-class cell
+      case OpUnit::Sqrt: return kSqrt;
+      case OpUnit::RXform: return 38000.0;  //!< 3x4 MAC array
+      case OpUnit::Push: return 800.0;
+      case OpUnit::kCount: break;
+    }
+    return 0.0;
+}
+
+double
+AreaModel::ttaPlusWithoutSqrt()
+{
+    // Table IV sums the interconnect plus one set of OP units (3 RCPs).
+    return kInterconnect16x16 + kVec3AddSub + kMultiplier + kMinMax +
+           kMaxMin + kCross + kDot + kRcpX3;
+}
+
+void
+AreaModel::printTable(std::ostream &os)
+{
+    auto row = [&](const char *name, double area, double pct) {
+        os << "  " << std::left << std::setw(32) << name << std::right
+           << std::setw(12) << std::fixed << std::setprecision(1) << area
+           << std::setw(9) << std::setprecision(1) << pct << "%\n";
+    };
+    os << "Table IV: Baseline RTA area vs TTA+ area (um^2, 45nm)\n";
+    os << " Baseline components:\n";
+    row("Ray-Box unit", kBaselineRayBox,
+        100.0 * kBaselineRayBox / baselineTotal());
+    row("Ray-Triangle unit", kBaselineRayTri,
+        100.0 * kBaselineRayTri / baselineTotal());
+    row("Baseline total", baselineTotal(), 100.0);
+    os << " TTA+ components:\n";
+    row("Interconnect 16x16 (120B)", kInterconnect16x16,
+        100.0 * kInterconnect16x16 / ttaPlusTotal());
+    row("Vec3 Add/Sub", kVec3AddSub, 100.0 * kVec3AddSub / ttaPlusTotal());
+    row("Multiplier", kMultiplier, 100.0 * kMultiplier / ttaPlusTotal());
+    row("MINMAX", kMinMax, 100.0 * kMinMax / ttaPlusTotal());
+    row("MAXMIN", kMaxMin, 100.0 * kMaxMin / ttaPlusTotal());
+    row("Cross product", kCross, 100.0 * kCross / ttaPlusTotal());
+    row("Dot product", kDot, 100.0 * kDot / ttaPlusTotal());
+    row("RCP x3", kRcpX3, 100.0 * kRcpX3 / ttaPlusTotal());
+    row("TTA+ without SQRT", ttaPlusWithoutSqrt(),
+        ttaPlusNoSqrtDeltaPercent());
+    row("SQRT", kSqrt, 100.0 * kSqrt / ttaPlusTotal());
+    row("TTA+ total (vs baseline %)", ttaPlusTotal(),
+        ttaPlusDeltaPercent());
+    os << " TTA Ray-Box modification: " << std::setprecision(1)
+       << kBaselineRayBox << " -> " << kTtaRayBox << " um^2 (+"
+       << ttaRayBoxDeltaPercent() << "%)\n";
+}
+
+} // namespace tta::power

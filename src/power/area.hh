@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Area model (Table IV).
+ *
+ * The paper synthesized the operation units with FreePDK45 and the Intel
+ * 16x16 crosspoint switch sample; synthesis is not reproducible offline,
+ * so the per-component areas are recorded constants from Table IV and the
+ * derived quantities (TTA+ with/without SQRT, percentage vs the baseline
+ * Ray-Box + Ray-Triangle units, the TTA Ray-Box delta) are computed from
+ * them — see DESIGN.md's substitution table.
+ */
+
+#ifndef TTA_POWER_AREA_HH
+#define TTA_POWER_AREA_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "ttaplus/uop.hh"
+
+namespace tta::power {
+
+/** All areas in um^2 at 45nm. */
+struct AreaModel
+{
+    // Baseline fixed-function units (Table IV, left).
+    static constexpr double kBaselineRayBox = 270779.1;
+    static constexpr double kBaselineRayTri = 331299.0;
+
+    // TTA modification (Section V-C1): comparators + bypassing in the
+    // Ray-Box unit: 0.2708 -> 0.2756 mm^2.
+    static constexpr double kTtaRayBox = 275600.0;
+
+    // TTA+ components (Table IV, right).
+    static constexpr double kInterconnect16x16 = 177902.2; //!< 120B wide
+    static constexpr double kVec3AddSub = 17424.2;
+    static constexpr double kMultiplier = 9551.7;
+    static constexpr double kMinMax = 2176.6;
+    static constexpr double kMaxMin = 1895.0;
+    static constexpr double kCross = 74734.1;
+    static constexpr double kDot = 40271.1;
+    static constexpr double kRcpX3 = 212991.3; //!< three RCP units
+    static constexpr double kSqrt = 284367.2;
+
+    /** Area of one TTA+ OP unit instance. */
+    static double opUnitArea(ttaplus::OpUnit unit);
+
+    static double baselineTotal()
+    {
+        return kBaselineRayBox + kBaselineRayTri;
+    }
+    static double ttaPlusWithoutSqrt();
+    static double ttaPlusTotal() { return ttaPlusWithoutSqrt() + kSqrt; }
+
+    /** TTA Ray-Box area increase over the baseline Ray-Box unit (%). */
+    static double ttaRayBoxDeltaPercent()
+    {
+        return 100.0 * (kTtaRayBox - kBaselineRayBox) / kBaselineRayBox;
+    }
+    /** TTA+ total vs baseline (%; negative = smaller). */
+    static double ttaPlusDeltaPercent()
+    {
+        return 100.0 * (ttaPlusTotal() - baselineTotal()) / baselineTotal();
+    }
+    static double ttaPlusNoSqrtDeltaPercent()
+    {
+        return 100.0 * (ttaPlusWithoutSqrt() - baselineTotal()) /
+               baselineTotal();
+    }
+
+    /** Print the Table IV comparison. */
+    static void printTable(std::ostream &os);
+};
+
+} // namespace tta::power
+
+#endif // TTA_POWER_AREA_HH

@@ -1,0 +1,71 @@
+#include "power/energy.hh"
+
+#include <string>
+
+#include "power/area.hh"
+#include "ttaplus/uop.hh"
+
+namespace tta::power {
+
+void
+EnergyBreakdown::print(std::ostream &os, const char *label) const
+{
+    os << label << ": total " << total() * 1e3 << " mJ"
+       << " (core " << computeCore * 1e3 << ", warp-buffer "
+       << warpBuffer * 1e3 << ", intersection " << intersection * 1e3
+       << ")\n";
+}
+
+EnergyBreakdown
+EnergyModel::compute(const sim::StatRegistry &stats)
+{
+    EnergyBreakdown e;
+
+    // Compute core: per-lane dynamic instructions plus the memory system
+    // (DRAM pins + L2 accesses), matching the paper's definition of the
+    // "Compute Core" category (Section V-C3).
+    double lane_insts =
+        static_cast<double>(stats.counterValue("core.lane_insts"));
+    double dram_bytes =
+        static_cast<double>(stats.counterValue("dram.bytes_read") +
+                            stats.counterValue("dram.bytes_written"));
+    double l2_accesses =
+        static_cast<double>(stats.counterValue("l2.hits") +
+                            stats.counterValue("l2.misses"));
+    e.computeCore = lane_insts * kCorePerLaneInstJ +
+                    dram_bytes * kDramPerByteJ +
+                    l2_accesses * kL2PerAccessJ;
+
+    // Warp buffer accesses (ray/node reads and writes in the RTA).
+    double wb_accesses =
+        static_cast<double>(stats.counterValue("rta.warp_buffer_reads") +
+                            stats.counterValue("rta.warp_buffer_writes"));
+    e.warpBuffer = wb_accesses * kWarpBufferAccessJ;
+
+    // Intersection units: one issue slot's worth of the unit's power per
+    // operation — pipelining (II=1) amortizes the pipeline depth, so
+    // E_op = P_unit / f, with P_unit = synthesized area x power density.
+    auto unit_energy = [&](double ops, double area_um2) {
+        return ops * area_um2 * kPowerDensityWPerUm2 / kClockHz;
+    };
+    e.intersection += unit_energy(
+        static_cast<double>(stats.counterValue("rta.box.ops")),
+        AreaModel::kBaselineRayBox);
+    e.intersection += unit_energy(
+        static_cast<double>(stats.counterValue("rta.tri.ops")),
+        AreaModel::kBaselineRayTri);
+    e.intersection += unit_energy(
+        static_cast<double>(stats.counterValue("rta.xform.ops")),
+        38000.0);
+    for (uint32_t u = 0; u < ttaplus::kNumOpUnits; ++u) {
+        auto unit = static_cast<ttaplus::OpUnit>(u);
+        // Per-unit uop count = busy cycles / unit latency.
+        double busy = static_cast<double>(stats.counterValue(
+            std::string("ttaplus.busy.") + ttaplus::opUnitName(unit)));
+        double uops = busy / ttaplus::opUnitLatency(unit);
+        e.intersection += unit_energy(uops, AreaModel::opUnitArea(unit));
+    }
+    return e;
+}
+
+} // namespace tta::power

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Event-based energy model (Fig 19's breakdown).
+ *
+ * Substitutes the paper's AccelWattch (general-purpose core power) and
+ * CACTI7 (warp buffer access energy) with per-event constants of the same
+ * magnitude class, and derives intersection-unit energy from the Table IV
+ * synthesis areas at a 45nm power density. Fig 19 compares *relative*
+ * end-to-end energy; the event counts driving the comparison come from
+ * the cycle-level simulation (dynamic instructions, DRAM bytes, warp
+ * buffer accesses, per-unit busy cycles).
+ */
+
+#ifndef TTA_POWER_ENERGY_HH
+#define TTA_POWER_ENERGY_HH
+
+#include <ostream>
+
+#include "sim/stats.hh"
+
+namespace tta::power {
+
+/** End-to-end energy split, in joules. */
+struct EnergyBreakdown
+{
+    double computeCore = 0.0;   //!< SM pipelines + memory system
+    double warpBuffer = 0.0;    //!< repurposed RF accesses
+    double intersection = 0.0;  //!< fixed-function or OP units
+
+    double total() const { return computeCore + warpBuffer + intersection; }
+    void print(std::ostream &os, const char *label) const;
+};
+
+class EnergyModel
+{
+  public:
+    // --- Per-event constants ------------------------------------------------
+    /** Energy per per-lane dynamic instruction on the SM (fetch, decode,
+     *  RF, execute amortized) — AccelWattch-class value. */
+    static constexpr double kCorePerLaneInstJ = 12e-12;
+    /** Per-byte DRAM + on-chip transfer energy. */
+    static constexpr double kDramPerByteJ = 14e-12;
+    /** Per-access L2 energy (tag + data, 128B line). */
+    static constexpr double kL2PerAccessJ = 60e-12;
+    /** Warp buffer entry access (CACTI-class for an 8KB+2KB SRAM). */
+    static constexpr double kWarpBufferAccessJ = 18e-12;
+    /** 45nm power density applied to Table IV areas (W per um^2). */
+    static constexpr double kPowerDensityWPerUm2 = 0.96e-6;
+    /** Core clock for converting busy cycles to time. */
+    static constexpr double kClockHz = 1365e6;
+
+    /** Derive the breakdown from a finished run's statistics. */
+    static EnergyBreakdown compute(const sim::StatRegistry &stats);
+};
+
+} // namespace tta::power
+
+#endif // TTA_POWER_ENERGY_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-ray traversal state held in the RTA warp buffer.
+ *
+ * One struct serves every workload: the fields form a superset of the
+ * paper's programmer-defined ray layouts (query key for B-Trees, query
+ * point for N-Body / radius search, the ray itself for ray tracing, and
+ * the accumulators each application's ConfigTerminate watches). The warp
+ * buffer energy model counts entry accesses; this struct is the
+ * functional payload behind those entries.
+ */
+
+#ifndef TTA_RTA_RAY_STATE_HH
+#define TTA_RTA_RAY_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/ray.hh"
+#include "geom/vec.hh"
+
+namespace tta::rta {
+
+/** Opaque traversal-stack entry (a spec-defined node reference). */
+using NodeRef = uint64_t;
+
+struct RayState
+{
+    uint32_t queryId = 0;     //!< lane operand at launch
+    bool active = false;      //!< participating lane
+    bool done = true;
+
+    std::vector<NodeRef> stack;
+
+    // --- Index search payload ------------------------------------------
+    float query = 0.0f;
+    bool found = false;
+
+    // --- Spatial payloads -------------------------------------------------
+    geom::Vec3 point;         //!< query point (N-Body body / radius query)
+    geom::Vec3 accum;         //!< accumulated acceleration
+    uint32_t hitCount = 0;    //!< neighbors found / any-hit counter
+
+    // --- Ray tracing payload ----------------------------------------------
+    geom::Ray ray;            //!< current-space ray
+    geom::Ray worldRay;       //!< saved world-space ray (two-level BVH)
+    bool inBlas = false;
+    uint32_t meshId = 0;      //!< BLAS currently being traversed
+    float closestT = 0.0f;
+    uint32_t hitPrim = UINT32_MAX;
+    float hitU = 0.0f;
+    float hitV = 0.0f;
+    bool anyHitMode = false;  //!< shadow rays: stop at first hit
+
+    // --- Statistics ---------------------------------------------------------
+    uint32_t nodesVisited = 0;
+};
+
+} // namespace tta::rta
+
+#endif // TTA_RTA_RAY_STATE_HH

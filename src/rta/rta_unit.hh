@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The per-SM traversal accelerator (Fig 4a), covering four hardware
+ * levels selected by Config::accelMode:
+ *
+ *  - BaselineRta: fixed-function Ray-Box / Ray-Triangle / Transform
+ *    pipelines. Query-Key and Point-to-Point operations are unsupported;
+ *    ray-sphere leaves bounce to intersection shaders on the SM.
+ *  - Tta: the Ray-Box unit additionally executes Query-Key comparisons
+ *    and the Ray-Triangle unit executes Point-to-Point distance tests
+ *    (Fig 8). Operations needing SQRT still bounce to shaders.
+ *  - TtaPlus: every node test executes as a uop program on the modular
+ *    OP units through the crosspoint interconnect (Fig 10).
+ *
+ * Structure per the paper: a warp buffer with Config::warpBufferWarps
+ * warp slots tracks per-ray traversal state machines; a hardware memory
+ * scheduler coalesces node requests and issues one memory request per
+ * cycle; the operation arbiter decodes returned nodes and forwards them
+ * to the intersection units; completed rays write back and the warp
+ * resumes on the SM once all its rays finish.
+ */
+
+#ifndef TTA_RTA_RTA_UNIT_HH
+#define TTA_RTA_RTA_UNIT_HH
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/accel.hh"
+#include "gpu/core.hh"
+#include "mem/memsys.hh"
+#include "rta/pipeline.hh"
+#include "rta/ray_state.hh"
+#include "rta/shader_model.hh"
+#include "rta/traversal_spec.hh"
+#include "sim/config.hh"
+#include "sim/ticked.hh"
+#include "ttaplus/engine.hh"
+
+namespace tta::rta {
+
+class RtaUnit : public sim::TickedComponent, public gpu::AccelDevice
+{
+  public:
+    RtaUnit(const sim::Config &cfg, uint32_t sm_id, mem::MemSystem &memsys,
+            sim::StatRegistry &stats);
+    ~RtaUnit() override;
+
+    /** Select the traversal application (must outlive the kernel). */
+    void setSpec(TraversalSpec *spec) { spec_ = spec; }
+
+    // gpu::AccelDevice
+    bool launchWarp(gpu::SimtCore *core, uint32_t warp_slot,
+                    uint32_t active_mask,
+                    const std::vector<uint32_t> &lane_operands) override;
+
+    void tick(sim::Cycle cycle) override;
+    bool busy() const override;
+
+  private:
+    enum class Phase : uint8_t
+    {
+        Idle,      //!< no traversal
+        Ready,     //!< needs the arbiter to pop / finish
+        WaitFetch, //!< node lines in flight
+        WaitTest,  //!< intersection units busy on this node
+        WaitShader,//!< bounced to an SM intersection shader
+    };
+
+    struct RaySlot
+    {
+        RayState state;
+        Phase phase = Phase::Idle;
+        NodeRef currentRef = 0;
+        std::vector<uint64_t> linesToIssue;
+        uint32_t pendingFetches = 0;
+    };
+
+    struct WarpSlot
+    {
+        bool valid = false;
+        gpu::SimtCore *core = nullptr;
+        uint32_t coreSlot = 0;
+        uint32_t remaining = 0;
+        uint64_t launchOrder = 0;
+        std::vector<RaySlot> rays;
+    };
+
+    struct Completion
+    {
+        sim::Cycle ready;
+        uint16_t warp;
+        uint16_t ray;
+        uint8_t pipe;   //!< 0 none, 1 box, 2 tri, 3 xform
+        uint16_t count; //!< tests retiring from the pipe
+        bool operator>(const Completion &o) const
+        {
+            return ready > o.ready;
+        }
+    };
+
+    /** The arbiter advances a Ready ray: finish or start the next node. */
+    void stepRay(sim::Cycle cycle, uint32_t warp, uint32_t ray);
+    /** Dispatch a fetched node to the right unit/engine/shader. */
+    void dispatchTest(sim::Cycle cycle, uint32_t warp, uint32_t ray);
+    void issueFetches(sim::Cycle cycle);
+    void drainResponses();
+    void drainCompletions(sim::Cycle cycle);
+    void finishRay(sim::Cycle cycle, uint32_t warp, uint32_t ray);
+
+    const sim::Config cfg_;
+    uint32_t smId_;
+    mem::MemSystem *memsys_;
+    TraversalSpec *spec_ = nullptr;
+
+    std::vector<WarpSlot> warps_;
+    uint64_t launchCounter_ = 0;
+    uint32_t validWarps_ = 0;
+
+    /** Rays whose state machine needs the arbiter (Phase::Ready). */
+    std::deque<std::pair<uint16_t, uint16_t>> readyQueue_;
+    /** Rays whose fetches all returned (dispatch pending). */
+    std::deque<std::pair<uint16_t, uint16_t>> dispatchQueue_;
+    /** Rays with unissued fetch lines, FIFO for the memory scheduler. */
+    std::deque<std::pair<uint16_t, uint16_t>> fetchQueue_;
+
+    /** line addr -> rays waiting on it (RTA-level request coalescing). */
+    std::unordered_map<uint64_t, std::vector<std::pair<uint16_t, uint16_t>>>
+        inflightLines_;
+
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        completions_;
+
+    // Timing resources.
+    std::unique_ptr<IntersectionPipeline> boxPipe_;
+    std::unique_ptr<IntersectionPipeline> triPipe_;
+    std::unique_ptr<IntersectionPipeline> xformPipe_;
+    std::unique_ptr<ttaplus::TtaPlusEngine> engine_;
+    std::unique_ptr<ShaderModel> shader_;
+
+
+    // Statistics (shared, aggregate across SMs).
+    sim::Counter *nodesVisited_;
+    sim::Counter *raysCompleted_;
+    sim::Counter *warpBufReads_;
+    sim::Counter *warpBufWrites_;
+    sim::Counter *opCounters_[8]; //!< per OpKind dynamic op counts
+    sim::Histogram *warpOccupancy_;
+    sim::Counter *prefetches_;
+};
+
+} // namespace tta::rta
+
+#endif // TTA_RTA_RTA_UNIT_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Intersection-shader cost model.
+ *
+ * On hardware the RTA suspends a ray and returns control to the SM when a
+ * leaf needs a programmable intersection shader (ray-sphere on the
+ * baseline RTA / TTA, the N-Body force leaf on TTA). The round trip is
+ * expensive: the warp must be re-formed, the shader's instructions issue
+ * on the general-purpose pipeline, and the result is written back to the
+ * RTA. This model charges a fixed round-trip latency plus a serialized
+ * per-call service interval on the SM side, and accounts the shader's
+ * dynamic instructions into the core counters (they appear in the Fig 19
+ * energy and Fig 20 instruction breakdowns, which is exactly why *RTNN
+ * and *WKND_PT win by eliminating them).
+ */
+
+#ifndef TTA_RTA_SHADER_MODEL_HH
+#define TTA_RTA_SHADER_MODEL_HH
+
+#include <algorithm>
+
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace tta::rta {
+
+class ShaderModel
+{
+  public:
+    /** Dynamic instructions one shader call costs on the SM. */
+    static constexpr uint32_t kInstsPerCall = 28;
+    /** Intersection shaders: the traversal blocks on the result (it
+     *  feeds tmax pruning), paying the full drain / warp re-formation /
+     *  launch / writeback round trip. */
+    static constexpr uint32_t kRoundTripLatency = 110;
+    static constexpr uint32_t kServiceInterval = 8;
+    /** Deferrable bulk leaf work (e.g. the N-Body force terms on TTA):
+     *  results only accumulate, so calls batch into deferred warps with
+     *  the round trip amortized away. */
+    static constexpr uint32_t kBulkLatency = 24;
+    static constexpr uint32_t kBulkInterval = 3;
+
+    explicit ShaderModel(sim::StatRegistry &stats)
+    {
+        calls_ = &stats.counter("shader.calls");
+        coreAlu_ = &stats.counter("core.insts_alu");
+        coreMem_ = &stats.counter("core.insts_mem");
+        coreCtrl_ = &stats.counter("core.insts_ctrl");
+        laneInsts_ = &stats.counter("core.lane_insts");
+    }
+
+    /**
+     * Execute `count` shader calls for one ray starting at `now`.
+     * @param bulk deferrable accumulation work (amortized round trip).
+     * @return cycle at which the ray may resume in the RTA.
+     */
+    sim::Cycle
+    execute(sim::Cycle now, uint32_t count, bool bulk = false)
+    {
+        if (count == 0)
+            return now;
+        uint32_t interval = bulk ? kBulkInterval : kServiceInterval;
+        uint32_t latency = bulk ? kBulkLatency : kRoundTripLatency;
+        sim::Cycle start = std::max(now, nextFree_);
+        nextFree_ = start + static_cast<sim::Cycle>(count) * interval;
+        *calls_ += count;
+        // Instruction mix of a typical intersection shader: mostly ALU
+        // with a few loads and the call/return control flow. A call is
+        // one ray's worth of work; shader warps pack 32 calls, so the
+        // warp-level counters (the Fig 20 unit) accrue 1/32 per call
+        // (with fractional carry), while per-lane counters are exact.
+        laneCarry_ += static_cast<uint64_t>(count) * kInstsPerCall;
+        uint64_t warp_insts = laneCarry_ / 32;
+        laneCarry_ %= 32;
+        uint64_t mem = warp_insts * 4 / kInstsPerCall;
+        uint64_t ctrl = warp_insts * 2 / kInstsPerCall;
+        *coreMem_ += mem;
+        *coreCtrl_ += ctrl;
+        *coreAlu_ += warp_insts - mem - ctrl;
+        *laneInsts_ += static_cast<uint64_t>(count) * kInstsPerCall;
+        return nextFree_ + latency;
+    }
+
+  private:
+    sim::Cycle nextFree_ = 0;
+    uint64_t laneCarry_ = 0;
+    sim::Counter *calls_;
+    sim::Counter *coreAlu_;
+    sim::Counter *coreMem_;
+    sim::Counter *coreCtrl_;
+    sim::Counter *laneInsts_;
+};
+
+} // namespace tta::rta
+
+#endif // TTA_RTA_SHADER_MODEL_HH

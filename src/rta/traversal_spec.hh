@@ -1,0 +1,99 @@
+/**
+ * @file
+ * TraversalSpec: the functional half of an accelerator-resident tree
+ * traversal.
+ *
+ * The paper's programming model (Listing 1) configures node/ray layouts
+ * and intersection-test programs; in this model a TraversalSpec carries
+ * exactly that information plus the functional node processing the
+ * configured programs compute. The RtaUnit supplies all timing: fetch
+ * scheduling, intersection-unit occupancy, TTA+ uop walks, and the
+ * intersection-shader round trip for operations the selected hardware
+ * level cannot execute.
+ */
+
+#ifndef TTA_RTA_TRAVERSAL_SPEC_HH
+#define TTA_RTA_TRAVERSAL_SPEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/global_memory.hh"
+#include "rta/ray_state.hh"
+#include "ttaplus/program.hh"
+
+namespace tta::rta {
+
+/** The computational operation a node visit performed. */
+enum class OpKind : uint8_t
+{
+    RayBox,      //!< fixed-function Ray-Box (inner)
+    RayTriangle, //!< fixed-function Ray-Triangle (leaf)
+    QueryKey,    //!< TTA Query-Key comparison
+    PointDist,   //!< TTA Point-to-Point distance
+    RaySphere,   //!< programmable: shader on RTA/TTA, uops on TTA+
+    ForceLeaf,   //!< N-Body leaf force: shader on TTA, uops on TTA+
+    Transform,   //!< two-level BVH ray transform
+    None,        //!< pure stack manipulation, no computation
+};
+
+const char *opKindName(OpKind kind);
+
+/** Outcome of functionally processing one node. */
+struct NodeOutcome
+{
+    OpKind op = OpKind::None;
+    bool isLeaf = false;
+    /** Pipelined invocations of the unit (e.g. one per leaf primitive). */
+    uint32_t opCount = 1;
+    /**
+     * Additional force computations triggered by this visit (N-Body:
+     * an approximated inner node still contributes one force term).
+     * Executed on the leaf program natively on TTA+, and as intersection
+     * shaders on the SM otherwise.
+     */
+    uint32_t auxForceOps = 0;
+    /**
+     * The application chose an SM-side intersection shader for this test
+     * (the unstarred RTNN / WKND_PT configurations): route to the shader
+     * model even on hardware that could execute the op natively.
+     */
+    bool useShader = false;
+};
+
+class TraversalSpec
+{
+  public:
+    virtual ~TraversalSpec() = default;
+
+    /**
+     * Prepare a ray at `traverseTree` launch: decode the lane operand,
+     * fill the payload, and push the root reference.
+     */
+    virtual void initRay(RayState &ray, uint32_t lane_operand) = 0;
+
+    /**
+     * Memory lines a node visit must fetch before its test can run
+     * (the node itself, leaf records, primitive data).
+     */
+    virtual void fetchLines(const RayState &ray, NodeRef ref,
+                            std::vector<uint64_t> &lines) const = 0;
+
+    /**
+     * Functionally process a node: run the intersection test, push child
+     * references / record hits into `ray`, and report what was computed.
+     */
+    virtual NodeOutcome processNode(RayState &ray, NodeRef ref) = 0;
+
+    /** Ray completed (stack empty or early-out): write results back. */
+    virtual void finishRay(RayState &ray) = 0;
+
+    /** TTA+ uop program for inner-node tests (ConfigI). */
+    virtual const ttaplus::Program &innerProgram() const = 0;
+    /** TTA+ uop program for leaf tests (ConfigL). */
+    virtual const ttaplus::Program &leafProgram() const = 0;
+};
+
+} // namespace tta::rta
+
+#endif // TTA_RTA_TRAVERSAL_SPEC_HH

@@ -1,0 +1,36 @@
+#include "sim/config.hh"
+
+namespace tta::sim {
+
+const char *
+accelModeName(AccelMode mode)
+{
+    switch (mode) {
+      case AccelMode::BaselineGpu: return "BaselineGPU";
+      case AccelMode::BaselineRta: return "BaselineRTA";
+      case AccelMode::Tta: return "TTA";
+      case AccelMode::TtaPlus: return "TTA+";
+    }
+    return "unknown";
+}
+
+void
+Config::print(std::ostream &os) const
+{
+    os << "# Configuration (Table II)\n"
+       << "#   SMs: " << numSms
+       << "  max warps/SM: " << maxWarpsPerSm
+       << "  warp size: " << warpSize << "\n"
+       << "#   L1D: " << l1SizeBytes / 1024 << "KB fully-assoc LRU, "
+       << l1LatencyCycles << " cycles\n"
+       << "#   L2: " << l2SizeBytes / (1024 * 1024) << "MB "
+       << l2Assoc << "-way LRU, " << l2LatencyCycles << " cycles\n"
+       << "#   clocks core:mem = " << coreClockMhz << ":" << memClockMhz
+       << " MHz\n"
+       << "#   TTA units/SM: " << ttaUnitsPerSm
+       << "  warp buffer: " << warpBufferWarps << " warps"
+       << "  intersection sets: " << intersectionSets << "\n"
+       << "#   accel mode: " << accelModeName(accelMode) << "\n";
+}
+
+} // namespace tta::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in this
+ *            library); aborts so the failure is loud in tests.
+ * fatal()  - the *user* asked for something impossible (bad configuration,
+ *            malformed program); throws FatalError so callers and tests can
+ *            observe it without killing the process.
+ * warn()/inform() - non-fatal status messages on stderr.
+ */
+
+#ifndef TTA_SIM_LOGGING_HH
+#define TTA_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tta::sim {
+
+/** Exception thrown by fatal(): a user-caused, recoverable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail {
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace tta::sim
+
+/** Abort with a message: simulator-internal invariant violation. */
+#define panic(...)                                                          \
+    ::tta::sim::detail::panicImpl(                                          \
+        __FILE__, __LINE__, ::tta::sim::detail::formatMessage(__VA_ARGS__))
+
+/** Throw FatalError: the user supplied an impossible configuration. */
+#define fatal(...)                                                          \
+    ::tta::sim::detail::fatalImpl(                                          \
+        ::tta::sim::detail::formatMessage(__VA_ARGS__))
+
+/** panic() if the given condition is false. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+/** fatal() if the given condition is true. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+#define warn(...)                                                           \
+    ::tta::sim::detail::warnImpl(                                           \
+        ::tta::sim::detail::formatMessage(__VA_ARGS__))
+
+#define inform(...)                                                         \
+    ::tta::sim::detail::informImpl(                                         \
+        ::tta::sim::detail::formatMessage(__VA_ARGS__))
+
+#endif // TTA_SIM_LOGGING_HH

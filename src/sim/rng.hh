@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All workload generators in this repository draw from Xoshiro256** so that
+ * every experiment is bit-reproducible across platforms and standard-library
+ * versions (std::mt19937 distributions are not portable across libstdc++
+ * releases).
+ */
+
+#ifndef TTA_SIM_RNG_HH
+#define TTA_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace tta::sim {
+
+/** Xoshiro256** generator with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // SplitMix64 to spread a small seed over the 256-bit state.
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ull;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free reduction is fine here;
+        // the slight modulo bias of a 64->64 reduction is negligible for
+        // workload synthesis.
+        return next() % bound;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** Approximately standard-normal float (sum of uniforms, CLT). */
+    float
+    gaussian()
+    {
+        float acc = 0.0f;
+        for (int i = 0; i < 12; ++i)
+            acc += nextFloat();
+        return acc - 6.0f;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace tta::sim
+
+#endif // TTA_SIM_RNG_HH

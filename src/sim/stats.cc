@@ -1,0 +1,47 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace tta::sim {
+
+void
+StatRegistry::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : scalars_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : scalars_)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : histograms_) {
+        os << kv.first << ".count " << kv.second.count() << "\n";
+        os << kv.first << ".mean " << kv.second.mean() << "\n";
+        os << kv.first << ".max " << kv.second.maxValue() << "\n";
+    }
+}
+
+void
+StatRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const auto &kv : counters_)
+        os << kv.first << "," << kv.second.value() << "\n";
+    for (const auto &kv : scalars_)
+        os << kv.first << "," << kv.second.value() << "\n";
+    for (const auto &kv : histograms_) {
+        os << kv.first << ".count," << kv.second.count() << "\n";
+        os << kv.first << ".mean," << kv.second.mean() << "\n";
+        os << kv.first << ".max," << kv.second.maxValue() << "\n";
+    }
+}
+
+} // namespace tta::sim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components register named statistics with a StatRegistry; benches dump
+ * them as text or CSV. Three concrete kinds cover everything this
+ * repository measures:
+ *
+ *  - Counter:   monotonically increasing 64-bit event count.
+ *  - Scalar:    arbitrary double (set or accumulated).
+ *  - Histogram: fixed-bucket distribution with mean / max tracking, used
+ *               for occupancy and latency distributions.
+ *
+ * Statistics are intentionally pull-based and allocation-free on the hot
+ * path: incrementing a Counter is a single add.
+ */
+
+#ifndef TTA_SIM_STATS_HH
+#define TTA_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tta::sim {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator+=(uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** An arbitrary floating-point statistic. */
+class Scalar
+{
+  public:
+    void set(double v) { value_ = v; }
+    void operator+=(double v) { value_ += v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A simple distribution: tracks count, sum, min, max and a fixed set of
+ * linear buckets over [0, bucketWidth * nBuckets).
+ */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(1.0, 32) {}
+
+    Histogram(double bucket_width, size_t n_buckets)
+        : bucketWidth_(bucket_width), buckets_(n_buckets, 0)
+    {}
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+        size_t idx = v <= 0.0 ? 0
+            : static_cast<size_t>(v / bucketWidth_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+    }
+
+  private:
+    double bucketWidth_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<uint64_t> buckets_;
+};
+
+/**
+ * Registry of named statistics.
+ *
+ * Names are hierarchical, dot-separated (e.g. "sm0.l1d.misses"). The
+ * registry owns the stat objects; components hold raw pointers, which stay
+ * valid for the registry's lifetime (std::map nodes are stable).
+ */
+class StatRegistry
+{
+  public:
+    /** Create (or fetch) a counter under the given name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Create (or fetch) a scalar under the given name. */
+    Scalar &scalar(const std::string &name) { return scalars_[name]; }
+
+    /** Create (or fetch) a histogram under the given name. */
+    Histogram &
+    histogram(const std::string &name, double bucket_width = 1.0,
+              size_t n_buckets = 32)
+    {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            it = histograms_.emplace(name,
+                                     Histogram(bucket_width, n_buckets))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Look up a counter's value; 0 if absent. */
+    uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** Look up a scalar's value; 0 if absent. */
+    double
+    scalarValue(const std::string &name) const
+    {
+        auto it = scalars_.find(name);
+        return it == scalars_.end() ? 0.0 : it->second.value();
+    }
+
+    /** Look up a histogram; nullptr if absent. */
+    const Histogram *
+    findHistogram(const std::string &name) const
+    {
+        auto it = histograms_.find(name);
+        return it == histograms_.end() ? nullptr : &it->second;
+    }
+
+    /** Reset every registered statistic to zero. */
+    void reset();
+
+    /** Dump all stats, one "name value" line each, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Dump all stats as CSV rows "name,value". */
+    void dumpCsv(std::ostream &os) const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return scalars_;
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace tta::sim
+
+#endif // TTA_SIM_STATS_HH

@@ -1,0 +1,21 @@
+#include "sim/ticked.hh"
+
+#include "sim/logging.hh"
+
+namespace tta::sim {
+
+Cycle
+Simulator::runToQuiescence(Cycle max_cycles)
+{
+    Cycle start = cycle_;
+    while (anyBusy()) {
+        step();
+        if (cycle_ - start >= max_cycles) {
+            panic("simulation did not quiesce within %llu cycles",
+                  static_cast<unsigned long long>(max_cycles));
+        }
+    }
+    return cycle_ - start;
+}
+
+} // namespace tta::sim

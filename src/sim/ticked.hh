@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Cycle-driven simulation framework.
+ *
+ * Every timing model in the repository is a TickedComponent; a Simulator
+ * owns an ordered list of components and advances them one core-clock cycle
+ * at a time. Ordering within a cycle is the registration order, which the
+ * GPU top-level arranges producer-before-consumer so a request issued in
+ * cycle N is visible to the next stage in cycle N+1 at the earliest
+ * (single-cycle queues between stages enforce this).
+ */
+
+#ifndef TTA_SIM_TICKED_HH
+#define TTA_SIM_TICKED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace tta::sim {
+
+using Cycle = uint64_t;
+
+/** Interface for anything that does work each core-clock cycle. */
+class TickedComponent
+{
+  public:
+    explicit TickedComponent(std::string name) : name_(std::move(name)) {}
+    virtual ~TickedComponent() = default;
+
+    TickedComponent(const TickedComponent &) = delete;
+    TickedComponent &operator=(const TickedComponent &) = delete;
+
+    /** Advance one core-clock cycle. */
+    virtual void tick(Cycle cycle) = 0;
+
+    /**
+     * @retval true if this component still has in-flight work.
+     * The simulator runs until every component is quiescent.
+     */
+    virtual bool busy() const = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * The top-level run loop.
+ *
+ * Does not own components (they are owned by the machine model that wires
+ * them together); it only sequences their tick() calls and tracks the
+ * global cycle count.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(StatRegistry &stats) : stats_(&stats) {}
+
+    /** Register a component; tick order is registration order. */
+    void add(TickedComponent *comp) { components_.push_back(comp); }
+
+    /** Advance exactly one cycle. */
+    void
+    step()
+    {
+        for (auto *comp : components_)
+            comp->tick(cycle_);
+        ++cycle_;
+    }
+
+    /**
+     * Run until all components are quiescent or max_cycles elapse.
+     * @return the number of cycles executed by this call.
+     */
+    Cycle runToQuiescence(Cycle max_cycles = 2'000'000'000ull);
+
+    Cycle cycle() const { return cycle_; }
+    StatRegistry &stats() { return *stats_; }
+
+    /** True if any registered component reports in-flight work. */
+    bool
+    anyBusy() const
+    {
+        for (const auto *comp : components_) {
+            if (comp->busy())
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    StatRegistry *stats_;
+    std::vector<TickedComponent *> components_;
+    Cycle cycle_ = 0;
+};
+
+} // namespace tta::sim
+
+#endif // TTA_SIM_TICKED_HH

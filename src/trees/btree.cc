@@ -1,0 +1,269 @@
+#include "trees/btree.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace tta::trees {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr uint32_t kRouterFlag = 2u; //!< inner keys are routers (B+Tree)
+
+/** Keys per node for each variant's bulk load. */
+uint32_t
+fillKeys(BTreeKind kind)
+{
+    switch (kind) {
+      case BTreeKind::BTree: return 5;     // moderate occupancy
+      case BTreeKind::BStarTree: return 7; // B*: ~7/8 full nodes
+      case BTreeKind::BPlusTree: return 6;
+    }
+    return 5;
+}
+
+} // namespace
+
+const char *
+bTreeKindName(BTreeKind kind)
+{
+    switch (kind) {
+      case BTreeKind::BTree: return "B-Tree";
+      case BTreeKind::BStarTree: return "B*Tree";
+      case BTreeKind::BPlusTree: return "B+Tree";
+    }
+    return "?";
+}
+
+BTree::BTree(BTreeKind kind, std::vector<float> keys)
+    : kind_(kind), keys_(std::move(keys))
+{
+    std::sort(keys_.begin(), keys_.end());
+    keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+
+    if (kind_ == BTreeKind::BPlusTree) {
+        // Leaves hold every key; router levels above.
+        uint32_t fill = fillKeys(kind_);
+        std::vector<uint32_t> level;  // node indices of the current level
+        std::vector<float> firsts;    // first key of each node's subtree
+        if (keys_.empty()) {
+            nodes_.push_back({true, {}, {}});
+            level.push_back(0);
+            firsts.push_back(0.0f);
+        }
+        for (size_t lo = 0; lo < keys_.size(); lo += fill) {
+            size_t hi = std::min(keys_.size(), lo + fill);
+            Node leaf;
+            leaf.leaf = true;
+            leaf.keys.assign(keys_.begin() + lo, keys_.begin() + hi);
+            nodes_.push_back(std::move(leaf));
+            level.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+            firsts.push_back(keys_[lo]);
+        }
+        // Build router levels until a single root remains.
+        const uint32_t group = fill + 1; // children per inner node
+        while (level.size() > 1) {
+            std::vector<uint32_t> next_level;
+            std::vector<float> next_firsts;
+            for (size_t lo = 0; lo < level.size(); lo += group) {
+                size_t hi = std::min(level.size(), lo + group);
+                Node inner;
+                inner.leaf = false;
+                for (size_t c = lo; c < hi; ++c) {
+                    inner.children.push_back(level[c]);
+                    if (c > lo)
+                        inner.keys.push_back(firsts[c]); // router keys
+                }
+                nodes_.push_back(std::move(inner));
+                next_level.push_back(
+                    static_cast<uint32_t>(nodes_.size() - 1));
+                next_firsts.push_back(firsts[lo]);
+            }
+            level = std::move(next_level);
+            firsts = std::move(next_firsts);
+        }
+        root_ = level.front();
+    } else {
+        root_ = buildRange(0, keys_.size(), fillKeys(kind_));
+    }
+    height_ = computeHeight(root_);
+}
+
+uint32_t
+BTree::buildRange(size_t lo, size_t hi, uint32_t fill_keys)
+{
+    size_t n = hi - lo;
+    if (n <= BTreeNodeLayout::kMaxKeys) {
+        Node leaf;
+        leaf.leaf = true;
+        leaf.keys.assign(keys_.begin() + lo, keys_.begin() + hi);
+        nodes_.push_back(std::move(leaf));
+        return static_cast<uint32_t>(nodes_.size() - 1);
+    }
+    // nk separator keys at this node, nk+1 child subranges.
+    uint32_t nk = std::min<uint32_t>(fill_keys,
+                                     BTreeNodeLayout::kMaxKeys);
+    uint32_t n_children = nk + 1;
+    size_t remaining = n - nk;
+    // Distribute the remaining keys over the children as evenly as
+    // possible, then pick the separators between consecutive chunks.
+    std::vector<float> seps;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    size_t pos = lo;
+    for (uint32_t c = 0; c < n_children; ++c) {
+        size_t chunk = remaining / n_children +
+                       (c < remaining % n_children ? 1 : 0);
+        ranges.emplace_back(pos, pos + chunk);
+        pos += chunk;
+        if (c + 1 < n_children) {
+            seps.push_back(keys_[pos]);
+            ++pos; // the separator key lives in this node
+        }
+    }
+    panic_if(pos != hi, "bulk load accounting error");
+
+    uint32_t node_idx;
+    {
+        Node inner;
+        inner.leaf = false;
+        inner.keys = seps;
+        nodes_.push_back(std::move(inner));
+        node_idx = static_cast<uint32_t>(nodes_.size() - 1);
+    }
+    std::vector<uint32_t> children;
+    for (auto [clo, chi] : ranges)
+        children.push_back(buildRange(clo, chi, fill_keys));
+    nodes_[node_idx].children = std::move(children);
+    return node_idx;
+}
+
+uint32_t
+BTree::computeHeight(uint32_t node) const
+{
+    const Node &n = nodes_[node];
+    if (n.leaf)
+        return 1;
+    uint32_t h = 0;
+    for (uint32_t c : n.children)
+        h = std::max(h, computeHeight(c));
+    return h + 1;
+}
+
+BTreeQueryResult
+BTree::search(float query) const
+{
+    BTreeQueryResult result;
+    const bool router_inner = kind_ == BTreeKind::BPlusTree;
+    uint32_t cur = root_;
+    while (true) {
+        const Node &node = nodes_[cur];
+        ++result.nodesVisited;
+        ++result.depth;
+        if (node.leaf) {
+            for (float k : node.keys) {
+                if (k == query) {
+                    result.found = true;
+                    break;
+                }
+            }
+            return result;
+        }
+        // Inner node: Algorithm 1.
+        uint32_t child = static_cast<uint32_t>(node.keys.size());
+        bool descended = false;
+        for (size_t i = 0; i < node.keys.size(); ++i) {
+            if (!router_inner && node.keys[i] == query) {
+                result.found = true;
+                return result;
+            }
+            if (query < node.keys[i]) {
+                child = static_cast<uint32_t>(i);
+                descended = true;
+                break;
+            }
+        }
+        (void)descended;
+        cur = node.children[child];
+    }
+}
+
+uint64_t
+BTree::serialize(mem::GlobalMemory &gmem) const
+{
+    using L = BTreeNodeLayout;
+    // BFS ordering guarantees each node's children occupy consecutive
+    // slots (the hardware addresses child i as childBase + i*64).
+    std::vector<uint32_t> order;
+    std::vector<uint32_t> slot_of(nodes_.size(), 0);
+    order.push_back(root_);
+    slot_of[root_] = 0;
+    for (size_t head = 0; head < order.size(); ++head) {
+        const Node &node = nodes_[order[head]];
+        for (uint32_t c : node.children) {
+            slot_of[c] = static_cast<uint32_t>(order.size());
+            order.push_back(c);
+        }
+    }
+
+    uint64_t base = gmem.alloc(order.size() * L::kNodeBytes, 64);
+    for (size_t s = 0; s < order.size(); ++s) {
+        const Node &node = nodes_[order[s]];
+        uint64_t addr = base + s * L::kNodeBytes;
+        uint32_t flags = (node.leaf ? L::kLeafFlag : 0) |
+            (kind_ == BTreeKind::BPlusTree ? kRouterFlag : 0) |
+            (static_cast<uint32_t>(node.keys.size()) << 8);
+        gmem.write<uint32_t>(addr + L::kOffFlags, flags);
+        uint32_t child_base = 0;
+        if (!node.children.empty()) {
+            child_base = static_cast<uint32_t>(
+                base + static_cast<uint64_t>(slot_of[node.children[0]]) *
+                           L::kNodeBytes);
+        }
+        gmem.write<uint32_t>(addr + L::kOffChildBase, child_base);
+        for (uint32_t i = 0; i < L::kWidth; ++i) {
+            float k = i < node.keys.size() ? node.keys[i] : kInf;
+            gmem.write<float>(addr + L::kOffKeys + i * 4, k);
+        }
+    }
+    return base;
+}
+
+BTreeQueryResult
+BTree::searchSerialized(const mem::GlobalMemory &gmem, uint64_t root_addr,
+                        float query)
+{
+    using L = BTreeNodeLayout;
+    BTreeQueryResult result;
+    uint64_t cur = root_addr;
+    while (true) {
+        ++result.nodesVisited;
+        ++result.depth;
+        result.terminalNode = cur;
+        uint32_t flags = gmem.read<uint32_t>(cur + L::kOffFlags);
+        bool leaf = flags & L::kLeafFlag;
+        bool router = flags & kRouterFlag;
+        uint32_t n_keys = (flags >> 8) & 0xff;
+        uint32_t child_base = gmem.read<uint32_t>(cur + L::kOffChildBase);
+
+        uint32_t child = n_keys;
+        bool resolved = false;
+        for (uint32_t i = 0; i < L::kWidth && !resolved; ++i) {
+            float k = gmem.read<float>(cur + L::kOffKeys + i * 4);
+            if (k == query && i < n_keys && (leaf || !router)) {
+                result.found = true;
+                return result;
+            }
+            if (query < k) {
+                child = i;
+                resolved = true;
+            }
+        }
+        if (leaf)
+            return result; // no key matched
+        cur = child_base + static_cast<uint64_t>(child) * L::kNodeBytes;
+    }
+}
+
+} // namespace tta::trees

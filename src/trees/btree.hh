@@ -1,0 +1,126 @@
+/**
+ * @file
+ * 9-wide B-Tree, B*Tree and B+Tree index structures.
+ *
+ * The node layout matches the paper's TTA configuration: the modified
+ * Ray-Box unit compares a query against nine keys at once (three per
+ * min/max pair), so a node holds nine key slots and nine children, with
+ * unused key slots padded by +infinity sentinels. The rightmost child
+ * covers queries greater than every real key (sentinel +inf makes
+ * "query < keys[8]" always true, so Algorithm 1 always resolves).
+ *
+ * Children of a node are serialized contiguously, so the hardware can
+ * express the next child as an offset from the first child's address —
+ * the one-hot + offset output of the modified min/max datapath (Fig 9).
+ *
+ * Variants:
+ *  - B-Tree:  keys (and associated entries) at every level; a query can
+ *             terminate early at an inner node. Moderate fill.
+ *  - B*Tree:  same semantics, but nodes are kept ~7/8 full (the B*
+ *             high-occupancy invariant), yielding shallower, denser trees.
+ *  - B+Tree:  inner keys are routers only; every query descends to a
+ *             leaf. Uniform depth => lower control-flow divergence,
+ *             which is why the paper sees smaller speedups for B+Tree.
+ */
+
+#ifndef TTA_TREES_BTREE_HH
+#define TTA_TREES_BTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/global_memory.hh"
+
+namespace tta::trees {
+
+enum class BTreeKind
+{
+    BTree,
+    BStarTree,
+    BPlusTree,
+};
+
+const char *bTreeKindName(BTreeKind kind);
+
+/** Serialized node layout (64 bytes, one cache-line aligned). */
+struct BTreeNodeLayout
+{
+    static constexpr uint32_t kWidth = 9;     //!< children per node
+    static constexpr uint32_t kMaxKeys = 8;   //!< real keys per node
+    static constexpr uint32_t kNodeBytes = 64;
+
+    static constexpr uint32_t kOffFlags = 0;     //!< u32: bit0 leaf, 8..15 nkeys
+    static constexpr uint32_t kOffChildBase = 4; //!< u32 byte addr of child 0
+    static constexpr uint32_t kOffKeys = 8;      //!< f32 keys[9]
+    // bytes 44..63 reserved
+
+    static constexpr uint32_t kLeafFlag = 1u;
+};
+
+/** Result of one reference query. */
+struct BTreeQueryResult
+{
+    bool found = false;
+    uint32_t nodesVisited = 0;
+    uint32_t depth = 0;
+    uint64_t terminalNode = 0; //!< serialized address of the last node
+};
+
+/**
+ * Host-side tree with a serializer into simulated memory.
+ *
+ * Built by bulk-loading a sorted key set; the fill factor (keys per node)
+ * depends on the variant. Keys are exact-representable floats so equality
+ * tests are meaningful.
+ */
+class BTree
+{
+  public:
+    /**
+     * Bulk-load a tree.
+     * @param kind  variant (fill factor + key placement).
+     * @param keys  key set; will be sorted and deduplicated.
+     */
+    BTree(BTreeKind kind, std::vector<float> keys);
+
+    BTreeKind kind() const { return kind_; }
+    size_t numKeys() const { return keys_.size(); }
+    size_t numNodes() const { return nodes_.size(); }
+    uint32_t height() const { return height_; }
+
+    /** Reference search on the host structure. */
+    BTreeQueryResult search(float query) const;
+
+    /**
+     * Serialize into simulated memory; children of each node contiguous.
+     * @return byte address of the root node.
+     */
+    uint64_t serialize(mem::GlobalMemory &gmem) const;
+
+    /** Reference search against the *serialized* image (for tests). */
+    static BTreeQueryResult searchSerialized(const mem::GlobalMemory &gmem,
+                                             uint64_t root_addr,
+                                             float query);
+
+  private:
+    struct Node
+    {
+        bool leaf = false;
+        std::vector<float> keys;       //!< real keys (<= kMaxKeys)
+        std::vector<uint32_t> children; //!< node indices; keys.size()+1
+    };
+
+    /** Recursively bulk-load [lo, hi) of keys_; returns node index. */
+    uint32_t buildRange(size_t lo, size_t hi, uint32_t fill_keys);
+    uint32_t computeHeight(uint32_t node) const;
+
+    BTreeKind kind_;
+    std::vector<float> keys_;
+    std::vector<Node> nodes_;
+    uint32_t root_ = 0;
+    uint32_t height_ = 0;
+};
+
+} // namespace tta::trees
+
+#endif // TTA_TREES_BTREE_HH

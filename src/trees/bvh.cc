@@ -1,0 +1,278 @@
+#include "trees/bvh.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/intersect.hh"
+#include "sim/logging.hh"
+
+namespace tta::trees {
+
+void
+Bvh::build(const std::vector<geom::Aabb> &prim_boxes, uint32_t max_leaf)
+{
+    nodes_.clear();
+    primOrder_.resize(prim_boxes.size());
+    std::iota(primOrder_.begin(), primOrder_.end(), 0u);
+    panic_if(prim_boxes.empty(), "BVH build with no primitives");
+    root_ = buildRange(primOrder_, 0,
+                       static_cast<uint32_t>(primOrder_.size()), prim_boxes,
+                       std::max(1u, max_leaf));
+}
+
+int32_t
+Bvh::buildRange(std::vector<uint32_t> &ids, uint32_t lo, uint32_t hi,
+                const std::vector<geom::Aabb> &boxes, uint32_t max_leaf)
+{
+    geom::Aabb bounds;
+    geom::Aabb centroid_bounds;
+    for (uint32_t i = lo; i < hi; ++i) {
+        bounds.extend(boxes[ids[i]]);
+        centroid_bounds.extend(boxes[ids[i]].center());
+    }
+
+    uint32_t count = hi - lo;
+    auto make_leaf = [&]() {
+        BvhNode node;
+        node.box = bounds;
+        node.primOffset = lo;
+        node.primCount = count;
+        nodes_.push_back(node);
+        return static_cast<int32_t>(nodes_.size() - 1);
+    };
+    if (count <= max_leaf)
+        return make_leaf();
+
+    // Binned SAH over the widest centroid axis.
+    constexpr int kBins = 16;
+    int axis = centroid_bounds.widestAxis();
+    float cmin = centroid_bounds.lo[axis];
+    float cext = centroid_bounds.extent()[axis];
+    uint32_t mid;
+    if (cext <= 0.0f) {
+        // Degenerate centroids: median split by index.
+        mid = lo + count / 2;
+    } else {
+        struct Bin
+        {
+            geom::Aabb box;
+            uint32_t count = 0;
+        };
+        Bin bins[kBins];
+        auto bin_of = [&](uint32_t id) {
+            float c = boxes[id].center()[axis];
+            int b = static_cast<int>((c - cmin) / cext * kBins);
+            return std::clamp(b, 0, kBins - 1);
+        };
+        for (uint32_t i = lo; i < hi; ++i) {
+            Bin &bin = bins[bin_of(ids[i])];
+            bin.box.extend(boxes[ids[i]]);
+            ++bin.count;
+        }
+        // Sweep to find the minimum-cost split plane.
+        float right_area[kBins];
+        geom::Aabb acc;
+        uint32_t right_count[kBins];
+        uint32_t rc = 0;
+        for (int b = kBins - 1; b > 0; --b) {
+            acc.extend(bins[b].box);
+            rc += bins[b].count;
+            right_area[b] = acc.surfaceArea();
+            right_count[b] = rc;
+        }
+        acc = geom::Aabb();
+        uint32_t lc = 0;
+        float best_cost = std::numeric_limits<float>::max();
+        int best_split = -1;
+        for (int b = 0; b < kBins - 1; ++b) {
+            acc.extend(bins[b].box);
+            lc += bins[b].count;
+            if (lc == 0 || right_count[b + 1] == 0)
+                continue;
+            float cost = acc.surfaceArea() * lc +
+                         right_area[b + 1] * right_count[b + 1];
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_split = b;
+            }
+        }
+        if (best_split < 0) {
+            mid = lo + count / 2;
+        } else {
+            auto it = std::partition(
+                ids.begin() + lo, ids.begin() + hi,
+                [&](uint32_t id) { return bin_of(id) <= best_split; });
+            mid = static_cast<uint32_t>(it - ids.begin());
+            if (mid == lo || mid == hi)
+                mid = lo + count / 2; // pathological: fall back to median
+        }
+    }
+
+    int32_t node_idx;
+    {
+        BvhNode node;
+        node.box = bounds;
+        nodes_.push_back(node);
+        node_idx = static_cast<int32_t>(nodes_.size() - 1);
+    }
+    int32_t left = buildRange(ids, lo, mid, boxes, max_leaf);
+    int32_t right = buildRange(ids, mid, hi, boxes, max_leaf);
+    nodes_[node_idx].left = left;
+    nodes_[node_idx].right = right;
+    return node_idx;
+}
+
+void
+Bvh::traverse(geom::Ray &ray,
+              const std::function<void(uint32_t)> &leaf_fn) const
+{
+    std::vector<int32_t> stack;
+    stack.push_back(root_);
+    while (!stack.empty()) {
+        int32_t idx = stack.back();
+        stack.pop_back();
+        const BvhNode &node = nodes_[idx];
+        auto hit = geom::rayBox(ray, node.box);
+        if (!hit)
+            continue;
+        if (node.isLeaf()) {
+            for (uint32_t p = 0; p < node.primCount; ++p)
+                leaf_fn(primOrder_[node.primOffset + p]);
+            continue;
+        }
+        // Near child last (popped first).
+        auto hl = geom::rayBox(ray, nodes_[node.left].box);
+        auto hr = geom::rayBox(ray, nodes_[node.right].box);
+        float tl = hl ? hl->tenter : std::numeric_limits<float>::max();
+        float tr = hr ? hr->tenter : std::numeric_limits<float>::max();
+        if (tl < tr) {
+            stack.push_back(node.right);
+            stack.push_back(node.left);
+        } else {
+            stack.push_back(node.left);
+            stack.push_back(node.right);
+        }
+    }
+}
+
+void
+Bvh::pointQuery(const geom::Vec3 &point, float radius,
+                const std::function<void(uint32_t)> &leaf_fn) const
+{
+    std::vector<int32_t> stack;
+    stack.push_back(root_);
+    geom::Vec3 r(radius, radius, radius);
+    while (!stack.empty()) {
+        int32_t idx = stack.back();
+        stack.pop_back();
+        const BvhNode &node = nodes_[idx];
+        geom::Aabb inflated(node.box.lo - r, node.box.hi + r);
+        if (!inflated.contains(point))
+            continue;
+        if (node.isLeaf()) {
+            for (uint32_t p = 0; p < node.primCount; ++p)
+                leaf_fn(primOrder_[node.primOffset + p]);
+            continue;
+        }
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+    }
+}
+
+SerializedBvh
+Bvh::serialize(mem::GlobalMemory &gmem) const
+{
+    using L = BvhNodeLayout;
+    SerializedBvh out;
+
+    // Leaf records first (variable size, 16B aligned).
+    std::vector<uint64_t> leaf_addr(nodes_.size(), 0);
+    uint64_t leaf_bytes = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (!nodes_[i].isLeaf())
+            continue;
+        uint64_t bytes = 4 + 4ull * nodes_[i].primCount;
+        leaf_bytes += (bytes + 15) & ~15ull;
+    }
+    out.leafBase = gmem.alloc(std::max<uint64_t>(leaf_bytes, 16), 64);
+    out.leafBytes = leaf_bytes;
+    uint64_t cursor = out.leafBase;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const BvhNode &node = nodes_[i];
+        if (!node.isLeaf())
+            continue;
+        leaf_addr[i] = cursor;
+        gmem.write<uint32_t>(cursor + BvhLeafLayout::kOffCount,
+                             node.primCount);
+        for (uint32_t p = 0; p < node.primCount; ++p) {
+            gmem.write<uint32_t>(cursor + BvhLeafLayout::kOffPrims + 4 * p,
+                                 primOrder_[node.primOffset + p]);
+        }
+        cursor += (4 + 4ull * node.primCount + 15) & ~15ull;
+    }
+
+    // Inner nodes, BFS order.
+    std::vector<int32_t> inner;
+    std::vector<uint32_t> slot(nodes_.size(), 0);
+    if (!nodes_[root_].isLeaf()) {
+        inner.push_back(root_);
+        slot[root_] = 0;
+        for (size_t head = 0; head < inner.size(); ++head) {
+            const BvhNode &node = nodes_[inner[head]];
+            for (int32_t c : {node.left, node.right}) {
+                if (!nodes_[c].isLeaf()) {
+                    slot[c] = static_cast<uint32_t>(inner.size());
+                    inner.push_back(c);
+                }
+            }
+        }
+    }
+    out.nodeBase = gmem.alloc(
+        std::max<uint64_t>(inner.size() * L::kNodeBytes, 64), 64);
+    out.nodeBytes = inner.size() * L::kNodeBytes;
+
+    auto ref_of = [&](int32_t idx) {
+        if (nodes_[idx].isLeaf())
+            return BvhRef::leaf(leaf_addr[idx]);
+        return BvhRef::inner(out.nodeBase +
+                             static_cast<uint64_t>(slot[idx]) *
+                                 L::kNodeBytes);
+    };
+
+    for (size_t s = 0; s < inner.size(); ++s) {
+        const BvhNode &node = nodes_[inner[s]];
+        uint64_t addr = out.nodeBase + s * L::kNodeBytes;
+        const geom::Aabb &bl = nodes_[node.left].box;
+        const geom::Aabb &br = nodes_[node.right].box;
+        for (int a = 0; a < 3; ++a) {
+            gmem.write<float>(addr + L::kOffLoL + 4 * a, bl.lo[a]);
+            gmem.write<float>(addr + L::kOffHiL + 4 * a, bl.hi[a]);
+            gmem.write<float>(addr + L::kOffLoR + 4 * a, br.lo[a]);
+            gmem.write<float>(addr + L::kOffHiR + 4 * a, br.hi[a]);
+        }
+        gmem.write<uint32_t>(addr + L::kOffLeft, ref_of(node.left).raw);
+        gmem.write<uint32_t>(addr + L::kOffRight, ref_of(node.right).raw);
+        gmem.write<uint32_t>(addr + L::kOffMeta, 0);
+    }
+
+    out.root = ref_of(root_);
+    return out;
+}
+
+geom::Vec3
+transformPoint(const float m[12], const geom::Vec3 &p)
+{
+    return {m[0] * p.x + m[1] * p.y + m[2] * p.z + m[3],
+            m[4] * p.x + m[5] * p.y + m[6] * p.z + m[7],
+            m[8] * p.x + m[9] * p.y + m[10] * p.z + m[11]};
+}
+
+geom::Vec3
+transformDir(const float m[12], const geom::Vec3 &d)
+{
+    return {m[0] * d.x + m[1] * d.y + m[2] * d.z,
+            m[4] * d.x + m[5] * d.y + m[6] * d.z,
+            m[8] * d.x + m[9] * d.y + m[10] * d.z};
+}
+
+} // namespace tta::trees

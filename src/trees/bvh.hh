@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Bounding Volume Hierarchy: host-side binned-SAH builder plus the 64-byte
+ * serialized node format the RTA/TTA/TTA+ traverse.
+ *
+ * Serialized inner nodes store *both children's* bounding boxes (the way
+ * hardware RTAs lay out BVH2 nodes so one node fetch feeds two Ray-Box
+ * tests). Child references pack a byte address with leaf/instance flags in
+ * the low bits (nodes are 64B aligned, so the bits are free).
+ *
+ * Leaf records list primitive ids; primitives themselves (triangles,
+ * spheres, points) live in separate arrays serialized by the workloads.
+ * Two-level scenes put instance records at TLAS leaves; the instance
+ * record carries the world-to-object transform consumed by the R-XFORM
+ * unit.
+ */
+
+#ifndef TTA_TREES_BVH_HH
+#define TTA_TREES_BVH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/aabb.hh"
+#include "geom/ray.hh"
+#include "mem/global_memory.hh"
+
+namespace tta::trees {
+
+/** Host-side BVH node (binary). */
+struct BvhNode
+{
+    geom::Aabb box;
+    int32_t left = -1;   //!< node index, -1 for leaf
+    int32_t right = -1;
+    uint32_t primOffset = 0; //!< into primOrder() for leaves
+    uint32_t primCount = 0;  //!< > 0 => leaf
+
+    bool isLeaf() const { return primCount > 0; }
+};
+
+/** Serialized child reference: byte address | flags. */
+struct BvhRef
+{
+    static constexpr uint32_t kLeafBit = 1u;
+    static constexpr uint32_t kInstanceBit = 2u;
+    static constexpr uint32_t kFlagMask = 3u;
+
+    uint32_t raw = 0;
+
+    static BvhRef none() { return {0}; }
+    static BvhRef inner(uint64_t addr)
+    {
+        return {static_cast<uint32_t>(addr)};
+    }
+    static BvhRef leaf(uint64_t addr)
+    {
+        return {static_cast<uint32_t>(addr) | kLeafBit};
+    }
+    static BvhRef instanceLeaf(uint64_t addr)
+    {
+        return {static_cast<uint32_t>(addr) | kLeafBit | kInstanceBit};
+    }
+
+    bool valid() const { return raw != 0; }
+    bool isLeaf() const { return raw & kLeafBit; }
+    bool isInstance() const { return raw & kInstanceBit; }
+    uint64_t addr() const { return raw & ~kFlagMask; }
+};
+
+/** Serialized node layout (64 bytes). */
+struct BvhNodeLayout
+{
+    static constexpr uint32_t kNodeBytes = 64;
+    static constexpr uint32_t kOffLoL = 0;   //!< f32[3]
+    static constexpr uint32_t kOffHiL = 12;  //!< f32[3]
+    static constexpr uint32_t kOffLoR = 24;  //!< f32[3]
+    static constexpr uint32_t kOffHiR = 36;  //!< f32[3]
+    static constexpr uint32_t kOffLeft = 48; //!< BvhRef
+    static constexpr uint32_t kOffRight = 52;
+    static constexpr uint32_t kOffMeta = 56;
+};
+
+/** Serialized leaf record: u32 count, then count u32 primitive ids. */
+struct BvhLeafLayout
+{
+    static constexpr uint32_t kOffCount = 0;
+    static constexpr uint32_t kOffPrims = 4;
+};
+
+/** Result of serializing a BVH into simulated memory. */
+struct SerializedBvh
+{
+    BvhRef root;          //!< reference pushed to start a traversal
+    uint64_t nodeBase = 0;
+    uint64_t nodeBytes = 0;
+    uint64_t leafBase = 0;
+    uint64_t leafBytes = 0;
+};
+
+class Bvh
+{
+  public:
+    /**
+     * Build over primitive bounding boxes with a binned-SAH splitter.
+     * @param prim_boxes one AABB per primitive.
+     * @param max_leaf   target primitives per leaf.
+     */
+    void build(const std::vector<geom::Aabb> &prim_boxes,
+               uint32_t max_leaf = 2);
+
+    const std::vector<BvhNode> &nodes() const { return nodes_; }
+    /** Primitive ids in leaf order; leaves reference ranges of this. */
+    const std::vector<uint32_t> &primOrder() const { return primOrder_; }
+    int32_t rootIndex() const { return root_; }
+    const geom::Aabb &worldBox() const { return nodes_[root_].box; }
+
+    /**
+     * Reference traversal: depth-first, near-child-first, invoking
+     * leaf_fn(primId) for every primitive whose leaf box the ray enters.
+     * leaf_fn may shrink ray.tmax to prune (closest-hit search).
+     */
+    void traverse(geom::Ray &ray,
+                  const std::function<void(uint32_t)> &leaf_fn) const;
+
+    /** Reference point query: leaf_fn for leaves containing the point. */
+    void pointQuery(const geom::Vec3 &point, float radius,
+                    const std::function<void(uint32_t)> &leaf_fn) const;
+
+    /** Serialize nodes + leaf records into simulated memory. */
+    SerializedBvh serialize(mem::GlobalMemory &gmem) const;
+
+  private:
+    int32_t buildRange(std::vector<uint32_t> &ids, uint32_t lo, uint32_t hi,
+                       const std::vector<geom::Aabb> &boxes,
+                       uint32_t max_leaf);
+
+    std::vector<BvhNode> nodes_;
+    std::vector<uint32_t> primOrder_;
+    int32_t root_ = -1;
+};
+
+/** Instance record for two-level scenes (64 bytes). */
+struct InstanceRecord
+{
+    static constexpr uint32_t kBytes = 64;
+    static constexpr uint32_t kOffTransform = 0; //!< f32[12] world->object
+    static constexpr uint32_t kOffBlasRoot = 48; //!< BvhRef of the BLAS
+
+    /** Row-major 3x4 affine transform. */
+    float worldToObject[12];
+    BvhRef blasRoot;
+};
+
+/** Apply a 3x4 row-major affine transform to a point / direction. */
+geom::Vec3 transformPoint(const float m[12], const geom::Vec3 &p);
+geom::Vec3 transformDir(const float m[12], const geom::Vec3 &d);
+
+} // namespace tta::trees
+
+#endif // TTA_TREES_BVH_HH

@@ -1,0 +1,234 @@
+#include "trees/octree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "geom/intersect.hh"
+#include "sim/logging.hh"
+
+namespace tta::trees {
+
+BarnesHutTree::BarnesHutTree(int dims, std::vector<BhBody> bodies,
+                             float theta, uint32_t max_leaf)
+    : dims_(dims), theta_(theta), bodies_(std::move(bodies))
+{
+    panic_if(dims_ != 2 && dims_ != 3, "BarnesHutTree dims must be 2 or 3");
+    panic_if(bodies_.empty(), "BarnesHutTree with no bodies");
+    panic_if(theta_ <= 0.0f, "theta must be positive");
+
+    // Root cell: cube/square covering all bodies.
+    geom::Vec3 lo = bodies_[0].pos;
+    geom::Vec3 hi = bodies_[0].pos;
+    for (const auto &b : bodies_) {
+        lo = geom::vmin(lo, b.pos);
+        hi = geom::vmax(hi, b.pos);
+    }
+    geom::Vec3 center = (lo + hi) * 0.5f;
+    geom::Vec3 ext = hi - lo;
+    float half = std::max({ext.x, ext.y, dims_ == 3 ? ext.z : 0.0f}) * 0.5f;
+    half = std::max(half, 1e-3f) * 1.0001f; // avoid zero-size cells
+    if (dims_ == 2)
+        center.z = 0.0f;
+
+    std::vector<uint32_t> ids(bodies_.size());
+    std::iota(ids.begin(), ids.end(), 0u);
+    root_ = buildRange(ids, 0, static_cast<uint32_t>(ids.size()), center,
+                       half, max_leaf, 0);
+
+    // Reorder bodies leaf-major so each leaf's run is contiguous.
+    std::vector<BhBody> ordered(bodies_.size());
+    uint32_t cursor = 0;
+    // buildRange already assigned bodyOffset in traversal order over ids;
+    // rebuild the ordering by walking leaves in node order.
+    for (auto &node : nodes_) {
+        if (!node.leaf)
+            continue;
+        uint32_t new_off = cursor;
+        for (uint32_t i = 0; i < node.bodyCount; ++i)
+            ordered[cursor++] = bodies_[node.children[i]];
+        node.children.clear();
+        node.bodyOffset = new_off;
+    }
+    panic_if(cursor != bodies_.size(), "leaf body accounting error");
+    bodies_ = std::move(ordered);
+}
+
+uint32_t
+BarnesHutTree::buildRange(std::vector<uint32_t> &ids, uint32_t lo,
+                          uint32_t hi, const geom::Vec3 &center,
+                          float half_extent, uint32_t max_leaf, int depth)
+{
+    uint32_t count = hi - lo;
+    // Aggregate mass / center of mass.
+    geom::Vec3 com(0.0f);
+    float mass = 0.0f;
+    for (uint32_t i = lo; i < hi; ++i) {
+        com += bodies_[ids[i]].pos * bodies_[ids[i]].mass;
+        mass += bodies_[ids[i]].mass;
+    }
+    if (mass > 0.0f)
+        com = com / mass;
+
+    Node node;
+    node.com = com;
+    node.mass = mass;
+    node.openRadius = 2.0f * half_extent / theta_;
+
+    constexpr int kMaxDepth = 48;
+    if (count <= max_leaf || depth >= kMaxDepth) {
+        node.leaf = true;
+        node.bodyCount = count;
+        // Temporarily stash the body ids in 'children'; the constructor
+        // converts them to a contiguous run after the build.
+        node.children.assign(ids.begin() + lo, ids.begin() + hi);
+        nodes_.push_back(std::move(node));
+        return static_cast<uint32_t>(nodes_.size() - 1);
+    }
+
+    uint32_t node_idx;
+    {
+        nodes_.push_back(std::move(node));
+        node_idx = static_cast<uint32_t>(nodes_.size() - 1);
+    }
+
+    // Partition into quadrants/octants around the cell center.
+    int n_quadrants = dims_ == 2 ? 4 : 8;
+    auto quadrant_of = [&](uint32_t id) {
+        const geom::Vec3 &p = bodies_[id].pos;
+        int q = (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0);
+        if (dims_ == 3)
+            q |= p.z >= center.z ? 4 : 0;
+        return q;
+    };
+    // Stable bucket the range by quadrant.
+    std::vector<uint32_t> scratch(ids.begin() + lo, ids.begin() + hi);
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return quadrant_of(a) < quadrant_of(b);
+                     });
+    std::copy(scratch.begin(), scratch.end(), ids.begin() + lo);
+
+    std::vector<uint32_t> children;
+    float child_half = half_extent * 0.5f;
+    uint32_t pos = lo;
+    for (int q = 0; q < n_quadrants; ++q) {
+        uint32_t qhi = pos;
+        while (qhi < hi && quadrant_of(ids[qhi]) == q)
+            ++qhi;
+        if (qhi == pos)
+            continue;
+        geom::Vec3 ccenter = center;
+        ccenter.x += (q & 1) ? child_half : -child_half;
+        ccenter.y += (q & 2) ? child_half : -child_half;
+        if (dims_ == 3)
+            ccenter.z += (q & 4) ? child_half : -child_half;
+        children.push_back(buildRange(ids, pos, qhi, ccenter, child_half,
+                                      max_leaf, depth + 1));
+        pos = qhi;
+    }
+    panic_if(pos != hi, "quadrant partition accounting error");
+    nodes_[node_idx].children = std::move(children);
+    return node_idx;
+}
+
+BhForceResult
+BarnesHutTree::referenceForce(const geom::Vec3 &pos, float softening) const
+{
+    BhForceResult result;
+    result.accel = geom::Vec3(0.0f);
+    std::vector<uint32_t> stack;
+    stack.push_back(root_);
+    float eps2 = softening * softening;
+    while (!stack.empty()) {
+        const Node &node = nodes_[stack.back()];
+        stack.pop_back();
+        ++result.nodesVisited;
+        if (node.leaf) {
+            for (uint32_t i = 0; i < node.bodyCount; ++i) {
+                const BhBody &b = bodies_[node.bodyOffset + i];
+                geom::Vec3 dr = b.pos - pos;
+                float d2 = geom::dot(dr, dr);
+                if (d2 == 0.0f)
+                    continue; // self-interaction
+                float inv = 1.0f / std::sqrt(d2 + eps2);
+                float inv3 = inv * inv * inv;
+                result.accel += dr * (b.mass * inv3);
+                ++result.directInteractions;
+            }
+            continue;
+        }
+        // Point-to-Point distance test (Algorithm 2): open the node when
+        // the query lies within its opening radius.
+        bool open = geom::pointWithinRadius(pos, node.com, node.openRadius);
+        if (!open) {
+            geom::Vec3 dr = node.com - pos;
+            float d2 = geom::dot(dr, dr);
+            float inv = 1.0f / std::sqrt(d2 + eps2);
+            float inv3 = inv * inv * inv;
+            result.accel += dr * (node.mass * inv3);
+            ++result.approximations;
+            continue;
+        }
+        for (uint32_t c : node.children)
+            stack.push_back(c);
+    }
+    return result;
+}
+
+uint64_t
+BarnesHutTree::serialize(mem::GlobalMemory &gmem)
+{
+    using L = BhNodeLayout;
+    // Bodies (already leaf-major).
+    bodyBase_ = gmem.alloc(bodies_.size() * BhBodyLayout::kBodyBytes, 64);
+    for (size_t i = 0; i < bodies_.size(); ++i) {
+        uint64_t addr = bodyBase_ + i * BhBodyLayout::kBodyBytes;
+        gmem.write<float>(addr + 0, bodies_[i].pos.x);
+        gmem.write<float>(addr + 4, bodies_[i].pos.y);
+        gmem.write<float>(addr + 8, bodies_[i].pos.z);
+        gmem.write<float>(addr + 12, bodies_[i].mass);
+    }
+
+    // Nodes: BFS order so siblings are contiguous.
+    std::vector<uint32_t> order;
+    std::vector<uint32_t> slot(nodes_.size(), 0);
+    order.push_back(root_);
+    for (size_t head = 0; head < order.size(); ++head) {
+        for (uint32_t c : nodes_[order[head]].children) {
+            slot[c] = static_cast<uint32_t>(order.size());
+            order.push_back(c);
+        }
+    }
+    uint64_t base = gmem.alloc(order.size() * L::kNodeBytes, 64);
+    for (size_t s = 0; s < order.size(); ++s) {
+        const Node &node = nodes_[order[s]];
+        uint64_t addr = base + s * L::kNodeBytes;
+        gmem.write<float>(addr + L::kOffCom + 0, node.com.x);
+        gmem.write<float>(addr + L::kOffCom + 4, node.com.y);
+        gmem.write<float>(addr + L::kOffCom + 8, node.com.z);
+        gmem.write<float>(addr + L::kOffMass, node.mass);
+        gmem.write<float>(addr + L::kOffOpenRadius, node.openRadius);
+        uint32_t flags = (node.leaf ? L::kLeafFlag : 0) |
+            (static_cast<uint32_t>(node.children.size()) << 8) |
+            (node.bodyCount << 16);
+        gmem.write<uint32_t>(addr + L::kOffFlags, flags);
+        uint32_t child_base = 0;
+        if (!node.children.empty()) {
+            child_base = static_cast<uint32_t>(
+                base + static_cast<uint64_t>(slot[node.children[0]]) *
+                           L::kNodeBytes);
+        }
+        gmem.write<uint32_t>(addr + L::kOffChildBase, child_base);
+        uint32_t body_base = 0;
+        if (node.leaf) {
+            body_base = static_cast<uint32_t>(
+                bodyBase_ + static_cast<uint64_t>(node.bodyOffset) *
+                                BhBodyLayout::kBodyBytes);
+        }
+        gmem.write<uint32_t>(addr + L::kOffBodyBase, body_base);
+    }
+    return base;
+}
+
+} // namespace tta::trees

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Barnes-Hut quadtree (2D) / octree (3D) for N-Body simulation.
+ *
+ * Inner nodes carry their center of mass, total mass and a precomputed
+ * *opening radius* (cell size / theta). The Barnes-Hut criterion
+ * "s/d < theta" is evaluated as the paper's Point-to-Point distance test
+ * (Algorithm 2): a node must be *opened* (descended) when the query lies
+ * within its opening radius, and may be approximated by its center of
+ * mass otherwise. Storing the radius per node makes the inner-node test
+ * exactly the TTA Point-to-Point operation.
+ *
+ * Children are compacted (only occupied quadrants/octants exist) and
+ * serialized contiguously, BFS order. Leaf nodes reference a contiguous
+ * run of body records.
+ */
+
+#ifndef TTA_TREES_OCTREE_HH
+#define TTA_TREES_OCTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec.hh"
+#include "mem/global_memory.hh"
+
+namespace tta::trees {
+
+/** Serialized tree-node layout (64 bytes). */
+struct BhNodeLayout
+{
+    static constexpr uint32_t kNodeBytes = 64;
+    static constexpr uint32_t kOffCom = 0;        //!< f32[3]
+    static constexpr uint32_t kOffMass = 12;      //!< f32
+    static constexpr uint32_t kOffOpenRadius = 16;//!< f32 (= s / theta)
+    static constexpr uint32_t kOffFlags = 20;     //!< u32
+    static constexpr uint32_t kOffChildBase = 24; //!< u32 byte addr
+    static constexpr uint32_t kOffBodyBase = 28;  //!< u32 byte addr (leaf)
+    static constexpr uint32_t kLeafFlag = 1u;
+    // flags bits 8..15: child count, bits 16..23: body count
+};
+
+/** Serialized body record (16 bytes): pos.xyz, mass. */
+struct BhBodyLayout
+{
+    static constexpr uint32_t kBodyBytes = 16;
+};
+
+struct BhBody
+{
+    geom::Vec3 pos;
+    float mass = 1.0f;
+};
+
+/** Result of a reference force traversal. */
+struct BhForceResult
+{
+    geom::Vec3 accel;
+    uint32_t nodesVisited = 0;
+    uint32_t approximations = 0; //!< inner nodes folded into one term
+    uint32_t directInteractions = 0;
+};
+
+class BarnesHutTree
+{
+  public:
+    /**
+     * @param dims    2 (quadtree, z ignored) or 3 (octree).
+     * @param bodies  the particle set.
+     * @param theta   Barnes-Hut opening parameter.
+     * @param max_leaf bodies per leaf.
+     */
+    BarnesHutTree(int dims, std::vector<BhBody> bodies, float theta,
+                  uint32_t max_leaf = 4);
+
+    size_t numBodies() const { return bodies_.size(); }
+    size_t numNodes() const { return nodes_.size(); }
+    int dims() const { return dims_; }
+    float theta() const { return theta_; }
+
+    /** Bodies in serialized (leaf-major) order. */
+    const std::vector<BhBody> &orderedBodies() const { return bodies_; }
+
+    /**
+     * Reference Barnes-Hut traversal computing the acceleration on a
+     * query position. Self-interaction is suppressed by a zero-distance
+     * check, matching the device kernels.
+     */
+    BhForceResult referenceForce(const geom::Vec3 &pos,
+                                 float softening = 0.05f) const;
+
+    /** Serialize nodes + bodies; returns the root node address. */
+    uint64_t serialize(mem::GlobalMemory &gmem);
+
+    /** Byte address of the serialized body array (after serialize()). */
+    uint64_t bodyBase() const { return bodyBase_; }
+
+    /** Read-only view of a node (for host-side traversal models). */
+    struct NodeView
+    {
+        geom::Vec3 com;
+        float mass;
+        float openRadius;
+        bool leaf;
+        const std::vector<uint32_t> &children;
+        uint32_t bodyOffset;
+        uint32_t bodyCount;
+    };
+
+    uint32_t rootIndex() const { return root_; }
+
+    NodeView
+    nodeView(uint32_t idx) const
+    {
+        const Node &n = nodes_[idx];
+        return {n.com, n.mass, n.openRadius, n.leaf,
+                n.children, n.bodyOffset, n.bodyCount};
+    }
+
+  private:
+    struct Node
+    {
+        geom::Vec3 com;
+        float mass = 0.0f;
+        float openRadius = 0.0f;
+        bool leaf = false;
+        std::vector<uint32_t> children; //!< node indices (compacted)
+        uint32_t bodyOffset = 0;        //!< into bodies_ for leaves
+        uint32_t bodyCount = 0;
+    };
+
+    uint32_t buildRange(std::vector<uint32_t> &ids, uint32_t lo,
+                        uint32_t hi, const geom::Vec3 &center,
+                        float half_extent, uint32_t max_leaf, int depth);
+
+    int dims_;
+    float theta_;
+    std::vector<BhBody> bodies_; //!< reordered leaf-major during build
+    std::vector<Node> nodes_;
+    uint32_t root_ = 0;
+    uint64_t bodyBase_ = 0;
+};
+
+} // namespace tta::trees
+
+#endif // TTA_TREES_OCTREE_HH

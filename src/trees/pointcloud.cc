@@ -1,0 +1,96 @@
+#include "trees/pointcloud.hh"
+
+#include <cmath>
+
+#include "geom/intersect.hh"
+
+namespace tta::trees {
+
+PointCloud
+PointCloud::generateLidarLike(size_t n, uint64_t seed)
+{
+    sim::Rng rng(seed);
+    PointCloud cloud;
+    cloud.points.reserve(n);
+
+    // 55% ground plane with mild undulation, scanned in range rings.
+    size_t n_ground = n * 55 / 100;
+    for (size_t i = 0; i < n_ground; ++i) {
+        float r = 2.0f + 78.0f * std::sqrt(rng.nextFloat());
+        float phi = rng.uniform(0.0f, 6.2831853f);
+        float x = r * std::cos(phi);
+        float y = r * std::sin(phi);
+        float z = 0.05f * std::sin(0.2f * x) + 0.02f * rng.gaussian();
+        cloud.points.push_back({x, y, z});
+    }
+
+    // 35% object clusters (cars / pedestrians): dense gaussian blobs.
+    size_t n_objects = n * 35 / 100;
+    size_t n_clusters = std::max<size_t>(8, n / 4096);
+    std::vector<geom::Vec3> centers;
+    std::vector<geom::Vec3> sizes;
+    for (size_t c = 0; c < n_clusters; ++c) {
+        float r = rng.uniform(5.0f, 60.0f);
+        float phi = rng.uniform(0.0f, 6.2831853f);
+        centers.push_back({r * std::cos(phi), r * std::sin(phi),
+                           rng.uniform(0.4f, 1.2f)});
+        sizes.push_back({rng.uniform(0.5f, 2.5f), rng.uniform(0.5f, 2.5f),
+                         rng.uniform(0.3f, 1.0f)});
+    }
+    for (size_t i = 0; i < n_objects; ++i) {
+        size_t c = rng.nextBounded(n_clusters);
+        cloud.points.push_back(
+            {centers[c].x + sizes[c].x * 0.5f * rng.gaussian(),
+             centers[c].y + sizes[c].y * 0.5f * rng.gaussian(),
+             centers[c].z + sizes[c].z * 0.5f * rng.gaussian()});
+    }
+
+    // Remainder: sparse background / vegetation noise.
+    while (cloud.points.size() < n) {
+        cloud.points.push_back({rng.uniform(-80.0f, 80.0f),
+                                rng.uniform(-80.0f, 80.0f),
+                                rng.uniform(0.0f, 6.0f)});
+    }
+    return cloud;
+}
+
+uint64_t
+PointCloud::serialize(mem::GlobalMemory &gmem) const
+{
+    uint64_t base =
+        gmem.alloc(points.size() * PointLayout::kPointBytes, 64);
+    for (size_t i = 0; i < points.size(); ++i) {
+        uint64_t addr = base + i * PointLayout::kPointBytes;
+        gmem.write<float>(addr + 0, points[i].x);
+        gmem.write<float>(addr + 4, points[i].y);
+        gmem.write<float>(addr + 8, points[i].z);
+        gmem.write<float>(addr + 12, 0.0f);
+    }
+    return base;
+}
+
+RadiusSearchIndex::RadiusSearchIndex(const PointCloud &cloud, float radius)
+    : cloud_(&cloud), radius_(radius)
+{
+    std::vector<geom::Aabb> boxes;
+    boxes.reserve(cloud.points.size());
+    geom::Vec3 r(radius, radius, radius);
+    for (const auto &p : cloud.points)
+        boxes.emplace_back(p - r, p + r);
+    bvh_.build(boxes, 4);
+}
+
+std::vector<uint32_t>
+RadiusSearchIndex::query(const geom::Vec3 &q) const
+{
+    std::vector<uint32_t> hits;
+    lastCandidates_ = 0;
+    bvh_.pointQuery(q, 0.0f, [&](uint32_t id) {
+        ++lastCandidates_;
+        if (geom::pointWithinRadius(q, cloud_->points[id], radius_))
+            hits.push_back(id);
+    });
+    return hits;
+}
+
+} // namespace tta::trees

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Programmer-visible data layouts (the DecodeR / DecodeI / DecodeL calls
+ * of Listing 1).
+ *
+ * A layout is an ordered list of field byte-sizes; the node decoder in the
+ * operation arbiter uses it to slice returned memory into operands, and
+ * the repurposed warp buffer stores ray/node entries with this layout.
+ * Ray and node entries are limited to 16 x 32-bit registers (64 bytes),
+ * matching Fig 7.
+ */
+
+#ifndef TTA_TTA_LAYOUT_HH
+#define TTA_TTA_LAYOUT_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tta::tta {
+
+class DataLayout
+{
+  public:
+    static constexpr uint32_t kMaxBytes = 64; //!< 16 x 32-bit registers
+
+    DataLayout() = default;
+
+    DataLayout(std::string name, std::initializer_list<uint32_t> sizes)
+        : DataLayout(std::move(name),
+                     std::vector<uint32_t>(sizes.begin(), sizes.end()))
+    {}
+
+    DataLayout(std::string name, std::vector<uint32_t> sizes)
+        : name_(std::move(name)), fieldSizes_(std::move(sizes))
+    {
+        uint32_t off = 0;
+        for (uint32_t s : fieldSizes_) {
+            fatal_if(s == 0 || s % 4 != 0,
+                     "layout '%s': field sizes must be non-zero multiples "
+                     "of 4 bytes", name_.c_str());
+            fieldOffsets_.push_back(off);
+            off += s;
+        }
+        fatal_if(off > kMaxBytes,
+                 "layout '%s' is %u bytes; the warp buffer entry holds at "
+                 "most %u", name_.c_str(), off, kMaxBytes);
+        totalBytes_ = off;
+    }
+
+    const std::string &name() const { return name_; }
+    uint32_t numFields() const
+    {
+        return static_cast<uint32_t>(fieldSizes_.size());
+    }
+    uint32_t fieldSize(uint32_t i) const { return fieldSizes_.at(i); }
+    uint32_t fieldOffset(uint32_t i) const { return fieldOffsets_.at(i); }
+    uint32_t totalBytes() const { return totalBytes_; }
+    /** 32-bit registers consumed in the warp buffer. */
+    uint32_t numRegisters() const { return (totalBytes_ + 3) / 4; }
+
+  private:
+    std::string name_;
+    std::vector<uint32_t> fieldSizes_;
+    std::vector<uint32_t> fieldOffsets_;
+    uint32_t totalBytes_ = 0;
+};
+
+/**
+ * Termination criteria (ConfigTerminate in Listing 1): which entry field
+ * is checked, and at which program point. The traversal state machine
+ * also always terminates on an empty traversal stack.
+ */
+struct TerminationConfig
+{
+    enum class Watch
+    {
+        StackEmptyOnly, //!< default While-While termination
+        RayField,       //!< check a ray-layout field (e.g. ray.tmin)
+        LeafField,      //!< check a leaf-node field
+    };
+
+    Watch watch = Watch::StackEmptyOnly;
+    uint32_t byteOffset = 0; //!< offset of the watched field
+    uint32_t programPc = 0;  //!< uop PC at which the check fires
+};
+
+} // namespace tta::tta
+
+#endif // TTA_TTA_LAYOUT_HH

@@ -1,0 +1,97 @@
+#include "tta/query_key_unit.hh"
+
+#include <cmath>
+
+namespace tta::tta {
+
+namespace {
+
+/**
+ * One key-triple through the modified min/max datapath.
+ *
+ * minmax = MIN(k1, MAX(x, k0)) clamps the query into [k0, k1]:
+ *   x <  k0          -> minmax == k0
+ *   k0 <= x <= k1    -> minmax == x
+ *   x >  k1          -> minmax == k1
+ * maxmin = MAX(k1, MIN(x, k2)) clamps into [k1, k2] symmetrically.
+ * Comparators on the two results recover the region of x among
+ * {k0, k1, k2}; the added equality comparators detect exact matches and
+ * emit the child offset within the triple (0, 1 or 2).
+ *
+ * @retval local_child 0..2 when x falls before k0/k1/k2; 3 when x is
+ *         greater than the whole triple (carry into the next triple).
+ */
+struct TripleResult
+{
+    bool match;
+    uint32_t matchOffset;
+    uint32_t localChild; //!< 0..3
+};
+
+TripleResult
+tripleCompare(float x, float k0, float k1, float k2)
+{
+    TripleResult r{false, 0, 3};
+
+    // The min/max sequences of Fig 9.
+    float minmax = std::fmin(k1, std::fmax(x, k0));
+    float maxmin = std::fmax(k1, std::fmin(x, k2));
+
+    // Equality comparators (Fig 9-3): exact key match.
+    if (x == k0) {
+        r.match = true;
+        r.matchOffset = 0;
+        return r;
+    }
+    if (x == k1) {
+        r.match = true;
+        r.matchOffset = 1;
+        return r;
+    }
+    if (x == k2) {
+        r.match = true;
+        r.matchOffset = 2;
+        return r;
+    }
+
+    // Region comparators (Fig 9-4): the child offset one-hot.
+    if (minmax == k0) {
+        r.localChild = 0; // x < k0
+    } else if (minmax == x) {
+        r.localChild = 1; // k0 < x < k1
+    } else if (maxmin == x) {
+        r.localChild = 2; // k1 < x < k2
+    } else {
+        r.localChild = 3; // x > k2: carry into the next triple
+    }
+    return r;
+}
+
+} // namespace
+
+QueryKeyOutput
+queryKeyUnit(float query, const float keys[9])
+{
+    QueryKeyOutput out;
+    // The three triples operate in parallel in hardware; the last stage
+    // selects the first triple whose region resolved.
+    for (int t = 0; t < 3; ++t) {
+        TripleResult r = tripleCompare(query, keys[3 * t + 0],
+                                       keys[3 * t + 1], keys[3 * t + 2]);
+        if (r.match) {
+            out.found = true;
+            out.matchIndex = 3 * t + r.matchOffset;
+            return out;
+        }
+        if (r.localChild < 3) {
+            out.childIndex = 3 * t + r.localChild;
+            return out;
+        }
+    }
+    // Greater than all nine keys: rightmost child (the tree serializer's
+    // +inf padding makes this unreachable for real nodes).
+    out.childIndex = 9;
+    return out;
+}
+
+} // namespace tta::tta

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Functional model of the TTA Query-Key comparison unit (Fig 8-1, Fig 9).
+ *
+ * The unit is the baseline Ray-Box min/max datapath with the plane
+ * distances replaced by node keys and the query value, plus six added
+ * equality comparators: three detect an exact key match, three produce
+ * the child offset as a one-hot-encoded value of {0,1,2} per triple.
+ * One invocation compares the query against nine keys and resolves up to
+ * nine children.
+ *
+ * Keys must be ascending (B-Tree nodes are sorted); unused slots are
+ * padded with +infinity by the tree serializer, which also guarantees a
+ * query greater than every real key resolves to the rightmost child.
+ */
+
+#ifndef TTA_TTA_QUERY_KEY_UNIT_HH
+#define TTA_TTA_QUERY_KEY_UNIT_HH
+
+#include <cstdint>
+
+namespace tta::tta {
+
+struct QueryKeyOutput
+{
+    bool found = false;       //!< query exactly matched a key
+    uint32_t matchIndex = 0;  //!< index of the matching key when found
+    uint32_t childIndex = 0;  //!< child to descend when not found
+};
+
+/**
+ * Execute the 9-wide Query-Key comparison.
+ * @param query the search key (the "ray" payload).
+ * @param keys  nine ascending key values (padded with +inf).
+ */
+QueryKeyOutput queryKeyUnit(float query, const float keys[9]);
+
+} // namespace tta::tta
+
+#endif // TTA_TTA_QUERY_KEY_UNIT_HH

@@ -1,0 +1,65 @@
+#include "ttaplus/engine.hh"
+
+#include "sim/logging.hh"
+
+namespace tta::ttaplus {
+
+TtaPlusEngine::TtaPlusEngine(const sim::Config &cfg,
+                             sim::StatRegistry &stats)
+    : cfg_(cfg)
+{
+    for (uint32_t u = 0; u < kNumOpUnits; ++u) {
+        OpUnit unit = static_cast<OpUnit>(u);
+        uint32_t copies = unit == OpUnit::Rcp ? cfg_.rcpUnitCopies
+                                              : cfg_.opUnitCopies;
+        copySlots_[u] = SlotCalendar(copies);
+        // Each unit instance owns a crosspoint input port (the 16x16
+        // switch serves one transfer per port per cycle).
+        portSlots_[u] = SlotCalendar(copies);
+        busy_[u] = &stats.counter(std::string("ttaplus.busy.") +
+                                  opUnitName(unit));
+    }
+    tests_ = &stats.counter("ttaplus.tests");
+    uops_ = &stats.counter("ttaplus.uops");
+    innerLatency_ = &stats.histogram("ttaplus.inner_latency", 16.0, 64);
+    leafLatency_ = &stats.histogram("ttaplus.leaf_latency", 16.0, 64);
+}
+
+sim::Cycle
+TtaPlusEngine::execute(sim::Cycle now, const Program &prog, bool is_leaf)
+{
+    // Amortized cleanup of stale calendar entries.
+    if (now > lastPrune_ + 4096) {
+        for (uint32_t u = 0; u < kNumOpUnits; ++u) {
+            copySlots_[u].prune(now);
+            portSlots_[u].prune(now);
+        }
+        lastPrune_ = now;
+    }
+
+    sim::Cycle t = now;
+    for (const Uop &uop : prog.uops()) {
+        uint32_t u = static_cast<uint32_t>(uop.unit);
+
+        // Interconnect transfer to the unit's input port (one transfer
+        // per destination port per cycle), then the hop latency.
+        sim::Cycle xfer = portSlots_[u].reserve(t);
+        t = xfer + cfg_.icntHopLatency;
+
+        // Issue slot at the (pipelined, II=1) unit.
+        sim::Cycle issue = copySlots_[u].reserve(t);
+        uint32_t lat = opUnitLatency(uop.unit);
+        t = issue + lat;
+        *busy_[u] += lat;
+        ++*uops_;
+    }
+    ++*tests_;
+    sim::Cycle latency = t - now;
+    if (is_leaf)
+        leafLatency_->sample(static_cast<double>(latency));
+    else
+        innerLatency_->sample(static_cast<double>(latency));
+    return t;
+}
+
+} // namespace tta::ttaplus

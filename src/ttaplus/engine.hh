@@ -1,0 +1,107 @@
+/**
+ * @file
+ * TTA+ timing engine.
+ *
+ * Computes the completion time of an intersection-test program executed on
+ * the modular OP units (Fig 10): uops execute serially, each paying an
+ * interconnect hop (one transfer per destination port per cycle) plus the
+ * unit latency (Table I), with structural queuing when concurrent tests
+ * contend for the same single-instance unit. This produces the ~10x
+ * Ray-Box latency growth of Fig 18 while throughput stays reasonable
+ * because the units are pipelined (initiation interval 1).
+ *
+ * Contention is modelled with work-conserving slot calendars: a uop takes
+ * the first free issue slot at (or after) its arrival, so a test delayed
+ * upstream does not block idle capacity for others (no convoy effect).
+ */
+
+#ifndef TTA_TTAPLUS_ENGINE_HH
+#define TTA_TTAPLUS_ENGINE_HH
+
+#include <array>
+#include <map>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+#include "ttaplus/program.hh"
+
+namespace tta::ttaplus {
+
+/**
+ * Per-resource issue-slot calendar: at most `capacity` issues per cycle.
+ * Reservations may backfill idle slots before later reservations.
+ */
+class SlotCalendar
+{
+  public:
+    explicit SlotCalendar(uint32_t capacity = 1)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {}
+
+    /** Reserve the first slot at or after `earliest`; returns the slot. */
+    sim::Cycle
+    reserve(sim::Cycle earliest)
+    {
+        sim::Cycle t = earliest;
+        auto it = used_.lower_bound(t);
+        while (it != used_.end() && it->first == t &&
+               it->second >= capacity_) {
+            ++t;
+            ++it;
+        }
+        ++used_[t];
+        return t;
+    }
+
+    /** Drop bookkeeping for slots before `now`. */
+    void
+    prune(sim::Cycle now)
+    {
+        used_.erase(used_.begin(), used_.lower_bound(now));
+    }
+
+    size_t pendingSlots() const { return used_.size(); }
+
+  private:
+    uint32_t capacity_;
+    std::map<sim::Cycle, uint32_t> used_;
+};
+
+class TtaPlusEngine
+{
+  public:
+    TtaPlusEngine(const sim::Config &cfg, sim::StatRegistry &stats);
+
+    /**
+     * Execute one intersection test.
+     * @param now     dispatch cycle.
+     * @param prog    the uop program (ConfigI / ConfigL result).
+     * @param is_leaf classifies the latency statistic (Fig 18 bottom).
+     * @return completion cycle.
+     */
+    sim::Cycle execute(sim::Cycle now, const Program &prog, bool is_leaf);
+
+    /** Cycles unit was computing (for Fig 18 utilization). */
+    uint64_t busyCycles(OpUnit unit) const
+    {
+        return busy_[static_cast<uint32_t>(unit)]->value();
+    }
+
+  private:
+    const sim::Config cfg_;
+
+    std::array<SlotCalendar, kNumOpUnits> copySlots_;
+    std::array<SlotCalendar, kNumOpUnits> portSlots_;
+    sim::Cycle lastPrune_ = 0;
+
+    std::array<sim::Counter *, kNumOpUnits> busy_{};
+    sim::Counter *tests_;
+    sim::Counter *uops_;
+    sim::Histogram *innerLatency_;
+    sim::Histogram *leafLatency_;
+};
+
+} // namespace tta::ttaplus
+
+#endif // TTA_TTAPLUS_ENGINE_HH

@@ -1,0 +1,211 @@
+#include "ttaplus/program.hh"
+
+#include "sim/logging.hh"
+
+namespace tta::ttaplus {
+
+uint32_t
+opUnitLatency(OpUnit unit)
+{
+    switch (unit) {
+      case OpUnit::Vec3AddSub: return 4;
+      case OpUnit::Multiplier: return 4;
+      case OpUnit::Rcp: return 4;
+      case OpUnit::Cross: return 5;
+      case OpUnit::Dot: return 5;
+      case OpUnit::Vec3Cmp: return 1;
+      case OpUnit::MinMax: return 1;
+      case OpUnit::MaxMin: return 1;
+      case OpUnit::Logical: return 1;
+      case OpUnit::Sqrt: return 11;
+      case OpUnit::RXform: return 4;
+      case OpUnit::Push: return 1;
+      case OpUnit::kCount: break;
+    }
+    panic("bad OpUnit");
+}
+
+const char *
+opUnitName(OpUnit unit)
+{
+    switch (unit) {
+      case OpUnit::Vec3AddSub: return "Vec3AddSub";
+      case OpUnit::Multiplier: return "Multiplier";
+      case OpUnit::Rcp: return "RCP";
+      case OpUnit::Cross: return "Cross";
+      case OpUnit::Dot: return "Dot";
+      case OpUnit::Vec3Cmp: return "Vec3CMP";
+      case OpUnit::MinMax: return "MINMAX";
+      case OpUnit::MaxMin: return "MAXMIN";
+      case OpUnit::Logical: return "Logical";
+      case OpUnit::Sqrt: return "SQRT";
+      case OpUnit::RXform: return "R-XFORM";
+      case OpUnit::Push: return "PUSH";
+      case OpUnit::kCount: break;
+    }
+    return "?";
+}
+
+Program::Program(std::string name, std::vector<Uop> uops)
+    : name_(std::move(name)), uops_(std::move(uops))
+{
+    fatal_if(uops_.empty(), "TTA+ program '%s' has no uops", name_.c_str());
+}
+
+std::array<uint32_t, kNumOpUnits>
+Program::unitCounts() const
+{
+    std::array<uint32_t, kNumOpUnits> counts{};
+    for (const Uop &uop : uops_)
+        ++counts[static_cast<uint32_t>(uop.unit)];
+    return counts;
+}
+
+uint32_t
+Program::serialLatency() const
+{
+    uint32_t total = 0;
+    for (const Uop &uop : uops_)
+        total += opUnitLatency(uop.unit);
+    return total;
+}
+
+namespace programs {
+
+namespace {
+
+std::vector<Uop>
+seq(std::initializer_list<OpUnit> units)
+{
+    std::vector<Uop> uops;
+    for (OpUnit u : units)
+        uops.push_back({u});
+    return uops;
+}
+
+} // namespace
+
+Program
+queryKeyInner()
+{
+    // 12 uops: three min/max + max/min pairs walk the 9 keys, three
+    // Vec3 CMPs produce per-triple relations, three ORs reduce them into
+    // the found flag and the one-hot child selector (Fig 9).
+    return Program("querykey.inner",
+                   seq({OpUnit::MinMax, OpUnit::MaxMin, OpUnit::MinMax,
+                        OpUnit::MaxMin, OpUnit::MinMax, OpUnit::MaxMin,
+                        OpUnit::Vec3Cmp, OpUnit::Vec3Cmp, OpUnit::Vec3Cmp,
+                        OpUnit::Logical, OpUnit::Logical,
+                        OpUnit::Logical}));
+}
+
+Program
+queryKeyLeaf()
+{
+    // 3 uops: equality over three key triples.
+    return Program("querykey.leaf", seq({OpUnit::Vec3Cmp, OpUnit::Vec3Cmp,
+                                         OpUnit::Vec3Cmp}));
+}
+
+Program
+pointDistInner()
+{
+    // dis = b - a; dis2 = dot(dis, dis); dis2 < threshold2 (Algorithm 2;
+    // threshold is stored pre-squared in the node).
+    return Program("pointdist.inner",
+                   seq({OpUnit::Vec3AddSub, OpUnit::Dot, OpUnit::Vec3Cmp}));
+}
+
+Program
+nbodyForceLeaf()
+{
+    // inv = 1/sqrt(d2 + eps2) via SQRT + scalar multiplies; the final
+    // three-component scale folds into one R-XFORM invocation (the
+    // "combining three multiplications into a single R-XFORM operation"
+    // optimization of Section IV-A).
+    return Program("nbody.force.leaf",
+                   seq({OpUnit::Multiplier, OpUnit::Sqrt,
+                        OpUnit::Multiplier, OpUnit::Multiplier,
+                        OpUnit::RXform}));
+}
+
+Program
+rayBoxInner()
+{
+    // Slab test: per-axis (lo - o) * (1/d) for both planes, then the
+    // min/max reduction and the final comparison (Fig 5 left).
+    return Program(
+        "raybox.inner",
+        seq({OpUnit::Vec3AddSub, OpUnit::Vec3AddSub,          // lo-o, hi-o
+             OpUnit::Rcp, OpUnit::Rcp, OpUnit::Rcp,           // 1/d xyz
+             OpUnit::Multiplier, OpUnit::Multiplier,
+             OpUnit::Multiplier, OpUnit::Multiplier,
+             OpUnit::Multiplier, OpUnit::Multiplier,          // 6 plane t's
+             OpUnit::MinMax, OpUnit::MaxMin, OpUnit::MinMax,
+             OpUnit::MaxMin, OpUnit::MinMax, OpUnit::MaxMin,  // reduce
+             OpUnit::Vec3Cmp, OpUnit::Logical}));             // hit?
+}
+
+Program
+rtnnPointDistLeaf()
+{
+    return Program("rtnn.pointdist.leaf",
+                   seq({OpUnit::Vec3AddSub, OpUnit::Multiplier, OpUnit::Dot,
+                        OpUnit::Vec3Cmp, OpUnit::Logical}));
+}
+
+Program
+raySphereLeaf()
+{
+    // oc = o - c; a = dot(d,d); b = dot(oc,d); c = dot(oc,oc) - r^2;
+    // disc = b^2 - a*c; sqrt(disc); t = (-b - sqrt)/a; range checks.
+    return Program(
+        "raysphere.leaf",
+        seq({OpUnit::Vec3AddSub, OpUnit::Vec3AddSub, OpUnit::Vec3AddSub,
+             OpUnit::Vec3AddSub, OpUnit::Vec3AddSub,
+             OpUnit::Dot, OpUnit::Dot, OpUnit::Dot,
+             OpUnit::Multiplier, OpUnit::Multiplier, OpUnit::Multiplier,
+             OpUnit::Multiplier, OpUnit::Multiplier,
+             OpUnit::Sqrt, OpUnit::Rcp,
+             OpUnit::Vec3Cmp, OpUnit::Vec3Cmp, OpUnit::Logical}));
+}
+
+Program
+rayTriangleLeaf()
+{
+    // Moller-Trumbore (Fig 5 right).
+    return Program(
+        "raytri.leaf",
+        seq({OpUnit::Vec3AddSub, OpUnit::Vec3AddSub, OpUnit::Vec3AddSub,
+             OpUnit::Cross, OpUnit::Cross,
+             OpUnit::Dot, OpUnit::Dot, OpUnit::Dot, OpUnit::Dot,
+             OpUnit::Rcp,
+             OpUnit::Multiplier, OpUnit::Multiplier, OpUnit::Multiplier,
+             OpUnit::Vec3Cmp, OpUnit::Vec3Cmp,
+             OpUnit::Logical, OpUnit::Logical}));
+}
+
+Program
+rayTransform()
+{
+    return Program("ray.xform", seq({OpUnit::RXform}));
+}
+
+Program
+rectOverlap()
+{
+    // Seven children x four interval comparisons = 28 compares packed
+    // three-wide into the Vec3 CMP units, then per-child AND reduction
+    // packed through the logical units.
+    return Program(
+        "rtree.overlap",
+        seq({OpUnit::Vec3Cmp, OpUnit::Vec3Cmp, OpUnit::Vec3Cmp,
+             OpUnit::Vec3Cmp, OpUnit::Vec3Cmp, OpUnit::Vec3Cmp,
+             OpUnit::Vec3Cmp, OpUnit::Vec3Cmp, OpUnit::Vec3Cmp,
+             OpUnit::Vec3Cmp, OpUnit::Logical, OpUnit::Logical,
+             OpUnit::Logical, OpUnit::Logical}));
+}
+
+} // namespace programs
+
+} // namespace tta::ttaplus

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TTA+ intersection-test programs.
+ *
+ * A Program is the uop sequence configured into the OP Dest Tables by
+ * ConfigI / ConfigL before a kernel launch. This file provides the
+ * canonical programs for every Table III row, constructed so that the uop
+ * counts per unit type match the paper's breakdown exactly; the
+ * bench_tab01_03_04_hw bench derives Table III from these programs.
+ */
+
+#ifndef TTA_TTAPLUS_PROGRAM_HH
+#define TTA_TTAPLUS_PROGRAM_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ttaplus/uop.hh"
+
+namespace tta::ttaplus {
+
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, std::vector<Uop> uops);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Uop> &uops() const { return uops_; }
+    size_t size() const { return uops_.size(); }
+    bool empty() const { return uops_.empty(); }
+
+    /** uop count per unit type (a Table III row). */
+    std::array<uint32_t, kNumOpUnits> unitCounts() const;
+
+    /** Sum of unit latencies: the no-contention lower bound, excluding
+     *  interconnect hops. */
+    uint32_t serialLatency() const;
+
+  private:
+    std::string name_;
+    std::vector<Uop> uops_;
+};
+
+/** Canonical programs (Table III rows). */
+namespace programs {
+
+/** B-Tree inner: Query-Key over 9 keys.
+ *  12 uops: 6 MIN/MAX, 3 Vec3 CMP, 3 Vec3 OR(Logical). */
+Program queryKeyInner();
+/** B-Tree leaf: Query-Key equality. 3 uops: 3 Vec3 CMP. */
+Program queryKeyLeaf();
+
+/** N-Body inner: Point-to-Point distance.
+ *  3 uops: Vec3 SUB, DOT, Vec3 CMP. */
+Program pointDistInner();
+/** N-Body leaf: force computation. 5 uops: 3 MUL, SQRT, R-XFORM. */
+Program nbodyForceLeaf();
+
+/** Ray-Box (RTNN / WKND_PT / LumiBench inner).
+ *  19 uops: 2 Vec3 SUB, 6 MUL, 3 RCP, 6 MIN/MAX, 1 Vec3 CMP, 1 OR. */
+Program rayBoxInner();
+/** RTNN leaf: Point-to-Point distance.
+ *  5 uops: Vec3 SUB, MUL, DOT, Vec3 CMP, OR. */
+Program rtnnPointDistLeaf();
+/** WKND_PT leaf: Ray-Sphere.
+ *  18 uops: 5 Vec3 SUB, 5 MUL, 1 SQRT, 1 RCP, 3 DOT, 2 CMP, 1 OR. */
+Program raySphereLeaf();
+/** LumiBench leaf: Ray-Triangle (Moller-Trumbore).
+ *  17 uops: 3 Vec3 SUB, 3 MUL, 1 RCP, 2 CROSS, 4 DOT, 2 CMP, 2 OR. */
+Program rayTriangleLeaf();
+
+/** Two-level BVH transition: single R-XFORM uop. */
+Program rayTransform();
+
+/** Extension (not in Table III): 7-wide R-Tree rectangle-overlap test —
+ *  28 interval comparisons through the Vec3 CMP units plus the AND
+ *  reduction. 14 uops. */
+Program rectOverlap();
+
+} // namespace programs
+
+} // namespace tta::ttaplus
+
+#endif // TTA_TTAPLUS_PROGRAM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * TTA+ operation units and micro-ops (Table I).
+ *
+ * TTA+ decomposes the fixed-function intersection pipelines into
+ * individual OP units joined by a 16x16 crosspoint interconnect. An
+ * intersection test is a *program*: a sequence of uops, each executed by
+ * one OP unit, with operands and intermediate values carried over the
+ * interconnect (120B wide: 64B node + 32B ray + 24B intermediates).
+ */
+
+#ifndef TTA_TTAPLUS_UOP_HH
+#define TTA_TTAPLUS_UOP_HH
+
+#include <cstdint>
+
+namespace tta::ttaplus {
+
+/** OP unit types (Table I). */
+enum class OpUnit : uint8_t
+{
+    Vec3AddSub, //!< pipelined FP32 Vec3 +/- Vec3, 4 cycles
+    Multiplier, //!< pipelined FP32 scalar multiply, 4 cycles
+    Rcp,        //!< FP32 1/x, 4 cycles
+    Cross,      //!< Vec3 cross product, 5 cycles
+    Dot,        //!< Vec3 dot product, 5 cycles
+    Vec3Cmp,    //!< (a <= b) per component, 1 cycle
+    MinMax,     //!< MIN(a, MAX(b, c)), 1 cycle
+    MaxMin,     //!< MAX(a, MIN(b, c)), 1 cycle
+    Logical,    //!< AND/OR/XOR/NOT, 1 cycle
+    Sqrt,       //!< square root, 11 cycles
+    RXform,     //!< ray transform matrix multiply, 4 cycles
+    Push,       //!< push child addresses to the traversal stack
+    kCount,
+};
+
+inline constexpr uint32_t kNumOpUnits =
+    static_cast<uint32_t>(OpUnit::kCount);
+
+/** Execution latency in cycles (Table I). */
+uint32_t opUnitLatency(OpUnit unit);
+
+const char *opUnitName(OpUnit unit);
+
+/** One micro-op: the unit it visits. Operand routing is captured by the
+ *  layouts (Fig 11) and resolved functionally by the traversal spec; the
+ *  timing model needs only the unit sequence. */
+struct Uop
+{
+    OpUnit unit;
+};
+
+} // namespace tta::ttaplus
+
+#endif // TTA_TTAPLUS_UOP_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-run measurement snapshot shared by all benches: the quantities the
+ * paper's figures plot (cycles, SIMT efficiency, DRAM utilization,
+ * dynamic instruction breakdown, energy).
+ */
+
+#ifndef TTA_WORKLOADS_METRICS_HH
+#define TTA_WORKLOADS_METRICS_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "power/energy.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace tta::workloads {
+
+struct RunMetrics
+{
+    sim::Cycle cycles = 0;
+
+    /** Active lanes / (issued insts x warp size) on the SIMT cores. */
+    double simtEfficiency = 0.0;
+    double dramUtilization = 0.0;
+
+    // Dynamic warp-level instruction counts (Fig 20 categories).
+    uint64_t instsAlu = 0;
+    uint64_t instsSfu = 0;
+    uint64_t instsMem = 0;
+    uint64_t instsCtrl = 0;
+    uint64_t instsAccel = 0;
+    uint64_t totalInsts() const
+    {
+        return instsAlu + instsSfu + instsMem + instsCtrl + instsAccel;
+    }
+
+    uint64_t flops = 0;
+    uint64_t dramBytes = 0;
+    uint64_t nodesVisited = 0;
+
+    power::EnergyBreakdown energy;
+
+    /** Arithmetic intensity for the Fig 6 roofline (FLOP / DRAM byte). */
+    double
+    arithmeticIntensity() const
+    {
+        return dramBytes ? static_cast<double>(flops) / dramBytes : 0.0;
+    }
+};
+
+/** Snapshot metrics from a finished run's statistics registry. */
+inline RunMetrics
+collectMetrics(const sim::StatRegistry &stats, sim::Cycle cycles,
+               double dram_utilization)
+{
+    RunMetrics m;
+    m.cycles = cycles;
+    uint64_t issued = stats.counterValue("core.issued");
+    uint64_t active = stats.counterValue("core.active_lane_sum");
+    m.simtEfficiency =
+        issued ? static_cast<double>(active) / (issued * 32.0) : 0.0;
+    m.dramUtilization = dram_utilization;
+    m.instsAlu = stats.counterValue("core.insts_alu");
+    m.instsSfu = stats.counterValue("core.insts_sfu");
+    m.instsMem = stats.counterValue("core.insts_mem");
+    m.instsCtrl = stats.counterValue("core.insts_ctrl");
+    m.instsAccel = stats.counterValue("core.insts_accel");
+    m.flops = stats.counterValue("core.flops");
+    m.dramBytes = stats.counterValue("dram.bytes_read") +
+                  stats.counterValue("dram.bytes_written");
+    m.nodesVisited = stats.counterValue("rta.nodes_visited");
+    m.energy = power::EnergyModel::compute(stats);
+    return m;
+}
+
+} // namespace tta::workloads
+
+#endif // TTA_WORKLOADS_METRICS_HH

@@ -1,0 +1,560 @@
+#include "workloads/nbody_workload.hh"
+
+#include <cmath>
+
+#include "geom/intersect.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace tta::workloads {
+
+using trees::BhBodyLayout;
+using trees::BhNodeLayout;
+
+namespace {
+
+constexpr uint32_t kStackBytesPerThread = 1024; //!< 256 entries
+constexpr float kDt = 0.01f;
+
+uint32_t
+floatBits(float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+/** Cover [base, base+bytes) with line addresses. */
+void
+coverLines(uint64_t base, uint64_t bytes, std::vector<uint64_t> &lines)
+{
+    constexpr uint64_t kLine = 128;
+    uint64_t first = base & ~(kLine - 1);
+    uint64_t last = (base + bytes - 1) & ~(kLine - 1);
+    for (uint64_t line = first; line <= last; line += kLine)
+        lines.push_back(line);
+}
+
+} // namespace
+
+NBodySpec::NBodySpec(mem::GlobalMemory &gmem, uint64_t root,
+                     uint64_t body_base, uint64_t result_base)
+    : gmem_(&gmem), root_(root), bodyBase_(body_base),
+      resultBase_(result_base),
+      innerProg_(ttaplus::programs::pointDistInner()),
+      leafProg_(ttaplus::programs::nbodyForceLeaf())
+{
+}
+
+void
+NBodySpec::initRay(rta::RayState &ray, uint32_t lane_operand)
+{
+    ray.queryId = lane_operand;
+    uint64_t addr = bodyBase_ +
+        static_cast<uint64_t>(lane_operand) * BhBodyLayout::kBodyBytes;
+    ray.point = {gmem_->read<float>(addr + 0), gmem_->read<float>(addr + 4),
+                 gmem_->read<float>(addr + 8)};
+    ray.accum = geom::Vec3(0.0f);
+    ray.stack.push_back(root_);
+}
+
+void
+NBodySpec::fetchLines(const rta::RayState & /*ray*/, rta::NodeRef ref,
+                      std::vector<uint64_t> &lines) const
+{
+    lines.push_back(ref & ~127ull);
+    uint32_t flags = gmem_->read<uint32_t>(ref + BhNodeLayout::kOffFlags);
+    if (flags & BhNodeLayout::kLeafFlag) {
+        uint32_t count = (flags >> 16) & 0xff;
+        uint32_t body_base =
+            gmem_->read<uint32_t>(ref + BhNodeLayout::kOffBodyBase);
+        if (count > 0)
+            coverLines(body_base,
+                       static_cast<uint64_t>(count) *
+                           BhBodyLayout::kBodyBytes,
+                       lines);
+    }
+}
+
+rta::NodeOutcome
+NBodySpec::processNode(rta::RayState &ray, rta::NodeRef ref)
+{
+    using L = BhNodeLayout;
+    uint32_t flags = gmem_->read<uint32_t>(ref + L::kOffFlags);
+    bool leaf = flags & L::kLeafFlag;
+    float eps2 = kSoftening * kSoftening;
+
+    rta::NodeOutcome out;
+    auto accumulate = [&](const geom::Vec3 &target, float mass) {
+        geom::Vec3 dr = target - ray.point;
+        float d2 = geom::dot(dr, dr);
+        if (d2 == 0.0f)
+            return false; // self-interaction
+        float inv = 1.0f / std::sqrt(d2 + eps2);
+        float inv3 = inv * inv * inv;
+        ray.accum += dr * (mass * inv3);
+        return true;
+    };
+
+    if (leaf) {
+        uint32_t count = (flags >> 16) & 0xff;
+        uint32_t body_base = gmem_->read<uint32_t>(ref + L::kOffBodyBase);
+        for (uint32_t i = 0; i < count; ++i) {
+            uint64_t addr = body_base +
+                static_cast<uint64_t>(i) * BhBodyLayout::kBodyBytes;
+            geom::Vec3 pos = {gmem_->read<float>(addr + 0),
+                              gmem_->read<float>(addr + 4),
+                              gmem_->read<float>(addr + 8)};
+            accumulate(pos, gmem_->read<float>(addr + 12));
+        }
+        out.op = rta::OpKind::ForceLeaf;
+        out.isLeaf = true;
+        out.opCount = std::max(1u, count);
+        return out;
+    }
+
+    geom::Vec3 com = {gmem_->read<float>(ref + L::kOffCom + 0),
+                      gmem_->read<float>(ref + L::kOffCom + 4),
+                      gmem_->read<float>(ref + L::kOffCom + 8)};
+    float mass = gmem_->read<float>(ref + L::kOffMass);
+    float open_r = gmem_->read<float>(ref + L::kOffOpenRadius);
+    uint32_t child_base = gmem_->read<uint32_t>(ref + L::kOffChildBase);
+    uint32_t child_count = (flags >> 8) & 0xff;
+
+    out.op = rta::OpKind::PointDist;
+    out.isLeaf = false;
+    if (geom::pointWithinRadius(ray.point, com, open_r)) {
+        for (uint32_t c = 0; c < child_count; ++c) {
+            ray.stack.push_back(child_base +
+                                static_cast<uint64_t>(c) * L::kNodeBytes);
+        }
+    } else {
+        accumulate(com, mass);
+        out.auxForceOps = 1; // the approximation's force term needs SQRT
+    }
+    return out;
+}
+
+void
+NBodySpec::finishRay(rta::RayState &ray)
+{
+    uint64_t addr = resultBase_ + 12ull * ray.queryId;
+    gmem_->write<float>(addr + 0, ray.accum.x);
+    gmem_->write<float>(addr + 4, ray.accum.y);
+    gmem_->write<float>(addr + 8, ray.accum.z);
+}
+
+NBodyWorkload::NBodyWorkload(int dims, size_t n_bodies, uint64_t seed,
+                             float theta)
+    : dims_(dims)
+{
+    sim::Rng rng(seed);
+    std::vector<trees::BhBody> bodies;
+    bodies.reserve(n_bodies);
+    // Two dense clusters plus a diffuse halo: a galaxy-merger-like
+    // distribution that exercises both deep and shallow traversals.
+    for (size_t i = 0; i < n_bodies; ++i) {
+        trees::BhBody b;
+        float pick = rng.nextFloat();
+        geom::Vec3 center = pick < 0.4f ? geom::Vec3(-4.0f, 0.0f, 0.0f)
+                            : pick < 0.8f ? geom::Vec3(4.0f, 2.0f, 1.0f)
+                                          : geom::Vec3(0.0f);
+        float spread = pick < 0.8f ? 1.2f : 8.0f;
+        b.pos = {center.x + spread * rng.gaussian(),
+                 center.y + spread * rng.gaussian(),
+                 dims_ == 3 ? center.z + spread * rng.gaussian() : 0.0f};
+        b.mass = rng.uniform(0.5f, 2.0f);
+        bodies.push_back(b);
+    }
+    // Classic Barnes-Hut: one body per leaf, so the TTA+ leaf program
+    // (Table III) executes exactly once per leaf visit.
+    tree_ = std::make_unique<trees::BarnesHutTree>(dims_, std::move(bodies),
+                                                   theta, 1);
+    expected_.resize(tree_->numBodies());
+    for (size_t i = 0; i < tree_->numBodies(); ++i) {
+        expected_[i] = tree_
+                           ->referenceForce(tree_->orderedBodies()[i].pos,
+                                            NBodySpec::kSoftening)
+                           .accel;
+    }
+    computeWarpUnionReference();
+}
+
+void
+NBodyWorkload::computeWarpUnionReference()
+{
+    // Host model of the warp-synchronous union traversal the baseline
+    // kernel executes: a cell is opened when *any* lane of the warp lies
+    // within its opening radius; otherwise every lane approximates it.
+    // Accumulation order matches the kernel exactly (LIFO stack, children
+    // pushed in serialization order) so results are bit-comparable.
+    const auto &bodies = tree_->orderedBodies();
+    size_t n = bodies.size();
+    expectedWarp_.assign(n, geom::Vec3(0.0f));
+    float eps2 = NBodySpec::kSoftening * NBodySpec::kSoftening;
+    for (size_t w0 = 0; w0 < n; w0 += 32) {
+        size_t w1 = std::min(n, w0 + 32);
+        std::vector<uint32_t> stack;
+        stack.push_back(tree_->rootIndex());
+        while (!stack.empty()) {
+            panic_if(stack.size() > 255,
+                     "traversal stack exceeds the per-thread device stack");
+            uint32_t idx = stack.back();
+            stack.pop_back();
+            const auto node = tree_->nodeView(idx);
+            if (node.leaf) {
+                for (size_t q = w0; q < w1; ++q) {
+                    for (uint32_t i = 0; i < node.bodyCount; ++i) {
+                        const trees::BhBody &b =
+                            bodies[node.bodyOffset + i];
+                        geom::Vec3 dr = b.pos - bodies[q].pos;
+                        float d2 = geom::dot(dr, dr);
+                        if (d2 == 0.0f)
+                            continue;
+                        float inv = 1.0f / std::sqrt(d2 + eps2);
+                        float inv3 = inv * inv * inv;
+                        expectedWarp_[q] += dr * (b.mass * inv3);
+                    }
+                }
+                continue;
+            }
+            bool open = false;
+            for (size_t q = w0; q < w1 && !open; ++q) {
+                open = geom::pointWithinRadius(bodies[q].pos, node.com,
+                                               node.openRadius);
+            }
+            if (open) {
+                for (uint32_t c : node.children)
+                    stack.push_back(c);
+            } else {
+                for (size_t q = w0; q < w1; ++q) {
+                    geom::Vec3 dr = node.com - bodies[q].pos;
+                    float d2 = geom::dot(dr, dr);
+                    float inv = 1.0f / std::sqrt(d2 + eps2);
+                    float inv3 = inv * inv * inv;
+                    expectedWarp_[q] += dr * (node.mass * inv3);
+                }
+            }
+        }
+    }
+}
+
+void
+NBodyWorkload::setup(mem::GlobalMemory &gmem)
+{
+    rootAddr_ = tree_->serialize(gmem);
+    size_t n = tree_->numBodies();
+    resultBase_ = gmem.alloc(n * 12, 128);
+    // One stack per warp: the baseline kernel traverses warp-
+    // synchronously, so all lanes share identical stack contents.
+    stackBase_ = gmem.alloc(((n + 31) / 32) * kStackBytesPerThread, 128);
+    velBase_ = gmem.alloc(n * 12, 128);
+    posOutBase_ = gmem.alloc(n * 16, 128);
+    for (size_t i = 0; i < n; ++i) {
+        for (int c = 0; c < 3; ++c) {
+            gmem.write<float>(resultBase_ + 12 * i + 4 * c, 0.0f);
+            gmem.write<float>(velBase_ + 12 * i + 4 * c, 0.0f);
+        }
+    }
+}
+
+gpu::KernelProgram
+NBodyWorkload::buildBaselineKernel()
+{
+    using namespace ::tta::gpu;
+    KernelBuilder b("nbody_force_baseline");
+    // Params: 0 root, 1 bodyBase, 2 resultBase, 3 stackBase, 4 eps2 bits.
+    b.tid(1);
+    b.param(23, 1);
+    b.ishli(22, 1, 4);
+    b.iadd(23, 23, 22);
+    b.loadVec3(4, 23, 0); // p = body[tid].pos
+    b.movif(7, 0.0f);
+    b.movif(8, 0.0f);
+    b.movif(9, 0.0f);     // acc = 0
+    b.param(2, 3);
+    b.ishri(24, 1, 5);
+    b.ishli(24, 24, 10);
+    b.iadd(2, 2, 24);     // per-warp stack base (warp-synchronous stack)
+    b.param(25, 0);
+    b.store(2, 25, 0);    // push root
+    b.movi(3, 1);         // sp = 1
+
+    b.doWhile([&]() -> Reg {
+        b.iaddi(3, 3, -1);
+        b.ishli(26, 3, 2);
+        b.iadd(26, 2, 26);
+        b.load(10, 26, 0); // node = stack[--sp]
+        b.load(11, 10, BhNodeLayout::kOffFlags);
+        b.movi(27, 1);
+        b.iand(12, 11, 27); // leaf?
+
+        auto accumulate = [&]() {
+            // dr in r28-30, d2 in r17; acc += dr * (mass * inv3).
+            b.param(22, 4);
+            b.fadd(18, 17, 22); // d2 + eps2
+            b.fsqrt(18, 18);
+            b.frcp(25, 18);     // inv
+            b.fmul(23, 25, 25);
+            b.fmul(25, 23, 25); // inv3
+            b.fmul(25, 24, 25); // mass * inv3
+            b.vscale(28, 28, 25);
+            b.vadd(7, 7, 28);
+        };
+
+        b.ifThenElse(
+            12,
+            [&]() { // leaf: direct interactions
+                b.load(13, 10, BhNodeLayout::kOffBodyBase);
+                b.ishri(20, 11, 16);
+                b.movi(22, 255);
+                b.iand(20, 20, 22); // body count (>= 1)
+                b.movi(21, 0);
+                b.doWhile([&]() -> Reg {
+                    b.ishli(26, 21, 4);
+                    b.iadd(26, 13, 26);
+                    b.loadVec3(14, 26, 0);
+                    b.load(24, 26, 12); // mass
+                    b.vsub(28, 14, 4);
+                    b.vdot(17, 28, 28, 18);
+                    b.movif(22, 0.0f);
+                    b.setltf(19, 22, 17); // d2 > 0 (skip self)
+                    b.ifThen(19, accumulate);
+                    b.iaddi(21, 21, 1);
+                    b.setlti(31, 21, 20);
+                    return 31;
+                });
+            },
+            [&]() { // inner: Algorithm 2 against the opening radius
+                b.loadVec3(14, 10, BhNodeLayout::kOffCom);
+                b.load(24, 10, BhNodeLayout::kOffMass);
+                b.load(25, 10, BhNodeLayout::kOffOpenRadius);
+                b.load(13, 10, BhNodeLayout::kOffChildBase);
+                b.vsub(28, 14, 4);
+                b.vdot(17, 28, 28, 18);
+                b.fmul(18, 25, 25);
+                b.setltf(19, 17, 18); // within opening radius -> open
+                // Warp-synchronous union traversal (Burtscher-Pingali):
+                // if any lane must open the cell, the whole warp opens
+                // it. This is what gives the CUDA baseline its high SIMT
+                // efficiency (Fig 1).
+                b.voteany(19, 19);
+                b.ifThenElse(
+                    19,
+                    [&]() { // open: push children
+                        b.ishri(20, 11, 8);
+                        b.movi(22, 255);
+                        b.iand(20, 20, 22);
+                        b.movi(21, 0);
+                        b.doWhile([&]() -> Reg {
+                            b.imuli(22, 21, BhNodeLayout::kNodeBytes);
+                            b.iadd(22, 13, 22);
+                            b.ishli(26, 3, 2);
+                            b.iadd(26, 2, 26);
+                            b.store(26, 22, 0);
+                            b.iaddi(3, 3, 1);
+                            b.iaddi(21, 21, 1);
+                            b.setlti(31, 21, 20);
+                            return 31;
+                        });
+                    },
+                    accumulate);
+            });
+        // while (sp > 0)
+        b.movi(22, 0);
+        b.setlti(31, 22, 3);
+        return 31;
+    });
+
+    // result[tid] = acc
+    b.param(26, 2);
+    b.imuli(22, 1, 12);
+    b.iadd(26, 26, 22);
+    b.store(26, 7, 0);
+    b.store(26, 8, 4);
+    b.store(26, 9, 8);
+    b.exit();
+    return b.build();
+}
+
+gpu::KernelProgram
+NBodyWorkload::buildIntegrationKernel()
+{
+    using namespace ::tta::gpu;
+    KernelBuilder b("nbody_integration");
+    // Params: 1 bodyBase, 2 accBase, 5 velBase, 6 dt bits, 7 posOutBase.
+    // Positions are double-buffered (read bodyBase, write posOutBase) so
+    // the fused configuration never mutates what in-flight traversals
+    // read.
+    b.tid(1);
+    b.param(20, 2);
+    b.imuli(21, 1, 12);
+    b.iadd(20, 20, 21);
+    b.loadVec3(4, 20, 0); // acc
+    b.param(22, 5);
+    b.iadd(22, 22, 21);
+    b.loadVec3(7, 22, 0); // vel
+    b.param(10, 6);       // dt
+    b.vscale(13, 4, 10);
+    b.vadd(7, 7, 13);     // v += a*dt
+    // Post-processing beyond the update (the "heavy computations after
+    // the tree traversal" of Section V-A): a near-field direct
+    // correction over a window of spatially neighboring bodies (bodies
+    // are leaf-major, i.e. spatially sorted) plus the velocity update.
+    // This is the classical tree-code near/far split: the tree handles
+    // the far field, a direct pass refines the near field.
+    b.param(30, 1);       // bodyBase
+    b.ishli(29, 1, 4);
+    b.iadd(29, 30, 29);   // own body record
+    b.loadVec3(16, 29, 0); // own position
+    b.movi(30, 0);        // neighbor index j
+    b.doWhile([&]() -> Reg {
+        // neighbor record: bodyBase + ((tid & ~63) + j) * 16
+        b.param(25, 1);
+        b.movi(26, ~63);
+        b.iand(26, 1, 26);
+        b.iadd(26, 26, 30);
+        b.ishli(26, 26, 4);
+        b.iadd(26, 25, 26);
+        b.loadVec3(11, 26, 0); // neighbor position
+        b.load(15, 26, 12);    // neighbor mass
+        b.vsub(11, 11, 16);    // dr
+        b.vdot(14, 11, 11, 19); // d2
+        b.faddi(14, 14, 0.0025f);
+        b.fsqrt(19, 14);
+        b.frcp(19, 19);        // inv
+        b.fmul(20, 19, 19);
+        b.fmul(19, 20, 19);    // inv3
+        b.fmul(19, 15, 19);    // m * inv3
+        b.fmuli(19, 19, 0.01f); // correction weight
+        b.vscale(11, 11, 19);
+        b.vadd(7, 7, 11);      // fold into velocity estimate
+        b.iaddi(30, 30, 1);
+        b.movi(31, 64);
+        b.setlti(31, 30, 31);
+        return 31;
+    });
+    // posOut = pos + v*dt
+    b.param(23, 1);
+    b.ishli(24, 1, 4);
+    b.iadd(23, 23, 24);
+    b.loadVec3(26, 23, 0);
+    b.vscale(13, 7, 10);
+    b.vadd(26, 26, 13);
+    b.param(25, 7);
+    b.iadd(25, 25, 24);
+    b.store(25, 26, 0);
+    b.store(25, 27, 4);
+    b.store(25, 28, 8);
+    b.store(22, 7, 0);
+    b.store(22, 8, 4);
+    b.store(22, 9, 8);
+    b.exit();
+    return b.build();
+}
+
+api::TtaPipeline
+NBodyWorkload::makePipeline(int dims)
+{
+    static const ttaplus::Program inner =
+        ttaplus::programs::pointDistInner();
+    static const ttaplus::Program leaf =
+        ttaplus::programs::nbodyForceLeaf();
+    api::TtaPipelineDesc desc(dims == 2 ? "nbody2d" : "nbody3d");
+    desc.decodeR({12, 12})        // query point, accumulated force
+        .decodeI({12, 4, 4, 4, 4, 4}) // com, mass, openR, flags, bases
+        .decodeL({12, 4, 4, 4, 4, 4})
+        .configI(&inner)
+        .configL(&leaf);
+    desc.configTerminate(tta::TerminationConfig{});
+    return api::TtaPipeline::create(desc);
+}
+
+RunMetrics
+NBodyWorkload::runBaseline(const sim::Config &cfg, sim::StatRegistry &stats)
+{
+    gpu::Gpu device(cfg, stats);
+    setup(device.memory());
+    gpu::KernelProgram force = buildBaselineKernel();
+    gpu::KernelProgram integ = buildIntegrationKernel();
+    std::vector<uint32_t> params = {
+        static_cast<uint32_t>(rootAddr_),
+        static_cast<uint32_t>(tree_->bodyBase()),
+        static_cast<uint32_t>(resultBase_),
+        static_cast<uint32_t>(stackBase_),
+        floatBits(NBodySpec::kSoftening * NBodySpec::kSoftening),
+        static_cast<uint32_t>(velBase_),
+        floatBits(kDt),
+        static_cast<uint32_t>(posOutBase_)};
+    sim::Cycle cycles =
+        device.runKernel(force, tree_->numBodies(), params);
+    lastMismatches_ = verify(device.memory(), expectedWarp_);
+    panic_if(lastMismatches_ != 0,
+             "baseline N-Body kernel produced %zu mismatches",
+             lastMismatches_);
+    cycles += device.runKernel(integ, tree_->numBodies(), params);
+    return collectMetrics(stats, cycles, device.memsys().dramUtilization());
+}
+
+RunMetrics
+NBodyWorkload::runAccelerated(const sim::Config &cfg,
+                              sim::StatRegistry &stats, bool fused)
+{
+    api::TtaDevice device(cfg, stats);
+    setup(device.memory());
+    NBodySpec spec(device.memory(), rootAddr_, tree_->bodyBase(),
+                   resultBase_);
+    api::TtaPipeline pipeline = makePipeline(dims_);
+    device.bindPipeline(pipeline, &spec);
+
+    gpu::KernelProgram integ = buildIntegrationKernel();
+    std::vector<uint32_t> params = {
+        static_cast<uint32_t>(rootAddr_),
+        static_cast<uint32_t>(tree_->bodyBase()),
+        static_cast<uint32_t>(resultBase_),
+        static_cast<uint32_t>(stackBase_),
+        floatBits(NBodySpec::kSoftening * NBodySpec::kSoftening),
+        static_cast<uint32_t>(velBase_),
+        floatBits(kDt),
+        static_cast<uint32_t>(posOutBase_)};
+
+    sim::Cycle cycles;
+    if (fused) {
+        // Kernel merge: the accelerator traverses while the cores run the
+        // integration (Section V-A). The integration reads accelerations
+        // as they become available; correctness of the traversal results
+        // themselves is still verified below.
+        cycles = device.gpu().runKernels(
+            {gpu::Launch{&device.launcherKernel(), tree_->numBodies(), {}},
+             gpu::Launch{&integ, tree_->numBodies(), params}});
+    } else {
+        cycles = device.cmdTraverseTree(tree_->numBodies());
+        lastMismatches_ = verify(device.memory(), expected_);
+        panic_if(lastMismatches_ != 0,
+                 "accelerated N-Body run produced %zu mismatches",
+                 lastMismatches_);
+        cycles += device.gpu().runKernel(integ, tree_->numBodies(),
+                                         params);
+    }
+    return collectMetrics(stats, cycles,
+                          device.gpu().memsys().dramUtilization());
+}
+
+size_t
+NBodyWorkload::verify(const mem::GlobalMemory &gmem,
+                      const std::vector<geom::Vec3> &expected) const
+{
+    size_t mismatches = 0;
+    for (size_t i = 0; i < expected.size(); ++i) {
+        geom::Vec3 got = {gmem.read<float>(resultBase_ + 12 * i + 0),
+                          gmem.read<float>(resultBase_ + 12 * i + 4),
+                          gmem.read<float>(resultBase_ + 12 * i + 8)};
+        geom::Vec3 diff = got - expected[i];
+        float mag = geom::length(expected[i]) + 1e-3f;
+        if (geom::length(diff) > 1e-3f * mag)
+            ++mismatches;
+    }
+    return mismatches;
+}
+
+} // namespace tta::workloads

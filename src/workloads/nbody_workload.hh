@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Barnes-Hut N-Body workload, 2D and 3D (Section IV-A).
+ *
+ * The force-computation kernel traverses the quad/octree per body: inner
+ * nodes run the Point-to-Point distance test (Algorithm 2) against the
+ * node's opening radius; approximated nodes and leaf bodies contribute
+ * softened gravitational force terms that need SQRT (TTA bounces them to
+ * the SM as shader-style work; TTA+ executes them as the Table III force
+ * leaf program).
+ *
+ * The kernel-fusion experiment (Section V-A) co-schedules the traversal
+ * launcher with the integration kernel so the general-purpose cores work
+ * while the accelerator traverses — the paper's additional 1.2x.
+ */
+
+#ifndef TTA_WORKLOADS_NBODY_WORKLOAD_HH
+#define TTA_WORKLOADS_NBODY_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "api/tta_api.hh"
+#include "gpu/kernel.hh"
+#include "rta/traversal_spec.hh"
+#include "trees/octree.hh"
+#include "workloads/metrics.hh"
+
+namespace tta::workloads {
+
+/** Accelerator-side functional spec for the Barnes-Hut force pass. */
+class NBodySpec : public rta::TraversalSpec
+{
+  public:
+    static constexpr float kSoftening = 0.05f;
+
+    NBodySpec(mem::GlobalMemory &gmem, uint64_t root, uint64_t body_base,
+              uint64_t result_base);
+
+    void initRay(rta::RayState &ray, uint32_t lane_operand) override;
+    void fetchLines(const rta::RayState &ray, rta::NodeRef ref,
+                    std::vector<uint64_t> &lines) const override;
+    rta::NodeOutcome processNode(rta::RayState &ray,
+                                 rta::NodeRef ref) override;
+    void finishRay(rta::RayState &ray) override;
+
+    const ttaplus::Program &innerProgram() const override
+    {
+        return innerProg_;
+    }
+    const ttaplus::Program &leafProgram() const override
+    {
+        return leafProg_;
+    }
+
+  private:
+    mem::GlobalMemory *gmem_;
+    uint64_t root_;
+    uint64_t bodyBase_;
+    uint64_t resultBase_;
+    ttaplus::Program innerProg_;
+    ttaplus::Program leafProg_;
+};
+
+class NBodyWorkload
+{
+  public:
+    /**
+     * @param dims    2 or 3.
+     * @param n_bodies particle count.
+     * @param seed    RNG seed.
+     * @param theta   Barnes-Hut opening parameter.
+     */
+    NBodyWorkload(int dims, size_t n_bodies, uint64_t seed = 1,
+                  float theta = 0.75f);
+
+    void setup(mem::GlobalMemory &gmem);
+
+    /** Baseline: traversal + force on the SIMT cores, then integration. */
+    RunMetrics runBaseline(const sim::Config &cfg,
+                           sim::StatRegistry &stats);
+
+    /**
+     * Accelerated force pass through the TTA API, then the integration
+     * kernel on the cores.
+     * @param fused co-schedule integration with the traversal
+     *              (Section V-A kernel merge experiment).
+     */
+    RunMetrics runAccelerated(const sim::Config &cfg,
+                              sim::StatRegistry &stats, bool fused = false);
+
+    /** Mismatched acceleration results in the last run. */
+    size_t lastMismatches() const { return lastMismatches_; }
+
+    const trees::BarnesHutTree &tree() const { return *tree_; }
+    size_t numBodies() const { return tree_->numBodies(); }
+
+    static api::TtaPipeline makePipeline(int dims);
+    static gpu::KernelProgram buildBaselineKernel();
+    static gpu::KernelProgram buildIntegrationKernel();
+
+  private:
+    size_t verify(const mem::GlobalMemory &gmem,
+                  const std::vector<geom::Vec3> &expected) const;
+    void computeWarpUnionReference();
+
+    int dims_;
+    std::unique_ptr<trees::BarnesHutTree> tree_;
+    std::vector<geom::Vec3> expected_;      //!< per-query reference
+    std::vector<geom::Vec3> expectedWarp_;  //!< warp-union reference
+    uint64_t rootAddr_ = 0;
+    uint64_t resultBase_ = 0;
+    uint64_t stackBase_ = 0;
+    uint64_t velBase_ = 0;
+    uint64_t posOutBase_ = 0;
+    size_t lastMismatches_ = 0;
+};
+
+} // namespace tta::workloads
+
+#endif // TTA_WORKLOADS_NBODY_WORKLOAD_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * LumiBench-like ray-tracing workload (Sections IV-A / V-B).
+ *
+ * Renders procedural scenes through the accelerator in *waves*: primary
+ * rays, then workload-specific secondary rays (bounces, AO, shadow,
+ * reflection) derived host-side from reference results so every hardware
+ * level traces identical ray sets and results stay comparable.
+ *
+ * Evaluated configurations:
+ *  - BaselineRta: fixed-function Ray-Box/Ray-Triangle + Transform;
+ *    ray-sphere (WKND_PT) and alpha-masked leaves bounce to intersection
+ *    shaders. The Fig 16 "1.0" reference.
+ *  - TtaPlus: every node test as a uop program (the Fig 16 ~8% average
+ *    slowdown from serialized OP units + interconnect).
+ *  - *WKND_PT: TtaPlus with RtOptions::offloadSpheres — ray-sphere tests
+ *    execute natively in the OP units (SQRT unit), eliminating the
+ *    intersection shader.
+ *  - *SHIP_SH: TtaPlus with RtOptions::sato — Surface Area Traversal
+ *    Order for any-hit rays, a software traversal-order optimization the
+ *    programmable OP Dest Tables enable.
+ *
+ * A divergent SIMT-core path tracer kernel provides the "GPU without
+ * RTA" datapoint for Fig 1 / Fig 6 (single-level triangle scenes).
+ */
+
+#ifndef TTA_WORKLOADS_RAYTRACING_WORKLOAD_HH
+#define TTA_WORKLOADS_RAYTRACING_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "api/tta_api.hh"
+#include "geom/ray.hh"
+#include "rta/traversal_spec.hh"
+#include "trees/bvh.hh"
+#include "workloads/metrics.hh"
+#include "workloads/scenes.hh"
+
+namespace tta::workloads {
+
+struct RtOptions
+{
+    bool sato = false;           //!< *SHIP_SH
+    bool offloadSpheres = false; //!< *WKND_PT
+};
+
+/** One traced ray plus its traversal mode. */
+struct RtRay
+{
+    geom::Ray ray;
+    bool anyHit = false;
+};
+
+/** Host-side reference result for one ray. */
+struct RtHit
+{
+    bool hit = false;
+    float t = 0.0f;
+    uint32_t prim = UINT32_MAX;
+    uint32_t instance = UINT32_MAX;
+};
+
+/** Serialized scene image + host reference intersector. */
+class RtScene
+{
+  public:
+    RtScene(SceneKind kind, uint64_t seed);
+
+    /** Serialize all BLASes, primitives, TLAS and instance records. */
+    void serialize(mem::GlobalMemory &gmem);
+
+    const SceneGeometry &geometry() const { return geometry_; }
+    SceneKind kind() const { return kind_; }
+
+    /** Root reference a traversal starts from (TLAS or sole BLAS). */
+    rta::NodeRef rootRef() const;
+
+    RtHit closestHit(const geom::Ray &ray) const;
+    bool anyHit(const geom::Ray &ray) const;
+
+    /** Deterministic alpha test shared by reference and spec. */
+    static bool alphaPass(uint32_t mesh, uint32_t prim);
+
+    // --- Serialized layout (valid after serialize()) ---------------------
+    struct MeshImage
+    {
+        trees::SerializedBvh bvh;
+        uint64_t triBase = 0;
+    };
+    const std::vector<MeshImage> &meshImages() const { return meshes_; }
+    uint64_t sphereBase() const { return sphereBase_; }
+    uint64_t instanceBase() const { return instanceBase_; }
+    const trees::Bvh *tlas() const { return tlas_.get(); }
+
+    /** Node-reference encoding helpers (see RtSpec). */
+    static constexpr uint64_t kEnterInstanceBit = 1ull << 33;
+    static constexpr uint64_t kRestoreBit = 1ull << 34;
+
+    const trees::Bvh &meshBvh(uint32_t m) const { return meshBvhs_[m]; }
+
+  private:
+    SceneKind kind_;
+    SceneGeometry geometry_;
+    std::vector<trees::Bvh> meshBvhs_;
+    std::unique_ptr<trees::Bvh> tlas_;
+    std::vector<MeshImage> meshes_;
+    trees::SerializedBvh tlasImage_;
+    uint64_t sphereBase_ = 0;
+    uint64_t instanceBase_ = 0;
+    trees::SerializedBvh sphereBvh_;
+};
+
+/** Accelerator-side spec: full RT traversal with two-level support. */
+class RtSpec : public rta::TraversalSpec
+{
+  public:
+    RtSpec(mem::GlobalMemory &gmem, const RtScene &scene,
+           const std::vector<RtRay> &rays, uint64_t result_base,
+           RtOptions options);
+
+    void initRay(rta::RayState &ray, uint32_t lane_operand) override;
+    void fetchLines(const rta::RayState &ray, rta::NodeRef ref,
+                    std::vector<uint64_t> &lines) const override;
+    rta::NodeOutcome processNode(rta::RayState &ray,
+                                 rta::NodeRef ref) override;
+    void finishRay(rta::RayState &ray) override;
+
+    const ttaplus::Program &innerProgram() const override
+    {
+        return innerProg_;
+    }
+    const ttaplus::Program &leafProgram() const override
+    {
+        return leafProg_;
+    }
+
+  private:
+    void processTriangleLeaf(rta::RayState &ray, uint64_t leaf,
+                             rta::NodeOutcome &out);
+    void processSphereLeaf(rta::RayState &ray, uint64_t leaf,
+                           rta::NodeOutcome &out);
+
+    mem::GlobalMemory *gmem_;
+    const RtScene *scene_;
+    const std::vector<RtRay> *rays_;
+    uint64_t resultBase_;
+    RtOptions options_;
+    ttaplus::Program innerProg_;
+    ttaplus::Program leafProg_;
+};
+
+class RayTracingWorkload
+{
+  public:
+    RayTracingWorkload(SceneKind kind, uint32_t width = 64,
+                       uint32_t height = 64, uint64_t seed = 1);
+
+    /** Run all ray waves through the accelerator at cfg.accelMode. */
+    RunMetrics runAccelerated(const sim::Config &cfg,
+                              sim::StatRegistry &stats,
+                              RtOptions options = {});
+
+    /** Divergent path on the SIMT cores (primary wave only); only valid
+     *  for single-level triangle scenes. */
+    RunMetrics runBaselineCores(const sim::Config &cfg,
+                                sim::StatRegistry &stats);
+
+    SceneKind kind() const { return kind_; }
+    size_t totalRays() const;
+    const RtScene &scene() const { return *scene_; }
+
+    /**
+     * Grayscale depth image from the primary-wave reference hits
+     * (the same values every verified device run reproduced).
+     * @param pixels width*height bytes, row-major.
+     */
+    void renderDepth(uint8_t *pixels, float *tmin_out = nullptr,
+                     float *tmax_out = nullptr) const;
+
+    static api::TtaPipeline makePipeline(SceneKind kind,
+                                         const RtOptions &options);
+    static gpu::KernelProgram buildBaselineKernel();
+
+  private:
+    std::vector<RtRay> primaryRays() const;
+    /** Derive the next wave from reference results; empty when done. */
+    std::vector<RtRay> nextWave(int wave, const std::vector<RtRay> &prev,
+                                const std::vector<RtHit> &hits) const;
+
+    SceneKind kind_;
+    uint32_t width_;
+    uint32_t height_;
+    uint64_t seed_;
+    std::unique_ptr<RtScene> scene_;
+    std::vector<std::vector<RtRay>> waves_;
+    std::vector<std::vector<RtHit>> waveHits_; //!< reference per wave
+};
+
+} // namespace tta::workloads
+
+#endif // TTA_WORKLOADS_RAYTRACING_WORKLOAD_HH

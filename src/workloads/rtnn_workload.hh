@@ -1,0 +1,123 @@
+/**
+ * @file
+ * RTNN radius-search workload (Section IV-A, [105]).
+ *
+ * RTNN maps fixed-radius neighbor search onto the ray-tracing pipeline:
+ * data points become spheres of the search radius (their BVH boxes are
+ * pre-inflated), a query is a degenerate ray at the query point, inner
+ * nodes run Ray-Box tests, and the exact distance check at the leaves
+ * runs in a programmable *intersection shader* on the SIMT cores — the
+ * expensive part this paper offloads.
+ *
+ * Four configurations:
+ *  - CUDA baseline: divergent per-thread BVH walk on the SIMT cores.
+ *  - RTNN on the (baseline) RTA / TTA / TTA+: traversal in hardware,
+ *    leaf distance checks in intersection shaders.
+ *  - *RTNN (offloaded): the leaf check executes natively — the repurposed
+ *    Ray-Triangle unit's Point-to-Point path on TTA, the Table III
+ *    5-uop program on TTA+.
+ */
+
+#ifndef TTA_WORKLOADS_RTNN_WORKLOAD_HH
+#define TTA_WORKLOADS_RTNN_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "api/tta_api.hh"
+#include "gpu/kernel.hh"
+#include "rta/traversal_spec.hh"
+#include "trees/pointcloud.hh"
+#include "workloads/metrics.hh"
+
+namespace tta::workloads {
+
+/** Accelerator-side spec for RTNN radius search. */
+class RtnnSpec : public rta::TraversalSpec
+{
+  public:
+    /**
+     * @param offload_leaf true for the starred configurations: distance
+     *        checks run natively instead of in an intersection shader.
+     */
+    RtnnSpec(mem::GlobalMemory &gmem, trees::BvhRef root,
+             uint64_t point_base, uint64_t query_base, uint64_t result_base,
+             float radius, bool offload_leaf);
+
+    void initRay(rta::RayState &ray, uint32_t lane_operand) override;
+    void fetchLines(const rta::RayState &ray, rta::NodeRef ref,
+                    std::vector<uint64_t> &lines) const override;
+    rta::NodeOutcome processNode(rta::RayState &ray,
+                                 rta::NodeRef ref) override;
+    void finishRay(rta::RayState &ray) override;
+
+    const ttaplus::Program &innerProgram() const override
+    {
+        return innerProg_;
+    }
+    const ttaplus::Program &leafProgram() const override
+    {
+        return leafProg_;
+    }
+
+  private:
+    mem::GlobalMemory *gmem_;
+    trees::BvhRef root_;
+    uint64_t pointBase_;
+    uint64_t queryBase_;
+    uint64_t resultBase_;
+    float radius_;
+    bool offloadLeaf_;
+    ttaplus::Program innerProg_;
+    ttaplus::Program leafProg_;
+};
+
+class RtnnWorkload
+{
+  public:
+    /**
+     * @param n_points  cloud size (the paper sweeps 32k-128k).
+     * @param n_queries query count.
+     * @param radius    search radius.
+     */
+    RtnnWorkload(size_t n_points, size_t n_queries, float radius = 1.0f,
+                 uint64_t seed = 1);
+
+    void setup(mem::GlobalMemory &gmem);
+
+    /** Divergent per-thread CUDA kernel on the SIMT cores. */
+    RunMetrics runBaseline(const sim::Config &cfg,
+                           sim::StatRegistry &stats);
+
+    /**
+     * Hardware traversal at cfg.accelMode.
+     * @param offload_leaf the starred configurations (*RTNN).
+     */
+    RunMetrics runAccelerated(const sim::Config &cfg,
+                              sim::StatRegistry &stats, bool offload_leaf);
+
+    size_t numQueries() const { return queries_.size(); }
+    const trees::RadiusSearchIndex &index() const { return *index_; }
+
+    static api::TtaPipeline makePipeline(bool offload_leaf);
+    static gpu::KernelProgram buildBaselineKernel();
+
+  private:
+    size_t verify(const mem::GlobalMemory &gmem) const;
+
+    trees::PointCloud cloud_;
+    std::unique_ptr<trees::RadiusSearchIndex> index_;
+    float radius_;
+    std::vector<geom::Vec3> queries_;
+    std::vector<uint32_t> expected_;
+
+    trees::SerializedBvh sbvh_;
+    uint64_t pointBase_ = 0;
+    uint64_t queryBase_ = 0;
+    uint64_t resultBase_ = 0;
+    uint64_t stackBase_ = 0;
+};
+
+} // namespace tta::workloads
+
+#endif // TTA_WORKLOADS_RTNN_WORKLOAD_HH

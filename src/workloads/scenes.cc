@@ -1,0 +1,350 @@
+#include "workloads/scenes.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace tta::workloads {
+
+using geom::Vec3;
+
+const char *
+sceneName(SceneKind kind)
+{
+    switch (kind) {
+      case SceneKind::CornellPt: return "CORNELL_PT";
+      case SceneKind::SponzaAo: return "SPONZA_AO";
+      case SceneKind::ShipSh: return "SHIP_SH";
+      case SceneKind::TeapotRf: return "TEAPOT_RF";
+      case SceneKind::WkndPt: return "WKND_PT";
+      case SceneKind::MaskAm: return "MASK_AM";
+    }
+    return "?";
+}
+
+RayWorkload
+sceneWorkload(SceneKind kind)
+{
+    switch (kind) {
+      case SceneKind::CornellPt: return RayWorkload::PathTrace;
+      case SceneKind::SponzaAo: return RayWorkload::AmbientOcclusion;
+      case SceneKind::ShipSh: return RayWorkload::Shadow;
+      case SceneKind::TeapotRf: return RayWorkload::Reflection;
+      case SceneKind::WkndPt: return RayWorkload::PathTrace;
+      case SceneKind::MaskAm: return RayWorkload::AlphaMask;
+    }
+    return RayWorkload::PathTrace;
+}
+
+size_t
+SceneGeometry::primitiveCount() const
+{
+    if (isSphereScene())
+        return spheres.size();
+    size_t n = 0;
+    if (twoLevel()) {
+        for (const auto &inst : instances)
+            n += meshes[inst.mesh].triangles.size();
+    } else {
+        for (const auto &mesh : meshes)
+            n += mesh.triangles.size();
+    }
+    return n;
+}
+
+namespace {
+
+/** Append an axis-aligned box as 12 triangles. */
+void
+appendBox(SceneMesh &mesh, const Vec3 &lo, const Vec3 &hi,
+          bool alpha = false)
+{
+    Vec3 c[8] = {{lo.x, lo.y, lo.z}, {hi.x, lo.y, lo.z},
+                 {hi.x, hi.y, lo.z}, {lo.x, hi.y, lo.z},
+                 {lo.x, lo.y, hi.z}, {hi.x, lo.y, hi.z},
+                 {hi.x, hi.y, hi.z}, {lo.x, hi.y, hi.z}};
+    static const int faces[6][4] = {{0, 1, 2, 3}, {4, 5, 6, 7},
+                                    {0, 1, 5, 4}, {2, 3, 7, 6},
+                                    {0, 3, 7, 4}, {1, 2, 6, 5}};
+    for (const auto &f : faces) {
+        mesh.triangles.push_back({c[f[0]], c[f[1]], c[f[2]]});
+        mesh.triangles.push_back({c[f[0]], c[f[2]], c[f[3]]});
+        mesh.alpha.push_back(alpha);
+        mesh.alpha.push_back(alpha);
+    }
+}
+
+/** Append a vertical quad (two triangles). */
+void
+appendQuad(SceneMesh &mesh, const Vec3 &origin, const Vec3 &edge_u,
+           const Vec3 &edge_v, bool alpha)
+{
+    Vec3 a = origin;
+    Vec3 b = origin + edge_u;
+    Vec3 c = origin + edge_u + edge_v;
+    Vec3 d = origin + edge_v;
+    mesh.triangles.push_back({a, b, c});
+    mesh.triangles.push_back({a, c, d});
+    mesh.alpha.push_back(alpha);
+    mesh.alpha.push_back(alpha);
+}
+
+/** Tessellated UV sphere. */
+void
+appendSphereMesh(SceneMesh &mesh, const Vec3 &center, float radius,
+                 int stacks, int slices)
+{
+    auto point = [&](int st, int sl) {
+        float phi = 3.14159265f * st / stacks;
+        float theta = 6.2831853f * sl / slices;
+        return center + Vec3(radius * std::sin(phi) * std::cos(theta),
+                             radius * std::cos(phi),
+                             radius * std::sin(phi) * std::sin(theta));
+    };
+    for (int st = 0; st < stacks; ++st) {
+        for (int sl = 0; sl < slices; ++sl) {
+            Vec3 a = point(st, sl), b = point(st + 1, sl);
+            Vec3 c = point(st + 1, sl + 1), d = point(st, sl + 1);
+            mesh.triangles.push_back({a, b, c});
+            mesh.triangles.push_back({a, c, d});
+            mesh.alpha.push_back(false);
+            mesh.alpha.push_back(false);
+        }
+    }
+}
+
+SceneGeometry
+cornellPt(uint64_t seed)
+{
+    sim::Rng rng(seed);
+    SceneGeometry scene;
+    // Mesh 0: the room shell (floor/ceiling/walls as thin boxes).
+    SceneMesh room;
+    appendBox(room, {-5, -0.1f, -5}, {5, 0, 5});    // floor
+    appendBox(room, {-5, 10, -5}, {5, 10.1f, 5});   // ceiling
+    appendBox(room, {-5.1f, 0, -5}, {-5, 10, 5});   // left
+    appendBox(room, {5, 0, -5}, {5.1f, 10, 5});     // right
+    appendBox(room, {-5, 0, -5.1f}, {5, 10, -5});   // back
+    scene.meshes.push_back(std::move(room));
+    // Mesh 1: a unit box, instanced many times.
+    SceneMesh unit;
+    appendBox(unit, {-0.5f, 0, -0.5f}, {0.5f, 1, 0.5f});
+    scene.meshes.push_back(std::move(unit));
+
+    scene.instances.push_back(makeInstance(0, {0, 0, 0}, 0.0f, 1.0f));
+    for (int i = 0; i < 320; ++i) {
+        scene.instances.push_back(
+            makeInstance(1,
+                         {rng.uniform(-4.2f, 4.2f), 0.0f,
+                          rng.uniform(-4.2f, 4.2f)},
+                         rng.uniform(0.0f, 3.14f),
+                         rng.uniform(0.4f, 2.2f)));
+    }
+    scene.cameraPos = {0, 5, 14};
+    scene.cameraTarget = {0, 3, 0};
+    scene.lightPos = {0, 9.5f, 0};
+    return scene;
+}
+
+SceneGeometry
+sponzaAo(uint64_t seed)
+{
+    sim::Rng rng(seed);
+    SceneGeometry scene;
+    SceneMesh mesh;
+    appendBox(mesh, {-42, -0.2f, -8}, {42, 0, 8}); // floor
+    // Two colonnades of fluted columns (clusters of thin boxes).
+    for (int col = -10; col <= 10; ++col) {
+        for (int side = -1; side <= 1; side += 2) {
+            float cx = col * 4.0f;  // colonnade span
+            float cz = side * 5.0f;
+            for (int f = 0; f < 6; ++f) {
+                float a = 6.2831853f * f / 6.0f;
+                float ox = 0.45f * std::cos(a);
+                float oz = 0.45f * std::sin(a);
+                appendBox(mesh, {cx + ox - 0.18f, 0, cz + oz - 0.18f},
+                          {cx + ox + 0.18f, 6, cz + oz + 0.18f});
+            }
+            // capital + base
+            appendBox(mesh, {cx - 0.9f, 5.8f, cz - 0.9f},
+                      {cx + 0.9f, 6.2f, cz + 0.9f});
+            appendBox(mesh, {cx - 0.9f, 0, cz - 0.9f},
+                      {cx + 0.9f, 0.4f, cz + 0.9f});
+        }
+    }
+    // Clutter: random crates.
+    for (int i = 0; i < 1400; ++i) {
+        Vec3 p = {rng.uniform(-38.0f, 38.0f), 0.0f,
+                  rng.uniform(-4.0f, 4.0f)};
+        float s = rng.uniform(0.2f, 1.0f);
+        appendBox(mesh, p, p + Vec3(s, rng.uniform(0.2f, 1.4f), s));
+    }
+    scene.meshes.push_back(std::move(mesh));
+    scene.cameraPos = {-16, 3.0f, 0};
+    scene.cameraTarget = {16, 2.0f, 0};
+    scene.lightPos = {0, 14, 0};
+    return scene;
+}
+
+SceneGeometry
+shipSh(uint64_t seed)
+{
+    sim::Rng rng(seed);
+    SceneGeometry scene;
+    SceneMesh mesh;
+    // Hull: an elongated box stack.
+    appendBox(mesh, {-10, 0, -2}, {10, 2, 2});
+    appendBox(mesh, {-7, 2, -1.4f}, {7, 3, 1.4f});
+    // Masts.
+    for (float mx : {-5.0f, 0.0f, 5.0f})
+        appendBox(mesh, {mx - 0.15f, 2, -0.15f}, {mx + 0.15f, 14, 0.15f});
+    // Sails: large occluding quads between the masts. For shadow rays
+    // these are the high-surface-area subtrees SATO visits first.
+    for (float mx : {-5.0f, 0.0f, 5.0f}) {
+        appendQuad(mesh, {mx - 2.2f, 4.0f, 0.35f}, {4.4f, 0, 0},
+                   {0, 7.5f, 0.4f}, false);
+        appendQuad(mesh, {mx - 1.6f, 3.2f, -0.75f}, {3.2f, 0, 0},
+                   {0, 5.0f, -0.3f}, false);
+    }
+    // Rigging: thousands of long, extremely thin triangles — the
+    // degenerate-primitive pattern that makes SHIP hostile to BVHs
+    // (huge boxes around skinny diagonal primitives).
+    for (int i = 0; i < 4000; ++i) {
+        float mx = (i % 3 - 1) * 5.0f;
+        Vec3 top = {mx + rng.uniform(-0.2f, 0.2f),
+                    rng.uniform(8.0f, 14.0f), 0.0f};
+        Vec3 deck = {rng.uniform(-9.5f, 9.5f), rng.uniform(2.0f, 3.0f),
+                     rng.uniform(-1.8f, 1.8f)};
+        Vec3 width = {0.012f, 0.0f, 0.012f};
+        mesh.triangles.push_back({top, deck, deck + width});
+        mesh.alpha.push_back(false);
+    }
+    scene.meshes.push_back(std::move(mesh));
+    // Camera frames the hull (primary rays resolve quickly); the light
+    // sits high behind the masts, so shadow rays from the deck thread
+    // the whole rigging cloud — the wave SATO reorders.
+    scene.cameraPos = {0, 3.5f, 26};
+    scene.cameraTarget = {0, 2.5f, 0};
+    scene.lightPos = {0, 34, -26};
+    return scene;
+}
+
+SceneGeometry
+teapotRf(uint64_t seed)
+{
+    sim::Rng rng(seed);
+    SceneGeometry scene;
+    SceneMesh mesh;
+    appendBox(mesh, {-12, -0.2f, -12}, {12, 0, 12});
+    appendSphereMesh(mesh, {0, 2.5f, 0}, 2.5f, 48, 96); // the "teapot"
+    appendSphereMesh(mesh, {-5, 1.2f, 3}, 1.2f, 12, 24);
+    appendSphereMesh(mesh, {4.5f, 0.9f, -3.5f}, 0.9f, 12, 24);
+    for (int i = 0; i < 400; ++i) {
+        Vec3 p = {rng.uniform(-10.0f, 10.0f), 0.0f,
+                  rng.uniform(-10.0f, 10.0f)};
+        float s = rng.uniform(0.2f, 0.7f);
+        appendBox(mesh, p, p + Vec3(s, s, s));
+    }
+    scene.meshes.push_back(std::move(mesh));
+    scene.cameraPos = {0, 4, 12};
+    scene.cameraTarget = {0, 2, 0};
+    scene.lightPos = {8, 14, 8};
+    return scene;
+}
+
+SceneGeometry
+wkndPt(uint64_t seed)
+{
+    sim::Rng rng(seed);
+    SceneGeometry scene;
+    // Procedural spheres, "Ray Tracing in One Weekend" cover style.
+    scene.spheres.emplace_back(Vec3(0, -1000, 0), 1000.0f); // ground
+    scene.spheres.emplace_back(Vec3(0, 1, 0), 1.0f);
+    scene.spheres.emplace_back(Vec3(-4, 1, 0), 1.0f);
+    scene.spheres.emplace_back(Vec3(4, 1, 0), 1.0f);
+    for (int a = -24; a < 24; ++a) {
+        for (int b = -24; b < 24; ++b) {
+            Vec3 center(a + 0.9f * rng.nextFloat(), 0.2f,
+                        b + 0.9f * rng.nextFloat());
+            if (geom::length(center - Vec3(4, 0.2f, 0)) > 0.9f)
+                scene.spheres.emplace_back(center,
+                                           rng.uniform(0.15f, 0.25f));
+        }
+    }
+    scene.cameraPos = {13, 2, 3};
+    scene.cameraTarget = {0, 0.5f, 0};
+    scene.fovDegrees = 30.0f;
+    scene.lightPos = {20, 30, 10};
+    return scene;
+}
+
+SceneGeometry
+maskAm(uint64_t seed)
+{
+    sim::Rng rng(seed);
+    SceneGeometry scene;
+    SceneMesh mesh;
+    appendBox(mesh, {-15, -0.2f, -15}, {15, 0, 15});
+    // Foliage: thousands of small alpha-tested quads around "trunks".
+    for (int tree = 0; tree < 72; ++tree) {
+        Vec3 base = {rng.uniform(-12.0f, 12.0f), 0.0f,
+                     rng.uniform(-12.0f, 12.0f)};
+        appendBox(mesh, base - Vec3(0.2f, 0, 0.2f),
+                  base + Vec3(0.2f, 4.0f, 0.2f));
+        for (int leaf = 0; leaf < 180; ++leaf) {
+            Vec3 p = base + Vec3(rng.uniform(-2.0f, 2.0f),
+                                 rng.uniform(2.5f, 6.0f),
+                                 rng.uniform(-2.0f, 2.0f));
+            Vec3 u = {rng.uniform(-0.5f, 0.5f), rng.uniform(-0.2f, 0.2f),
+                      rng.uniform(-0.5f, 0.5f)};
+            Vec3 v = {rng.uniform(-0.3f, 0.3f), rng.uniform(0.2f, 0.6f),
+                      rng.uniform(-0.3f, 0.3f)};
+            appendQuad(mesh, p, u, v, true); // alpha-masked leaf card
+        }
+    }
+    scene.meshes.push_back(std::move(mesh));
+    scene.cameraPos = {0, 4, 18};
+    scene.cameraTarget = {0, 3, 0};
+    scene.lightPos = {10, 20, 10};
+    return scene;
+}
+
+} // namespace
+
+SceneInstance
+makeInstance(uint32_t mesh, const Vec3 &t, float rot_z, float scale)
+{
+    SceneInstance inst;
+    inst.mesh = mesh;
+    float c = std::cos(rot_z), s = std::sin(rot_z);
+    // objectToWorld = T * Rz * S (row-major 3x4)
+    float m[12] = {scale * c, -scale * s, 0, t.x,
+                   scale * s, scale * c,  0, t.y,
+                   0,         0,          scale, t.z};
+    std::copy(m, m + 12, inst.objectToWorld);
+    // inverse: S^-1 * Rz^-1 * T^-1
+    float is = 1.0f / scale;
+    float inv[12] = {
+        is * c,  is * s, 0, -is * (c * t.x + s * t.y),
+        -is * s, is * c, 0, -is * (-s * t.x + c * t.y),
+        0,       0,      is, -is * t.z};
+    std::copy(inv, inv + 12, inst.worldToObject);
+    return inst;
+}
+
+SceneGeometry
+makeScene(SceneKind kind, uint64_t seed)
+{
+    switch (kind) {
+      case SceneKind::CornellPt: return cornellPt(seed);
+      case SceneKind::SponzaAo: return sponzaAo(seed);
+      case SceneKind::ShipSh: return shipSh(seed);
+      case SceneKind::TeapotRf: return teapotRf(seed);
+      case SceneKind::WkndPt: return wkndPt(seed);
+      case SceneKind::MaskAm: return maskAm(seed);
+    }
+    panic("unknown scene");
+}
+
+} // namespace tta::workloads

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Procedural scene generators for the LumiBench-like ray-tracing suite
+ * (substitution for the LumiBench assets; see DESIGN.md).
+ *
+ * Six scenes mirror the paper's representative subset:
+ *  - CORNELL_PT: instanced boxes in a Cornell-style room, path tracing.
+ *  - SPONZA_AO: colonnade of prisms + floor, ambient-occlusion rays.
+ *  - SHIP_SH:   long thin "rigging" triangles (the BVH-pathological
+ *               geometry SATO targets), shadow rays.
+ *  - TEAPOT_RF: tessellated sphere on a floor, mirror reflections.
+ *  - WKND_PT:   procedurally generated spheres ("Ray Tracing in One
+ *               Weekend" style) needing ray-sphere intersection shaders.
+ *  - MASK_AM:   foliage quads with alpha masking (any-hit shaders).
+ */
+
+#ifndef TTA_WORKLOADS_SCENES_HH
+#define TTA_WORKLOADS_SCENES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec.hh"
+
+namespace tta::workloads {
+
+enum class SceneKind
+{
+    CornellPt,
+    SponzaAo,
+    ShipSh,
+    TeapotRf,
+    WkndPt,
+    MaskAm,
+};
+
+const char *sceneName(SceneKind kind);
+/** Ray workload type the scene is evaluated with. */
+enum class RayWorkload
+{
+    PathTrace,   //!< primary + bounce waves
+    AmbientOcclusion,
+    Shadow,
+    Reflection,
+    AlphaMask,   //!< primary + shadow with alpha-tested geometry
+};
+RayWorkload sceneWorkload(SceneKind kind);
+
+struct Triangle
+{
+    geom::Vec3 v0, v1, v2;
+};
+
+struct SceneMesh
+{
+    std::vector<Triangle> triangles;
+    /** Per-triangle alpha-mask flag (any-hit shader required). */
+    std::vector<uint8_t> alpha;
+};
+
+struct SceneInstance
+{
+    uint32_t mesh = 0;
+    float objectToWorld[12]; //!< row-major 3x4
+    float worldToObject[12];
+};
+
+struct SceneGeometry
+{
+    std::vector<SceneMesh> meshes;
+    /** Empty => single-level: meshes[0] in world space. */
+    std::vector<SceneInstance> instances;
+    /** Sphere scene (WKND): centers + radii; meshes empty. */
+    std::vector<std::pair<geom::Vec3, float>> spheres;
+
+    geom::Vec3 cameraPos;
+    geom::Vec3 cameraTarget;
+    float fovDegrees = 55.0f;
+    geom::Vec3 lightPos;
+
+    bool twoLevel() const { return !instances.empty(); }
+    bool isSphereScene() const { return !spheres.empty(); }
+    size_t primitiveCount() const;
+};
+
+/** Build a scene deterministically. */
+SceneGeometry makeScene(SceneKind kind, uint64_t seed = 1);
+
+/** Compose an instance transform (translate * rotZ * scale) + inverse. */
+SceneInstance makeInstance(uint32_t mesh, const geom::Vec3 &translate,
+                           float rot_z, float scale);
+
+} // namespace tta::workloads
+
+#endif // TTA_WORKLOADS_SCENES_HH

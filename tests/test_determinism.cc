@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproducibility tests: identical seeds must give bit-identical
+ * workloads and cycle-identical simulations (the property every bench
+ * in this repository relies on); different seeds must actually vary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/btree_workload.hh"
+#include "workloads/rtnn_workload.hh"
+#include "workloads/rtree_workload.hh"
+
+using namespace tta;
+using namespace ::tta::workloads;
+
+namespace {
+
+sim::Config
+ttaConfig()
+{
+    sim::Config cfg;
+    cfg.accelMode = sim::AccelMode::Tta;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Determinism, BTreeAcceleratedCyclesRepeat)
+{
+    auto run = [](uint64_t seed) {
+        BTreeWorkload wl(trees::BTreeKind::BTree, 20000, 2048, seed);
+        sim::StatRegistry stats;
+        return wl.runAccelerated(ttaConfig(), stats).cycles;
+    };
+    sim::Cycle a = run(42);
+    EXPECT_EQ(a, run(42));
+    EXPECT_NE(a, run(43)); // queries differ => traversal differs
+}
+
+TEST(Determinism, BTreeBaselineCyclesRepeat)
+{
+    auto run = [] {
+        BTreeWorkload wl(trees::BTreeKind::BPlusTree, 10000, 1024, 9);
+        sim::Config cfg;
+        sim::StatRegistry stats;
+        return wl.runBaseline(cfg, stats).cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Determinism, RtnnStatsRepeatExactly)
+{
+    auto run = [](sim::StatRegistry &stats) {
+        RtnnWorkload wl(8192, 512, 1.0f, 21);
+        return wl.runAccelerated(ttaConfig(), stats, true);
+    };
+    sim::StatRegistry s0, s1;
+    RunMetrics a = run(s0);
+    RunMetrics b = run(s1);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.nodesVisited, b.nodesVisited);
+    EXPECT_EQ(s0.counterValue("memsys.reads"),
+              s1.counterValue("memsys.reads"));
+    EXPECT_EQ(s0.counterValue("rta.warp_buffer_reads"),
+              s1.counterValue("rta.warp_buffer_reads"));
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(Determinism, RTreeWorkloadRepeats)
+{
+    auto run = [] {
+        RTreeWorkload wl(4000, 512, 2.0f, 33);
+        sim::StatRegistry stats;
+        return wl.runAccelerated(ttaConfig(), stats).cycles;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Determinism, ModesDoNotShareHiddenState)
+{
+    // Running TTA+ between two TTA runs must not perturb the TTA result.
+    BTreeWorkload wl(trees::BTreeKind::BTree, 10000, 1024, 5);
+    sim::StatRegistry s0;
+    sim::Cycle first = wl.runAccelerated(ttaConfig(), s0).cycles;
+    sim::Config tp;
+    tp.accelMode = sim::AccelMode::TtaPlus;
+    sim::StatRegistry s1;
+    wl.runAccelerated(tp, s1);
+    sim::StatRegistry s2;
+    sim::Cycle second = wl.runAccelerated(ttaConfig(), s2).cycles;
+    EXPECT_EQ(first, second);
+}

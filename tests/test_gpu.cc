@@ -1,0 +1,345 @@
+/**
+ * @file
+ * SIMT GPU tests: kernel builder, SIMT reconvergence stack, functional
+ * execution of the ISA, divergence handling, warp votes, scheduling and
+ * multi-kernel co-dispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpu/gpu.hh"
+#include "gpu/kernel.hh"
+#include "gpu/simt_stack.hh"
+#include "sim/config.hh"
+
+using namespace tta;
+using namespace tta::gpu;
+
+// --- SIMT stack ------------------------------------------------------------
+
+TEST(SimtStack, UniformFlow)
+{
+    SimtStack stack;
+    stack.start(0, 0xffffffffu);
+    EXPECT_EQ(stack.pc(), 0u);
+    stack.advance();
+    EXPECT_EQ(stack.pc(), 1u);
+    stack.jump(10);
+    EXPECT_EQ(stack.pc(), 10u);
+    EXPECT_EQ(stack.activeMask(), 0xffffffffu);
+}
+
+TEST(SimtStack, DivergeAndReconverge)
+{
+    SimtStack stack;
+    stack.start(5, 0xffffffffu);
+    // Branch at pc 5 to target 20, reconv at 30; half the lanes take it.
+    stack.branch(0x0000ffffu, 20, 30);
+    // Taken side executes first.
+    EXPECT_EQ(stack.pc(), 20u);
+    EXPECT_EQ(stack.activeMask(), 0x0000ffffu);
+    stack.jump(30); // reaches reconvergence: pops to fall-through side
+    EXPECT_EQ(stack.pc(), 6u);
+    EXPECT_EQ(stack.activeMask(), 0xffff0000u);
+    stack.jump(30); // other side reaches reconvergence too
+    EXPECT_EQ(stack.pc(), 30u);
+    EXPECT_EQ(stack.activeMask(), 0xffffffffu); // merged
+}
+
+TEST(SimtStack, IfThenSkipPathPopsImmediately)
+{
+    // Lanes that branch directly to the reconvergence point must wait
+    // there, not run ahead with a partial mask (the warp-vote bug).
+    SimtStack stack;
+    stack.start(5, 0xfu);
+    stack.branch(0x3u, 9, 9); // 2 lanes skip to pc 9 == reconv
+    EXPECT_EQ(stack.pc(), 6u);       // then-body executes first
+    EXPECT_EQ(stack.activeMask(), 0xcu);
+    stack.jump(9);
+    EXPECT_EQ(stack.pc(), 9u);
+    EXPECT_EQ(stack.activeMask(), 0xfu); // full warp reconverged
+}
+
+TEST(SimtStack, EarlyExitScrubsLanes)
+{
+    SimtStack stack;
+    stack.start(0, 0xfu);
+    stack.branch(0x3u, 10, 20);
+    EXPECT_EQ(stack.activeMask(), 0x3u);
+    uint32_t exited = stack.exitLanes(); // taken lanes exit at pc 10
+    EXPECT_EQ(exited, 0x3u);
+    EXPECT_EQ(stack.activeMask(), 0xcu); // others resume
+    stack.jump(20);
+    EXPECT_EQ(stack.activeMask(), 0xcu); // exited lanes never return
+    stack.exitLanes();
+    EXPECT_TRUE(stack.empty());
+}
+
+// --- KernelBuilder ---------------------------------------------------------
+
+TEST(KernelBuilder, LabelsResolveAndExitAppended)
+{
+    KernelBuilder b("t");
+    Label top = b.newLabel();
+    b.movi(1, 3);
+    b.bind(top);
+    b.iaddi(1, 1, -1);
+    b.branchNZ(1, top);
+    KernelProgram prog = b.build();
+    ASSERT_EQ(prog.insts.back().op, Opcode::Exit);
+    EXPECT_EQ(prog.insts[2].target, 1u);
+    EXPECT_EQ(prog.insts[2].reconv, 3u); // fall-through
+}
+
+TEST(KernelBuilder, DisassembleNamesEveryOpcode)
+{
+    KernelBuilder b("t");
+    b.fadd(1, 2, 3);
+    b.load(4, 5, 8);
+    KernelProgram prog = b.build();
+    std::string dis = prog.disassemble();
+    EXPECT_NE(dis.find("fadd"), std::string::npos);
+    EXPECT_NE(dis.find("ld"), std::string::npos);
+}
+
+// --- Functional kernel execution ------------------------------------------
+
+namespace {
+
+/** Run a kernel on a fresh GPU and return it for inspection. */
+struct KernelRun
+{
+    sim::StatRegistry stats;
+    std::unique_ptr<Gpu> gpu;
+    sim::Cycle cycles = 0;
+
+    KernelRun()
+    {
+        sim::Config cfg;
+        gpu = std::make_unique<Gpu>(cfg, stats);
+    }
+};
+
+} // namespace
+
+TEST(SimtCore, ArithmeticAndParams)
+{
+    KernelRun run;
+    uint64_t out = run.gpu->memory().alloc(4096);
+    KernelBuilder b("arith");
+    b.tid(1);
+    b.param(2, 0);        // out base
+    b.ishli(3, 1, 2);
+    b.iadd(2, 2, 3);
+    b.cvtif(4, 1);        // tid as float
+    b.fmuli(4, 4, 2.5f);
+    b.faddi(4, 4, 1.0f);  // 2.5*tid + 1
+    b.cvtfi(5, 4);
+    b.store(2, 5);
+    KernelProgram prog = b.build();
+    run.cycles = run.gpu->runKernel(prog, 100,
+                                    {static_cast<uint32_t>(out)});
+    for (uint32_t t = 0; t < 100; ++t) {
+        EXPECT_EQ(run.gpu->memory().read<uint32_t>(out + 4 * t),
+                  static_cast<uint32_t>(2.5f * t + 1.0f));
+    }
+    EXPECT_GT(run.cycles, 0u);
+}
+
+TEST(SimtCore, DivergentBranchesComputeCorrectly)
+{
+    KernelRun run;
+    uint64_t out = run.gpu->memory().alloc(4096);
+    // out[tid] = (tid % 2) ? tid * 3 : tid + 100, via divergent if/else.
+    KernelBuilder b("diverge");
+    b.tid(1);
+    b.movi(2, 1);
+    b.iand(2, 1, 2); // odd?
+    b.ifThenElse(
+        2, [&]() { b.imuli(3, 1, 3); },
+        [&]() { b.iaddi(3, 1, 100); });
+    b.param(4, 0);
+    b.ishli(5, 1, 2);
+    b.iadd(4, 4, 5);
+    b.store(4, 3);
+    KernelProgram prog = b.build();
+    run.gpu->runKernel(prog, 64, {static_cast<uint32_t>(out)});
+    for (uint32_t t = 0; t < 64; ++t) {
+        uint32_t want = (t % 2) ? t * 3 : t + 100;
+        EXPECT_EQ(run.gpu->memory().read<uint32_t>(out + 4 * t), want);
+    }
+    // Divergence must show up in SIMT efficiency (< 100%).
+    uint64_t issued = run.stats.counterValue("core.issued");
+    uint64_t lanes = run.stats.counterValue("core.active_lane_sum");
+    EXPECT_LT(lanes, issued * 32);
+}
+
+TEST(SimtCore, DataDependentLoopTripCounts)
+{
+    KernelRun run;
+    uint64_t out = run.gpu->memory().alloc(4096);
+    // out[tid] = sum(1..(tid%7)+1) via a divergent do-while loop.
+    KernelBuilder b("loop");
+    b.tid(1);
+    b.movi(5, 0); // accumulator
+    b.movi(6, 0); // i
+    b.doWhile([&]() -> Reg {
+        b.iaddi(6, 6, 1);
+        b.iadd(5, 5, 6);
+        // continue while i < (tid & 3) + 1
+        b.movi(7, 3);
+        b.iand(7, 1, 7);
+        b.iaddi(7, 7, 1);
+        b.setlti(8, 6, 7);
+        return 8;
+    });
+    b.param(9, 0);
+    b.ishli(10, 1, 2);
+    b.iadd(9, 9, 10);
+    b.store(9, 5);
+    KernelProgram prog = b.build();
+    run.gpu->runKernel(prog, 64, {static_cast<uint32_t>(out)});
+    for (uint32_t t = 0; t < 64; ++t) {
+        uint32_t n = (t & 3) + 1;
+        EXPECT_EQ(run.gpu->memory().read<uint32_t>(out + 4 * t),
+                  n * (n + 1) / 2)
+            << "tid " << t;
+    }
+}
+
+TEST(SimtCore, VoteAnyIsWarpWide)
+{
+    KernelRun run;
+    uint64_t out = run.gpu->memory().alloc(4096);
+    // pred = (tid == 37): exactly one lane of warp 1. After vote.any,
+    // every lane of warp 1 must read 1; warp 0 and warp 2 read 0.
+    KernelBuilder b("vote");
+    b.tid(1);
+    b.movi(2, 37);
+    b.seteqi(3, 1, 2);
+    b.voteany(3, 3);
+    b.param(4, 0);
+    b.ishli(5, 1, 2);
+    b.iadd(4, 4, 5);
+    b.store(4, 3);
+    KernelProgram prog = b.build();
+    run.gpu->runKernel(prog, 96, {static_cast<uint32_t>(out)});
+    for (uint32_t t = 0; t < 96; ++t) {
+        uint32_t want = (t >= 32 && t < 64) ? 1 : 0;
+        EXPECT_EQ(run.gpu->memory().read<uint32_t>(out + 4 * t), want)
+            << "tid " << t;
+    }
+}
+
+TEST(SimtCore, FloatOpsMatchHost)
+{
+    KernelRun run;
+    uint64_t in = run.gpu->memory().alloc(4096);
+    uint64_t out = run.gpu->memory().alloc(4096);
+    for (int i = 0; i < 64; ++i)
+        run.gpu->memory().write<float>(in + 4 * i, 0.5f + i * 0.37f);
+
+    KernelBuilder b("fmath");
+    b.tid(1);
+    b.param(2, 0);
+    b.ishli(3, 1, 2);
+    b.iadd(2, 2, 3);
+    b.load(4, 2);     // x
+    b.fsqrt(5, 4);
+    b.frcp(6, 5);     // 1/sqrt(x)
+    b.fmul(7, 4, 6);  // x/sqrt(x)
+    b.param(8, 1);
+    b.iadd(8, 8, 3);
+    b.store(8, 7);
+    KernelProgram prog = b.build();
+    run.gpu->runKernel(prog, 64,
+                       {static_cast<uint32_t>(in),
+                        static_cast<uint32_t>(out)});
+    for (int i = 0; i < 64; ++i) {
+        float x = 0.5f + i * 0.37f;
+        float want = x * (1.0f / std::sqrt(x));
+        EXPECT_FLOAT_EQ(run.gpu->memory().read<float>(out + 4 * i), want);
+    }
+}
+
+TEST(Gpu, MoreThreadsThanResidency)
+{
+    // 8 SMs x 32 warps = 8192 resident threads; launch 3x that.
+    KernelRun run;
+    uint64_t out = run.gpu->memory().alloc(4 * 30000);
+    KernelBuilder b("big");
+    b.tid(1);
+    b.param(2, 0);
+    b.ishli(3, 1, 2);
+    b.iadd(2, 2, 3);
+    b.imuli(4, 1, 7);
+    b.store(2, 4);
+    KernelProgram prog = b.build();
+    run.gpu->runKernel(prog, 30000, {static_cast<uint32_t>(out)});
+    for (uint32_t t = 0; t < 30000; t += 997)
+        EXPECT_EQ(run.gpu->memory().read<uint32_t>(out + 4 * t), t * 7);
+}
+
+TEST(Gpu, CoScheduledKernelsBothComplete)
+{
+    KernelRun run;
+    uint64_t out_a = run.gpu->memory().alloc(4096);
+    uint64_t out_b = run.gpu->memory().alloc(4096);
+    KernelBuilder ba("a");
+    ba.tid(1);
+    ba.param(2, 0);
+    ba.ishli(3, 1, 2);
+    ba.iadd(2, 2, 3);
+    ba.movi(4, 0xa);
+    ba.store(2, 4);
+    KernelProgram pa = ba.build();
+    KernelBuilder bb("b");
+    bb.tid(1);
+    bb.param(2, 0);
+    bb.ishli(3, 1, 2);
+    bb.iadd(2, 2, 3);
+    bb.movi(4, 0xb);
+    bb.store(2, 4);
+    KernelProgram pb = bb.build();
+    run.gpu->runKernels(
+        {Launch{&pa, 256, {static_cast<uint32_t>(out_a)}},
+         Launch{&pb, 256, {static_cast<uint32_t>(out_b)}}});
+    for (uint32_t t = 0; t < 256; ++t) {
+        EXPECT_EQ(run.gpu->memory().read<uint32_t>(out_a + 4 * t), 0xau);
+        EXPECT_EQ(run.gpu->memory().read<uint32_t>(out_b + 4 * t), 0xbu);
+    }
+}
+
+TEST(Gpu, PartialLastWarp)
+{
+    KernelRun run;
+    uint64_t out = run.gpu->memory().alloc(4096);
+    KernelBuilder b("partial");
+    b.tid(1);
+    b.param(2, 0);
+    b.ishli(3, 1, 2);
+    b.iadd(2, 2, 3);
+    b.movi(4, 1);
+    b.store(2, 4);
+    KernelProgram prog = b.build();
+    run.gpu->runKernel(prog, 37, {static_cast<uint32_t>(out)}); // 32 + 5
+    for (uint32_t t = 0; t < 37; ++t)
+        EXPECT_EQ(run.gpu->memory().read<uint32_t>(out + 4 * t), 1u);
+}
+
+TEST(Gpu, InstructionClassCountsPlausible)
+{
+    KernelRun run;
+    KernelBuilder b("mix");
+    b.tid(1);
+    b.movi(2, 5);
+    b.iadd(3, 1, 2);
+    b.fsqrt(4, 3);
+    KernelProgram prog = b.build();
+    run.gpu->runKernel(prog, 32);
+    EXPECT_GE(run.stats.counterValue("core.insts_alu"), 3u);
+    EXPECT_EQ(run.stats.counterValue("core.insts_sfu"), 1u);
+    EXPECT_EQ(run.stats.counterValue("core.insts_ctrl"), 1u); // exit
+}

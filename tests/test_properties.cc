@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cross-module property tests: physical and structural invariants that
+ * must hold across parameter sweeps (radius monotonicity, Barnes-Hut
+ * accuracy vs theta, query hit-rate behaviour, BVH quality).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/intersect.hh"
+#include "sim/rng.hh"
+#include "trees/octree.hh"
+#include "trees/pointcloud.hh"
+#include "workloads/btree_workload.hh"
+
+using namespace tta;
+using namespace ::tta::workloads;
+
+// --- Radius search: monotonicity in the radius ---------------------------
+
+class RadiusSweep : public ::testing::TestWithParam<float>
+{};
+
+TEST_P(RadiusSweep, CountsGrowWithRadius)
+{
+    float radius = GetParam();
+    auto cloud = trees::PointCloud::generateLidarLike(6000, 3);
+    trees::RadiusSearchIndex small_idx(cloud, radius);
+    trees::RadiusSearchIndex big_idx(cloud, radius * 2.0f);
+    sim::Rng rng(9);
+    for (int q = 0; q < 40; ++q) {
+        geom::Vec3 p = cloud.points[rng.nextBounded(cloud.points.size())];
+        size_t small_n = small_idx.query(p).size();
+        size_t big_n = big_idx.query(p).size();
+        EXPECT_LE(small_n, big_n);
+        // The query point itself is always within any positive radius.
+        EXPECT_GE(small_n, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RadiusSweep,
+                         ::testing::Values(0.25f, 0.5f, 1.0f, 2.0f));
+
+// --- Barnes-Hut: accuracy improves as theta shrinks ----------------------
+
+TEST(BarnesHutAccuracy, ErrorDecreasesWithTheta)
+{
+    sim::Rng rng(11);
+    std::vector<trees::BhBody> bodies;
+    for (int i = 0; i < 512; ++i) {
+        trees::BhBody b;
+        b.pos = {4.0f * rng.gaussian(), 4.0f * rng.gaussian(),
+                 4.0f * rng.gaussian()};
+        b.mass = rng.uniform(0.5f, 2.0f);
+        bodies.push_back(b);
+    }
+    // theta ~ 0: effectively exact.
+    trees::BarnesHutTree exact(3, bodies, 1e-4f);
+    trees::BarnesHutTree mid(3, bodies, 0.5f);
+    trees::BarnesHutTree loose(3, bodies, 1.2f);
+
+    double err_mid = 0.0, err_loose = 0.0;
+    const auto &ordered = exact.orderedBodies();
+    for (size_t q = 0; q < ordered.size(); q += 16) {
+        geom::Vec3 truth = exact.referenceForce(ordered[q].pos).accel;
+        geom::Vec3 m = mid.referenceForce(ordered[q].pos).accel;
+        geom::Vec3 l = loose.referenceForce(ordered[q].pos).accel;
+        double norm = geom::length(truth) + 1e-3;
+        err_mid += geom::length(m - truth) / norm;
+        err_loose += geom::length(l - truth) / norm;
+    }
+    EXPECT_LT(err_mid, err_loose);
+    EXPECT_LT(err_mid / (ordered.size() / 16), 0.05); // <5% mean error
+}
+
+TEST(BarnesHutAccuracy, MomentumNearlyConserved)
+{
+    // Sum of m*a over all bodies ~ 0 for internal forces (Newton's third
+    // law holds exactly for the direct terms and approximately for the
+    // multipole approximations).
+    sim::Rng rng(13);
+    std::vector<trees::BhBody> bodies;
+    for (int i = 0; i < 1024; ++i) {
+        trees::BhBody b;
+        b.pos = {3.0f * rng.gaussian(), 3.0f * rng.gaussian(),
+                 3.0f * rng.gaussian()};
+        b.mass = rng.uniform(0.5f, 2.0f);
+        bodies.push_back(b);
+    }
+    trees::BarnesHutTree tree(3, bodies, 0.5f);
+    geom::Vec3 net(0.0f);
+    double total = 0.0;
+    for (const auto &b : tree.orderedBodies()) {
+        geom::Vec3 a = tree.referenceForce(b.pos).accel;
+        net += a * b.mass;
+        total += static_cast<double>(geom::length(a)) * b.mass;
+    }
+    // Net force is a small fraction of the total force magnitude.
+    EXPECT_LT(geom::length(net), 0.02 * total);
+}
+
+// --- B-Tree workload: hit-rate extremes ---------------------------------
+
+class HitRate : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(HitRate, AcceleratedRunStaysCorrect)
+{
+    BTreeWorkload wl(trees::BTreeKind::BTree, 5000, 512, 3, GetParam());
+    sim::Config cfg;
+    cfg.accelMode = sim::AccelMode::Tta;
+    sim::StatRegistry stats;
+    // runAccelerated panics internally on any result mismatch.
+    RunMetrics m = wl.runAccelerated(cfg, stats);
+    EXPECT_GT(m.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, HitRate,
+                         ::testing::Values(0.0, 0.25, 0.75, 1.0));
+
+// --- BVH: SAH build beats scrambled order on traversal work -----------------
+
+TEST(BvhQuality, SahPrunesMostWork)
+{
+    sim::Rng rng(17);
+    std::vector<geom::Aabb> boxes;
+    for (int i = 0; i < 2000; ++i) {
+        geom::Vec3 p = {rng.uniform(-20, 20), rng.uniform(-20, 20),
+                        rng.uniform(-20, 20)};
+        boxes.emplace_back(p, p + geom::Vec3(0.3f));
+    }
+    trees::Bvh bvh;
+    bvh.build(boxes, 2);
+    // A pencil of rays: the mean number of leaf tests must be a tiny
+    // fraction of the primitive count (the point of the hierarchy).
+    uint64_t tests = 0;
+    int n_rays = 100;
+    for (int i = 0; i < n_rays; ++i) {
+        geom::Ray ray;
+        ray.origin = {rng.uniform(-25, 25), rng.uniform(-25, 25), -30};
+        ray.dir = geom::normalize({rng.uniform(-0.2f, 0.2f),
+                                   rng.uniform(-0.2f, 0.2f), 1.0f});
+        bvh.traverse(ray, [&](uint32_t) { ++tests; });
+    }
+    EXPECT_LT(tests, static_cast<uint64_t>(n_rays) * boxes.size() / 20);
+}

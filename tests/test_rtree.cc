@@ -1,0 +1,152 @@
+/**
+ * @file
+ * R-Tree extension tests: STR build invariants, serialization round
+ * trip, reference-vs-brute-force queries, the device workload on every
+ * supported hardware level, and the child-prefetcher knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "trees/rtree.hh"
+#include "workloads/rtree_workload.hh"
+
+using namespace tta;
+using namespace ::tta::workloads;
+using trees::Rect2D;
+using trees::RTree;
+
+namespace {
+
+std::vector<Rect2D>
+randomRects(size_t n, uint64_t seed)
+{
+    sim::Rng rng(seed);
+    std::vector<Rect2D> rects;
+    for (size_t i = 0; i < n; ++i) {
+        float cx = rng.uniform(1.0f, 199.0f);
+        float cy = rng.uniform(1.0f, 199.0f);
+        float w = rng.uniform(0.1f, 1.5f);
+        float h = rng.uniform(0.1f, 1.5f);
+        rects.push_back({cx - w, cy - h, cx + w, cy + h});
+    }
+    return rects;
+}
+
+} // namespace
+
+TEST(Rect2D, OverlapSemantics)
+{
+    Rect2D a{0, 0, 2, 2};
+    EXPECT_TRUE(a.overlaps({1, 1, 3, 3}));
+    EXPECT_TRUE(a.overlaps({2, 2, 3, 3})); // touching counts
+    EXPECT_FALSE(a.overlaps({2.1f, 0, 3, 2}));
+    EXPECT_TRUE(a.overlaps({-1, -1, 5, 5})); // containment
+    EXPECT_TRUE((Rect2D{0.5f, 0.5f, 1, 1}.overlaps(a)));
+}
+
+TEST(RTree, CountMatchesBruteForce)
+{
+    auto rects = randomRects(4000, 5);
+    RTree tree(rects);
+    sim::Rng rng(6);
+    for (int trial = 0; trial < 100; ++trial) {
+        float cx = rng.uniform(0.0f, 200.0f);
+        float cy = rng.uniform(0.0f, 200.0f);
+        float e = rng.uniform(0.5f, 8.0f);
+        Rect2D q{cx - e, cy - e, cx + e, cy + e};
+        uint32_t brute = 0;
+        for (const auto &r : rects)
+            brute += q.overlaps(r);
+        EXPECT_EQ(tree.countOverlaps(q), brute) << "trial " << trial;
+    }
+}
+
+TEST(RTree, StructureInvariants)
+{
+    RTree tree(randomRects(5000, 7));
+    EXPECT_EQ(tree.numObjects(), 5000u);
+    // Fanout-7 STR: height ~ ceil(log7(5000/7)) + 1.
+    EXPECT_GE(tree.height(), 3u);
+    EXPECT_LE(tree.height(), 6u);
+    // A whole-world query returns everything.
+    EXPECT_EQ(tree.countOverlaps({-10, -10, 210, 210}), 5000u);
+    // An empty-region query returns nothing.
+    EXPECT_EQ(tree.countOverlaps({500, 500, 501, 501}), 0u);
+}
+
+TEST(RTree, SerializedImageConsistent)
+{
+    RTree tree(randomRects(800, 9));
+    mem::GlobalMemory gmem(8u << 20);
+    uint64_t root = tree.serialize(gmem);
+
+    // Walk the serialized tree for one query and compare to the host.
+    sim::Rng rng(10);
+    using L = trees::RTreeNodeLayout;
+    for (int trial = 0; trial < 25; ++trial) {
+        float cx = rng.uniform(5.0f, 195.0f);
+        float cy = rng.uniform(5.0f, 195.0f);
+        Rect2D q{cx - 3, cy - 3, cx + 3, cy + 3};
+        uint32_t count = 0;
+        std::vector<uint64_t> stack{root};
+        while (!stack.empty()) {
+            uint64_t node = stack.back();
+            stack.pop_back();
+            uint32_t flags = gmem.read<uint32_t>(node + L::kOffFlags);
+            bool leaf = flags & L::kLeafFlag;
+            uint32_t n = (flags >> 8) & 0xff;
+            uint32_t child_base =
+                gmem.read<uint32_t>(node + L::kOffChildBase);
+            for (uint32_t i = 0; i < n; ++i) {
+                uint64_t e = node + L::kOffEntries + 16ull * i;
+                Rect2D rect{gmem.read<float>(e + 0),
+                            gmem.read<float>(e + 4),
+                            gmem.read<float>(e + 8),
+                            gmem.read<float>(e + 12)};
+                if (!q.overlaps(rect))
+                    continue;
+                if (leaf)
+                    ++count;
+                else
+                    stack.push_back(child_base + i * L::kNodeBytes);
+            }
+        }
+        EXPECT_EQ(count, tree.countOverlaps(q));
+    }
+}
+
+TEST(RTreeWorkload, BaselineAndAcceleratedVerify)
+{
+    RTreeWorkload wl(8000, 1024, 2.0f, 13);
+    sim::Config base_cfg;
+    sim::StatRegistry s0;
+    RunMetrics base = wl.runBaseline(base_cfg, s0);
+    EXPECT_LT(base.simtEfficiency, 0.75); // divergent range queries
+
+    for (auto mode : {sim::AccelMode::Tta, sim::AccelMode::TtaPlus}) {
+        sim::Config cfg;
+        cfg.accelMode = mode;
+        sim::StatRegistry stats;
+        RunMetrics m = wl.runAccelerated(cfg, stats);
+        EXPECT_LT(m.cycles, base.cycles)
+            << sim::accelModeName(mode);
+        EXPECT_LT(m.totalInsts(), base.totalInsts() / 4);
+    }
+}
+
+TEST(RTreeWorkload, ChildPrefetchHelpsOrIsNeutral)
+{
+    RTreeWorkload wl(8000, 1024, 2.0f, 17);
+    sim::Config cfg;
+    cfg.accelMode = sim::AccelMode::Tta;
+    sim::StatRegistry s0;
+    RunMetrics plain = wl.runAccelerated(cfg, s0);
+
+    cfg.rtaChildPrefetch = true;
+    sim::StatRegistry s1;
+    RunMetrics prefetched = wl.runAccelerated(cfg, s1);
+    EXPECT_GT(s1.counterValue("rta.prefetches"), 0u);
+    // Never worse than a few percent (prefetch traffic is bounded).
+    EXPECT_LE(prefetched.cycles, plain.cycles * 21 / 20);
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * End-to-end smoke tests: the B-Tree workload must produce correct
+ * results and sane relative performance on every hardware level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "workloads/btree_workload.hh"
+
+using namespace tta;
+using workloads::BTreeWorkload;
+using workloads::RunMetrics;
+
+TEST(Smoke, BTreeBaselineCorrect)
+{
+    BTreeWorkload wl(trees::BTreeKind::BTree, 2000, 256, 7);
+    sim::Config cfg;
+    sim::StatRegistry stats;
+    RunMetrics m = wl.runBaseline(cfg, stats);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.instsAlu, 0u);
+    EXPECT_GT(m.simtEfficiency, 0.0);
+    EXPECT_LT(m.simtEfficiency, 1.01);
+}
+
+TEST(Smoke, BTreeTtaCorrectAndFaster)
+{
+    BTreeWorkload wl(trees::BTreeKind::BTree, 20000, 2048, 7);
+
+    sim::Config base_cfg;
+    sim::StatRegistry base_stats;
+    RunMetrics base = wl.runBaseline(base_cfg, base_stats);
+
+    sim::Config tta_cfg;
+    tta_cfg.accelMode = sim::AccelMode::Tta;
+    sim::StatRegistry tta_stats;
+    RunMetrics tta = wl.runAccelerated(tta_cfg, tta_stats);
+
+    EXPECT_GT(tta.nodesVisited, 0u);
+    // The headline claim: TTA beats the software baseline.
+    EXPECT_LT(tta.cycles, base.cycles);
+    // And eliminates almost all dynamic instructions (Fig 20).
+    EXPECT_LT(tta.totalInsts(), base.totalInsts() / 4);
+}
+
+TEST(Smoke, BTreeTtaPlusCorrect)
+{
+    BTreeWorkload wl(trees::BTreeKind::BPlusTree, 5000, 512, 11);
+    sim::Config cfg;
+    cfg.accelMode = sim::AccelMode::TtaPlus;
+    sim::StatRegistry stats;
+    RunMetrics m = wl.runAccelerated(cfg, stats);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.nodesVisited, 0u);
+}

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Tests for the tree substrates: B-Tree variants, BVH, Barnes-Hut tree,
+ * point clouds — invariants, serialization round trips, and reference
+ * queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geom/intersect.hh"
+#include "mem/global_memory.hh"
+#include "sim/rng.hh"
+#include "trees/btree.hh"
+#include "trees/bvh.hh"
+#include "trees/octree.hh"
+#include "trees/pointcloud.hh"
+
+using namespace tta;
+using namespace tta::trees;
+using tta::sim::Rng;
+
+namespace {
+
+std::vector<float>
+makeKeys(size_t n)
+{
+    std::vector<float> keys(n);
+    for (size_t i = 0; i < n; ++i)
+        keys[i] = 2.0f * static_cast<float>(i + 1);
+    return keys;
+}
+
+} // namespace
+
+// --- B-Tree ------------------------------------------------------------
+
+class BTreeAllKinds : public ::testing::TestWithParam<BTreeKind>
+{};
+
+TEST_P(BTreeAllKinds, FindsEveryKeyAndRejectsAbsent)
+{
+    BTree tree(GetParam(), makeKeys(3000));
+    for (size_t i = 1; i <= 3000; i += 37)
+        EXPECT_TRUE(tree.search(2.0f * i).found) << "key " << 2 * i;
+    for (size_t i = 0; i < 200; ++i)
+        EXPECT_FALSE(tree.search(2.0f * i + 1.0f).found);
+    EXPECT_FALSE(tree.search(-5.0f).found);
+    EXPECT_FALSE(tree.search(1e9f).found);
+}
+
+TEST_P(BTreeAllKinds, SerializedSearchMatchesHost)
+{
+    BTree tree(GetParam(), makeKeys(5000));
+    mem::GlobalMemory gmem(8u << 20);
+    uint64_t root = tree.serialize(gmem);
+    Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        float q = rng.nextFloat() < 0.5f
+            ? 2.0f * (1 + rng.nextBounded(5000))
+            : 2.0f * rng.nextBounded(5200) + 1.0f;
+        auto host = tree.search(q);
+        auto dev = BTree::searchSerialized(gmem, root, q);
+        EXPECT_EQ(host.found, dev.found) << "query " << q;
+    }
+}
+
+TEST_P(BTreeAllKinds, UniformDepthForBPlusOnly)
+{
+    BTree tree(GetParam(), makeKeys(4000));
+    mem::GlobalMemory gmem(8u << 20);
+    uint64_t root = tree.serialize(gmem);
+    std::set<uint32_t> miss_depths;
+    for (int i = 0; i < 500; ++i) {
+        // Absent keys always walk to a leaf.
+        auto r = BTree::searchSerialized(gmem, root,
+                                         2.0f * (i * 7 % 4000) + 1.0f);
+        miss_depths.insert(r.depth);
+    }
+    if (GetParam() == BTreeKind::BPlusTree) {
+        // B+Tree: every traversal reaches the same leaf level (this is
+        // why the paper sees less control divergence for B+).
+        EXPECT_EQ(miss_depths.size(), 1u);
+    }
+    EXPECT_LE(*miss_depths.rbegin(), tree.height());
+}
+
+TEST_P(BTreeAllKinds, TinyTrees)
+{
+    for (size_t n : {1u, 2u, 8u, 9u, 10u}) {
+        BTree tree(GetParam(), makeKeys(n));
+        for (size_t i = 1; i <= n; ++i)
+            EXPECT_TRUE(tree.search(2.0f * i).found);
+        EXPECT_FALSE(tree.search(3.0f).found);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BTreeAllKinds,
+                         ::testing::Values(BTreeKind::BTree,
+                                           BTreeKind::BStarTree,
+                                           BTreeKind::BPlusTree));
+
+TEST(BTree, BStarIsShallower)
+{
+    // The B* variant packs nodes denser, so it is never deeper than the
+    // plain B-Tree at the same key count.
+    BTree b(BTreeKind::BTree, makeKeys(100000));
+    BTree bstar(BTreeKind::BStarTree, makeKeys(100000));
+    EXPECT_LE(bstar.height(), b.height());
+    EXPECT_LE(bstar.numNodes(), b.numNodes());
+}
+
+// --- BVH ---------------------------------------------------------------
+
+TEST(Bvh, LeavesPartitionPrimitives)
+{
+    Rng rng(7);
+    std::vector<geom::Aabb> boxes;
+    for (int i = 0; i < 500; ++i) {
+        geom::Vec3 p = {rng.uniform(-10, 10), rng.uniform(-10, 10),
+                        rng.uniform(-10, 10)};
+        boxes.emplace_back(p, p + geom::Vec3(0.5f, 0.5f, 0.5f));
+    }
+    Bvh bvh;
+    bvh.build(boxes, 3);
+    // Every primitive appears exactly once across leaves.
+    std::vector<uint32_t> order = bvh.primOrder();
+    std::sort(order.begin(), order.end());
+    for (uint32_t i = 0; i < 500; ++i)
+        EXPECT_EQ(order[i], i);
+    // Parent boxes contain their children.
+    for (const auto &node : bvh.nodes()) {
+        if (node.isLeaf())
+            continue;
+        const auto &l = bvh.nodes()[node.left].box;
+        const auto &r = bvh.nodes()[node.right].box;
+        EXPECT_TRUE(node.box.contains(l.lo) && node.box.contains(l.hi));
+        EXPECT_TRUE(node.box.contains(r.lo) && node.box.contains(r.hi));
+    }
+}
+
+TEST(Bvh, TraverseFindsAllIntersectedBoxes)
+{
+    Rng rng(9);
+    std::vector<geom::Aabb> boxes;
+    for (int i = 0; i < 300; ++i) {
+        geom::Vec3 p = {rng.uniform(-10, 10), rng.uniform(-10, 10),
+                        rng.uniform(-10, 10)};
+        boxes.emplace_back(p, p + geom::Vec3(rng.uniform(0.1f, 1.0f),
+                                             rng.uniform(0.1f, 1.0f),
+                                             rng.uniform(0.1f, 1.0f)));
+    }
+    Bvh bvh;
+    bvh.build(boxes, 2);
+    for (int trial = 0; trial < 50; ++trial) {
+        geom::Ray ray;
+        ray.origin = {rng.uniform(-15, 15), rng.uniform(-15, 15), -20};
+        ray.dir = geom::normalize({rng.uniform(-0.3f, 0.3f),
+                                   rng.uniform(-0.3f, 0.3f), 1.0f});
+        std::set<uint32_t> via_bvh;
+        geom::Ray r = ray;
+        bvh.traverse(r, [&](uint32_t id) { via_bvh.insert(id); });
+        // Brute force: every intersected box must be reported.
+        for (uint32_t id = 0; id < boxes.size(); ++id) {
+            if (geom::rayBox(ray, boxes[id])) {
+                EXPECT_TRUE(via_bvh.count(id)) << "missed box " << id;
+            }
+        }
+    }
+}
+
+TEST(Bvh, SerializedTraversalMatchesHost)
+{
+    Rng rng(11);
+    std::vector<geom::Aabb> boxes;
+    for (int i = 0; i < 200; ++i) {
+        geom::Vec3 p = {rng.uniform(-5, 5), rng.uniform(-5, 5),
+                        rng.uniform(-5, 5)};
+        boxes.emplace_back(p, p + geom::Vec3(0.4f));
+    }
+    Bvh bvh;
+    bvh.build(boxes, 2);
+    mem::GlobalMemory gmem(8u << 20);
+    SerializedBvh image = bvh.serialize(gmem);
+
+    for (int trial = 0; trial < 40; ++trial) {
+        geom::Ray ray;
+        ray.origin = {rng.uniform(-8, 8), rng.uniform(-8, 8), -10};
+        ray.dir = geom::normalize({rng.uniform(-0.4f, 0.4f),
+                                   rng.uniform(-0.4f, 0.4f), 1.0f});
+        std::set<uint32_t> host_ids;
+        geom::Ray hr = ray;
+        bvh.traverse(hr, [&](uint32_t id) { host_ids.insert(id); });
+
+        // Walk the serialized image.
+        std::set<uint32_t> dev_ids;
+        std::vector<uint32_t> stack{image.root.raw};
+        while (!stack.empty()) {
+            BvhRef ref{stack.back()};
+            stack.pop_back();
+            if (ref.isLeaf()) {
+                uint32_t count = gmem.read<uint32_t>(ref.addr());
+                for (uint32_t i = 0; i < count; ++i)
+                    dev_ids.insert(
+                        gmem.read<uint32_t>(ref.addr() + 4 + 4 * i));
+                continue;
+            }
+            uint64_t node = ref.addr();
+            auto test = [&](uint32_t lo_off, uint32_t hi_off,
+                            uint32_t ref_off) {
+                geom::Aabb box;
+                box.lo = {gmem.read<float>(node + lo_off),
+                          gmem.read<float>(node + lo_off + 4),
+                          gmem.read<float>(node + lo_off + 8)};
+                box.hi = {gmem.read<float>(node + hi_off),
+                          gmem.read<float>(node + hi_off + 4),
+                          gmem.read<float>(node + hi_off + 8)};
+                BvhRef child{gmem.read<uint32_t>(node + ref_off)};
+                if (child.valid() && geom::rayBox(ray, box))
+                    stack.push_back(child.raw);
+            };
+            using L = BvhNodeLayout;
+            test(L::kOffLoL, L::kOffHiL, L::kOffLeft);
+            test(L::kOffLoR, L::kOffHiR, L::kOffRight);
+        }
+        // The leaf-level visit sets must agree (leaf boxes = prim boxes
+        // unions; the host traversal enters leaves the ray's box test
+        // accepts).
+        for (uint32_t id : dev_ids)
+            EXPECT_TRUE(geom::rayBox(ray, boxes[id]).has_value() ||
+                        true); // leaf granularity: superset allowed
+        for (uint32_t id : host_ids)
+            EXPECT_TRUE(dev_ids.count(id)) << "serialized walk missed "
+                                           << id;
+    }
+}
+
+TEST(Bvh, SinglePrimitive)
+{
+    Bvh bvh;
+    bvh.build({geom::Aabb({0, 0, 0}, {1, 1, 1})}, 2);
+    EXPECT_EQ(bvh.nodes().size(), 1u);
+    mem::GlobalMemory gmem(1u << 20);
+    SerializedBvh image = bvh.serialize(gmem);
+    EXPECT_TRUE(image.root.isLeaf());
+}
+
+// --- Barnes-Hut tree ------------------------------------------------------
+
+TEST(BarnesHut, MassAndComInvariants)
+{
+    Rng rng(5);
+    std::vector<BhBody> bodies;
+    float total_mass = 0;
+    geom::Vec3 weighted(0.0f);
+    for (int i = 0; i < 2000; ++i) {
+        BhBody b;
+        b.pos = {rng.uniform(-10, 10), rng.uniform(-10, 10),
+                 rng.uniform(-10, 10)};
+        b.mass = rng.uniform(0.5f, 2.0f);
+        total_mass += b.mass;
+        weighted += b.pos * b.mass;
+        bodies.push_back(b);
+    }
+    BarnesHutTree tree(3, bodies, 0.5f);
+    auto root = tree.nodeView(tree.rootIndex());
+    EXPECT_NEAR(root.mass, total_mass, total_mass * 1e-4f);
+    geom::Vec3 com = weighted / total_mass;
+    EXPECT_NEAR(geom::length(root.com - com), 0.0f, 1e-2f);
+    EXPECT_EQ(tree.numBodies(), 2000u);
+}
+
+TEST(BarnesHut, ForceMatchesDirectSumForSmallTheta)
+{
+    // theta -> 0 opens every node: Barnes-Hut equals the direct O(n^2)
+    // sum.
+    Rng rng(6);
+    std::vector<BhBody> bodies;
+    for (int i = 0; i < 64; ++i) {
+        BhBody b;
+        b.pos = {rng.uniform(-5, 5), rng.uniform(-5, 5),
+                 rng.uniform(-5, 5)};
+        b.mass = rng.uniform(0.5f, 2.0f);
+        bodies.push_back(b);
+    }
+    BarnesHutTree tree(3, bodies, 1e-4f);
+    const auto &ordered = tree.orderedBodies();
+    for (size_t q = 0; q < ordered.size(); q += 7) {
+        geom::Vec3 direct(0.0f);
+        for (const auto &b : ordered) {
+            geom::Vec3 dr = b.pos - ordered[q].pos;
+            float d2 = geom::dot(dr, dr);
+            if (d2 == 0.0f)
+                continue;
+            float inv = 1.0f / std::sqrt(d2 + 0.05f * 0.05f);
+            direct += dr * (b.mass * inv * inv * inv);
+        }
+        auto res = tree.referenceForce(ordered[q].pos);
+        EXPECT_NEAR(geom::length(res.accel - direct), 0.0f,
+                    1e-3f * (geom::length(direct) + 1.0f));
+    }
+}
+
+TEST(BarnesHut, LargerThetaApproximatesMore)
+{
+    Rng rng(8);
+    std::vector<BhBody> bodies;
+    for (int i = 0; i < 4096; ++i) {
+        BhBody b;
+        b.pos = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+        bodies.push_back(b);
+    }
+    BarnesHutTree tight(3, bodies, 0.3f);
+    BarnesHutTree loose(3, bodies, 1.0f);
+    uint64_t tight_visits = 0, loose_visits = 0;
+    for (int q = 0; q < 128; ++q) {
+        tight_visits +=
+            tight.referenceForce(tight.orderedBodies()[q].pos).nodesVisited;
+        loose_visits +=
+            loose.referenceForce(loose.orderedBodies()[q].pos).nodesVisited;
+    }
+    EXPECT_LT(loose_visits, tight_visits);
+}
+
+TEST(BarnesHut, SerializationRoundTrip)
+{
+    Rng rng(10);
+    std::vector<BhBody> bodies;
+    for (int i = 0; i < 500; ++i) {
+        BhBody b;
+        b.pos = {rng.uniform(-5, 5), rng.uniform(-5, 5), 0.0f};
+        b.mass = 1.0f;
+        bodies.push_back(b);
+    }
+    BarnesHutTree tree(2, std::move(bodies), 0.5f);
+    mem::GlobalMemory gmem(8u << 20);
+    uint64_t root = tree.serialize(gmem);
+
+    // Walk the serialized tree: summed leaf body counts == n, masses
+    // aggregate, children contiguous.
+    uint64_t body_total = 0;
+    std::vector<uint64_t> stack{root};
+    while (!stack.empty()) {
+        uint64_t node = stack.back();
+        stack.pop_back();
+        uint32_t flags = gmem.read<uint32_t>(node + BhNodeLayout::kOffFlags);
+        if (flags & BhNodeLayout::kLeafFlag) {
+            body_total += (flags >> 16) & 0xff;
+            continue;
+        }
+        uint32_t count = (flags >> 8) & 0xff;
+        uint32_t base = gmem.read<uint32_t>(node +
+                                            BhNodeLayout::kOffChildBase);
+        ASSERT_GT(count, 0u);
+        for (uint32_t c = 0; c < count; ++c)
+            stack.push_back(base + c * BhNodeLayout::kNodeBytes);
+    }
+    EXPECT_EQ(body_total, tree.numBodies());
+}
+
+// --- Point cloud / radius search ----------------------------------------
+
+TEST(PointCloud, DeterministicAndSized)
+{
+    auto a = PointCloud::generateLidarLike(10000, 3);
+    auto b = PointCloud::generateLidarLike(10000, 3);
+    ASSERT_EQ(a.points.size(), 10000u);
+    EXPECT_EQ(a.points[1234], b.points[1234]);
+    auto c = PointCloud::generateLidarLike(10000, 4);
+    EXPECT_FALSE(a.points[1234] == c.points[1234]);
+}
+
+TEST(RadiusSearch, MatchesBruteForce)
+{
+    auto cloud = PointCloud::generateLidarLike(5000, 12);
+    RadiusSearchIndex index(cloud, 1.5f);
+    Rng rng(13);
+    for (int trial = 0; trial < 30; ++trial) {
+        geom::Vec3 q = cloud.points[rng.nextBounded(cloud.points.size())];
+        auto hits = index.query(q);
+        std::set<uint32_t> got(hits.begin(), hits.end());
+        std::set<uint32_t> want;
+        for (uint32_t i = 0; i < cloud.points.size(); ++i) {
+            if (geom::pointWithinRadius(q, cloud.points[i], 1.5f))
+                want.insert(i);
+        }
+        EXPECT_EQ(got, want);
+    }
+}

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Workload integration tests: every benchmark application, on every
+ * hardware level it supports, produces verified-correct results (each
+ * run* method panics on any device/reference mismatch) and qualitatively
+ * sane metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/btree_workload.hh"
+#include "workloads/nbody_workload.hh"
+#include "workloads/raytracing_workload.hh"
+#include "workloads/rtnn_workload.hh"
+
+using namespace tta;
+using namespace ::tta::workloads;
+
+namespace {
+
+sim::Config
+modeConfig(sim::AccelMode mode)
+{
+    sim::Config cfg;
+    cfg.accelMode = mode;
+    return cfg;
+}
+
+} // namespace
+
+// --- B-Tree ----------------------------------------------------------------
+
+class BTreeModes : public ::testing::TestWithParam<
+                       std::tuple<trees::BTreeKind, sim::AccelMode>>
+{};
+
+TEST_P(BTreeModes, CorrectAndAccelerated)
+{
+    auto [kind, mode] = GetParam();
+    BTreeWorkload wl(kind, 20000, 1024, 17);
+
+    sim::StatRegistry base_stats;
+    RunMetrics base = wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
+                                     base_stats);
+    sim::StatRegistry accel_stats;
+    RunMetrics accel = wl.runAccelerated(modeConfig(mode), accel_stats);
+
+    // The headline result: hardware traversal wins, and one traverseTree
+    // instruction replaces the whole software loop (Fig 20).
+    EXPECT_LT(accel.cycles, base.cycles)
+        << trees::bTreeKindName(kind);
+    EXPECT_LT(accel.totalInsts(), base.totalInsts() / 4);
+    EXPECT_GT(accel.instsAccel, 0u);
+    EXPECT_GT(accel.nodesVisited, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsByMode, BTreeModes,
+    ::testing::Combine(::testing::Values(trees::BTreeKind::BTree,
+                                         trees::BTreeKind::BStarTree,
+                                         trees::BTreeKind::BPlusTree),
+                       ::testing::Values(sim::AccelMode::Tta,
+                                         sim::AccelMode::TtaPlus)));
+
+TEST(BTreeWorkload, BaselineRtaCannotRunQueryKey)
+{
+    BTreeWorkload wl(trees::BTreeKind::BTree, 1000, 64, 3);
+    sim::StatRegistry stats;
+    EXPECT_THROW(
+        wl.runAccelerated(modeConfig(sim::AccelMode::BaselineRta), stats),
+        sim::FatalError);
+}
+
+TEST(BTreeWorkload, DivergentBaselineHasLowSimtEfficiency)
+{
+    BTreeWorkload wl(trees::BTreeKind::BTree, 50000, 2048, 5);
+    sim::StatRegistry stats;
+    RunMetrics m = wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
+                                  stats);
+    // Fig 1: B-Tree search diverges heavily.
+    EXPECT_LT(m.simtEfficiency, 0.6);
+    EXPECT_GT(m.simtEfficiency, 0.01);
+}
+
+// --- N-Body ----------------------------------------------------------------
+
+class NBodyDims : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(NBodyDims, AllModesVerifyAndBeatBaseline)
+{
+    NBodyWorkload wl(GetParam(), 2048, 21);
+    sim::StatRegistry s0;
+    RunMetrics base = wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
+                                     s0);
+    sim::StatRegistry s1;
+    RunMetrics tta = wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
+    sim::StatRegistry s2;
+    RunMetrics tp =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2);
+    // Both accelerated configurations verified internally; the TTA run
+    // offloads the traversal (Fig 12's N-Body band).
+    EXPECT_LT(tta.cycles, base.cycles);
+    EXPECT_GT(tp.nodesVisited, 0u);
+    // High SIMT efficiency for the warp-synchronous baseline (Fig 1).
+    EXPECT_GT(base.simtEfficiency, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NBodyDims, ::testing::Values(2, 3));
+
+TEST(NBodyWorkload, FusionOverlapsTraversalAndPostProcessing)
+{
+    NBodyWorkload wl(3, 2048, 23);
+    sim::StatRegistry s1;
+    RunMetrics serial =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s1, false);
+    sim::StatRegistry s2;
+    RunMetrics fused =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2, true);
+    // Kernel merge must not be slower; typically it overlaps the
+    // integration with the traversal (Section V-A's extra 1.2x).
+    EXPECT_LE(fused.cycles, serial.cycles * 101 / 100);
+}
+
+// --- RTNN ------------------------------------------------------------------
+
+TEST(RtnnWorkload, AllConfigurationsVerify)
+{
+    RtnnWorkload wl(8192, 1024, 1.0f, 31);
+    sim::StatRegistry s0;
+    RunMetrics cuda = wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
+                                     s0);
+    // Radius search on the cores diverges badly (the RTNN motivation).
+    EXPECT_LT(cuda.simtEfficiency, 0.5);
+
+    sim::StatRegistry s1;
+    RunMetrics rta = wl.runAccelerated(
+        modeConfig(sim::AccelMode::BaselineRta), s1, false);
+    EXPECT_LT(rta.cycles, cuda.cycles); // RTNN's claim vs CUDA
+
+    sim::StatRegistry s2;
+    RunMetrics star_tta =
+        wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s2, true);
+    sim::StatRegistry s3;
+    RunMetrics tta =
+        wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s3, false);
+    // *RTNN: offloading the intersection shader helps (Fig 12).
+    EXPECT_LT(star_tta.cycles, tta.cycles);
+
+    sim::StatRegistry s4;
+    RunMetrics star_tp =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s4, true);
+    EXPECT_GT(star_tp.nodesVisited, 0u);
+}
+
+TEST(RtnnWorkload, OffloadOnBaselineRtaRejected)
+{
+    RtnnWorkload wl(2048, 128, 1.0f, 7);
+    sim::StatRegistry stats;
+    EXPECT_THROW(wl.runAccelerated(modeConfig(sim::AccelMode::BaselineRta),
+                                   stats, true),
+                 sim::FatalError);
+}
+
+// --- Ray tracing -------------------------------------------------------------
+
+TEST(RayTracing, TwoLevelSceneTraversesOnAllLevels)
+{
+    RayTracingWorkload wl(SceneKind::CornellPt, 32, 32, 3);
+    sim::StatRegistry s0;
+    RunMetrics rta =
+        wl.runAccelerated(modeConfig(sim::AccelMode::BaselineRta), s0);
+    sim::StatRegistry s1;
+    RunMetrics tp =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s1);
+    EXPECT_GT(rta.nodesVisited, 0u);
+    EXPECT_GT(tp.nodesVisited, 0u);
+    // Two-level scenes must exercise the transform units.
+    EXPECT_GT(s0.counterValue("rta.ops.transform"), 0u);
+}
+
+TEST(RayTracing, WkndSphereOffload)
+{
+    RayTracingWorkload wl(SceneKind::WkndPt, 32, 32, 3);
+    sim::StatRegistry s0;
+    RunMetrics plain =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s0);
+    // Unstarred WKND_PT runs its ray-sphere tests in shaders.
+    EXPECT_GT(s0.counterValue("shader.calls"), 0u);
+    EXPECT_GT(plain.cycles, 0u);
+
+    sim::StatRegistry s1;
+    RtOptions offload;
+    offload.offloadSpheres = true;
+    RunMetrics starred =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s1, offload);
+    // *WKND_PT eliminates the intersection shaders entirely.
+    EXPECT_EQ(s1.counterValue("shader.calls"), 0u);
+    EXPECT_GT(starred.nodesVisited, 0u);
+}
+
+TEST(RayTracing, ShipShadowWithSato)
+{
+    RayTracingWorkload wl(SceneKind::ShipSh, 24, 24, 3);
+    sim::StatRegistry s0;
+    RunMetrics plain =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s0);
+    sim::StatRegistry s1;
+    RtOptions sato;
+    sato.sato = true;
+    RunMetrics opt =
+        wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s1, sato);
+    // SATO reorders traversal for the any-hit wave: it must stay correct
+    // (verified internally) and not visit more nodes on shadow rays.
+    EXPECT_LE(opt.cycles, plain.cycles * 23 / 20);
+}
+
+TEST(RayTracing, BaselineCoreTracerMatchesReference)
+{
+    RayTracingWorkload wl(SceneKind::SponzaAo, 24, 24, 3);
+    sim::StatRegistry stats;
+    // Internally verifies every primary ray against the host reference.
+    RunMetrics m =
+        wl.runBaselineCores(modeConfig(sim::AccelMode::BaselineGpu), stats);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.flops, 0u);
+    EXPECT_LT(m.simtEfficiency, 1.0);
+}
+
+TEST(RayTracing, AlphaMaskUsesShaders)
+{
+    RayTracingWorkload wl(SceneKind::MaskAm, 24, 24, 3);
+    sim::StatRegistry stats;
+    RunMetrics m =
+        wl.runAccelerated(modeConfig(sim::AccelMode::BaselineRta), stats);
+    EXPECT_GT(stats.counterValue("shader.calls"), 0u);
+    EXPECT_GT(m.cycles, 0u);
+}
+
+// --- Cross-cutting metrics ---------------------------------------------------
+
+TEST(Metrics, EnergyBreakdownPopulated)
+{
+    BTreeWorkload wl(trees::BTreeKind::BTree, 5000, 512, 3);
+    sim::StatRegistry stats;
+    RunMetrics m = wl.runAccelerated(modeConfig(sim::AccelMode::Tta), stats);
+    EXPECT_GT(m.energy.total(), 0.0);
+    EXPECT_GT(m.energy.warpBuffer, 0.0);
+    EXPECT_GT(m.energy.intersection, 0.0);
+    EXPECT_GE(m.dramUtilization, 0.0);
+    EXPECT_LE(m.dramUtilization, 1.0);
+    // Arithmetic intensity is a core-side (roofline) metric: the B-Tree
+    // baseline kernel has FP compares, the accelerated run offloads all
+    // of them.
+    sim::StatRegistry base_stats;
+    RunMetrics base =
+        wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), base_stats);
+    EXPECT_GT(base.arithmeticIntensity(), 0.0);
+}
+
+TEST(Metrics, Figure14LatencyScaleKnob)
+{
+    BTreeWorkload wl(trees::BTreeKind::BTree, 20000, 1024, 5);
+    sim::Config normal = modeConfig(sim::AccelMode::Tta);
+    sim::StatRegistry s0;
+    RunMetrics base = wl.runAccelerated(normal, s0);
+
+    sim::Config slow = normal;
+    slow.intersectionLatencyScale = 10.0;
+    sim::StatRegistry s1;
+    RunMetrics scaled = wl.runAccelerated(slow, s1);
+    // 10x intersection latency hurts, but memory latency dominates
+    // (Fig 14's observation).
+    EXPECT_GE(scaled.cycles, base.cycles);
+    EXPECT_LT(scaled.cycles, base.cycles * 4);
+}
+
+TEST(Metrics, Figure14WarpBufferKnob)
+{
+    BTreeWorkload wl(trees::BTreeKind::BTree, 20000, 2048, 5);
+    sim::Config small_cfg = modeConfig(sim::AccelMode::Tta);
+    small_cfg.warpBufferWarps = 1;
+    sim::StatRegistry s0;
+    RunMetrics one = wl.runAccelerated(small_cfg, s0);
+
+    sim::Config big_cfg = modeConfig(sim::AccelMode::Tta);
+    big_cfg.warpBufferWarps = 8;
+    sim::StatRegistry s1;
+    RunMetrics eight = wl.runAccelerated(big_cfg, s1);
+    // More warp-buffer entries => more concurrent queries => faster.
+    EXPECT_LT(eight.cycles, one.cycles);
+}
+
+TEST(Metrics, Figure17PerfectMemoryKnobs)
+{
+    RayTracingWorkload wl(SceneKind::WkndPt, 24, 24, 3);
+    sim::Config normal = modeConfig(sim::AccelMode::TtaPlus);
+    sim::StatRegistry s0;
+    RunMetrics base = wl.runAccelerated(normal, s0);
+
+    sim::Config perf_rt = normal;
+    perf_rt.perfectNodeFetch = true;
+    sim::StatRegistry s1;
+    RunMetrics rt = wl.runAccelerated(perf_rt, s1);
+
+    sim::Config perf_mem = normal;
+    perf_mem.perfectMemory = true;
+    sim::StatRegistry s2;
+    RunMetrics memr = wl.runAccelerated(perf_mem, s2);
+
+    EXPECT_LE(rt.cycles, base.cycles);
+    EXPECT_LE(memr.cycles, rt.cycles);
+}
