@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_lumibench.dir/bench_fig16_lumibench.cc.o"
+  "CMakeFiles/bench_fig16_lumibench.dir/bench_fig16_lumibench.cc.o.d"
+  "bench_fig16_lumibench"
+  "bench_fig16_lumibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_lumibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

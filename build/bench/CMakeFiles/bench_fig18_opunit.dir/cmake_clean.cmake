@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_opunit.dir/bench_fig18_opunit.cc.o"
+  "CMakeFiles/bench_fig18_opunit.dir/bench_fig18_opunit.cc.o.d"
+  "bench_fig18_opunit"
+  "bench_fig18_opunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_opunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_03_04_hw.dir/bench_tab01_03_04_hw.cc.o"
+  "CMakeFiles/bench_tab01_03_04_hw.dir/bench_tab01_03_04_hw.cc.o.d"
+  "bench_tab01_03_04_hw"
+  "bench_tab01_03_04_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_03_04_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab01_03_04_hw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_index.dir/db_index.cpp.o"
+  "CMakeFiles/db_index.dir/db_index.cpp.o.d"
+  "db_index"
+  "db_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_search.dir/radius_search.cpp.o"
+  "CMakeFiles/radius_search.dir/radius_search.cpp.o.d"
+  "radius_search"
+  "radius_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_render.dir/ray_render.cpp.o"
+  "CMakeFiles/ray_render.dir/ray_render.cpp.o.d"
+  "ray_render"
+  "ray_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/tta_api.cc" "src/CMakeFiles/tta.dir/api/tta_api.cc.o" "gcc" "src/CMakeFiles/tta.dir/api/tta_api.cc.o.d"
+  "/root/repo/src/geom/intersect.cc" "src/CMakeFiles/tta.dir/geom/intersect.cc.o" "gcc" "src/CMakeFiles/tta.dir/geom/intersect.cc.o.d"
+  "/root/repo/src/gpu/core.cc" "src/CMakeFiles/tta.dir/gpu/core.cc.o" "gcc" "src/CMakeFiles/tta.dir/gpu/core.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/tta.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/tta.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/isa.cc" "src/CMakeFiles/tta.dir/gpu/isa.cc.o" "gcc" "src/CMakeFiles/tta.dir/gpu/isa.cc.o.d"
+  "/root/repo/src/gpu/kernel.cc" "src/CMakeFiles/tta.dir/gpu/kernel.cc.o" "gcc" "src/CMakeFiles/tta.dir/gpu/kernel.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/tta.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/tta.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coalescer.cc" "src/CMakeFiles/tta.dir/mem/coalescer.cc.o" "gcc" "src/CMakeFiles/tta.dir/mem/coalescer.cc.o.d"
+  "/root/repo/src/mem/memsys.cc" "src/CMakeFiles/tta.dir/mem/memsys.cc.o" "gcc" "src/CMakeFiles/tta.dir/mem/memsys.cc.o.d"
+  "/root/repo/src/power/area.cc" "src/CMakeFiles/tta.dir/power/area.cc.o" "gcc" "src/CMakeFiles/tta.dir/power/area.cc.o.d"
+  "/root/repo/src/power/energy.cc" "src/CMakeFiles/tta.dir/power/energy.cc.o" "gcc" "src/CMakeFiles/tta.dir/power/energy.cc.o.d"
+  "/root/repo/src/rta/rta_unit.cc" "src/CMakeFiles/tta.dir/rta/rta_unit.cc.o" "gcc" "src/CMakeFiles/tta.dir/rta/rta_unit.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/tta.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/tta.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/tta.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/tta.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/tta.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/tta.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/ticked.cc" "src/CMakeFiles/tta.dir/sim/ticked.cc.o" "gcc" "src/CMakeFiles/tta.dir/sim/ticked.cc.o.d"
+  "/root/repo/src/trees/btree.cc" "src/CMakeFiles/tta.dir/trees/btree.cc.o" "gcc" "src/CMakeFiles/tta.dir/trees/btree.cc.o.d"
+  "/root/repo/src/trees/bvh.cc" "src/CMakeFiles/tta.dir/trees/bvh.cc.o" "gcc" "src/CMakeFiles/tta.dir/trees/bvh.cc.o.d"
+  "/root/repo/src/trees/octree.cc" "src/CMakeFiles/tta.dir/trees/octree.cc.o" "gcc" "src/CMakeFiles/tta.dir/trees/octree.cc.o.d"
+  "/root/repo/src/trees/pointcloud.cc" "src/CMakeFiles/tta.dir/trees/pointcloud.cc.o" "gcc" "src/CMakeFiles/tta.dir/trees/pointcloud.cc.o.d"
+  "/root/repo/src/trees/rtree.cc" "src/CMakeFiles/tta.dir/trees/rtree.cc.o" "gcc" "src/CMakeFiles/tta.dir/trees/rtree.cc.o.d"
+  "/root/repo/src/tta/query_key_unit.cc" "src/CMakeFiles/tta.dir/tta/query_key_unit.cc.o" "gcc" "src/CMakeFiles/tta.dir/tta/query_key_unit.cc.o.d"
+  "/root/repo/src/ttaplus/engine.cc" "src/CMakeFiles/tta.dir/ttaplus/engine.cc.o" "gcc" "src/CMakeFiles/tta.dir/ttaplus/engine.cc.o.d"
+  "/root/repo/src/ttaplus/program.cc" "src/CMakeFiles/tta.dir/ttaplus/program.cc.o" "gcc" "src/CMakeFiles/tta.dir/ttaplus/program.cc.o.d"
+  "/root/repo/src/workloads/btree_workload.cc" "src/CMakeFiles/tta.dir/workloads/btree_workload.cc.o" "gcc" "src/CMakeFiles/tta.dir/workloads/btree_workload.cc.o.d"
+  "/root/repo/src/workloads/nbody_workload.cc" "src/CMakeFiles/tta.dir/workloads/nbody_workload.cc.o" "gcc" "src/CMakeFiles/tta.dir/workloads/nbody_workload.cc.o.d"
+  "/root/repo/src/workloads/raytracing_workload.cc" "src/CMakeFiles/tta.dir/workloads/raytracing_workload.cc.o" "gcc" "src/CMakeFiles/tta.dir/workloads/raytracing_workload.cc.o.d"
+  "/root/repo/src/workloads/rtnn_workload.cc" "src/CMakeFiles/tta.dir/workloads/rtnn_workload.cc.o" "gcc" "src/CMakeFiles/tta.dir/workloads/rtnn_workload.cc.o.d"
+  "/root/repo/src/workloads/rtree_workload.cc" "src/CMakeFiles/tta.dir/workloads/rtree_workload.cc.o" "gcc" "src/CMakeFiles/tta.dir/workloads/rtree_workload.cc.o.d"
+  "/root/repo/src/workloads/scenes.cc" "src/CMakeFiles/tta.dir/workloads/scenes.cc.o" "gcc" "src/CMakeFiles/tta.dir/workloads/scenes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

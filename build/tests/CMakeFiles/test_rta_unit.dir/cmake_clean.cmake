@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rta_unit.dir/test_rta_unit.cc.o"
+  "CMakeFiles/test_rta_unit.dir/test_rta_unit.cc.o.d"
+  "test_rta_unit"
+  "test_rta_unit.pdb"
+  "test_rta_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rta_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

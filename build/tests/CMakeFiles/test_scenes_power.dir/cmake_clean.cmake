@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenes_power.dir/test_scenes_power.cc.o"
+  "CMakeFiles/test_scenes_power.dir/test_scenes_power.cc.o.d"
+  "test_scenes_power"
+  "test_scenes_power.pdb"
+  "test_scenes_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenes_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
