@@ -21,70 +21,106 @@ main(int argc, char **argv)
     Args args = Args::parse(argc, argv);
     printHeader("Ablation", "TTA/TTA+ microarchitecture knobs", args);
 
+    Sweep sweep(args);
+    auto runBTree = [&args](const sim::Config &cfg,
+                            sim::StatRegistry &stats) {
+        BTreeWorkload wl(trees::BTreeKind::BTree, args.keys, args.queries,
+                         args.seed);
+        return wl.runAccelerated(cfg, stats);
+    };
+    auto runRtnn = [&args](const sim::Config &cfg,
+                           sim::StatRegistry &stats) {
+        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
+        return wl.runAccelerated(cfg, stats, true);
+    };
+
     // --- OP-unit sets (TTA+; B-Tree + RTNN) ------------------------------
-    std::printf("TTA+ OP-unit sets (Table II default: 4):\n");
-    for (uint32_t sets : {1u, 2u, 4u, 8u}) {
+    const uint32_t kSets[] = {1, 2, 4, 8};
+    std::vector<std::pair<size_t, size_t>> set_runs;
+    for (uint32_t sets : kSets) {
         sim::Config cfg = modeConfig(sim::AccelMode::TtaPlus);
         cfg.opUnitCopies = sets;
         cfg.rcpUnitCopies = 3 * sets;
-        BTreeWorkload btree(trees::BTreeKind::BTree, args.keys,
-                            args.queries, args.seed);
-        sim::StatRegistry s0;
-        RunMetrics bt = btree.runAccelerated(cfg, s0);
-        RtnnWorkload rtnn(args.points, args.queries / 4, 1.0f, args.seed);
-        sim::StatRegistry s1;
-        RunMetrics rn = rtnn.runAccelerated(cfg, s1, true);
-        std::printf("  %u set%s: B-Tree %8llu cyc   *RTNN %8llu cyc\n",
-                    sets, sets == 1 ? " " : "s",
-                    static_cast<unsigned long long>(bt.cycles),
-                    static_cast<unsigned long long>(rn.cycles));
+        std::string tag = "sets" + std::to_string(sets);
+        set_runs.emplace_back(sweep.add(tag + "/btree", cfg, runBTree),
+                              sweep.add(tag + "/rtnn", cfg, runRtnn));
     }
 
     // --- Interconnect hop latency -----------------------------------------
-    std::printf("\nTTA+ crosspoint hop latency (default 1 cycle):\n");
-    for (uint32_t hop : {1u, 2u, 4u, 8u}) {
+    const uint32_t kHops[] = {1, 2, 4, 8};
+    std::vector<size_t> hop_runs;
+    for (uint32_t hop : kHops) {
         sim::Config cfg = modeConfig(sim::AccelMode::TtaPlus);
         cfg.icntHopLatency = hop;
-        RtnnWorkload rtnn(args.points, args.queries / 4, 1.0f, args.seed);
-        sim::StatRegistry stats;
-        RunMetrics m = rtnn.runAccelerated(cfg, stats, true);
-        std::printf("  hop=%ucy: *RTNN %8llu cyc   (inner test "
-                    "%5.1f cyc avg)\n",
-                    hop, static_cast<unsigned long long>(m.cycles),
-                    stats.findHistogram("ttaplus.inner_latency")->mean());
+        hop_runs.push_back(
+            sweep.add("hop" + std::to_string(hop) + "/rtnn", cfg,
+                      runRtnn));
     }
 
-    // --- RTA node-request coalescing -----------------------------------------
-    std::printf("\nRTA memory-scheduler coalescing "
-                "(Section II-C advantage 3):\n");
-    for (bool coalesce : {true, false}) {
+    // --- RTA node-request coalescing ---------------------------------------
+    const bool kCoalesce[] = {true, false};
+    std::vector<size_t> coalesce_runs;
+    for (bool coalesce : kCoalesce) {
         sim::Config cfg = modeConfig(sim::AccelMode::Tta);
         cfg.rtaCoalescing = coalesce;
-        BTreeWorkload btree(trees::BTreeKind::BTree, args.keys,
-                            args.queries, args.seed);
-        sim::StatRegistry stats;
-        RunMetrics m = btree.runAccelerated(cfg, stats);
-        std::printf("  %-8s B-Tree %8llu cyc, %8llu memory reads, "
-                    "DRAM util %4.1f%%\n",
-                    coalesce ? "on: " : "off:",
-                    static_cast<unsigned long long>(m.cycles),
-                    static_cast<unsigned long long>(
-                        stats.counterValue("memsys.reads")),
-                    100.0 * m.dramUtilization);
+        coalesce_runs.push_back(
+            sweep.add(std::string("coalesce-") +
+                          (coalesce ? "on" : "off") + "/btree",
+                      cfg, runBTree));
     }
 
     // --- Arbiter width -----------------------------------------------------
-    std::printf("\nOperation arbiter width (default 4/cycle):\n");
-    for (uint32_t width : {1u, 2u, 4u, 8u}) {
+    const uint32_t kWidths[] = {1, 2, 4, 8};
+    std::vector<size_t> width_runs;
+    for (uint32_t width : kWidths) {
         sim::Config cfg = modeConfig(sim::AccelMode::Tta);
         cfg.rtaArbiterWidth = width;
-        BTreeWorkload btree(trees::BTreeKind::BTree, args.keys,
-                            args.queries, args.seed);
-        sim::StatRegistry stats;
-        RunMetrics m = btree.runAccelerated(cfg, stats);
-        std::printf("  width=%u: B-Tree %8llu cyc\n", width,
-                    static_cast<unsigned long long>(m.cycles));
+        width_runs.push_back(
+            sweep.add("arbiter" + std::to_string(width) + "/btree", cfg,
+                      runBTree));
     }
+
+    sweep.run();
+
+    std::printf("TTA+ OP-unit sets (Table II default: 4):\n");
+    for (size_t i = 0; i < set_runs.size(); ++i)
+        std::printf("  %u set%s: B-Tree %8llu cyc   *RTNN %8llu cyc\n",
+                    kSets[i], kSets[i] == 1 ? " " : "s",
+                    static_cast<unsigned long long>(
+                        sweep[set_runs[i].first].cycles),
+                    static_cast<unsigned long long>(
+                        sweep[set_runs[i].second].cycles));
+
+    std::printf("\nTTA+ crosspoint hop latency (default 1 cycle):\n");
+    for (size_t i = 0; i < hop_runs.size(); ++i)
+        std::printf("  hop=%ucy: *RTNN %8llu cyc   (inner test "
+                    "%5.1f cyc avg)\n",
+                    kHops[i],
+                    static_cast<unsigned long long>(
+                        sweep[hop_runs[i]].cycles),
+                    sweep.record(hop_runs[i])
+                        .stats.findHistogram("ttaplus.inner_latency")
+                        ->mean());
+
+    std::printf("\nRTA memory-scheduler coalescing "
+                "(Section II-C advantage 3):\n");
+    for (size_t i = 0; i < coalesce_runs.size(); ++i) {
+        const RunMetrics &m = sweep[coalesce_runs[i]];
+        std::printf("  %-8s B-Tree %8llu cyc, %8llu memory reads, "
+                    "DRAM util %4.1f%%\n",
+                    kCoalesce[i] ? "on: " : "off:",
+                    static_cast<unsigned long long>(m.cycles),
+                    static_cast<unsigned long long>(
+                        sweep.record(coalesce_runs[i])
+                            .stats.counterValue("memsys.reads")),
+                    100.0 * m.dramUtilization);
+    }
+
+    std::printf("\nOperation arbiter width (default 4/cycle):\n");
+    for (size_t i = 0; i < width_runs.size(); ++i)
+        std::printf("  width=%u: B-Tree %8llu cyc\n", kWidths[i],
+                    static_cast<unsigned long long>(
+                        sweep[width_runs[i]].cycles));
 
     std::printf("\nTakeaways: one OP-unit set throttles uop-heavy "
                 "workloads (the paper's Fig 15/18 future-work tradeoff); "

@@ -1,12 +1,23 @@
 /**
  * @file
  * Shared plumbing for the figure/table reproduction benches: flag
- * parsing, run helpers for every workload x hardware level, and table
- * printing. Each bench binary regenerates one of the paper's figures or
- * tables (see DESIGN.md's experiment index) and accepts size overrides
- * so paper-scale runs are possible:
+ * parsing, the parallel sweep harness over sim::ExperimentRunner, and
+ * table printing. Each bench binary regenerates one of the paper's
+ * figures or tables (see DESIGN.md's experiment index) and accepts size
+ * overrides so paper-scale runs are possible:
  *
  *   --keys=N --queries=N --bodies=N --points=N --res=N --seed=N
+ *
+ * plus runner controls:
+ *
+ *   --jobs=N        worker threads (default: hardware concurrency)
+ *   --json=FILE     append one JSON record per run ("-" = stdout)
+ *   --json-timing=0 omit wall_ms from the records, making them
+ *                   byte-identical across --jobs settings
+ *
+ * Benches queue every simulation as a Sweep job, run the whole sweep
+ * through the thread pool, then print their tables from the collected
+ * results — output is identical to the old serial drivers.
  */
 
 #ifndef TTA_BENCH_COMMON_HH
@@ -14,11 +25,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/runner.hh"
 #include "workloads/btree_workload.hh"
 #include "workloads/nbody_workload.hh"
 #include "workloads/raytracing_workload.hh"
@@ -37,6 +54,9 @@ struct Args
     size_t points = 32768;
     uint32_t res = 48;
     uint64_t seed = 7;
+    uint64_t jobs = 0;       //!< runner threads; 0 = hardware concurrency
+    uint64_t jsonTiming = 1; //!< include wall_ms in JSON records
+    std::string json;        //!< JSON record sink; empty = off, "-" = stdout
 
     static Args
     parse(int argc, char **argv)
@@ -53,11 +73,23 @@ struct Args
                 }
                 return false;
             };
+            auto grabStr = [&](const char *name, std::string &field) {
+                std::string prefix = std::string("--") + name + "=";
+                if (std::strncmp(argv[i], prefix.c_str(),
+                                 prefix.size()) == 0) {
+                    field = argv[i] + prefix.size();
+                    return true;
+                }
+                return false;
+            };
             bool ok = grab("keys", args.keys) ||
                       grab("queries", args.queries) ||
                       grab("bodies", args.bodies) ||
                       grab("points", args.points) ||
-                      grab("res", args.res) || grab("seed", args.seed);
+                      grab("res", args.res) || grab("seed", args.seed) ||
+                      grab("jobs", args.jobs) ||
+                      grab("json-timing", args.jsonTiming) ||
+                      grabStr("json", args.json);
             if (!ok)
                 std::fprintf(stderr, "ignoring unknown flag %s\n",
                              argv[i]);
@@ -74,13 +106,6 @@ modeConfig(sim::AccelMode mode)
     return cfg;
 }
 
-/** One measured run. */
-struct Run
-{
-    std::string label;
-    RunMetrics metrics;
-};
-
 inline double
 speedup(const RunMetrics &base, const RunMetrics &accel)
 {
@@ -95,6 +120,106 @@ geomean(const std::vector<double> &xs)
         acc += std::log(x);
     return xs.empty() ? 0.0 : std::exp(acc / xs.size());
 }
+
+/**
+ * A queued-up experiment sweep.
+ *
+ * add() enqueues one simulation (the callback builds its own workload so
+ * concurrent jobs share nothing); run() executes every job across the
+ * --jobs thread pool, records per-run JSON if requested, and aborts the
+ * bench if any job failed. Results keep submission order: metrics(i) /
+ * record(i) correspond to the i-th add().
+ */
+class Sweep
+{
+  public:
+    using RunFn =
+        std::function<RunMetrics(const sim::Config &, sim::StatRegistry &)>;
+
+    explicit Sweep(const Args &args) : args_(args) {}
+
+    /** Queue one run; returns its index into metrics()/record(). */
+    size_t
+    add(std::string name, const sim::Config &cfg, RunFn fn)
+    {
+        size_t idx = jobs_.size();
+        sim::Job job;
+        job.name = std::move(name);
+        job.config = cfg;
+        job.seed = args_.seed;
+        job.fn = [this, idx, fn = std::move(fn)](
+                     const sim::Config &config, sim::StatRegistry &stats,
+                     sim::RunRecord &rec) {
+            RunMetrics m = fn(config, stats);
+            metrics_[idx] = m;
+            rec.cycles = m.cycles;
+            rec.values["simt_efficiency"] = m.simtEfficiency;
+            rec.values["dram_utilization"] = m.dramUtilization;
+            rec.values["insts_total"] =
+                static_cast<double>(m.totalInsts());
+            rec.values["flops"] = static_cast<double>(m.flops);
+            rec.values["dram_bytes"] = static_cast<double>(m.dramBytes);
+            rec.values["nodes_visited"] =
+                static_cast<double>(m.nodesVisited);
+            rec.values["energy_total"] = m.energy.total();
+        };
+        jobs_.push_back(std::move(job));
+        return idx;
+    }
+
+    /** Execute all queued jobs; call once, before reading results. */
+    void
+    run()
+    {
+        metrics_.assign(jobs_.size(), RunMetrics{});
+        sim::ExperimentRunner runner(
+            static_cast<unsigned>(args_.jobs));
+        records_ = runner.run(jobs_);
+        emitJson();
+        for (const auto &rec : records_) {
+            if (rec.failed()) {
+                std::fprintf(stderr, "run '%s' failed: %s\n",
+                             rec.name.c_str(), rec.error.c_str());
+                std::exit(1);
+            }
+        }
+    }
+
+    const RunMetrics &metrics(size_t i) const { return metrics_[i]; }
+    const RunMetrics &operator[](size_t i) const { return metrics_[i]; }
+    const sim::RunRecord &record(size_t i) const { return records_[i]; }
+    size_t size() const { return jobs_.size(); }
+
+  private:
+    void
+    emitJson()
+    {
+        if (args_.json.empty())
+            return;
+        std::ofstream file;
+        std::ostream *os = nullptr;
+        if (args_.json == "-") {
+            os = &std::cout;
+        } else {
+            file.open(args_.json, std::ios::app);
+            if (!file) {
+                std::fprintf(stderr, "cannot open %s for JSON records\n",
+                             args_.json.c_str());
+                std::exit(1);
+            }
+            os = &file;
+        }
+        for (const auto &rec : records_) {
+            rec.writeJson(*os, args_.jsonTiming != 0);
+            *os << "\n";
+        }
+    }
+
+    Args args_;
+    std::vector<sim::Job> jobs_;
+    std::vector<RunMetrics> metrics_;
+    std::vector<sim::RunRecord> records_;
+};
 
 inline void
 printHeader(const char *figure, const char *what, const Args &args)

@@ -24,53 +24,82 @@ main(int argc, char **argv)
     printHeader("Extensions", "R-Tree range queries + child prefetcher",
                 args);
 
+    Sweep sweep(args);
+
     // --- R-Tree -----------------------------------------------------------
-    std::printf("R-Tree range queries (%zu objects, %zu queries):\n",
-                args.keys, args.queries);
-    RTreeWorkload rtree(args.keys, args.queries, 2.0f, args.seed);
-    sim::StatRegistry s0;
-    RunMetrics base = rtree.runBaseline(
-        modeConfig(sim::AccelMode::BaselineGpu), s0);
-    std::printf("  %-6s %10llu cycles   simt_eff %4.1f%%\n", "GPU",
-                static_cast<unsigned long long>(base.cycles),
-                100.0 * base.simtEfficiency);
-    for (auto mode : {sim::AccelMode::Tta, sim::AccelMode::TtaPlus}) {
-        sim::StatRegistry stats;
-        RunMetrics m = rtree.runAccelerated(modeConfig(mode), stats);
-        std::printf("  %-6s %10llu cycles   %5.2fx\n",
-                    sim::accelModeName(mode),
-                    static_cast<unsigned long long>(m.cycles),
-                    speedup(base, m));
-    }
+    auto rtreeBase = [&args](const sim::Config &cfg,
+                             sim::StatRegistry &stats) {
+        RTreeWorkload wl(args.keys, args.queries, 2.0f, args.seed);
+        return wl.runBaseline(cfg, stats);
+    };
+    auto rtreeAccel = [&args](const sim::Config &cfg,
+                              sim::StatRegistry &stats) {
+        RTreeWorkload wl(args.keys, args.queries, 2.0f, args.seed);
+        return wl.runAccelerated(cfg, stats);
+    };
+    size_t rtree_base = sweep.add(
+        "rtree/base", modeConfig(sim::AccelMode::BaselineGpu), rtreeBase);
+    const sim::AccelMode kModes[] = {sim::AccelMode::Tta,
+                                     sim::AccelMode::TtaPlus};
+    std::vector<size_t> rtree_accel;
+    for (auto mode : kModes)
+        rtree_accel.push_back(
+            sweep.add(std::string("rtree/") + sim::accelModeName(mode),
+                      modeConfig(mode), rtreeAccel));
 
     // --- Child prefetcher ---------------------------------------------------
-    std::printf("\nOne-level child prefetcher (B-Tree %zu keys / "
-                "%zu queries, TTA):\n", args.keys, args.queries);
-    BTreeWorkload btree(trees::BTreeKind::BTree, args.keys, args.queries,
-                        args.seed);
     struct Variant
     {
         const char *name;
         bool prefetch;
         bool perfect;
     };
-    sim::Cycle baseline_cycles = 0;
-    for (const Variant &v : {Variant{"no prefetch", false, false},
-                             Variant{"child prefetch", true, false},
-                             Variant{"Perf.RT (limit)", false, true}}) {
+    const Variant kVariants[] = {{"no prefetch", false, false},
+                                 {"child prefetch", true, false},
+                                 {"Perf.RT (limit)", false, true}};
+    std::vector<size_t> prefetch_runs;
+    for (const Variant &v : kVariants) {
         sim::Config cfg = modeConfig(sim::AccelMode::Tta);
         cfg.rtaChildPrefetch = v.prefetch;
         cfg.perfectNodeFetch = v.perfect;
-        sim::StatRegistry stats;
-        RunMetrics m = btree.runAccelerated(cfg, stats);
-        if (!baseline_cycles)
-            baseline_cycles = m.cycles;
+        prefetch_runs.push_back(sweep.add(
+            std::string("prefetch/") + v.name, cfg,
+            [&args](const sim::Config &c, sim::StatRegistry &stats) {
+                BTreeWorkload wl(trees::BTreeKind::BTree, args.keys,
+                                 args.queries, args.seed);
+                return wl.runAccelerated(c, stats);
+            }));
+    }
+
+    sweep.run();
+
+    std::printf("R-Tree range queries (%zu objects, %zu queries):\n",
+                args.keys, args.queries);
+    const RunMetrics &base = sweep[rtree_base];
+    std::printf("  %-6s %10llu cycles   simt_eff %4.1f%%\n", "GPU",
+                static_cast<unsigned long long>(base.cycles),
+                100.0 * base.simtEfficiency);
+    for (size_t i = 0; i < rtree_accel.size(); ++i) {
+        const RunMetrics &m = sweep[rtree_accel[i]];
+        std::printf("  %-6s %10llu cycles   %5.2fx\n",
+                    sim::accelModeName(kModes[i]),
+                    static_cast<unsigned long long>(m.cycles),
+                    speedup(base, m));
+    }
+
+    std::printf("\nOne-level child prefetcher (B-Tree %zu keys / "
+                "%zu queries, TTA):\n", args.keys, args.queries);
+    sim::Cycle baseline_cycles = sweep[prefetch_runs[0]].cycles;
+    for (size_t i = 0; i < prefetch_runs.size(); ++i) {
+        const RunMetrics &m = sweep[prefetch_runs[i]];
         std::printf("  %-18s %10llu cycles   %5.2fx   "
                     "(%llu prefetches)\n",
-                    v.name, static_cast<unsigned long long>(m.cycles),
+                    kVariants[i].name,
+                    static_cast<unsigned long long>(m.cycles),
                     static_cast<double>(baseline_cycles) / m.cycles,
                     static_cast<unsigned long long>(
-                        stats.counterValue("rta.prefetches")));
+                        sweep.record(prefetch_runs[i])
+                            .stats.counterValue("rta.prefetches")));
     }
 
     std::printf("\nTakeaways: the TTA generalizes to R-Tree range "

@@ -21,58 +21,113 @@ main(int argc, char **argv)
     printHeader("Figure 1",
                 "SIMT efficiency / DRAM bandwidth utilization, baseline "
                 "GPU vs TTA", args);
-    std::printf("%-12s %14s %14s %14s\n", "app", "simt_eff(GPU)",
-                "dram_util(GPU)", "dram_util(TTA)");
 
-    auto row = [&](const char *name, const RunMetrics &base,
-                   const RunMetrics &tta) {
-        std::printf("%-12s %13.1f%% %13.1f%% %13.1f%%\n", name,
-                    100.0 * base.simtEfficiency,
-                    100.0 * base.dramUtilization,
-                    100.0 * tta.dramUtilization);
+    Sweep sweep(args);
+    struct Row
+    {
+        std::string app;
+        size_t base, tta;
     };
+    std::vector<Row> rows;
 
     for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
                       trees::BTreeKind::BPlusTree}) {
-        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
-        sim::StatRegistry s0, s1;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics tta =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
-        row(trees::bTreeKindName(kind), base, tta);
+        auto runBase = [kind, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+            BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+            return wl.runBaseline(cfg, stats);
+        };
+        auto runTta = [kind, &args](const sim::Config &cfg,
+                                    sim::StatRegistry &stats) {
+            BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+            return wl.runAccelerated(cfg, stats);
+        };
+        std::string tag = std::string("btree/") +
+                          trees::bTreeKindName(kind);
+        rows.push_back(
+            {trees::bTreeKindName(kind),
+             sweep.add(tag + "/base",
+                       modeConfig(sim::AccelMode::BaselineGpu), runBase),
+             sweep.add(tag + "/tta", modeConfig(sim::AccelMode::Tta),
+                       runTta)});
     }
 
     for (int dims : {2, 3}) {
-        NBodyWorkload wl(dims, args.bodies, args.seed);
-        sim::StatRegistry s0, s1;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics tta =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
-        row(dims == 2 ? "NBODY-2D" : "NBODY-3D", base, tta);
+        auto runBase = [dims, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+            NBodyWorkload wl(dims, args.bodies, args.seed);
+            return wl.runBaseline(cfg, stats);
+        };
+        auto runTta = [dims, &args](const sim::Config &cfg,
+                                    sim::StatRegistry &stats) {
+            NBodyWorkload wl(dims, args.bodies, args.seed);
+            return wl.runAccelerated(cfg, stats);
+        };
+        std::string app = dims == 2 ? "NBODY-2D" : "NBODY-3D";
+        std::string tag = std::string("nbody/") + std::to_string(dims) +
+                          "d";
+        rows.push_back(
+            {app,
+             sweep.add(tag + "/base",
+                       modeConfig(sim::AccelMode::BaselineGpu), runBase),
+             sweep.add(tag + "/tta", modeConfig(sim::AccelMode::Tta),
+                       runTta)});
     }
 
     {
-        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
-        sim::StatRegistry s0, s1;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics tta = wl.runAccelerated(
-            modeConfig(sim::AccelMode::Tta), s1, true);
-        row("RTNN", base, tta);
+        auto runBase = [&args](const sim::Config &cfg,
+                               sim::StatRegistry &stats) {
+            RtnnWorkload wl(args.points, args.queries / 4, 1.0f,
+                            args.seed);
+            return wl.runBaseline(cfg, stats);
+        };
+        auto runTta = [&args](const sim::Config &cfg,
+                              sim::StatRegistry &stats) {
+            RtnnWorkload wl(args.points, args.queries / 4, 1.0f,
+                            args.seed);
+            return wl.runAccelerated(cfg, stats, true);
+        };
+        rows.push_back(
+            {"RTNN",
+             sweep.add("rtnn/base",
+                       modeConfig(sim::AccelMode::BaselineGpu), runBase),
+             sweep.add("rtnn/tta", modeConfig(sim::AccelMode::Tta),
+                       runTta)});
     }
 
     {
         // Ray tracing without the RTA: the divergent SIMT-core tracer.
-        RayTracingWorkload wl(SceneKind::SponzaAo, args.res, args.res,
-                              args.seed);
-        sim::StatRegistry s0, s1;
-        RunMetrics base = wl.runBaselineCores(
-            modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics rta = wl.runAccelerated(
-            modeConfig(sim::AccelMode::BaselineRta), s1);
-        row("RAYTRACE", base, rta);
+        auto runBase = [&args](const sim::Config &cfg,
+                               sim::StatRegistry &stats) {
+            RayTracingWorkload wl(SceneKind::SponzaAo, args.res, args.res,
+                                  args.seed);
+            return wl.runBaselineCores(cfg, stats);
+        };
+        auto runRta = [&args](const sim::Config &cfg,
+                              sim::StatRegistry &stats) {
+            RayTracingWorkload wl(SceneKind::SponzaAo, args.res, args.res,
+                                  args.seed);
+            return wl.runAccelerated(cfg, stats);
+        };
+        rows.push_back(
+            {"RAYTRACE",
+             sweep.add("raytrace/base",
+                       modeConfig(sim::AccelMode::BaselineGpu), runBase),
+             sweep.add("raytrace/rta",
+                       modeConfig(sim::AccelMode::BaselineRta), runRta)});
+    }
+
+    sweep.run();
+
+    std::printf("%-12s %14s %14s %14s\n", "app", "simt_eff(GPU)",
+                "dram_util(GPU)", "dram_util(TTA)");
+    for (const Row &row : rows) {
+        const RunMetrics &base = sweep[row.base];
+        const RunMetrics &tta = sweep[row.tta];
+        std::printf("%-12s %13.1f%% %13.1f%% %13.1f%%\n", row.app.c_str(),
+                    100.0 * base.simtEfficiency,
+                    100.0 * base.dramUtilization,
+                    100.0 * tta.dramUtilization);
     }
 
     std::printf("\nPaper shape check: index/radius searches diverge "

@@ -19,6 +19,61 @@ main(int argc, char **argv)
     Args args = Args::parse(argc, argv);
     printHeader("Figure 6", "Roofline for the SIMT-core baselines", args);
 
+    Sweep sweep(args);
+    const sim::Config base_cfg = modeConfig(sim::AccelMode::BaselineGpu);
+    struct Row
+    {
+        std::string app;
+        size_t idx;
+    };
+    std::vector<Row> rows;
+
+    for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
+                      trees::BTreeKind::BPlusTree}) {
+        rows.push_back(
+            {trees::bTreeKindName(kind),
+             sweep.add(std::string("btree/") + trees::bTreeKindName(kind),
+                       base_cfg,
+                       [kind, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+                           BTreeWorkload wl(kind, args.keys, args.queries,
+                                            args.seed);
+                           return wl.runBaseline(cfg, stats);
+                       })});
+    }
+    for (int dims : {2, 3}) {
+        rows.push_back(
+            {dims == 2 ? "NBODY-2D" : "NBODY-3D",
+             sweep.add(std::string("nbody/") + std::to_string(dims) + "d",
+                       base_cfg,
+                       [dims, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+                           NBodyWorkload wl(dims, args.bodies, args.seed);
+                           return wl.runBaseline(cfg, stats);
+                       })});
+    }
+    rows.push_back(
+        {"RTNN", sweep.add("rtnn", base_cfg,
+                           [&args](const sim::Config &cfg,
+                                   sim::StatRegistry &stats) {
+                               RtnnWorkload wl(args.points,
+                                               args.queries / 4, 1.0f,
+                                               args.seed);
+                               return wl.runBaseline(cfg, stats);
+                           })});
+    rows.push_back(
+        {"RAYTRACE",
+         sweep.add("raytrace", base_cfg,
+                   [&args](const sim::Config &cfg,
+                           sim::StatRegistry &stats) {
+                       RayTracingWorkload wl(SceneKind::SponzaAo,
+                                             args.res, args.res,
+                                             args.seed);
+                       return wl.runBaselineCores(cfg, stats);
+                   })});
+
+    sweep.run();
+
     sim::Config cfg;
     // Peak FP throughput: one FP32 op per lane per SM per cycle.
     double peak_gflops = cfg.numSms * cfg.warpSize * cfg.coreClockMhz / 1e3;
@@ -30,44 +85,16 @@ main(int argc, char **argv)
     std::printf("%-12s %12s %14s %16s %10s\n", "app", "FLOP/byte",
                 "GFLOP/s", "% of mem roof", "bound");
 
-    auto row = [&](const char *name, const RunMetrics &m) {
+    for (const Row &row : rows) {
+        const RunMetrics &m = sweep[row.idx];
         double secs = m.cycles / (cfg.coreClockMhz * 1e6);
         double gflops = secs > 0 ? m.flops / secs / 1e9 : 0.0;
         double ai = m.arithmeticIntensity();
         double roof = std::min(peak_gflops, ai * peak_bw);
-        std::printf("%-12s %12.3f %14.2f %15.1f%% %10s\n", name, ai,
-                    gflops, roof > 0 ? 100.0 * gflops / roof : 0.0,
+        std::printf("%-12s %12.3f %14.2f %15.1f%% %10s\n",
+                    row.app.c_str(), ai, gflops,
+                    roof > 0 ? 100.0 * gflops / roof : 0.0,
                     ai < peak_gflops / peak_bw ? "memory" : "compute");
-    };
-
-    for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
-                      trees::BTreeKind::BPlusTree}) {
-        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
-        sim::StatRegistry stats;
-        row(trees::bTreeKindName(kind),
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
-                           stats));
-    }
-    for (int dims : {2, 3}) {
-        NBodyWorkload wl(dims, args.bodies, args.seed);
-        sim::StatRegistry stats;
-        row(dims == 2 ? "NBODY-2D" : "NBODY-3D",
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
-                           stats));
-    }
-    {
-        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
-        sim::StatRegistry stats;
-        row("RTNN", wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu),
-                                   stats));
-    }
-    {
-        RayTracingWorkload wl(SceneKind::SponzaAo, args.res, args.res,
-                              args.seed);
-        sim::StatRegistry stats;
-        row("RAYTRACE",
-            wl.runBaselineCores(modeConfig(sim::AccelMode::BaselineGpu),
-                                stats));
     }
 
     std::printf("\nPaper shape check: all applications sit in the "

@@ -21,41 +21,78 @@ main(int argc, char **argv)
     printHeader("Figure 14", "TTA config sensitivity (B-Tree variants)",
                 args);
 
+    const uint32_t kWarps[] = {1, 2, 4, 8, 16};
+    struct LatCfg
+    {
+        const char *name;
+        bool isolated;
+        double scale;
+    };
+    const LatCfg kLats[] = {{"minmax-3cy", true, 1.0},
+                            {"full-13cy", false, 1.0},
+                            {"10x-130cy", false, 10.0}};
+
+    Sweep sweep(args);
+    struct Row
+    {
+        trees::BTreeKind kind;
+        size_t base;
+        std::vector<size_t> warp, lat;
+    };
+    std::vector<Row> rows;
+
     for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
                       trees::BTreeKind::BPlusTree}) {
-        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
-        sim::StatRegistry s0;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        std::printf("%s (baseline %llu cycles)\n",
-                    trees::bTreeKindName(kind),
-                    static_cast<unsigned long long>(base.cycles));
+        auto runBase = [kind, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+            BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+            return wl.runBaseline(cfg, stats);
+        };
+        auto runAccel = [kind, &args](const sim::Config &cfg,
+                                      sim::StatRegistry &stats) {
+            BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+            return wl.runAccelerated(cfg, stats);
+        };
+        std::string tag = std::string("btree/") +
+                          trees::bTreeKindName(kind);
 
-        std::printf("  warp buffer sweep:   ");
-        for (uint32_t warps : {1u, 2u, 4u, 8u, 16u}) {
+        Row row;
+        row.kind = kind;
+        row.base = sweep.add(tag + "/base",
+                             modeConfig(sim::AccelMode::BaselineGpu),
+                             runBase);
+        for (uint32_t warps : kWarps) {
             sim::Config cfg = modeConfig(sim::AccelMode::Tta);
             cfg.warpBufferWarps = warps;
-            sim::StatRegistry stats;
-            RunMetrics m = wl.runAccelerated(cfg, stats);
-            std::printf("%2uw:%5.2fx  ", warps, speedup(base, m));
+            row.warp.push_back(sweep.add(
+                tag + "/warps" + std::to_string(warps), cfg, runAccel));
         }
-        std::printf("\n  intersection sweep:  ");
-        struct LatCfg
-        {
-            const char *name;
-            bool isolated;
-            double scale;
-        };
-        for (const LatCfg &lc : {LatCfg{"minmax-3cy", true, 1.0},
-                                 LatCfg{"full-13cy", false, 1.0},
-                                 LatCfg{"10x-130cy", false, 10.0}}) {
+        for (const LatCfg &lc : kLats) {
             sim::Config cfg = modeConfig(sim::AccelMode::Tta);
             cfg.ttaIsolatedMinMax = lc.isolated;
             cfg.intersectionLatencyScale = lc.scale;
-            sim::StatRegistry stats;
-            RunMetrics m = wl.runAccelerated(cfg, stats);
-            std::printf("%s:%5.2fx  ", lc.name, speedup(base, m));
+            row.lat.push_back(
+                sweep.add(tag + "/" + lc.name, cfg, runAccel));
         }
+        rows.push_back(row);
+    }
+
+    sweep.run();
+
+    for (const Row &row : rows) {
+        const RunMetrics &base = sweep[row.base];
+        std::printf("%s (baseline %llu cycles)\n",
+                    trees::bTreeKindName(row.kind),
+                    static_cast<unsigned long long>(base.cycles));
+
+        std::printf("  warp buffer sweep:   ");
+        for (size_t i = 0; i < row.warp.size(); ++i)
+            std::printf("%2uw:%5.2fx  ", kWarps[i],
+                        speedup(base, sweep[row.warp[i]]));
+        std::printf("\n  intersection sweep:  ");
+        for (size_t i = 0; i < row.lat.size(); ++i)
+            std::printf("%s:%5.2fx  ", kLats[i].name,
+                        speedup(base, sweep[row.lat[i]]));
         std::printf("\n");
     }
 

@@ -39,25 +39,54 @@ main(int argc, char **argv)
                 "TTA intersection unit utilization (avg/peak concurrent "
                 "tests)", args);
 
+    Sweep sweep(args);
+    const sim::Config tta_cfg = modeConfig(sim::AccelMode::Tta);
+    struct Row
+    {
+        std::string app;
+        size_t idx;
+    };
+    std::vector<Row> rows;
+
     for (auto kind : {trees::BTreeKind::BTree,
                       trees::BTreeKind::BPlusTree}) {
-        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
-        sim::StatRegistry stats;
-        wl.runAccelerated(modeConfig(sim::AccelMode::Tta), stats);
-        printRow(trees::bTreeKindName(kind), stats);
+        rows.push_back(
+            {trees::bTreeKindName(kind),
+             sweep.add(std::string("btree/") + trees::bTreeKindName(kind),
+                       tta_cfg,
+                       [kind, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+                           BTreeWorkload wl(kind, args.keys, args.queries,
+                                            args.seed);
+                           return wl.runAccelerated(cfg, stats);
+                       })});
     }
     for (int dims : {2, 3}) {
-        NBodyWorkload wl(dims, args.bodies, args.seed);
-        sim::StatRegistry stats;
-        wl.runAccelerated(modeConfig(sim::AccelMode::Tta), stats);
-        printRow(dims == 2 ? "NBODY-2D" : "NBODY-3D", stats);
+        rows.push_back(
+            {dims == 2 ? "NBODY-2D" : "NBODY-3D",
+             sweep.add(std::string("nbody/") + std::to_string(dims) + "d",
+                       tta_cfg,
+                       [dims, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+                           NBodyWorkload wl(dims, args.bodies, args.seed);
+                           return wl.runAccelerated(cfg, stats);
+                       })});
     }
-    {
-        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
-        sim::StatRegistry stats;
-        wl.runAccelerated(modeConfig(sim::AccelMode::Tta), stats, true);
-        printRow("*RTNN", stats);
-    }
+    rows.push_back(
+        {"*RTNN", sweep.add("rtnn", tta_cfg,
+                            [&args](const sim::Config &cfg,
+                                    sim::StatRegistry &stats) {
+                                RtnnWorkload wl(args.points,
+                                                args.queries / 4, 1.0f,
+                                                args.seed);
+                                return wl.runAccelerated(cfg, stats,
+                                                         true);
+                            })});
+
+    sweep.run();
+
+    for (const Row &row : rows)
+        printRow(row.app.c_str(), sweep.record(row.idx).stats);
 
     std::printf("\nPaper shape check: bursty usage (peak >> average); "
                 "*RTNN keeps the Ray-Triangle (distance) units busy that "

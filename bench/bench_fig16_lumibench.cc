@@ -20,32 +20,70 @@ main(int argc, char **argv)
     Args args = Args::parse(argc, argv);
     printHeader("Figure 16", "Ray tracing on TTA+ relative to the "
                 "baseline RTA", args);
-    std::printf("%-12s %12s %12s %10s\n", "scene", "RTA(cyc)",
-                "TTA+(cyc)", "relative");
 
-    std::vector<double> rels;
+    Sweep sweep(args);
+    constexpr size_t kNone = static_cast<size_t>(-1);
+    struct Row
+    {
+        SceneKind kind;
+        size_t rta, ttap, starred = kNone;
+    };
+    std::vector<Row> rows;
+
     for (SceneKind kind :
          {SceneKind::CornellPt, SceneKind::SponzaAo, SceneKind::ShipSh,
           SceneKind::TeapotRf, SceneKind::WkndPt, SceneKind::MaskAm}) {
-        RayTracingWorkload wl(kind, args.res, args.res, args.seed);
-        sim::StatRegistry s0, s1;
-        RunMetrics rta = wl.runAccelerated(
-            modeConfig(sim::AccelMode::BaselineRta), s0);
-        RunMetrics ttap =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s1);
+        auto run = [kind, &args](RtOptions opt) {
+            return [kind, opt, &args](const sim::Config &cfg,
+                                      sim::StatRegistry &stats) {
+                RayTracingWorkload wl(kind, args.res, args.res,
+                                      args.seed);
+                return wl.runAccelerated(cfg, stats, opt);
+            };
+        };
+        std::string tag = std::string("rt/") + sceneName(kind);
+
+        Row row;
+        row.kind = kind;
+        row.rta = sweep.add(tag + "/rta",
+                            modeConfig(sim::AccelMode::BaselineRta),
+                            run(RtOptions{}));
+        row.ttap = sweep.add(tag + "/ttaplus",
+                             modeConfig(sim::AccelMode::TtaPlus),
+                             run(RtOptions{}));
+        if (kind == SceneKind::WkndPt) {
+            RtOptions opt;
+            opt.offloadSpheres = true;
+            row.starred = sweep.add(tag + "/ttaplus-offload",
+                                    modeConfig(sim::AccelMode::TtaPlus),
+                                    run(opt));
+        }
+        if (kind == SceneKind::ShipSh) {
+            RtOptions opt;
+            opt.sato = true;
+            row.starred = sweep.add(tag + "/ttaplus-sato",
+                                    modeConfig(sim::AccelMode::TtaPlus),
+                                    run(opt));
+        }
+        rows.push_back(row);
+    }
+
+    sweep.run();
+
+    std::printf("%-12s %12s %12s %10s\n", "scene", "RTA(cyc)",
+                "TTA+(cyc)", "relative");
+    std::vector<double> rels;
+    for (const Row &row : rows) {
+        const RunMetrics &rta = sweep[row.rta];
+        const RunMetrics &ttap = sweep[row.ttap];
         double rel = static_cast<double>(rta.cycles) / ttap.cycles;
         rels.push_back(rel);
-        std::printf("%-12s %12llu %12llu %9.3fx\n", sceneName(kind),
+        std::printf("%-12s %12llu %12llu %9.3fx\n", sceneName(row.kind),
                     static_cast<unsigned long long>(rta.cycles),
                     static_cast<unsigned long long>(ttap.cycles), rel);
 
-        if (kind == SceneKind::WkndPt) {
-            sim::StatRegistry s2;
-            RtOptions opt;
-            opt.offloadSpheres = true;
-            RunMetrics starred =
-                wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2,
-                                  opt);
+        if (row.kind == SceneKind::WkndPt) {
+            const RunMetrics &starred = sweep[row.starred];
             std::printf("%-12s %12s %12llu %9.3fx  (%+.1f%% vs naive "
                         "TTA+; paper: +22%%)\n",
                         "*WKND_PT", "-",
@@ -55,13 +93,8 @@ main(int argc, char **argv)
                                      starred.cycles -
                                  1.0));
         }
-        if (kind == SceneKind::ShipSh) {
-            sim::StatRegistry s2;
-            RtOptions opt;
-            opt.sato = true;
-            RunMetrics starred =
-                wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2,
-                                  opt);
+        if (row.kind == SceneKind::ShipSh) {
+            const RunMetrics &starred = sweep[row.starred];
             std::printf("%-12s %12s %12llu %9.3fx  (SATO; %+.1f%% vs "
                         "naive TTA+)\n",
                         "*SHIP_SH", "-",

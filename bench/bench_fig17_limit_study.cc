@@ -18,9 +18,6 @@ main(int argc, char **argv)
     Args args = Args::parse(argc, argv);
     printHeader("Figure 17", "Limit study on WKND_PT (TTA+)", args);
 
-    RayTracingWorkload wl(SceneKind::WkndPt, args.res, args.res,
-                          args.seed);
-
     struct Variant
     {
         const char *name;
@@ -37,19 +34,32 @@ main(int argc, char **argv)
         {"*WKND_PT + Perf.Mem", true, false, true},
     };
 
-    double base_cycles = 0.0;
+    Sweep sweep(args);
+    std::vector<size_t> idx;
     for (const Variant &v : variants) {
         sim::Config cfg = modeConfig(sim::AccelMode::TtaPlus);
         cfg.perfectNodeFetch = v.perfect_rt;
         cfg.perfectMemory = v.perfect_mem;
-        sim::StatRegistry stats;
-        RtOptions opt;
-        opt.offloadSpheres = v.offload;
-        RunMetrics m = wl.runAccelerated(cfg, stats, opt);
-        if (base_cycles == 0.0)
-            base_cycles = static_cast<double>(m.cycles);
+        idx.push_back(sweep.add(
+            std::string("wknd_pt/") + v.name, cfg,
+            [offload = v.offload, &args](const sim::Config &c,
+                                         sim::StatRegistry &stats) {
+                RayTracingWorkload wl(SceneKind::WkndPt, args.res,
+                                      args.res, args.seed);
+                RtOptions opt;
+                opt.offloadSpheres = offload;
+                return wl.runAccelerated(c, stats, opt);
+            }));
+    }
+
+    sweep.run();
+
+    double base_cycles = static_cast<double>(sweep[idx[0]].cycles);
+    for (size_t i = 0; i < idx.size(); ++i) {
+        const RunMetrics &m = sweep[idx[i]];
         std::printf("%-22s %12llu cycles   %6.2fx vs naive TTA+\n",
-                    v.name, static_cast<unsigned long long>(m.cycles),
+                    variants[i].name,
+                    static_cast<unsigned long long>(m.cycles),
                     base_cycles / m.cycles);
     }
 

@@ -70,53 +70,65 @@ main(int argc, char **argv)
                 "TTA+ OP unit utilization (top) / avg intersection "
                 "latency (bottom)", args);
 
-    std::vector<std::pair<std::string, sim::StatRegistry>> runs;
+    Sweep sweep(args);
+    const sim::Config ttap_cfg = modeConfig(sim::AccelMode::TtaPlus);
+    struct Row
+    {
+        std::string app;
+        size_t idx;
+    };
+    std::vector<Row> rows;
 
-    {
-        BTreeWorkload wl(trees::BTreeKind::BTree, args.keys, args.queries,
-                         args.seed);
-        runs.emplace_back("B-Tree", sim::StatRegistry{});
-        sim::Cycle cycles =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus),
-                              runs.back().second)
-                .cycles;
-        printUtilization("B-Tree", runs.back().second, cycles);
-    }
-    {
-        NBodyWorkload wl(3, args.bodies, args.seed);
-        runs.emplace_back("NBODY-3D", sim::StatRegistry{});
-        sim::Cycle cycles =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus),
-                              runs.back().second)
-                .cycles;
-        printUtilization("NBODY-3D", runs.back().second, cycles);
-    }
-    {
-        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
-        runs.emplace_back("*RTNN", sim::StatRegistry{});
-        sim::Cycle cycles =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus),
-                              runs.back().second, true)
-                .cycles;
-        printUtilization("*RTNN", runs.back().second, cycles);
-    }
-    {
-        RayTracingWorkload wl(SceneKind::WkndPt, args.res, args.res,
-                              args.seed);
-        runs.emplace_back("*WKND_PT", sim::StatRegistry{});
-        RtOptions opt;
-        opt.offloadSpheres = true;
-        sim::Cycle cycles =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus),
-                              runs.back().second, opt)
-                .cycles;
-        printUtilization("*WKND_PT", runs.back().second, cycles);
-    }
+    rows.push_back(
+        {"B-Tree", sweep.add("btree", ttap_cfg,
+                             [&args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+                                 BTreeWorkload wl(trees::BTreeKind::BTree,
+                                                  args.keys, args.queries,
+                                                  args.seed);
+                                 return wl.runAccelerated(cfg, stats);
+                             })});
+    rows.push_back(
+        {"NBODY-3D", sweep.add("nbody3d", ttap_cfg,
+                               [&args](const sim::Config &cfg,
+                                       sim::StatRegistry &stats) {
+                                   NBodyWorkload wl(3, args.bodies,
+                                                    args.seed);
+                                   return wl.runAccelerated(cfg, stats);
+                               })});
+    rows.push_back(
+        {"*RTNN", sweep.add("rtnn", ttap_cfg,
+                            [&args](const sim::Config &cfg,
+                                    sim::StatRegistry &stats) {
+                                RtnnWorkload wl(args.points,
+                                                args.queries / 4, 1.0f,
+                                                args.seed);
+                                return wl.runAccelerated(cfg, stats,
+                                                         true);
+                            })});
+    rows.push_back(
+        {"*WKND_PT", sweep.add("wknd_pt", ttap_cfg,
+                               [&args](const sim::Config &cfg,
+                                       sim::StatRegistry &stats) {
+                                   RayTracingWorkload wl(
+                                       SceneKind::WkndPt, args.res,
+                                       args.res, args.seed);
+                                   RtOptions opt;
+                                   opt.offloadSpheres = true;
+                                   return wl.runAccelerated(cfg, stats,
+                                                            opt);
+                               })});
+
+    sweep.run();
+
+    for (const Row &row : rows)
+        printUtilization(row.app.c_str(), sweep.record(row.idx).stats,
+                         sweep[row.idx].cycles);
 
     std::printf("\nAverage intersection latency on TTA+ (fixed-function "
                 "reference: Ray-Box 13, Ray-Tri 37 cycles):\n");
-    for (auto &[name, stats] : runs)
-        printLatency(name.c_str(), stats);
+    for (const Row &row : rows)
+        printLatency(row.app.c_str(), sweep.record(row.idx).stats);
 
     std::printf("\nPaper shape check: utilization is workload-dependent "
                 "with no dominant bottleneck; serialized uops + ICNT "

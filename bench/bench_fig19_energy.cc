@@ -38,53 +38,99 @@ main(int argc, char **argv)
     printHeader("Figure 19", "Energy normalized to the baseline GPU",
                 args);
 
+    Sweep sweep(args);
+    struct Row
+    {
+        std::string app;
+        size_t base, tta, ttap;
+    };
+    std::vector<Row> rows;
+
     for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
                       trees::BTreeKind::BPlusTree}) {
-        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
-        sim::StatRegistry s0, s1, s2;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics tta =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
-        RunMetrics ttap =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2);
-        std::printf("%s:\n", trees::bTreeKindName(kind));
-        printRow("BASE", base.energy, base.energy.total());
-        printRow("TTA", tta.energy, base.energy.total());
-        printRow("TTA+", ttap.energy, base.energy.total());
+        auto runBase = [kind, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+            BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+            return wl.runBaseline(cfg, stats);
+        };
+        auto runAccel = [kind, &args](const sim::Config &cfg,
+                                      sim::StatRegistry &stats) {
+            BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+            return wl.runAccelerated(cfg, stats);
+        };
+        std::string tag = std::string("btree/") +
+                          trees::bTreeKindName(kind);
+        rows.push_back(
+            {trees::bTreeKindName(kind),
+             sweep.add(tag + "/base",
+                       modeConfig(sim::AccelMode::BaselineGpu), runBase),
+             sweep.add(tag + "/tta", modeConfig(sim::AccelMode::Tta),
+                       runAccel),
+             sweep.add(tag + "/ttaplus",
+                       modeConfig(sim::AccelMode::TtaPlus), runAccel)});
     }
 
     for (int dims : {2, 3}) {
-        NBodyWorkload wl(dims, args.bodies, args.seed);
-        sim::StatRegistry s0, s1, s2;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics tta =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
-        RunMetrics ttap =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2);
-        std::printf("%s:\n", dims == 2 ? "NBODY-2D" : "NBODY-3D");
-        printRow("BASE", base.energy, base.energy.total());
-        printRow("TTA", tta.energy, base.energy.total());
-        printRow("TTA+", ttap.energy, base.energy.total());
+        auto runBase = [dims, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+            NBodyWorkload wl(dims, args.bodies, args.seed);
+            return wl.runBaseline(cfg, stats);
+        };
+        auto runAccel = [dims, &args](const sim::Config &cfg,
+                                      sim::StatRegistry &stats) {
+            NBodyWorkload wl(dims, args.bodies, args.seed);
+            return wl.runAccelerated(cfg, stats);
+        };
+        std::string tag = std::string("nbody/") + std::to_string(dims) +
+                          "d";
+        rows.push_back(
+            {dims == 2 ? "NBODY-2D" : "NBODY-3D",
+             sweep.add(tag + "/base",
+                       modeConfig(sim::AccelMode::BaselineGpu), runBase),
+             sweep.add(tag + "/tta", modeConfig(sim::AccelMode::Tta),
+                       runAccel),
+             sweep.add(tag + "/ttaplus",
+                       modeConfig(sim::AccelMode::TtaPlus), runAccel)});
     }
 
+    // RTNN, normalized to the baseline RTA rather than the GPU.
+    auto rtnnRun = [&args](bool offload) {
+        return [offload, &args](const sim::Config &cfg,
+                                sim::StatRegistry &stats) {
+            RtnnWorkload wl(args.points, args.queries / 4, 1.0f,
+                            args.seed);
+            return wl.runAccelerated(cfg, stats, offload);
+        };
+    };
+    size_t rtnn_rta = sweep.add("rtnn/rta",
+                                modeConfig(sim::AccelMode::BaselineRta),
+                                rtnnRun(false));
+    size_t rtnn_tta = sweep.add("rtnn/tta",
+                                modeConfig(sim::AccelMode::Tta),
+                                rtnnRun(false));
+    size_t rtnn_star_tta = sweep.add("rtnn/star-tta",
+                                     modeConfig(sim::AccelMode::Tta),
+                                     rtnnRun(true));
+    size_t rtnn_star_tp = sweep.add("rtnn/star-ttaplus",
+                                    modeConfig(sim::AccelMode::TtaPlus),
+                                    rtnnRun(true));
+
+    sweep.run();
+
+    for (const Row &row : rows) {
+        double base_total = sweep[row.base].energy.total();
+        std::printf("%s:\n", row.app.c_str());
+        printRow("BASE", sweep[row.base].energy, base_total);
+        printRow("TTA", sweep[row.tta].energy, base_total);
+        printRow("TTA+", sweep[row.ttap].energy, base_total);
+    }
     {
-        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
-        sim::StatRegistry s0, s1, s2, s3;
-        RunMetrics base = wl.runAccelerated(
-            modeConfig(sim::AccelMode::BaselineRta), s0, false);
-        RunMetrics tta =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1, false);
-        RunMetrics star_tta =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s2, true);
-        RunMetrics star_tp = wl.runAccelerated(
-            modeConfig(sim::AccelMode::TtaPlus), s3, true);
+        double base_total = sweep[rtnn_rta].energy.total();
         std::printf("RTNN (vs baseline RTA):\n");
-        printRow("RTA", base.energy, base.energy.total());
-        printRow("TTA", tta.energy, base.energy.total());
-        printRow("*RTNN(TTA)", star_tta.energy, base.energy.total());
-        printRow("*RTNN(TTA+)", star_tp.energy, base.energy.total());
+        printRow("RTA", sweep[rtnn_rta].energy, base_total);
+        printRow("TTA", sweep[rtnn_tta].energy, base_total);
+        printRow("*RTNN(TTA)", sweep[rtnn_star_tta].energy, base_total);
+        printRow("*RTNN(TTA+)", sweep[rtnn_star_tp].energy, base_total);
     }
 
     std::printf("\nPaper shape check: B-Tree saves 15-62%% end-to-end "

@@ -40,57 +40,111 @@ main(int argc, char **argv)
     Args args = Args::parse(argc, argv);
     printHeader("Figure 20", "Dynamic instruction breakdown", args);
 
-    std::vector<double> reductions;
+    Sweep sweep(args);
+    constexpr size_t kNone = static_cast<size_t>(-1);
+    struct Row
+    {
+        std::string app;
+        size_t base, tta, ttap = kNone;
+        bool reduce_with_ttap = false; //!< which run feeds the average
+    };
+    std::vector<Row> rows;
 
     for (auto kind : {trees::BTreeKind::BTree, trees::BTreeKind::BStarTree,
                       trees::BTreeKind::BPlusTree}) {
-        BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
-        sim::StatRegistry s0, s1, s2;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics tta =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
-        RunMetrics ttap =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2);
-        std::printf("%s:\n", trees::bTreeKindName(kind));
-        printRow("BASE", base, base.totalInsts());
-        printRow("TTA", tta, base.totalInsts());
-        printRow("TTA+", ttap, base.totalInsts());
-        reductions.push_back(
-            1.0 - static_cast<double>(tta.totalInsts()) /
-                      base.totalInsts());
+        auto runBase = [kind, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+            BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+            return wl.runBaseline(cfg, stats);
+        };
+        auto runAccel = [kind, &args](const sim::Config &cfg,
+                                      sim::StatRegistry &stats) {
+            BTreeWorkload wl(kind, args.keys, args.queries, args.seed);
+            return wl.runAccelerated(cfg, stats);
+        };
+        std::string tag = std::string("btree/") +
+                          trees::bTreeKindName(kind);
+        Row row;
+        row.app = trees::bTreeKindName(kind);
+        row.base = sweep.add(tag + "/base",
+                             modeConfig(sim::AccelMode::BaselineGpu),
+                             runBase);
+        row.tta = sweep.add(tag + "/tta", modeConfig(sim::AccelMode::Tta),
+                            runAccel);
+        row.ttap = sweep.add(tag + "/ttaplus",
+                             modeConfig(sim::AccelMode::TtaPlus),
+                             runAccel);
+        rows.push_back(row);
     }
 
     for (int dims : {2, 3}) {
-        NBodyWorkload wl(dims, args.bodies, args.seed);
-        sim::StatRegistry s0, s1, s2;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics tta =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1);
-        RunMetrics ttap =
-            wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), s2);
-        std::printf("%s:\n", dims == 2 ? "NBODY-2D" : "NBODY-3D");
-        printRow("BASE", base, base.totalInsts());
-        printRow("TTA", tta, base.totalInsts());
-        printRow("TTA+", ttap, base.totalInsts());
-        reductions.push_back(
-            1.0 - static_cast<double>(ttap.totalInsts()) /
-                      base.totalInsts());
+        auto runBase = [dims, &args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+            NBodyWorkload wl(dims, args.bodies, args.seed);
+            return wl.runBaseline(cfg, stats);
+        };
+        auto runAccel = [dims, &args](const sim::Config &cfg,
+                                      sim::StatRegistry &stats) {
+            NBodyWorkload wl(dims, args.bodies, args.seed);
+            return wl.runAccelerated(cfg, stats);
+        };
+        std::string tag = std::string("nbody/") + std::to_string(dims) +
+                          "d";
+        Row row;
+        row.app = dims == 2 ? "NBODY-2D" : "NBODY-3D";
+        row.base = sweep.add(tag + "/base",
+                             modeConfig(sim::AccelMode::BaselineGpu),
+                             runBase);
+        row.tta = sweep.add(tag + "/tta", modeConfig(sim::AccelMode::Tta),
+                            runAccel);
+        row.ttap = sweep.add(tag + "/ttaplus",
+                             modeConfig(sim::AccelMode::TtaPlus),
+                             runAccel);
+        row.reduce_with_ttap = true;
+        rows.push_back(row);
     }
 
     {
-        RtnnWorkload wl(args.points, args.queries / 4, 1.0f, args.seed);
-        sim::StatRegistry s0, s1;
-        RunMetrics base =
-            wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), s0);
-        RunMetrics star =
-            wl.runAccelerated(modeConfig(sim::AccelMode::Tta), s1, true);
-        std::printf("RTNN:\n");
+        Row row;
+        row.app = "RTNN";
+        row.base = sweep.add("rtnn/base",
+                             modeConfig(sim::AccelMode::BaselineGpu),
+                             [&args](const sim::Config &cfg,
+                                     sim::StatRegistry &stats) {
+                                 RtnnWorkload wl(args.points,
+                                                 args.queries / 4, 1.0f,
+                                                 args.seed);
+                                 return wl.runBaseline(cfg, stats);
+                             });
+        row.tta = sweep.add("rtnn/star-tta",
+                            modeConfig(sim::AccelMode::Tta),
+                            [&args](const sim::Config &cfg,
+                                    sim::StatRegistry &stats) {
+                                RtnnWorkload wl(args.points,
+                                                args.queries / 4, 1.0f,
+                                                args.seed);
+                                return wl.runAccelerated(cfg, stats,
+                                                         true);
+                            });
+        rows.push_back(row);
+    }
+
+    sweep.run();
+
+    std::vector<double> reductions;
+    for (const Row &row : rows) {
+        const RunMetrics &base = sweep[row.base];
+        const RunMetrics &tta = sweep[row.tta];
+        std::printf("%s:\n", row.app.c_str());
         printRow("BASE", base, base.totalInsts());
-        printRow("*TTA", star, base.totalInsts());
+        printRow(row.ttap == kNone ? "*TTA" : "TTA", tta,
+                 base.totalInsts());
+        if (row.ttap != kNone)
+            printRow("TTA+", sweep[row.ttap], base.totalInsts());
+        const RunMetrics &reducer =
+            row.reduce_with_ttap ? sweep[row.ttap] : tta;
         reductions.push_back(
-            1.0 - static_cast<double>(star.totalInsts()) /
+            1.0 - static_cast<double>(reducer.totalInsts()) /
                       base.totalInsts());
     }
 

@@ -8,25 +8,36 @@
  *    hard-coded numbers).
  *  - Table IV: baseline RTA vs TTA+ synthesis areas and the TTA Ray-Box
  *    modification cost.
+ *
+ * There is no simulation to sweep here, but the table derivation still
+ * runs as a single ExperimentRunner job so `--json=` emits the uop
+ * counts as a machine-readable record like every other bench.
  */
 
-#include <cstdio>
 #include <iostream>
 
+#include "bench_common.hh"
 #include "power/area.hh"
 #include "ttaplus/program.hh"
 
-using namespace tta;
-using namespace tta::ttaplus;
+using namespace bench;
+using namespace ::tta::ttaplus;
 
 namespace {
 
-void
-printProgramRow(const char *bench_name, const char *test_name,
-                const Program &prog)
+struct ProgramRow
 {
-    auto counts = prog.unitCounts();
-    std::printf("%-24s %-28s %5zu ", bench_name, test_name, prog.size());
+    const char *bench_name;
+    const char *test_name;
+    Program prog;
+};
+
+void
+printProgramRow(const ProgramRow &row)
+{
+    auto counts = row.prog.unitCounts();
+    std::printf("%-24s %-28s %5zu ", row.bench_name, row.test_name,
+                row.prog.size());
     const OpUnit cols[] = {OpUnit::Vec3AddSub, OpUnit::Multiplier,
                            OpUnit::Sqrt,       OpUnit::Rcp,
                            OpUnit::MinMax,     OpUnit::Cross,
@@ -41,11 +52,48 @@ printProgramRow(const char *bench_name, const char *test_name,
     std::printf("\n");
 }
 
+std::vector<ProgramRow>
+tableRows()
+{
+    return {
+        {"B-Tree/B*Tree/B+Tree", "Inner (Query-Key)",
+         programs::queryKeyInner()},
+        {"", "Leaf (Query-Key)", programs::queryKeyLeaf()},
+        {"N-Body 2D/3D", "Inner (Point-to-Point)",
+         programs::pointDistInner()},
+        {"", "Leaf (Force computation)", programs::nbodyForceLeaf()},
+        {"*RTNN", "Inner (Ray-Box)", programs::rayBoxInner()},
+        {"", "Leaf (Point-to-Point)", programs::rtnnPointDistLeaf()},
+        {"*WKND_PT", "Inner (Ray-Box)", programs::rayBoxInner()},
+        {"", "Leaf (Ray-Sphere)", programs::raySphereLeaf()},
+        {"LumiBench", "Inner (Ray-Box)", programs::rayBoxInner()},
+        {"", "Leaf (Ray-Tri)", programs::rayTriangleLeaf()},
+        {"two-level BVH", "Transition (R-XFORM)",
+         programs::rayTransform()},
+    };
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args = Args::parse(argc, argv);
+
+    Sweep sweep(args);
+    // One derivation job: the uop totals land in the JSON record.
+    sweep.add("tables/uop-counts", sim::Config{},
+              [](const sim::Config &, sim::StatRegistry &stats) {
+                  for (const ProgramRow &row : tableRows()) {
+                      if (row.bench_name[0] == '\0')
+                          continue;
+                      stats.counter(std::string("uops.") +
+                                    row.bench_name) += row.prog.size();
+                  }
+                  return RunMetrics{};
+              });
+    sweep.run();
+
     std::printf("Table I: Operation units in TTA+\n");
     std::printf("%-14s %10s\n", "unit", "latency");
     for (uint32_t u = 0; u < kNumOpUnits; ++u) {
@@ -60,24 +108,8 @@ main()
                 "%5s\n",
                 "benchmark", "intersection test", "uops", "SUB", "MUL",
                 "SQRT", "RCP", "MM", "CROSS", "DOT", "CMP", "OR", "XFRM");
-    printProgramRow("B-Tree/B*Tree/B+Tree", "Inner (Query-Key)",
-                    programs::queryKeyInner());
-    printProgramRow("", "Leaf (Query-Key)", programs::queryKeyLeaf());
-    printProgramRow("N-Body 2D/3D", "Inner (Point-to-Point)",
-                    programs::pointDistInner());
-    printProgramRow("", "Leaf (Force computation)",
-                    programs::nbodyForceLeaf());
-    printProgramRow("*RTNN", "Inner (Ray-Box)", programs::rayBoxInner());
-    printProgramRow("", "Leaf (Point-to-Point)",
-                    programs::rtnnPointDistLeaf());
-    printProgramRow("*WKND_PT", "Inner (Ray-Box)",
-                    programs::rayBoxInner());
-    printProgramRow("", "Leaf (Ray-Sphere)", programs::raySphereLeaf());
-    printProgramRow("LumiBench", "Inner (Ray-Box)",
-                    programs::rayBoxInner());
-    printProgramRow("", "Leaf (Ray-Tri)", programs::rayTriangleLeaf());
-    printProgramRow("two-level BVH", "Transition (R-XFORM)",
-                    programs::rayTransform());
+    for (const ProgramRow &row : tableRows())
+        printProgramRow(row);
     std::printf("(paper totals: 12/3, 3/5, 19/5, 19/18, 19/17 — matched "
                 "by construction and asserted in tests)\n");
 

@@ -13,6 +13,7 @@
 #include "mem/cache.hh"
 #include "mem/coalescer.hh"
 #include "sim/rng.hh"
+#include "sim/runner.hh"
 #include "tta/query_key_unit.hh"
 #include "ttaplus/engine.hh"
 
@@ -100,5 +101,30 @@ BM_TtaPlusEngineWalk(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TtaPlusEngineWalk);
+
+/** Dispatch overhead of the parallel experiment runner: jobs-per-second
+ *  for trivial job bodies at 1..N worker threads. The figure benches put
+ *  whole simulations behind this, so overhead must stay negligible. */
+static void
+BM_ExperimentRunner(benchmark::State &state)
+{
+    const size_t n_jobs = 64;
+    std::vector<sim::Job> jobs(n_jobs);
+    for (size_t i = 0; i < n_jobs; ++i) {
+        jobs[i].name = "job" + std::to_string(i);
+        jobs[i].fn = [](const sim::Config &, sim::StatRegistry &stats,
+                        sim::RunRecord &rec) {
+            ++stats.counter("noop");
+            rec.cycles = 1;
+        };
+    }
+    sim::ExperimentRunner runner(
+        static_cast<unsigned>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(jobs));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * n_jobs));
+}
+BENCHMARK(BM_ExperimentRunner)->Arg(1)->Arg(2)->Arg(4);
 
 BENCHMARK_MAIN();

@@ -17,6 +17,8 @@ Cache::Cache(const std::string &name, uint32_t size_bytes, uint32_t assoc,
     lines_.resize(num_lines);
     hits_ = &stats.counter(name + ".hits");
     misses_ = &stats.counter(name + ".misses");
+    readMisses_ = &stats.counter(name + ".read_misses");
+    writeMisses_ = &stats.counter(name + ".write_misses");
     mshrMerges_ = &stats.counter(name + ".mshr_merges");
     mshrStalls_ = &stats.counter(name + ".mshr_stalls");
 }
@@ -43,9 +45,12 @@ Cache::access(Addr line_addr, bool is_write)
 
     // Writes are write-through / no-allocate: a write miss does not fetch
     // the line, it just flows downstream. Report it as a (new) miss so the
-    // caller forwards it, but do not hold an MSHR.
+    // caller forwards it, but do not hold an MSHR. Counted separately from
+    // read misses: lumping them together makes miss rates unreadable for
+    // workloads with a write-out phase (writes can never hit-after-fill).
     if (is_write) {
         ++*misses_;
+        ++*writeMisses_;
         return Result::MissNew;
     }
 
@@ -61,6 +66,7 @@ Cache::access(Addr line_addr, bool is_write)
     }
     mshrs_.emplace(line_addr, 1);
     ++*misses_;
+    ++*readMisses_;
     return Result::MissNew;
 }
 

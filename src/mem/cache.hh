@@ -55,7 +55,13 @@ class Cache
 
     uint32_t lineSize() const { return lineSize_; }
     uint64_t hits() const { return hits_->value(); }
+    /** All misses, read + write (compatibility view). */
     uint64_t misses() const { return misses_->value(); }
+    /** Read misses: allocate an MSHR and fill the line. */
+    uint64_t readMisses() const { return readMisses_->value(); }
+    /** Write-through misses: forwarded downstream, never allocated, so
+     *  they say nothing about residency of the read working set. */
+    uint64_t writeMisses() const { return writeMisses_->value(); }
 
   private:
     struct Line
@@ -80,6 +86,8 @@ class Cache
 
     sim::Counter *hits_;
     sim::Counter *misses_;
+    sim::Counter *readMisses_;
+    sim::Counter *writeMisses_;
     sim::Counter *mshrMerges_;
     sim::Counter *mshrStalls_;
 };

@@ -1,12 +1,32 @@
 #include "mem/coalescer.hh"
 
+#include <algorithm>
+
+#include "sim/logging.hh"
+
 namespace tta::mem {
 
 std::vector<CoalescedAccess>
 coalesce(const std::vector<Addr> &addrs, uint32_t active,
          uint32_t access_size, uint32_t line_size)
 {
+    panic_if(line_size == 0 || (line_size & (line_size - 1)) != 0,
+             "coalesce: line size %u is not a power of two", line_size);
+    panic_if(addrs.size() > 32,
+             "coalesce: %zu lanes exceed the 32-lane warp limit",
+             addrs.size());
+
     std::vector<CoalescedAccess> out;
+    if (!active)
+        return out;
+    // This runs once per issued warp memory instruction; a fully
+    // divergent access emits one transaction per lane, so reserve the
+    // worst common case up front and keep lookups out of the O(n) scan
+    // with a flat map (line addr -> out index) sorted by line address.
+    out.reserve(addrs.size());
+    std::vector<std::pair<Addr, uint32_t>> index;
+    index.reserve(addrs.size());
+
     const Addr line_mask = ~static_cast<Addr>(line_size - 1);
     for (uint32_t lane = 0; lane < addrs.size(); ++lane) {
         if (!(active & (1u << lane)))
@@ -16,16 +36,18 @@ coalesce(const std::vector<Addr> &addrs, uint32_t active,
         Addr first = addrs[lane] & line_mask;
         Addr last = (addrs[lane] + access_size - 1) & line_mask;
         for (Addr line = first; line <= last; line += line_size) {
-            bool merged = false;
-            for (auto &acc : out) {
-                if (acc.lineAddr == line) {
-                    acc.laneMask |= 1u << lane;
-                    merged = true;
-                    break;
-                }
-            }
-            if (!merged)
+            auto it = std::lower_bound(
+                index.begin(), index.end(), line,
+                [](const std::pair<Addr, uint32_t> &p, Addr l) {
+                    return p.first < l;
+                });
+            if (it != index.end() && it->first == line) {
+                out[it->second].laneMask |= 1u << lane;
+            } else {
+                index.insert(it,
+                             {line, static_cast<uint32_t>(out.size())});
                 out.push_back({line, 1u << lane});
+            }
         }
     }
     return out;

@@ -29,10 +29,12 @@ struct CoalescedAccess
 /**
  * Coalesce per-lane accesses into line transactions.
  *
- * @param addrs      per-lane byte addresses (size = warp size, <= 32).
+ * @param addrs      per-lane byte addresses (size = warp size; panics
+ *                   beyond 32 lanes, the laneMask width).
  * @param active     bitmask of lanes that execute the access.
  * @param access_size bytes accessed per lane.
- * @param line_size  cache-line size in bytes (power of two).
+ * @param line_size  cache-line size in bytes (panics unless a power of
+ *                   two — the line-mask arithmetic requires it).
  * @return one entry per distinct line touched, in first-lane order.
  */
 std::vector<CoalescedAccess>

@@ -26,6 +26,7 @@ StatRegistry::dump(std::ostream &os) const
         os << kv.first << ".count " << kv.second.count() << "\n";
         os << kv.first << ".mean " << kv.second.mean() << "\n";
         os << kv.first << ".max " << kv.second.maxValue() << "\n";
+        os << kv.first << ".overflow " << kv.second.overflow() << "\n";
     }
 }
 
@@ -41,6 +42,7 @@ StatRegistry::dumpCsv(std::ostream &os) const
         os << kv.first << ".count," << kv.second.count() << "\n";
         os << kv.first << ".mean," << kv.second.mean() << "\n";
         os << kv.first << ".max," << kv.second.maxValue() << "\n";
+        os << kv.first << ".overflow," << kv.second.overflow() << "\n";
     }
 }
 

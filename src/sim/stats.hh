@@ -67,7 +67,9 @@ class Histogram
         : bucketWidth_(bucket_width), buckets_(n_buckets, 0)
     {}
 
-    /** Record one sample. */
+    /** Record one sample. Samples beyond the bucketed range still land in
+     *  the last bucket (so bucket sums match count()), but are tracked in
+     *  an overflow count so a clipped tail is visible in the dump. */
     void
     sample(double v)
     {
@@ -77,8 +79,10 @@ class Histogram
         max_ = count_ == 1 ? v : std::max(max_, v);
         size_t idx = v <= 0.0 ? 0
             : static_cast<size_t>(v / bucketWidth_);
-        if (idx >= buckets_.size())
+        if (idx >= buckets_.size()) {
             idx = buckets_.size() - 1;
+            ++overflow_;
+        }
         ++buckets_[idx];
     }
 
@@ -87,12 +91,15 @@ class Histogram
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double minValue() const { return count_ ? min_ : 0.0; }
     double maxValue() const { return count_ ? max_ : 0.0; }
+    /** Samples that fell past the last bucket (clamped into it). */
+    uint64_t overflow() const { return overflow_; }
     const std::vector<uint64_t> &buckets() const { return buckets_; }
 
     void
     reset()
     {
         count_ = 0;
+        overflow_ = 0;
         sum_ = min_ = max_ = 0.0;
         std::fill(buckets_.begin(), buckets_.end(), 0);
     }
@@ -100,6 +107,7 @@ class Histogram
   private:
     double bucketWidth_;
     uint64_t count_ = 0;
+    uint64_t overflow_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
@@ -176,6 +184,10 @@ class StatRegistry
     const std::map<std::string, Scalar> &scalars() const
     {
         return scalars_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
     }
 
   private:

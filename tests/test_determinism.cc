@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "sim/runner.hh"
 #include "workloads/btree_workload.hh"
+#include "workloads/nbody_workload.hh"
 #include "workloads/rtnn_workload.hh"
 #include "workloads/rtree_workload.hh"
 
@@ -75,6 +79,62 @@ TEST(Determinism, RTreeWorkloadRepeats)
         return wl.runAccelerated(ttaConfig(), stats).cycles;
     };
     EXPECT_EQ(run(), run());
+}
+
+TEST(Determinism, RunnerThreadCountDoesNotChangeStatDumps)
+{
+    // The same mixed job list through ExperimentRunner with 1 worker and
+    // with 4 must produce identical full stat dumps per run — the
+    // property that makes `--jobs N` safe for every figure sweep.
+    auto mkJobs = [] {
+        std::vector<sim::Job> jobs;
+        sim::Job btree;
+        btree.name = "btree";
+        btree.config = ttaConfig();
+        btree.seed = 11;
+        btree.fn = [](const sim::Config &cfg, sim::StatRegistry &stats,
+                      sim::RunRecord &rec) {
+            BTreeWorkload wl(trees::BTreeKind::BStarTree, 3000, 256, 11);
+            rec.cycles = wl.runAccelerated(cfg, stats).cycles;
+        };
+        jobs.push_back(std::move(btree));
+
+        sim::Job nbody;
+        nbody.name = "nbody";
+        nbody.config.accelMode = sim::AccelMode::TtaPlus;
+        nbody.seed = 12;
+        nbody.fn = [](const sim::Config &cfg, sim::StatRegistry &stats,
+                      sim::RunRecord &rec) {
+            NBodyWorkload wl(2, 128, 12);
+            rec.cycles = wl.runAccelerated(cfg, stats).cycles;
+        };
+        jobs.push_back(std::move(nbody));
+
+        sim::Job rtnn;
+        rtnn.name = "rtnn";
+        rtnn.config = ttaConfig();
+        rtnn.seed = 13;
+        rtnn.fn = [](const sim::Config &cfg, sim::StatRegistry &stats,
+                     sim::RunRecord &rec) {
+            RtnnWorkload wl(1024, 64, 1.0f, 13);
+            rec.cycles = wl.runAccelerated(cfg, stats, true).cycles;
+        };
+        jobs.push_back(std::move(rtnn));
+        return jobs;
+    };
+
+    auto serial = sim::ExperimentRunner(1).run(mkJobs());
+    auto parallel = sim::ExperimentRunner(4).run(mkJobs());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_FALSE(serial[i].failed());
+        EXPECT_FALSE(parallel[i].failed());
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles);
+        std::ostringstream a, b;
+        serial[i].stats.dump(a);
+        parallel[i].stats.dump(b);
+        EXPECT_EQ(a.str(), b.str()) << serial[i].name;
+    }
 }
 
 TEST(Determinism, ModesDoNotShareHiddenState)

@@ -77,6 +77,19 @@ TEST(Coalescer, InactiveLanesIgnoredAndStraddles)
     EXPECT_EQ(txns[1].laneMask, 1u << 3);
 }
 
+TEST(CoalescerDeath, NonPowerOfTwoLineSizePanics)
+{
+    std::vector<Addr> addrs(4, 0x1000);
+    EXPECT_DEATH(coalesce(addrs, 0xfu, 4, 96), "power of two");
+    EXPECT_DEATH(coalesce(addrs, 0xfu, 4, 0), "power of two");
+}
+
+TEST(CoalescerDeath, MoreThanThirtyTwoLanesPanics)
+{
+    std::vector<Addr> addrs(33, 0x1000);
+    EXPECT_DEATH(coalesce(addrs, 0xffffffffu, 4, 128), "32-lane");
+}
+
 // --- Cache -------------------------------------------------------------
 
 TEST(Cache, HitAfterFillAndLru)
@@ -123,6 +136,29 @@ TEST(Cache, WritesAreNoAllocate)
     // The write did not allocate the line or an MSHR.
     EXPECT_FALSE(cache.missPending(0x1000));
     EXPECT_EQ(cache.access(0x1000, false), Cache::Result::MissNew);
+}
+
+TEST(Cache, ReadAndWriteMissesCountedSeparately)
+{
+    sim::StatRegistry stats;
+    Cache cache("c", 1024, 8, 128, 4, stats);
+
+    EXPECT_EQ(cache.access(0x1000, false), Cache::Result::MissNew);
+    cache.fill(0x1000);
+    cache.access(0x1000, false); // hit
+    cache.access(0x2000, true);  // write miss (no-allocate)
+    cache.access(0x2000, true);  // still a write miss
+    EXPECT_EQ(cache.access(0x3000, false), Cache::Result::MissNew);
+    // Merging into an in-flight MSHR is not another miss.
+    EXPECT_EQ(cache.access(0x3000, false), Cache::Result::MissMerged);
+
+    EXPECT_EQ(stats.counterValue("c.read_misses"), 2u);
+    EXPECT_EQ(stats.counterValue("c.write_misses"), 2u);
+    // The combined counter (consumed by the energy model) is their sum.
+    EXPECT_EQ(stats.counterValue("c.misses"),
+              stats.counterValue("c.read_misses") +
+                  stats.counterValue("c.write_misses"));
+    EXPECT_EQ(stats.counterValue("c.hits"), 1u);
 }
 
 // --- MemSystem ------------------------------------------------------------

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ExperimentRunner unit tests: submission-order results, error
+ * propagation (a throwing job must not wedge the pool), serial/parallel
+ * determinism of the JSON records, and config-digest stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "sim/runner.hh"
+#include "workloads/btree_workload.hh"
+
+using namespace tta;
+using namespace ::tta::workloads;
+
+namespace {
+
+std::vector<sim::Job>
+countingJobs(size_t n)
+{
+    std::vector<sim::Job> jobs(n);
+    for (size_t i = 0; i < n; ++i) {
+        jobs[i].name = "job" + std::to_string(i);
+        jobs[i].seed = i;
+        jobs[i].fn = [i](const sim::Config &, sim::StatRegistry &stats,
+                         sim::RunRecord &rec) {
+            stats.counter("index") += i;
+            rec.cycles = 100 + i;
+            rec.values["twice"] = 2.0 * static_cast<double>(i);
+        };
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(Runner, ResultsComeBackInSubmissionOrder)
+{
+    auto jobs = countingJobs(23);
+    for (unsigned threads : {1u, 4u}) {
+        sim::ExperimentRunner runner(threads);
+        auto records = runner.run(jobs);
+        ASSERT_EQ(records.size(), jobs.size());
+        for (size_t i = 0; i < records.size(); ++i) {
+            EXPECT_EQ(records[i].name, jobs[i].name);
+            EXPECT_EQ(records[i].seed, i);
+            EXPECT_EQ(records[i].cycles, 100 + i);
+            EXPECT_EQ(records[i].stats.counterValue("index"), i);
+            EXPECT_FALSE(records[i].failed());
+            EXPECT_GE(records[i].wallSeconds, 0.0);
+        }
+    }
+}
+
+TEST(Runner, ZeroThreadsMeansHardwareConcurrency)
+{
+    sim::ExperimentRunner runner(0);
+    EXPECT_GE(runner.threads(), 1u);
+    auto records = runner.run(countingJobs(3));
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[2].cycles, 102u);
+}
+
+TEST(Runner, EmptyJobListIsFine)
+{
+    sim::ExperimentRunner runner(4);
+    EXPECT_TRUE(runner.run({}).empty());
+}
+
+TEST(Runner, ThrowingJobDoesNotWedgeThePool)
+{
+    auto jobs = countingJobs(8);
+    jobs[2].fn = [](const sim::Config &, sim::StatRegistry &,
+                    sim::RunRecord &) {
+        throw std::runtime_error("deliberate failure");
+    };
+    jobs[5].fn = [](const sim::Config &, sim::StatRegistry &,
+                    sim::RunRecord &) { throw 42; }; // non-std exception
+    for (unsigned threads : {1u, 4u}) {
+        sim::ExperimentRunner runner(threads);
+        auto records = runner.run(jobs);
+        ASSERT_EQ(records.size(), jobs.size());
+        EXPECT_TRUE(records[2].failed());
+        EXPECT_NE(records[2].error.find("deliberate failure"),
+                  std::string::npos);
+        EXPECT_TRUE(records[5].failed());
+        EXPECT_FALSE(records[5].error.empty());
+        // Every other job still ran to completion.
+        for (size_t i : {0u, 1u, 3u, 4u, 6u, 7u}) {
+            EXPECT_FALSE(records[i].failed()) << "job " << i;
+            EXPECT_EQ(records[i].cycles, 100 + i);
+        }
+        // The error lands in the JSON record too.
+        EXPECT_NE(records[2].toJson(false).find("\"error\""),
+                  std::string::npos);
+    }
+}
+
+TEST(Runner, SerialAndParallelRecordsAreByteIdentical)
+{
+    // Real simulations, not stubs: the property the figure sweeps rely
+    // on. Timing excluded — it is the only nondeterministic field.
+    auto mkJobs = [] {
+        std::vector<sim::Job> jobs;
+        for (uint64_t seed : {7u, 8u, 9u, 10u}) {
+            sim::Job job;
+            job.name = "btree/seed" + std::to_string(seed);
+            job.config.accelMode = sim::AccelMode::Tta;
+            job.seed = seed;
+            job.fn = [seed](const sim::Config &cfg,
+                            sim::StatRegistry &stats,
+                            sim::RunRecord &rec) {
+                BTreeWorkload wl(trees::BTreeKind::BTree, 2000, 256,
+                                 seed);
+                rec.cycles = wl.runAccelerated(cfg, stats).cycles;
+            };
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+    auto serial = sim::ExperimentRunner(1).run(mkJobs());
+    auto parallel = sim::ExperimentRunner(4).run(mkJobs());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i].toJson(false), parallel[i].toJson(false))
+            << "record " << i;
+}
+
+TEST(Runner, JsonRecordIsWellFormedish)
+{
+    auto records = sim::ExperimentRunner(1).run(countingJobs(1));
+    std::string js = records[0].toJson(true);
+    EXPECT_EQ(js.front(), '{');
+    EXPECT_EQ(js.back(), '}');
+    EXPECT_NE(js.find("\"name\":\"job0\""), std::string::npos);
+    EXPECT_NE(js.find("\"cycles\":100"), std::string::npos);
+    EXPECT_NE(js.find("\"twice\""), std::string::npos);
+    EXPECT_NE(js.find("\"wall_ms\""), std::string::npos);
+    EXPECT_EQ(records[0].toJson(false).find("\"wall_ms\""),
+              std::string::npos);
+}
+
+TEST(Runner, ConfigDigestStableAndFieldSensitive)
+{
+    sim::Config a, b;
+    EXPECT_EQ(sim::configDigest(a), sim::configDigest(b));
+    EXPECT_EQ(sim::configDigest(a).size(), 16u);
+
+    b.accelMode = sim::AccelMode::TtaPlus;
+    EXPECT_NE(sim::configDigest(a), sim::configDigest(b));
+
+    sim::Config c;
+    c.icntHopLatency += 1;
+    EXPECT_NE(sim::configDigest(a), sim::configDigest(c));
+
+    sim::Config d;
+    d.rtaCoalescing = !d.rtaCoalescing;
+    EXPECT_NE(sim::configDigest(a), sim::configDigest(d));
+}

@@ -42,6 +42,30 @@ TEST(Stats, CountersScalarsHistograms)
     EXPECT_EQ(h.buckets()[7], 1u);
 }
 
+TEST(Stats, HistogramTracksOverflow)
+{
+    StatRegistry stats;
+    Histogram &h = stats.histogram("lat", 2.0, 4); // covers [0, 8)
+    h.sample(0.0);
+    h.sample(7.9);
+    EXPECT_EQ(h.overflow(), 0u);
+
+    h.sample(8.0); // first value past the top bucket edge
+    h.sample(1e6);
+    EXPECT_EQ(h.overflow(), 2u);
+    // Overflowing samples still clamp into the last bucket (which also
+    // holds 7.9), so the bucket sum keeps matching the sample count.
+    EXPECT_EQ(h.buckets().back(), 3u);
+    EXPECT_EQ(h.count(), 4u);
+
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("lat.overflow 2"), std::string::npos);
+
+    h.reset();
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
 TEST(Stats, SameNameSharesCounter)
 {
     StatRegistry stats;
