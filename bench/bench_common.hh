@@ -14,6 +14,14 @@
  *   --json=FILE     append one JSON record per run ("-" = stdout)
  *   --json-timing=0 omit wall_ms from the records, making them
  *                   byte-identical across --jobs settings
+ *   --trace FILE[:mask]  write a Chrome trace-event JSON of every run
+ *                   (also accepted as --trace=FILE[:mask]). The optional
+ *                   mask selects categories (warp,rta,pipe,mem,op or
+ *                   "all"). Each job records into its own sim::Tracer
+ *                   (safe under --jobs N); all runs merge into FILE as
+ *                   separate trace processes, and multi-job sweeps
+ *                   additionally write FILE-derived per-job files.
+ *                   Tracing also prints a stall-cause attribution table.
  *
  * Benches queue every simulation as a Sweep job, run the whole sweep
  * through the thread pool, then print their tables from the collected
@@ -23,6 +31,7 @@
 #ifndef TTA_BENCH_COMMON_HH
 #define TTA_BENCH_COMMON_HH
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -30,12 +39,15 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/logging.hh"
 #include "sim/runner.hh"
+#include "sim/trace.hh"
 #include "workloads/btree_workload.hh"
 #include "workloads/nbody_workload.hh"
 #include "workloads/raytracing_workload.hh"
@@ -57,12 +69,38 @@ struct Args
     uint64_t jobs = 0;       //!< runner threads; 0 = hardware concurrency
     uint64_t jsonTiming = 1; //!< include wall_ms in JSON records
     std::string json;        //!< JSON record sink; empty = off, "-" = stdout
+    std::string trace;       //!< Chrome-trace sink; empty = tracing off
+    uint32_t traceMask = sim::TraceAllCategories;
+
+    /** Split "FILE[:mask]" into the trace path + category mask. The
+     *  suffix counts as a mask only if Tracer::parseMask accepts it, so
+     *  plain paths containing ':' still work. */
+    void
+    setTraceSpec(const std::string &spec)
+    {
+        trace = spec;
+        traceMask = sim::TraceAllCategories;
+        size_t colon = spec.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= spec.size())
+            return;
+        try {
+            traceMask = sim::Tracer::parseMask(spec.substr(colon + 1));
+            trace = spec.substr(0, colon);
+        } catch (const sim::FatalError &) {
+            // Not a mask: the whole spec is the filename.
+        }
+    }
 
     static Args
     parse(int argc, char **argv)
     {
         Args args;
         for (int i = 1; i < argc; ++i) {
+            // --trace takes either "--trace=SPEC" or "--trace SPEC".
+            if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+                args.setTraceSpec(argv[++i]);
+                continue;
+            }
             auto grab = [&](const char *name, auto &field) {
                 std::string prefix = std::string("--") + name + "=";
                 if (std::strncmp(argv[i], prefix.c_str(),
@@ -82,6 +120,7 @@ struct Args
                 }
                 return false;
             };
+            std::string trace_spec;
             bool ok = grab("keys", args.keys) ||
                       grab("queries", args.queries) ||
                       grab("bodies", args.bodies) ||
@@ -90,6 +129,10 @@ struct Args
                       grab("jobs", args.jobs) ||
                       grab("json-timing", args.jsonTiming) ||
                       grabStr("json", args.json);
+            if (!ok && grabStr("trace", trace_spec)) {
+                args.setTraceSpec(trace_spec);
+                ok = true;
+            }
             if (!ok)
                 std::fprintf(stderr, "ignoring unknown flag %s\n",
                              argv[i]);
@@ -147,6 +190,8 @@ class Sweep
         job.name = std::move(name);
         job.config = cfg;
         job.seed = args_.seed;
+        if (!args_.trace.empty())
+            job.tracer = std::make_shared<sim::Tracer>(args_.traceMask);
         job.fn = [this, idx, fn = std::move(fn)](
                      const sim::Config &config, sim::StatRegistry &stats,
                      sim::RunRecord &rec) {
@@ -176,6 +221,7 @@ class Sweep
             static_cast<unsigned>(args_.jobs));
         records_ = runner.run(jobs_);
         emitJson();
+        emitTraces();
         for (const auto &rec : records_) {
             if (rec.failed()) {
                 std::fprintf(stderr, "run '%s' failed: %s\n",
@@ -183,6 +229,8 @@ class Sweep
                 std::exit(1);
             }
         }
+        if (!args_.trace.empty())
+            printStallReport();
     }
 
     const RunMetrics &metrics(size_t i) const { return metrics_[i]; }
@@ -212,6 +260,105 @@ class Sweep
         for (const auto &rec : records_) {
             rec.writeJson(*os, args_.jsonTiming != 0);
             *os << "\n";
+        }
+    }
+
+    /**
+     * Export event traces (no-op unless --trace was given). All runs
+     * merge into the requested file as separate Chrome-trace processes;
+     * multi-job sweeps additionally write one file per job next to it.
+     * Runs single-threaded after the pool joins, so any --jobs setting
+     * is safe.
+     */
+    void
+    emitTraces()
+    {
+        if (args_.trace.empty())
+            return;
+        std::ofstream merged(args_.trace);
+        if (!merged) {
+            std::fprintf(stderr, "cannot open %s for trace output\n",
+                         args_.trace.c_str());
+            std::exit(1);
+        }
+        merged << "{\"traceEvents\":[\n";
+        bool first = true;
+        uint64_t dropped = 0;
+        for (size_t i = 0; i < jobs_.size(); ++i) {
+            if (!jobs_[i].tracer)
+                continue;
+            jobs_[i].tracer->writeEvents(merged,
+                                         static_cast<uint32_t>(i + 1),
+                                         jobs_[i].name, first);
+            dropped += jobs_[i].tracer->droppedEvents();
+        }
+        merged << "\n],\"displayTimeUnit\":\"ns\"}\n";
+
+        if (jobs_.size() > 1) {
+            for (size_t i = 0; i < jobs_.size(); ++i) {
+                if (!jobs_[i].tracer)
+                    continue;
+                std::ofstream per(perJobTracePath(jobs_[i].name));
+                if (per)
+                    jobs_[i].tracer->writeJson(per, jobs_[i].name);
+            }
+        }
+        std::fprintf(stderr,
+                     "trace: wrote %s (categories: %s)%s\n",
+                     args_.trace.c_str(),
+                     sim::Tracer::maskToString(args_.traceMask).c_str(),
+                     dropped ? " [ring overflow: oldest events dropped]"
+                             : "");
+    }
+
+    /** "<stem>.<sanitized job name><ext>" next to the merged file. */
+    std::string
+    perJobTracePath(const std::string &job_name) const
+    {
+        std::string safe;
+        for (char c : job_name) {
+            safe += (std::isalnum(static_cast<unsigned char>(c)) ||
+                     c == '-' || c == '_')
+                        ? c : '_';
+        }
+        size_t dot = args_.trace.rfind('.');
+        size_t slash = args_.trace.rfind('/');
+        if (dot == std::string::npos ||
+            (slash != std::string::npos && dot < slash)) {
+            return args_.trace + "." + safe + ".json";
+        }
+        return args_.trace.substr(0, dot) + "." + safe +
+               args_.trace.substr(dot);
+    }
+
+    /**
+     * Per-run stall-cause attribution derived from the core counters
+     * (see SimtCore::classifyStall). "accel" is the paper's
+     * "intersection busy" (the SM parked while traversal runs on the
+     * accelerator). Reconvergence never stalls issue in this model —
+     * divergence costs show up as SIMT efficiency instead.
+     */
+    void
+    printStallReport() const
+    {
+        std::printf("-----------------------------------------------------"
+                    "---------------------------\n");
+        std::printf("Stall-cause attribution (cycles; %% of all stall "
+                    "cycles):\n");
+        std::printf("  %-28s %12s %8s %8s %8s %8s\n", "run", "stall_cyc",
+                    "issue", "mem", "accel", "exec");
+        for (const auto &rec : records_) {
+            auto total = rec.stats.counterValue("core.stall_cycles");
+            auto pct = [&](const char *name) {
+                return total == 0
+                           ? 0.0
+                           : 100.0 * rec.stats.counterValue(name) / total;
+            };
+            std::printf("  %-28s %12llu %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                        rec.name.c_str(),
+                        static_cast<unsigned long long>(total),
+                        pct("core.stall_issue"), pct("core.stall_mem"),
+                        pct("core.stall_accel"), pct("core.stall_exec"));
         }
     }
 

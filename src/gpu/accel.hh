@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/ticked.hh"
+
 namespace tta::gpu {
 
 class SimtCore;
@@ -28,6 +30,7 @@ class AccelDevice
     /**
      * Offer a warp's traversal to the accelerator.
      *
+     * @param cycle        issue cycle (for event tracing / bookkeeping).
      * @param core         the issuing core (for the completion callback).
      * @param warp_slot    warp identifier within the core.
      * @param active_mask  lanes participating in the traversal.
@@ -36,8 +39,8 @@ class AccelDevice
      * @retval false if the accelerator has no free warp-buffer slot; the
      *         instruction retries next cycle (back-pressure).
      */
-    virtual bool launchWarp(SimtCore *core, uint32_t warp_slot,
-                            uint32_t active_mask,
+    virtual bool launchWarp(sim::Cycle cycle, SimtCore *core,
+                            uint32_t warp_slot, uint32_t active_mask,
                             const std::vector<uint32_t> &lane_operands) = 0;
 };
 

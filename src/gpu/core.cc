@@ -123,6 +123,25 @@ SimtCore::SimtCore(const sim::Config &cfg, uint32_t sm_id,
     flopCount_ = &stats.counter("core.flops");
     stallCycles_ = &stats.counter("core.stall_cycles");
     memTransactions_ = &stats.counter("core.mem_transactions");
+    stallIssue_ = &stats.counter("core.stall_issue");
+    stallMem_ = &stats.counter("core.stall_mem");
+    stallAccel_ = &stats.counter("core.stall_accel");
+    stallExec_ = &stats.counter("core.stall_exec");
+
+    tracer_ = stats.tracer();
+    if (tracer_ && !tracer_->wants(sim::TraceWarp))
+        tracer_ = nullptr;
+    warpStreams_.resize(cfg_.maxWarpsPerSm, nullptr);
+}
+
+sim::TraceStream *
+SimtCore::warpStream(uint32_t slot)
+{
+    if (!warpStreams_[slot]) {
+        warpStreams_[slot] = tracer_->stream(
+            name() + ".w" + std::to_string(slot), sim::TraceWarp);
+    }
+    return warpStreams_[slot];
 }
 
 uint32_t
@@ -159,12 +178,14 @@ SimtCore::launchWarp(const KernelProgram *prog, uint64_t base,
 }
 
 void
-SimtCore::accelDone(uint32_t warp_slot)
+SimtCore::accelDone(uint32_t warp_slot, sim::Cycle cycle)
 {
     WarpContext &warp = warps_[warp_slot];
     panic_if(warp.state != WarpContext::State::WaitAccel,
              "accelDone for a warp not waiting on the accelerator");
     warp.state = WarpContext::State::Active;
+    if (tracer_)
+        warpStream(warp_slot)->end(cycle); // closes "accel_wait"
 }
 
 void
@@ -409,16 +430,18 @@ SimtCore::execMemory(sim::Cycle cycle, uint32_t slot, WarpContext &warp,
 }
 
 bool
-SimtCore::execAccel(uint32_t slot, WarpContext &warp,
+SimtCore::execAccel(sim::Cycle cycle, uint32_t slot, WarpContext &warp,
                     const Instruction &inst, uint32_t mask)
 {
     panic_if(!accel_, "AccelTraverse with no accelerator attached");
     std::vector<uint32_t> operands(cfg_.warpSize, 0);
     for (uint32_t lane = 0; lane < cfg_.warpSize; ++lane)
         operands[lane] = warp.regValue(lane, inst.rs1);
-    if (!accel_->launchWarp(this, slot, mask, operands))
+    if (!accel_->launchWarp(cycle, this, slot, mask, operands))
         return false;
     warp.state = WarpContext::State::WaitAccel;
+    if (tracer_)
+        warpStream(slot)->begin(cycle, "accel_wait");
     return true;
 }
 
@@ -429,6 +452,11 @@ SimtCore::issue(sim::Cycle cycle, uint32_t slot)
     const Instruction &inst = warp.prog->insts[warp.stack.pc()];
     uint32_t mask = warp.stack.activeMask();
 
+    if (tracer_ && !warp.traceLive) {
+        warp.traceLive = true;
+        warpStream(slot)->begin(cycle, "warp");
+    }
+
     switch (instClass(inst.op)) {
       case InstClass::Memory:
         if (!execMemory(cycle, slot, warp, inst, mask))
@@ -437,7 +465,7 @@ SimtCore::issue(sim::Cycle cycle, uint32_t slot)
         break;
 
       case InstClass::Accel:
-        if (!execAccel(slot, warp, inst, mask))
+        if (!execAccel(cycle, slot, warp, inst, mask))
             return false;
         warp.stack.advance();
         break;
@@ -449,6 +477,10 @@ SimtCore::issue(sim::Cycle cycle, uint32_t slot)
                 warp.state = WarpContext::State::Invalid;
                 warp.prog = nullptr;
                 --residentWarps_;
+                if (tracer_ && warp.traceLive) {
+                    warp.traceLive = false;
+                    warpStream(slot)->end(cycle); // closes "warp"
+                }
             }
         } else if (inst.op == Opcode::Jump) {
             warp.stack.jump(inst.target);
@@ -519,8 +551,56 @@ SimtCore::tick(sim::Cycle cycle)
             }
         }
     }
-    if (busy())
+    if (busy()) {
         ++*stallCycles_;
+        classifyStall(pick >= 0);
+    }
+}
+
+/**
+ * Attribute one stall cycle to its dominant cause. Priority order:
+ *
+ *  - structural: a warp *could* issue but the downstream resource
+ *    refused (memory-system back-pressure, pending-load table full,
+ *    accelerator warp buffer full) -> stall_issue;
+ *  - data: some Active warp is scoreboard-blocked on an outstanding
+ *    load -> stall_mem, else on an ALU/SFU writeback -> stall_exec;
+ *  - otherwise every resident warp is parked in WaitAccel ->
+ *    stall_accel (the paper's "intersection busy": the SM idles while
+ *    traversal runs on the accelerator).
+ *
+ * Reconvergence is not a stall source in this model: divergence
+ * serializes paths inside issued instructions and therefore shows up in
+ * SIMT efficiency (active_lane_sum / lane capacity), not here. The four
+ * counters always sum to core.stall_cycles.
+ */
+void
+SimtCore::classifyStall(bool structural)
+{
+    if (structural) {
+        ++*stallIssue_;
+        return;
+    }
+    bool any_load = false;
+    bool any_exec = false;
+    bool any_active = false;
+    for (const auto &warp : warps_) {
+        if (warp.state != WarpContext::State::Active)
+            continue;
+        any_active = true;
+        if (!warp.pendingLoads.empty())
+            any_load = true;
+        else if (warp.pendingRegs != 0)
+            any_exec = true;
+    }
+    if (any_load)
+        ++*stallMem_;
+    else if (any_exec)
+        ++*stallExec_;
+    else if (!any_active)
+        ++*stallAccel_;
+    else
+        ++*stallIssue_;
 }
 
 bool

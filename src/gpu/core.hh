@@ -25,6 +25,7 @@
 #include "mem/memsys.hh"
 #include "sim/config.hh"
 #include "sim/ticked.hh"
+#include "sim/trace.hh"
 
 namespace tta::gpu {
 
@@ -50,6 +51,8 @@ struct WarpContext
     std::vector<uint32_t> regs; //!< warpSize x kNumRegs, lane-major
 
     uint32_t pendingRegs = 0;   //!< scoreboard: registers awaiting a write
+
+    bool traceLive = false;     //!< a "warp" trace span is open
 
     /** Outstanding load: token -> (dest reg, transactions left). */
     struct PendingLoad
@@ -95,7 +98,7 @@ class SimtCore : public sim::TickedComponent
                     uint32_t n_threads, const std::vector<uint32_t> *params);
 
     /** Completion callback from the accelerator. */
-    void accelDone(uint32_t warp_slot);
+    void accelDone(uint32_t warp_slot, sim::Cycle cycle);
 
     void tick(sim::Cycle cycle) override;
     bool busy() const override;
@@ -111,11 +114,15 @@ class SimtCore : public sim::TickedComponent
     void execAlu(WarpContext &warp, const Instruction &inst, uint32_t mask);
     bool execMemory(sim::Cycle cycle, uint32_t slot, WarpContext &warp,
                     const Instruction &inst, uint32_t mask);
-    bool execAccel(uint32_t slot, WarpContext &warp,
+    bool execAccel(sim::Cycle cycle, uint32_t slot, WarpContext &warp,
                    const Instruction &inst, uint32_t mask);
     void drainResponses();
     void drainWriteback(sim::Cycle cycle);
     void countIssue(const Instruction &inst, uint32_t mask);
+    void classifyStall(bool structural);
+    /** Lazily created per-warp-slot trace stream (one open span per slot
+     *  at a time, so B/E spans nest correctly). */
+    sim::TraceStream *warpStream(uint32_t slot);
 
     const sim::Config cfg_;
     uint32_t smId_;
@@ -155,6 +162,16 @@ class SimtCore : public sim::TickedComponent
     sim::Counter *flopCount_;
     sim::Counter *stallCycles_;
     sim::Counter *memTransactions_;
+
+    // Stall-cause attribution (sums to stall_cycles; see classifyStall).
+    sim::Counter *stallIssue_;
+    sim::Counter *stallMem_;
+    sim::Counter *stallAccel_;
+    sim::Counter *stallExec_;
+
+    // Event tracing (nullptr when the warp category is off: zero cost).
+    sim::Tracer *tracer_ = nullptr;
+    std::vector<sim::TraceStream *> warpStreams_;
 };
 
 } // namespace tta::gpu

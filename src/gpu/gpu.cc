@@ -97,7 +97,7 @@ Gpu::runKernels(std::vector<Launch> launches)
 
     sim::Cycle start = sim_.cycle();
     bool remaining = true;
-    constexpr sim::Cycle kMaxCycles = 4'000'000'000ull;
+    const sim::Cycle max_cycles = cfg_.watchdogCycles;
     const bool debug_timeline = std::getenv("TTA_DEBUG_TIMELINE");
     while (remaining || sim_.anyBusy()) {
         remaining = dispatch(states);
@@ -114,9 +114,11 @@ Gpu::runKernels(std::vector<Launch> launches)
                          static_cast<unsigned long long>(
                              stats_->counterValue("core.issued")));
         }
-        panic_if(sim_.cycle() - start > kMaxCycles,
-                 "kernel did not finish within %llu cycles",
-                 static_cast<unsigned long long>(kMaxCycles));
+        panic_if(sim_.cycle() - start > max_cycles,
+                 "kernel did not finish within %llu cycles; "
+                 "still-busy components: [%s]",
+                 static_cast<unsigned long long>(max_cycles),
+                 sim_.busyComponentNames().c_str());
     }
     return sim_.cycle() - start;
 }

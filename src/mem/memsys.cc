@@ -36,6 +36,20 @@ MemSystem::MemSystem(const sim::Config &cfg, sim::StatRegistry &stats)
     dramBytesWritten_ = &stats.counter("dram.bytes_written");
     dramBusyCycles_ = &stats.scalar("dram.busy_cycles");
     l1QueueDepth_ = &stats.histogram("memsys.l1_queue_depth", 4.0, 32);
+
+    l1Trace_.resize(cfg_.numSms, nullptr);
+    dramTrace_.resize(cfg_.dramChannels, nullptr);
+    if (auto *tracer = stats.tracer()) {
+        for (uint32_t sm = 0; sm < cfg_.numSms; ++sm) {
+            l1Trace_[sm] = tracer->stream(
+                "memsys.sm" + std::to_string(sm) + ".l1", sim::TraceMem);
+        }
+        l2Trace_ = tracer->stream("memsys.l2", sim::TraceMem);
+        for (uint32_t ch = 0; ch < cfg_.dramChannels; ++ch) {
+            dramTrace_[ch] = tracer->stream(
+                "dram.ch" + std::to_string(ch), sim::TraceMem);
+        }
+    }
 }
 
 bool
@@ -94,9 +108,16 @@ MemSystem::tickL1(sim::Cycle cycle, uint32_t sm)
             break;
         const MemRequest req = in.front().req;
         Cache::Result res = l1_[sm]->access(req.addr, req.isWrite);
-        if (res == Cache::Result::NoMshr)
+        if (res == Cache::Result::NoMshr) {
+            if (l1Trace_[sm])
+                l1Trace_[sm]->instant(cycle, "mshr_stall");
             break; // structural stall; retry next cycle
+        }
         in.pop_front();
+        if (l1Trace_[sm]) {
+            l1Trace_[sm]->instant(cycle, res == Cache::Result::Hit
+                                             ? "hit" : "miss");
+        }
 
         sim::Cycle done = cycle + cfg_.l1LatencyCycles;
         switch (res) {
@@ -133,9 +154,15 @@ MemSystem::tickL2(sim::Cycle cycle)
         toL2_.pop();
         Cache::Result res = l2_->access(req.addr, req.isWrite);
         if (res == Cache::Result::NoMshr) {
+            if (l2Trace_)
+                l2Trace_->instant(cycle, "mshr_stall");
             // Retry next cycle.
             toL2_.push({cycle + 1, req});
             continue;
+        }
+        if (l2Trace_) {
+            l2Trace_->instant(cycle, res == Cache::Result::Hit
+                                         ? "hit" : "miss");
         }
         sim::Cycle done = cycle + cfg_.l2LatencyCycles;
         if (req.isWrite) {
@@ -174,6 +201,10 @@ MemSystem::tickDram(sim::Cycle cycle)
             static_cast<sim::Cycle>(std::ceil(transferCyclesPerLine_));
         channelFree_[chan] = start + xfer;
         *dramBusyCycles_ += static_cast<double>(xfer);
+        if (dramTrace_[chan]) {
+            dramTrace_[chan]->complete(start, xfer,
+                                       req.isWrite ? "write" : "read");
+        }
 
         if (req.isWrite) {
             ++*dramWrites_;
@@ -222,8 +253,10 @@ MemSystem::tickFills(sim::Cycle cycle)
 }
 
 void
-MemSystem::completeAtL1(sim::Cycle /*cycle*/, uint32_t sm, Addr line_addr)
+MemSystem::completeAtL1(sim::Cycle cycle, uint32_t sm, Addr line_addr)
 {
+    if (l1Trace_[sm])
+        l1Trace_[sm]->instant(cycle, "fill");
     l1_[sm]->fill(line_addr);
     auto it = l1Pending_[sm].find(line_addr);
     if (it == l1Pending_[sm].end())

@@ -28,6 +28,7 @@
 #include "mem/request.hh"
 #include "sim/config.hh"
 #include "sim/ticked.hh"
+#include "sim/trace.hh"
 
 namespace tta::mem {
 
@@ -133,6 +134,11 @@ class MemSystem : public sim::TickedComponent
     static constexpr uint32_t kL1AccessesPerCycle = 2;
     static constexpr uint32_t kL2AccessesPerCycle = 4;
     static constexpr uint32_t kIcntLatency = 8;
+
+    // Event tracing (all nullptr when the mem category is off).
+    std::vector<sim::TraceStream *> l1Trace_; //!< per-SM access/fill
+    sim::TraceStream *l2Trace_ = nullptr;
+    std::vector<sim::TraceStream *> dramTrace_; //!< per-channel bus spans
 
     sim::Counter *reads_;
     sim::Counter *writes_;

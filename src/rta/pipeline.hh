@@ -18,6 +18,7 @@
 
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
+#include "sim/trace.hh"
 
 namespace tta::rta {
 
@@ -32,6 +33,11 @@ class IntersectionPipeline
         busyCycles_ = &stats.counter(name + ".busy_cycles");
         occupancy_ = &stats.histogram(name + ".occupancy", 1.0, 256);
     }
+
+    /** Attach a trace stream (nullptr = off); occupancy changes emit
+     *  counter events onto it. Stats share one name across SMs, so the
+     *  owning RtaUnit passes a per-instance stream here. */
+    void setTrace(sim::TraceStream *trace) { trace_ = trace; }
 
     /**
      * Dispatch `count` back-to-back tests at `now`.
@@ -54,14 +60,19 @@ class IntersectionPipeline
         }
         inflight_ += count;
         peak_ = std::max(peak_, inflight_);
+        if (trace_ && count)
+            trace_->counter(now, "inflight", inflight_);
         return done;
     }
 
-    /** A previously dispatched test completed. */
+    /** A previously dispatched test completed (`now` is only used for
+     *  the occupancy trace; pass 0 when not tracing). */
     void
-    complete(uint32_t count = 1)
+    complete(uint32_t count = 1, sim::Cycle now = 0)
     {
         inflight_ = count > inflight_ ? 0 : inflight_ - count;
+        if (trace_ && count)
+            trace_->counter(now, "inflight", inflight_);
     }
 
     /** Sample the current occupancy (called once per cycle). */
@@ -80,6 +91,7 @@ class IntersectionPipeline
     sim::Counter *dispatched_;
     sim::Counter *busyCycles_;
     sim::Histogram *occupancy_;
+    sim::TraceStream *trace_ = nullptr;
 };
 
 } // namespace tta::rta

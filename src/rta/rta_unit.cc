@@ -59,8 +59,28 @@ RtaUnit::RtaUnit(const sim::Config &cfg, uint32_t sm_id,
     xformPipe_ = std::make_unique<IntersectionPipeline>(
         "rta.xform", cfg_.intersectionSets, 4, stats);
     if (cfg_.accelMode == sim::AccelMode::TtaPlus)
-        engine_ = std::make_unique<ttaplus::TtaPlusEngine>(cfg_, stats);
+        engine_ = std::make_unique<ttaplus::TtaPlusEngine>(cfg_, stats,
+                                                           name());
     shader_ = std::make_unique<ShaderModel>(stats);
+
+    // Stat names are shared across SMs, but trace streams must be
+    // per-instance; hand each pipeline a stream named after this unit.
+    if (auto *tracer = stats.tracer()) {
+        if (tracer->wants(sim::TraceRta)) {
+            unitStream_ = tracer->stream(name(), sim::TraceRta);
+            warpStreams_.resize(cfg_.warpBufferWarps, nullptr);
+            for (uint32_t w = 0; w < cfg_.warpBufferWarps; ++w) {
+                warpStreams_[w] = tracer->stream(
+                    name() + ".w" + std::to_string(w), sim::TraceRta);
+            }
+        }
+        boxPipe_->setTrace(tracer->stream(name() + ".box",
+                                          sim::TracePipe));
+        triPipe_->setTrace(tracer->stream(name() + ".tri",
+                                          sim::TracePipe));
+        xformPipe_->setTrace(tracer->stream(name() + ".xform",
+                                            sim::TracePipe));
+    }
 
     nodesVisited_ = &stats.counter("rta.nodes_visited");
     raysCompleted_ = &stats.counter("rta.rays_completed");
@@ -78,8 +98,8 @@ RtaUnit::RtaUnit(const sim::Config &cfg, uint32_t sm_id,
 RtaUnit::~RtaUnit() = default;
 
 bool
-RtaUnit::launchWarp(gpu::SimtCore *core, uint32_t warp_slot,
-                    uint32_t active_mask,
+RtaUnit::launchWarp(sim::Cycle cycle, gpu::SimtCore *core,
+                    uint32_t warp_slot, uint32_t active_mask,
                     const std::vector<uint32_t> &lane_operands)
 {
     panic_if(!spec_, "RtaUnit::launchWarp with no TraversalSpec configured");
@@ -109,13 +129,15 @@ RtaUnit::launchWarp(gpu::SimtCore *core, uint32_t warp_slot,
             *warpBufWrites_ += 1;
         }
         ++validWarps_;
+        if (unitStream_)
+            warpStreams_[warp_idx]->begin(cycle, "traversal");
         return true;
     }
     return false; // warp buffer full: the SM retries (back-pressure)
 }
 
 void
-RtaUnit::finishRay(sim::Cycle /*cycle*/, uint32_t warp_idx, uint32_t ray_idx)
+RtaUnit::finishRay(sim::Cycle cycle, uint32_t warp_idx, uint32_t ray_idx)
 {
     WarpSlot &warp = warps_[warp_idx];
     RaySlot &ray = warp.rays[ray_idx];
@@ -138,7 +160,9 @@ RtaUnit::finishRay(sim::Cycle /*cycle*/, uint32_t warp_idx, uint32_t ray_idx)
         }
         warp.valid = false;
         --validWarps_;
-        warp.core->accelDone(warp.coreSlot);
+        if (unitStream_)
+            warpStreams_[warp_idx]->end(cycle); // closes "traversal"
+        warp.core->accelDone(warp.coreSlot, cycle);
     }
 }
 
@@ -161,6 +185,7 @@ RtaUnit::stepRay(sim::Cycle cycle, uint32_t warp_idx, uint32_t ray_idx)
         return;
     }
     ray.phase = Phase::WaitFetch;
+    ray.fetchStart = cycle;
     fetchQueue_.emplace_back(static_cast<uint16_t>(warp_idx),
                              static_cast<uint16_t>(ray_idx));
 }
@@ -307,6 +332,11 @@ RtaUnit::dispatchTest(sim::Cycle cycle, uint32_t warp_idx, uint32_t ray_idx)
                        static_cast<uint16_t>(ray_idx), pipe_tag,
                        static_cast<uint16_t>(outcome.opCount)});
     ray.phase = wait_phase;
+    if (unitStream_ && done > cycle) {
+        warpStreams_[warp_idx]->complete(
+            cycle, done - cycle,
+            wait_phase == Phase::WaitShader ? "shader" : "test");
+    }
 }
 
 void
@@ -345,7 +375,7 @@ RtaUnit::issueFetches(sim::Cycle cycle)
 }
 
 void
-RtaUnit::drainResponses()
+RtaUnit::drainResponses(sim::Cycle cycle)
 {
     auto &queue = memsys_->responses(smId_);
     for (auto it = queue.begin(); it != queue.end();) {
@@ -362,6 +392,11 @@ RtaUnit::drainResponses()
                     --ray.pendingFetches == 0 &&
                     ray.linesToIssue.empty()) {
                     dispatchQueue_.emplace_back(w, r);
+                    if (unitStream_ && cycle > ray.fetchStart) {
+                        warpStreams_[w]->complete(
+                            ray.fetchStart, cycle - ray.fetchStart,
+                            "fetch");
+                    }
                 }
             }
             inflightLines_.erase(waiters);
@@ -377,9 +412,9 @@ RtaUnit::drainCompletions(sim::Cycle cycle)
         Completion c = completions_.top();
         completions_.pop();
         switch (c.pipe) {
-          case 1: boxPipe_->complete(c.count); break;
-          case 2: triPipe_->complete(c.count); break;
-          case 3: xformPipe_->complete(c.count); break;
+          case 1: boxPipe_->complete(c.count, cycle); break;
+          case 2: triPipe_->complete(c.count, cycle); break;
+          case 3: xformPipe_->complete(c.count, cycle); break;
           default: break;
         }
         RaySlot &ray = warps_[c.warp].rays[c.ray];
@@ -394,7 +429,7 @@ RtaUnit::tick(sim::Cycle cycle)
     if (validWarps_ == 0)
         return; // nothing in flight; skip all bookkeeping
     drainCompletions(cycle);
-    drainResponses();
+    drainResponses(cycle);
 
     // Operation arbiter: dispatch rays whose node data arrived.
     for (uint32_t n = 0;
@@ -417,6 +452,20 @@ RtaUnit::tick(sim::Cycle cycle)
     boxPipe_->sampleOccupancy();
     triPipe_->sampleOccupancy();
     warpOccupancy_->sample(validWarps_);
+
+    if (unitStream_) {
+        // Queue depths, emitted on change only (counter-event tracks).
+        auto ready = static_cast<uint32_t>(readyQueue_.size());
+        auto fetch = static_cast<uint32_t>(fetchQueue_.size());
+        if (ready != lastReadyDepth_) {
+            lastReadyDepth_ = ready;
+            unitStream_->counter(cycle, "ready_queue", ready);
+        }
+        if (fetch != lastFetchDepth_) {
+            lastFetchDepth_ = fetch;
+            unitStream_->counter(cycle, "fetch_queue", fetch);
+        }
+    }
 }
 
 bool

@@ -53,8 +53,8 @@ class RtaUnit : public sim::TickedComponent, public gpu::AccelDevice
     void setSpec(TraversalSpec *spec) { spec_ = spec; }
 
     // gpu::AccelDevice
-    bool launchWarp(gpu::SimtCore *core, uint32_t warp_slot,
-                    uint32_t active_mask,
+    bool launchWarp(sim::Cycle cycle, gpu::SimtCore *core,
+                    uint32_t warp_slot, uint32_t active_mask,
                     const std::vector<uint32_t> &lane_operands) override;
 
     void tick(sim::Cycle cycle) override;
@@ -77,6 +77,7 @@ class RtaUnit : public sim::TickedComponent, public gpu::AccelDevice
         NodeRef currentRef = 0;
         std::vector<uint64_t> linesToIssue;
         uint32_t pendingFetches = 0;
+        sim::Cycle fetchStart = 0; //!< cycle WaitFetch began (tracing)
     };
 
     struct WarpSlot
@@ -107,7 +108,7 @@ class RtaUnit : public sim::TickedComponent, public gpu::AccelDevice
     /** Dispatch a fetched node to the right unit/engine/shader. */
     void dispatchTest(sim::Cycle cycle, uint32_t warp, uint32_t ray);
     void issueFetches(sim::Cycle cycle);
-    void drainResponses();
+    void drainResponses(sim::Cycle cycle);
     void drainCompletions(sim::Cycle cycle);
     void finishRay(sim::Cycle cycle, uint32_t warp, uint32_t ray);
 
@@ -142,6 +143,12 @@ class RtaUnit : public sim::TickedComponent, public gpu::AccelDevice
     std::unique_ptr<ttaplus::TtaPlusEngine> engine_;
     std::unique_ptr<ShaderModel> shader_;
 
+
+    // Event tracing (all nullptr when the rta category is off).
+    sim::TraceStream *unitStream_ = nullptr; //!< queue-depth counters
+    std::vector<sim::TraceStream *> warpStreams_; //!< per warp-buffer slot
+    uint32_t lastReadyDepth_ = 0;
+    uint32_t lastFetchDepth_ = 0;
 
     // Statistics (shared, aggregate across SMs).
     sim::Counter *nodesVisited_;

@@ -94,6 +94,13 @@ struct Config
     // --- Which accelerator to use ------------------------------------------
     AccelMode accelMode = AccelMode::BaselineGpu;
 
+    // --- Robustness --------------------------------------------------------
+    /** Deadlock watchdog: a full-machine run that has not quiesced after
+     *  this many cycles panics with the list of still-busy components
+     *  instead of hanging forever. Large enough that no legitimate
+     *  workload in this repository comes near it. */
+    uint64_t watchdogCycles = 4'000'000'000ull;
+
     /** Ratio of memory clock to core clock (DRAM bandwidth accounting). */
     double memClockRatio() const { return memClockMhz / coreClockMhz; }
 

@@ -101,6 +101,7 @@ configDigest(const Config &cfg)
     fnvMix(h, cfg.perfectNodeFetch);
     fnvMix(h, cfg.perfectMemory);
     fnvMix(h, cfg.accelMode);
+    fnvMix(h, cfg.watchdogCycles);
     char buf[17];
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(h));
@@ -186,6 +187,7 @@ ExperimentRunner::run(const std::vector<Job> &jobs) const
             rec.name = job.name;
             rec.configDigest = sim::configDigest(job.config);
             rec.seed = job.seed;
+            rec.stats.setTracer(job.tracer.get());
             auto t0 = std::chrono::steady_clock::now();
             try {
                 if (job.fn)
@@ -197,6 +199,7 @@ ExperimentRunner::run(const std::vector<Job> &jobs) const
             } catch (...) {
                 rec.error = "unknown exception";
             }
+            rec.stats.setTracer(nullptr);
             rec.wallSeconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)

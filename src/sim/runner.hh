@@ -29,12 +29,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace tta::sim {
 
@@ -87,6 +89,15 @@ struct Job
      * other jobs.
      */
     std::function<void(const Config &, StatRegistry &, RunRecord &)> fn;
+    /**
+     * Optional per-job event tracer. When set, the runner attaches it
+     * to the job's private StatRegistry for the duration of the job
+     * body (and detaches afterwards, so records never hold a dangling
+     * pointer). One tracer per job keeps tracing safe under any pool
+     * size; the submitter owns the tracers and exports them after
+     * run() returns.
+     */
+    std::shared_ptr<Tracer> tracer;
 };
 
 class ExperimentRunner

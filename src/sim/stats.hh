@@ -27,6 +27,8 @@
 
 namespace tta::sim {
 
+class Tracer;
+
 /** A monotonically increasing event counter. */
 class Counter
 {
@@ -190,10 +192,22 @@ class StatRegistry
         return histograms_;
     }
 
+    /**
+     * The event tracer for the run this registry belongs to, or nullptr
+     * (the default: tracing off). Components fetch their TraceStreams
+     * from here at construction, alongside registering their stats —
+     * the registry is already the one per-run object every component
+     * receives, so it doubles as the trace attachment point. The
+     * registry does not own the tracer.
+     */
+    Tracer *tracer() const { return tracer_; }
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Scalar> scalars_;
     std::map<std::string, Histogram> histograms_;
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace tta::sim

@@ -11,11 +11,27 @@ Simulator::runToQuiescence(Cycle max_cycles)
     while (anyBusy()) {
         step();
         if (cycle_ - start >= max_cycles) {
-            panic("simulation did not quiesce within %llu cycles",
-                  static_cast<unsigned long long>(max_cycles));
+            panic("simulation did not quiesce within %llu cycles; "
+                  "still-busy components: [%s]",
+                  static_cast<unsigned long long>(max_cycles),
+                  busyComponentNames().c_str());
         }
     }
     return cycle_ - start;
+}
+
+std::string
+Simulator::busyComponentNames() const
+{
+    std::string names;
+    for (const auto *comp : components_) {
+        if (!comp->busy())
+            continue;
+        if (!names.empty())
+            names += ", ";
+        names += comp->name();
+    }
+    return names;
 }
 
 } // namespace tta::sim

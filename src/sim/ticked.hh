@@ -73,10 +73,18 @@ class Simulator
     }
 
     /**
-     * Run until all components are quiescent or max_cycles elapse.
+     * Run until all components are quiescent or the max_cycles watchdog
+     * expires. Expiry means the model deadlocked (some component will
+     * stay busy() forever); rather than hang, panic() with the list of
+     * still-busy components so the culprit is named in the abort
+     * message. Config::watchdogCycles is the conventional source of the
+     * limit for full-machine runs.
      * @return the number of cycles executed by this call.
      */
     Cycle runToQuiescence(Cycle max_cycles = 2'000'000'000ull);
+
+    /** Comma-separated names of every component with in-flight work. */
+    std::string busyComponentNames() const;
 
     Cycle cycle() const { return cycle_; }
     StatRegistry &stats() { return *stats_; }

@@ -5,9 +5,13 @@
 namespace tta::ttaplus {
 
 TtaPlusEngine::TtaPlusEngine(const sim::Config &cfg,
-                             sim::StatRegistry &stats)
+                             sim::StatRegistry &stats,
+                             const std::string &trace_prefix)
     : cfg_(cfg)
 {
+    sim::Tracer *tracer = stats.tracer();
+    const std::string prefix =
+        trace_prefix.empty() ? "ttaplus" : trace_prefix;
     for (uint32_t u = 0; u < kNumOpUnits; ++u) {
         OpUnit unit = static_cast<OpUnit>(u);
         uint32_t copies = unit == OpUnit::Rcp ? cfg_.rcpUnitCopies
@@ -18,6 +22,10 @@ TtaPlusEngine::TtaPlusEngine(const sim::Config &cfg,
         portSlots_[u] = SlotCalendar(copies);
         busy_[u] = &stats.counter(std::string("ttaplus.busy.") +
                                   opUnitName(unit));
+        if (tracer) {
+            trace_[u] = tracer->stream(prefix + ".op." + opUnitName(unit),
+                                       sim::TraceOp);
+        }
     }
     tests_ = &stats.counter("ttaplus.tests");
     uops_ = &stats.counter("ttaplus.uops");
@@ -52,6 +60,10 @@ TtaPlusEngine::execute(sim::Cycle now, const Program &prog, bool is_leaf)
         t = issue + lat;
         *busy_[u] += lat;
         ++*uops_;
+        // Issue slot and latency are both known here: a reservation
+        // span per uop.
+        if (trace_[u])
+            trace_[u]->complete(issue, lat, opUnitName(uop.unit));
     }
     ++*tests_;
     sim::Cycle latency = t - now;

@@ -20,10 +20,12 @@
 
 #include <array>
 #include <map>
+#include <string>
 
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
+#include "sim/trace.hh"
 #include "ttaplus/program.hh"
 
 namespace tta::ttaplus {
@@ -71,7 +73,14 @@ class SlotCalendar
 class TtaPlusEngine
 {
   public:
-    TtaPlusEngine(const sim::Config &cfg, sim::StatRegistry &stats);
+    /**
+     * @param trace_prefix per-instance name prefix for OP-unit trace
+     *        streams ("<prefix>.op.<unit>"); stats share one namespace
+     *        across SMs but trace streams must not, so the owning
+     *        RtaUnit passes its own name. Empty = "ttaplus".
+     */
+    TtaPlusEngine(const sim::Config &cfg, sim::StatRegistry &stats,
+                  const std::string &trace_prefix = "");
 
     /**
      * Execute one intersection test.
@@ -94,6 +103,9 @@ class TtaPlusEngine
     std::array<SlotCalendar, kNumOpUnits> copySlots_;
     std::array<SlotCalendar, kNumOpUnits> portSlots_;
     sim::Cycle lastPrune_ = 0;
+
+    /** Per-unit reservation-span trace streams (nullptr when off). */
+    std::array<sim::TraceStream *, kNumOpUnits> trace_{};
 
     std::array<sim::Counter *, kNumOpUnits> busy_{};
     sim::Counter *tests_;

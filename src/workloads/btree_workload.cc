@@ -223,6 +223,7 @@ BTreeWorkload::runBaseline(const sim::Config &cfg, sim::StatRegistry &stats)
                                     static_cast<uint32_t>(rootAddr_)};
     sim::Cycle cycles =
         device.runKernel(kernel, queries_.size(), params);
+    captureResults(device.memory());
     size_t bad = verify(device.memory());
     panic_if(bad != 0, "baseline B-Tree kernel produced %zu mismatches",
              bad);
@@ -239,11 +240,20 @@ BTreeWorkload::runAccelerated(const sim::Config &cfg,
     api::TtaPipeline pipeline = makePipeline();
     device.bindPipeline(pipeline, &spec);
     sim::Cycle cycles = device.cmdTraverseTree(queries_.size());
+    captureResults(device.memory());
     size_t bad = verify(device.memory());
     panic_if(bad != 0, "accelerated B-Tree run produced %zu mismatches",
              bad);
     return collectMetrics(stats, cycles,
                           device.gpu().memsys().dramUtilization());
+}
+
+void
+BTreeWorkload::captureResults(const mem::GlobalMemory &gmem)
+{
+    deviceResults_.resize(queries_.size());
+    for (size_t q = 0; q < queries_.size(); ++q)
+        deviceResults_[q] = gmem.read<uint32_t>(resultBase_ + 4 * q);
 }
 
 size_t

@@ -87,6 +87,18 @@ class BTreeWorkload
 
     const trees::BTree &tree() const { return *tree_; }
     size_t numQueries() const { return queries_.size(); }
+    const std::vector<float> &queries() const { return queries_; }
+
+    /**
+     * Device-computed results (1 = key found) captured from simulated
+     * memory by the most recent runBaseline / runAccelerated call, in
+     * query order. Lets tests diff the cycle-level machine against an
+     * *independent* oracle rather than the workload's own reference.
+     */
+    const std::vector<uint32_t> &deviceResults() const
+    {
+        return deviceResults_;
+    }
 
     /** The Listing-1 pipeline for this workload. */
     static api::TtaPipeline makePipeline();
@@ -94,9 +106,12 @@ class BTreeWorkload
     static gpu::KernelProgram buildBaselineKernel();
 
   private:
+    void captureResults(const mem::GlobalMemory &gmem);
+
     std::unique_ptr<trees::BTree> tree_;
     std::vector<float> queries_;
     std::vector<uint8_t> expected_;
+    std::vector<uint32_t> deviceResults_;
     uint64_t rootAddr_ = 0;
     uint64_t queryBase_ = 0;
     uint64_t resultBase_ = 0;

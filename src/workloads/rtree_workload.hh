@@ -72,16 +72,27 @@ class RTreeWorkload
 
     const trees::RTree &tree() const { return *tree_; }
     size_t numQueries() const { return queries_.size(); }
+    const std::vector<trees::Rect2D> &queries() const { return queries_; }
+
+    /** Device-computed overlap counts captured from simulated memory by
+     *  the most recent run, in query order (for differential-oracle
+     *  tests against an independent reference). */
+    const std::vector<uint32_t> &deviceResults() const
+    {
+        return deviceResults_;
+    }
 
     static api::TtaPipeline makePipeline();
     static gpu::KernelProgram buildBaselineKernel();
 
   private:
     size_t verify(const mem::GlobalMemory &gmem) const;
+    void captureResults(const mem::GlobalMemory &gmem);
 
     std::unique_ptr<trees::RTree> tree_;
     std::vector<trees::Rect2D> queries_;
     std::vector<uint32_t> expected_;
+    std::vector<uint32_t> deviceResults_;
     uint64_t rootAddr_ = 0;
     uint64_t queryBase_ = 0;
     uint64_t resultBase_ = 0;

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for tests.
+ *
+ * Just enough of RFC 8259 to load the artifacts this repository emits
+ * (Chrome trace-event documents, experiment-runner records, golden
+ * stat snapshots) without adding a third-party dependency. Numbers
+ * parse as double; \uXXXX escapes decode as UTF-8 for the BMP.
+ */
+
+#ifndef TTA_TESTS_JSON_LITE_HH
+#define TTA_TESTS_JSON_LITE_HH
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tta::testjson {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+    explicit Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit Value(double d) : kind_(Kind::Number), num_(d) {}
+    explicit Value(std::string s) : kind_(Kind::String), str_(std::move(s))
+    {}
+    explicit Value(Array a)
+        : kind_(Kind::Array), arr_(std::make_shared<Array>(std::move(a)))
+    {}
+    explicit Value(Object o)
+        : kind_(Kind::Object), obj_(std::make_shared<Object>(std::move(o)))
+    {}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return expect(Kind::Bool), bool_; }
+    double asNumber() const { return expect(Kind::Number), num_; }
+    const std::string &asString() const
+    {
+        return expect(Kind::String), str_;
+    }
+    const Array &asArray() const { return expect(Kind::Array), *arr_; }
+    const Object &asObject() const { return expect(Kind::Object), *obj_; }
+
+    /** Object member access; throws when absent or not an object. */
+    const Value &
+    at(const std::string &key) const
+    {
+        const Object &o = asObject();
+        auto it = o.find(key);
+        if (it == o.end())
+            throw std::runtime_error("json: missing key '" + key + "'");
+        return it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return isObject() && obj_->count(key) > 0;
+    }
+
+  private:
+    void
+    expect(Kind k) const
+    {
+        if (kind_ != k)
+            throw std::runtime_error("json: wrong value kind");
+    }
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::shared_ptr<Array> arr_;
+    std::shared_ptr<Object> obj_;
+};
+
+class Parser
+{
+  public:
+    /** Parse a complete document; throws std::runtime_error on errors. */
+    static Value
+    parse(const std::string &text)
+    {
+        Parser p(text);
+        Value v = p.parseValue();
+        p.skipWs();
+        if (p.pos_ != text.size())
+            p.fail("trailing characters");
+        return v;
+    }
+
+  private:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("json: " + why + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    eat(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    tryEat(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return Value(parseString());
+        case 't':
+            parseLiteral("true");
+            return Value(true);
+        case 'f':
+            parseLiteral("false");
+            return Value(false);
+        case 'n':
+            parseLiteral("null");
+            return Value();
+        default:
+            return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *lit)
+    {
+        for (const char *c = lit; *c; ++c)
+            eat(*c);
+    }
+
+    Value
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (tryEat('-')) {
+        }
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("invalid number");
+        return Value(std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                 nullptr));
+    }
+
+    std::string
+    parseString()
+    {
+        eat('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("truncated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+            case '\\':
+            case '/':
+                out += esc;
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = static_cast<unsigned>(std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                // UTF-8 encode (BMP only; surrogates pass through raw).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        eat('[');
+        Array out;
+        skipWs();
+        if (tryEat(']'))
+            return Value(std::move(out));
+        while (true) {
+            out.push_back(parseValue());
+            skipWs();
+            if (tryEat(']'))
+                return Value(std::move(out));
+            eat(',');
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        eat('{');
+        Object out;
+        skipWs();
+        if (tryEat('}'))
+            return Value(std::move(out));
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            eat(':');
+            out.emplace(std::move(key), parseValue());
+            skipWs();
+            if (tryEat('}'))
+                return Value(std::move(out));
+            eat(',');
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+inline Value
+parse(const std::string &text)
+{
+    return Parser::parse(text);
+}
+
+} // namespace tta::testjson
+
+#endif // TTA_TESTS_JSON_LITE_HH

@@ -177,3 +177,54 @@ TEST(Simulator, RunsToQuiescence)
     EXPECT_EQ(ran, 25u);
     EXPECT_FALSE(sim.anyBusy());
 }
+
+namespace {
+
+/** A component that never quiesces — a modeled deadlock. */
+class AlwaysBusy : public TickedComponent
+{
+  public:
+    explicit AlwaysBusy(std::string name) : TickedComponent(std::move(name))
+    {}
+    void tick(Cycle) override {}
+    bool busy() const override { return true; }
+};
+
+} // namespace
+
+TEST(Simulator, BusyComponentNamesListsOnlyBusyOnes)
+{
+    StatRegistry stats;
+    Simulator sim(stats);
+    CountDown done(0);
+    AlwaysBusy a("rta0"), b("memsys");
+    sim.add(&a);
+    sim.add(&done);
+    sim.add(&b);
+    EXPECT_EQ(sim.busyComponentNames(), "rta0, memsys");
+}
+
+TEST(SimulatorDeathTest, WatchdogPanicsNamingBusyComponents)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    StatRegistry stats;
+    Simulator sim(stats);
+    CountDown quiet(3);
+    AlwaysBusy stuck("stuck.unit");
+    sim.add(&quiet);
+    sim.add(&stuck);
+    // The watchdog must abort instead of hanging, and its message must
+    // name the component that still reports in-flight work.
+    EXPECT_DEATH(sim.runToQuiescence(100),
+                 "did not quiesce within 100 cycles.*stuck\\.unit");
+}
+
+TEST(Config, WatchdogLimitIsConfigurable)
+{
+    Config cfg;
+    // Generous default: far beyond any legitimate run in this repo, so
+    // it only fires on true deadlocks.
+    EXPECT_GE(cfg.watchdogCycles, 1'000'000'000ull);
+    cfg.watchdogCycles = 1234;
+    EXPECT_EQ(cfg.watchdogCycles, 1234u);
+}

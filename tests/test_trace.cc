@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Trace subsystem tests: TraceStream ring semantics, category-mask
+ * parsing, Chrome trace-event export validity (monotonic timestamps,
+ * matched B/E pairs, pid/tid metadata), end-to-end traces from real
+ * cycle-level runs, and the zero-cost-when-disabled guarantee.
+ *
+ * With TTA_TRACE_FILE set, the external-file test validates a trace
+ * emitted by a bench driver instead (the CI smoke job uses this to
+ * check `bench_* --trace` output with the same validator).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_lite.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+#include "workloads/btree_workload.hh"
+
+using namespace tta;
+using testjson::Value;
+
+namespace {
+
+sim::Config
+modeConfig(sim::AccelMode mode)
+{
+    sim::Config cfg;
+    cfg.accelMode = mode;
+    return cfg;
+}
+
+struct TraceSummary
+{
+    size_t events = 0;   //!< non-metadata events
+    size_t spans = 0;    //!< closed B/E pairs
+    std::set<std::string> threadNames;
+    std::set<std::string> processNames;
+};
+
+/**
+ * Assert structural validity of a Chrome trace-event document and
+ * return what it contained. Checks, per (pid, tid) track:
+ *  - timestamps are monotonically non-decreasing,
+ *  - every E closes an open B and no B is left open,
+ *  - the track is named by thread_name metadata and its pid by
+ *    process_name metadata.
+ */
+TraceSummary
+validateTrace(const Value &doc)
+{
+    TraceSummary out;
+    const auto &events = doc.at("traceEvents").asArray();
+
+    using Track = std::pair<int, int>; // (pid, tid)
+    std::map<Track, double> lastTs;
+    std::map<Track, int> openSpans;
+    std::map<Track, std::string> threadNames;
+    std::map<int, std::string> processNames;
+
+    for (const Value &ev : events) {
+        const std::string &ph = ev.at("ph").asString();
+        int pid = static_cast<int>(ev.at("pid").asNumber());
+        if (ph == "M") {
+            const std::string &what = ev.at("name").asString();
+            if (what == "process_name") {
+                processNames[pid] =
+                    ev.at("args").at("name").asString();
+            } else if (what == "thread_name") {
+                int tid = static_cast<int>(ev.at("tid").asNumber());
+                threadNames[{pid, tid}] =
+                    ev.at("args").at("name").asString();
+            }
+            continue;
+        }
+        int tid = static_cast<int>(ev.at("tid").asNumber());
+        Track track{pid, tid};
+        double ts = ev.at("ts").asNumber();
+        auto it = lastTs.find(track);
+        if (it != lastTs.end()) {
+            EXPECT_GE(ts, it->second)
+                << "timestamps regress on pid " << pid << " tid " << tid;
+        }
+        lastTs[track] = ts;
+
+        if (ph == "B") {
+            EXPECT_FALSE(ev.at("name").asString().empty());
+            ++openSpans[track];
+        } else if (ph == "E") {
+            EXPECT_GT(openSpans[track], 0)
+                << "orphan E on pid " << pid << " tid " << tid;
+            if (openSpans[track] > 0) {
+                --openSpans[track];
+                ++out.spans;
+            }
+        } else if (ph == "X") {
+            EXPECT_GE(ev.at("dur").asNumber(), 0.0);
+        } else if (ph == "C") {
+            EXPECT_TRUE(ev.at("args").has("value"));
+        } else {
+            EXPECT_EQ(ph, "i") << "unexpected phase " << ph;
+        }
+        ++out.events;
+    }
+
+    for (const auto &[track, open] : openSpans)
+        EXPECT_EQ(open, 0) << "dangling B on pid " << track.first
+                           << " tid " << track.second;
+    for (const auto &[track, ts] : lastTs) {
+        EXPECT_TRUE(threadNames.count(track))
+            << "unnamed tid " << track.second;
+        EXPECT_TRUE(processNames.count(track.first))
+            << "unnamed pid " << track.first;
+    }
+    for (const auto &[track, tname] : threadNames)
+        out.threadNames.insert(tname);
+    for (const auto &[pid, pname] : processNames)
+        out.processNames.insert(pname);
+    return out;
+}
+
+} // namespace
+
+// --- Unit-level ------------------------------------------------------------
+
+TEST(TraceStream, RingOverwritesOldestAndCountsDrops)
+{
+    sim::Tracer tracer(sim::TraceAllCategories, /*ring_capacity=*/8);
+    sim::TraceStream *s = tracer.stream("unit", sim::TraceWarp);
+    ASSERT_NE(s, nullptr);
+    for (sim::Cycle c = 0; c < 20; ++c)
+        s->instant(c, "tick");
+    EXPECT_EQ(s->size(), 8u);
+    EXPECT_EQ(s->dropped(), 12u);
+    EXPECT_EQ(tracer.droppedEvents(), 12u);
+    auto events = s->snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    EXPECT_EQ(events.front().ts, 12u); // oldest surviving
+    EXPECT_EQ(events.back().ts, 19u);
+}
+
+TEST(TraceStream, DedupByNameAndCategoryFilter)
+{
+    sim::Tracer tracer(sim::TraceWarp | sim::TraceMem);
+    sim::TraceStream *a = tracer.stream("c0", sim::TraceWarp);
+    sim::TraceStream *b = tracer.stream("c0", sim::TraceWarp);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(tracer.numStreams(), 1u);
+    // Disabled category: callers get nullptr and skip all emission.
+    EXPECT_EQ(tracer.stream("rta0", sim::TraceRta), nullptr);
+    EXPECT_TRUE(tracer.wants(sim::TraceMem));
+    EXPECT_FALSE(tracer.wants(sim::TraceOp));
+}
+
+TEST(TraceMask, ParseAndFormatRoundTrip)
+{
+    EXPECT_EQ(sim::Tracer::parseMask("all"), sim::TraceAllCategories);
+    EXPECT_EQ(sim::Tracer::parseMask("warp"), sim::TraceWarp);
+    EXPECT_EQ(sim::Tracer::parseMask("warp,mem"),
+              sim::TraceWarp | sim::TraceMem);
+    EXPECT_EQ(sim::Tracer::parseMask("0x3"),
+              sim::TraceWarp | sim::TraceRta);
+    EXPECT_EQ(sim::Tracer::parseMask("9"), 9u);
+    EXPECT_THROW(sim::Tracer::parseMask("bogus"), sim::FatalError);
+    EXPECT_EQ(sim::Tracer::maskToString(sim::TraceAllCategories), "all");
+    for (uint32_t mask = 1; mask < sim::TraceAllCategories; ++mask)
+        EXPECT_EQ(sim::Tracer::parseMask(sim::Tracer::maskToString(mask)),
+                  mask)
+            << "mask " << mask;
+}
+
+// --- Export validity -------------------------------------------------------
+
+TEST(TraceExport, SanitizesTornSpansIntoValidJson)
+{
+    sim::Tracer tracer(sim::TraceAllCategories);
+    sim::TraceStream *s = tracer.stream("torn", sim::TraceWarp);
+    ASSERT_NE(s, nullptr);
+    s->end(5);             // orphan E: must be skipped
+    s->begin(10, "outer");
+    s->begin(12, "inner");
+    s->end(14);
+    s->complete(16, 4, "x");
+    s->instant(18, "i");
+    s->counter(20, "val", 3.5);
+    // "outer" is never closed: export must close it at the last ts.
+
+    std::stringstream ss;
+    tracer.writeJson(ss);
+    Value doc = testjson::parse(ss.str());
+    TraceSummary sum = validateTrace(doc);
+    EXPECT_EQ(sum.spans, 2u); // inner + repaired outer
+    EXPECT_TRUE(sum.threadNames.count("torn"));
+    EXPECT_TRUE(sum.processNames.count("sim"));
+}
+
+TEST(TraceExport, MultiProcessMergePreservesValidity)
+{
+    sim::Tracer a(sim::TraceAllCategories);
+    sim::Tracer b(sim::TraceAllCategories);
+    a.stream("s", sim::TraceWarp)->complete(0, 7, "run_a");
+    b.stream("s", sim::TraceWarp)->complete(3, 2, "run_b");
+
+    // The multi-job merge path bench drivers use: one process per run.
+    std::stringstream ss;
+    ss << "{\"traceEvents\":[";
+    bool first = true;
+    a.writeEvents(ss, 1, "job_a", first);
+    b.writeEvents(ss, 2, "job_b", first);
+    ss << "]}";
+
+    Value doc = testjson::parse(ss.str());
+    TraceSummary sum = validateTrace(doc);
+    EXPECT_EQ(sum.events, 2u);
+    EXPECT_TRUE(sum.processNames.count("job_a"));
+    EXPECT_TRUE(sum.processNames.count("job_b"));
+}
+
+// --- End-to-end ------------------------------------------------------------
+
+namespace {
+
+/** Run a small B-Tree search at `mode` with `tracer` attached. */
+sim::Cycle
+tracedRun(sim::AccelMode mode, sim::Tracer *tracer)
+{
+    workloads::BTreeWorkload wl(trees::BTreeKind::BTree, 2000, 256, 7);
+    sim::StatRegistry stats;
+    stats.setTracer(tracer);
+    workloads::RunMetrics m =
+        mode == sim::AccelMode::BaselineGpu
+            ? wl.runBaseline(modeConfig(mode), stats)
+            : wl.runAccelerated(modeConfig(mode), stats);
+    stats.setTracer(nullptr);
+    return m.cycles;
+}
+
+} // namespace
+
+TEST(TraceEndToEnd, CycleLevelRunEmitsValidComponentTracks)
+{
+    sim::Tracer tracer(sim::TraceAllCategories);
+    tracedRun(sim::AccelMode::Tta, &tracer);
+
+    std::stringstream ss;
+    tracer.writeJson(ss);
+    Value doc = testjson::parse(ss.str());
+    TraceSummary sum = validateTrace(doc);
+    EXPECT_GT(sum.events, 100u);
+
+    // Tracks map to the machine's component names.
+    EXPECT_TRUE(sum.threadNames.count("memsys.l2"));
+    EXPECT_TRUE(sum.threadNames.count("rta0"));
+    EXPECT_TRUE(sum.threadNames.count("rta0.w0"));
+    bool has_warp_track = false, has_dram_track = false;
+    for (const auto &name : sum.threadNames) {
+        has_warp_track |= name.rfind("sm0.w", 0) == 0;
+        has_dram_track |= name.rfind("dram.ch", 0) == 0;
+    }
+    EXPECT_TRUE(has_warp_track);
+    EXPECT_TRUE(has_dram_track);
+}
+
+TEST(TraceEndToEnd, CategoryMaskLimitsTracks)
+{
+    sim::Tracer tracer(sim::TraceMem);
+    tracedRun(sim::AccelMode::Tta, &tracer);
+
+    std::stringstream ss;
+    tracer.writeJson(ss);
+    TraceSummary sum = validateTrace(testjson::parse(ss.str()));
+    EXPECT_GT(sum.events, 0u);
+    for (const auto &name : sum.threadNames)
+        EXPECT_TRUE(name.rfind("memsys", 0) == 0 ||
+                    name.rfind("dram", 0) == 0)
+            << "unexpected track " << name << " under mem-only mask";
+}
+
+TEST(TraceEndToEnd, BaselineGpuRunTracesWarpLifetimes)
+{
+    sim::Tracer tracer(sim::TraceWarp | sim::TraceMem);
+    tracedRun(sim::AccelMode::BaselineGpu, &tracer);
+
+    std::stringstream ss;
+    tracer.writeJson(ss);
+    TraceSummary sum = validateTrace(testjson::parse(ss.str()));
+    EXPECT_GT(sum.spans, 0u); // warp issue->retire spans closed
+}
+
+// --- Zero cost when disabled ----------------------------------------------
+
+TEST(TraceZeroCost, TracingDoesNotPerturbSimulatedTime)
+{
+    sim::Cycle untraced = tracedRun(sim::AccelMode::Tta, nullptr);
+    sim::Tracer tracer(sim::TraceAllCategories);
+    sim::Cycle traced = tracedRun(sim::AccelMode::Tta, &tracer);
+    sim::Tracer masked(0u);
+    sim::Cycle masked_cycles = tracedRun(sim::AccelMode::Tta, &masked);
+
+    EXPECT_EQ(untraced, traced);
+    EXPECT_EQ(untraced, masked_cycles);
+    EXPECT_EQ(masked.numStreams(), 0u); // mask 0 => every stream() null
+}
+
+TEST(TraceZeroCost, DisabledPathTimingSmoke)
+{
+    // Smoke-level guard against accidental work on the disabled path
+    // (e.g. formatting event names eagerly). Generous 2x bound: the
+    // real invariant is branch-on-null, not microbenchmark parity.
+    auto time_run = [](sim::Tracer *tracer) {
+        auto start = std::chrono::steady_clock::now();
+        tracedRun(sim::AccelMode::Tta, tracer);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    time_run(nullptr); // warm caches
+    double off = time_run(nullptr);
+    sim::Tracer masked(0u);
+    double off_masked = time_run(&masked);
+    EXPECT_LT(off_masked, off * 2.0 + 0.05);
+}
+
+// --- External file (CI smoke) ----------------------------------------------
+
+TEST(TraceFile, ExternalFileIsValid)
+{
+    const char *path = std::getenv("TTA_TRACE_FILE");
+    if (!path)
+        GTEST_SKIP() << "TTA_TRACE_FILE not set";
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "cannot open " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    TraceSummary sum = validateTrace(testjson::parse(ss.str()));
+    EXPECT_GT(sum.events, 0u);
+    EXPECT_FALSE(sum.threadNames.empty());
+    std::fprintf(stderr, "validated %zu events on %zu tracks in %s\n",
+                 sum.events, sum.threadNames.size(), path);
+}
