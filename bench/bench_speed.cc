@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Simulator-speed harness for the event-driven kernel (BENCH_*.json).
+ *
+ * Runs a representative workload mix twice — once under the polling
+ * reference kernel, once under the event-driven kernel — on one thread,
+ * timing each run and reading the scheduler telemetry (processed vs
+ * skipped cycles). The two kernels must agree on every simulated cycle
+ * count (the bench aborts otherwise: this doubles as a cross-kernel
+ * equivalence check), so the wall-clock ratio is a pure simulator-speed
+ * measurement, not a model change.
+ *
+ *   --keys/--queries/--bodies/--points/--seed   workload sizes
+ *   --bench=SUBSTR              only run benches whose name contains
+ *                               SUBSTR (e.g. --bench=rtnn/tta)
+ *   --json=FILE                 write the report as JSON ("-" = stdout)
+ *   --check-skip-fraction=PCT   exit 1 unless the event kernel skipped
+ *                               at least PCT% of cycles (CI perf smoke)
+ *
+ * scripts/record_bench.sh wraps this binary (plus a fig12 sweep timing)
+ * into the committed BENCH_4.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+#include "workloads/btree_workload.hh"
+#include "workloads/nbody_workload.hh"
+#include "workloads/rtnn_workload.hh"
+
+using namespace tta;
+using namespace ::tta::workloads;
+
+namespace {
+
+struct SpeedArgs
+{
+    size_t keys = 20000;
+    size_t queries = 4096;
+    size_t bodies = 2048;
+    size_t points = 8192;
+    uint64_t seed = 7;
+    std::string json;
+    std::string benchFilter; // substring match; empty = all
+    double checkSkipFraction = -1.0; // percent; <0 = no check
+};
+
+SpeedArgs
+parseArgs(int argc, char **argv)
+{
+    SpeedArgs args;
+    for (int i = 1; i < argc; ++i) {
+        auto grab = [&](const char *name, auto &field) {
+            std::string prefix = std::string("--") + name + "=";
+            if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0)
+                return false;
+            field = std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+            return true;
+        };
+        std::string prefix;
+        bool ok = grab("keys", args.keys) ||
+                  grab("queries", args.queries) ||
+                  grab("bodies", args.bodies) ||
+                  grab("points", args.points) || grab("seed", args.seed);
+        if (!ok && std::strncmp(argv[i], "--json=", 7) == 0) {
+            args.json = argv[i] + 7;
+            ok = true;
+        }
+        if (!ok && std::strncmp(argv[i], "--bench=", 8) == 0) {
+            args.benchFilter = argv[i] + 8;
+            ok = true;
+        }
+        if (!ok &&
+            std::strncmp(argv[i], "--check-skip-fraction=", 22) == 0) {
+            args.checkSkipFraction = std::strtod(argv[i] + 22, nullptr);
+            ok = true;
+        }
+        if (!ok) {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+struct Bench
+{
+    std::string name;
+    sim::AccelMode mode;
+    std::function<RunMetrics(const sim::Config &, sim::StatRegistry &)> fn;
+};
+
+struct RunResult
+{
+    std::string bench;
+    const char *kernel;
+    uint64_t cycles = 0;
+    double wallSeconds = 0.0;
+    double cyclesPerSec = 0.0;
+    double skippedFraction = 0.0;
+};
+
+RunResult
+timeOne(const Bench &bench, sim::Simulator::Kernel kernel)
+{
+    sim::Simulator::setDefaultKernel(kernel);
+    sim::SchedulerTelemetry::reset();
+    sim::Config cfg;
+    cfg.accelMode = bench.mode;
+    sim::StatRegistry stats;
+    auto start = std::chrono::steady_clock::now();
+    RunMetrics m = bench.fn(cfg, stats);
+    auto stop = std::chrono::steady_clock::now();
+    sim::Simulator::resetDefaultKernel();
+
+    RunResult r;
+    r.bench = bench.name;
+    r.kernel =
+        kernel == sim::Simulator::Kernel::Polling ? "polling" : "event";
+    r.cycles = m.cycles;
+    r.wallSeconds = std::chrono::duration<double>(stop - start).count();
+    uint64_t processed = sim::SchedulerTelemetry::cyclesTicked();
+    uint64_t skipped = sim::SchedulerTelemetry::cyclesSkipped();
+    r.cyclesPerSec = r.wallSeconds > 0.0
+                         ? (processed + skipped) / r.wallSeconds
+                         : 0.0;
+    r.skippedFraction = sim::SchedulerTelemetry::skippedFraction();
+    return r;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<RunResult> &runs,
+          double speedup, double event_skipped)
+{
+    os << "{\n  \"bench\": \"bench_speed\",\n  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const RunResult &r = runs[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"bench\": \"%s\", \"kernel\": \"%s\", "
+                      "\"cycles\": %llu, \"wall_s\": %.4f, "
+                      "\"cycles_per_sec\": %.0f, "
+                      "\"skipped_cycle_fraction\": %.4f}",
+                      r.bench.c_str(), r.kernel,
+                      static_cast<unsigned long long>(r.cycles),
+                      r.wallSeconds, r.cyclesPerSec, r.skippedFraction);
+        os << buf << (i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n  \"summary\": {\"wall_clock_speedup\": %.2f, "
+                  "\"event_skipped_cycle_fraction\": %.4f}\n}\n",
+                  speedup, event_skipped);
+    os << buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SpeedArgs args = parseArgs(argc, argv);
+
+    std::vector<Bench> benches;
+    benches.push_back(
+        {"btree/base", sim::AccelMode::BaselineGpu,
+         [&](const sim::Config &cfg, sim::StatRegistry &stats) {
+             BTreeWorkload wl(trees::BTreeKind::BTree, args.keys,
+                              args.queries, args.seed);
+             return wl.runBaseline(cfg, stats);
+         }});
+    benches.push_back(
+        {"btree/tta", sim::AccelMode::Tta,
+         [&](const sim::Config &cfg, sim::StatRegistry &stats) {
+             BTreeWorkload wl(trees::BTreeKind::BTree, args.keys,
+                              args.queries, args.seed);
+             return wl.runAccelerated(cfg, stats);
+         }});
+    benches.push_back(
+        {"nbody/ttaplus", sim::AccelMode::TtaPlus,
+         [&](const sim::Config &cfg, sim::StatRegistry &stats) {
+             NBodyWorkload wl(2, args.bodies, args.seed);
+             return wl.runAccelerated(cfg, stats, false);
+         }});
+    benches.push_back(
+        {"nbody3d/fused", sim::AccelMode::TtaPlus,
+         [&](const sim::Config &cfg, sim::StatRegistry &stats) {
+             NBodyWorkload wl(3, args.bodies, args.seed);
+             return wl.runAccelerated(cfg, stats, true);
+         }});
+    benches.push_back(
+        {"rtnn/base", sim::AccelMode::BaselineGpu,
+         [&](const sim::Config &cfg, sim::StatRegistry &stats) {
+             RtnnWorkload wl(args.points, args.queries / 4, 1.0f,
+                             args.seed);
+             return wl.runBaseline(cfg, stats);
+         }});
+    benches.push_back(
+        {"rtnn/tta", sim::AccelMode::Tta,
+         [&](const sim::Config &cfg, sim::StatRegistry &stats) {
+             RtnnWorkload wl(args.points, args.queries / 4, 1.0f,
+                             args.seed);
+             return wl.runAccelerated(cfg, stats, false);
+         }});
+
+    std::vector<RunResult> runs;
+    double wall_polling = 0.0, wall_event = 0.0;
+    uint64_t skipped_total = 0, cycle_total = 0;
+    bool mismatch = false;
+    std::printf("%-16s %8s %12s %10s %14s %9s\n", "bench", "kernel",
+                "cycles", "wall_s", "cycles/sec", "skipped");
+    for (const Bench &bench : benches) {
+        if (!args.benchFilter.empty() &&
+            bench.name.find(args.benchFilter) == std::string::npos)
+            continue;
+        RunResult polling =
+            timeOne(bench, sim::Simulator::Kernel::Polling);
+        RunResult event =
+            timeOne(bench, sim::Simulator::Kernel::EventDriven);
+        for (const RunResult &r : {polling, event}) {
+            std::printf("%-16s %8s %12llu %10.3f %14.0f %8.1f%%\n",
+                        r.bench.c_str(), r.kernel,
+                        static_cast<unsigned long long>(r.cycles),
+                        r.wallSeconds, r.cyclesPerSec,
+                        100.0 * r.skippedFraction);
+            runs.push_back(r);
+        }
+        if (polling.cycles != event.cycles) {
+            std::fprintf(stderr,
+                         "FAIL: %s simulated %llu cycles under polling "
+                         "but %llu under the event kernel\n",
+                         bench.name.c_str(),
+                         static_cast<unsigned long long>(polling.cycles),
+                         static_cast<unsigned long long>(event.cycles));
+            mismatch = true;
+        }
+        wall_polling += polling.wallSeconds;
+        wall_event += event.wallSeconds;
+        // Aggregate skip fraction across the event runs, cycle-weighted.
+        uint64_t total = event.cycles;
+        cycle_total += total;
+        skipped_total +=
+            static_cast<uint64_t>(event.skippedFraction * total);
+    }
+    if (mismatch)
+        return 1;
+
+    double speedup = wall_event > 0.0 ? wall_polling / wall_event : 0.0;
+    double event_skipped =
+        cycle_total ? static_cast<double>(skipped_total) / cycle_total
+                    : 0.0;
+    std::printf("wall-clock speedup (polling / event): %.2fx; "
+                "event kernel skipped %.1f%% of cycles\n",
+                speedup, 100.0 * event_skipped);
+
+    if (!args.json.empty()) {
+        if (args.json == "-") {
+            writeJson(std::cout, runs, speedup, event_skipped);
+        } else {
+            std::ofstream os(args.json);
+            if (!os) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             args.json.c_str());
+                return 1;
+            }
+            writeJson(os, runs, speedup, event_skipped);
+        }
+    }
+
+    if (args.checkSkipFraction >= 0.0 &&
+        100.0 * event_skipped < args.checkSkipFraction) {
+        std::fprintf(stderr,
+                     "FAIL: event kernel skipped only %.1f%% of cycles "
+                     "(required >= %.1f%%)\n",
+                     100.0 * event_skipped, args.checkSkipFraction);
+        return 1;
+    }
+    return 0;
+}

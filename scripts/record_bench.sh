@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Record simulator-speed benchmarks into BENCH_4.json.
+#
+# Runs bench_speed (every workload under both kernels, verifying the
+# simulated cycle counts match) and times a serial bench_fig12_speedup
+# sweep under the polling and event kernels, then merges everything into
+# one JSON report next to the repo root.
+#
+# Usage: scripts/record_bench.sh [build-dir] [out-file]
+#
+# The pre-refactor fig12 baseline (the polling kernel before the
+# event-driven scheduler and its profiling-driven fixes landed, commit
+# ff093bb) is recorded as a constant: it cannot be re-measured from this
+# tree. Override with PRE_REFACTOR_POLLING_WALL_S if you re-measure it.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+OUT=${2:-BENCH_4.json}
+PRE=${PRE_REFACTOR_POLLING_WALL_S:-110.9}
+
+SPEED_JSON=$(mktemp)
+trap 'rm -f "$SPEED_JSON"' EXIT
+
+echo "== bench_speed (polling vs event per workload) =="
+"$BUILD"/bench/bench_speed --json="$SPEED_JSON"
+
+time_fig12() {
+    local kernel=$1
+    local start end
+    start=$(date +%s.%N)
+    TTA_SIM_KERNEL="$kernel" "$BUILD"/bench/bench_fig12_speedup \
+        --jobs=1 >/dev/null
+    end=$(date +%s.%N)
+    echo "$start $end" | awk '{printf "%.2f", $2 - $1}'
+}
+
+echo "== fig12 sweep, polling kernel =="
+FIG12_POLLING=$(time_fig12 polling)
+echo "wall_s: $FIG12_POLLING"
+echo "== fig12 sweep, event kernel =="
+FIG12_EVENT=$(time_fig12 event)
+echo "wall_s: $FIG12_EVENT"
+
+python3 - "$SPEED_JSON" "$OUT" "$PRE" "$FIG12_POLLING" "$FIG12_EVENT" <<'EOF'
+import json
+import sys
+
+speed_json, out, pre, polling, event = sys.argv[1:6]
+pre, polling, event = float(pre), float(polling), float(event)
+speed = json.load(open(speed_json))
+report = {
+    "bench": "BENCH_4",
+    "description": "simulator wall-clock: event-driven kernel vs "
+                   "polling reference (identical simulated cycles)",
+    "bench_speed": speed,
+    "fig12": {
+        "command": "bench_fig12_speedup --jobs=1",
+        "pre_refactor_polling_wall_s": pre,
+        "pre_refactor_note": "polling kernel before the event-driven "
+                             "scheduler PR (commit ff093bb)",
+        "wall_s_polling": polling,
+        "wall_s_event": event,
+        "speedup_vs_pre_refactor": round(pre / event, 2),
+        "speedup_vs_current_polling": round(polling / event, 2),
+    },
+}
+json.dump(report, open(out, "w"), indent=2)
+print(f"wrote {out}: fig12 {pre:.1f}s -> {event:.1f}s "
+      f"({pre / event:.2f}x vs pre-refactor baseline)")
+EOF

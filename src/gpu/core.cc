@@ -156,6 +156,9 @@ SimtCore::launchWarp(const KernelProgram *prog, uint64_t base,
 {
     panic_if(n_threads == 0 || n_threads > cfg_.warpSize,
              "bad warp thread count %u", n_threads);
+    // Wake before mutating: settles skipped-cycle stall accounting
+    // against the still-empty core, then schedules the issue tick.
+    wakeNow();
     for (uint32_t slot = 0; slot < warps_.size(); ++slot) {
         WarpContext &warp = warps_[slot];
         if (warp.state != WarpContext::State::Invalid)
@@ -183,6 +186,10 @@ SimtCore::accelDone(uint32_t warp_slot, sim::Cycle cycle)
     WarpContext &warp = warps_[warp_slot];
     panic_if(warp.state != WarpContext::State::WaitAccel,
              "accelDone for a warp not waiting on the accelerator");
+    // Wake before mutating: the accelerator ticks after this core, so
+    // the wake resolves to cycle + 1 (polling visibility) and catch-up
+    // accounting still sees the warp as WaitAccel for this cycle.
+    wake(cycle);
     warp.state = WarpContext::State::Active;
     if (tracer_)
         warpStream(warp_slot)->end(cycle); // closes "accel_wait"
@@ -191,12 +198,10 @@ SimtCore::accelDone(uint32_t warp_slot, sim::Cycle cycle)
 void
 SimtCore::drainResponses()
 {
+    // The queue is core-only (CoreLoad): accelerator responses are
+    // delivered on the memory system's rtaResponses() queue instead.
     auto &queue = memsys_->responses(smId_);
     for (auto it = queue.begin(); it != queue.end();) {
-        if (it->source != mem::RequestSource::CoreLoad) {
-            ++it; // belongs to the RTA; leave it
-            continue;
-        }
         uint32_t slot = static_cast<uint32_t>(it->tag >> 32);
         uint32_t token = static_cast<uint32_t>(it->tag);
         WarpContext &warp = warps_[slot];
@@ -377,15 +382,16 @@ SimtCore::execMemory(sim::Cycle cycle, uint32_t slot, WarpContext &warp,
     if (!memsys_->canAccept(smId_))
         return false;
 
-    std::vector<mem::Addr> addrs(cfg_.warpSize, 0);
+    std::vector<mem::Addr> &addrs = addrBuf_;
+    addrs.assign(cfg_.warpSize, 0);
     for (uint32_t lane = 0; lane < cfg_.warpSize; ++lane) {
         if (!(mask & (1u << lane)))
             continue;
         uint64_t base = warp.regValue(lane, inst.rs1);
         addrs[lane] = base + static_cast<int64_t>(inst.imm);
     }
-    auto transactions =
-        mem::coalesce(addrs, mask, 4, cfg_.lineSizeBytes);
+    std::vector<mem::CoalescedAccess> &transactions = coalesceBuf_;
+    mem::coalesce(addrs, mask, 4, cfg_.lineSizeBytes, transactions);
     *memTransactions_ += transactions.size();
 
     if (is_store) {
@@ -516,8 +522,12 @@ SimtCore::issue(sim::Cycle cycle, uint32_t slot)
 void
 SimtCore::tick(sim::Cycle cycle)
 {
-    if (residentWarps_ == 0)
+    catchUp(cycle);
+    lastAccounted_ = cycle + 1;
+    if (residentWarps_ == 0) {
+        nextEvent_ = sim::kAsleep; // a launchWarp wake re-arms us
         return;
+    }
     drainWriteback(cycle);
     drainResponses();
 
@@ -538,6 +548,7 @@ SimtCore::tick(sim::Cycle cycle)
 
     if (pick >= 0 && issue(cycle, static_cast<uint32_t>(pick))) {
         lastIssued_ = pick;
+        nextEvent_ = cycle + 1;
         return;
     }
     // Structural stall on the greedy warp: try the others once.
@@ -547,6 +558,7 @@ SimtCore::tick(sim::Cycle cycle)
                 continue;
             if (issue(cycle, slot)) {
                 lastIssued_ = static_cast<int>(slot);
+                nextEvent_ = cycle + 1;
                 return;
             }
         }
@@ -555,6 +567,35 @@ SimtCore::tick(sim::Cycle cycle)
         ++*stallCycles_;
         classifyStall(pick >= 0);
     }
+    // The core's state is frozen until a writeback matures or an
+    // external event arrives: data/accel stalls clear via load responses
+    // and accelDone, and each structural blocker delivers a wake when it
+    // frees (accelDone fires as the accel warp slot frees; the memory
+    // system wakes us when its input-queue back-pressure clears). Failed
+    // issue attempts have no side effects, so the skipped retries a
+    // polling kernel would have made are pure no-ops; catchUp() replays
+    // their per-cycle stall attribution.
+    frozenStructural_ = pick >= 0;
+    nextEvent_ =
+        writebacks_.empty() ? sim::kAsleep : writebacks_.top().ready;
+}
+
+void
+SimtCore::catchUp(sim::Cycle now)
+{
+    if (now <= lastAccounted_)
+        return;
+    uint64_t n = now - lastAccounted_;
+    lastAccounted_ = now;
+    if (residentWarps_ == 0)
+        return;
+    // Each cycle the event-driven kernel skipped, a polling tick would
+    // have re-run the same failing issue scan (the core's state is
+    // frozen while it sleeps; wakes settle this accounting before
+    // producers mutate it) and recorded one stall of the same class as
+    // the tick that put the core to sleep.
+    *stallCycles_ += n;
+    classifyStall(frozenStructural_, n);
 }
 
 /**
@@ -575,10 +616,10 @@ SimtCore::tick(sim::Cycle cycle)
  * counters always sum to core.stall_cycles.
  */
 void
-SimtCore::classifyStall(bool structural)
+SimtCore::classifyStall(bool structural, uint64_t n)
 {
     if (structural) {
-        ++*stallIssue_;
+        *stallIssue_ += n;
         return;
     }
     bool any_load = false;
@@ -594,13 +635,13 @@ SimtCore::classifyStall(bool structural)
             any_exec = true;
     }
     if (any_load)
-        ++*stallMem_;
+        *stallMem_ += n;
     else if (any_exec)
-        ++*stallExec_;
+        *stallExec_ += n;
     else if (!any_active)
-        ++*stallAccel_;
+        *stallAccel_ += n;
     else
-        ++*stallIssue_;
+        *stallIssue_ += n;
 }
 
 bool

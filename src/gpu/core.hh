@@ -21,6 +21,7 @@
 #include "gpu/isa.hh"
 #include "gpu/kernel.hh"
 #include "gpu/simt_stack.hh"
+#include "mem/coalescer.hh"
 #include "mem/global_memory.hh"
 #include "mem/memsys.hh"
 #include "sim/config.hh"
@@ -102,6 +103,13 @@ class SimtCore : public sim::TickedComponent
 
     void tick(sim::Cycle cycle) override;
     bool busy() const override;
+    /** Computed by tick(): next issue attempt, next ALU writeback, or
+     *  kAsleep (empty core / everything blocked on external events). */
+    sim::Cycle nextEventCycle(sim::Cycle) const override
+    {
+        return nextEvent_;
+    }
+    void catchUp(sim::Cycle now) override;
 
     uint32_t smId() const { return smId_; }
     mem::GlobalMemory &globalMemory() { return *gmem_; }
@@ -119,7 +127,7 @@ class SimtCore : public sim::TickedComponent
     void drainResponses();
     void drainWriteback(sim::Cycle cycle);
     void countIssue(const Instruction &inst, uint32_t mask);
-    void classifyStall(bool structural);
+    void classifyStall(bool structural, uint64_t n = 1);
     /** Lazily created per-warp-slot trace stream (one open span per slot
      *  at a time, so B/E spans nest correctly). */
     sim::TraceStream *warpStream(uint32_t slot);
@@ -135,6 +143,17 @@ class SimtCore : public sim::TickedComponent
     uint64_t nextAge_ = 0;
     uint64_t nextToken_ = 1;
     int lastIssued_ = -1; //!< GTO: greedy warp
+
+    sim::Cycle nextEvent_ = 0;     //!< nextEventCycle() result
+    sim::Cycle lastAccounted_ = 0; //!< stall cycles settled up to here
+    /** Stall class of the tick that put the core to sleep, replayed by
+     *  catchUp() for every skipped cycle (true = structural). */
+    bool frozenStructural_ = false;
+
+    // execMemory() scratch, reused across issues to avoid re-allocating
+    // per warp memory instruction.
+    std::vector<mem::Addr> addrBuf_;
+    std::vector<mem::CoalescedAccess> coalesceBuf_;
 
     /** ALU writeback events: (ready cycle, slot, reg bit). */
     struct Writeback

@@ -21,6 +21,12 @@ Gpu::Gpu(const sim::Config &cfg, sim::StatRegistry &stats)
     for (auto &core : cores_)
         sim_.add(core.get());
     sim_.add(memsys_.get());
+    // Producer→consumer wake edges for the event-driven kernel: memory
+    // responses wake the requesting core (accelerators register their
+    // own waker when they attach).
+    for (uint32_t sm = 0; sm < cfg_.numSms; ++sm)
+        memsys_->setCoreWaker(sm, cores_[sm].get());
+    sim_.setWatchdog(cfg_.watchdogCycles);
 }
 
 Gpu::~Gpu() = default;
@@ -99,10 +105,24 @@ Gpu::runKernels(std::vector<Launch> launches)
     bool remaining = true;
     const sim::Cycle max_cycles = cfg_.watchdogCycles;
     const bool debug_timeline = std::getenv("TTA_DEBUG_TIMELINE");
+    sim::Cycle next_report = 100000;
+    // Quiescence is re-checked after every *processed* cycle, matching
+    // the polling loop's per-cycle check boundary, so both kernels
+    // finish with the identical cycle count (any ticks still scheduled
+    // past quiescence would be no-ops by the sleep/wake contract and
+    // are abandoned).
     while (remaining || sim_.anyBusy()) {
-        remaining = dispatch(states);
-        sim_.step();
-        if (debug_timeline && (sim_.cycle() - start) % 100000 == 0) {
+        if (remaining)
+            remaining = dispatch(states);
+        if (!sim_.advance(start + max_cycles)) {
+            // Event-driven kernel with nothing scheduled: a busy
+            // component missed a wake edge (a model bug, not a user
+            // error).
+            panic("simulation stalled: component(s) busy with no "
+                  "scheduled wakeup; still-busy components: [%s]",
+                  sim_.busyComponentNames().c_str());
+        }
+        if (debug_timeline && sim_.cycle() - start >= next_report) {
             uint32_t active_warps = 0;
             for (auto &c : cores_)
                 active_warps += cfg_.maxWarpsPerSm - c->freeSlots();
@@ -113,6 +133,7 @@ Gpu::runKernels(std::vector<Launch> launches)
                          active_warps,
                          static_cast<unsigned long long>(
                              stats_->counterValue("core.issued")));
+            next_report += 100000;
         }
         panic_if(sim_.cycle() - start > max_cycles,
                  "kernel did not finish within %llu cycles; "
@@ -120,6 +141,7 @@ Gpu::runKernels(std::vector<Launch> launches)
                  static_cast<unsigned long long>(max_cycles),
                  sim_.busyComponentNames().c_str());
     }
+    sim_.finishAccounting();
     return sim_.cycle() - start;
 }
 

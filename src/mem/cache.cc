@@ -6,7 +6,8 @@ namespace tta::mem {
 
 Cache::Cache(const std::string &name, uint32_t size_bytes, uint32_t assoc,
              uint32_t line_size, uint32_t mshrs, sim::StatRegistry &stats)
-    : assoc_(assoc), lineSize_(line_size), mshrCapacity_(mshrs)
+    : assoc_(assoc), lineSize_(line_size), mshrCapacity_(mshrs),
+      where_(size_bytes / line_size), mshrs_(mshrs)
 {
     uint32_t num_lines = size_bytes / line_size;
     panic_if(num_lines == 0, "cache smaller than one line");
@@ -15,6 +16,18 @@ Cache::Cache(const std::string &name, uint32_t size_bytes, uint32_t assoc,
              num_lines, assoc_);
     numSets_ = num_lines / assoc_;
     lines_.resize(num_lines);
+    mru_.assign(numSets_, kNil);
+    lru_.assign(numSets_, kNil);
+    freeHead_.assign(numSets_, kNil);
+    // Chain each set's ways onto its free stack in ascending order, so
+    // allocation fills way 0 first (as the old first-invalid scan did).
+    for (uint32_t set = 0; set < numSets_; ++set) {
+        uint32_t base = set * assoc_;
+        freeHead_[set] = base;
+        for (uint32_t w = 0; w + 1 < assoc_; ++w)
+            lines_[base + w].next = base + w + 1;
+        lines_[base + assoc_ - 1].next = kNil;
+    }
     hits_ = &stats.counter(name + ".hits");
     misses_ = &stats.counter(name + ".misses");
     readMisses_ = &stats.counter(name + ".read_misses");
@@ -29,18 +42,50 @@ Cache::setIndex(Addr line_addr) const
     return static_cast<uint32_t>((line_addr / lineSize_) % numSets_);
 }
 
+void
+Cache::unlink(uint32_t set, uint32_t idx)
+{
+    Line &line = lines_[idx];
+    if (line.prev != kNil)
+        lines_[line.prev].next = line.next;
+    else
+        mru_[set] = line.next;
+    if (line.next != kNil)
+        lines_[line.next].prev = line.prev;
+    else
+        lru_[set] = line.prev;
+}
+
+void
+Cache::pushMru(uint32_t set, uint32_t idx)
+{
+    Line &line = lines_[idx];
+    line.prev = kNil;
+    line.next = mru_[set];
+    if (mru_[set] != kNil)
+        lines_[mru_[set]].prev = idx;
+    mru_[set] = idx;
+    if (lru_[set] == kNil)
+        lru_[set] = idx;
+}
+
+void
+Cache::touch(uint32_t set, uint32_t idx)
+{
+    if (mru_[set] == idx)
+        return;
+    unlink(set, idx);
+    pushMru(set, idx);
+}
+
 Cache::Result
 Cache::access(Addr line_addr, bool is_write)
 {
-    ++useClock_;
-    uint32_t set = setIndex(line_addr);
-    Line *ways = &lines_[static_cast<size_t>(set) * assoc_];
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (ways[w].valid && ways[w].tag == line_addr) {
-            ways[w].lastUse = useClock_;
-            ++*hits_;
-            return Result::Hit;
-        }
+    uint32_t resident = where_.lookup(line_addr);
+    if (resident != AddrMap::kNone) {
+        touch(setIndex(line_addr), resident);
+        ++*hits_;
+        return Result::Hit;
     }
 
     // Writes are write-through / no-allocate: a write miss does not fetch
@@ -54,9 +99,8 @@ Cache::access(Addr line_addr, bool is_write)
         return Result::MissNew;
     }
 
-    auto it = mshrs_.find(line_addr);
-    if (it != mshrs_.end()) {
-        ++it->second;
+    if (uint32_t *merged = mshrs_.find(line_addr)) {
+        ++*merged;
         ++*mshrMerges_;
         return Result::MissMerged;
     }
@@ -64,7 +108,7 @@ Cache::access(Addr line_addr, bool is_write)
         ++*mshrStalls_;
         return Result::NoMshr;
     }
-    mshrs_.emplace(line_addr, 1);
+    mshrs_.insert(line_addr, 1);
     ++*misses_;
     ++*readMisses_;
     return Result::MissNew;
@@ -76,35 +120,32 @@ Cache::fill(Addr line_addr)
     mshrs_.erase(line_addr);
 
     uint32_t set = setIndex(line_addr);
-    Line *ways = &lines_[static_cast<size_t>(set) * assoc_];
     // Already resident (e.g. refilled by a racing writeback path)?
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (ways[w].valid && ways[w].tag == line_addr) {
-            ways[w].lastUse = ++useClock_;
-            return;
-        }
+    uint32_t resident = where_.lookup(line_addr);
+    if (resident != AddrMap::kNone) {
+        touch(set, resident);
+        return;
     }
-    // Choose a victim: first invalid way, else LRU.
-    uint32_t victim = 0;
-    uint64_t oldest = UINT64_MAX;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (!ways[w].valid) {
-            victim = w;
-            oldest = 0;
-            break;
-        }
-        if (ways[w].lastUse < oldest) {
-            oldest = ways[w].lastUse;
-            victim = w;
-        }
+    // Choose a victim: a free way if any, else the LRU line.
+    uint32_t idx;
+    if (freeHead_[set] != kNil) {
+        idx = freeHead_[set];
+        freeHead_[set] = lines_[idx].next;
+    } else {
+        idx = lru_[set];
+        unlink(set, idx);
+        where_.erase(lines_[idx].tag);
     }
-    ways[victim] = {line_addr, true, ++useClock_};
+    lines_[idx].tag = line_addr;
+    lines_[idx].valid = true;
+    pushMru(set, idx);
+    where_.insert(line_addr, idx);
 }
 
 bool
 Cache::missPending(Addr line_addr) const
 {
-    return mshrs_.find(line_addr) != mshrs_.end();
+    return mshrs_.lookup(line_addr) != AddrMap::kNone;
 }
 
 void
@@ -112,7 +153,18 @@ Cache::flush()
 {
     for (auto &line : lines_)
         line.valid = false;
+    where_.clear();
     mshrs_.clear();
+    mru_.assign(numSets_, kNil);
+    lru_.assign(numSets_, kNil);
+    // Rebuild the free stacks in ascending way order.
+    for (uint32_t set = 0; set < numSets_; ++set) {
+        uint32_t base = set * assoc_;
+        freeHead_[set] = base;
+        for (uint32_t w = 0; w + 1 < assoc_; ++w)
+            lines_[base + w].next = base + w + 1;
+        lines_[base + assoc_ - 1].next = kNil;
+    }
 }
 
 } // namespace tta::mem

@@ -1,14 +1,16 @@
 #include "mem/coalescer.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "sim/logging.hh"
 
 namespace tta::mem {
 
-std::vector<CoalescedAccess>
+void
 coalesce(const std::vector<Addr> &addrs, uint32_t active,
-         uint32_t access_size, uint32_t line_size)
+         uint32_t access_size, uint32_t line_size,
+         std::vector<CoalescedAccess> &out)
 {
     panic_if(line_size == 0 || (line_size & (line_size - 1)) != 0,
              "coalesce: line size %u is not a power of two", line_size);
@@ -16,16 +18,15 @@ coalesce(const std::vector<Addr> &addrs, uint32_t active,
              "coalesce: %zu lanes exceed the 32-lane warp limit",
              addrs.size());
 
-    std::vector<CoalescedAccess> out;
+    out.clear();
     if (!active)
-        return out;
-    // This runs once per issued warp memory instruction; a fully
-    // divergent access emits one transaction per lane, so reserve the
-    // worst common case up front and keep lookups out of the O(n) scan
-    // with a flat map (line addr -> out index) sorted by line address.
-    out.reserve(addrs.size());
-    std::vector<std::pair<Addr, uint32_t>> index;
-    index.reserve(addrs.size());
+        return;
+    // This runs once per issued warp memory instruction; keep lookups
+    // out of the O(n) scan with a flat map (line addr -> out index)
+    // sorted by line address. Each lane touches at most two lines (an
+    // access may straddle one boundary), so the map fits on the stack.
+    std::array<std::pair<Addr, uint32_t>, 64> index;
+    size_t indexSize = 0;
 
     const Addr line_mask = ~static_cast<Addr>(line_size - 1);
     for (uint32_t lane = 0; lane < addrs.size(); ++lane) {
@@ -36,20 +37,32 @@ coalesce(const std::vector<Addr> &addrs, uint32_t active,
         Addr first = addrs[lane] & line_mask;
         Addr last = (addrs[lane] + access_size - 1) & line_mask;
         for (Addr line = first; line <= last; line += line_size) {
-            auto it = std::lower_bound(
-                index.begin(), index.end(), line,
+            auto *begin = index.data();
+            auto *end = begin + indexSize;
+            auto *it = std::lower_bound(
+                begin, end, line,
                 [](const std::pair<Addr, uint32_t> &p, Addr l) {
                     return p.first < l;
                 });
-            if (it != index.end() && it->first == line) {
+            if (it != end && it->first == line) {
                 out[it->second].laneMask |= 1u << lane;
             } else {
-                index.insert(it,
-                             {line, static_cast<uint32_t>(out.size())});
+                std::move_backward(it, end, end + 1);
+                *it = {line, static_cast<uint32_t>(out.size())};
+                ++indexSize;
                 out.push_back({line, 1u << lane});
             }
         }
     }
+}
+
+std::vector<CoalescedAccess>
+coalesce(const std::vector<Addr> &addrs, uint32_t active,
+         uint32_t access_size, uint32_t line_size)
+{
+    std::vector<CoalescedAccess> out;
+    out.reserve(addrs.size());
+    coalesce(addrs, active, access_size, line_size, out);
     return out;
 }
 

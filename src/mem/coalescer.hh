@@ -35,8 +35,16 @@ struct CoalescedAccess
  * @param access_size bytes accessed per lane.
  * @param line_size  cache-line size in bytes (panics unless a power of
  *                   two — the line-mask arithmetic requires it).
- * @return one entry per distinct line touched, in first-lane order.
+ * @param out        cleared, then filled with one entry per distinct
+ *                   line touched, in first-lane order. Out-param so hot
+ *                   callers (one call per issued warp memory
+ *                   instruction) can reuse a buffer.
  */
+void coalesce(const std::vector<Addr> &addrs, uint32_t active,
+              uint32_t access_size, uint32_t line_size,
+              std::vector<CoalescedAccess> &out);
+
+/** Convenience overload returning a fresh vector. */
 std::vector<CoalescedAccess>
 coalesce(const std::vector<Addr> &addrs, uint32_t active,
          uint32_t access_size, uint32_t line_size);

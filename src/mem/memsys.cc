@@ -11,7 +11,10 @@ MemSystem::MemSystem(const sim::Config &cfg, sim::StatRegistry &stats)
 {
     l1In_.resize(cfg_.numSms);
     responses_.resize(cfg_.numSms);
+    rtaResponses_.resize(cfg_.numSms);
     l1Pending_.resize(cfg_.numSms);
+    coreWaker_.resize(cfg_.numSms, nullptr);
+    rtaWaker_.resize(cfg_.numSms, nullptr);
     for (uint32_t sm = 0; sm < cfg_.numSms; ++sm) {
         std::string name = "sm" + std::to_string(sm) + ".l1d";
         uint32_t lines = cfg_.l1SizeBytes / cfg_.lineSizeBytes;
@@ -70,24 +73,36 @@ MemSystem::sendRequest(const MemRequest &req)
     bool perfect = cfg_.perfectMemory ||
         (cfg_.perfectNodeFetch && req.source == RequestSource::RtaNode);
     if (perfect) {
-        if (!req.isWrite) {
-            ++inflight_;
-            // Delivered on the next tick via the zero-latency path: model
-            // as an immediate response enqueued directly.
-            responses_[req.smId].push_back(
-                {req.addr, req.source, req.smId, req.tag});
-            --inflight_;
-        }
+        // Delivered on the next tick via the zero-latency path: model
+        // as an immediate response enqueued directly.
+        if (!req.isWrite)
+            pushResponse({req.addr, req.source, req.smId, req.tag});
         return;
     }
 
+    // Wake ourselves before the push: catch-up replays the queue-depth
+    // samples the skipped cycles would have taken of the old depth.
+    wakeNow();
     ++inflight_;
     l1In_[req.smId].push_back({ticks_ + 1, req});
 }
 
 void
+MemSystem::pushResponse(const MemResponse &resp)
+{
+    bool for_rta = resp.source == RequestSource::RtaNode;
+    sim::TickedComponent *waiter =
+        for_rta ? rtaWaker_[resp.smId] : coreWaker_[resp.smId];
+    if (waiter)
+        waiter->wakeNow();
+    (for_rta ? rtaResponses_ : responses_)[resp.smId].push_back(resp);
+}
+
+void
 MemSystem::tick(sim::Cycle cycle)
 {
+    catchUp(cycle);
+    lastAccounted_ = cycle + 1;
     ticks_ = cycle;
     l1QueueDepth_->sample(static_cast<double>(l1In_[0].size()));
     // Producer-to-consumer order within the cycle: fills first so lines
@@ -100,9 +115,52 @@ MemSystem::tick(sim::Cycle cycle)
 }
 
 void
+MemSystem::catchUp(sim::Cycle now)
+{
+    if (now <= lastAccounted_)
+        return;
+    uint64_t n = now - lastAccounted_;
+    lastAccounted_ = now;
+    // Each skipped cycle, a polling tick would have sampled the
+    // (unchanged — wakes settle this before any push) input-queue depth
+    // and advanced the tick count that normalizes DRAM utilization.
+    l1QueueDepth_->sampleN(static_cast<double>(l1In_[0].size()), n);
+    ticks_ = now - 1;
+}
+
+sim::Cycle
+MemSystem::nextEventCycle(sim::Cycle cycle) const
+{
+    sim::Cycle next = sim::kAsleep;
+    for (const auto &in : l1In_) {
+        if (!in.empty()) {
+            next = cycle + 1; // retrying or draining the front end
+            break;
+        }
+    }
+    auto consider = [&next](sim::Cycle ready) {
+        next = std::min(next, ready);
+    };
+    if (!toL2_.empty())
+        consider(toL2_.top().ready);
+    if (!toDram_.empty())
+        consider(toDram_.top().ready);
+    if (!dramDone_.empty())
+        consider(dramDone_.top().ready);
+    if (!l1Fills_.empty())
+        consider(l1Fills_.top().ready);
+    if (!delayedResponses_.empty())
+        consider(delayedResponses_.top().ready);
+    if (next == sim::kAsleep)
+        return next; // idle: a sendRequest() wake re-arms us
+    return std::max(next, cycle + 1);
+}
+
+void
 MemSystem::tickL1(sim::Cycle cycle, uint32_t sm)
 {
     auto &in = l1In_[sm];
+    const bool was_full = in.size() >= kL1QueueDepth;
     for (uint32_t n = 0; n < kL1AccessesPerCycle && !in.empty(); ++n) {
         if (in.front().ready > cycle)
             break;
@@ -142,6 +200,12 @@ MemSystem::tickL1(sim::Cycle cycle, uint32_t sm)
             break; // unreachable
         }
     }
+    // Back-pressure cleared: a core that went to sleep on a refused
+    // sendRequest (canAccept() false) has no other wake edge for this
+    // resource. We tick after the cores, so the wake resolves to the
+    // next cycle — the first cycle a polling core would see the space.
+    if (was_full && in.size() < kL1QueueDepth && coreWaker_[sm])
+        coreWaker_[sm]->wake(cycle);
 }
 
 void
@@ -225,10 +289,10 @@ MemSystem::tickFills(sim::Cycle cycle)
     // L1-hit responses mature after the L1 access latency.
     while (!delayedResponses_.empty() &&
            delayedResponses_.top().ready <= cycle) {
-        const MemResponse &resp = delayedResponses_.top().resp;
-        responses_[resp.smId].push_back(resp);
-        --inflight_;
+        const MemResponse resp = delayedResponses_.top().resp;
         delayedResponses_.pop();
+        pushResponse(resp);
+        --inflight_;
     }
 
     // DRAM -> L2 fills: wake every SM waiting on the line.
@@ -262,7 +326,7 @@ MemSystem::completeAtL1(sim::Cycle cycle, uint32_t sm, Addr line_addr)
     if (it == l1Pending_[sm].end())
         return;
     for (const MemRequest &req : it->second) {
-        responses_[sm].push_back({req.addr, req.source, req.smId, req.tag});
+        pushResponse({req.addr, req.source, req.smId, req.tag});
         --inflight_;
     }
     l1Pending_[sm].erase(it);

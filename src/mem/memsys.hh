@@ -43,14 +43,41 @@ class MemSystem : public sim::TickedComponent
     /** Issue a line transaction from an SM (core or RTA). */
     void sendRequest(const MemRequest &req);
 
-    /** Read-completion queue for an SM; the consumer pops from the front. */
+    /**
+     * Core read-completion queue for an SM (CoreLoad responses); the
+     * consumer pops from the front. Accelerator node-fetch responses
+     * land in rtaResponses() instead, so neither consumer scans past
+     * the other's entries.
+     */
     std::deque<MemResponse> &responses(uint32_t sm_id)
     {
         return responses_[sm_id];
     }
 
+    /** RTA/TTA node-fetch completion queue for an SM. */
+    std::deque<MemResponse> &rtaResponses(uint32_t sm_id)
+    {
+        return rtaResponses_[sm_id];
+    }
+
     void tick(sim::Cycle cycle) override;
     bool busy() const override;
+    sim::Cycle nextEventCycle(sim::Cycle cycle) const override;
+    void catchUp(sim::Cycle now) override;
+
+    /**
+     * Register the component to wake when a response is pushed for
+     * SM sm_id (cores for CoreLoad responses, accelerators for RtaNode).
+     * Unset consumers simply never sleep on this memory system.
+     */
+    void setCoreWaker(uint32_t sm_id, sim::TickedComponent *comp)
+    {
+        coreWaker_[sm_id] = comp;
+    }
+    void setRtaWaker(uint32_t sm_id, sim::TickedComponent *comp)
+    {
+        rtaWaker_[sm_id] = comp;
+    }
 
     /** Fraction of DRAM data-bus cycles busy since construction. */
     double dramUtilization() const;
@@ -90,6 +117,9 @@ class MemSystem : public sim::TickedComponent
     void tickDram(sim::Cycle cycle);
     void tickFills(sim::Cycle cycle);
     void completeAtL1(sim::Cycle cycle, uint32_t sm, Addr line_addr);
+    /** Deliver a read completion: wakes the consumer (before the push,
+     *  per the wake-before-mutate rule), then enqueues the response. */
+    void pushResponse(const MemResponse &resp);
 
     const sim::Config cfg_;
 
@@ -97,6 +127,7 @@ class MemSystem : public sim::TickedComponent
     std::vector<std::unique_ptr<Cache>> l1_;
     std::vector<std::deque<Timed>> l1In_;
     std::vector<std::deque<MemResponse>> responses_;
+    std::vector<std::deque<MemResponse>> rtaResponses_;
     /** L1 MSHR payload: line -> requests waiting on the fill. */
     std::vector<std::unordered_map<Addr, std::vector<MemRequest>>>
         l1Pending_;
@@ -130,6 +161,9 @@ class MemSystem : public sim::TickedComponent
     // Bookkeeping.
     uint64_t inflight_ = 0;
     sim::Cycle ticks_ = 0;
+    sim::Cycle lastAccounted_ = 0; //!< queue-depth sampling settled here
+    std::vector<sim::TickedComponent *> coreWaker_;
+    std::vector<sim::TickedComponent *> rtaWaker_;
     static constexpr uint32_t kL1QueueDepth = 64;
     static constexpr uint32_t kL1AccessesPerCycle = 2;
     static constexpr uint32_t kL2AccessesPerCycle = 4;

@@ -78,6 +78,10 @@ class IntersectionPipeline
     /** Sample the current occupancy (called once per cycle). */
     void sampleOccupancy() { occupancy_->sample(inflight_); }
 
+    /** Bulk-record `n` cycles of unchanged occupancy — the event-driven
+     *  kernel's catch-up for cycles the owning unit slept through. */
+    void sampleOccupancyN(uint64_t n) { occupancy_->sampleN(inflight_, n); }
+
     uint32_t inflight() const { return inflight_; }
     uint32_t peak() const { return peak_; }
     uint32_t latency() const { return latency_; }

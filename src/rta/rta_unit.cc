@@ -40,6 +40,8 @@ RtaUnit::RtaUnit(const sim::Config &cfg, uint32_t sm_id,
     : sim::TickedComponent("rta" + std::to_string(sm_id)),
       cfg_(cfg), smId_(sm_id), memsys_(&memsys)
 {
+    // Node-fetch responses (and prefetch completions) wake this unit.
+    memsys.setRtaWaker(smId_, this);
     warps_.resize(cfg_.warpBufferWarps);
     for (auto &warp : warps_)
         warp.rays.resize(cfg_.warpSize);
@@ -107,6 +109,11 @@ RtaUnit::launchWarp(sim::Cycle cycle, gpu::SimtCore *core,
     for (auto &warp : warps_) {
         if (warp.valid)
             continue;
+        // Wake before mutating: settles skipped-cycle occupancy samples
+        // against the pre-launch state; the launching core ticks before
+        // this unit, so the wake resolves to this same cycle and the
+        // arbiter sees the new rays when the unit ticks later on.
+        wake(cycle);
         warp.valid = true;
         warp.core = core;
         warp.coreSlot = warp_slot;
@@ -377,12 +384,10 @@ RtaUnit::issueFetches(sim::Cycle cycle)
 void
 RtaUnit::drainResponses(sim::Cycle cycle)
 {
-    auto &queue = memsys_->responses(smId_);
+    // The queue is RTA-only (RtaNode): core load responses are
+    // delivered on the memory system's core responses() queue instead.
+    auto &queue = memsys_->rtaResponses(smId_);
     for (auto it = queue.begin(); it != queue.end();) {
-        if (it->source != mem::RequestSource::RtaNode) {
-            ++it;
-            continue;
-        }
         auto waiters = inflightLines_.find(it->tag);
         if (waiters != inflightLines_.end()) {
             for (auto [w, r] : waiters->second) {
@@ -426,8 +431,12 @@ RtaUnit::drainCompletions(sim::Cycle cycle)
 void
 RtaUnit::tick(sim::Cycle cycle)
 {
-    if (validWarps_ == 0)
+    catchUp(cycle);
+    lastAccounted_ = cycle + 1;
+    if (validWarps_ == 0) {
+        nextEvent_ = sim::kAsleep;
         return; // nothing in flight; skip all bookkeeping
+    }
     drainCompletions(cycle);
     drainResponses(cycle);
 
@@ -466,6 +475,36 @@ RtaUnit::tick(sim::Cycle cycle)
             unitStream_->counter(cycle, "fetch_queue", fetch);
         }
     }
+
+    // Next externally visible work: the arbiter/fetch scheduler runs
+    // again next cycle while any queue holds rays; otherwise the next
+    // test/shader completion (WaitTest and WaitShader both retire via
+    // completions_). With every ray parked in WaitFetch the memory
+    // system's response path (pushResponse) wakes us.
+    if (validWarps_ == 0) {
+        nextEvent_ = sim::kAsleep;
+    } else if (!dispatchQueue_.empty() || !readyQueue_.empty() ||
+               !fetchQueue_.empty()) {
+        nextEvent_ = cycle + 1;
+    } else if (!completions_.empty()) {
+        nextEvent_ = completions_.top().ready;
+    } else {
+        nextEvent_ = sim::kAsleep;
+    }
+}
+
+void
+RtaUnit::catchUp(sim::Cycle now)
+{
+    if (now <= lastAccounted_)
+        return;
+    uint64_t n = now - lastAccounted_;
+    lastAccounted_ = now;
+    if (validWarps_ == 0)
+        return; // the polling tick samples nothing when idle
+    boxPipe_->sampleOccupancyN(n);
+    triPipe_->sampleOccupancyN(n);
+    warpOccupancy_->sampleN(validWarps_, n);
 }
 
 bool

@@ -59,6 +59,14 @@ class RtaUnit : public sim::TickedComponent, public gpu::AccelDevice
 
     void tick(sim::Cycle cycle) override;
     bool busy() const override;
+    /** Computed by tick(): next arbiter/fetch cycle, next intersection
+     *  completion, or kAsleep (idle / all rays blocked on node fetches,
+     *  which wake us via the memory system's response path). */
+    sim::Cycle nextEventCycle(sim::Cycle) const override
+    {
+        return nextEvent_;
+    }
+    void catchUp(sim::Cycle now) override;
 
   private:
     enum class Phase : uint8_t
@@ -120,6 +128,9 @@ class RtaUnit : public sim::TickedComponent, public gpu::AccelDevice
     std::vector<WarpSlot> warps_;
     uint64_t launchCounter_ = 0;
     uint32_t validWarps_ = 0;
+
+    sim::Cycle nextEvent_ = 0;     //!< nextEventCycle() result
+    sim::Cycle lastAccounted_ = 0; //!< occupancy sampling settled here
 
     /** Rays whose state machine needs the arbiter (Phase::Ready). */
     std::deque<std::pair<uint16_t, uint16_t>> readyQueue_;

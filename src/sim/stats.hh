@@ -72,20 +72,32 @@ class Histogram
     /** Record one sample. Samples beyond the bucketed range still land in
      *  the last bucket (so bucket sums match count()), but are tracked in
      *  an overflow count so a clipped tail is visible in the dump. */
+    void sample(double v) { sampleN(v, 1); }
+
+    /**
+     * Record `n` identical samples in one shot — the event-driven
+     * kernel's bulk catch-up for per-cycle occupancy sampling over a
+     * skipped quiescent stretch. Bit-identical to calling sample(v) n
+     * times for the integer-valued samples this repo records (v * n is
+     * exact, and repeated summation of an integer double is too).
+     */
     void
-    sample(double v)
+    sampleN(double v, uint64_t n)
     {
-        ++count_;
-        sum_ += v;
-        min_ = count_ == 1 ? v : std::min(min_, v);
-        max_ = count_ == 1 ? v : std::max(max_, v);
+        if (n == 0)
+            return;
+        bool was_empty = count_ == 0;
+        count_ += n;
+        sum_ += v * n;
+        min_ = was_empty ? v : std::min(min_, v);
+        max_ = was_empty ? v : std::max(max_, v);
         size_t idx = v <= 0.0 ? 0
             : static_cast<size_t>(v / bucketWidth_);
         if (idx >= buckets_.size()) {
             idx = buckets_.size() - 1;
-            ++overflow_;
+            overflow_ += n;
         }
-        ++buckets_[idx];
+        buckets_[idx] += n;
     }
 
     uint64_t count() const { return count_; }

@@ -1,6 +1,6 @@
 /**
  * @file
- * Cycle-driven simulation framework.
+ * Event-driven simulation framework.
  *
  * Every timing model in the repository is a TickedComponent; a Simulator
  * owns an ordered list of components and advances them one core-clock cycle
@@ -8,6 +8,41 @@
  * GPU top-level arranges producer-before-consumer so a request issued in
  * cycle N is visible to the next stage in cycle N+1 at the earliest
  * (single-cycle queues between stages enforce this).
+ *
+ * The kernel comes in two flavours, selected per Simulator:
+ *
+ *  - Polling (the original kernel, kept as the reference implementation):
+ *    every component ticks every cycle, whether or not it has work.
+ *
+ *  - EventDriven (the default): components report, after each tick, the
+ *    next cycle at which they can possibly do externally-visible work
+ *    (kAsleep for "only an external event wakes me"). The simulator keeps
+ *    a min-heap of timed wakeups plus a per-component due-cycle table and
+ *    jumps the clock straight to the next due cycle, skipping quiescent
+ *    stretches entirely. Traversal workloads are memory-latency-bound by
+ *    design, so most cycles most components are waiting on DRAM — the
+ *    skip is where the wall-clock speedup comes from.
+ *
+ * Event-driven correctness contract (see DESIGN.md "Event-driven
+ * simulation kernel" for the full argument):
+ *
+ *  1. A component's tick(c) must behave identically whether or not the
+ *     scheduler delivered the no-op ticks a polling kernel would have
+ *     delivered in (lastTick, c). State-dependent work satisfies this
+ *     automatically; per-cycle accounting (occupancy sampling, stall
+ *     attribution) must be replayed in bulk via catchUp().
+ *  2. nextEventCycle(c), called right after tick(c), must be conservative:
+ *     returning X promises nothing externally visible (stat updates
+ *     included) can happen strictly before X without an external wake.
+ *  3. Producers wake consumers *before* mutating shared state, at the
+ *     cycle the mutation happens (`wake(cycle)`): the scheduler resolves
+ *     same-cycle visibility by registration order — a consumer that ticks
+ *     later in the cycle than the in-progress producer sees the update
+ *     this cycle, an earlier-ordered consumer next cycle — exactly the
+ *     visibility the polling kernel's in-order full scan provides. The
+ *     wake settles the consumer's bulk accounting (catchUp) against the
+ *     still-unmutated state, so skipped-cycle stats match polling's
+ *     per-cycle observations bit for bit.
  */
 
 #ifndef TTA_SIM_TICKED_HH
@@ -22,6 +57,14 @@
 namespace tta::sim {
 
 using Cycle = uint64_t;
+
+/**
+ * Sentinel for "no self-scheduled wakeup": the component does nothing
+ * until an external event (a wake() from a producer) arrives.
+ */
+inline constexpr Cycle kAsleep = ~Cycle{0};
+
+class Simulator;
 
 /** Interface for anything that does work each core-clock cycle. */
 class TickedComponent
@@ -42,11 +85,67 @@ class TickedComponent
      */
     virtual bool busy() const = 0;
 
+    /**
+     * Earliest future cycle at which this component can possibly do
+     * externally-visible work without an external wake; kAsleep for
+     * "wake me only on an event". Called by the event-driven kernel
+     * immediately after tick(cycle); results <= cycle are treated as
+     * cycle + 1 (retry next cycle). The default — tick again next
+     * cycle, forever — makes legacy components polling-faithful under
+     * either kernel.
+     */
+    virtual Cycle nextEventCycle(Cycle cycle) const { return cycle + 1; }
+
+    /**
+     * Replay per-cycle accounting (occupancy samples, stall attribution)
+     * for the quiescent cycles [lastTick + 1, now) that the event-driven
+     * kernel skipped. Must be idempotent for a given `now` and must be
+     * based on current (pre-wake-mutation) state. Components whose tick
+     * does no unconditional per-cycle accounting keep the no-op default.
+     */
+    virtual void catchUp(Cycle now) { (void)now; }
+
+    /**
+     * Ask the owning simulator to tick this component at `at` (resolved
+     * against same-cycle ordering; see Simulator::wake). No-op when the
+     * component is not registered or the kernel is polling.
+     */
+    void wake(Cycle at);
+    /** wake() at the simulator's current cycle. */
+    void wakeNow();
+
     const std::string &name() const { return name_; }
 
   private:
+    friend class Simulator;
+
     std::string name_;
+    Simulator *sched_ = nullptr; //!< set by Simulator::add()
+    uint32_t schedIndex_ = 0;    //!< registration order == tick order
 };
+
+/**
+ * Process-wide scheduler telemetry, aggregated across every Simulator
+ * that finishes a run (finishAccounting). Golden-stat snapshots pin the
+ * exact StatRegistry contents, so scheduler effectiveness is reported
+ * out-of-band here instead of as registry stats; bench_speed and the CI
+ * perf-smoke job read it through the workload API without needing the
+ * Gpu object. Counters are atomic: `--jobs N` sweeps aggregate across
+ * worker threads.
+ */
+struct SchedulerTelemetry
+{
+    /** Cycles actually processed (every component scan counts one). */
+    static uint64_t cyclesTicked();
+    /** Cycles skipped by the event-driven kernel (0 under polling). */
+    static uint64_t cyclesSkipped();
+    /** skipped / (ticked + skipped), 0 when nothing ran. */
+    static double skippedFraction();
+    static void reset();
+};
+
+class TraceStream;
+class Tracer;
 
 /**
  * The top-level run loop.
@@ -58,30 +157,74 @@ class TickedComponent
 class Simulator
 {
   public:
-    explicit Simulator(StatRegistry &stats) : stats_(&stats) {}
+    enum class Kernel
+    {
+        EventDriven, //!< sleep/wake scheduling, idle-cycle skipping
+        Polling,     //!< tick everything every cycle (reference kernel)
+    };
+
+    explicit Simulator(StatRegistry &stats);
 
     /** Register a component; tick order is registration order. */
-    void add(TickedComponent *comp) { components_.push_back(comp); }
-
-    /** Advance exactly one cycle. */
-    void
-    step()
-    {
-        for (auto *comp : components_)
-            comp->tick(cycle_);
-        ++cycle_;
-    }
+    void add(TickedComponent *comp);
 
     /**
-     * Run until all components are quiescent or the max_cycles watchdog
-     * expires. Expiry means the model deadlocked (some component will
-     * stay busy() forever); rather than hang, panic() with the list of
-     * still-busy components so the culprit is named in the abort
-     * message. Config::watchdogCycles is the conventional source of the
-     * limit for full-machine runs.
+     * Kernel used when a Simulator does not choose explicitly:
+     * EventDriven, unless TTA_SIM_KERNEL=polling is set in the
+     * environment or a test/bench overrides it programmatically.
+     * (An env var rather than a Config field keeps configDigest — and
+     * with it golden stats and run JSON — identical across kernels.)
+     */
+    static Kernel defaultKernel();
+    static void setDefaultKernel(Kernel kernel);
+    /** Back to the environment-derived default. */
+    static void resetDefaultKernel();
+
+    void setKernel(Kernel kernel) { kernel_ = kernel; }
+    Kernel kernel() const { return kernel_; }
+
+    /**
+     * Watchdog limit used by runToQuiescence() when the caller passes 0;
+     * defaults to Config::watchdogCycles so every entry point shares one
+     * source of truth. Machine models forward their config's value here.
+     */
+    void setWatchdog(Cycle cycles) { watchdog_ = cycles; }
+    Cycle watchdog() const { return watchdog_; }
+
+    /**
+     * Process the current cycle: tick every due component (every
+     * component, under polling) in registration order, then advance the
+     * clock by one.
+     */
+    void step();
+
+    /**
+     * Advance to and process the next cycle with scheduled work, without
+     * moving the clock past `horizon` (so the watchdog still observes
+     * deadlocks at the cycle it would under polling).
+     * @retval false if nothing is scheduled (event-driven) / nothing is
+     *         busy (polling) — the caller's run loop is done.
+     */
+    bool advance(Cycle horizon);
+
+    /**
+     * Run until all components are quiescent or the watchdog expires
+     * (max_cycles = 0 means "use setWatchdog()'s limit", which defaults
+     * to Config::watchdogCycles). Expiry means the model deadlocked
+     * (some component will stay busy() forever); rather than hang,
+     * panic() with the list of still-busy components so the culprit is
+     * named in the abort message.
      * @return the number of cycles executed by this call.
      */
-    Cycle runToQuiescence(Cycle max_cycles = 2'000'000'000ull);
+    Cycle runToQuiescence(Cycle max_cycles = 0);
+
+    /**
+     * Settle all bulk accounting at the current cycle and flush
+     * scheduler telemetry. Run loops call this once after the last
+     * cycle; without it, stats for a trailing skipped stretch would be
+     * missing.
+     */
+    void finishAccounting();
 
     /** Comma-separated names of every component with in-flight work. */
     std::string busyComponentNames() const;
@@ -100,10 +243,69 @@ class Simulator
         return false;
     }
 
+    /**
+     * Schedule comp to tick at cycle `at` (clamped to the present). A
+     * same-cycle wake of a component that already ticked this cycle —
+     * by registration order, relative to the component being ticked
+     * right now — lands on the next cycle instead, preserving polling's
+     * producer-before-consumer visibility. Settles the target's bulk
+     * accounting (catchUp) before the caller mutates shared state.
+     * No-op under the polling kernel (everything ticks anyway).
+     */
+    void wake(TickedComponent *comp, Cycle at);
+
+    /** Components currently scheduled for a future tick. */
+    uint32_t awakeComponents() const { return awake_; }
+    /** Cycles processed by this simulator (both kernels). */
+    uint64_t cyclesTicked() const { return cyclesTicked_; }
+    /** Cycles the event-driven kernel skipped without processing. */
+    uint64_t cyclesSkipped() const { return cyclesSkipped_; }
+    /** skipped / (ticked + skipped) for this simulator. */
+    double
+    skippedFraction() const
+    {
+        uint64_t total = cyclesTicked_ + cyclesSkipped_;
+        return total ? static_cast<double>(cyclesSkipped_) / total : 0.0;
+    }
+
   private:
+    void scheduleAt(uint32_t index, Cycle at);
+    /** Earliest due cycle across all components; kAsleep if nothing is
+     *  scheduled. A linear scan: the component count is tiny (cores +
+     *  memory system + accelerators), so scanning nextDue_ beats any
+     *  priority queue and never holds stale entries. */
+    Cycle nextDueCycle() const;
+    /** Emit the per-component awake/asleep trace counter on change. */
+    void syncSchedTrace(uint32_t index);
+    void flushTelemetry();
+
     StatRegistry *stats_;
     std::vector<TickedComponent *> components_;
     Cycle cycle_ = 0;
+    Kernel kernel_;
+    Cycle watchdog_;
+
+    // Event-driven state. Every wake / self-schedule is a firm tick
+    // request in pending_ (sorted, unique, usually 1-2 entries); a tick
+    // at cycle c consumes exactly the request at c, so no wake can be
+    // lost to an earlier tick that returns kAsleep. nextDue_ caches
+    // pending_[i].front() (kAsleep when empty) for the per-cycle scan
+    // and for nextDueCycle()'s min reduction.
+    std::vector<Cycle> nextDue_;
+    std::vector<std::vector<Cycle>> pending_;
+    uint32_t awake_ = 0;   //!< components with nextDue_ != kAsleep
+    bool inCycle_ = false; //!< inside step()'s component scan
+    size_t scanPos_ = 0;   //!< index of the component being ticked
+
+    uint64_t cyclesTicked_ = 0;
+    uint64_t cyclesSkipped_ = 0;
+    uint64_t flushedTicked_ = 0;
+    uint64_t flushedSkipped_ = 0;
+
+    // Perfetto-visible sleep/wake occupancy (TraceSched category).
+    Tracer *tracer_ = nullptr;
+    std::vector<TraceStream *> schedTrace_;
+    std::vector<uint8_t> traceAwake_;
 };
 
 } // namespace tta::sim

@@ -68,6 +68,8 @@ traceCategoryName(TraceCategory cat)
         return "mem";
       case TraceOp:
         return "op";
+      case TraceSched:
+        return "sched";
       default:
         return "?";
     }
@@ -243,9 +245,11 @@ Tracer::parseMask(const std::string &spec)
             mask |= TraceMem;
         } else if (tok == "op") {
             mask |= TraceOp;
+        } else if (tok == "sched") {
+            mask |= TraceSched;
         } else if (!tok.empty()) {
             fatal("unknown trace category '%s' (expected "
-                  "warp|rta|pipe|mem|op|all)", tok.c_str());
+                  "warp|rta|pipe|mem|op|sched|all)", tok.c_str());
         }
         pos = comma + 1;
     }
@@ -259,7 +263,7 @@ Tracer::maskToString(uint32_t mask)
     if (mask == TraceAllCategories)
         return "all";
     std::string out;
-    for (uint32_t bit = 1; bit <= TraceOp; bit <<= 1) {
+    for (uint32_t bit = 1; bit <= TraceSched; bit <<= 1) {
         if (!(mask & bit))
             continue;
         if (!out.empty())

@@ -55,7 +55,8 @@ enum TraceCategory : uint32_t
     TracePipe = 1u << 2, //!< intersection-pipeline occupancy counters
     TraceMem = 1u << 3,  //!< cache access / MSHR stall / fill, DRAM bus
     TraceOp = 1u << 4,   //!< TTA+ OP-unit reservation spans
-    TraceAllCategories = (1u << 5) - 1,
+    TraceSched = 1u << 5, //!< scheduler sleep/wake occupancy counters
+    TraceAllCategories = (1u << 6) - 1,
 };
 
 /**

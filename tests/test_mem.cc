@@ -239,8 +239,8 @@ TEST(MemSystem, PerfectNodeFetchOnlyAffectsRtaTraffic)
     rta.smId = 0;
     rta.source = RequestSource::RtaNode;
     memsys.sendRequest(rta);
-    EXPECT_EQ(memsys.responses(0).size(), 1u); // instant
-    memsys.responses(0).clear();
+    EXPECT_EQ(memsys.rtaResponses(0).size(), 1u); // instant
+    memsys.rtaResponses(0).clear();
 
     sim::Cycle clock = 0;
     sim::Cycle core = timeRead(memsys, 0, 0xA000, clock);
