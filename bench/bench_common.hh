@@ -11,6 +11,10 @@
  * plus runner controls:
  *
  *   --jobs=N        worker threads (default: hardware concurrency)
+ *   --sim-threads=N simulation threads per run under the threaded
+ *                   kernel (TTA_SIM_KERNEL=threaded); 0 = auto. The
+ *                   runner clamps --jobs so jobs x sim-threads never
+ *                   oversubscribes the host (see EXPERIMENTS.md).
  *   --json=FILE     append one JSON record per run ("-" = stdout)
  *   --json-timing=0 omit wall_ms from the records, making them
  *                   byte-identical across --jobs settings
@@ -47,6 +51,7 @@
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/runner.hh"
+#include "sim/ticked.hh"
 #include "sim/trace.hh"
 #include "workloads/btree_workload.hh"
 #include "workloads/nbody_workload.hh"
@@ -67,6 +72,7 @@ struct Args
     uint32_t res = 48;
     uint64_t seed = 7;
     uint64_t jobs = 0;       //!< runner threads; 0 = hardware concurrency
+    uint64_t simThreads = 0; //!< threaded-kernel threads per run; 0 = auto
     uint64_t jsonTiming = 1; //!< include wall_ms in JSON records
     std::string json;        //!< JSON record sink; empty = off, "-" = stdout
     std::string trace;       //!< Chrome-trace sink; empty = tracing off
@@ -127,6 +133,7 @@ struct Args
                       grab("points", args.points) ||
                       grab("res", args.res) || grab("seed", args.seed) ||
                       grab("jobs", args.jobs) ||
+                      grab("sim-threads", args.simThreads) ||
                       grab("json-timing", args.jsonTiming) ||
                       grabStr("json", args.json);
             if (!ok && grabStr("trace", trace_spec)) {
@@ -136,6 +143,12 @@ struct Args
             if (!ok)
                 std::fprintf(stderr, "ignoring unknown flag %s\n",
                              argv[i]);
+        }
+        // One place covers all 16 benches: the threaded kernel reads
+        // the process default when each run's Simulator is built.
+        if (args.simThreads != 0) {
+            sim::Simulator::setDefaultSimThreads(
+                static_cast<unsigned>(args.simThreads));
         }
         return args;
     }

@@ -1,26 +1,34 @@
 /**
  * @file
- * Simulator-speed harness for the event-driven kernel (BENCH_*.json).
+ * Simulator-speed harness across kernels (BENCH_*.json).
  *
- * Runs a representative workload mix twice — once under the polling
- * reference kernel, once under the event-driven kernel — on one thread,
- * timing each run and reading the scheduler telemetry (processed vs
- * skipped cycles). The two kernels must agree on every simulated cycle
- * count (the bench aborts otherwise: this doubles as a cross-kernel
- * equivalence check), so the wall-clock ratio is a pure simulator-speed
- * measurement, not a model change.
+ * Runs a representative workload mix under the polling reference
+ * kernel, the event-driven kernel, and the threaded kernel at each
+ * requested thread count, timing each run and reading the scheduler
+ * telemetry (processed vs skipped cycles). Every kernel and thread
+ * count must agree on every simulated cycle count (the bench aborts
+ * otherwise: this doubles as a cross-kernel equivalence check), so the
+ * wall-clock ratios are pure simulator-speed measurements, not model
+ * changes.
  *
  *   --keys/--queries/--bodies/--points/--seed   workload sizes
  *   --bench=SUBSTR              only run benches whose name contains
  *                               SUBSTR (e.g. --bench=rtnn/tta)
+ *   --sim-threads=LIST          comma-separated thread counts for the
+ *                               threaded kernel (default "0" = auto);
+ *                               e.g. --sim-threads=1,2,4,8
  *   --json=FILE                 write the report as JSON ("-" = stdout)
  *   --check-skip-fraction=PCT   exit 1 unless the event kernel skipped
  *                               at least PCT% of cycles (CI perf smoke)
+ *   --check-threaded-speedup=X  exit 1 unless the best threaded
+ *                               configuration reaches X times the event
+ *                               kernel's wall clock (CI perf smoke)
  *
- * scripts/record_bench.sh wraps this binary (plus a fig12 sweep timing)
- * into the committed BENCH_4.json.
+ * scripts/record_bench.sh wraps this binary into the committed
+ * BENCH_4.json / BENCH_5.json.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -52,8 +60,32 @@ struct SpeedArgs
     uint64_t seed = 7;
     std::string json;
     std::string benchFilter; // substring match; empty = all
-    double checkSkipFraction = -1.0; // percent; <0 = no check
+    std::vector<unsigned> simThreads = {0}; // threaded-kernel sweep
+    double checkSkipFraction = -1.0;    // percent; <0 = no check
+    double checkThreadedSpeedup = -1.0; // ratio; <0 = no check
 };
+
+std::vector<unsigned>
+parseThreadList(const char *spec)
+{
+    std::vector<unsigned> out;
+    const char *p = spec;
+    while (*p) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p) {
+            std::fprintf(stderr, "bad --sim-threads list '%s'\n", spec);
+            std::exit(2);
+        }
+        out.push_back(static_cast<unsigned>(v));
+        p = *end == ',' ? end + 1 : end;
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "empty --sim-threads list\n");
+        std::exit(2);
+    }
+    return out;
+}
 
 SpeedArgs
 parseArgs(int argc, char **argv)
@@ -80,9 +112,19 @@ parseArgs(int argc, char **argv)
             args.benchFilter = argv[i] + 8;
             ok = true;
         }
+        if (!ok && std::strncmp(argv[i], "--sim-threads=", 14) == 0) {
+            args.simThreads = parseThreadList(argv[i] + 14);
+            ok = true;
+        }
         if (!ok &&
             std::strncmp(argv[i], "--check-skip-fraction=", 22) == 0) {
             args.checkSkipFraction = std::strtod(argv[i] + 22, nullptr);
+            ok = true;
+        }
+        if (!ok &&
+            std::strncmp(argv[i], "--check-threaded-speedup=", 25) == 0) {
+            args.checkThreadedSpeedup =
+                std::strtod(argv[i] + 25, nullptr);
             ok = true;
         }
         if (!ok) {
@@ -104,6 +146,7 @@ struct RunResult
 {
     std::string bench;
     const char *kernel;
+    unsigned simThreads = 0; //!< threaded kernel only; 0 elsewhere
     uint64_t cycles = 0;
     double wallSeconds = 0.0;
     double cyclesPerSec = 0.0;
@@ -111,9 +154,12 @@ struct RunResult
 };
 
 RunResult
-timeOne(const Bench &bench, sim::Simulator::Kernel kernel)
+timeOne(const Bench &bench, sim::Simulator::Kernel kernel,
+        unsigned sim_threads = 0)
 {
     sim::Simulator::setDefaultKernel(kernel);
+    if (kernel == sim::Simulator::Kernel::Threaded)
+        sim::Simulator::setDefaultSimThreads(sim_threads);
     sim::SchedulerTelemetry::reset();
     sim::Config cfg;
     cfg.accelMode = bench.mode;
@@ -122,11 +168,23 @@ timeOne(const Bench &bench, sim::Simulator::Kernel kernel)
     RunMetrics m = bench.fn(cfg, stats);
     auto stop = std::chrono::steady_clock::now();
     sim::Simulator::resetDefaultKernel();
+    sim::Simulator::resetDefaultSimThreads();
 
     RunResult r;
     r.bench = bench.name;
-    r.kernel =
-        kernel == sim::Simulator::Kernel::Polling ? "polling" : "event";
+    switch (kernel) {
+      case sim::Simulator::Kernel::Polling:
+        r.kernel = "polling";
+        break;
+      case sim::Simulator::Kernel::EventDriven:
+        r.kernel = "event";
+        break;
+      case sim::Simulator::Kernel::Threaded:
+        r.kernel = "threaded";
+        break;
+    }
+    r.simThreads =
+        kernel == sim::Simulator::Kernel::Threaded ? sim_threads : 0;
     r.cycles = m.cycles;
     r.wallSeconds = std::chrono::duration<double>(stop - start).count();
     uint64_t processed = sim::SchedulerTelemetry::cyclesTicked();
@@ -140,27 +198,29 @@ timeOne(const Bench &bench, sim::Simulator::Kernel kernel)
 
 void
 writeJson(std::ostream &os, const std::vector<RunResult> &runs,
-          double speedup, double event_skipped)
+          double speedup, double threaded_speedup, double event_skipped)
 {
     os << "{\n  \"bench\": \"bench_speed\",\n  \"runs\": [\n";
     for (size_t i = 0; i < runs.size(); ++i) {
         const RunResult &r = runs[i];
-        char buf[256];
+        char buf[320];
         std::snprintf(buf, sizeof(buf),
                       "    {\"bench\": \"%s\", \"kernel\": \"%s\", "
+                      "\"sim_threads\": %u, "
                       "\"cycles\": %llu, \"wall_s\": %.4f, "
                       "\"cycles_per_sec\": %.0f, "
                       "\"skipped_cycle_fraction\": %.4f}",
-                      r.bench.c_str(), r.kernel,
+                      r.bench.c_str(), r.kernel, r.simThreads,
                       static_cast<unsigned long long>(r.cycles),
                       r.wallSeconds, r.cyclesPerSec, r.skippedFraction);
         os << buf << (i + 1 < runs.size() ? ",\n" : "\n");
     }
-    char buf[160];
+    char buf[240];
     std::snprintf(buf, sizeof(buf),
                   "  ],\n  \"summary\": {\"wall_clock_speedup\": %.2f, "
+                  "\"threaded_vs_event_speedup\": %.2f, "
                   "\"event_skipped_cycle_fraction\": %.4f}\n}\n",
-                  speedup, event_skipped);
+                  speedup, threaded_speedup, event_skipped);
     os << buf;
 }
 
@@ -215,10 +275,39 @@ main(int argc, char **argv)
 
     std::vector<RunResult> runs;
     double wall_polling = 0.0, wall_event = 0.0;
+    // Per-thread-count threaded wall clock, indexed like simThreads.
+    std::vector<double> wall_threaded(args.simThreads.size(), 0.0);
     uint64_t skipped_total = 0, cycle_total = 0;
     bool mismatch = false;
-    std::printf("%-16s %8s %12s %10s %14s %9s\n", "bench", "kernel",
+    std::printf("%-16s %10s %12s %10s %14s %9s\n", "bench", "kernel",
                 "cycles", "wall_s", "cycles/sec", "skipped");
+    auto report = [&](const RunResult &r) {
+        char kernel[32];
+        if (r.kernel == std::string("threaded")) {
+            std::snprintf(kernel, sizeof(kernel), "thr/%u", r.simThreads);
+        } else {
+            std::snprintf(kernel, sizeof(kernel), "%s", r.kernel);
+        }
+        std::printf("%-16s %10s %12llu %10.3f %14.0f %8.1f%%\n",
+                    r.bench.c_str(), kernel,
+                    static_cast<unsigned long long>(r.cycles),
+                    r.wallSeconds, r.cyclesPerSec,
+                    100.0 * r.skippedFraction);
+        runs.push_back(r);
+    };
+    auto checkCycles = [&](const RunResult &ref, const RunResult &r) {
+        if (ref.cycles == r.cycles)
+            return;
+        std::fprintf(stderr,
+                     "FAIL: %s simulated %llu cycles under %s but %llu "
+                     "under %s (sim_threads=%u)\n",
+                     r.bench.c_str(),
+                     static_cast<unsigned long long>(ref.cycles),
+                     ref.kernel,
+                     static_cast<unsigned long long>(r.cycles), r.kernel,
+                     r.simThreads);
+        mismatch = true;
+    };
     for (const Bench &bench : benches) {
         if (!args.benchFilter.empty() &&
             bench.name.find(args.benchFilter) == std::string::npos)
@@ -227,22 +316,16 @@ main(int argc, char **argv)
             timeOne(bench, sim::Simulator::Kernel::Polling);
         RunResult event =
             timeOne(bench, sim::Simulator::Kernel::EventDriven);
-        for (const RunResult &r : {polling, event}) {
-            std::printf("%-16s %8s %12llu %10.3f %14.0f %8.1f%%\n",
-                        r.bench.c_str(), r.kernel,
-                        static_cast<unsigned long long>(r.cycles),
-                        r.wallSeconds, r.cyclesPerSec,
-                        100.0 * r.skippedFraction);
-            runs.push_back(r);
-        }
-        if (polling.cycles != event.cycles) {
-            std::fprintf(stderr,
-                         "FAIL: %s simulated %llu cycles under polling "
-                         "but %llu under the event kernel\n",
-                         bench.name.c_str(),
-                         static_cast<unsigned long long>(polling.cycles),
-                         static_cast<unsigned long long>(event.cycles));
-            mismatch = true;
+        report(polling);
+        report(event);
+        checkCycles(polling, event);
+        for (size_t ti = 0; ti < args.simThreads.size(); ++ti) {
+            RunResult threaded = timeOne(
+                bench, sim::Simulator::Kernel::Threaded,
+                args.simThreads[ti]);
+            report(threaded);
+            checkCycles(event, threaded);
+            wall_threaded[ti] += threaded.wallSeconds;
         }
         wall_polling += polling.wallSeconds;
         wall_event += event.wallSeconds;
@@ -256,6 +339,15 @@ main(int argc, char **argv)
         return 1;
 
     double speedup = wall_event > 0.0 ? wall_polling / wall_event : 0.0;
+    double best_threaded = 0.0;
+    for (size_t ti = 0; ti < args.simThreads.size(); ++ti) {
+        double s = wall_threaded[ti] > 0.0
+                       ? wall_event / wall_threaded[ti]
+                       : 0.0;
+        std::printf("threaded speedup vs event (sim-threads=%u): %.2fx\n",
+                    args.simThreads[ti], s);
+        best_threaded = std::max(best_threaded, s);
+    }
     double event_skipped =
         cycle_total ? static_cast<double>(skipped_total) / cycle_total
                     : 0.0;
@@ -265,7 +357,8 @@ main(int argc, char **argv)
 
     if (!args.json.empty()) {
         if (args.json == "-") {
-            writeJson(std::cout, runs, speedup, event_skipped);
+            writeJson(std::cout, runs, speedup, best_threaded,
+                      event_skipped);
         } else {
             std::ofstream os(args.json);
             if (!os) {
@@ -273,7 +366,7 @@ main(int argc, char **argv)
                              args.json.c_str());
                 return 1;
             }
-            writeJson(os, runs, speedup, event_skipped);
+            writeJson(os, runs, speedup, best_threaded, event_skipped);
         }
     }
 
@@ -283,6 +376,14 @@ main(int argc, char **argv)
                      "FAIL: event kernel skipped only %.1f%% of cycles "
                      "(required >= %.1f%%)\n",
                      100.0 * event_skipped, args.checkSkipFraction);
+        return 1;
+    }
+    if (args.checkThreadedSpeedup >= 0.0 &&
+        best_threaded < args.checkThreadedSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: best threaded speedup vs event is %.2fx "
+                     "(required >= %.2fx)\n",
+                     best_threaded, args.checkThreadedSpeedup);
         return 1;
     }
     return 0;

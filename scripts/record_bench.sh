@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# Record simulator-speed benchmarks into BENCH_4.json.
+# Record simulator-speed benchmarks into BENCH_4.json and BENCH_5.json.
 #
-# Runs bench_speed (every workload under both kernels, verifying the
-# simulated cycle counts match) and times a serial bench_fig12_speedup
-# sweep under the polling and event kernels, then merges everything into
-# one JSON report next to the repo root.
+# BENCH_4: runs bench_speed (every workload under both serial kernels,
+# verifying the simulated cycle counts match) and times a serial
+# bench_fig12_speedup sweep under the polling and event kernels.
 #
-# Usage: scripts/record_bench.sh [build-dir] [out-file]
+# BENCH_5: sweeps the threaded kernel across thread counts
+# (BENCH5_SIM_THREADS, default 1,2,4,8) on the four largest bench_speed
+# configs plus one deliberately small config (where the barrier overhead
+# is at its worst relative to the work), recording threaded-vs-event
+# wall-clock ratios per thread count. The recording host's core count is
+# stored alongside the numbers: ratios measured with fewer host cores
+# than simulation threads measure scheduling overhead, not speedup, and
+# the report says so.
+#
+# Usage: scripts/record_bench.sh [build-dir] [bench4-out] [bench5-out]
 #
 # The pre-refactor fig12 baseline (the polling kernel before the
 # event-driven scheduler and its profiling-driven fixes landed, commit
@@ -18,10 +26,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 OUT=${2:-BENCH_4.json}
+OUT5=${3:-BENCH_5.json}
 PRE=${PRE_REFACTOR_POLLING_WALL_S:-110.9}
+THREADS=${BENCH5_SIM_THREADS:-1,2,4,8}
 
 SPEED_JSON=$(mktemp)
-trap 'rm -f "$SPEED_JSON"' EXIT
+BENCH5_DIR=$(mktemp -d)
+trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR"' EXIT
 
 echo "== bench_speed (polling vs event per workload) =="
 "$BUILD"/bench/bench_speed --json="$SPEED_JSON"
@@ -69,4 +80,113 @@ report = {
 json.dump(report, open(out, "w"), indent=2)
 print(f"wrote {out}: fig12 {pre:.1f}s -> {event:.1f}s "
       f"({pre / event:.2f}x vs pre-refactor baseline)")
+EOF
+
+# ---------------------------------------------------------------------
+# BENCH_5: threaded kernel vs event kernel across thread counts.
+# ---------------------------------------------------------------------
+
+HOST_CORES=$(nproc)
+
+# The four largest bench_speed configs at their default sizes; every run
+# re-verifies cycle equality across kernels and thread counts.
+LARGE_CONFIGS="btree/base btree/tta nbody3d/fused rtnn/tta"
+i=0
+for cfg in $LARGE_CONFIGS; do
+    echo "== bench_speed, $cfg, threaded sweep (sim-threads=$THREADS) =="
+    "$BUILD"/bench/bench_speed --bench="$cfg" --sim-threads="$THREADS" \
+        --json="$BENCH5_DIR/large_$i.json"
+    i=$((i + 1))
+done
+
+# The smallest config: few queries, short run — the cycle barrier has the
+# least work to amortize against, so this is where a regression vs the
+# event kernel would show first.
+echo "== bench_speed, smallest config, threaded sweep =="
+"$BUILD"/bench/bench_speed --bench=btree/tta --keys=2000 --queries=256 \
+    --sim-threads="$THREADS" --json="$BENCH5_DIR/small.json"
+
+python3 - "$BENCH5_DIR" "$OUT5" "$HOST_CORES" "$THREADS" <<'EOF'
+import glob
+import json
+import os
+import sys
+
+bench_dir, out, host_cores, threads = sys.argv[1:5]
+host_cores = int(host_cores)
+thread_list = [int(t) for t in threads.split(",")]
+
+def ratios(path):
+    """Per-config event wall and threaded wall per thread count."""
+    doc = json.load(open(path))
+    runs = doc["runs"]
+    by_bench = {}
+    for r in runs:
+        entry = by_bench.setdefault(r["bench"], {"threaded": {}})
+        if r["kernel"] == "event":
+            entry["event_wall_s"] = r["wall_s"]
+        elif r["kernel"] == "threaded":
+            entry["threaded"][r["sim_threads"]] = r["wall_s"]
+    for entry in by_bench.values():
+        ev = entry["event_wall_s"]
+        entry["threaded_vs_event_speedup"] = {
+            str(t): round(ev / w, 3) if w > 0 else 0.0
+            for t, w in sorted(entry["threaded"].items())
+        }
+        entry["threaded_wall_s"] = {
+            str(t): w for t, w in sorted(entry["threaded"].items())
+        }
+        del entry["threaded"]
+    return by_bench
+
+large = {}
+for path in sorted(glob.glob(os.path.join(bench_dir, "large_*.json"))):
+    large.update(ratios(path))
+small = ratios(os.path.join(bench_dir, "small.json"))
+
+best = max(
+    s
+    for entry in large.values()
+    for s in entry["threaded_vs_event_speedup"].values()
+)
+worst_small = min(
+    s
+    for entry in small.values()
+    for s in entry["threaded_vs_event_speedup"].values()
+)
+
+notes = [
+    "threaded_vs_event_speedup > 1 means the threaded kernel finished "
+    "faster than the event kernel at that thread count; every run "
+    "cross-checks simulated cycles against the serial kernels "
+    "(bench_speed aborts on divergence)."
+]
+if host_cores < max(thread_list):
+    notes.append(
+        f"recorded on a {host_cores}-core host: thread counts above "
+        f"{host_cores} time-share cores, so these ratios measure "
+        "barrier/scheduling overhead, not parallel speedup; re-run "
+        "this script on a multi-core host for the real numbers (the CI "
+        "perf-smoke job gates threaded >= event on 4-vCPU runners)."
+    )
+
+report = {
+    "bench": "BENCH_5",
+    "description": "simulator wall-clock: threaded kernel vs "
+                   "event-driven kernel per thread count (identical "
+                   "simulated cycles)",
+    "host_cores": host_cores,
+    "sim_threads": thread_list,
+    "largest_configs": large,
+    "smallest_config": small,
+    "summary": {
+        "best_threaded_vs_event_speedup": round(best, 3),
+        "smallest_config_worst_ratio": round(worst_small, 3),
+    },
+    "notes": notes,
+}
+json.dump(report, open(out, "w"), indent=2)
+print(f"wrote {out}: best threaded-vs-event {best:.2f}x on "
+      f"{host_cores} host cores; smallest-config worst ratio "
+      f"{worst_small:.2f}x")
 EOF

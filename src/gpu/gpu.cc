@@ -12,14 +12,27 @@ Gpu::Gpu(const sim::Config &cfg, sim::StatRegistry &stats)
 {
     gmem_ = std::make_unique<mem::GlobalMemory>();
     memsys_ = std::make_unique<mem::MemSystem>(cfg_, stats);
+    // Threaded kernel: per-SM components get shadow stat registries so
+    // concurrent shards never touch the same stat objects; shardStats()
+    // hands the shadows to the cores here and to the accelerators via
+    // TtaDevice. The memory system (shared shard) keeps the main
+    // registry.
+    if (sim_.kernel() == sim::Simulator::Kernel::Threaded) {
+        for (uint32_t sm = 0; sm < cfg_.numSms; ++sm) {
+            shardStats_.push_back(std::make_unique<sim::StatRegistry>());
+            shardStats_.back()->setTracer(stats.tracer());
+        }
+    }
     for (uint32_t sm = 0; sm < cfg_.numSms; ++sm) {
-        cores_.push_back(std::make_unique<SimtCore>(cfg_, sm, *memsys_,
-                                                    *gmem_, stats));
+        cores_.push_back(std::make_unique<SimtCore>(
+            cfg_, sm, *memsys_, *gmem_, shardStats(sm)));
     }
     // Tick order: cores issue, then extra components (accelerators are
-    // appended by the caller), then the memory system retires.
-    for (auto &core : cores_)
-        sim_.add(core.get());
+    // appended by the caller), then the memory system retires. Each
+    // core is its SM's shard; the memory system runs serially between
+    // the core and accelerator segments under the threaded kernel.
+    for (uint32_t sm = 0; sm < cfg_.numSms; ++sm)
+        sim_.add(cores_[sm].get(), static_cast<int>(sm));
     sim_.add(memsys_.get());
     // Producer→consumer wake edges for the event-driven kernel: memory
     // responses wake the requesting core (accelerators register their
@@ -142,7 +155,23 @@ Gpu::runKernels(std::vector<Launch> launches)
                  sim_.busyComponentNames().c_str());
     }
     sim_.finishAccounting();
+    absorbShardStats();
     return sim_.cycle() - start;
+}
+
+void
+Gpu::absorbShardStats()
+{
+    // SM-id order matches both the shards' caller registration order
+    // and what a serial kernel would have accumulated into the single
+    // registry; all absorbed stats are counters and integer-valued
+    // histograms, so the fold is exact. Shadows reset after absorbing:
+    // a later run (kernel fusion launches several) absorbs only its own
+    // deltas.
+    for (auto &reg : shardStats_) {
+        stats_->absorb(*reg);
+        reg->reset();
+    }
 }
 
 } // namespace tta::gpu

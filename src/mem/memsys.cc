@@ -10,6 +10,8 @@ MemSystem::MemSystem(const sim::Config &cfg, sim::StatRegistry &stats)
     : sim::TickedComponent("memsys"), cfg_(cfg)
 {
     l1In_.resize(cfg_.numSms);
+    staged_.resize(cfg_.numSms);
+    stagedCount_.assign(cfg_.numSms, 0);
     responses_.resize(cfg_.numSms);
     rtaResponses_.resize(cfg_.numSms);
     l1Pending_.resize(cfg_.numSms);
@@ -58,13 +60,54 @@ MemSystem::MemSystem(const sim::Config &cfg, sim::StatRegistry &stats)
 bool
 MemSystem::canAccept(uint32_t sm_id) const
 {
-    return l1In_[sm_id].size() < kL1QueueDepth;
+    return l1In_[sm_id].size() + stagedCount_[sm_id] < kL1QueueDepth;
 }
 
 void
 MemSystem::sendRequest(const MemRequest &req)
 {
     panic_if(req.smId >= cfg_.numSms, "bad SM id %u", req.smId);
+    // A call from a per-SM shard (threaded kernel, parallel segment in
+    // progress) may not touch shared counters or queues: stage it in
+    // the caller's slot and replay the whole call at the barrier. The
+    // slot is shard-private, so staging needs no locks.
+    int shard = sim::Simulator::currentShard();
+    if (shard >= 0) {
+        panic_if(static_cast<uint32_t>(shard) != req.smId,
+                 "request for SM %u sent from shard %d", req.smId, shard);
+        staged_[shard].push_back({sim::Simulator::currentIndex(), req});
+        bool perfect = cfg_.perfectMemory ||
+            (cfg_.perfectNodeFetch &&
+             req.source == RequestSource::RtaNode);
+        if (!perfect)
+            ++stagedCount_[req.smId];
+        return;
+    }
+    sendRequestNow(req);
+}
+
+void
+MemSystem::drainStaged(sim::Cycle now)
+{
+    (void)now;
+    for (uint32_t sm = 0; sm < cfg_.numSms; ++sm) {
+        if (staged_[sm].empty())
+            continue;
+        for (const StagedRequest &entry : staged_[sm]) {
+            // Replay with the original caller's tick context so wake
+            // ordering (self-wake, perfect-path response wakes) resolves
+            // exactly as the serial kernels would have resolved it.
+            sim::Simulator::ReplayGuard guard(entry.callerIdx);
+            sendRequestNow(entry.req);
+        }
+        staged_[sm].clear();
+        stagedCount_[sm] = 0;
+    }
+}
+
+void
+MemSystem::sendRequestNow(const MemRequest &req)
+{
     if (req.isWrite)
         ++*writes_;
     else

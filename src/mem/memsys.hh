@@ -40,7 +40,13 @@ class MemSystem : public sim::TickedComponent
     /** True when SM sm_id may sendRequest() this cycle. */
     bool canAccept(uint32_t sm_id) const;
 
-    /** Issue a line transaction from an SM (core or RTA). */
+    /**
+     * Issue a line transaction from an SM (core or RTA). Under the
+     * threaded kernel, calls made from a per-SM shard are staged and
+     * replayed at the segment barrier in SM-id order (the shards'
+     * caller registration order); canAccept() already counts staged
+     * entries, so admission control is unchanged.
+     */
     void sendRequest(const MemRequest &req);
 
     /**
@@ -64,6 +70,7 @@ class MemSystem : public sim::TickedComponent
     bool busy() const override;
     sim::Cycle nextEventCycle(sim::Cycle cycle) const override;
     void catchUp(sim::Cycle now) override;
+    void drainStaged(sim::Cycle now) override;
 
     /**
      * Register the component to wake when a response is pushed for
@@ -112,6 +119,10 @@ class MemSystem : public sim::TickedComponent
     using FillQueue = std::priority_queue<TimedFill, std::vector<TimedFill>,
                                           std::greater<TimedFill>>;
 
+    /** sendRequest()'s body: all side effects of accepting a request.
+     *  Runs directly under the serial kernels, at the barrier replay
+     *  under the threaded kernel. */
+    void sendRequestNow(const MemRequest &req);
     void tickL1(sim::Cycle cycle, uint32_t sm);
     void tickL2(sim::Cycle cycle);
     void tickDram(sim::Cycle cycle);
@@ -126,6 +137,19 @@ class MemSystem : public sim::TickedComponent
     // Per-SM front end.
     std::vector<std::unique_ptr<Cache>> l1_;
     std::vector<std::deque<Timed>> l1In_;
+    /** Threaded kernel: requests staged by per-SM shards during a
+     *  parallel segment, FIFO per shard (== per caller, since each SM
+     *  has at most one producer per segment). Replayed by
+     *  drainStaged() in SM-id order. */
+    struct StagedRequest
+    {
+        uint32_t callerIdx; //!< caller's scheduler registration index
+        MemRequest req;
+    };
+    std::vector<std::vector<StagedRequest>> staged_;
+    /** Staged entries bound for l1In_[sm] (non-perfect requests), so
+     *  canAccept() sees the queue depth the replay will produce. */
+    std::vector<uint32_t> stagedCount_;
     std::vector<std::deque<MemResponse>> responses_;
     std::vector<std::deque<MemResponse>> rtaResponses_;
     /** L1 MSHR payload: line -> requests waiting on the fill. */

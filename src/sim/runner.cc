@@ -1,11 +1,14 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <thread>
 #include <type_traits>
+
+#include "sim/ticked.hh"
 
 namespace tta::sim {
 
@@ -171,6 +174,17 @@ ExperimentRunner::ExperimentRunner(unsigned threads) : threads_(threads)
     }
 }
 
+unsigned
+ExperimentRunner::budgetWorkers(unsigned requested, unsigned sim_threads,
+                                unsigned hardware)
+{
+    if (hardware == 0)
+        hardware = 1;
+    if (sim_threads == 0)
+        sim_threads = hardware; // the threaded kernel's "auto"
+    return std::max(1u, std::min(requested, hardware / sim_threads));
+}
+
 std::vector<RunRecord>
 ExperimentRunner::run(const std::vector<Job> &jobs) const
 {
@@ -209,6 +223,21 @@ ExperimentRunner::run(const std::vector<Job> &jobs) const
 
     unsigned n = static_cast<unsigned>(
         std::min<size_t>(threads_, jobs.size() ? jobs.size() : 1));
+    // Each job under the threaded simulation kernel spins up its own
+    // worker pool: cap jobs-in-flight so jobs × sim-threads stays within
+    // the host's hardware concurrency instead of thrashing it.
+    if (Simulator::defaultKernel() == Simulator::Kernel::Threaded) {
+        unsigned hw = std::thread::hardware_concurrency();
+        unsigned budgeted =
+            budgetWorkers(n, Simulator::defaultSimThreads(), hw);
+        if (budgeted < n) {
+            std::fprintf(stderr,
+                         "runner: clamping --jobs from %u to %u so jobs "
+                         "x sim-threads fits %u host threads\n",
+                         n, budgeted, hw ? hw : 1);
+            n = budgeted;
+        }
+    }
     if (n <= 1) {
         worker();
         return records;

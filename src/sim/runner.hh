@@ -109,9 +109,23 @@ class ExperimentRunner
     unsigned threads() const { return threads_; }
 
     /**
+     * Host-thread budget: the worker count to actually use when each
+     * job internally runs `sim_threads` simulation threads (the
+     * threaded kernel), so requested × sim_threads never oversubscribes
+     * `hardware` host threads. Never returns 0; requested is honored
+     * whenever the product fits. Pure — exposed for testing.
+     */
+    static unsigned budgetWorkers(unsigned requested,
+                                  unsigned sim_threads,
+                                  unsigned hardware);
+
+    /**
      * Execute all jobs and return their records in submission order.
      * Jobs that throw report through RunRecord::error; the pool always
-     * drains the whole list.
+     * drains the whole list. When the default simulation kernel is
+     * threaded, the worker count is clamped (with a stderr warning) so
+     * jobs × per-job simulation threads stays within hardware
+     * concurrency; see EXPERIMENTS.md "--jobs × --sim-threads".
      */
     std::vector<RunRecord> run(const std::vector<Job> &jobs) const;
 

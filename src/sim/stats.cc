@@ -16,6 +16,20 @@ StatRegistry::reset()
 }
 
 void
+StatRegistry::absorb(const StatRegistry &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second.value();
+    for (const auto &kv : other.scalars_)
+        scalars_[kv.first] += kv.second.value();
+    for (const auto &kv : other.histograms_) {
+        histogram(kv.first, kv.second.bucketWidth(),
+                  kv.second.buckets().size())
+            .merge(kv.second);
+    }
+}
+
+void
 StatRegistry::dump(std::ostream &os) const
 {
     for (const auto &kv : counters_)

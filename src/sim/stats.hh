@@ -100,6 +100,29 @@ class Histogram
         buckets_[idx] += n;
     }
 
+    /**
+     * Fold another histogram (same bucket layout) into this one. Count,
+     * overflow, sum and buckets add; min/max combine. Exact for the
+     * integer-valued samples this repo records, so absorbing a shard's
+     * shadow histogram reproduces the serial sample stream bit for bit.
+     */
+    void
+    merge(const Histogram &o)
+    {
+        if (o.count_ == 0)
+            return;
+        bool was_empty = count_ == 0;
+        count_ += o.count_;
+        overflow_ += o.overflow_;
+        sum_ += o.sum_;
+        min_ = was_empty ? o.min_ : std::min(min_, o.min_);
+        max_ = was_empty ? o.max_ : std::max(max_, o.max_);
+        for (size_t i = 0; i < buckets_.size() && i < o.buckets_.size();
+             ++i)
+            buckets_[i] += o.buckets_[i];
+    }
+
+    double bucketWidth() const { return bucketWidth_; }
     uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -184,6 +207,17 @@ class StatRegistry
 
     /** Reset every registered statistic to zero. */
     void reset();
+
+    /**
+     * Fold every statistic of `other` into this registry (creating
+     * missing entries with the source's histogram layout). The threaded
+     * kernel gives each per-SM shard a shadow registry so workers never
+     * contend on stat objects, then absorbs the shadows in SM-id order
+     * at the end of the run. All absorbed per-SM stats are counters and
+     * integer-valued histograms, so the merged totals are bit-identical
+     * to the serial kernels' single-registry values.
+     */
+    void absorb(const StatRegistry &other);
 
     /** Dump all stats, one "name value" line each, sorted by name. */
     void dump(std::ostream &os) const;

@@ -15,10 +15,30 @@ namespace {
 
 /** Programmatic default-kernel override; -1 = use the environment. */
 std::atomic<int> forced_kernel{-1};
+/** Programmatic default-thread-count override; -1 = use the environment. */
+std::atomic<int> forced_threads{-1};
 
 // Process-wide telemetry pools (see SchedulerTelemetry in ticked.hh).
 std::atomic<uint64_t> g_cycles_ticked{0};
 std::atomic<uint64_t> g_cycles_skipped{0};
+
+// Thread-local tick context. Replaces the old inCycle_/scanPos_ members:
+// the wake-ordering rule needs to know which component the *calling
+// thread* is ticking, and under the threaded kernel several components
+// tick concurrently. The serial kernels use the same context (with
+// shard = -1), so the ordering rule is one piece of code for all three.
+thread_local int tl_shard = -1;        //!< shard being ticked; -1 = none
+thread_local bool tl_in_tick = false;  //!< inside a component's tick
+thread_local uint32_t tl_index = 0;    //!< index of the ticking component
+
+/** Brief spin before a condvar wait; pointless on a single-core host. */
+unsigned
+spinBudget()
+{
+    static const unsigned budget =
+        std::thread::hardware_concurrency() > 1 ? 20000 : 0;
+    return budget;
+}
 
 } // namespace
 
@@ -78,7 +98,10 @@ Simulator::defaultKernel()
             return Kernel::Polling;
         if (spec == "event")
             return Kernel::EventDriven;
-        fatal("TTA_SIM_KERNEL must be 'event' or 'polling', got '%s'", env);
+        if (spec == "threaded")
+            return Kernel::Threaded;
+        fatal("TTA_SIM_KERNEL must be 'event', 'polling' or 'threaded', "
+              "got '%s'", env);
     }();
     return env_kernel;
 }
@@ -95,25 +118,206 @@ Simulator::resetDefaultKernel()
     forced_kernel.store(-1, std::memory_order_relaxed);
 }
 
-Simulator::Simulator(StatRegistry &stats)
-    : stats_(&stats), kernel_(defaultKernel()),
-      watchdog_(Config{}.watchdogCycles), tracer_(stats.tracer())
-{}
+unsigned
+Simulator::defaultSimThreads()
+{
+    int forced = forced_threads.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<unsigned>(forced);
+    static const unsigned env_threads = [] {
+        const char *env = std::getenv("TTA_SIM_THREADS");
+        if (!env || !*env)
+            return 0u; // auto
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end == env || *end)
+            fatal("TTA_SIM_THREADS must be a number, got '%s'", env);
+        return static_cast<unsigned>(v);
+    }();
+    return env_threads;
+}
 
 void
-Simulator::add(TickedComponent *comp)
+Simulator::setDefaultSimThreads(unsigned threads)
 {
+    forced_threads.store(static_cast<int>(threads),
+                         std::memory_order_relaxed);
+}
+
+void
+Simulator::resetDefaultSimThreads()
+{
+    forced_threads.store(-1, std::memory_order_relaxed);
+}
+
+int
+Simulator::currentShard()
+{
+    return tl_shard;
+}
+
+uint32_t
+Simulator::currentIndex()
+{
+    return tl_index;
+}
+
+Simulator::ReplayGuard::ReplayGuard(uint32_t caller_index)
+    : savedShard_(tl_shard), savedInTick_(tl_in_tick), savedIndex_(tl_index)
+{
+    // Replay runs on the coordinator: shard -1 so nested sendRequest
+    // calls execute directly instead of re-staging.
+    tl_shard = -1;
+    tl_in_tick = true;
+    tl_index = caller_index;
+}
+
+Simulator::ReplayGuard::~ReplayGuard()
+{
+    tl_shard = savedShard_;
+    tl_in_tick = savedInTick_;
+    tl_index = savedIndex_;
+}
+
+Simulator::Simulator(StatRegistry &stats)
+    : stats_(&stats), kernel_(defaultKernel()),
+      watchdog_(Config{}.watchdogCycles),
+      threadsRequested_(defaultSimThreads()), tracer_(stats.tracer())
+{}
+
+Simulator::~Simulator()
+{
+    stopWorkers();
+}
+
+void
+Simulator::add(TickedComponent *comp, int shard)
+{
+    panic_if(shard < kSharedShard, "bad shard id %d for component %s",
+             shard, comp->name().c_str());
     comp->sched_ = this;
     comp->schedIndex_ = static_cast<uint32_t>(components_.size());
     components_.push_back(comp);
+    shardOf_.push_back(shard);
     nextDue_.push_back(kAsleep);
     pending_.emplace_back();
     traceAwake_.push_back(0);
     schedTrace_.push_back(
         tracer_ ? tracer_->stream("sched." + comp->name(), TraceSched)
                 : nullptr);
+    finalized_ = false; // segments must be re-derived
     if (kernel_ != Kernel::Polling)
         scheduleAt(comp->schedIndex_, cycle_);
+}
+
+void
+Simulator::finalizeShards()
+{
+    if (finalized_)
+        return;
+    segments_.clear();
+    segOf_.assign(components_.size(), 0);
+    numShards_ = 0;
+    for (size_t i = 0; i < components_.size(); ++i) {
+        bool parallel = shardOf_[i] >= 0;
+        if (parallel)
+            numShards_ = std::max(numShards_,
+                                  static_cast<uint32_t>(shardOf_[i]) + 1);
+        if (segments_.empty() || segments_.back().parallel != parallel) {
+            segments_.push_back({static_cast<uint32_t>(i),
+                                 static_cast<uint32_t>(i) + 1, parallel});
+        } else {
+            segments_.back().end = static_cast<uint32_t>(i) + 1;
+        }
+        segOf_[i] = static_cast<uint32_t>(segments_.size()) - 1;
+    }
+    stagedWakes_.resize(numShards_);
+    finalized_ = true;
+
+    if (kernel_ != Kernel::Threaded || numShards_ == 0)
+        return;
+    // Size the pool once (later add()s re-derive segments but keep the
+    // pool): requested threads, auto = hardware concurrency, clamped to
+    // the shard count — extra threads would only ever idle.
+    if (workers_.empty() && threadsUsed_ == 1) {
+        unsigned want = threadsRequested_;
+        if (want == 0) {
+            want = std::thread::hardware_concurrency();
+            if (want == 0)
+                want = 1;
+        }
+        threadsUsed_ = std::max(1u, std::min(want, numShards_));
+        for (unsigned w = 1; w < threadsUsed_; ++w)
+            workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+}
+
+void
+Simulator::stopWorkers()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        stopPool_ = true;
+        goGen_.fetch_add(1, std::memory_order_release);
+    }
+    poolCv_.notify_all();
+    for (auto &th : workers_)
+        th.join();
+    workers_.clear();
+}
+
+void
+Simulator::workerLoop(uint32_t worker)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        // Wait for the next release (goGen_ advance). Spin briefly on
+        // multi-core hosts, then block on the condvar.
+        uint64_t gen = goGen_.load(std::memory_order_acquire);
+        for (unsigned spin = spinBudget(); gen == seen && spin; --spin)
+            gen = goGen_.load(std::memory_order_acquire);
+        if (gen == seen) {
+            std::unique_lock<std::mutex> lock(poolMutex_);
+            poolCv_.wait(lock, [&] {
+                return goGen_.load(std::memory_order_relaxed) != seen ||
+                       stopPool_;
+            });
+            if (stopPool_)
+                return;
+            gen = goGen_.load(std::memory_order_relaxed);
+        }
+        seen = gen;
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            if (stopPool_)
+                return;
+        }
+        runWorkerSlice(curSeg_.load(std::memory_order_relaxed), worker);
+        if (doneCount_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            threadsUsed_ - 1) {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            doneCv_.notify_one();
+        }
+    }
+}
+
+void
+Simulator::runWorkerSlice(uint32_t seg, uint32_t worker)
+{
+    const Segment &s = segments_[seg];
+    for (uint32_t i = s.begin; i < s.end; ++i) {
+        // Ownership check first: nextDue_[i] may only be examined by the
+        // worker that owns i's shard, since the owner writes it mid-tick
+        // (request consume, re-arm) while other workers run.
+        uint32_t shard = static_cast<uint32_t>(shardOf_[i]);
+        if (shard % threadsUsed_ != worker)
+            continue;
+        if (nextDue_[i] != cycle_)
+            continue;
+        runDue(i, shardOf_[i]);
+    }
 }
 
 void
@@ -141,8 +345,6 @@ Simulator::scheduleAt(uint32_t index, Cycle at)
     if (it != reqs.end() && *it == at)
         return; // already requested for that cycle
     reqs.insert(it, at);
-    if (nextDue_[index] == kAsleep)
-        ++awake_;
     if (at < nextDue_[index])
         nextDue_[index] = at; // cached reqs.front()
     syncSchedTrace(index);
@@ -156,6 +358,16 @@ Simulator::wake(TickedComponent *comp, Cycle at)
     if (kernel_ == Kernel::Polling)
         return; // everything ticks every cycle anyway
     uint32_t index = comp->schedIndex_;
+    // Threaded kernel: a wake crossing shards is staged by the calling
+    // worker and replayed at the barrier after the segment, in caller
+    // registration order, so delivery order never depends on thread
+    // interleaving. Same-shard (and coordinator-issued) wakes take the
+    // serial path below unchanged.
+    if (tl_shard >= 0 && kernel_ == Kernel::Threaded &&
+        shardOf_[index] != tl_shard) {
+        stagedWakes_[tl_shard].push_back({tl_index, index, at});
+        return;
+    }
     if (at < cycle_)
         at = cycle_;
     // Same-cycle wakes resolve by registration order against the
@@ -163,8 +375,21 @@ Simulator::wake(TickedComponent *comp, Cycle at)
     // position already ran this cycle and see the producer's update next
     // cycle, later targets still this cycle — matching the polling
     // kernel's in-order scan.
-    if (at == cycle_ && inCycle_ && index <= scanPos_)
+    if (at == cycle_ && tl_in_tick && index <= tl_index)
         ++at;
+    // A replayed cross-shard wake that lands on the current cycle can
+    // only be honored if its target runs in a *later* segment (the
+    // memory system after the core segment, the accelerators after the
+    // memory system). A same-cycle target in an already-finished segment
+    // could never be delivered the way the serial scan would — that is a
+    // machine-model ordering bug, not a scheduling decision.
+    if (at == cycle_ && drainSeg_ >= 0 &&
+        segOf_[index] <= static_cast<uint32_t>(drainSeg_)) {
+        panic("staged same-cycle wake of %s (segment %u) cannot be "
+              "delivered after segment %d already ran; cross-shard "
+              "producers must target later-ordered consumers",
+              comp->name().c_str(), segOf_[index], drainSeg_);
+    }
     // Settle skipped-cycle accounting against pre-mutation state (the
     // producer calls wake() before touching shared state). Wakes further
     // out than the next cycle (not used by the machine models) must not
@@ -172,6 +397,117 @@ Simulator::wake(TickedComponent *comp, Cycle at)
     if (at <= cycle_ + 1)
         comp->catchUp(at);
     scheduleAt(index, at);
+}
+
+void
+Simulator::runDue(uint32_t index, int shard)
+{
+    auto &reqs = pending_[index];
+    reqs.erase(reqs.begin()); // consume exactly this cycle's request
+    nextDue_[index] = reqs.empty() ? kAsleep : reqs.front();
+    TickedComponent *comp = components_[index];
+    tl_shard = shard;
+    tl_in_tick = true;
+    tl_index = index;
+    comp->tick(cycle_);
+    Cycle next = comp->nextEventCycle(cycle_);
+    if (next != kAsleep)
+        scheduleAt(index, next <= cycle_ ? cycle_ + 1 : next);
+    syncSchedTrace(index);
+    tl_in_tick = false;
+    tl_shard = -1;
+}
+
+void
+Simulator::drainSegment(uint32_t seg)
+{
+    drainSeg_ = static_cast<int>(seg);
+    // Generic staged wakes first, merged across shards in caller
+    // registration order (stable within a shard, and shards never share
+    // a caller, so a stable sort reproduces the serial call order).
+    size_t total = 0;
+    for (const auto &v : stagedWakes_)
+        total += v.size();
+    if (total) {
+        std::vector<StagedWake> merged;
+        merged.reserve(total);
+        for (auto &v : stagedWakes_) {
+            merged.insert(merged.end(), v.begin(), v.end());
+            v.clear();
+        }
+        std::stable_sort(merged.begin(), merged.end(),
+                         [](const StagedWake &a, const StagedWake &b) {
+                             return a.callerIndex < b.callerIndex;
+                         });
+        for (const StagedWake &w : merged) {
+            ReplayGuard guard(w.callerIndex);
+            wake(components_[w.targetIndex], w.at);
+        }
+    }
+    // Then component-level staging buffers (e.g. the memory system's
+    // request queues), in registration order.
+    for (uint32_t i = 0; i < components_.size(); ++i) {
+        if (shardOf_[i] == kSharedShard)
+            components_[i]->drainStaged(cycle_);
+    }
+    drainSeg_ = -1;
+}
+
+void
+Simulator::runParallelSegment(uint32_t seg)
+{
+    const Segment &s = segments_[seg];
+    uint32_t due = 0;
+    for (uint32_t i = s.begin; i < s.end; ++i)
+        due += nextDue_[i] == cycle_ ? 1 : 0;
+    if (due == 0)
+        return; // nothing ticked, so nothing can have been staged
+    if (threadsUsed_ == 1 || due == 1) {
+        // Not worth a barrier round-trip; the coordinator inlines the
+        // due components with the tick context still set to their
+        // shards, so staging behaves identically to the pooled path.
+        for (uint32_t i = s.begin; i < s.end; ++i) {
+            if (nextDue_[i] == cycle_)
+                runDue(i, shardOf_[i]);
+        }
+    } else {
+        curSeg_.store(seg, std::memory_order_relaxed);
+        doneCount_.store(0, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            goGen_.fetch_add(1, std::memory_order_release);
+        }
+        poolCv_.notify_all();
+        runWorkerSlice(seg, 0);
+        uint32_t target = threadsUsed_ - 1;
+        uint32_t done = doneCount_.load(std::memory_order_acquire);
+        for (unsigned spin = spinBudget(); done != target && spin; --spin)
+            done = doneCount_.load(std::memory_order_acquire);
+        if (done != target) {
+            std::unique_lock<std::mutex> lock(poolMutex_);
+            doneCv_.wait(lock, [&] {
+                return doneCount_.load(std::memory_order_acquire) ==
+                       target;
+            });
+        }
+    }
+    drainSegment(seg);
+}
+
+void
+Simulator::stepThreaded()
+{
+    for (uint32_t seg = 0; seg < segments_.size(); ++seg) {
+        const Segment &s = segments_[seg];
+        if (s.parallel) {
+            runParallelSegment(seg);
+            continue;
+        }
+        for (uint32_t i = s.begin; i < s.end; ++i) {
+            if (nextDue_[i] == cycle_)
+                runDue(i, kSharedShard);
+        }
+    }
 }
 
 void
@@ -184,24 +520,15 @@ Simulator::step()
         ++cyclesTicked_;
         return;
     }
-    inCycle_ = true;
-    for (scanPos_ = 0; scanPos_ < components_.size(); ++scanPos_) {
-        uint32_t index = static_cast<uint32_t>(scanPos_);
-        if (nextDue_[index] != cycle_)
-            continue;
-        auto &reqs = pending_[index];
-        reqs.erase(reqs.begin()); // consume exactly this cycle's request
-        nextDue_[index] = reqs.empty() ? kAsleep : reqs.front();
-        if (nextDue_[index] == kAsleep)
-            --awake_;
-        TickedComponent *comp = components_[index];
-        comp->tick(cycle_);
-        Cycle next = comp->nextEventCycle(cycle_);
-        if (next != kAsleep)
-            scheduleAt(index, next <= cycle_ ? cycle_ + 1 : next);
-        syncSchedTrace(index);
+    finalizeShards();
+    if (kernel_ == Kernel::Threaded) {
+        stepThreaded();
+    } else {
+        for (uint32_t i = 0; i < components_.size(); ++i) {
+            if (nextDue_[i] == cycle_)
+                runDue(i, kSharedShard);
+        }
     }
-    inCycle_ = false;
     ++cycle_;
     ++cyclesTicked_;
 }
@@ -213,6 +540,15 @@ Simulator::nextDueCycle() const
     for (Cycle due : nextDue_)
         best = std::min(best, due);
     return best;
+}
+
+uint32_t
+Simulator::awakeComponents() const
+{
+    uint32_t n = 0;
+    for (Cycle due : nextDue_)
+        n += due != kAsleep ? 1 : 0;
+    return n;
 }
 
 bool

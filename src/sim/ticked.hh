@@ -9,7 +9,7 @@
  * cycle N is visible to the next stage in cycle N+1 at the earliest
  * (single-cycle queues between stages enforce this).
  *
- * The kernel comes in two flavours, selected per Simulator:
+ * The kernel comes in three flavours, selected per Simulator:
  *
  *  - Polling (the original kernel, kept as the reference implementation):
  *    every component ticks every cycle, whether or not it has work.
@@ -17,11 +17,22 @@
  *  - EventDriven (the default): components report, after each tick, the
  *    next cycle at which they can possibly do externally-visible work
  *    (kAsleep for "only an external event wakes me"). The simulator keeps
- *    a min-heap of timed wakeups plus a per-component due-cycle table and
- *    jumps the clock straight to the next due cycle, skipping quiescent
- *    stretches entirely. Traversal workloads are memory-latency-bound by
- *    design, so most cycles most components are waiting on DRAM — the
- *    skip is where the wall-clock speedup comes from.
+ *    a per-component due-cycle table and jumps the clock straight to the
+ *    next due cycle, skipping quiescent stretches entirely. Traversal
+ *    workloads are memory-latency-bound by design, so most cycles most
+ *    components are waiting on DRAM — the skip is where the wall-clock
+ *    speedup comes from.
+ *
+ *  - Threaded: the event-driven kernel, with the per-cycle component scan
+ *    sharded across a persistent worker pool. Components registered with
+ *    a shard id (per-SM islands: core + accelerator) run concurrently
+ *    within a cycle; components registered as kSharedShard (the memory
+ *    system) run serially on the coordinator between the parallel
+ *    segments, exactly where registration order places them. Cross-shard
+ *    messages are staged per shard and drained at a cycle barrier in
+ *    fixed SM-id/sequence order, so results are bit-identical to the
+ *    serial kernels at any thread count (see DESIGN.md "Threaded
+ *    simulation kernel").
  *
  * Event-driven correctness contract (see DESIGN.md "Event-driven
  * simulation kernel" for the full argument):
@@ -43,13 +54,30 @@
  *     wake settles the consumer's bulk accounting (catchUp) against the
  *     still-unmutated state, so skipped-cycle stats match polling's
  *     per-cycle observations bit for bit.
+ *
+ * Additional contract under the threaded kernel:
+ *
+ *  4. A component may touch, during its tick, only state owned by its own
+ *     shard, read-only state that no other shard writes this cycle, and
+ *     per-shard slots of shared components that are only consumed in a
+ *     serial segment (e.g. an SM's private response queue).
+ *  5. Messages to components in *other* shards must go through either
+ *     the generic staged-wake path (wake() stages automatically when the
+ *     target lives in another shard) or a component-level staging buffer
+ *     replayed from drainStaged() (see mem::MemSystem). Both are drained
+ *     at the barrier after the parallel segment, ordered by the caller's
+ *     registration index, which equals SM id order for the machine model.
  */
 
 #ifndef TTA_SIM_TICKED_HH
 #define TTA_SIM_TICKED_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -63,6 +91,9 @@ using Cycle = uint64_t;
  * until an external event (a wake() from a producer) arrives.
  */
 inline constexpr Cycle kAsleep = ~Cycle{0};
+
+/** Shard id for components that run serially on the coordinator. */
+inline constexpr int kSharedShard = -1;
 
 class Simulator;
 
@@ -104,6 +135,18 @@ class TickedComponent
      * does no unconditional per-cycle accounting keep the no-op default.
      */
     virtual void catchUp(Cycle now) { (void)now; }
+
+    /**
+     * Threaded kernel only: replay messages that per-SM shards staged
+     * into this component during the parallel segment that just
+     * finished. Called on shared-shard components, in registration
+     * order, at the barrier after each parallel segment; the override
+     * must replay its buffers in caller (SM id) order and wrap each
+     * replayed message in a Simulator::ReplayGuard so wake ordering
+     * resolves as if the original caller were still mid-tick. The no-op
+     * default suits components that receive no cross-shard messages.
+     */
+    virtual void drainStaged(Cycle now) { (void)now; }
 
     /**
      * Ask the owning simulator to tick this component at `at` (resolved
@@ -161,16 +204,24 @@ class Simulator
     {
         EventDriven, //!< sleep/wake scheduling, idle-cycle skipping
         Polling,     //!< tick everything every cycle (reference kernel)
+        Threaded,    //!< event-driven, per-SM shards behind a cycle barrier
     };
 
     explicit Simulator(StatRegistry &stats);
+    ~Simulator();
 
-    /** Register a component; tick order is registration order. */
-    void add(TickedComponent *comp);
+    /**
+     * Register a component; tick order is registration order. `shard`
+     * assigns the component to a per-SM island (>= 0) the threaded
+     * kernel may run concurrently with other islands, or kSharedShard
+     * for components that must run serially on the coordinator. Shard
+     * ids are ignored by the serial kernels.
+     */
+    void add(TickedComponent *comp, int shard = kSharedShard);
 
     /**
      * Kernel used when a Simulator does not choose explicitly:
-     * EventDriven, unless TTA_SIM_KERNEL=polling is set in the
+     * EventDriven, unless TTA_SIM_KERNEL=polling|threaded is set in the
      * environment or a test/bench overrides it programmatically.
      * (An env var rather than a Config field keeps configDigest — and
      * with it golden stats and run JSON — identical across kernels.)
@@ -180,8 +231,61 @@ class Simulator
     /** Back to the environment-derived default. */
     static void resetDefaultKernel();
 
+    /**
+     * Worker threads the threaded kernel uses when a Simulator does not
+     * choose explicitly: the TTA_SIM_THREADS environment variable, a
+     * programmatic override (`--sim-threads` on the benches), or 0 for
+     * "auto" (hardware concurrency). The effective count is additionally
+     * clamped to the number of shards at first run. Kept out of Config
+     * (like the kernel choice) so configDigest — and with it golden
+     * stats and run JSON — is identical across thread counts.
+     */
+    static unsigned defaultSimThreads();
+    static void setDefaultSimThreads(unsigned threads);
+    /** Back to the environment-derived default. */
+    static void resetDefaultSimThreads();
+
     void setKernel(Kernel kernel) { kernel_ = kernel; }
     Kernel kernel() const { return kernel_; }
+
+    /** Requested worker threads (0 = auto); effective only before the
+     *  first threaded cycle runs. */
+    void setSimThreads(unsigned threads) { threadsRequested_ = threads; }
+    /** Worker threads in use (1 until the threaded kernel finalizes). */
+    unsigned simThreads() const { return threadsUsed_; }
+
+    /**
+     * Shard of the component the *current thread* is ticking: >= 0 while
+     * a worker (or the coordinator inlining a parallel segment) runs a
+     * sharded component, -1 otherwise (serial kernels, serial segments,
+     * between cycles, replay). Components use this to decide whether to
+     * stage cross-shard messages (see mem::MemSystem::sendRequest).
+     */
+    static int currentShard();
+    /** Registration index of the component the current thread is
+     *  ticking; only meaningful while a tick or replay is in progress. */
+    static uint32_t currentIndex();
+
+    /**
+     * RAII guard for replaying a staged cross-shard message at the
+     * barrier: makes wake ordering (and nested sendRequest calls)
+     * resolve as if component `caller_index` were still mid-tick on the
+     * coordinator, exactly as the serial kernels would have resolved the
+     * original call.
+     */
+    class ReplayGuard
+    {
+      public:
+        explicit ReplayGuard(uint32_t caller_index);
+        ~ReplayGuard();
+        ReplayGuard(const ReplayGuard &) = delete;
+        ReplayGuard &operator=(const ReplayGuard &) = delete;
+
+      private:
+        int savedShard_;
+        bool savedInTick_;
+        uint32_t savedIndex_;
+    };
 
     /**
      * Watchdog limit used by runToQuiescence() when the caller passes 0;
@@ -251,11 +355,18 @@ class Simulator
      * producer-before-consumer visibility. Settles the target's bulk
      * accounting (catchUp) before the caller mutates shared state.
      * No-op under the polling kernel (everything ticks anyway).
+     *
+     * Threaded kernel: a wake whose target lives in a different shard
+     * than the calling thread's is staged and replayed at the barrier
+     * after the parallel segment, in caller registration order. A
+     * staged wake that resolves to the current cycle but targets a
+     * segment that already ran is a model bug (it could never be
+     * delivered the way the serial kernels would) and panics.
      */
     void wake(TickedComponent *comp, Cycle at);
 
     /** Components currently scheduled for a future tick. */
-    uint32_t awakeComponents() const { return awake_; }
+    uint32_t awakeComponents() const;
     /** Cycles processed by this simulator (both kernels). */
     uint64_t cyclesTicked() const { return cyclesTicked_; }
     /** Cycles the event-driven kernel skipped without processing. */
@@ -269,6 +380,22 @@ class Simulator
     }
 
   private:
+    /** A maximal run of same-kind components in registration order. */
+    struct Segment
+    {
+        uint32_t begin;
+        uint32_t end;
+        bool parallel; //!< all members have shard >= 0
+    };
+
+    /** A cross-shard wake captured mid-segment, replayed at the barrier. */
+    struct StagedWake
+    {
+        uint32_t callerIndex;
+        uint32_t targetIndex;
+        Cycle at;
+    };
+
     void scheduleAt(uint32_t index, Cycle at);
     /** Earliest due cycle across all components; kAsleep if nothing is
      *  scheduled. A linear scan: the component count is tiny (cores +
@@ -278,6 +405,22 @@ class Simulator
     /** Emit the per-component awake/asleep trace counter on change. */
     void syncSchedTrace(uint32_t index);
     void flushTelemetry();
+
+    /** Consume component `index`'s request for the current cycle and
+     *  tick it, with the thread-local tick context set to `shard`. */
+    void runDue(uint32_t index, int shard);
+    /** One processed cycle under the threaded kernel. */
+    void stepThreaded();
+    /** Run one parallel segment (inline or across the pool) and drain. */
+    void runParallelSegment(uint32_t seg);
+    /** Tick worker `worker`'s due components within segment `seg`. */
+    void runWorkerSlice(uint32_t seg, uint32_t worker);
+    /** Replay staged wakes + component staging buffers after `seg`. */
+    void drainSegment(uint32_t seg);
+    /** Derive segments/shard maps and size the pool; idempotent. */
+    void finalizeShards();
+    void workerLoop(uint32_t worker);
+    void stopWorkers();
 
     StatRegistry *stats_;
     std::vector<TickedComponent *> components_;
@@ -293,9 +436,35 @@ class Simulator
     // and for nextDueCycle()'s min reduction.
     std::vector<Cycle> nextDue_;
     std::vector<std::vector<Cycle>> pending_;
-    uint32_t awake_ = 0;   //!< components with nextDue_ != kAsleep
-    bool inCycle_ = false; //!< inside step()'s component scan
-    size_t scanPos_ = 0;   //!< index of the component being ticked
+
+    // Threaded-kernel state. Built by finalizeShards() on the first
+    // processed cycle; immutable while workers run. Workers only write
+    // state owned by their shards (per-index entries of nextDue_ /
+    // pending_ / traceAwake_ and their own stagedWakes_ slot), so the
+    // only synchronization is the segment barrier itself.
+    std::vector<int> shardOf_;       //!< per component; -1 = shared
+    std::vector<uint32_t> segOf_;    //!< per component; segment ordinal
+    std::vector<Segment> segments_;
+    std::vector<std::vector<StagedWake>> stagedWakes_; //!< per shard
+    uint32_t numShards_ = 0;
+    unsigned threadsRequested_;      //!< 0 = auto (hardware concurrency)
+    unsigned threadsUsed_ = 1;
+    bool finalized_ = false;
+    int drainSeg_ = -1; //!< segment being drained; -1 outside drains
+
+    // Worker pool (threadsUsed_ - 1 threads; the coordinator is worker
+    // 0). Release/join are generation-counted: the coordinator bumps
+    // goGen_ under poolMutex_ (so condvar waits cannot miss it), workers
+    // run their slice of curSeg_ and count into doneCount_. A short
+    // spin precedes each condvar wait on multi-core hosts.
+    std::vector<std::thread> workers_;
+    std::atomic<uint64_t> goGen_{0};
+    std::atomic<uint32_t> doneCount_{0};
+    std::atomic<uint32_t> curSeg_{0};
+    bool stopPool_ = false; //!< written under poolMutex_
+    std::mutex poolMutex_;
+    std::condition_variable poolCv_; //!< coordinator -> workers
+    std::condition_variable doneCv_; //!< last worker -> coordinator
 
     uint64_t cyclesTicked_ = 0;
     uint64_t cyclesSkipped_ = 0;

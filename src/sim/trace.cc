@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "sim/logging.hh"
+#include "sim/ticked.hh"
 
 namespace tta::sim {
 
@@ -75,6 +76,24 @@ traceCategoryName(TraceCategory cat)
     }
 }
 
+void
+TraceStream::checkShard()
+{
+    int shard = Simulator::currentShard();
+    if (shard < 0)
+        return; // coordinator / serial kernels: no ownership to enforce
+    int expected = kUnbound;
+    if (ownerShard_.compare_exchange_strong(expected, shard,
+                                            std::memory_order_relaxed))
+        return; // first sharded push binds the stream
+    if (expected == shard)
+        return;
+    panic("trace stream '%s' shared across shards %d and %d; give each "
+          "shard its own stream (streams are single-writer under the "
+          "threaded kernel)",
+          name_.c_str(), expected, shard);
+}
+
 std::vector<TraceEvent>
 TraceStream::snapshot() const
 {
@@ -97,11 +116,11 @@ Tracer::stream(const std::string &name, TraceCategory cat)
 {
     if (!wants(cat))
         return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = streams_.find(name);
     if (it == streams_.end()) {
         auto s = std::unique_ptr<TraceStream>(
             new TraceStream(name, nextTid_++, cat, ringCapacity_));
-        order_.push_back(s.get());
         it = streams_.emplace(name, std::move(s)).first;
     }
     return it->second.get();
@@ -110,9 +129,10 @@ Tracer::stream(const std::string &name, TraceCategory cat)
 uint64_t
 Tracer::droppedEvents() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     uint64_t total = 0;
-    for (const auto *s : order_)
-        total += s->dropped();
+    for (const auto &kv : streams_)
+        total += kv.second->dropped();
     return total;
 }
 
@@ -125,9 +145,17 @@ Tracer::writeEvents(std::ostream &os, uint32_t pid,
        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
        << jsonEscape(process_name) << "\"}}";
 
-    for (const auto *s : order_) {
+    // Streams export in name order (streams_ is an ordered map) with
+    // tids renumbered sequentially, so the document does not depend on
+    // creation order — under the threaded kernel, lazily-created streams
+    // (per-warp spans) can be created by any worker in any interleaving.
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint32_t tid = 0;
+    for (const auto &kv : streams_) {
+        const TraceStream *s = kv.second.get();
+        ++tid;
         emitComma(os, first);
-        os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << s->tid()
+        os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
            << jsonEscape(s->name()) << "\"}}";
 
@@ -156,7 +184,7 @@ Tracer::writeEvents(std::ostream &os, uint32_t pid,
                 open.push_back(ev.name);
                 emitComma(os, first);
                 os << "{\"ph\":\"B\",\"pid\":" << pid
-                   << ",\"tid\":" << s->tid() << ",\"ts\":" << ev.ts
+                   << ",\"tid\":" << tid << ",\"ts\":" << ev.ts
                    << ",\"name\":\"" << jsonEscape(ev.name)
                    << "\",\"cat\":\"" << cat << "\"}";
                 break;
@@ -167,12 +195,12 @@ Tracer::writeEvents(std::ostream &os, uint32_t pid,
                 open.pop_back();
                 emitComma(os, first);
                 os << "{\"ph\":\"E\",\"pid\":" << pid
-                   << ",\"tid\":" << s->tid() << ",\"ts\":" << ev.ts << "}";
+                   << ",\"tid\":" << tid << ",\"ts\":" << ev.ts << "}";
                 break;
               case 'X':
                 emitComma(os, first);
                 os << "{\"ph\":\"X\",\"pid\":" << pid
-                   << ",\"tid\":" << s->tid() << ",\"ts\":" << ev.ts
+                   << ",\"tid\":" << tid << ",\"ts\":" << ev.ts
                    << ",\"dur\":" << ev.dur << ",\"name\":\""
                    << jsonEscape(ev.name) << "\",\"cat\":\"" << cat
                    << "\"}";
@@ -180,14 +208,14 @@ Tracer::writeEvents(std::ostream &os, uint32_t pid,
               case 'i':
                 emitComma(os, first);
                 os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
-                   << ",\"tid\":" << s->tid() << ",\"ts\":" << ev.ts
+                   << ",\"tid\":" << tid << ",\"ts\":" << ev.ts
                    << ",\"name\":\"" << jsonEscape(ev.name)
                    << "\",\"cat\":\"" << cat << "\"}";
                 break;
               case 'C':
                 emitComma(os, first);
                 os << "{\"ph\":\"C\",\"pid\":" << pid
-                   << ",\"tid\":" << s->tid() << ",\"ts\":" << ev.ts
+                   << ",\"tid\":" << tid << ",\"ts\":" << ev.ts
                    << ",\"name\":\"" << jsonEscape(ev.name)
                    << "\",\"cat\":\"" << cat << "\",\"args\":{\"value\":"
                    << ev.value << "}}";
@@ -198,7 +226,7 @@ Tracer::writeEvents(std::ostream &os, uint32_t pid,
         }
         while (depth--) {
             emitComma(os, first);
-            os << "{\"ph\":\"E\",\"pid\":" << pid << ",\"tid\":" << s->tid()
+            os << "{\"ph\":\"E\",\"pid\":" << pid << ",\"tid\":" << tid
                << ",\"ts\":" << last_ts << "}";
             open.pop_back();
         }

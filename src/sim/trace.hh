@@ -21,10 +21,16 @@
  *     be string literals (the stream stores the pointer). A full ring
  *     overwrites its oldest events and counts the drops; export keeps
  *     the newest window and repairs any B/E pairs the drops split.
- *  3. One Tracer per run. A Tracer is single-threaded by construction
- *     (a run's components all live on one worker thread), which is what
- *     makes tracing safe under `--jobs N`: parallel sweeps give every
- *     job its own Tracer and file.
+ *  3. One Tracer per run. Under `--jobs N` every job gets its own Tracer
+ *     and file, so jobs never share trace state. Within a run, the
+ *     threaded simulation kernel may tick components on several worker
+ *     threads: stream creation is mutex-protected (streams are created
+ *     lazily mid-run), each stream stays single-writer because a stream
+ *     belongs to exactly one component and a component to exactly one
+ *     shard — a stream records the first shard that pushes to it and
+ *     panics if a different shard pushes later — and export renumbers
+ *     tids in stream-name order, so the exported document is identical
+ *     regardless of which thread created which stream first.
  *
  * Wiring: a run attaches its Tracer to the run's StatRegistry
  * (StatRegistry::setTracer) before constructing the machine model;
@@ -36,9 +42,11 @@
 #ifndef TTA_SIM_TRACE_HH
 #define TTA_SIM_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -130,6 +138,7 @@ class TraceStream
     void
     push(const TraceEvent &ev)
     {
+        checkShard();
         ring_[head_] = ev;
         head_ = (head_ + 1) % ring_.size();
         if (size_ < ring_.size())
@@ -138,6 +147,12 @@ class TraceStream
             ++dropped_;
     }
 
+    /** Enforce the one-shard-per-stream rule under the threaded kernel:
+     *  binds the stream to the first shard that pushes, panics if a
+     *  different shard pushes later. Coordinator pushes (serial kernels,
+     *  serial segments, barrier replay, dispatch) are always allowed. */
+    void checkShard();
+
     std::string name_;
     uint32_t tid_;
     TraceCategory cat_;
@@ -145,6 +160,8 @@ class TraceStream
     size_t head_ = 0;
     size_t size_ = 0;
     uint64_t dropped_ = 0;
+    std::atomic<int> ownerShard_{kUnbound};
+    static constexpr int kUnbound = -2; //!< no shard has pushed yet
 };
 
 /**
@@ -178,7 +195,7 @@ class Tracer
     TraceStream *stream(const std::string &name, TraceCategory cat);
 
     uint32_t mask() const { return mask_; }
-    size_t numStreams() const { return order_.size(); }
+    size_t numStreams() const { return streams_.size(); }
     /** Total events dropped to ring overwrites across all streams. */
     uint64_t droppedEvents() const;
 
@@ -208,8 +225,10 @@ class Tracer
   private:
     uint32_t mask_;
     size_t ringCapacity_;
+    /** Guards streams_: the threaded kernel creates streams lazily from
+     *  worker threads (e.g. per-warp streams on first dispatch). */
+    mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<TraceStream>> streams_;
-    std::vector<TraceStream *> order_; //!< creation order (stable tids)
     uint32_t nextTid_ = 1;
 };
 

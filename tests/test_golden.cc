@@ -25,6 +25,7 @@
 #include <string>
 
 #include "json_lite.hh"
+#include "sim/ticked.hh"
 #include "workloads/btree_workload.hh"
 #include "workloads/nbody_workload.hh"
 #include "workloads/rtree_workload.hh"
@@ -136,7 +137,30 @@ diffSection(const char *section, const testjson::Value &golden,
     }
 }
 
+/** Diff one run against the committed snapshot for `gc`. */
+void
+expectMatchesGolden(const GoldenCase &gc, const RunMetrics &m,
+                    const std::string &current)
+{
+    std::ifstream in(goldenPath(gc.name));
+    ASSERT_TRUE(in) << "missing golden snapshot " << goldenPath(gc.name)
+                    << "; generate with TTA_UPDATE_GOLDEN=1";
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    testjson::Value golden = testjson::parse(ss.str());
+    testjson::Value now = testjson::parse(current);
+    EXPECT_EQ(static_cast<uint64_t>(golden.at("cycles").asNumber()),
+              m.cycles)
+        << gc.name << " total cycles drifted";
+    diffSection("counters", golden, now);
+    diffSection("scalars", golden, now);
+}
+
 class GoldenStats : public ::testing::TestWithParam<size_t>
+{};
+
+class GoldenStatsThreaded : public ::testing::TestWithParam<size_t>
 {};
 
 } // namespace
@@ -155,22 +179,34 @@ TEST_P(GoldenStats, MatchesSnapshot)
         GTEST_SKIP() << "regenerated " << goldenPath(gc.name);
     }
 
-    std::ifstream in(goldenPath(gc.name));
-    ASSERT_TRUE(in) << "missing golden snapshot " << goldenPath(gc.name)
-                    << "; generate with TTA_UPDATE_GOLDEN=1";
-    std::stringstream ss;
-    ss << in.rdbuf();
-
-    testjson::Value golden = testjson::parse(ss.str());
-    testjson::Value now = testjson::parse(current);
-    EXPECT_EQ(static_cast<uint64_t>(golden.at("cycles").asNumber()),
-              m.cycles)
-        << gc.name << " total cycles drifted";
-    diffSection("counters", golden, now);
-    diffSection("scalars", golden, now);
+    expectMatchesGolden(gc, m, current);
 }
 
 INSTANTIATE_TEST_SUITE_P(Configs, GoldenStats,
+                         ::testing::Range<size_t>(0, std::size(kCases)),
+                         [](const auto &info) {
+                             return std::string(kCases[info.param].name);
+                         });
+
+// The same snapshots must hold under the threaded kernel: the per-SM
+// shards, barrier replay and shadow-registry merge may not move a single
+// counter relative to the serial kernels the snapshots were taken under.
+TEST_P(GoldenStatsThreaded, MatchesSnapshot)
+{
+    if (std::getenv("TTA_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "snapshots regenerate under the default kernel";
+    const GoldenCase &gc = kCases[GetParam()];
+    sim::Simulator::setDefaultKernel(sim::Simulator::Kernel::Threaded);
+    sim::Simulator::setDefaultSimThreads(4);
+    sim::StatRegistry stats;
+    RunMetrics m = gc.run(stats);
+    sim::Simulator::resetDefaultKernel();
+    sim::Simulator::resetDefaultSimThreads();
+    std::string current = snapshotJson(gc.name, m, stats);
+    expectMatchesGolden(gc, m, current);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, GoldenStatsThreaded,
                          ::testing::Range<size_t>(0, std::size(kCases)),
                          [](const auto &info) {
                              return std::string(kCases[info.param].name);

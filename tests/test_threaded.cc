@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Threaded-kernel tests.
+ *
+ * The threaded kernel must be bit-identical to the serial kernels at any
+ * thread count (see the contract in sim/ticked.hh and DESIGN.md
+ * "Threaded simulation kernel"). The scripted tests pin the staged
+ * cross-shard wake mechanics one rule at a time; the randomized oracle
+ * runs a network of per-shard producers that chatter through a
+ * shared-shard router — adversarially many same-cycle cross-shard
+ * messages — under the event kernel, the polling kernel and the threaded
+ * kernel at several pool sizes, requiring identical logs and cycle
+ * counts across many seeds. A workload-level test runs a real simulation
+ * at thread counts 1..12 (including oversubscribed: more threads than
+ * SMs) and diffs the entire stat dump against the event kernel. Death
+ * tests pin the two model-bug diagnostics (an undeliverable same-cycle
+ * cross-shard wake, a trace stream shared across shards), and the
+ * ExperimentRunner's jobs × sim-threads host budget is covered as a pure
+ * function.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/runner.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+#include "sim/trace.hh"
+#include "workloads/btree_workload.hh"
+
+using namespace ::tta::sim;
+namespace workloads = ::tta::workloads;
+namespace trees = ::tta::trees;
+
+namespace {
+
+/** Scripted component: records its tick cycles; behavior injectable. */
+class Probe : public TickedComponent
+{
+  public:
+    explicit Probe(std::string name) : TickedComponent(std::move(name)) {}
+
+    void
+    tick(Cycle cycle) override
+    {
+        ticks.push_back(cycle);
+        next = kAsleep;
+        if (onTick)
+            onTick(cycle);
+    }
+    bool busy() const override { return busyFlag; }
+    Cycle nextEventCycle(Cycle) const override { return next; }
+
+    std::function<void(Cycle)> onTick;
+    std::vector<Cycle> ticks;
+    Cycle next = kAsleep;
+    bool busyFlag = false;
+};
+
+/** Drain every scheduled event (probes are not busy()-driven). */
+void
+drain(Simulator &sim)
+{
+    while (sim.advance(1'000'000)) {
+    }
+}
+
+} // namespace
+
+TEST(ThreadedScheduler, ThreadCountClampedToShards)
+{
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(8); // only two shards exist: six would idle
+    Probe a("a"), b("b");
+    sim.add(&a, 0);
+    sim.add(&b, 1);
+    drain(sim);
+    EXPECT_EQ(sim.simThreads(), 2u);
+}
+
+TEST(ThreadedScheduler, CrossShardFutureWakeDelivered)
+{
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(2);
+    Probe a("a"), b("b");
+    a.onTick = [&](Cycle c) {
+        if (c == 0)
+            b.wake(c + 3); // staged by a's worker, replayed at the barrier
+    };
+    sim.add(&a, 0);
+    sim.add(&b, 1);
+    drain(sim);
+    EXPECT_EQ(a.ticks, (std::vector<Cycle>{0}));
+    EXPECT_EQ(b.ticks, (std::vector<Cycle>{0, 3}));
+}
+
+TEST(ThreadedScheduler, SameCycleWakeToLaterSegmentLandsSameCycle)
+{
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(2);
+    Probe a("a"), shared("shared");
+    a.onTick = [&](Cycle c) {
+        if (c == 0)
+            a.next = 5;
+        if (c == 5)
+            shared.wake(c); // the serial segment after us still runs
+    };
+    sim.add(&a, 0);
+    sim.add(&shared); // kSharedShard: coordinator, after the islands
+    drain(sim);
+    EXPECT_EQ(a.ticks, (std::vector<Cycle>{0, 5}));
+    EXPECT_EQ(shared.ticks, (std::vector<Cycle>{0, 5}));
+}
+
+TEST(ThreadedDeathTest, SameCycleWakeToFinishedSegmentPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(1); // inline path: staging without pool scheduling
+    Probe a("a"), b("b");
+    a.onTick = [&](Cycle c) { b.wake(c); };
+    sim.add(&a, 0);
+    sim.add(&b, 1); // same parallel segment as a
+    // a's same-cycle message is staged (cross-shard) and replayed at the
+    // barrier — after b's segment already ran. The serial scan would
+    // have delivered it within the cycle; the threaded kernel cannot, so
+    // it must refuse loudly instead of silently reordering.
+    EXPECT_DEATH(sim.step(), "cannot be delivered");
+}
+
+TEST(ThreadedDeathTest, TraceStreamSharedAcrossShardsPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(1);
+    Tracer tracer(TraceWarp, 64);
+    TraceStream *shared = tracer.stream("shared.stream", TraceWarp);
+    ASSERT_NE(shared, nullptr);
+    Probe a("a"), b("b");
+    a.onTick = [&](Cycle c) { shared->instant(c, "a"); };
+    b.onTick = [&](Cycle c) { shared->instant(c, "b"); };
+    sim.add(&a, 0);
+    sim.add(&b, 1);
+    // Streams are single-writer under the threaded kernel: the second
+    // shard pushing into a's stream is a wiring bug, not a data point.
+    EXPECT_DEATH(sim.step(), "shared across shards");
+}
+
+TEST(RunnerBudget, JobsTimesSimThreadsFitsHardware)
+{
+    // The requested job count is honored whenever jobs × sim-threads
+    // fits the host...
+    EXPECT_EQ(ExperimentRunner::budgetWorkers(4, 2, 8), 4u);
+    // ...and clamped when it does not.
+    EXPECT_EQ(ExperimentRunner::budgetWorkers(8, 4, 8), 2u);
+    EXPECT_EQ(ExperimentRunner::budgetWorkers(8, 3, 8), 2u);
+    // sim-threads "auto" (0) means each job may use the whole machine:
+    // one job at a time.
+    EXPECT_EQ(ExperimentRunner::budgetWorkers(8, 0, 8), 1u);
+    // Never 0, even on hosts smaller than one job's pool.
+    EXPECT_EQ(ExperimentRunner::budgetWorkers(8, 4, 1), 1u);
+    EXPECT_EQ(ExperimentRunner::budgetWorkers(1, 16, 4), 1u);
+    // Unknown hardware concurrency (0) degrades to serial.
+    EXPECT_EQ(ExperimentRunner::budgetWorkers(8, 2, 0), 1u);
+}
+
+namespace {
+
+class Router;
+
+/**
+ * Lockstep-oracle island: a seeded random reactor pinned to its own
+ * shard that talks to its peers only through the shared-shard Router —
+ * every peer message is a cross-shard message. All externally-visible
+ * behavior happens only when an event is processed (a routed message or
+ * a due self-timer), and each producer logs into its own vector (shard
+ * state), so the run is comparable across kernels and thread counts.
+ */
+class Producer : public TickedComponent
+{
+  public:
+    Producer(uint32_t idx, uint64_t seed, Router *router,
+             uint32_t num_producers)
+        : TickedComponent("prod" + std::to_string(idx)), idx_(idx),
+          rng_(seed * 9176747ull + idx), router_(router),
+          numProducers_(num_producers)
+    {
+        selfNext_ = 1 + idx % 3; // clustered starts: contended cycles
+    }
+
+    /**
+     * The router hands over a routed message during its own tick. The
+     * router ticks after every producer (registration order), so the
+     * message becomes visible here next cycle.
+     */
+    void
+    deliver(Cycle cycle, uint32_t from)
+    {
+        wake(cycle); // the scheduler resolves to cycle + 1: we already ran
+        inbox_.push_back({cycle + 1, from});
+    }
+
+    void
+    tick(Cycle cycle) override
+    {
+        for (size_t i = 0; i < inbox_.size();) {
+            if (inbox_[i].visible > cycle) {
+                ++i;
+                continue;
+            }
+            uint32_t from = inbox_[i].from;
+            inbox_.erase(inbox_.begin() + static_cast<ptrdiff_t>(i));
+            event(cycle, "recv" + std::to_string(from));
+        }
+        if (selfNext_ != kAsleep && selfNext_ <= cycle) {
+            selfNext_ = kAsleep;
+            event(cycle, "self");
+        }
+    }
+
+    bool
+    busy() const override
+    {
+        return !inbox_.empty() || selfNext_ != kAsleep;
+    }
+
+    Cycle
+    nextEventCycle(Cycle cycle) const override
+    {
+        Cycle next = selfNext_;
+        for (const auto &msg : inbox_)
+            next = std::min(next, std::max(msg.visible, cycle + 1));
+        return next;
+    }
+
+    std::vector<std::string> log;
+
+  private:
+    struct Msg
+    {
+        Cycle visible;
+        uint32_t from;
+    };
+
+    void event(Cycle cycle, const std::string &what); // needs Router
+
+    uint32_t idx_;
+    Rng rng_;
+    Router *router_;
+    uint32_t numProducers_;
+    std::vector<Msg> inbox_;
+    Cycle selfNext_;
+    uint32_t processed_ = 0;
+};
+
+/**
+ * Shared-shard message switch, registered after every producer. Posts
+ * arriving mid-tick from a sharded producer are staged into the caller's
+ * private slot and replayed at the barrier in caller order — the same
+ * discipline mem::MemSystem uses — so the routing queue (and with it the
+ * whole run) is independent of worker interleaving.
+ */
+class Router : public TickedComponent
+{
+  public:
+    explicit Router(uint32_t num_producers)
+        : TickedComponent("router"), staged_(num_producers)
+    {}
+
+    void
+    attach(std::vector<std::unique_ptr<Producer>> *producers)
+    {
+        producers_ = producers;
+    }
+
+    /** Called by producers mid-tick; producer `from` has index `from`. */
+    void
+    post(Cycle cycle, uint32_t from, uint32_t to)
+    {
+        if (Simulator::currentShard() >= 0) {
+            staged_[from].push_back(to);
+            wake(cycle); // generic staged cross-shard wake
+            return;
+        }
+        postNow(cycle, from, to);
+    }
+
+    void
+    drainStaged(Cycle now) override
+    {
+        for (uint32_t from = 0; from < staged_.size(); ++from) {
+            for (uint32_t to : staged_[from]) {
+                Simulator::ReplayGuard guard(from);
+                postNow(now, from, to);
+            }
+            staged_[from].clear();
+        }
+    }
+
+    void
+    tick(Cycle cycle) override
+    {
+        for (size_t i = 0; i < queue_.size();) {
+            if (queue_[i].ready > cycle) {
+                ++i;
+                continue;
+            }
+            Routed m = queue_[i];
+            queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
+            log.push_back("c" + std::to_string(cycle) + " route " +
+                          std::to_string(m.from) + ">" +
+                          std::to_string(m.to));
+            (*producers_)[m.to]->deliver(cycle, m.from);
+        }
+    }
+
+    bool busy() const override { return !queue_.empty(); }
+
+    Cycle
+    nextEventCycle(Cycle cycle) const override
+    {
+        Cycle next = kAsleep;
+        for (const auto &m : queue_)
+            next = std::min(next, std::max(m.ready, cycle + 1));
+        return next;
+    }
+
+    std::vector<std::string> log;
+
+  private:
+    struct Routed
+    {
+        Cycle ready;
+        uint32_t from;
+        uint32_t to;
+    };
+
+    void
+    postNow(Cycle cycle, uint32_t from, uint32_t to)
+    {
+        wake(cycle); // we tick after every producer: lands this cycle
+        queue_.push_back({cycle + 1, from, to}); // one cycle of routing
+    }
+
+    std::vector<std::vector<uint32_t>> staged_;
+    std::vector<Routed> queue_;
+    std::vector<std::unique_ptr<Producer>> *producers_ = nullptr;
+};
+
+void
+Producer::event(Cycle cycle, const std::string &what)
+{
+    log.push_back("c" + std::to_string(cycle) + " " + what);
+    if (++processed_ >= 30)
+        return; // stop generating work so the network quiesces
+    uint64_t roll = rng_.nextBounded(100);
+    if (roll < 55) {
+        // One or two same-cycle posts; two in a row pin the per-caller
+        // program order across the barrier replay.
+        uint32_t sends = roll < 20 ? 2 : 1;
+        for (uint32_t s = 0; s < sends; ++s) {
+            uint32_t to =
+                static_cast<uint32_t>(rng_.nextBounded(numProducers_));
+            log.push_back("c" + std::to_string(cycle) + " send" +
+                          std::to_string(to));
+            router_->post(cycle, idx_, to);
+        }
+    } else if (roll < 85) {
+        Cycle at = cycle + 1 + rng_.nextBounded(6);
+        if (at < selfNext_)
+            selfNext_ = at;
+    } // else: go idle until the router delivers something
+}
+
+struct RouterRun
+{
+    Cycle cycles = 0;
+    std::vector<std::string> routerLog;
+    std::vector<std::vector<std::string>> producerLogs;
+    size_t routed = 0;
+};
+
+RouterRun
+runRouterNetwork(uint64_t seed, Simulator::Kernel kernel, unsigned threads)
+{
+    constexpr uint32_t kProducers = 8;
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(kernel);
+    sim.setSimThreads(threads);
+    Router router(kProducers);
+    std::vector<std::unique_ptr<Producer>> producers;
+    for (uint32_t i = 0; i < kProducers; ++i) {
+        producers.push_back(
+            std::make_unique<Producer>(i, seed, &router, kProducers));
+    }
+    router.attach(&producers);
+    for (uint32_t i = 0; i < kProducers; ++i)
+        sim.add(producers[i].get(), static_cast<int>(i));
+    sim.add(&router); // shared shard: serial, after the islands
+    sim.runToQuiescence(500'000);
+    RouterRun out;
+    out.cycles = sim.cycle();
+    out.routed = router.log.size();
+    out.routerLog = std::move(router.log);
+    for (auto &p : producers)
+        out.producerLogs.push_back(std::move(p->log));
+    return out;
+}
+
+} // namespace
+
+TEST(ThreadedOracle, RouterNetworkLockstepAcrossSeeds)
+{
+    size_t total_routed = 0;
+    for (uint64_t seed = 1; seed <= 55; ++seed) {
+        RouterRun ref =
+            runRouterNetwork(seed, Simulator::Kernel::EventDriven, 0);
+        total_routed += ref.routed;
+        RouterRun polling =
+            runRouterNetwork(seed, Simulator::Kernel::Polling, 0);
+        EXPECT_EQ(ref.cycles, polling.cycles)
+            << "polling cycles diverged for seed " << seed;
+        ASSERT_EQ(ref.routerLog, polling.routerLog)
+            << "polling routing diverged for seed " << seed;
+        ASSERT_EQ(ref.producerLogs, polling.producerLogs)
+            << "polling producer logs diverged for seed " << seed;
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            RouterRun t =
+                runRouterNetwork(seed, Simulator::Kernel::Threaded, threads);
+            EXPECT_EQ(ref.cycles, t.cycles)
+                << "cycles diverged for seed " << seed << " at "
+                << threads << " threads";
+            ASSERT_EQ(ref.routerLog, t.routerLog)
+                << "routing order diverged for seed " << seed << " at "
+                << threads << " threads";
+            ASSERT_EQ(ref.producerLogs, t.producerLogs)
+                << "producer logs diverged for seed " << seed << " at "
+                << threads << " threads";
+        }
+    }
+    // The oracle is only adversarial if messages actually crossed shards.
+    EXPECT_GT(total_routed, 1000u);
+}
+
+namespace {
+
+/** Force the process-wide kernel + thread-count defaults for one scope. */
+struct DefaultsGuard
+{
+    DefaultsGuard(Simulator::Kernel kernel, unsigned threads)
+    {
+        Simulator::setDefaultKernel(kernel);
+        Simulator::setDefaultSimThreads(threads);
+    }
+    ~DefaultsGuard()
+    {
+        Simulator::resetDefaultKernel();
+        Simulator::resetDefaultSimThreads();
+    }
+};
+
+struct WorkloadRun
+{
+    uint64_t cycles;
+    std::string stats;
+};
+
+WorkloadRun
+runWorkload(Simulator::Kernel kernel, unsigned threads, bool accelerated)
+{
+    DefaultsGuard guard(kernel, threads);
+    StatRegistry stats;
+    workloads::BTreeWorkload wl(trees::BTreeKind::BTree, 1000, 128, 5);
+    Config cfg;
+    cfg.accelMode = accelerated ? AccelMode::Tta : AccelMode::BaselineGpu;
+    workloads::RunMetrics m = accelerated ? wl.runAccelerated(cfg, stats)
+                                          : wl.runBaseline(cfg, stats);
+    std::ostringstream os;
+    stats.dump(os);
+    return {m.cycles, os.str()};
+}
+
+} // namespace
+
+TEST(ThreadedOracle, WorkloadBitIdenticalAcrossThreadCounts)
+{
+    for (bool accelerated : {false, true}) {
+        WorkloadRun ref =
+            runWorkload(Simulator::Kernel::EventDriven, 0, accelerated);
+        // 12 threads oversubscribes the 8 SM shards on purpose.
+        for (unsigned threads : {1u, 2u, 4u, 8u, 12u}) {
+            WorkloadRun t = runWorkload(Simulator::Kernel::Threaded,
+                                        threads, accelerated);
+            EXPECT_EQ(ref.cycles, t.cycles)
+                << (accelerated ? "tta" : "baseline")
+                << " cycles diverged at " << threads << " threads";
+            EXPECT_EQ(ref.stats, t.stats)
+                << (accelerated ? "tta" : "baseline")
+                << " stat dump diverged at " << threads << " threads";
+        }
+    }
+}
