@@ -17,15 +17,28 @@
  *   --sim-threads=LIST          comma-separated thread counts for the
  *                               threaded kernel (default "0" = auto);
  *                               e.g. --sim-threads=1,2,4,8
+ *   --sim-epoch=LIST            comma-separated epoch sizes for the
+ *                               threaded kernel (default "0" = auto:
+ *                               the machine model's limit); every
+ *                               (threads, epoch) pair is timed
  *   --json=FILE                 write the report as JSON ("-" = stdout)
- *   --check-skip-fraction=PCT   exit 1 unless the event kernel skipped
+ *   --check-skip-fraction=PCT   fail unless the event kernel skipped
  *                               at least PCT% of cycles (CI perf smoke)
- *   --check-threaded-speedup=X  exit 1 unless the best threaded
+ *   --check-threaded-speedup=X  fail unless the best threaded
  *                               configuration reaches X times the event
  *                               kernel's wall clock (CI perf smoke)
  *
+ * Exit codes are distinct per failure class so CI can tell a
+ * correctness break from a performance regression:
+ *   2  cross-kernel cycle mismatch (correctness: the offending bench,
+ *      kernel pair, thread count and epoch size are printed)
+ *   3  --check-threaded-speedup unmet (performance gate)
+ *   4  --check-skip-fraction unmet (performance gate)
+ *   64 usage error (bad flag or list syntax)
+ *   1  I/O error (e.g. unwritable --json path)
+ *
  * scripts/record_bench.sh wraps this binary into the committed
- * BENCH_4.json / BENCH_5.json.
+ * BENCH_4.json / BENCH_5.json / BENCH_6.json.
  */
 
 #include <algorithm>
@@ -51,6 +64,12 @@ using namespace ::tta::workloads;
 
 namespace {
 
+// Distinct exit codes; see the file comment.
+constexpr int kExitCycleMismatch = 2;
+constexpr int kExitSpeedupGate = 3;
+constexpr int kExitSkipGate = 4;
+constexpr int kExitUsage = 64;
+
 struct SpeedArgs
 {
     size_t keys = 20000;
@@ -61,12 +80,13 @@ struct SpeedArgs
     std::string json;
     std::string benchFilter; // substring match; empty = all
     std::vector<unsigned> simThreads = {0}; // threaded-kernel sweep
+    std::vector<unsigned> simEpochs = {0};  // epoch-size sweep
     double checkSkipFraction = -1.0;    // percent; <0 = no check
     double checkThreadedSpeedup = -1.0; // ratio; <0 = no check
 };
 
 std::vector<unsigned>
-parseThreadList(const char *spec)
+parseList(const char *flag, const char *spec)
 {
     std::vector<unsigned> out;
     const char *p = spec;
@@ -74,15 +94,15 @@ parseThreadList(const char *spec)
         char *end = nullptr;
         unsigned long v = std::strtoul(p, &end, 10);
         if (end == p) {
-            std::fprintf(stderr, "bad --sim-threads list '%s'\n", spec);
-            std::exit(2);
+            std::fprintf(stderr, "bad %s list '%s'\n", flag, spec);
+            std::exit(kExitUsage);
         }
         out.push_back(static_cast<unsigned>(v));
         p = *end == ',' ? end + 1 : end;
     }
     if (out.empty()) {
-        std::fprintf(stderr, "empty --sim-threads list\n");
-        std::exit(2);
+        std::fprintf(stderr, "empty %s list\n", flag);
+        std::exit(kExitUsage);
     }
     return out;
 }
@@ -113,7 +133,11 @@ parseArgs(int argc, char **argv)
             ok = true;
         }
         if (!ok && std::strncmp(argv[i], "--sim-threads=", 14) == 0) {
-            args.simThreads = parseThreadList(argv[i] + 14);
+            args.simThreads = parseList("--sim-threads", argv[i] + 14);
+            ok = true;
+        }
+        if (!ok && std::strncmp(argv[i], "--sim-epoch=", 12) == 0) {
+            args.simEpochs = parseList("--sim-epoch", argv[i] + 12);
             ok = true;
         }
         if (!ok &&
@@ -129,7 +153,7 @@ parseArgs(int argc, char **argv)
         }
         if (!ok) {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-            std::exit(2);
+            std::exit(kExitUsage);
         }
     }
     return args;
@@ -147,6 +171,7 @@ struct RunResult
     std::string bench;
     const char *kernel;
     unsigned simThreads = 0; //!< threaded kernel only; 0 elsewhere
+    unsigned simEpoch = 0;   //!< threaded kernel only; 0 = auto
     uint64_t cycles = 0;
     double wallSeconds = 0.0;
     double cyclesPerSec = 0.0;
@@ -155,11 +180,13 @@ struct RunResult
 
 RunResult
 timeOne(const Bench &bench, sim::Simulator::Kernel kernel,
-        unsigned sim_threads = 0)
+        unsigned sim_threads = 0, unsigned sim_epoch = 0)
 {
     sim::Simulator::setDefaultKernel(kernel);
-    if (kernel == sim::Simulator::Kernel::Threaded)
+    if (kernel == sim::Simulator::Kernel::Threaded) {
         sim::Simulator::setDefaultSimThreads(sim_threads);
+        sim::Simulator::setDefaultSimEpoch(sim_epoch);
+    }
     sim::SchedulerTelemetry::reset();
     sim::Config cfg;
     cfg.accelMode = bench.mode;
@@ -169,6 +196,7 @@ timeOne(const Bench &bench, sim::Simulator::Kernel kernel,
     auto stop = std::chrono::steady_clock::now();
     sim::Simulator::resetDefaultKernel();
     sim::Simulator::resetDefaultSimThreads();
+    sim::Simulator::resetDefaultSimEpoch();
 
     RunResult r;
     r.bench = bench.name;
@@ -185,6 +213,8 @@ timeOne(const Bench &bench, sim::Simulator::Kernel kernel,
     }
     r.simThreads =
         kernel == sim::Simulator::Kernel::Threaded ? sim_threads : 0;
+    r.simEpoch =
+        kernel == sim::Simulator::Kernel::Threaded ? sim_epoch : 0;
     r.cycles = m.cycles;
     r.wallSeconds = std::chrono::duration<double>(stop - start).count();
     uint64_t processed = sim::SchedulerTelemetry::cyclesTicked();
@@ -206,11 +236,11 @@ writeJson(std::ostream &os, const std::vector<RunResult> &runs,
         char buf[320];
         std::snprintf(buf, sizeof(buf),
                       "    {\"bench\": \"%s\", \"kernel\": \"%s\", "
-                      "\"sim_threads\": %u, "
+                      "\"sim_threads\": %u, \"sim_epoch\": %u, "
                       "\"cycles\": %llu, \"wall_s\": %.4f, "
                       "\"cycles_per_sec\": %.0f, "
                       "\"skipped_cycle_fraction\": %.4f}",
-                      r.bench.c_str(), r.kernel, r.simThreads,
+                      r.bench.c_str(), r.kernel, r.simThreads, r.simEpoch,
                       static_cast<unsigned long long>(r.cycles),
                       r.wallSeconds, r.cyclesPerSec, r.skippedFraction);
         os << buf << (i + 1 < runs.size() ? ",\n" : "\n");
@@ -275,8 +305,10 @@ main(int argc, char **argv)
 
     std::vector<RunResult> runs;
     double wall_polling = 0.0, wall_event = 0.0;
-    // Per-thread-count threaded wall clock, indexed like simThreads.
-    std::vector<double> wall_threaded(args.simThreads.size(), 0.0);
+    // Per-(thread count, epoch size) threaded wall clock, flattened
+    // threads-major like the sweep loop below.
+    const size_t n_pairs = args.simThreads.size() * args.simEpochs.size();
+    std::vector<double> wall_threaded(n_pairs, 0.0);
     uint64_t skipped_total = 0, cycle_total = 0;
     bool mismatch = false;
     std::printf("%-16s %10s %12s %10s %14s %9s\n", "bench", "kernel",
@@ -284,7 +316,8 @@ main(int argc, char **argv)
     auto report = [&](const RunResult &r) {
         char kernel[32];
         if (r.kernel == std::string("threaded")) {
-            std::snprintf(kernel, sizeof(kernel), "thr/%u", r.simThreads);
+            std::snprintf(kernel, sizeof(kernel), "thr/%u/k%u",
+                          r.simThreads, r.simEpoch);
         } else {
             std::snprintf(kernel, sizeof(kernel), "%s", r.kernel);
         }
@@ -300,12 +333,12 @@ main(int argc, char **argv)
             return;
         std::fprintf(stderr,
                      "FAIL: %s simulated %llu cycles under %s but %llu "
-                     "under %s (sim_threads=%u)\n",
+                     "under %s (sim_threads=%u, sim_epoch=%u)\n",
                      r.bench.c_str(),
                      static_cast<unsigned long long>(ref.cycles),
                      ref.kernel,
                      static_cast<unsigned long long>(r.cycles), r.kernel,
-                     r.simThreads);
+                     r.simThreads, r.simEpoch);
         mismatch = true;
     };
     for (const Bench &bench : benches) {
@@ -320,12 +353,15 @@ main(int argc, char **argv)
         report(event);
         checkCycles(polling, event);
         for (size_t ti = 0; ti < args.simThreads.size(); ++ti) {
-            RunResult threaded = timeOne(
-                bench, sim::Simulator::Kernel::Threaded,
-                args.simThreads[ti]);
-            report(threaded);
-            checkCycles(event, threaded);
-            wall_threaded[ti] += threaded.wallSeconds;
+            for (size_t ei = 0; ei < args.simEpochs.size(); ++ei) {
+                RunResult threaded = timeOne(
+                    bench, sim::Simulator::Kernel::Threaded,
+                    args.simThreads[ti], args.simEpochs[ei]);
+                report(threaded);
+                checkCycles(event, threaded);
+                wall_threaded[ti * args.simEpochs.size() + ei] +=
+                    threaded.wallSeconds;
+            }
         }
         wall_polling += polling.wallSeconds;
         wall_event += event.wallSeconds;
@@ -336,17 +372,19 @@ main(int argc, char **argv)
             static_cast<uint64_t>(event.skippedFraction * total);
     }
     if (mismatch)
-        return 1;
+        return kExitCycleMismatch;
 
     double speedup = wall_event > 0.0 ? wall_polling / wall_event : 0.0;
     double best_threaded = 0.0;
     for (size_t ti = 0; ti < args.simThreads.size(); ++ti) {
-        double s = wall_threaded[ti] > 0.0
-                       ? wall_event / wall_threaded[ti]
-                       : 0.0;
-        std::printf("threaded speedup vs event (sim-threads=%u): %.2fx\n",
-                    args.simThreads[ti], s);
-        best_threaded = std::max(best_threaded, s);
+        for (size_t ei = 0; ei < args.simEpochs.size(); ++ei) {
+            double w = wall_threaded[ti * args.simEpochs.size() + ei];
+            double s = w > 0.0 ? wall_event / w : 0.0;
+            std::printf("threaded speedup vs event (sim-threads=%u, "
+                        "sim-epoch=%u): %.2fx\n",
+                        args.simThreads[ti], args.simEpochs[ei], s);
+            best_threaded = std::max(best_threaded, s);
+        }
     }
     double event_skipped =
         cycle_total ? static_cast<double>(skipped_total) / cycle_total
@@ -376,15 +414,16 @@ main(int argc, char **argv)
                      "FAIL: event kernel skipped only %.1f%% of cycles "
                      "(required >= %.1f%%)\n",
                      100.0 * event_skipped, args.checkSkipFraction);
-        return 1;
+        return kExitSkipGate;
     }
     if (args.checkThreadedSpeedup >= 0.0 &&
         best_threaded < args.checkThreadedSpeedup) {
         std::fprintf(stderr,
                      "FAIL: best threaded speedup vs event is %.2fx "
-                     "(required >= %.2fx)\n",
+                     "(required >= %.2fx; swept sim-threads x sim-epoch "
+                     "pairs are listed above)\n",
                      best_threaded, args.checkThreadedSpeedup);
-        return 1;
+        return kExitSpeedupGate;
     }
     return 0;
 }

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Record simulator-speed benchmarks into BENCH_4.json and BENCH_5.json.
+# Record simulator-speed benchmarks into BENCH_4.json, BENCH_5.json and
+# BENCH_6.json.
 #
 # BENCH_4: runs bench_speed (every workload under both serial kernels,
 # verifying the simulated cycle counts match) and times a serial
@@ -14,7 +15,17 @@
 # than simulation threads measure scheduling overhead, not speedup, and
 # the report says so.
 #
-# Usage: scripts/record_bench.sh [build-dir] [bench4-out] [bench5-out]
+# BENCH_6: sweeps the threaded kernel across thread counts x epoch sizes
+# (BENCH6_SIM_EPOCHS, default 1,20,64; 1 = the BENCH_5-era per-cycle
+# barrier) on the two largest configs, recording threaded-vs-event
+# wall-clock ratios per (threads, epoch) pair. On a single-core host the
+# speedup section is REFUSED: only raw wall times are recorded, because
+# "threaded vs event" on one core measures barrier overhead under
+# time-sharing, not parallel speedup — exactly the misreading the
+# original BENCH_5 numbers invited.
+#
+# Usage: scripts/record_bench.sh [build-dir] [bench4-out] [bench5-out] \
+#            [bench6-out]
 #
 # The pre-refactor fig12 baseline (the polling kernel before the
 # event-driven scheduler and its profiling-driven fixes landed, commit
@@ -27,8 +38,10 @@ cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 OUT=${2:-BENCH_4.json}
 OUT5=${3:-BENCH_5.json}
+OUT6=${4:-BENCH_6.json}
 PRE=${PRE_REFACTOR_POLLING_WALL_S:-110.9}
 THREADS=${BENCH5_SIM_THREADS:-1,2,4,8}
+EPOCHS=${BENCH6_SIM_EPOCHS:-1,20,64}
 
 SPEED_JSON=$(mktemp)
 BENCH5_DIR=$(mktemp -d)
@@ -189,4 +202,106 @@ json.dump(report, open(out, "w"), indent=2)
 print(f"wrote {out}: best threaded-vs-event {best:.2f}x on "
       f"{host_cores} host cores; smallest-config worst ratio "
       f"{worst_small:.2f}x")
+EOF
+
+# ---------------------------------------------------------------------
+# BENCH_6: threaded kernel, thread-count x epoch-size sweep.
+# ---------------------------------------------------------------------
+
+BENCH6_DIR=$(mktemp -d)
+trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR" "$BENCH6_DIR"' EXIT
+
+BENCH6_CONFIGS="btree/tta rtnn/tta"
+i=0
+for cfg in $BENCH6_CONFIGS; do
+    echo "== bench_speed, $cfg, threaded sweep" \
+         "(sim-threads=$THREADS, sim-epoch=$EPOCHS) =="
+    "$BUILD"/bench/bench_speed --bench="$cfg" --sim-threads="$THREADS" \
+        --sim-epoch="$EPOCHS" --json="$BENCH6_DIR/cfg_$i.json"
+    i=$((i + 1))
+done
+
+python3 - "$BENCH6_DIR" "$OUT6" "$HOST_CORES" "$THREADS" "$EPOCHS" <<'EOF'
+import glob
+import json
+import os
+import sys
+
+bench_dir, out, host_cores, threads, epochs = sys.argv[1:6]
+host_cores = int(host_cores)
+thread_list = [int(t) for t in threads.split(",")]
+epoch_list = [int(e) for e in epochs.split(",")]
+
+configs = {}
+for path in sorted(glob.glob(os.path.join(bench_dir, "cfg_*.json"))):
+    doc = json.load(open(path))
+    for r in doc["runs"]:
+        entry = configs.setdefault(r["bench"], {"threaded_wall_s": {}})
+        if r["kernel"] == "event":
+            entry["event_wall_s"] = r["wall_s"]
+        elif r["kernel"] == "threaded":
+            key = f"threads={r['sim_threads']},epoch={r['sim_epoch']}"
+            entry["threaded_wall_s"][key] = r["wall_s"]
+
+report = {
+    "bench": "BENCH_6",
+    "description": "simulator wall-clock: threaded kernel with "
+                   "epoch-batched barriers vs event-driven kernel, per "
+                   "(sim-threads, sim-epoch) pair (identical simulated "
+                   "cycles, cross-checked by bench_speed)",
+    "host_cores": host_cores,
+    "sim_threads": thread_list,
+    "sim_epochs": epoch_list,
+    "configs": configs,
+}
+
+if host_cores < 2:
+    # A single-core host time-shares every simulation thread: a
+    # threaded/event wall-clock ratio measured here is scheduling
+    # overhead, not speedup, and publishing it as "speedup" is exactly
+    # the misreading BENCH_5's first recording invited. Record the raw
+    # walls only.
+    report["speedup"] = None
+    report["notes"] = [
+        f"recorded on a {host_cores}-core host: the speedup section is "
+        "refused (threaded vs event on one core measures time-sharing "
+        "overhead, not parallel speedup). Re-run on a multi-core host "
+        "to populate it; the CI perf-smoke job gates threaded >= event "
+        "at 4 threads on 4-vCPU runners."
+    ]
+    json.dump(report, open(out, "w"), indent=2)
+    print(f"wrote {out}: raw walls only (speedup section refused on a "
+          f"{host_cores}-core host)")
+    sys.exit(0)
+
+speedup = {}
+worst = None
+best_at_4 = {}
+for bench, entry in configs.items():
+    ev = entry["event_wall_s"]
+    per_pair = {}
+    for key, w in sorted(entry["threaded_wall_s"].items()):
+        s = round(ev / w, 3) if w > 0 else 0.0
+        per_pair[key] = s
+        worst = s if worst is None else min(worst, s)
+        if "threads=4," in key and key.split("epoch=")[1] != "1":
+            cur = best_at_4.get(bench)
+            best_at_4[bench] = s if cur is None else max(cur, s)
+    speedup[bench] = per_pair
+
+report["speedup"] = speedup
+report["summary"] = {
+    "worst_pair_ratio": worst,
+    "speedup_at_4_threads_epoch_batched": best_at_4,
+    "gates": "target: >= 2x at 4 threads on both configs with epoch "
+             "batching on; >= 0.95x at every swept pair",
+}
+report["notes"] = [
+    "sim-epoch=1 is the pre-epoch per-cycle barrier (the BENCH_5 "
+    "configuration); larger epochs amortize the two L2 barriers over K "
+    "cycles of per-shard work."
+]
+json.dump(report, open(out, "w"), indent=2)
+print(f"wrote {out}: worst pair {worst}x; 4-thread epoch-batched "
+      f"speedups {best_at_4}")
 EOF

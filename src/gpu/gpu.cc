@@ -1,5 +1,6 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -40,6 +41,14 @@ Gpu::Gpu(const sim::Config &cfg, sim::StatRegistry &stats)
     for (uint32_t sm = 0; sm < cfg_.numSms; ++sm)
         memsys_->setCoreWaker(sm, cores_[sm].get());
     sim_.setWatchdog(cfg_.watchdogCycles);
+    // Epoch-batched barriers (threaded kernel): the GPU model is safe
+    // for windows up to the shorter cache latency — any request issued
+    // inside a window matures (responses, downstream forwards) at least
+    // one full L1 latency later, i.e. after the window closed, so the
+    // memory system's per-SM acceptance projections stay exact for the
+    // whole window (DESIGN.md "Epoch-batched barriers").
+    sim_.setEpochLimit(
+        std::min<sim::Cycle>(cfg_.l1LatencyCycles, cfg_.l2LatencyCycles));
 }
 
 Gpu::~Gpu() = default;
@@ -127,6 +136,11 @@ Gpu::runKernels(std::vector<Launch> launches)
     while (remaining || sim_.anyBusy()) {
         if (remaining)
             remaining = dispatch(states);
+        // Dispatch scans free warp slots between advances (dynamic load
+        // balancing), so while launches remain the clock must move one
+        // processed cycle at a time — epoch windows would overrun the
+        // next dispatch opportunity.
+        sim_.setDispatchPending(remaining);
         if (!sim_.advance(start + max_cycles)) {
             // Event-driven kernel with nothing scheduled: a busy
             // component missed a wake edge (a model bug, not a user

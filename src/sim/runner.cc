@@ -167,11 +167,10 @@ RunRecord::toJson(bool include_timing) const
 
 ExperimentRunner::ExperimentRunner(unsigned threads) : threads_(threads)
 {
-    if (threads_ == 0) {
-        threads_ = std::thread::hardware_concurrency();
-        if (threads_ == 0)
-            threads_ = 1;
-    }
+    // Simulator::hardwareConcurrency() folds the standard's "0 = not
+    // computable" escape hatch to one core (and honours the test hook).
+    if (threads_ == 0)
+        threads_ = Simulator::hardwareConcurrency();
 }
 
 unsigned
@@ -227,14 +226,14 @@ ExperimentRunner::run(const std::vector<Job> &jobs) const
     // worker pool: cap jobs-in-flight so jobs × sim-threads stays within
     // the host's hardware concurrency instead of thrashing it.
     if (Simulator::defaultKernel() == Simulator::Kernel::Threaded) {
-        unsigned hw = std::thread::hardware_concurrency();
+        unsigned hw = Simulator::hardwareConcurrency();
         unsigned budgeted =
             budgetWorkers(n, Simulator::defaultSimThreads(), hw);
         if (budgeted < n) {
             std::fprintf(stderr,
                          "runner: clamping --jobs from %u to %u so jobs "
                          "x sim-threads fits %u host threads\n",
-                         n, budgeted, hw ? hw : 1);
+                         n, budgeted, hw);
             n = budgeted;
         }
     }

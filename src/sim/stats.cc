@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <iomanip>
+#include <sstream>
 
 namespace tta::sim {
 
@@ -42,6 +43,14 @@ StatRegistry::dump(std::ostream &os) const
         os << kv.first << ".max " << kv.second.maxValue() << "\n";
         os << kv.first << ".overflow " << kv.second.overflow() << "\n";
     }
+}
+
+std::string
+StatRegistry::dumpString() const
+{
+    std::ostringstream os;
+    dump(os);
+    return os.str();
 }
 
 void

@@ -225,6 +225,14 @@ class StatRegistry
     /** Dump all stats as CSV rows "name,value". */
     void dumpCsv(std::ostream &os) const;
 
+    /**
+     * dump() into a string. The canonical equality oracle for the
+     * kernel-equivalence tests: two runs are bit-identical iff their
+     * dumpString()s compare equal (every counter, scalar and histogram
+     * participates, in sorted order).
+     */
+    std::string dumpString() const;
+
     const std::map<std::string, Counter> &counters() const
     {
         return counters_;

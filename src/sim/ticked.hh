@@ -67,6 +67,25 @@
  *     replayed from drainStaged() (see mem::MemSystem). Both are drained
  *     at the barrier after the parallel segment, ordered by the caller's
  *     registration index, which equals SM id order for the machine model.
+ *
+ * Additional contract under epoch batching (K > 1; see DESIGN.md
+ * "Epoch-batched barriers"):
+ *
+ *  6. A tick delivered to a component with no in-flight work (busy()
+ *     false and nothing staged for it) must be externally side-effect
+ *     free — no stat updates, no messages — and must not self-schedule
+ *     beyond the next cycle. The epoch window may process such no-op
+ *     ticks past the quiescence point the serial kernels stop at; the
+ *     trim step re-inserts their consumed tick requests so a later
+ *     launch replays them exactly as the serial kernels would.
+ *  7. Shared-shard components must bound, via epochCycleBound(), how many
+ *     cycles their externally visible behavior (acceptance decisions,
+ *     response timing) can be projected from the window-entry state.
+ *     The window length never exceeds that bound, the model's static
+ *     epoch limit (Gpu: min(L1, L2) latency), or the distance to any
+ *     shared component's next due tick — so shared components never miss
+ *     a tick and per-shard projections (mem::MemSystem::canAccept) stay
+ *     exact.
  */
 
 #ifndef TTA_SIM_TICKED_HH
@@ -75,6 +94,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -149,6 +169,52 @@ class TickedComponent
     virtual void drainStaged(Cycle now) { (void)now; }
 
     /**
+     * Epoch-batched kernel only (shared-shard components): upper bound,
+     * evaluated at window entry, on how many cycles this component's
+     * externally visible behavior can be projected without ticking it.
+     * The window length K never exceeds the minimum over all shared
+     * components. The conservative default — one cycle while busy,
+     * unbounded while idle — disables batching for any shared component
+     * with in-flight work unless it overrides this with a real bound
+     * (mem::MemSystem bounds by free MSHR headroom).
+     */
+    virtual Cycle
+    epochCycleBound(Cycle cycle) const
+    {
+        (void)cycle;
+        return busy() ? 1 : kAsleep;
+    }
+
+    /**
+     * Epoch-batched kernel only: the window [begin, end) is starting.
+     * Shared-shard components snapshot whatever per-shard projection
+     * state their in-window acceptance decisions need (and reset their
+     * issue-cycle-tagged staging buffers). No-op default.
+     */
+    virtual void beginEpochWindow(Cycle begin, Cycle end)
+    {
+        (void)begin;
+        (void)end;
+    }
+
+    /** Epoch-batched kernel only: the window finished replaying. */
+    virtual void endEpochWindow() {}
+
+    /**
+     * Epoch-batched kernel only: replay, at window-replay cycle `cycle`,
+     * the messages caller `caller_index` staged into this component with
+     * issue cycle `cycle` during the window's parallel run. Called on
+     * shared-shard components for every (cycle, caller) pair in
+     * ascending (cycle, caller-registration-index) order, interleaved
+     * with the generic staged wakes of the same pair. No-op default.
+     */
+    virtual void replayStagedFrom(Cycle cycle, uint32_t caller_index)
+    {
+        (void)cycle;
+        (void)caller_index;
+    }
+
+    /**
      * Ask the owning simulator to tick this component at `at` (resolved
      * against same-cycle ordering; see Simulator::wake). No-op when the
      * component is not registered or the kernel is polling.
@@ -156,8 +222,29 @@ class TickedComponent
     void wake(Cycle at);
     /** wake() at the simulator's current cycle. */
     void wakeNow();
+    /**
+     * Advisory wake: like wake(), but carries no information a sleeping
+     * target strictly needs — any consumer genuinely waiting on the
+     * signalled condition must also self-schedule its own retry tick
+     * (e.g. a core refused by MemSystem::canAccept inside an epoch
+     * window retries at nextAcceptCycle()). During epoch-window replay
+     * a hint that resolves to a window cycle where the target never
+     * ticked is therefore dropped (the tick it would have caused is a
+     * stat-neutral no-op) instead of being treated as a rule-7
+     * violation. Use for broadcast "resource freed" edges that may
+     * target components which were never waiting.
+     */
+    void wakeHint(Cycle at);
 
     const std::string &name() const { return name_; }
+
+  protected:
+    /** Registration index of this component (tick order); 0 before
+     *  Simulator::add(). Shared components compare it against
+     *  Simulator::currentIndex() to tell earlier-ticking callers (cores)
+     *  from later-ticking ones (accelerators) when projecting in-window
+     *  behavior. */
+    uint32_t schedIndex() const { return schedIndex_; }
 
   private:
     friend class Simulator;
@@ -245,6 +332,45 @@ class Simulator
     /** Back to the environment-derived default. */
     static void resetDefaultSimThreads();
 
+    /**
+     * Epoch size the threaded kernel uses when a Simulator does not
+     * choose explicitly: the TTA_SIM_EPOCH environment variable, a
+     * programmatic override (`--sim-epoch` on the benches), or 0 for
+     * "auto" (the machine model's setEpochLimit(), i.e. min(L1, L2)
+     * latency for the GPU). 1 disables batching (per-cycle barriers).
+     * Kept out of Config (like kernel and thread count) so configDigest
+     * — and with it golden stats and run JSON — is identical across
+     * epoch sizes.
+     */
+    static unsigned defaultSimEpoch();
+    static void setDefaultSimEpoch(unsigned epoch);
+    /** Back to the environment-derived default. */
+    static void resetDefaultSimEpoch();
+
+    /**
+     * std::thread::hardware_concurrency() with the standard-permitted
+     * 0 return mapped to 1, and an injectable test hook. Every probe in
+     * the simulator and runner goes through here so the zero-cores
+     * fallback (and the oversubscription spin guard) is testable.
+     */
+    static unsigned hardwareConcurrency();
+    /** Test hook: force hardwareConcurrency()'s raw probe value
+     *  (0 exercises the fallback); nullptr restores the real probe. */
+    static void setHardwareConcurrencyHookForTest(unsigned (*probe)());
+
+    /**
+     * Iterations a threaded-kernel participant spins before blocking on
+     * the barrier condvar: the TTA_SIM_SPIN environment variable, else
+     * 20000 on multi-core hosts and 0 on single-core ones. Per-run the
+     * effective budget is additionally forced to 0 when the pool is
+     * oversubscribed (threads > hardware cores) — spinning then only
+     * steals the cycles the other workers need.
+     */
+    static unsigned defaultSpinBudget();
+    /** Spin budget this simulator's barriers actually use (valid once
+     *  the threaded kernel has finalized; 0 before). */
+    unsigned effectiveSpinBudget() const { return spinBudget_; }
+
     void setKernel(Kernel kernel) { kernel_ = kernel; }
     Kernel kernel() const { return kernel_; }
 
@@ -253,6 +379,48 @@ class Simulator
     void setSimThreads(unsigned threads) { threadsRequested_ = threads; }
     /** Worker threads in use (1 until the threaded kernel finalizes). */
     unsigned simThreads() const { return threadsUsed_; }
+
+    /** Requested epoch size for this simulator (0 = auto: the model's
+     *  setEpochLimit(); 1 = per-cycle barriers). */
+    void setSimEpoch(unsigned epoch) { epochRequested_ = epoch; }
+    unsigned simEpoch() const { return epochRequested_; }
+
+    /**
+     * Machine-model opt-in ceiling for epoch batching. The default (1)
+     * keeps per-cycle barriers: only a model that has audited its
+     * components against contract rules 6-7 may raise it. The GPU model
+     * sets min(l1LatencyCycles, l2LatencyCycles): any in-window request
+     * is only reacted to (pops aside) at least one full L1 latency
+     * later, i.e. after the window ends, which is what keeps the
+     * per-shard acceptance projections exact.
+     */
+    void setEpochLimit(Cycle limit) { epochLimit_ = limit ? limit : 1; }
+    Cycle epochLimit() const { return epochLimit_; }
+
+    /**
+     * True while the machine model's run loop still has undispatched
+     * work it hands out between simulator advances. Warp dispatch is
+     * dynamically load-balanced (free-slot scans), so its timing must
+     * not shift: epoch windows are suppressed (K = 1) while pending.
+     */
+    void setDispatchPending(bool pending) { dispatchPending_ = pending; }
+
+    /**
+     * Cycle the calling thread's in-progress tick (or staged-message
+     * replay) is executing at; only meaningful while a tick or replay is
+     * in progress (like currentIndex). Inside an epoch window the global
+     * clock parks at the window start while shards run ahead, so in-tick
+     * code must use this, never cycle(), for "now".
+     */
+    static Cycle currentTickCycle();
+    /**
+     * End (exclusive) of the epoch window the calling thread is running
+     * or replaying under; 0 when outside a window (K = 1 paths). Lets
+     * components choose window-only behavior (e.g. a core re-arming its
+     * own retry tick on back-pressure instead of relying on the memory
+     * system's wake).
+     */
+    static Cycle currentEpochEnd();
 
     /**
      * Shard of the component the *current thread* is ticking: >= 0 while
@@ -363,7 +531,7 @@ class Simulator
      * segment that already ran is a model bug (it could never be
      * delivered the way the serial kernels would) and panics.
      */
-    void wake(TickedComponent *comp, Cycle at);
+    void wake(TickedComponent *comp, Cycle at, bool hint = false);
 
     /** Components currently scheduled for a future tick. */
     uint32_t awakeComponents() const;
@@ -388,12 +556,19 @@ class Simulator
         bool parallel; //!< all members have shard >= 0
     };
 
-    /** A cross-shard wake captured mid-segment, replayed at the barrier. */
+    /** A cross-shard wake captured mid-segment, replayed at the barrier.
+     *  issueCycle tags the cycle the caller was ticking when it staged
+     *  the wake: the epoch replay delivers wakes in (issueCycle,
+     *  callerIndex, staging sequence) order; at K = 1 every entry's
+     *  issueCycle equals the current cycle and the order reduces to the
+     *  per-cycle kernel's (callerIndex, sequence). */
     struct StagedWake
     {
         uint32_t callerIndex;
         uint32_t targetIndex;
         Cycle at;
+        Cycle issueCycle;
+        bool hint; //!< advisory (wakeHint): droppable during replay
     };
 
     void scheduleAt(uint32_t index, Cycle at);
@@ -406,10 +581,10 @@ class Simulator
     void syncSchedTrace(uint32_t index);
     void flushTelemetry();
 
-    /** Consume component `index`'s request for the current cycle and
-     *  tick it, with the thread-local tick context set to `shard`. */
-    void runDue(uint32_t index, int shard);
-    /** One processed cycle under the threaded kernel. */
+    /** Consume component `index`'s request for cycle `c` and tick it,
+     *  with the thread-local tick context set to `shard` / `c`. */
+    void runDue(uint32_t index, int shard, Cycle c);
+    /** One processed cycle under the threaded kernel (K = 1 path). */
     void stepThreaded();
     /** Run one parallel segment (inline or across the pool) and drain. */
     void runParallelSegment(uint32_t seg);
@@ -421,6 +596,35 @@ class Simulator
     void finalizeShards();
     void workerLoop(uint32_t worker);
     void stopWorkers();
+    /** Release the pool and run `fn` as worker 0; returns after every
+     *  worker finished its slice. `fn` is dispatched by generation: the
+     *  current window/segment mode is read from epochActive_. */
+    void runPooled();
+
+    // Epoch-batched window machinery (K > 1; see DESIGN.md).
+    /** Effective window length at the current cycle, honoring the
+     *  requested size, the model limit, shared-component due cycles and
+     *  epochCycleBound()s, pending dispatch, and `horizon`. */
+    Cycle epochWindowLength(Cycle horizon) const;
+    /** Run the window [cycle_, cycle_ + k): shards ahead in parallel,
+     *  then serial replay, then quiescence trim. */
+    void runEpochWindow(Cycle k);
+    /** Worker `worker`'s shards, all window cycles, in cycle-major
+     *  component order. */
+    void runWindowSlice(uint32_t worker);
+    /** Serial part of the window: shared-component ticks interleaved
+     *  with staged wakes / component staging buffers in (cycle, caller)
+     *  order. Returns the cycle the clock settles at: one past the
+     *  first globally idle cycle (where the serial run loops stop), or
+     *  `end`. */
+    Cycle replayWindow(Cycle begin, Cycle end);
+    /** Trim the window at global quiescence: re-insert tick requests
+     *  the overshoot cycles [settle, end) consumed, so a later launch
+     *  replays them like the serial kernels would, and account
+     *  processed/skipped cycles for [begin, settle). */
+    void trimWindow(Cycle begin, Cycle settle, Cycle end);
+    /** Greedy LPT reassignment of shards to workers by measured cost. */
+    void rebalanceShards();
 
     StatRegistry *stats_;
     std::vector<TickedComponent *> components_;
@@ -446,11 +650,41 @@ class Simulator
     std::vector<uint32_t> segOf_;    //!< per component; segment ordinal
     std::vector<Segment> segments_;
     std::vector<std::vector<StagedWake>> stagedWakes_; //!< per shard
+    std::vector<StagedWake> mergedWakes_; //!< drain/replay scratch
     uint32_t numShards_ = 0;
     unsigned threadsRequested_;      //!< 0 = auto (hardware concurrency)
     unsigned threadsUsed_ = 1;
     bool finalized_ = false;
     int drainSeg_ = -1; //!< segment being drained; -1 outside drains
+    unsigned spinBudget_ = 0; //!< effective barrier spin (finalizeShards)
+
+    // Epoch-batched window state (valid while a window runs/replays).
+    unsigned epochRequested_;   //!< 0 = auto (model limit); 1 = off
+    Cycle epochLimit_ = 1;      //!< model opt-in ceiling (setEpochLimit)
+    bool dispatchPending_ = false;
+    Cycle winBegin_ = 0;
+    Cycle winEnd_ = 0;          //!< 0 = no window active
+    /** Per component: bit (c - winBegin_) set if it ticked at window
+     *  cycle c. Written only by the owning worker during the parallel
+     *  run (shard comps) or the coordinator during replay (shared
+     *  comps); read by the replay's early-wake filter and the trim. */
+    std::vector<uint64_t> tickedBits_;
+    /** Per shard / per shared component: bit c set if any member was
+     *  busy() after its cycle-c tick slot — the trim's quiescence scan. */
+    std::vector<uint64_t> shardBusyBits_;
+    uint64_t serialBusyBits_ = 0;
+    /** Per shard: components in registration order (the slice loop). */
+    std::vector<std::vector<uint32_t>> shardComps_;
+    /** Shared components' registration indices, in order. */
+    std::vector<uint32_t> sharedComps_;
+
+    // Measured-cost rebalancing: runDue accumulates an approximate tick
+    // cost per shard; finishAccounting() reassigns shards to workers by
+    // greedy LPT on the observed costs, so a later run (kernel fusion /
+    // multi-launch benches) spreads hot shards across the pool. Purely a
+    // performance decision: results never depend on the assignment.
+    std::vector<uint32_t> shardWorker_;  //!< shard -> worker
+    std::vector<uint64_t> shardCost_;    //!< ticks run per shard
 
     // Worker pool (threadsUsed_ - 1 threads; the coordinator is worker
     // 0). Release/join are generation-counted: the coordinator bumps
@@ -465,6 +699,11 @@ class Simulator
     std::mutex poolMutex_;
     std::condition_variable poolCv_; //!< coordinator -> workers
     std::condition_variable doneCv_; //!< last worker -> coordinator
+    //! First exception thrown on a worker's slice this release (written
+    //! under poolMutex_); the coordinator rethrows it after the join so
+    //! fatal()s inside worker ticks propagate exactly like the serial
+    //! kernels' instead of terminating the process.
+    std::exception_ptr poolError_;
 
     uint64_t cyclesTicked_ = 0;
     uint64_t cyclesSkipped_ = 0;

@@ -37,6 +37,16 @@
  * components pick their streams up from the registry they already
  * receive. sim::ExperimentRunner does the attach automatically for
  * jobs that carry a tracer (Job::tracer).
+ *
+ * Epoch-batched windows (sim/ticked.hh): component-emitted events carry
+ * the cycle the component actually ticked at, so TraceWarp/TraceRta/
+ * TracePipe/TraceMem/TraceOp streams are unaffected by batching. The
+ * scheduler's own TraceSched occupancy samples are the one exception —
+ * mid-window samples could go backwards across a trimmed overshoot, so
+ * the simulator suppresses them inside a window and emits one settled
+ * sample per component at each epoch barrier. TraceSched under the
+ * threaded kernel is therefore epoch-granular; run with --sim-epoch=1
+ * for per-cycle scheduler samples.
  */
 
 #ifndef TTA_SIM_TRACE_HH

@@ -12,9 +12,15 @@
  * kernel at several pool sizes, requiring identical logs and cycle
  * counts across many seeds. A workload-level test runs a real simulation
  * at thread counts 1..12 (including oversubscribed: more threads than
- * SMs) and diffs the entire stat dump against the event kernel. Death
- * tests pin the two model-bug diagnostics (an undeliverable same-cycle
- * cross-shard wake, a trace stream shared across shards), and the
+ * SMs) and diffs the entire stat dump against the event kernel. The
+ * epoch-batching sweep re-runs that workload across adversarial
+ * --sim-epoch sizes (1, 2, the L2 round trip and its neighbour, the
+ * staging width, and an oversized request) at several pool sizes. Death
+ * tests pin the model-bug diagnostics (an undeliverable same-cycle
+ * cross-shard wake, a cross-epoch wake earlier than its staging epoch
+ * allows, a trace stream shared across shards) and the environment
+ * overrides (TTA_SIM_SPIN, TTA_SIM_EPOCH); hardware-concurrency
+ * consumers are tested against a zero-returning probe, and the
  * ExperimentRunner's jobs × sim-threads host budget is covered as a pure
  * function.
  */
@@ -23,7 +29,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <tuple>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -31,12 +39,14 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/runner.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
 #include "sim/trace.hh"
 #include "workloads/btree_workload.hh"
+#include "workloads/raytracing_workload.hh"
 
 using namespace ::tta::sim;
 namespace workloads = ::tta::workloads;
@@ -465,18 +475,22 @@ TEST(ThreadedOracle, RouterNetworkLockstepAcrossSeeds)
 
 namespace {
 
-/** Force the process-wide kernel + thread-count defaults for one scope. */
+/** Force the process-wide kernel / thread-count / epoch-size defaults
+ *  for one scope (epoch 0 = "auto": the machine model's limit). */
 struct DefaultsGuard
 {
-    DefaultsGuard(Simulator::Kernel kernel, unsigned threads)
+    DefaultsGuard(Simulator::Kernel kernel, unsigned threads,
+                  unsigned epoch = 0)
     {
         Simulator::setDefaultKernel(kernel);
         Simulator::setDefaultSimThreads(threads);
+        Simulator::setDefaultSimEpoch(epoch);
     }
     ~DefaultsGuard()
     {
         Simulator::resetDefaultKernel();
         Simulator::resetDefaultSimThreads();
+        Simulator::resetDefaultSimEpoch();
     }
 };
 
@@ -487,18 +501,17 @@ struct WorkloadRun
 };
 
 WorkloadRun
-runWorkload(Simulator::Kernel kernel, unsigned threads, bool accelerated)
+runWorkload(Simulator::Kernel kernel, unsigned threads, bool accelerated,
+            unsigned epoch = 0)
 {
-    DefaultsGuard guard(kernel, threads);
+    DefaultsGuard guard(kernel, threads, epoch);
     StatRegistry stats;
     workloads::BTreeWorkload wl(trees::BTreeKind::BTree, 1000, 128, 5);
     Config cfg;
     cfg.accelMode = accelerated ? AccelMode::Tta : AccelMode::BaselineGpu;
     workloads::RunMetrics m = accelerated ? wl.runAccelerated(cfg, stats)
                                           : wl.runBaseline(cfg, stats);
-    std::ostringstream os;
-    stats.dump(os);
-    return {m.cycles, os.str()};
+    return {m.cycles, stats.dumpString()};
 }
 
 } // namespace
@@ -520,4 +533,321 @@ TEST(ThreadedOracle, WorkloadBitIdenticalAcrossThreadCounts)
                 << " stat dump diverged at " << threads << " threads";
         }
     }
+}
+
+// Adversarial --sim-epoch sweep: every requested epoch size — per-cycle,
+// tiny, the L2 round trip and its off-by-one neighbour, the kMaxEpoch
+// staging-buffer width, and an absurd oversized request (clamped to the
+// model's limit) — must leave cycles and the full stat dump bit-identical
+// to the event kernel at every pool size.
+TEST(ThreadedOracle, WorkloadBitIdenticalAcrossEpochSizes)
+{
+    WorkloadRun ref =
+        runWorkload(Simulator::Kernel::EventDriven, 0, /*accelerated=*/true);
+    for (unsigned epoch : {1u, 2u, 159u, 160u, 64u, 4096u}) {
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            WorkloadRun t = runWorkload(Simulator::Kernel::Threaded,
+                                        threads, true, epoch);
+            EXPECT_EQ(ref.cycles, t.cycles)
+                << "tta cycles diverged at epoch " << epoch << ", "
+                << threads << " threads";
+            EXPECT_EQ(ref.stats, t.stats)
+                << "tta stat dump diverged at epoch " << epoch << ", "
+                << threads << " threads";
+        }
+    }
+    // Spot-check the unaccelerated model too (no RTA in the parallel
+    // segment, different staging traffic shape).
+    WorkloadRun bref =
+        runWorkload(Simulator::Kernel::EventDriven, 0, false);
+    for (unsigned epoch : {2u, 160u}) {
+        for (unsigned threads : {2u, 8u}) {
+            WorkloadRun t = runWorkload(Simulator::Kernel::Threaded,
+                                        threads, false, epoch);
+            EXPECT_EQ(bref.cycles, t.cycles)
+                << "baseline cycles diverged at epoch " << epoch << ", "
+                << threads << " threads";
+            EXPECT_EQ(bref.stats, t.stats)
+                << "baseline stat dump diverged at epoch " << epoch
+                << ", " << threads << " threads";
+        }
+    }
+}
+
+// Windows on a scripted model: sharded probes self-schedule sparse tick
+// patterns and poke a shared-shard component same-cycle (always legal —
+// the serial segment runs after the islands, and in a window the staged
+// wake replays at the barrier before the shared slot for that cycle).
+// Tick sequences must match the event kernel at every epoch size.
+TEST(ThreadedEpoch, ToyModelWindowsMatchEventKernel)
+{
+    auto run = [](Simulator::Kernel kernel, unsigned threads,
+                  unsigned epoch) {
+        StatRegistry stats;
+        Simulator sim(stats);
+        sim.setKernel(kernel);
+        sim.setSimThreads(threads);
+        sim.setSimEpoch(epoch);
+        sim.setEpochLimit(8); // model opt-in
+        Probe a("a"), b("b"), shared("s");
+        // Contract rule 6: a sharded component with pending work must
+        // report busy() — the window replay stops at global quiescence.
+        a.busyFlag = true;
+        a.onTick = [&](Cycle c) {
+            if (c < 40)
+                a.next = c + 3;
+            a.busyFlag = c < 40;
+            shared.wake(c);
+        };
+        b.busyFlag = true;
+        b.onTick = [&](Cycle c) {
+            if (c < 40)
+                b.next = c + 5;
+            b.busyFlag = c < 40;
+        };
+        sim.add(&a, 0);
+        sim.add(&b, 1);
+        sim.add(&shared);
+        drain(sim);
+        return std::make_tuple(a.ticks, b.ticks, shared.ticks);
+    };
+    auto ref = run(Simulator::Kernel::EventDriven, 0, 0);
+    for (unsigned epoch : {1u, 3u, 8u, 64u})
+        for (unsigned threads : {1u, 2u, 4u})
+            EXPECT_EQ(ref, run(Simulator::Kernel::Threaded, threads, epoch))
+                << "toy model diverged at epoch " << epoch << ", "
+                << threads << " threads";
+}
+
+// An advisory wake (wakeHint) landing mid-window on a cycle where the
+// target never ticked is dropped, not a panic: its contract is that any
+// genuinely waiting target self-schedules a retry, so the tick it would
+// have caused is a no-op. The memory system's "queue has space again"
+// broadcast uses this.
+TEST(ThreadedEpoch, HintWakeIntoRunWindowIsDropped)
+{
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(2);
+    sim.setEpochLimit(8);
+    sim.setSimEpoch(0); // auto — immune to TTA_SIM_EPOCH
+    Probe a("a"), b("b");
+    a.busyFlag = true;
+    a.onTick = [&](Cycle c) {
+        if (c == 0)
+            a.next = 2;
+        a.busyFlag = c == 0;
+        if (c == 2)
+            b.wakeHint(4); // advisory, b never ticks at 4: dropped
+    };
+    sim.add(&a, 0);
+    sim.add(&b, 1);
+    drain(sim);
+    EXPECT_EQ(a.ticks, (std::vector<Cycle>{0, 2}));
+    EXPECT_EQ(b.ticks, (std::vector<Cycle>{0}));
+}
+
+// The Sponza ambient-occlusion scene on baseline cores drives the L1
+// input queues to their depth limit, exercising the in-window refusal
+// retry (MemSystem::nextAcceptCycle) and the droppable back-pressure
+// hint. Stats must still match the event kernel bit-for-bit.
+TEST(ThreadedOracle, QueueSaturatedWorkloadBitIdentical)
+{
+    auto run = [](Simulator::Kernel kernel, unsigned threads,
+                  unsigned epoch) {
+        DefaultsGuard guard(kernel, threads, epoch);
+        StatRegistry stats;
+        workloads::RayTracingWorkload wl(workloads::SceneKind::SponzaAo,
+                                         16, 16, 2);
+        Config cfg;
+        cfg.accelMode = AccelMode::BaselineGpu;
+        workloads::RunMetrics m = wl.runBaselineCores(cfg, stats);
+        return WorkloadRun{m.cycles, stats.dumpString()};
+    };
+    WorkloadRun ref = run(Simulator::Kernel::EventDriven, 0, 0);
+    for (unsigned epoch : {0u, 1u, 20u}) {
+        for (unsigned threads : {2u, 8u}) {
+            WorkloadRun t =
+                run(Simulator::Kernel::Threaded, threads, epoch);
+            EXPECT_EQ(ref.cycles, t.cycles)
+                << "cycles diverged at epoch " << epoch << ", "
+                << threads << " threads";
+            EXPECT_EQ(ref.stats, t.stats)
+                << "stat dump diverged at epoch " << epoch << ", "
+                << threads << " threads";
+        }
+    }
+}
+
+// Rule 7's diagnostic, epoch flavour: a component that stages a
+// cross-shard wake for a mid-window cycle where the target shard never
+// ticks violates the staging contract — the parallel phase has already
+// run past that cycle, so delivery would go back in time. The replay
+// must abort with an actionable message, not silently skew timing.
+TEST(ThreadedEpochDeathTest, CrossEpochWakeEarlierThanStagingAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            StatRegistry stats;
+            Simulator sim(stats);
+            sim.setKernel(Simulator::Kernel::Threaded);
+            sim.setSimThreads(2);
+            sim.setEpochLimit(8); // model opt-in: 8-cycle windows
+            sim.setSimEpoch(0);   // auto — immune to TTA_SIM_EPOCH
+            Probe a("a");
+            Probe b("b");
+            a.busyFlag = true; // rule 6: busy until the staging tick
+            a.onTick = [&](Cycle c) {
+                if (c == 0)
+                    a.next = 2;
+                a.busyFlag = c == 0;
+                if (c == 2)
+                    b.wake(4); // mid-window, b never ticks at 4
+            };
+            sim.add(&a, 0);
+            sim.add(&b, 1);
+            drain(sim);
+        },
+        "arrives earlier than its staging epoch allows");
+}
+
+// A model fatal() thrown inside a worker's slice must propagate out of
+// the coordinator's advance() like the serial kernels', not terminate
+// the process from a std::thread.
+TEST(ThreadedScheduler, WorkerFatalPropagatesToCaller)
+{
+    for (unsigned epoch_limit : {1u, 8u}) { // per-cycle and windowed
+        StatRegistry stats;
+        Simulator sim(stats);
+        sim.setKernel(Simulator::Kernel::Threaded);
+        sim.setSimThreads(2);
+        sim.setEpochLimit(epoch_limit);
+        sim.setSimEpoch(0); // auto — immune to TTA_SIM_EPOCH
+        Probe a("a"), b("b");
+        b.onTick = [&](Cycle) { fatal("model bug on a worker"); };
+        sim.add(&a, 0);
+        sim.add(&b, 1);
+        EXPECT_THROW(drain(sim), FatalError);
+    }
+}
+
+namespace {
+
+unsigned probeZero() { return 0; }
+unsigned probeTwo() { return 2; }
+unsigned probeSixteen() { return 16; }
+
+/** Install a fake hardware-concurrency probe for one scope. */
+struct HwHookGuard
+{
+    explicit HwHookGuard(unsigned (*probe)())
+    {
+        Simulator::setHardwareConcurrencyHookForTest(probe);
+    }
+    ~HwHookGuard() { Simulator::setHardwareConcurrencyHookForTest(nullptr); }
+};
+
+} // namespace
+
+// std::thread::hardware_concurrency() may legally return 0 ("not
+// computable"); every consumer must fold that to one core instead of
+// dividing by it or spawning zero workers.
+TEST(HardwareConcurrency, ZeroProbeFallsBackToOne)
+{
+    HwHookGuard hook(&probeZero);
+    EXPECT_EQ(Simulator::hardwareConcurrency(), 1u);
+
+    // ExperimentRunner's "auto" worker count survives the zero probe.
+    ExperimentRunner runner(0);
+    EXPECT_EQ(runner.threads(), 1u);
+
+    // The threaded kernel's "auto" pool sizes to one worker, and still
+    // simulates correctly.
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(0);
+    Probe a("a"), b("b");
+    sim.add(&a, 0);
+    sim.add(&b, 1);
+    drain(sim);
+    EXPECT_EQ(sim.simThreads(), 1u);
+    EXPECT_EQ(a.ticks, (std::vector<Cycle>{0}));
+    EXPECT_EQ(b.ticks, (std::vector<Cycle>{0}));
+}
+
+// Oversubscribed pools (more workers than host threads) must never
+// spin-wait at the barrier: a spinning worker would steal the core its
+// peer needs to make progress.
+TEST(SpinBudget, OversubscriptionDisablesSpinning)
+{
+    HwHookGuard hook(&probeTwo);
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(4); // 4 workers on a "2-core" host
+    Probe a("a"), b("b"), c("c"), d("d");
+    sim.add(&a, 0);
+    sim.add(&b, 1);
+    sim.add(&c, 2);
+    sim.add(&d, 3);
+    drain(sim);
+    EXPECT_EQ(sim.simThreads(), 4u);
+    EXPECT_EQ(sim.effectiveSpinBudget(), 0u);
+}
+
+TEST(SpinBudget, FittingPoolUsesDefaultBudget)
+{
+    HwHookGuard hook(&probeSixteen);
+    StatRegistry stats;
+    Simulator sim(stats);
+    sim.setKernel(Simulator::Kernel::Threaded);
+    sim.setSimThreads(2);
+    Probe a("a"), b("b");
+    sim.add(&a, 0);
+    sim.add(&b, 1);
+    drain(sim);
+    // Matches whatever TTA_SIM_SPIN / the probe resolve to — the point
+    // is that a fitting pool is NOT forced to zero.
+    EXPECT_EQ(sim.effectiveSpinBudget(), Simulator::defaultSpinBudget());
+}
+
+// TTA_SIM_SPIN / TTA_SIM_EPOCH are latched from the environment once per
+// process, so the parse paths are pinned in re-exec'd (threadsafe-style)
+// children that inherit the variable before their first read.
+TEST(SpinBudgetDeathTest, EnvOverrideIsParsed)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setenv("TTA_SIM_SPIN", "123", 1);
+    EXPECT_EXIT(
+        std::exit(Simulator::defaultSpinBudget() == 123u ? 0 : 1),
+        ::testing::ExitedWithCode(0), "");
+    unsetenv("TTA_SIM_SPIN");
+}
+
+TEST(EpochDefaultDeathTest, EnvOverrideIsParsed)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setenv("TTA_SIM_EPOCH", "7", 1);
+    EXPECT_EXIT(
+        std::exit(Simulator::defaultSimEpoch() == 7u ? 0 : 1),
+        ::testing::ExitedWithCode(0), "");
+    unsetenv("TTA_SIM_EPOCH");
+}
+
+TEST(EpochDefault, SetAndResetRoundTrip)
+{
+    Simulator::setDefaultSimEpoch(5);
+    EXPECT_EQ(Simulator::defaultSimEpoch(), 5u);
+    {
+        StatRegistry stats;
+        Simulator sim(stats);
+        EXPECT_EQ(sim.simEpoch(), 5u);
+    }
+    Simulator::resetDefaultSimEpoch();
+    StatRegistry stats;
+    Simulator sim(stats);
+    EXPECT_EQ(sim.simEpoch(), Simulator::defaultSimEpoch());
 }
