@@ -219,6 +219,8 @@ class Sweep
             rec.values["dram_bytes"] = static_cast<double>(m.dramBytes);
             rec.values["nodes_visited"] =
                 static_cast<double>(m.nodesVisited);
+            rec.values["node_bytes_fetched"] =
+                static_cast<double>(m.nodeBytesFetched);
             rec.values["energy_total"] = m.energy.total();
         };
         jobs_.push_back(std::move(job));

@@ -27,21 +27,34 @@
  *   --check-threaded-speedup=X  fail unless the best threaded
  *                               configuration reaches X times the event
  *                               kernel's wall clock (CI perf smoke)
+ *   --check-wide-speedup=X      fail unless every gated wide/* config
+ *                               (raytrace, rtnn) reaches X times the
+ *                               scalar tree's wall clock. Auto-skipped
+ *                               (with a note) when geom/simd.hh fell
+ *                               back to the scalar backend — there is
+ *                               nothing to gate without vector units.
+ *
+ * Besides the simulator-kernel matrix, a host-side functional section
+ * (bench names wide/raytrace, wide/rtnn, wide/rtree) times the scalar
+ * binary trees against the wide SoA layouts driven by the batched SIMD
+ * kernels, verifying identical query results before reporting speedups.
  *
  * Exit codes are distinct per failure class so CI can tell a
  * correctness break from a performance regression:
- *   2  cross-kernel cycle mismatch (correctness: the offending bench,
- *      kernel pair, thread count and epoch size are printed)
+ *   2  cross-kernel cycle mismatch or wide-vs-scalar result divergence
+ *      (correctness: the offending bench and configuration are printed)
  *   3  --check-threaded-speedup unmet (performance gate)
  *   4  --check-skip-fraction unmet (performance gate)
+ *   5  --check-wide-speedup unmet (performance gate)
  *   64 usage error (bad flag or list syntax)
  *   1  I/O error (e.g. unwritable --json path)
  *
  * scripts/record_bench.sh wraps this binary into the committed
- * BENCH_4.json / BENCH_5.json / BENCH_6.json.
+ * BENCH_4.json / BENCH_5.json / BENCH_6.json / BENCH_7.json.
  */
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -52,9 +65,13 @@
 #include <string>
 #include <vector>
 
+#include "geom/intersect.hh"
 #include "sim/config.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
+#include "trees/bvh.hh"
+#include "trees/rtree.hh"
 #include "workloads/btree_workload.hh"
 #include "workloads/nbody_workload.hh"
 #include "workloads/rtnn_workload.hh"
@@ -68,6 +85,7 @@ namespace {
 constexpr int kExitCycleMismatch = 2;
 constexpr int kExitSpeedupGate = 3;
 constexpr int kExitSkipGate = 4;
+constexpr int kExitWideGate = 5;
 constexpr int kExitUsage = 64;
 
 struct SpeedArgs
@@ -83,6 +101,7 @@ struct SpeedArgs
     std::vector<unsigned> simEpochs = {0};  // epoch-size sweep
     double checkSkipFraction = -1.0;    // percent; <0 = no check
     double checkThreadedSpeedup = -1.0; // ratio; <0 = no check
+    double checkWideSpeedup = -1.0;     // ratio; <0 = no check
 };
 
 std::vector<unsigned>
@@ -149,6 +168,11 @@ parseArgs(int argc, char **argv)
             std::strncmp(argv[i], "--check-threaded-speedup=", 25) == 0) {
             args.checkThreadedSpeedup =
                 std::strtod(argv[i] + 25, nullptr);
+            ok = true;
+        }
+        if (!ok &&
+            std::strncmp(argv[i], "--check-wide-speedup=", 21) == 0) {
+            args.checkWideSpeedup = std::strtod(argv[i] + 21, nullptr);
             ok = true;
         }
         if (!ok) {
@@ -226,11 +250,204 @@ timeOne(const Bench &bench, sim::Simulator::Kernel kernel,
     return r;
 }
 
+// --- Wide SoA functional section -------------------------------------------
+//
+// Host-side wall-clock comparison of the scalar binary trees against the
+// wide SoA layouts whose hot loops run on the batched kernels from
+// geom/intersect.cc. Results are checksummed and must be identical
+// across layouts (the layouts are exact; quantization is not used here),
+// so the measured ratio is pure functional-path speed.
+
+struct WideResult
+{
+    std::string name;   //!< wide/raytrace, wide/rtnn, wide/rtree
+    bool gated = false; //!< participates in --check-wide-speedup
+    double scalarWall = 0.0;
+    double wall4 = 0.0; //!< 4-wide (rtree: SoA fanout-8) wall clock
+    double wall8 = 0.0; //!< 8-wide wall clock; 0 when not applicable
+    double bestSpeedup = 0.0;
+    bool identical = true;
+};
+
+double
+timeWall(const std::function<void()> &fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+WideResult
+wideRaytrace(const SpeedArgs &args)
+{
+    struct Tri
+    {
+        geom::Vec3 v0, v1, v2;
+    };
+    sim::Rng rng(args.seed * 77 + 1);
+    size_t n_tris = std::max<size_t>(1024, args.points / 4);
+    std::vector<Tri> tris(n_tris);
+    std::vector<geom::Aabb> boxes(n_tris);
+    for (size_t i = 0; i < n_tris; ++i) {
+        geom::Vec3 base{rng.uniform(-40, 40), rng.uniform(-40, 40),
+                        rng.uniform(-40, 40)};
+        auto jitter = [&]() {
+            return geom::Vec3{rng.uniform(-1.5f, 1.5f),
+                              rng.uniform(-1.5f, 1.5f),
+                              rng.uniform(-1.5f, 1.5f)};
+        };
+        tris[i] = {base, base + jitter(), base + jitter()};
+        boxes[i].extend(tris[i].v0);
+        boxes[i].extend(tris[i].v1);
+        boxes[i].extend(tris[i].v2);
+    }
+    trees::Bvh bvh;
+    bvh.build(boxes, 2);
+    trees::WideBvh w4, w8;
+    w4.build(bvh, 4);
+    w8.build(bvh, 8);
+
+    size_t n_rays = std::max<size_t>(4096, args.queries * 4);
+    std::vector<geom::Ray> rays(n_rays);
+    for (auto &ray : rays) {
+        ray.origin = {rng.uniform(-50, 50), rng.uniform(-50, 50),
+                      rng.uniform(-50, 50)};
+        geom::Vec3 target{rng.uniform(-40, 40), rng.uniform(-40, 40),
+                          rng.uniform(-40, 40)};
+        ray.dir = normalize(target - ray.origin);
+    }
+
+    auto closestSum = [&](auto &&tree) {
+        uint64_t sum = 0;
+        for (const geom::Ray &ray : rays) {
+            geom::Ray r = ray;
+            uint32_t best_prim = UINT32_MAX;
+            float best_t = 0.0f;
+            tree.traverse(r, [&](uint32_t id) {
+                auto h = geom::rayTriangle(r, tris[id].v0, tris[id].v1,
+                                           tris[id].v2);
+                if (h && h->t < r.tmax) {
+                    best_prim = id;
+                    best_t = h->t;
+                    r.tmax = h->t;
+                }
+            });
+            if (best_prim != UINT32_MAX)
+                sum += best_prim + std::bit_cast<uint32_t>(best_t);
+        }
+        return sum;
+    };
+
+    WideResult res;
+    res.name = "wide/raytrace";
+    res.gated = true;
+    uint64_t sum_bin = 0, sum4 = 0, sum8 = 0;
+    res.scalarWall = timeWall([&] { sum_bin = closestSum(bvh); });
+    res.wall4 = timeWall([&] { sum4 = closestSum(w4); });
+    res.wall8 = timeWall([&] { sum8 = closestSum(w8); });
+    res.identical = sum4 == sum_bin && sum8 == sum_bin;
+    return res;
+}
+
+WideResult
+wideRtnn(const SpeedArgs &args)
+{
+    sim::Rng rng(args.seed * 101 + 3);
+    size_t n_pts = std::max<size_t>(4096, args.points);
+    const float radius = 1.0f;
+    std::vector<geom::Vec3> pts(n_pts);
+    std::vector<geom::Aabb> boxes(n_pts);
+    for (size_t i = 0; i < n_pts; ++i) {
+        pts[i] = {rng.uniform(-30, 30), rng.uniform(-30, 30),
+                  rng.uniform(-30, 30)};
+        boxes[i].extend(pts[i]);
+    }
+    trees::Bvh bvh;
+    bvh.build(boxes, 2);
+    trees::WideBvh w4, w8;
+    w4.build(bvh, 4);
+    w8.build(bvh, 8);
+
+    size_t n_queries = std::max<size_t>(8192, args.queries * 4);
+    std::vector<geom::Vec3> queries(n_queries);
+    for (auto &q : queries) {
+        q = {rng.uniform(-30, 30), rng.uniform(-30, 30),
+             rng.uniform(-30, 30)};
+    }
+
+    auto countSum = [&](auto &&tree) {
+        uint64_t sum = 0;
+        for (const geom::Vec3 &q : queries) {
+            uint32_t count = 0;
+            tree.pointQuery(q, radius, [&](uint32_t id) {
+                if (geom::pointWithinRadius(q, pts[id], radius))
+                    ++count;
+            });
+            sum += count;
+        }
+        return sum;
+    };
+
+    WideResult res;
+    res.name = "wide/rtnn";
+    res.gated = true;
+    uint64_t sum_bin = 0, sum4 = 0, sum8 = 0;
+    res.scalarWall = timeWall([&] { sum_bin = countSum(bvh); });
+    res.wall4 = timeWall([&] { sum4 = countSum(w4); });
+    res.wall8 = timeWall([&] { sum8 = countSum(w8); });
+    res.identical = sum4 == sum_bin && sum8 == sum_bin;
+    return res;
+}
+
+WideResult
+wideRtree(const SpeedArgs &args)
+{
+    sim::Rng rng(args.seed * 131 + 7);
+    size_t n_objects = std::max<size_t>(4096, args.keys / 2);
+    std::vector<trees::Rect2D> objects(n_objects);
+    for (auto &obj : objects) {
+        float x = rng.uniform(0.0f, 198.0f);
+        float y = rng.uniform(0.0f, 198.0f);
+        obj = {x, y, x + rng.uniform(0.2f, 2.0f),
+               y + rng.uniform(0.2f, 2.0f)};
+    }
+    // The same fanout-8 tree walks both ways, so the ratio isolates the
+    // batched node test from tree-shape effects.
+    trees::RTree tree(objects, 8);
+
+    size_t n_queries = std::max<size_t>(8192, args.queries * 4);
+    std::vector<trees::Rect2D> queries(n_queries);
+    for (auto &q : queries) {
+        float x = rng.uniform(5.0f, 195.0f);
+        float y = rng.uniform(5.0f, 195.0f);
+        q = {x - 2.0f, y - 2.0f, x + 2.0f, y + 2.0f};
+    }
+
+    WideResult res;
+    res.name = "wide/rtree";
+    res.gated = false; // 2D-only datapath; reported, not gated
+    uint64_t sum_scalar = 0, sum_soa = 0;
+    res.scalarWall = timeWall([&] {
+        for (const auto &q : queries)
+            sum_scalar += tree.countOverlaps(q);
+    });
+    res.wall4 = timeWall([&] {
+        for (const auto &q : queries)
+            sum_soa += tree.countOverlapsSoa(q);
+    });
+    res.identical = sum_soa == sum_scalar;
+    return res;
+}
+
 void
 writeJson(std::ostream &os, const std::vector<RunResult> &runs,
-          double speedup, double threaded_speedup, double event_skipped)
+          const std::vector<WideResult> &wide, double speedup,
+          double threaded_speedup, double event_skipped,
+          double wide_speedup)
 {
-    os << "{\n  \"bench\": \"bench_speed\",\n  \"runs\": [\n";
+    os << "{\n  \"bench\": \"bench_speed\",\n  \"simd_backend\": \""
+       << geom::simdBackendName() << "\",\n  \"runs\": [\n";
     for (size_t i = 0; i < runs.size(); ++i) {
         const RunResult &r = runs[i];
         char buf[320];
@@ -245,12 +462,27 @@ writeJson(std::ostream &os, const std::vector<RunResult> &runs,
                       r.wallSeconds, r.cyclesPerSec, r.skippedFraction);
         os << buf << (i + 1 < runs.size() ? ",\n" : "\n");
     }
-    char buf[240];
+    os << "  ],\n  \"wide\": [\n";
+    for (size_t i = 0; i < wide.size(); ++i) {
+        const WideResult &w = wide[i];
+        char buf[320];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"bench\": \"%s\", \"gated\": %s, "
+                      "\"scalar_wall_s\": %.4f, \"wide4_wall_s\": %.4f, "
+                      "\"wide8_wall_s\": %.4f, \"speedup\": %.2f, "
+                      "\"identical_results\": %s}",
+                      w.name.c_str(), w.gated ? "true" : "false",
+                      w.scalarWall, w.wall4, w.wall8, w.bestSpeedup,
+                      w.identical ? "true" : "false");
+        os << buf << (i + 1 < wide.size() ? ",\n" : "\n");
+    }
+    char buf[280];
     std::snprintf(buf, sizeof(buf),
                   "  ],\n  \"summary\": {\"wall_clock_speedup\": %.2f, "
                   "\"threaded_vs_event_speedup\": %.2f, "
-                  "\"event_skipped_cycle_fraction\": %.4f}\n}\n",
-                  speedup, threaded_speedup, event_skipped);
+                  "\"event_skipped_cycle_fraction\": %.4f, "
+                  "\"wide_vs_scalar_speedup\": %.2f}\n}\n",
+                  speedup, threaded_speedup, event_skipped, wide_speedup);
     os << buf;
 }
 
@@ -374,6 +606,45 @@ main(int argc, char **argv)
     if (mismatch)
         return kExitCycleMismatch;
 
+    // Host-side wide-vs-scalar functional section.
+    std::vector<WideResult> wide;
+    {
+        const std::pair<const char *, WideResult (*)(const SpeedArgs &)>
+            wide_benches[] = {{"wide/raytrace", wideRaytrace},
+                              {"wide/rtnn", wideRtnn},
+                              {"wide/rtree", wideRtree}};
+        for (const auto &[name, fn] : wide_benches) {
+            if (!args.benchFilter.empty() &&
+                std::string(name).find(args.benchFilter) ==
+                    std::string::npos)
+                continue;
+            WideResult w = fn(args);
+            double best = std::min(
+                w.wall4, w.wall8 > 0.0 ? w.wall8 : w.wall4);
+            w.bestSpeedup = best > 0.0 ? w.scalarWall / best : 0.0;
+            wide.push_back(w);
+        }
+    }
+    if (!wide.empty()) {
+        std::printf("wide SoA functional section (simd backend: %s)\n",
+                    geom::simdBackendName());
+        std::printf("%-16s %12s %12s %12s %9s %10s\n", "bench",
+                    "scalar_s", "wide4_s", "wide8_s", "speedup",
+                    "identical");
+        for (const WideResult &w : wide) {
+            std::printf("%-16s %12.3f %12.3f %12.3f %8.2fx %10s\n",
+                        w.name.c_str(), w.scalarWall, w.wall4, w.wall8,
+                        w.bestSpeedup, w.identical ? "yes" : "NO");
+            if (!w.identical) {
+                std::fprintf(stderr,
+                             "FAIL: %s wide layout diverged from the "
+                             "scalar tree's results\n",
+                             w.name.c_str());
+                return kExitCycleMismatch;
+            }
+        }
+    }
+
     double speedup = wall_event > 0.0 ? wall_polling / wall_event : 0.0;
     double best_threaded = 0.0;
     for (size_t ti = 0; ti < args.simThreads.size(); ++ti) {
@@ -393,10 +664,22 @@ main(int argc, char **argv)
                 "event kernel skipped %.1f%% of cycles\n",
                 speedup, 100.0 * event_skipped);
 
+    // Worst gated wide speedup: every gated config must clear the gate,
+    // so the summary records the weakest one.
+    double wide_speedup = 0.0;
+    bool have_gated = false;
+    for (const WideResult &w : wide) {
+        if (!w.gated)
+            continue;
+        wide_speedup = have_gated ? std::min(wide_speedup, w.bestSpeedup)
+                                  : w.bestSpeedup;
+        have_gated = true;
+    }
+
     if (!args.json.empty()) {
         if (args.json == "-") {
-            writeJson(std::cout, runs, speedup, best_threaded,
-                      event_skipped);
+            writeJson(std::cout, runs, wide, speedup, best_threaded,
+                      event_skipped, wide_speedup);
         } else {
             std::ofstream os(args.json);
             if (!os) {
@@ -404,7 +687,8 @@ main(int argc, char **argv)
                              args.json.c_str());
                 return 1;
             }
-            writeJson(os, runs, speedup, best_threaded, event_skipped);
+            writeJson(os, runs, wide, speedup, best_threaded,
+                      event_skipped, wide_speedup);
         }
     }
 
@@ -424,6 +708,18 @@ main(int argc, char **argv)
                      "pairs are listed above)\n",
                      best_threaded, args.checkThreadedSpeedup);
         return kExitSpeedupGate;
+    }
+    if (args.checkWideSpeedup >= 0.0) {
+        if (std::strcmp(geom::simdBackendName(), "scalar") == 0) {
+            std::printf("--check-wide-speedup skipped: the scalar SIMD "
+                        "fallback is in use (nothing to gate)\n");
+        } else if (have_gated && wide_speedup < args.checkWideSpeedup) {
+            std::fprintf(stderr,
+                         "FAIL: worst gated wide-vs-scalar speedup is "
+                         "%.2fx (required >= %.2fx)\n",
+                         wide_speedup, args.checkWideSpeedup);
+            return kExitWideGate;
+        }
     }
     return 0;
 }

@@ -24,8 +24,16 @@
 # time-sharing, not parallel speedup — exactly the misreading the
 # original BENCH_5 numbers invited.
 #
+# BENCH_7: the wide-SoA functional section of bench_speed (scalar binary
+# trees vs the 4/8-wide SoA layouts on the batched SIMD kernels, with
+# result-identity checks). The header records the host's SIMD capability
+# — the CPU flags from /proc/cpuinfo and the backend geom/simd.hh
+# compiled in — because the numbers are meaningless without it; the
+# wide-speedup gate is enforced only when the backend is a real vector
+# ISA (the scalar fallback has nothing to gate).
+#
 # Usage: scripts/record_bench.sh [build-dir] [bench4-out] [bench5-out] \
-#            [bench6-out]
+#            [bench6-out] [bench7-out]
 #
 # The pre-refactor fig12 baseline (the polling kernel before the
 # event-driven scheduler and its profiling-driven fixes landed, commit
@@ -39,6 +47,7 @@ BUILD=${1:-build}
 OUT=${2:-BENCH_4.json}
 OUT5=${3:-BENCH_5.json}
 OUT6=${4:-BENCH_6.json}
+OUT7=${5:-BENCH_7.json}
 PRE=${PRE_REFACTOR_POLLING_WALL_S:-110.9}
 THREADS=${BENCH5_SIM_THREADS:-1,2,4,8}
 EPOCHS=${BENCH6_SIM_EPOCHS:-1,20,64}
@@ -305,3 +314,74 @@ json.dump(report, open(out, "w"), indent=2)
 print(f"wrote {out}: worst pair {worst}x; 4-thread epoch-batched "
       f"speedups {best_at_4}")
 EOF
+
+# ---------------------------------------------------------------------
+# BENCH_7: wide SoA node layouts vs scalar trees (SIMD functional path).
+# ---------------------------------------------------------------------
+
+BENCH7_DIR=$(mktemp -d)
+trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR" "$BENCH6_DIR" "$BENCH7_DIR"' EXIT
+
+# Host SIMD capability: the vector flags the CPU advertises. Empty on
+# non-x86 hosts without /proc/cpuinfo flags (e.g. some ARM kernels).
+SIMD_FLAGS=$(grep -m1 -E '^(flags|Features)' /proc/cpuinfo 2>/dev/null \
+    | tr ' ' '\n' \
+    | grep -E '^(sse|sse2|sse3|ssse3|sse4_1|sse4_2|avx|avx2|avx512f|fma|neon|asimd)$' \
+    | paste -sd, - || true)
+
+echo "== bench_speed, wide SoA functional section =="
+"$BUILD"/bench/bench_speed --bench=wide --json="$BENCH7_DIR/wide.json"
+
+python3 - "$BENCH7_DIR/wide.json" "$OUT7" "$SIMD_FLAGS" "$HOST_CORES" <<'EOF'
+import json
+import sys
+
+wide_json, out, simd_flags, host_cores = sys.argv[1:5]
+doc = json.load(open(wide_json))
+backend = doc.get("simd_backend", "unknown")
+wide = doc.get("wide", [])
+
+gated = [w for w in wide if w["gated"]]
+worst_gated = min((w["speedup"] for w in gated), default=0.0)
+all_identical = all(w["identical_results"] for w in wide)
+
+notes = [
+    "speedup = scalar binary-tree wall clock / best wide-SoA wall "
+    "clock on the same queries; identical_results means the wide "
+    "layouts returned bit-identical answers (checked per run, "
+    "bench_speed exits 2 otherwise).",
+]
+if backend == "scalar":
+    notes.append(
+        "compiled with the scalar SIMD fallback: the wide-vs-scalar "
+        "gate is skipped (there are no vector units to measure); "
+        "rebuild without -DTTA_SIMD=OFF on a vector-capable host to "
+        "populate meaningful ratios."
+    )
+
+report = {
+    "bench": "BENCH_7",
+    "description": "functional wall-clock: wide SoA node layouts on "
+                   "the batched SIMD kernels vs the scalar binary "
+                   "trees (identical query results)",
+    "host_cores": int(host_cores),
+    "simd_backend": backend,
+    "cpu_simd_flags": simd_flags.split(",") if simd_flags else [],
+    "wide": wide,
+    "summary": {
+        "worst_gated_speedup": round(worst_gated, 3),
+        "all_results_identical": all_identical,
+        "gate": "worst gated config (wide/raytrace, wide/rtnn) >= "
+                "1.05x when simd_backend != scalar",
+    },
+    "notes": notes,
+}
+json.dump(report, open(out, "w"), indent=2)
+print(f"wrote {out}: backend {backend}, worst gated speedup "
+      f"{worst_gated:.2f}x, identical={all_identical}")
+EOF
+
+# Enforce the gate in a second, cheap pass (prints and exits nonzero on
+# regression; auto-skips itself on the scalar backend).
+"$BUILD"/bench/bench_speed --bench=wide --check-wide-speedup=1.05 \
+    >/dev/null

@@ -12,10 +12,12 @@
 #ifndef TTA_GEOM_INTERSECT_HH
 #define TTA_GEOM_INTERSECT_HH
 
+#include <cstdint>
 #include <optional>
 
 #include "geom/aabb.hh"
 #include "geom/ray.hh"
+#include "geom/simd.hh"
 
 namespace tta::geom {
 
@@ -88,6 +90,50 @@ struct QueryKeyResult
 };
 
 QueryKeyResult queryKeyCompare(float query, const float *keys, int n_keys);
+
+/**
+ * Batched SoA intersection tests.
+ *
+ * These consume the wide node layouts (WideBoxes / WideRects, up to 8
+ * lanes per call) with the vector backend selected in geom/simd.hh. Every
+ * backend evaluates each lane with exactly the scalar tests' operation
+ * order and select-on-compare min/max semantics, so per-lane results are
+ * identical to the scalar functions above (only the sign of a zero may
+ * differ, which all comparisons treat as equal); the property tests in
+ * tests/test_geom.cc enforce this lane-for-lane.
+ *
+ * `count` lanes (<= 8) participate; higher lanes are masked out of the
+ * returned bitmask but their output slots may still be written with
+ * whatever the lane's (undefined) inputs produce.
+ */
+
+/**
+ * Ray vs up to 8 AABBs. Returns a bitmask of hit lanes (bit i set when
+ * lane i's slab test passes, i.e. tenter <= texit) and writes each lane's
+ * entry distance to `tenter_out` for near-to-far traversal ordering.
+ */
+uint32_t rayBoxBatch(const Ray &ray, const WideBoxes &boxes, int count,
+                     float tenter_out[8]);
+
+/** Point-in-AABB (Aabb::contains) against up to 8 boxes; hit bitmask. */
+uint32_t pointInBoxBatch(const Vec3 &p, const WideBoxes &boxes, int count);
+
+/**
+ * Query rectangle [qx0,qx1]x[qy0,qy1] vs up to 8 SoA rectangles
+ * (Rect2D::overlaps, closed-interval compares); returns the hit bitmask.
+ */
+uint32_t rectOverlapBatch(float qx0, float qy0, float qx1, float qy1,
+                          const WideRects &rects, int count);
+
+/**
+ * Point-to-point distance test (pointWithinRadius) for up to 8 SoA
+ * candidate points. Writes each lane's squared distance to `d2_out` and
+ * returns the bitmask of lanes with d2 < threshold^2 (strict, like the
+ * scalar test).
+ */
+uint32_t pointRadiusBatch(const Vec3 &q, const float px[8],
+                          const float py[8], const float pz[8], int count,
+                          float threshold, float d2_out[8]);
 
 } // namespace tta::geom
 

@@ -90,6 +90,7 @@ RtaUnit::RtaUnit(const sim::Config &cfg, uint32_t sm_id,
     warpBufWrites_ = &stats.counter("rta.warp_buffer_writes");
     warpOccupancy_ = &stats.histogram("rta.warp_occupancy", 1.0, 8);
     prefetches_ = &stats.counter("rta.prefetches");
+    nodeBytesFetched_ = &stats.counter("rta.node_bytes_fetched");
     for (int k = 0; k < 8; ++k) {
         opCounters_[k] = &stats.counter(
             std::string("rta.ops.") +
@@ -268,8 +269,10 @@ RtaUnit::dispatchTest(sim::Cycle cycle, uint32_t warp_idx, uint32_t ray_idx)
                 ? xformProgram()
                 : (outcome.isLeaf ? spec_->leafProgram()
                                   : spec_->innerProgram());
-        for (uint32_t i = 0; i < outcome.opCount; ++i)
-            done = engine_->execute(cycle, prog, outcome.isLeaf);
+        if (outcome.opCount > 0) {
+            done = engine_->executeMany(cycle, prog, outcome.isLeaf,
+                                        outcome.opCount);
+        }
     };
 
     if (outcome.op != OpKind::None) {
@@ -324,9 +327,8 @@ RtaUnit::dispatchTest(sim::Cycle cycle, uint32_t warp_idx, uint32_t ray_idx)
     if (outcome.auxForceOps > 0) {
         sim::Cycle aux;
         if (mode == sim::AccelMode::TtaPlus) {
-            aux = cycle;
-            for (uint32_t i = 0; i < outcome.auxForceOps; ++i)
-                aux = engine_->execute(cycle, spec_->leafProgram(), true);
+            aux = engine_->executeMany(cycle, spec_->leafProgram(), true,
+                                       outcome.auxForceOps);
         } else {
             // Force terms only accumulate: deferred bulk work.
             aux = shader_->execute(cycle, outcome.auxForceOps, true);
@@ -350,35 +352,43 @@ void
 RtaUnit::issueFetches(sim::Cycle cycle)
 {
     (void)cycle;
-    // The hardware memory scheduler issues one node request per cycle,
-    // coalescing rays waiting on the same line (FIFO across rays).
-    if (fetchQueue_.empty() || !memsys_->canAccept(smId_))
-        return;
-    auto [w, r] = fetchQueue_.front();
-    RaySlot &ray = warps_[w].rays[r];
-    uint64_t line = ray.linesToIssue.back();
-    ray.linesToIssue.pop_back();
-    if (ray.linesToIssue.empty())
-        fetchQueue_.pop_front();
+    // The hardware memory scheduler issues cfg_.rtaFetchWidth node
+    // requests per cycle (one in the Table II baseline; wide SoA nodes
+    // span several lines, which motivates a wider fetch port — see the
+    // node-width sensitivity sweep), coalescing rays waiting on the
+    // same line (FIFO across rays). A line merged into an in-flight
+    // request still consumes its issue slot.
+    for (uint32_t n = 0; n < cfg_.rtaFetchWidth; ++n) {
+        if (fetchQueue_.empty() || !memsys_->canAccept(smId_))
+            return;
+        auto [w, r] = fetchQueue_.front();
+        RaySlot &ray = warps_[w].rays[r];
+        uint64_t line = ray.linesToIssue.back();
+        ray.linesToIssue.pop_back();
+        if (ray.linesToIssue.empty())
+            fetchQueue_.pop_front();
 
-    auto it = inflightLines_.find(line);
-    if (it != inflightLines_.end()) {
-        it->second.emplace_back(w, r);
-        if (cfg_.rtaCoalescing)
-            return; // merged with the in-flight request
-        // Ablation: no coalescing — issue a duplicate request. The first
-        // response wakes every waiter; the duplicate costs bandwidth.
-    } else {
-        inflightLines_[line].emplace_back(w, r);
+        auto it = inflightLines_.find(line);
+        if (it != inflightLines_.end()) {
+            it->second.emplace_back(w, r);
+            if (cfg_.rtaCoalescing)
+                continue; // merged with the in-flight request
+            // Ablation: no coalescing — issue a duplicate request. The
+            // first response wakes every waiter; the duplicate costs
+            // bandwidth.
+        } else {
+            inflightLines_[line].emplace_back(w, r);
+        }
+        mem::MemRequest req;
+        req.addr = line;
+        req.size = cfg_.lineSizeBytes;
+        req.isWrite = false;
+        req.source = mem::RequestSource::RtaNode;
+        req.smId = smId_;
+        req.tag = line;
+        *nodeBytesFetched_ += req.size;
+        memsys_->sendRequest(req);
     }
-    mem::MemRequest req;
-    req.addr = line;
-    req.size = cfg_.lineSizeBytes;
-    req.isWrite = false;
-    req.source = mem::RequestSource::RtaNode;
-    req.smId = smId_;
-    req.tag = line;
-    memsys_->sendRequest(req);
 }
 
 void

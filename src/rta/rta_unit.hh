@@ -169,6 +169,7 @@ class RtaUnit : public sim::TickedComponent, public gpu::AccelDevice
     sim::Counter *opCounters_[8]; //!< per OpKind dynamic op counts
     sim::Histogram *warpOccupancy_;
     sim::Counter *prefetches_;
+    sim::Counter *nodeBytesFetched_; //!< demand node fetch traffic
 };
 
 } // namespace tta::rta

@@ -30,6 +30,10 @@ Config::print(std::ostream &os) const
        << "#   TTA units/SM: " << ttaUnitsPerSm
        << "  warp buffer: " << warpBufferWarps << " warps"
        << "  intersection sets: " << intersectionSets << "\n"
+       << "#   node layout: width " << bvhNodeWidth
+       << (bvhQuantized ? " quantized" : "")
+       << (rtreeSoa ? ", rtree SoA" : "")
+       << "  fetch width: " << rtaFetchWidth << "\n"
        << "#   accel mode: " << accelModeName(accelMode) << "\n";
 }
 

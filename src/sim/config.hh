@@ -78,6 +78,19 @@ struct Config
      *  treelet prefetcher, cf. the paper's Fig 17 "Perf. RT" limit and
      *  its citation of Chou et al. [16]). Extension; off by default. */
     bool rtaChildPrefetch = false;
+    /** Node-fetch requests the RTA may issue per cycle (Fig 14-style
+     *  fetch-bandwidth axis for the wide-node study; 1 = paper model). */
+    uint32_t rtaFetchWidth = 1;
+
+    // --- Tree node layout (wide SoA study axis) ---------------------------
+    /** BVH children per inner node: 2 = binary 64B layout, 4/8 = wide
+     *  struct-of-arrays layout (WideBvhNodeLayout). */
+    uint32_t bvhNodeWidth = 2;
+    /** Wide nodes use the compressed (quantized-plane) encoding; only
+     *  meaningful when bvhNodeWidth > 2. */
+    bool bvhQuantized = false;
+    /** R-Tree workload serializes the SoA fanout-8 node layout. */
+    bool rtreeSoa = false;
 
     // --- TTA+ --------------------------------------------------------------
     uint32_t icntHopLatency = 1;      //!< crossbar transfer latency

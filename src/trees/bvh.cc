@@ -1,6 +1,7 @@
 #include "trees/bvh.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "geom/intersect.hh"
@@ -256,6 +257,360 @@ Bvh::serialize(mem::GlobalMemory &gmem) const
     }
 
     out.root = ref_of(root_);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// WideBvh: binary-tree collapse, batched traversals, SoA serialization.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Lane filler that can never be entered (mirrors the Aabb sentinel). */
+constexpr float kEmptyLo = std::numeric_limits<float>::max();
+constexpr float kEmptyHi = std::numeric_limits<float>::lowest();
+
+void
+setLaneBox(geom::WideBoxes &boxes, uint32_t lane, const geom::Vec3 &lo,
+           const geom::Vec3 &hi)
+{
+    boxes.lox[lane] = lo.x;
+    boxes.loy[lane] = lo.y;
+    boxes.loz[lane] = lo.z;
+    boxes.hix[lane] = hi.x;
+    boxes.hiy[lane] = hi.y;
+    boxes.hiz[lane] = hi.z;
+}
+
+} // namespace
+
+void
+WideBvh::build(const Bvh &bvh, uint32_t width, bool quantized)
+{
+    panic_if(width < 2 || width > 8, "wide BVH width %u not in [2, 8]",
+             width);
+    panic_if(bvh.rootIndex() < 0, "collapsing an unbuilt BVH");
+    nodes_.clear();
+    leaves_.clear();
+    primOrder_ = bvh.primOrder();
+    width_ = width;
+    quantized_ = quantized;
+    root_ = -1;
+    rootLeaf_ = -1;
+
+    const BvhNode &root = bvh.nodes()[bvh.rootIndex()];
+    if (root.isLeaf()) {
+        rootLeaf_ = 0;
+        leaves_.push_back({root.primOffset, root.primCount});
+        return;
+    }
+    root_ = collapse(bvh, bvh.rootIndex());
+}
+
+int32_t
+WideBvh::collapse(const Bvh &bvh, int32_t binary_idx)
+{
+    const std::vector<BvhNode> &bn = bvh.nodes();
+
+    // Gather up to width_ entries: keep expanding the largest-area inner
+    // entry into its two children while room remains.
+    std::vector<int32_t> entries = {bn[binary_idx].left,
+                                    bn[binary_idx].right};
+    while (entries.size() < width_) {
+        int pick = -1;
+        float best = -1.0f;
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (bn[entries[i]].isLeaf())
+                continue;
+            float area = bn[entries[i]].box.surfaceArea();
+            if (area > best) {
+                best = area;
+                pick = static_cast<int>(i);
+            }
+        }
+        if (pick < 0)
+            break; // all entries are leaves
+        int32_t expanded = entries[pick];
+        entries[pick] = bn[expanded].left;
+        entries.push_back(bn[expanded].right);
+    }
+
+    // Reserve the node slot before recursing (children allocate after
+    // their parent), then fill a local copy to survive vector growth.
+    int32_t node_idx = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+
+    WideBvhNode node;
+    node.count = static_cast<uint32_t>(entries.size());
+    node.selfBox = bn[binary_idx].box;
+    geom::Aabb child_boxes[8];
+    for (uint32_t i = 0; i < 8; ++i) {
+        if (i < node.count) {
+            child_boxes[i] = bn[entries[i]].box;
+        } else {
+            setLaneBox(node.boxes, i, geom::Vec3(kEmptyLo),
+                       geom::Vec3(kEmptyHi));
+        }
+    }
+    encodeNode(node, child_boxes);
+
+    for (uint32_t i = 0; i < node.count; ++i) {
+        const BvhNode &entry = bn[entries[i]];
+        if (entry.isLeaf()) {
+            node.child[i] = ~static_cast<int32_t>(leaves_.size());
+            leaves_.push_back({entry.primOffset, entry.primCount});
+        } else {
+            node.child[i] = collapse(bvh, entries[i]);
+        }
+    }
+    nodes_[node_idx] = node;
+    return node_idx;
+}
+
+/**
+ * Store the child boxes into the node's SoA lanes — verbatim when
+ * uncompressed, else through the quantizer with the decoded
+ * (conservative) values kept for the host-side batched tests, so host
+ * and serialized device traversals see bit-identical planes.
+ */
+void
+WideBvh::encodeNode(WideBvhNode &node, const geom::Aabb *child_boxes)
+{
+    if (!quantized_) {
+        for (uint32_t i = 0; i < node.count; ++i)
+            setLaneBox(node.boxes, i, child_boxes[i].lo, child_boxes[i].hi);
+        return;
+    }
+    for (int axis = 0; axis < 3; ++axis) {
+        float plo = node.selfBox.lo[axis];
+        float phi = node.selfBox.hi[axis];
+        float scale = wideQuantScale(plo, phi);
+        for (uint32_t i = 0; i < node.count; ++i) {
+            float lo = child_boxes[i].lo[axis];
+            float hi = child_boxes[i].hi[axis];
+            uint8_t qlo = 0;
+            uint8_t qhi = 0;
+            if (scale > 0.0f) {
+                float flo = std::floor((lo - plo) / scale);
+                float fhi = std::floor((phi - hi) / scale);
+                qlo = static_cast<uint8_t>(
+                    std::clamp(flo, 0.0f, 255.0f));
+                qhi = static_cast<uint8_t>(
+                    std::clamp(fhi, 0.0f, 255.0f));
+                // Fix up against the actual decode arithmetic: q = 0
+                // decodes to the parent plane, which bounds every child,
+                // so both loops terminate with a conservative plane.
+                while (qlo > 0 && wideQuantDecodeLo(plo, scale, qlo) > lo)
+                    --qlo;
+                while (qhi > 0 && wideQuantDecodeHi(phi, scale, qhi) < hi)
+                    --qhi;
+            }
+            node.quant[axis][i] = qlo;
+            node.quant[3 + axis][i] = qhi;
+            float dlo = wideQuantDecodeLo(plo, scale, qlo);
+            float dhi = wideQuantDecodeHi(phi, scale, qhi);
+            float *lo_lane[3] = {node.boxes.lox, node.boxes.loy,
+                                 node.boxes.loz};
+            float *hi_lane[3] = {node.boxes.hix, node.boxes.hiy,
+                                 node.boxes.hiz};
+            lo_lane[axis][i] = dlo;
+            hi_lane[axis][i] = dhi;
+        }
+    }
+}
+
+void
+WideBvh::traverse(geom::Ray &ray,
+                  const std::function<void(uint32_t)> &leaf_fn) const
+{
+    if (root_ < 0) {
+        if (rootLeaf_ >= 0) {
+            const WideBvhLeaf &leaf = leaves_[rootLeaf_];
+            for (uint32_t p = 0; p < leaf.primCount; ++p)
+                leaf_fn(primOrder_[leaf.primOffset + p]);
+        }
+        return;
+    }
+    std::vector<int32_t> stack;
+    stack.push_back(root_);
+    while (!stack.empty()) {
+        const WideBvhNode &node = nodes_[stack.back()];
+        stack.pop_back();
+        float tenter[8];
+        uint32_t mask = geom::rayBoxBatch(
+            ray, node.boxes, static_cast<int>(node.count), tenter);
+        // Leaves first — they may shrink ray.tmax before children pop.
+        struct Entry
+        {
+            float t;
+            int32_t child;
+        };
+        Entry order[8];
+        int n = 0;
+        for (uint32_t i = 0; i < node.count; ++i) {
+            if (!(mask & (1u << i)))
+                continue;
+            if (node.child[i] < 0) {
+                const WideBvhLeaf &leaf = leaves_[~node.child[i]];
+                for (uint32_t p = 0; p < leaf.primCount; ++p)
+                    leaf_fn(primOrder_[leaf.primOffset + p]);
+            } else {
+                order[n++] = {tenter[i], node.child[i]};
+            }
+        }
+        // Far child pushed first (near popped first); ties broken by
+        // child index for a fully specified order.
+        std::sort(order, order + n, [](const Entry &a, const Entry &b) {
+            if (a.t != b.t)
+                return a.t > b.t;
+            return a.child > b.child;
+        });
+        for (int i = 0; i < n; ++i)
+            stack.push_back(order[i].child);
+    }
+}
+
+void
+WideBvh::pointQuery(const geom::Vec3 &point, float radius,
+                    const std::function<void(uint32_t)> &leaf_fn) const
+{
+    if (root_ < 0) {
+        if (rootLeaf_ >= 0) {
+            const WideBvhLeaf &leaf = leaves_[rootLeaf_];
+            for (uint32_t p = 0; p < leaf.primCount; ++p)
+                leaf_fn(primOrder_[leaf.primOffset + p]);
+        }
+        return;
+    }
+    std::vector<int32_t> stack;
+    stack.push_back(root_);
+    while (!stack.empty()) {
+        const WideBvhNode &node = nodes_[stack.back()];
+        stack.pop_back();
+        // Inflate per lane with the same per-float ops as the scalar
+        // pointQuery (lo - r, hi + r) before the batched contains test.
+        geom::WideBoxes inflated;
+        for (uint32_t i = 0; i < node.count; ++i) {
+            inflated.lox[i] = node.boxes.lox[i] - radius;
+            inflated.loy[i] = node.boxes.loy[i] - radius;
+            inflated.loz[i] = node.boxes.loz[i] - radius;
+            inflated.hix[i] = node.boxes.hix[i] + radius;
+            inflated.hiy[i] = node.boxes.hiy[i] + radius;
+            inflated.hiz[i] = node.boxes.hiz[i] + radius;
+        }
+        uint32_t mask = geom::pointInBoxBatch(
+            point, inflated, static_cast<int>(node.count));
+        for (uint32_t i = 0; i < node.count; ++i) {
+            if (!(mask & (1u << i)))
+                continue;
+            if (node.child[i] < 0) {
+                const WideBvhLeaf &leaf = leaves_[~node.child[i]];
+                for (uint32_t p = 0; p < leaf.primCount; ++p)
+                    leaf_fn(primOrder_[leaf.primOffset + p]);
+            } else {
+                stack.push_back(node.child[i]);
+            }
+        }
+    }
+}
+
+SerializedBvh
+WideBvh::serialize(mem::GlobalMemory &gmem) const
+{
+    using L = WideBvhNodeLayout;
+    SerializedBvh out;
+    out.nodeWidth = width_;
+    out.quantized = quantized_;
+    uint32_t stride = L::nodeBytes(width_, quantized_);
+    out.nodeStride = stride;
+
+    // Leaf records, same format as the binary serializer.
+    std::vector<uint64_t> leaf_addr(leaves_.size(), 0);
+    uint64_t leaf_bytes = 0;
+    for (const WideBvhLeaf &leaf : leaves_)
+        leaf_bytes += (4 + 4ull * leaf.primCount + 15) & ~15ull;
+    out.leafBase = gmem.alloc(std::max<uint64_t>(leaf_bytes, 16), 64);
+    out.leafBytes = leaf_bytes;
+    uint64_t cursor = out.leafBase;
+    for (size_t i = 0; i < leaves_.size(); ++i) {
+        const WideBvhLeaf &leaf = leaves_[i];
+        leaf_addr[i] = cursor;
+        gmem.write<uint32_t>(cursor + BvhLeafLayout::kOffCount,
+                             leaf.primCount);
+        for (uint32_t p = 0; p < leaf.primCount; ++p) {
+            gmem.write<uint32_t>(cursor + BvhLeafLayout::kOffPrims + 4 * p,
+                                 primOrder_[leaf.primOffset + p]);
+        }
+        cursor += (4 + 4ull * leaf.primCount + 15) & ~15ull;
+    }
+
+    // Inner nodes, BFS order.
+    std::vector<int32_t> order;
+    std::vector<uint32_t> slot(nodes_.size(), 0);
+    if (root_ >= 0) {
+        order.push_back(root_);
+        slot[root_] = 0;
+        for (size_t head = 0; head < order.size(); ++head) {
+            const WideBvhNode &node = nodes_[order[head]];
+            for (uint32_t i = 0; i < node.count; ++i) {
+                if (node.child[i] >= 0) {
+                    slot[node.child[i]] =
+                        static_cast<uint32_t>(order.size());
+                    order.push_back(node.child[i]);
+                }
+            }
+        }
+    }
+    out.nodeBase =
+        gmem.alloc(std::max<uint64_t>(order.size() * stride, 64), 64);
+    out.nodeBytes = order.size() * stride;
+
+    auto ref_of = [&](int32_t child) {
+        if (child < 0)
+            return BvhRef::leaf(leaf_addr[~child]);
+        return BvhRef::inner(out.nodeBase +
+                             static_cast<uint64_t>(slot[child]) * stride);
+    };
+
+    uint32_t refs_off = L::refsOffset(width_, quantized_);
+    for (size_t s = 0; s < order.size(); ++s) {
+        const WideBvhNode &node = nodes_[order[s]];
+        uint64_t addr = out.nodeBase + s * stride;
+        if (!quantized_) {
+            const float *planes[6] = {node.boxes.lox, node.boxes.loy,
+                                      node.boxes.loz, node.boxes.hix,
+                                      node.boxes.hiy, node.boxes.hiz};
+            for (uint32_t a = 0; a < 6; ++a) {
+                for (uint32_t i = 0; i < width_; ++i) {
+                    gmem.write<float>(addr + L::kOffLoX +
+                                          (a * width_ + i) * 4,
+                                      planes[a][i]);
+                }
+            }
+        } else {
+            for (int a = 0; a < 3; ++a) {
+                gmem.write<float>(addr + L::kOffParentLo + 4 * a,
+                                  node.selfBox.lo[a]);
+                gmem.write<float>(addr + L::kOffParentHi + 4 * a,
+                                  node.selfBox.hi[a]);
+            }
+            for (uint32_t a = 0; a < 6; ++a) {
+                for (uint32_t i = 0; i < width_; ++i) {
+                    gmem.write<uint8_t>(addr + L::kOffQuant + a * width_ +
+                                            i,
+                                        node.quant[a][i]);
+                }
+            }
+        }
+        for (uint32_t i = 0; i < width_; ++i) {
+            uint32_t raw =
+                i < node.count ? ref_of(node.child[i]).raw : 0u;
+            gmem.write<uint32_t>(addr + refs_off + 4 * i, raw);
+        }
+    }
+
+    out.root = root_ >= 0 ? BvhRef::inner(out.nodeBase)
+                          : BvhRef::leaf(leaf_addr[rootLeaf_]);
     return out;
 }
 

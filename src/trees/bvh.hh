@@ -24,6 +24,7 @@
 
 #include "geom/aabb.hh"
 #include "geom/ray.hh"
+#include "geom/simd.hh"
 #include "mem/global_memory.hh"
 
 namespace tta::trees {
@@ -97,6 +98,14 @@ struct SerializedBvh
     uint64_t nodeBytes = 0;
     uint64_t leafBase = 0;
     uint64_t leafBytes = 0;
+    /**
+     * True byte footprint of one inner node, so traversal specs cover
+     * the right cache lines per fetch: 64 for the binary layout, the
+     * WideBvhNodeLayout stride for wide trees.
+     */
+    uint32_t nodeStride = BvhNodeLayout::kNodeBytes;
+    uint32_t nodeWidth = 2; //!< children per inner node (2 = binary)
+    bool quantized = false; //!< wide nodes use the compressed encoding
 };
 
 class Bvh
@@ -139,6 +148,131 @@ class Bvh
     std::vector<BvhNode> nodes_;
     std::vector<uint32_t> primOrder_;
     int32_t root_ = -1;
+};
+
+/**
+ * Serialized wide-node layout: the child boxes of one inner node stored
+ * struct-of-arrays (all W lox floats, then all loy, ...) so a node fetch
+ * feeds one rayBoxBatch / pointInBoxBatch call directly, followed by W
+ * packed BvhRef words. Children pack from lane 0; the first zero ref
+ * terminates the child list (BvhRef 0 is never a valid reference), so no
+ * separate count word is needed.
+ *
+ * The quantized variant instead anchors every child plane to the node's
+ * own (parent) box: f32[3] parent lo, f32[3] parent hi, then six u8[W]
+ * arrays (qlox..qhiz). A child plane decodes as
+ *   lo = parent_lo + scale * q        (scale = (hi-lo) / 255 per axis)
+ *   hi = parent_hi - scale * q
+ * with q chosen at encode time (same decode arithmetic, fixed up
+ * downward) so the decoded box always CONTAINS the true child box:
+ * conservative boxes visit a superset of nodes, and exact leaf tests
+ * make query results identical to the uncompressed tree.
+ */
+struct WideBvhNodeLayout
+{
+    /** Node stride in bytes (rounded so BvhRef addresses stay aligned). */
+    static constexpr uint32_t
+    nodeBytes(uint32_t width, bool quantized)
+    {
+        if (quantized)
+            return width == 8 ? 112 : 64;
+        return width == 8 ? 256 : 128;
+    }
+
+    /** Byte offset of the packed BvhRef[W] array. */
+    static constexpr uint32_t
+    refsOffset(uint32_t width, bool quantized)
+    {
+        return quantized ? 24 + 6 * width : 24 * width;
+    }
+
+    // Uncompressed: f32[W] arrays at 4*W intervals.
+    static constexpr uint32_t kOffLoX = 0;
+    // Quantized: parent anchor box then the u8[W] plane arrays.
+    static constexpr uint32_t kOffParentLo = 0;  //!< f32[3]
+    static constexpr uint32_t kOffParentHi = 12; //!< f32[3]
+    static constexpr uint32_t kOffQuant = 24;    //!< u8[W] x 6
+};
+
+/** Per-axis quantization step shared by the encoder and every decoder. */
+inline float
+wideQuantScale(float parent_lo, float parent_hi)
+{
+    return (parent_hi - parent_lo) * (1.0f / 255.0f);
+}
+
+inline float
+wideQuantDecodeLo(float parent_lo, float scale, uint8_t q)
+{
+    return parent_lo + scale * static_cast<float>(q);
+}
+
+inline float
+wideQuantDecodeHi(float parent_hi, float scale, uint8_t q)
+{
+    return parent_hi - scale * static_cast<float>(q);
+}
+
+/** Host-side wide node: SoA child boxes plus child links. */
+struct WideBvhNode
+{
+    geom::WideBoxes boxes{}; //!< child boxes (decoded when quantized)
+    int32_t child[8] = {};   //!< >= 0: wide node index; < 0: ~leaf index
+    uint32_t count = 0;      //!< valid children (lanes pack from 0)
+    geom::Aabb selfBox;      //!< union of children; quantization anchor
+    uint8_t quant[6][8] = {}; //!< encoded planes qlox..qhiz (quantized)
+};
+
+/** Wide leaf: a primitive-id range of primOrder(). */
+struct WideBvhLeaf
+{
+    uint32_t primOffset = 0;
+    uint32_t primCount = 0;
+};
+
+/**
+ * Wide (multi-way) BVH built by collapsing a binary Bvh: starting from a
+ * node's two children, the largest-surface-area inner entry is repeatedly
+ * replaced by its own children until the node holds `width` entries (the
+ * standard collapse heuristic of production wide BVHs). Host traversals
+ * use the batched SoA tests from geom/intersect.hh and return results
+ * identical to the binary tree's (conservative quantized boxes only ever
+ * widen the visited set; leaf tests are exact).
+ */
+class WideBvh
+{
+  public:
+    /** Collapse `bvh` into width-way nodes (width in [2, 8]). */
+    void build(const Bvh &bvh, uint32_t width, bool quantized = false);
+
+    uint32_t width() const { return width_; }
+    bool quantized() const { return quantized_; }
+    const std::vector<WideBvhNode> &nodes() const { return nodes_; }
+    const std::vector<WideBvhLeaf> &leaves() const { return leaves_; }
+    const std::vector<uint32_t> &primOrder() const { return primOrder_; }
+
+    /** Batched mirror of Bvh::traverse (near-child-first ordering). */
+    void traverse(geom::Ray &ray,
+                  const std::function<void(uint32_t)> &leaf_fn) const;
+
+    /** Batched mirror of Bvh::pointQuery. */
+    void pointQuery(const geom::Vec3 &point, float radius,
+                    const std::function<void(uint32_t)> &leaf_fn) const;
+
+    /** Serialize into simulated memory with the WideBvhNodeLayout. */
+    SerializedBvh serialize(mem::GlobalMemory &gmem) const;
+
+  private:
+    int32_t collapse(const Bvh &bvh, int32_t binary_idx);
+    void encodeNode(WideBvhNode &node, const geom::Aabb *child_boxes);
+
+    std::vector<WideBvhNode> nodes_;
+    std::vector<WideBvhLeaf> leaves_;
+    std::vector<uint32_t> primOrder_;
+    uint32_t width_ = 4;
+    bool quantized_ = false;
+    int32_t root_ = -1;     //!< wide node index; -1 when the root is a leaf
+    int32_t rootLeaf_ = -1; //!< leaf index when the whole tree is one leaf
 };
 
 /** Instance record for two-level scenes (64 bytes). */

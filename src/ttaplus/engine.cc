@@ -74,4 +74,14 @@ TtaPlusEngine::execute(sim::Cycle now, const Program &prog, bool is_leaf)
     return t;
 }
 
+sim::Cycle
+TtaPlusEngine::executeMany(sim::Cycle now, const Program &prog,
+                           bool is_leaf, uint32_t count)
+{
+    sim::Cycle done = now;
+    for (uint32_t i = 0; i < count; ++i)
+        done = execute(now, prog, is_leaf);
+    return done;
+}
+
 } // namespace tta::ttaplus

@@ -145,6 +145,16 @@ class TtaPlusEngine
      */
     sim::Cycle execute(sim::Cycle now, const Program &prog, bool is_leaf);
 
+    /**
+     * Execute `count` independent tests dispatched on the same cycle
+     * (e.g. the W/2 two-box slices of a wide SoA node). Timing-identical
+     * to `count` execute() calls: each test books its own uop slots, so
+     * contention between the slices is modelled, and the return value is
+     * the completion cycle of the last-dispatched test.
+     */
+    sim::Cycle executeMany(sim::Cycle now, const Program &prog,
+                           bool is_leaf, uint32_t count);
+
     /** Cycles unit was computing (for Fig 18 utilization). */
     uint64_t busyCycles(OpUnit unit) const
     {

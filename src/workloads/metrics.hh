@@ -39,6 +39,10 @@ struct RunMetrics
     uint64_t flops = 0;
     uint64_t dramBytes = 0;
     uint64_t nodesVisited = 0;
+    /** Demand node-fetch traffic issued by the RTA memory scheduler
+     *  (excludes child prefetches); scales with the node stride, so the
+     *  node-width sweep reads it directly. */
+    uint64_t nodeBytesFetched = 0;
 
     power::EnergyBreakdown energy;
 
@@ -71,6 +75,7 @@ collectMetrics(const sim::StatRegistry &stats, sim::Cycle cycles,
     m.dramBytes = stats.counterValue("dram.bytes_read") +
                   stats.counterValue("dram.bytes_written");
     m.nodesVisited = stats.counterValue("rta.nodes_visited");
+    m.nodeBytesFetched = stats.counterValue("rta.node_bytes_fetched");
     m.energy = power::EnergyModel::compute(stats);
     return m;
 }

@@ -1,5 +1,7 @@
 #include "workloads/rtnn_workload.hh"
 
+#include <cstring>
+
 #include "geom/intersect.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -27,11 +29,14 @@ coverLines(uint64_t base, uint64_t bytes, std::vector<uint64_t> &lines)
 
 } // namespace
 
-RtnnSpec::RtnnSpec(mem::GlobalMemory &gmem, BvhRef root,
-                   uint64_t point_base, uint64_t query_base,
-                   uint64_t result_base, float radius, bool offload_leaf)
-    : gmem_(&gmem), root_(root), pointBase_(point_base),
-      queryBase_(query_base), resultBase_(result_base), radius_(radius),
+RtnnSpec::RtnnSpec(mem::GlobalMemory &gmem,
+                   const trees::SerializedBvh &sbvh, uint64_t point_base,
+                   uint64_t query_base, uint64_t result_base, float radius,
+                   bool offload_leaf)
+    : gmem_(&gmem), root_(sbvh.root), nodeWidth_(sbvh.nodeWidth),
+      nodeStride_(sbvh.nodeStride), quantized_(sbvh.quantized),
+      pointBase_(point_base), queryBase_(query_base),
+      resultBase_(result_base), radius_(radius),
       offloadLeaf_(offload_leaf),
       innerProg_(ttaplus::programs::rayBoxInner()),
       leafProg_(ttaplus::programs::rtnnPointDistLeaf())
@@ -56,7 +61,13 @@ RtnnSpec::fetchLines(const rta::RayState & /*ray*/, rta::NodeRef ref,
 {
     BvhRef bref{static_cast<uint32_t>(ref)};
     if (!bref.isLeaf()) {
-        lines.push_back(bref.addr() & ~127ull);
+        if (nodeWidth_ > 2) {
+            // Wide nodes span nodeStride_ bytes: the cache hierarchy
+            // must see the full footprint of the fetch.
+            coverLines(bref.addr(), nodeStride_, lines);
+        } else {
+            lines.push_back(bref.addr() & ~127ull);
+        }
         return;
     }
     uint64_t leaf = bref.addr();
@@ -107,6 +118,8 @@ RtnnSpec::processNode(rta::RayState &ray, rta::NodeRef ref)
     }
 
     uint64_t node = bref.addr();
+    if (nodeWidth_ > 2)
+        return processWideInner(ray, node);
     auto read_box = [&](uint32_t lo_off, uint32_t hi_off) {
         geom::Aabb box;
         box.lo = {gmem_->read<float>(node + lo_off + 0),
@@ -130,6 +143,72 @@ RtnnSpec::processNode(rta::RayState &ray, rta::NodeRef ref)
         ray.stack.push_back(right.raw);
     out.op = rta::OpKind::RayBox;
     out.isLeaf = false;
+    return out;
+}
+
+/**
+ * Wide SoA inner node: one batched point-in-box test over all children.
+ * Children pack from lane 0; the first zero ref terminates the list.
+ * The node costs width/2 invocations of the two-box intersection unit.
+ */
+rta::NodeOutcome
+RtnnSpec::processWideInner(rta::RayState &ray, uint64_t node)
+{
+    using W = trees::WideBvhNodeLayout;
+    alignas(32) unsigned char buf[256];
+    gmem_->readBytes(node, buf, nodeStride_);
+
+    uint32_t refs_off = W::refsOffset(nodeWidth_, quantized_);
+    uint32_t refs[8] = {};
+    uint32_t count = 0;
+    for (uint32_t i = 0; i < nodeWidth_; ++i) {
+        std::memcpy(&refs[i], buf + refs_off + 4 * i, 4);
+        if (refs[i] == 0)
+            break;
+        ++count;
+    }
+
+    geom::WideBoxes boxes;
+    if (!quantized_) {
+        float *planes[6] = {boxes.lox, boxes.loy, boxes.loz,
+                            boxes.hix, boxes.hiy, boxes.hiz};
+        for (uint32_t a = 0; a < 6; ++a) {
+            std::memcpy(planes[a], buf + W::kOffLoX + a * nodeWidth_ * 4,
+                        nodeWidth_ * 4);
+        }
+    } else {
+        float plo[3];
+        float phi[3];
+        std::memcpy(plo, buf + W::kOffParentLo, 12);
+        std::memcpy(phi, buf + W::kOffParentHi, 12);
+        float *lo_planes[3] = {boxes.lox, boxes.loy, boxes.loz};
+        float *hi_planes[3] = {boxes.hix, boxes.hiy, boxes.hiz};
+        for (int a = 0; a < 3; ++a) {
+            float scale = trees::wideQuantScale(plo[a], phi[a]);
+            const unsigned char *qlo =
+                buf + W::kOffQuant + a * nodeWidth_;
+            const unsigned char *qhi =
+                buf + W::kOffQuant + (3 + a) * nodeWidth_;
+            for (uint32_t i = 0; i < count; ++i) {
+                lo_planes[a][i] =
+                    trees::wideQuantDecodeLo(plo[a], scale, qlo[i]);
+                hi_planes[a][i] =
+                    trees::wideQuantDecodeHi(phi[a], scale, qhi[i]);
+            }
+        }
+    }
+
+    uint32_t mask = geom::pointInBoxBatch(ray.point, boxes,
+                                          static_cast<int>(count));
+    for (uint32_t i = 0; i < count; ++i) {
+        if (mask & (1u << i))
+            ray.stack.push_back(refs[i]);
+    }
+
+    rta::NodeOutcome out;
+    out.op = rta::OpKind::RayBox;
+    out.isLeaf = false;
+    out.opCount = nodeWidth_ / 2;
     return out;
 }
 
@@ -169,9 +248,15 @@ RtnnWorkload::RtnnWorkload(size_t n_points, size_t n_queries, float radius,
 }
 
 void
-RtnnWorkload::setup(mem::GlobalMemory &gmem)
+RtnnWorkload::setup(mem::GlobalMemory &gmem, const sim::Config &cfg)
 {
-    sbvh_ = index_->bvh().serialize(gmem);
+    if (cfg.bvhNodeWidth > 2) {
+        trees::WideBvh wide;
+        wide.build(index_->bvh(), cfg.bvhNodeWidth, cfg.bvhQuantized);
+        sbvh_ = wide.serialize(gmem);
+    } else {
+        sbvh_ = index_->bvh().serialize(gmem);
+    }
     pointBase_ = cloud_.serialize(gmem);
     queryBase_ =
         gmem.alloc(queries_.size() * PointLayout::kPointBytes, 128);
@@ -311,8 +396,12 @@ RtnnWorkload::makePipeline(bool offload_leaf)
 RunMetrics
 RtnnWorkload::runBaseline(const sim::Config &cfg, sim::StatRegistry &stats)
 {
+    panic_if(cfg.bvhNodeWidth > 2,
+             "the baseline SIMT kernel traverses the binary node layout "
+             "(bvhNodeWidth = %u)",
+             cfg.bvhNodeWidth);
     gpu::Gpu device(cfg, stats);
-    setup(device.memory());
+    setup(device.memory(), cfg);
     gpu::KernelProgram kernel = buildBaselineKernel();
     float r2 = radius_ * radius_;
     uint32_t r2_bits;
@@ -336,8 +425,8 @@ RtnnWorkload::runAccelerated(const sim::Config &cfg,
                              sim::StatRegistry &stats, bool offload_leaf)
 {
     api::TtaDevice device(cfg, stats);
-    setup(device.memory());
-    RtnnSpec spec(device.memory(), sbvh_.root, pointBase_, queryBase_,
+    setup(device.memory(), cfg);
+    RtnnSpec spec(device.memory(), sbvh_, pointBase_, queryBase_,
                   resultBase_, radius_, offload_leaf);
     api::TtaPipeline pipeline = makePipeline(offload_leaf);
     device.bindPipeline(pipeline, &spec);

@@ -37,10 +37,12 @@ class RtnnSpec : public rta::TraversalSpec
 {
   public:
     /**
+     * @param sbvh serialized tree; carries the node layout (width,
+     *        stride, quantization) the spec must decode.
      * @param offload_leaf true for the starred configurations: distance
      *        checks run natively instead of in an intersection shader.
      */
-    RtnnSpec(mem::GlobalMemory &gmem, trees::BvhRef root,
+    RtnnSpec(mem::GlobalMemory &gmem, const trees::SerializedBvh &sbvh,
              uint64_t point_base, uint64_t query_base, uint64_t result_base,
              float radius, bool offload_leaf);
 
@@ -61,8 +63,13 @@ class RtnnSpec : public rta::TraversalSpec
     }
 
   private:
+    rta::NodeOutcome processWideInner(rta::RayState &ray, uint64_t node);
+
     mem::GlobalMemory *gmem_;
     trees::BvhRef root_;
+    uint32_t nodeWidth_;
+    uint32_t nodeStride_;
+    bool quantized_;
     uint64_t pointBase_;
     uint64_t queryBase_;
     uint64_t resultBase_;
@@ -83,7 +90,10 @@ class RtnnWorkload
     RtnnWorkload(size_t n_points, size_t n_queries, float radius = 1.0f,
                  uint64_t seed = 1);
 
-    void setup(mem::GlobalMemory &gmem);
+    /** Serialize with the node layout selected by `cfg` (binary 64B
+     *  nodes by default; wide SoA when cfg.bvhNodeWidth > 2). */
+    void setup(mem::GlobalMemory &gmem, const sim::Config &cfg);
+    void setup(mem::GlobalMemory &gmem) { setup(gmem, sim::Config{}); }
 
     /** Divergent per-thread CUDA kernel on the SIMT cores. */
     RunMetrics runBaseline(const sim::Config &cfg,

@@ -11,6 +11,7 @@
 #include "geom/ray.hh"
 #include "geom/vec.hh"
 #include "sim/rng.hh"
+#include "trees/rtree.hh"
 
 using namespace tta::geom;
 using tta::sim::Rng;
@@ -228,3 +229,210 @@ TEST_P(RayTriProperty, BarycentricReconstruction)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RayTriProperty,
                          ::testing::Values(11, 12, 13, 14));
+
+// --- Batched SoA kernels ---------------------------------------------------
+//
+// Whatever backend geom/simd.hh selected (AVX2, SSE2, NEON, or the
+// scalar fallback), every lane of the batch kernels must agree with the
+// scalar reference functions bit-for-bit: same hit/miss decision and
+// float-equal (==) distances — the sign of a zero is the only tolerated
+// representation difference, and operator== already treats -0 == +0.
+// The sweep leans on degenerate geometry: flat boxes (zero extent on an
+// axis), inverted boxes (lo > hi, the invalid-Aabb sentinel shape),
+// tiny boxes, and axis-parallel rays whose 1/0 slab math produces
+// inf/NaN.
+
+namespace {
+
+/** One random box per lane, biased toward degenerate shapes. */
+Aabb
+randomLaneBox(Rng &rng)
+{
+    Aabb box;
+    Vec3 a{rng.uniform(-8, 8), rng.uniform(-8, 8), rng.uniform(-8, 8)};
+    switch (rng.nextBounded(5)) {
+      case 0: { // flat: zero extent on one axis
+          Vec3 b = a + Vec3{rng.uniform(0, 3), rng.uniform(0, 3),
+                            rng.uniform(0, 3)};
+          int axis = static_cast<int>(rng.nextBounded(3));
+          (&b.x)[axis] = (&a.x)[axis];
+          box.extend(a);
+          box.extend(b);
+          break;
+      }
+      case 1: { // inverted: lo > hi on every axis (never hit/contains)
+          box.lo = a;
+          box.hi = a - Vec3{rng.uniform(0.5f, 2), rng.uniform(0.5f, 2),
+                            rng.uniform(0.5f, 2)};
+          break;
+      }
+      case 2: { // tiny: sub-epsilon extent
+          box.extend(a);
+          box.extend(a + Vec3{1e-30f, 1e-30f, 1e-30f});
+          break;
+      }
+      default: { // ordinary box
+          box.extend(a);
+          box.extend(a + Vec3{rng.uniform(0.1f, 4), rng.uniform(0.1f, 4),
+                              rng.uniform(0.1f, 4)});
+          break;
+      }
+    }
+    return box;
+}
+
+WideBoxes
+packBoxes(const Aabb boxes[8])
+{
+    WideBoxes wide;
+    for (int i = 0; i < 8; ++i) {
+        wide.lox[i] = boxes[i].lo.x;
+        wide.loy[i] = boxes[i].lo.y;
+        wide.loz[i] = boxes[i].lo.z;
+        wide.hix[i] = boxes[i].hi.x;
+        wide.hiy[i] = boxes[i].hi.y;
+        wide.hiz[i] = boxes[i].hi.z;
+    }
+    return wide;
+}
+
+} // namespace
+
+class SimdBatchProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SimdBatchProperty, RayBoxBatchMatchesScalarLaneForLane)
+{
+    Rng rng(GetParam() * 1013904223ull + 1);
+    for (int iter = 0; iter < 300; ++iter) {
+        Aabb boxes[8];
+        for (auto &box : boxes)
+            box = randomLaneBox(rng);
+        WideBoxes wide = packBoxes(boxes);
+
+        Ray ray;
+        ray.origin = {rng.uniform(-12, 12), rng.uniform(-12, 12),
+                      rng.uniform(-12, 12)};
+        ray.dir = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                   rng.uniform(-1, 1)};
+        // A third of the rays are axis-parallel in at least one axis.
+        if (rng.nextBounded(3) == 0)
+            (&ray.dir.x)[rng.nextBounded(3)] = 0.0f;
+        if (rng.nextBounded(4) == 0)
+            ray.tmax = rng.uniform(0.5f, 10.0f);
+
+        int count = 1 + static_cast<int>(rng.nextBounded(8));
+        float tenter[8];
+        uint32_t mask = rayBoxBatch(ray, wide, count, tenter);
+        ASSERT_EQ(mask >> count, 0u) << "lanes beyond count leaked";
+        for (int i = 0; i < count; ++i) {
+            auto hit = rayBox(ray, boxes[i]);
+            ASSERT_EQ((mask >> i) & 1u, hit.has_value() ? 1u : 0u)
+                << "iter " << iter << " lane " << i;
+            if (hit)
+                ASSERT_EQ(tenter[i], hit->tenter)
+                    << "iter " << iter << " lane " << i;
+        }
+    }
+}
+
+TEST_P(SimdBatchProperty, PointInBoxBatchMatchesContains)
+{
+    Rng rng(GetParam() * 2654435761ull + 7);
+    for (int iter = 0; iter < 300; ++iter) {
+        Aabb boxes[8];
+        for (auto &box : boxes)
+            box = randomLaneBox(rng);
+        WideBoxes wide = packBoxes(boxes);
+        Vec3 p{rng.uniform(-10, 10), rng.uniform(-10, 10),
+               rng.uniform(-10, 10)};
+        // Occasionally place the point exactly on a lane's face to pin
+        // the inclusive (>= / <=) boundary semantics.
+        if (rng.nextBounded(3) == 0)
+            p.x = boxes[rng.nextBounded(8)].lo.x;
+
+        int count = 1 + static_cast<int>(rng.nextBounded(8));
+        uint32_t mask = pointInBoxBatch(p, wide, count);
+        ASSERT_EQ(mask >> count, 0u);
+        for (int i = 0; i < count; ++i) {
+            ASSERT_EQ((mask >> i) & 1u, boxes[i].contains(p) ? 1u : 0u)
+                << "iter " << iter << " lane " << i;
+        }
+    }
+}
+
+TEST_P(SimdBatchProperty, RectOverlapBatchMatchesScalarOverlaps)
+{
+    Rng rng(GetParam() * 6364136223846793005ull + 13);
+    for (int iter = 0; iter < 300; ++iter) {
+        tta::trees::Rect2D rects[8];
+        WideRects wide;
+        for (int i = 0; i < 8; ++i) {
+            float x = rng.uniform(-50, 50), y = rng.uniform(-50, 50);
+            float w = rng.nextBounded(4) == 0 ? 0.0f
+                                              : rng.uniform(0.1f, 6.0f);
+            float h = rng.nextBounded(4) == 0 ? 0.0f
+                                              : rng.uniform(0.1f, 6.0f);
+            rects[i] = {x, y, x + w, y + h};
+            if (rng.nextBounded(8) == 0) // inverted (empty) rectangle
+                std::swap(rects[i].x0, rects[i].x1);
+            wide.x0[i] = rects[i].x0;
+            wide.y0[i] = rects[i].y0;
+            wide.x1[i] = rects[i].x1;
+            wide.y1[i] = rects[i].y1;
+        }
+        float qx = rng.uniform(-50, 50), qy = rng.uniform(-50, 50);
+        tta::trees::Rect2D query{qx, qy, qx + rng.uniform(0, 8),
+                                 qy + rng.uniform(0, 8)};
+        // Shared-edge queries pin the inclusive boundary semantics.
+        if (rng.nextBounded(3) == 0)
+            query.x0 = rects[rng.nextBounded(8)].x1;
+
+        int count = 1 + static_cast<int>(rng.nextBounded(8));
+        uint32_t mask = rectOverlapBatch(query.x0, query.y0, query.x1,
+                                         query.y1, wide, count);
+        ASSERT_EQ(mask >> count, 0u);
+        for (int i = 0; i < count; ++i) {
+            ASSERT_EQ((mask >> i) & 1u,
+                      query.overlaps(rects[i]) ? 1u : 0u)
+                << "iter " << iter << " lane " << i;
+        }
+    }
+}
+
+TEST_P(SimdBatchProperty, PointRadiusBatchMatchesScalarDistance)
+{
+    Rng rng(GetParam() * 40503ull + 19);
+    for (int iter = 0; iter < 300; ++iter) {
+        alignas(32) float px[8], py[8], pz[8];
+        Vec3 pts[8];
+        for (int i = 0; i < 8; ++i) {
+            pts[i] = {rng.uniform(-10, 10), rng.uniform(-10, 10),
+                      rng.uniform(-10, 10)};
+            px[i] = pts[i].x;
+            py[i] = pts[i].y;
+            pz[i] = pts[i].z;
+        }
+        Vec3 q{rng.uniform(-10, 10), rng.uniform(-10, 10),
+               rng.uniform(-10, 10)};
+        if (rng.nextBounded(6) == 0)
+            q = pts[rng.nextBounded(8)]; // exact-zero distance lane
+        float threshold = rng.uniform(0.0f, 12.0f);
+
+        int count = 1 + static_cast<int>(rng.nextBounded(8));
+        float d2[8];
+        uint32_t mask = pointRadiusBatch(q, px, py, pz, count, threshold,
+                                         d2);
+        ASSERT_EQ(mask >> count, 0u);
+        for (int i = 0; i < count; ++i) {
+            ASSERT_EQ((mask >> i) & 1u,
+                      pointWithinRadius(q, pts[i], threshold) ? 1u : 0u)
+                << "iter " << iter << " lane " << i;
+            ASSERT_EQ(d2[i], distanceSquared(q, pts[i]))
+                << "iter " << iter << " lane " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdBatchProperty,
+                         ::testing::Values(31, 32, 33, 34, 35));

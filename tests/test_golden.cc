@@ -28,6 +28,7 @@
 #include "sim/ticked.hh"
 #include "workloads/btree_workload.hh"
 #include "workloads/nbody_workload.hh"
+#include "workloads/rtnn_workload.hh"
 #include "workloads/rtree_workload.hh"
 
 #ifndef TTA_GOLDEN_DIR
@@ -75,6 +76,23 @@ const GoldenCase kCases[] = {
      [](sim::StatRegistry &stats) {
          NBodyWorkload wl(2, 256, 3);
          return wl.runAccelerated(modeConfig(sim::AccelMode::Tta), stats);
+     }},
+    // Wide SoA node layouts: snapshots pin both the layout serialization
+    // (node strides, fetch-line counts) and the rtaFetchWidth timing.
+    {"rtnn_wide4",
+     [](sim::StatRegistry &stats) {
+         RtnnWorkload wl(1500, 48, 1.0f, 9);
+         sim::Config cfg = modeConfig(sim::AccelMode::Tta);
+         cfg.bvhNodeWidth = 4;
+         cfg.rtaFetchWidth = 2;
+         return wl.runAccelerated(cfg, stats, true);
+     }},
+    {"rtree_soa",
+     [](sim::StatRegistry &stats) {
+         RTreeWorkload wl(300, 64, 2.0f, 5);
+         sim::Config cfg = modeConfig(sim::AccelMode::TtaPlus);
+         cfg.rtreeSoa = true;
+         return wl.runAccelerated(cfg, stats);
      }},
 };
 

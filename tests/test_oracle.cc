@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <optional>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "trees/bvh.hh"
 #include "workloads/btree_workload.hh"
 #include "workloads/raytracing_workload.hh"
+#include "workloads/rtnn_workload.hh"
 #include "workloads/rtree_workload.hh"
 
 using namespace tta;
@@ -116,24 +118,44 @@ uint32_t
 bruteForceOverlaps(const std::vector<trees::Rect2D> &objects,
                    const trees::Rect2D &query)
 {
+    // Batched over 8-lane SoA blocks; each lane runs the same compare
+    // chain as Rect2D::overlaps (test_geom proves the batch kernel
+    // bit-equal to the scalar predicate), so the oracle's answer is
+    // unchanged while large object sets scan at SIMD speed.
     uint32_t count = 0;
-    for (const auto &obj : objects)
-        count += query.overlaps(obj) ? 1u : 0u;
+    size_t i = 0;
+    for (; i + 8 <= objects.size(); i += 8) {
+        geom::WideRects block;
+        for (int l = 0; l < 8; ++l) {
+            block.x0[l] = objects[i + l].x0;
+            block.y0[l] = objects[i + l].y0;
+            block.x1[l] = objects[i + l].x1;
+            block.y1[l] = objects[i + l].y1;
+        }
+        count += std::popcount(geom::rectOverlapBatch(
+            query.x0, query.y0, query.x1, query.y1, block, 8));
+    }
+    for (; i < objects.size(); ++i)
+        count += query.overlaps(objects[i]) ? 1u : 0u;
     return count;
 }
 
 void
-checkRTreeSeed(uint64_t seed, sim::AccelMode mode, bool baseline)
+checkRTreeSeed(uint64_t seed, sim::AccelMode mode, bool baseline,
+               bool soa = false)
 {
     size_t n_objects = 150 + seed % 211;
     float extent = 1.0f + 0.25f * static_cast<float>(seed % 13);
     RTreeWorkload wl(n_objects, 32, extent, seed * 2654435761ull + 3);
 
     sim::StatRegistry stats;
-    if (baseline)
+    if (baseline) {
         wl.runBaseline(modeConfig(sim::AccelMode::BaselineGpu), stats);
-    else
-        wl.runAccelerated(modeConfig(mode), stats);
+    } else {
+        sim::Config cfg = modeConfig(mode);
+        cfg.rtreeSoa = soa;
+        wl.runAccelerated(cfg, stats);
+    }
 
     const auto &objects = wl.tree().orderedObjects();
     const auto &queries = wl.queries();
@@ -158,6 +180,16 @@ TEST(OracleRTree, BaselineKernelMatchesBruteForceCount)
     for (uint64_t seed = 100; seed < 105; ++seed)
         checkRTreeSeed(seed, sim::AccelMode::BaselineGpu,
                        /*baseline=*/true);
+}
+
+// The SoA fanout-8 layout is a pure layout change: the device must
+// return the same counts as the brute force on every seed (the index is
+// rebuilt at fanout 8, but the object multiset is identical).
+TEST(OracleRTree, SoaLayoutMatchesBruteForceCount)
+{
+    for (uint64_t seed = 200; seed < 215; ++seed)
+        checkRTreeSeed(seed, pickMode(seed), /*baseline=*/false,
+                       /*soa=*/true);
 }
 
 // --- BVH closest-hit -------------------------------------------------------
@@ -352,4 +384,175 @@ TEST(OracleBvh, CycleLevelDeviceMatchesReference)
         wl.runAccelerated(modeConfig(sim::AccelMode::TtaPlus), stats);
     EXPECT_GT(m.cycles, 0u);
     EXPECT_GT(m.nodesVisited, 0u);
+}
+
+// --- Wide SoA BVH ----------------------------------------------------------
+//
+// The wide node layouts must be pure layout changes: every width, with
+// and without the quantized encoding, answers queries identically to
+// the binary tree. Quantized boxes are conservative (decoded planes
+// never cut inside the exact box), so they may only widen the candidate
+// set; the exact tests applied at the leaves keep the results equal.
+
+namespace {
+
+/** Closest hit through a WideBvh, mirroring bvhClosest above. */
+SoupHit
+wideClosest(const trees::WideBvh &wide, const std::vector<Triangle> &tris,
+            const geom::Ray &ray)
+{
+    SoupHit best;
+    geom::Ray r = ray;
+    wide.traverse(r, [&](uint32_t id) {
+        auto h = geom::rayTriangle(r, tris[id].v0, tris[id].v1,
+                                   tris[id].v2);
+        if (h && h->t < r.tmax) {
+            best = {true, h->t, id};
+            r.tmax = h->t;
+        }
+    });
+    return best;
+}
+
+struct WideVariant
+{
+    uint32_t width;
+    bool quantized;
+};
+
+constexpr WideVariant kWideVariants[] = {
+    {4, false}, {8, false}, {4, true}, {8, true}};
+
+} // namespace
+
+TEST(OracleWideBvh, ClosestHitMatchesBinaryTree)
+{
+    for (uint64_t seed = 0; seed < 60; ++seed) {
+        sim::Rng rng(seed * 2862933555777941757ull + 3037000493ull);
+        size_t n_tris = 8 + rng.nextBounded(88);
+        std::vector<Triangle> tris(n_tris);
+        std::vector<geom::Aabb> boxes(n_tris);
+        for (size_t i = 0; i < n_tris; ++i) {
+            geom::Vec3 base{rng.uniform(-10.0f, 10.0f),
+                            rng.uniform(-10.0f, 10.0f),
+                            rng.uniform(-10.0f, 10.0f)};
+            auto jitter = [&]() {
+                return geom::Vec3{rng.uniform(-1.5f, 1.5f),
+                                  rng.uniform(-1.5f, 1.5f),
+                                  rng.uniform(-1.5f, 1.5f)};
+            };
+            tris[i] = {base, base + jitter(), base + jitter()};
+            boxes[i].extend(tris[i].v0);
+            boxes[i].extend(tris[i].v1);
+            boxes[i].extend(tris[i].v2);
+        }
+        trees::Bvh bvh;
+        bvh.build(boxes, 1 + rng.nextBounded(4));
+
+        trees::WideBvh wides[std::size(kWideVariants)];
+        for (size_t v = 0; v < std::size(kWideVariants); ++v)
+            wides[v].build(bvh, kWideVariants[v].width,
+                           kWideVariants[v].quantized);
+
+        for (int q = 0; q < 10; ++q) {
+            geom::Ray ray;
+            ray.origin = {rng.uniform(-14.0f, 14.0f),
+                          rng.uniform(-14.0f, 14.0f),
+                          rng.uniform(-14.0f, 14.0f)};
+            geom::Vec3 target{rng.uniform(-10.0f, 10.0f),
+                              rng.uniform(-10.0f, 10.0f),
+                              rng.uniform(-10.0f, 10.0f)};
+            ray.dir = normalize(target - ray.origin);
+
+            SoupHit bin = bvhClosest(bvh, tris, ray);
+            for (size_t v = 0; v < std::size(kWideVariants); ++v) {
+                SoupHit w = wideClosest(wides[v], tris, ray);
+                ASSERT_EQ(w.hit, bin.hit)
+                    << "seed " << seed << " width "
+                    << kWideVariants[v].width
+                    << (kWideVariants[v].quantized ? " quantized" : "");
+                if (bin.hit) {
+                    ASSERT_EQ(w.prim, bin.prim)
+                        << "seed " << seed << " width "
+                        << kWideVariants[v].width;
+                    ASSERT_FLOAT_EQ(w.t, bin.t)
+                        << "seed " << seed << " width "
+                        << kWideVariants[v].width;
+                }
+            }
+        }
+    }
+}
+
+TEST(OracleWideBvh, RadiusQueryMatchesBinaryTree)
+{
+    for (uint64_t seed = 0; seed < 60; ++seed) {
+        sim::Rng rng(seed * 6364136223846793005ull + 97531);
+        size_t n_pts = 16 + rng.nextBounded(120);
+        std::vector<geom::Vec3> pts(n_pts);
+        std::vector<geom::Aabb> boxes(n_pts);
+        for (size_t i = 0; i < n_pts; ++i) {
+            pts[i] = {rng.uniform(-20.0f, 20.0f),
+                      rng.uniform(-20.0f, 20.0f),
+                      rng.uniform(-20.0f, 20.0f)};
+            boxes[i].extend(pts[i]);
+        }
+        trees::Bvh bvh;
+        bvh.build(boxes, 1 + rng.nextBounded(4));
+
+        trees::WideBvh wides[std::size(kWideVariants)];
+        for (size_t v = 0; v < std::size(kWideVariants); ++v)
+            wides[v].build(bvh, kWideVariants[v].width,
+                           kWideVariants[v].quantized);
+
+        for (int q = 0; q < 8; ++q) {
+            geom::Vec3 query{rng.uniform(-22.0f, 22.0f),
+                             rng.uniform(-22.0f, 22.0f),
+                             rng.uniform(-22.0f, 22.0f)};
+            float radius = rng.uniform(1.0f, 6.0f);
+            // The exact leaf predicate filters the (possibly wider)
+            // candidate set down to the same answer on every layout.
+            auto exact = [&](const trees::Bvh *b,
+                             const trees::WideBvh *w) {
+                std::vector<uint32_t> ids;
+                auto leaf = [&](uint32_t id) {
+                    if (geom::pointWithinRadius(query, pts[id], radius))
+                        ids.push_back(id);
+                };
+                if (b)
+                    b->pointQuery(query, radius, leaf);
+                else
+                    w->pointQuery(query, radius, leaf);
+                std::sort(ids.begin(), ids.end());
+                return ids;
+            };
+            std::vector<uint32_t> bin = exact(&bvh, nullptr);
+            for (size_t v = 0; v < std::size(kWideVariants); ++v) {
+                ASSERT_EQ(exact(nullptr, &wides[v]), bin)
+                    << "seed " << seed << " width "
+                    << kWideVariants[v].width
+                    << (kWideVariants[v].quantized ? " quantized" : "");
+            }
+        }
+    }
+}
+
+// Cycle-level device runs on the wide layouts: RtnnWorkload::verify
+// panics on any divergence from the host brute-force expectation, so a
+// completing run proves the serialized wide nodes decode to the same
+// answers the binary layout gives.
+TEST(OracleWideBvh, DeviceWideRtnnMatchesExpected)
+{
+    const WideVariant device_variants[] = {{4, false}, {8, false},
+                                           {4, true}};
+    for (const auto &variant : device_variants) {
+        RtnnWorkload wl(1200, 32, 1.0f, 11);
+        sim::Config cfg = modeConfig(sim::AccelMode::Tta);
+        cfg.bvhNodeWidth = variant.width;
+        cfg.bvhQuantized = variant.quantized;
+        sim::StatRegistry stats;
+        RunMetrics m = wl.runAccelerated(cfg, stats, true);
+        EXPECT_GT(m.cycles, 0u) << "width " << variant.width;
+        EXPECT_GT(m.nodeBytesFetched, 0u) << "width " << variant.width;
+    }
 }
