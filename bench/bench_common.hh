@@ -43,7 +43,9 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -74,6 +76,7 @@ struct Args
     uint64_t jobs = 0;       //!< runner threads; 0 = hardware concurrency
     uint64_t simThreads = 0; //!< threaded-kernel threads per run; 0 = auto
     uint64_t jsonTiming = 1; //!< include wall_ms in JSON records
+    uint64_t rebuildDevice = 0; //!< escape hatch: bypass WorkloadCache
     std::string json;        //!< JSON record sink; empty = off, "-" = stdout
     std::string trace;       //!< Chrome-trace sink; empty = tracing off
     uint32_t traceMask = sim::TraceAllCategories;
@@ -107,6 +110,10 @@ struct Args
                 args.setTraceSpec(argv[++i]);
                 continue;
             }
+            if (std::strcmp(argv[i], "--rebuild-device") == 0) {
+                args.rebuildDevice = 1;
+                continue;
+            }
             auto grab = [&](const char *name, auto &field) {
                 std::string prefix = std::string("--") + name + "=";
                 if (std::strncmp(argv[i], prefix.c_str(),
@@ -135,6 +142,7 @@ struct Args
                       grab("jobs", args.jobs) ||
                       grab("sim-threads", args.simThreads) ||
                       grab("json-timing", args.jsonTiming) ||
+                      grab("rebuild-device", args.rebuildDevice) ||
                       grabStr("json", args.json);
             if (!ok && grabStr("trace", trace_spec)) {
                 args.setTraceSpec(trace_spec);
@@ -176,6 +184,64 @@ geomean(const std::vector<double> &xs)
         acc += std::log(x);
     return xs.empty() ? 0.0 : std::exp(acc / xs.size());
 }
+
+/**
+ * Host-side workload build cache for sweeps that run the *same*
+ * workload under several device configs (e.g. fig12 builds one B-Tree
+ * per (kind, keys) three times and one RTNN index six times).
+ *
+ * get() builds the workload once per key and hands every run a fresh
+ * deep copy of the cached prototype. Each run still constructs its own
+ * device and stat registry — only the host-side build (tree
+ * construction, reference query evaluation) is shared — so results are
+ * bit-identical to rebuilding from scratch; tests/test_regression.cc
+ * proves it and `--rebuild-device` bypasses the cache entirely.
+ *
+ * Thread-safe: concurrent pool jobs asking for the same key build it
+ * once (the others block until the prototype is ready); distinct keys
+ * build concurrently.
+ */
+class WorkloadCache
+{
+  public:
+    /** @param enabled false (--rebuild-device) = always build fresh. */
+    explicit WorkloadCache(bool enabled) : enabled_(enabled) {}
+
+    template <class W, class Build>
+    W
+    get(const std::string &key, Build &&build)
+    {
+        if (!enabled_)
+            return build();
+        std::shared_ptr<Entry<W>> entry;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = cache_.find(key);
+            if (it == cache_.end()) {
+                entry = std::make_shared<Entry<W>>();
+                cache_[key] = entry;
+            } else {
+                entry = std::static_pointer_cast<Entry<W>>(it->second);
+            }
+        }
+        std::call_once(entry->once,
+                       [&] { entry->proto =
+                                 std::make_shared<const W>(build()); });
+        return W(*entry->proto); // fresh deep copy per run
+    }
+
+  private:
+    template <class W>
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const W> proto;
+    };
+
+    bool enabled_;
+    std::mutex mu_;
+    std::map<std::string, std::shared_ptr<void>> cache_;
+};
 
 /**
  * A queued-up experiment sweep.

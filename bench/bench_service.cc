@@ -1,0 +1,288 @@
+/**
+ * @file
+ * BENCH_8: traversal-as-a-service under sustained traffic.
+ *
+ * Stands up a persistent TraversalService (one long-lived TtaDevice,
+ * three tenants: B-Tree lookups, radius searches, rays) and drives it
+ * with the deterministic closed/open-loop traffic generators: Poisson,
+ * bursty (2-state MMPP) and closed-loop arrivals, millions of queries
+ * per scenario. Reports sustained throughput plus p50/p99/p999 latency
+ * in simulated cycles and microseconds (at Config::coreClockMhz),
+ * alongside host wall-clock.
+ *
+ * Flags (on top of the shared bench flags in bench_common.hh):
+ *   --queries=N            arrivals per scenario (default 1,000,000)
+ *   --bench=SUBSTR         run only scenarios whose name contains SUBSTR
+ *   --max-batch=N          admission policy: dispatch threshold (256)
+ *   --max-wait=N           admission policy: deadline in cycles (50000)
+ *   --mean-gap=N           open-loop mean inter-arrival gap (cycles)
+ *   --check-determinism    re-run every scenario under the threaded
+ *                          kernel (2 sim threads) and require the batch
+ *                          log + latency histograms to be bit-identical;
+ *                          exits 2 on divergence (bench_speed codes)
+ *
+ * JSON records (--json=FILE, one line per scenario) carry the service
+ * scalars/counters plus derived values: throughput_qpmc (completed
+ * queries per million simulated cycles), lat_p50/p99/p999_cycles and
+ * _us, wait_p99_cycles, batches, expired_dispatches.
+ */
+
+#include "bench_common.hh"
+
+#include "service/service.hh"
+#include "sim/stats.hh"
+
+using namespace bench;
+using namespace ::tta::service;
+
+namespace {
+
+struct ScenarioSpec
+{
+    const char *name;
+    ArrivalProcess process;
+    bool mix;              //!< all three tenants vs B-Tree only
+    double cancelFraction; //!< impatient clients
+};
+
+const ScenarioSpec kScenarios[] = {
+    {"poisson/btree", ArrivalProcess::Poisson, false, 0.0},
+    {"poisson/mix", ArrivalProcess::Poisson, true, 0.0},
+    {"bursty/mix", ArrivalProcess::Bursty, true, 0.0},
+    {"bursty/cancel", ArrivalProcess::Bursty, true, 0.02},
+    {"closed/mix", ArrivalProcess::ClosedLoop, true, 0.0},
+};
+
+struct ServiceArgs
+{
+    uint64_t maxBatch = 256;
+    uint64_t maxWait = 50000;
+    uint64_t meanGap = 0; //!< 0 = auto
+    std::string filter;
+    bool checkDeterminism = false;
+};
+
+/** Oracle string for the determinism cross-check: batch composition,
+ *  completion order and every latency histogram, bit-for-bit. */
+std::string
+oracleString(const ServiceReport &rep)
+{
+    std::string s = rep.batchLog;
+    s += "total:" + rep.latency.dumpString();
+    for (const auto &tr : rep.tenants) {
+        s += tr.name + ":" + tr.latency.dumpString();
+        s += tr.name + ".wait:" + tr.queueWait.dumpString();
+    }
+    return s;
+}
+
+ServiceReport
+runScenario(const ScenarioSpec &spec, const Args &args,
+            const ServiceArgs &sargs, const sim::Config &cfg,
+            sim::StatRegistry &stats)
+{
+    ServicePolicy policy;
+    policy.maxBatch = static_cast<uint32_t>(sargs.maxBatch);
+    policy.maxWaitCycles = sargs.maxWait;
+
+    TraversalService svc(cfg, stats, policy);
+    svc.addTenant(std::make_unique<BTreeTenant>(
+        "btree", args.keys / 5, /*pool=*/8192, args.seed));
+    if (spec.mix) {
+        svc.addTenant(std::make_unique<RadiusTenant>(
+            "radius", args.points / 4, /*pool=*/2048, 1.0f, args.seed));
+        svc.addTenant(std::make_unique<RayTenant>(
+            "rays", /*pool=*/1024, args.seed));
+    }
+
+    TrafficConfig tc;
+    tc.process = spec.process;
+    tc.totalQueries = args.queries;
+    tc.cancelFraction = spec.cancelFraction;
+    tc.cancelAfterMean = static_cast<double>(sargs.maxWait) / 2;
+    // Query mix skewed toward the cheap tenant so the aggregate rate
+    // keeps the device saturated without the expensive tenants
+    // dominating the makespan.
+    if (spec.mix)
+        tc.tenantWeights = {0.90, 0.07, 0.03};
+    // Auto gap: keep the open-loop offered load near device capacity
+    // (~a few tens of cycles per B-Tree query in a full batch).
+    tc.meanGapCycles = sargs.meanGap
+                           ? static_cast<double>(sargs.meanGap)
+                           : (spec.mix ? 180.0 : 8.0);
+    tc.clients = 512;
+    tc.thinkCycles = 30000.0;
+
+    TrafficGen gen(tc, svc.numTenants(), args.seed ^ 0xbadc0ffeull);
+    return svc.run(gen);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Pre-scan service-specific flags; Args::parse warns on unknowns,
+    // so strip ours first.
+    ServiceArgs sargs;
+    std::vector<char *> passthrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const std::string &prefix) {
+            return std::strtoull(a.c_str() + prefix.size(), nullptr, 10);
+        };
+        if (a.rfind("--max-batch=", 0) == 0)
+            sargs.maxBatch = val("--max-batch=");
+        else if (a.rfind("--max-wait=", 0) == 0)
+            sargs.maxWait = val("--max-wait=");
+        else if (a.rfind("--mean-gap=", 0) == 0)
+            sargs.meanGap = val("--mean-gap=");
+        else if (a.rfind("--bench=", 0) == 0)
+            sargs.filter = a.substr(std::strlen("--bench="));
+        else if (a == "--check-determinism")
+            sargs.checkDeterminism = true;
+        else
+            passthrough.push_back(argv[i]);
+    }
+    Args args = Args::parse(static_cast<int>(passthrough.size()),
+                            passthrough.data());
+    if (args.queries == 16384)
+        args.queries = 1000000; // service default: a million arrivals
+
+    printHeader("BENCH_8", "traversal-as-a-service latency/throughput",
+                args);
+    std::printf("  policy: max-batch=%llu max-wait=%llu cycles\n",
+                static_cast<unsigned long long>(sargs.maxBatch),
+                static_cast<unsigned long long>(sargs.maxWait));
+
+    std::vector<const ScenarioSpec *> selected;
+    for (const auto &s : kScenarios)
+        if (sargs.filter.empty() ||
+            std::string(s.name).find(sargs.filter) != std::string::npos)
+            selected.push_back(&s);
+    if (selected.empty()) {
+        std::fprintf(stderr, "no scenario matches --bench=%s\n",
+                     sargs.filter.c_str());
+        return 64;
+    }
+
+    // One runner job per scenario: private registries, deterministic
+    // result order, JSON records for free.
+    std::vector<ServiceReport> reports(selected.size());
+    std::vector<sim::Job> jobs;
+    for (size_t i = 0; i < selected.size(); ++i) {
+        const ScenarioSpec &spec = *selected[i];
+        sim::Job job;
+        job.name = spec.name;
+        job.config = modeConfig(sim::AccelMode::Tta);
+        job.seed = args.seed;
+        job.fn = [&, i, &spec = *selected[i]](const sim::Config &cfg,
+                                              sim::StatRegistry &stats,
+                                              sim::RunRecord &rec) {
+            ServiceReport rep = runScenario(spec, args, sargs, cfg, stats);
+            rec.cycles = rep.makespan;
+            double mhz = cfg.coreClockMhz;
+            rec.values["throughput_qpmc"] = rep.throughputQpmc();
+            rec.values["lat_p50_cycles"] =
+                static_cast<double>(rep.latency.percentile(50));
+            rec.values["lat_p99_cycles"] =
+                static_cast<double>(rep.latency.percentile(99));
+            rec.values["lat_p999_cycles"] =
+                static_cast<double>(rep.latency.percentile(99.9));
+            rec.values["lat_p50_us"] =
+                cyclesToUs(rep.latency.percentile(50), mhz);
+            rec.values["lat_p99_us"] =
+                cyclesToUs(rep.latency.percentile(99), mhz);
+            rec.values["lat_p999_us"] =
+                cyclesToUs(rep.latency.percentile(99.9), mhz);
+            rec.values["batches"] = static_cast<double>(rep.batches);
+            rec.values["expired_dispatches"] =
+                static_cast<double>(rep.expiredDispatches);
+            rec.values["completed"] =
+                static_cast<double>(rep.completed);
+            rec.values["canceled"] = static_cast<double>(rep.canceled);
+            reports[i] = rep;
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    sim::ExperimentRunner runner(static_cast<unsigned>(args.jobs));
+    std::vector<sim::RunRecord> records = runner.run(jobs);
+    for (const auto &rec : records) {
+        if (rec.failed()) {
+            std::fprintf(stderr, "scenario '%s' failed: %s\n",
+                         rec.name.c_str(), rec.error.c_str());
+            return 1;
+        }
+    }
+
+    if (!args.json.empty()) {
+        std::ofstream file;
+        std::ostream *os = &std::cout;
+        if (args.json != "-") {
+            file.open(args.json, std::ios::app);
+            if (!file) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             args.json.c_str());
+                return 1;
+            }
+            os = &file;
+        }
+        for (const auto &rec : records) {
+            rec.writeJson(*os, args.jsonTiming != 0);
+            *os << "\n";
+        }
+    }
+
+    std::printf("\n%-15s %9s %7s %8s %9s %9s %9s %8s %8s\n", "scenario",
+                "queries", "batches", "qpmc", "p50(us)", "p99(us)",
+                "p999(us)", "util", "wall(s)");
+    for (size_t i = 0; i < selected.size(); ++i) {
+        const ServiceReport &rep = reports[i];
+        double mhz = jobs[i].config.coreClockMhz;
+        double util = rep.makespan ? 100.0 *
+                                         static_cast<double>(
+                                             rep.deviceBusy) /
+                                         rep.makespan
+                                   : 0.0;
+        std::printf("%-15s %9llu %7llu %8.1f %9.1f %9.1f %9.1f %7.1f%% "
+                    "%8.2f\n",
+                    selected[i]->name,
+                    static_cast<unsigned long long>(rep.completed),
+                    static_cast<unsigned long long>(rep.batches),
+                    rep.throughputQpmc(),
+                    cyclesToUs(rep.latency.percentile(50), mhz),
+                    cyclesToUs(rep.latency.percentile(99), mhz),
+                    cyclesToUs(rep.latency.percentile(99.9), mhz), util,
+                    records[i].wallSeconds);
+    }
+    std::printf("(qpmc = completed queries per million simulated cycles; "
+                "util = device busy fraction)\n");
+
+    if (sargs.checkDeterminism) {
+        // Replay every scenario under the threaded kernel (2 simulation
+        // threads): admission decisions, batch composition and the
+        // latency histograms must be bit-identical to the first pass.
+        std::printf("\nDeterminism cross-check (threaded kernel, 2 "
+                    "sim-threads):\n");
+        sim::Simulator::setDefaultKernel(
+            sim::Simulator::Kernel::Threaded);
+        sim::Simulator::setDefaultSimThreads(2);
+        int rc = 0;
+        for (size_t i = 0; i < selected.size(); ++i) {
+            sim::StatRegistry stats;
+            ServiceReport rep = runScenario(*selected[i], args, sargs,
+                                            jobs[i].config, stats);
+            bool same = oracleString(rep) == oracleString(reports[i]);
+            std::printf("  %-15s %s\n", selected[i]->name,
+                        same ? "bit-identical" : "DIVERGED");
+            if (!same)
+                rc = 2;
+        }
+        sim::Simulator::resetDefaultKernel();
+        sim::Simulator::resetDefaultSimThreads();
+        if (rc)
+            return rc;
+    }
+    return 0;
+}

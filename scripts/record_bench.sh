@@ -32,8 +32,17 @@
 # wide-speedup gate is enforced only when the backend is a real vector
 # ISA (the scalar fallback has nothing to gate).
 #
+# BENCH_8: the traversal-as-a-service layer (bench_service): five
+# traffic scenarios (Poisson/bursty/closed-loop, mixed tenants,
+# cancels) at a million arrivals each, recording sustained throughput
+# and p50/p99/p999 latency in simulated cycles and microseconds. The
+# run includes bench_service's own determinism cross-check: every
+# scenario is replayed under the threaded kernel and the batch log +
+# latency histograms must be bit-identical (the bench exits 2
+# otherwise, failing the recording).
+#
 # Usage: scripts/record_bench.sh [build-dir] [bench4-out] [bench5-out] \
-#            [bench6-out] [bench7-out]
+#            [bench6-out] [bench7-out] [bench8-out]
 #
 # The pre-refactor fig12 baseline (the polling kernel before the
 # event-driven scheduler and its profiling-driven fixes landed, commit
@@ -48,6 +57,7 @@ OUT=${2:-BENCH_4.json}
 OUT5=${3:-BENCH_5.json}
 OUT6=${4:-BENCH_6.json}
 OUT7=${5:-BENCH_7.json}
+OUT8=${6:-BENCH_8.json}
 PRE=${PRE_REFACTOR_POLLING_WALL_S:-110.9}
 THREADS=${BENCH5_SIM_THREADS:-1,2,4,8}
 EPOCHS=${BENCH6_SIM_EPOCHS:-1,20,64}
@@ -385,3 +395,72 @@ EOF
 # regression; auto-skips itself on the scalar backend).
 "$BUILD"/bench/bench_speed --bench=wide --check-wide-speedup=1.05 \
     >/dev/null
+
+# ---------------------------------------------------------------------
+# BENCH_8: traversal-as-a-service throughput and latency SLOs.
+# ---------------------------------------------------------------------
+
+BENCH8_DIR=$(mktemp -d)
+trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR" "$BENCH6_DIR" "$BENCH7_DIR" \
+    "$BENCH8_DIR"' EXIT
+
+BENCH8_QUERIES=${BENCH8_QUERIES:-1000000}
+
+echo "== bench_service, 5 scenarios x $BENCH8_QUERIES arrivals" \
+     "(+ threaded determinism cross-check) =="
+"$BUILD"/bench/bench_service --queries="$BENCH8_QUERIES" \
+    --check-determinism --json="$BENCH8_DIR/service.jsonl"
+
+python3 - "$BENCH8_DIR/service.jsonl" "$OUT8" "$HOST_CORES" \
+    "$BENCH8_QUERIES" <<'EOF'
+import json
+import sys
+
+jsonl, out, host_cores, queries = sys.argv[1:5]
+scenarios = {}
+for line in open(jsonl):
+    line = line.strip()
+    if not line:
+        continue
+    rec = json.loads(line)
+    v = rec["values"]
+    scenarios[rec["name"]] = {
+        "completed": int(v["completed"]),
+        "canceled": int(v["canceled"]),
+        "batches": int(v["batches"]),
+        "expired_dispatches": int(v["expired_dispatches"]),
+        "makespan_cycles": rec["cycles"],
+        "throughput_qpmc": round(v["throughput_qpmc"], 2),
+        "lat_p50_us": round(v["lat_p50_us"], 2),
+        "lat_p99_us": round(v["lat_p99_us"], 2),
+        "lat_p999_us": round(v["lat_p999_us"], 2),
+        "wall_ms": rec.get("wall_ms"),
+    }
+
+total = sum(s["completed"] for s in scenarios.values())
+report = {
+    "bench": "BENCH_8",
+    "description": "traversal-as-a-service: sustained throughput and "
+                   "tail latency per traffic scenario (three tenants "
+                   "on one persistent device; qpmc = completed queries "
+                   "per million simulated cycles, us at the configured "
+                   "core clock)",
+    "host_cores": int(host_cores),
+    "arrivals_per_scenario": int(queries),
+    "determinism_cross_check": "passed: every scenario bit-identical "
+                               "under the threaded kernel (2 sim "
+                               "threads); bench_service exits 2 on "
+                               "divergence",
+    "scenarios": scenarios,
+    "summary": {
+        "total_completed_queries": total,
+        "min_throughput_qpmc": round(
+            min(s["throughput_qpmc"] for s in scenarios.values()), 2),
+        "worst_p999_us": round(
+            max(s["lat_p999_us"] for s in scenarios.values()), 2),
+    },
+}
+json.dump(report, open(out, "w"), indent=2)
+print(f"wrote {out}: {total} completed queries across "
+      f"{len(scenarios)} scenarios")
+EOF

@@ -92,8 +92,8 @@ TtaDevice::TtaDevice(const sim::Config &cfg, sim::StatRegistry &stats)
 TtaDevice::~TtaDevice() = default;
 
 void
-TtaDevice::bindPipeline(const TtaPipeline &pipeline,
-                        rta::TraversalSpec *spec)
+TtaDevice::validate(const TtaPipeline &pipeline,
+                    rta::TraversalSpec *spec) const
 {
     fatal_if(!spec, "bindPipeline with null spec");
     fatal_if(rtas_.empty(),
@@ -106,15 +106,52 @@ TtaDevice::bindPipeline(const TtaPipeline &pipeline,
                  "pipeline '%s': TTA+ requires ConfigL",
                  pipeline.desc().name().c_str());
     }
+}
+
+void
+TtaDevice::activateSlot(uint32_t slot)
+{
+    fatal_if(slot >= slots_.size(),
+             "cmdTraverseTree on unbound slot %u (have %zu)", slot,
+             slots_.size());
     for (auto &rta : rtas_)
-        rta->setSpec(spec);
-    bound_ = true;
+        rta->setSpec(slots_[slot].spec);
+    activeSlot_ = slot;
+}
+
+void
+TtaDevice::bindPipeline(const TtaPipeline &pipeline,
+                        rta::TraversalSpec *spec)
+{
+    validate(pipeline, spec);
+    slots_.clear();
+    slots_.push_back({pipeline.desc().name(), spec});
+    activateSlot(0);
+}
+
+uint32_t
+TtaDevice::bindPipelineSlot(const TtaPipeline &pipeline,
+                            rta::TraversalSpec *spec)
+{
+    validate(pipeline, spec);
+    slots_.push_back({pipeline.desc().name(), spec});
+    uint32_t slot = static_cast<uint32_t>(slots_.size() - 1);
+    activateSlot(slot);
+    return slot;
 }
 
 sim::Cycle
 TtaDevice::cmdTraverseTree(uint64_t n_queries)
 {
-    fatal_if(!bound_, "cmdTraverseTree before bindPipeline");
+    return cmdTraverseTree(0u, n_queries);
+}
+
+sim::Cycle
+TtaDevice::cmdTraverseTree(uint32_t slot, uint64_t n_queries)
+{
+    fatal_if(slots_.empty(), "cmdTraverseTree before bindPipeline");
+    if (slot != activeSlot_)
+        activateSlot(slot);
     return gpu_->runKernel(launcher_, n_queries);
 }
 

@@ -112,16 +112,43 @@ class TtaDevice
      * Bind a pipeline + its functional spec to every accelerator.
      * Validates the pipeline against the hardware level (e.g. TTA+
      * requires ConfigI/ConfigL programs).
+     *
+     * Resets the slot table to a single pipeline in slot 0 — the
+     * original Listing-1 single-tenant flow.
      */
     void bindPipeline(const TtaPipeline &pipeline,
                       rta::TraversalSpec *spec);
 
     /**
+     * Bind an additional pipeline without disturbing the ones already
+     * bound and return its slot id. Slots let a long-lived device serve
+     * several tenants: each launch names the slot whose spec should be
+     * active while it runs. Validation matches bindPipeline.
+     */
+    uint32_t bindPipelineSlot(const TtaPipeline &pipeline,
+                              rta::TraversalSpec *spec);
+
+    /** Number of bound pipeline slots. */
+    uint32_t numSlots() const
+    {
+        return static_cast<uint32_t>(slots_.size());
+    }
+
+    /**
      * vkCmdTraverseTree: launch one traversal per query id [0, n) using
      * the standard launcher kernel (tid -> traverseTreeTTA(tid)).
+     * Uses slot 0 (the bindPipeline pipeline).
      * @return elapsed cycles.
      */
     sim::Cycle cmdTraverseTree(uint64_t n_queries);
+
+    /**
+     * Launch against the pipeline bound at @p slot. The device clock is
+     * continuous across launches, so a stream of slot launches models a
+     * persistent service sharing one GPU.
+     * @return elapsed cycles for this launch.
+     */
+    sim::Cycle cmdTraverseTree(uint32_t slot, uint64_t n_queries);
 
     /** The launcher kernel, for co-scheduling via Gpu::runKernels. */
     const gpu::KernelProgram &launcherKernel() const { return launcher_; }
@@ -129,11 +156,21 @@ class TtaDevice
     bool hasAccelerators() const { return !rtas_.empty(); }
 
   private:
+    struct Slot {
+        std::string pipelineName;
+        rta::TraversalSpec *spec;
+    };
+
+    void validate(const TtaPipeline &pipeline,
+                  rta::TraversalSpec *spec) const;
+    void activateSlot(uint32_t slot);
+
     const sim::Config cfg_;
     std::unique_ptr<gpu::Gpu> gpu_;
     std::vector<std::unique_ptr<rta::RtaUnit>> rtas_;
     gpu::KernelProgram launcher_;
-    bool bound_ = false;
+    std::vector<Slot> slots_;
+    uint32_t activeSlot_ = 0;
 };
 
 /** Build the standard traversal launcher kernel. */

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the serving layer.
+ *
+ * HdrHistogram-style layout: values below 2^kSubBits land in exact
+ * unit-width buckets; above that, every power-of-two range [2^m,
+ * 2^(m+1)) is split into 2^kSubBits equal sub-buckets, so the bucket
+ * width is always <= value / 2^kSubBits and any recorded value is
+ * reproduced by percentile() with a relative error < 1/2^kSubBits
+ * (3.2% at kSubBits = 5). Values at or above 2^kMaxBits overflow into
+ * a dedicated tail bucket that percentile() reports as the tracked
+ * maximum.
+ *
+ * Percentile semantics are nearest-rank on the bucket lower edge:
+ * percentile(p) returns the lower edge of the bucket holding the
+ * ceil(p/100 * count)-th smallest sample. Integer-only state, so two
+ * histograms fed the same samples in any order dump bit-identically —
+ * this is the oracle the service determinism tests compare.
+ */
+
+#ifndef TTA_SERVICE_LATENCY_HH
+#define TTA_SERVICE_LATENCY_HH
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tta::service {
+
+class LatencyHistogram
+{
+  public:
+    static constexpr uint32_t kSubBits = 5;
+    static constexpr uint32_t kSubBuckets = 1u << kSubBits; // 32
+    /** Values >= 2^kMaxBits cycles (~13 simulated minutes) overflow. */
+    static constexpr uint32_t kMaxBits = 40;
+    static constexpr uint32_t kNumBuckets =
+        kSubBuckets + (kMaxBits - kSubBits) * kSubBuckets;
+
+    LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+    void record(uint64_t value)
+    {
+        ++count_;
+        sum_ += value;
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+        if (value >= (1ull << kMaxBits)) {
+            ++overflow_;
+            return;
+        }
+        ++buckets_[bucketIndex(value)];
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    uint64_t sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    /**
+     * Nearest-rank percentile, @p p in (0, 100]. Returns the lower
+     * edge of the bucket holding the ceil(p/100 * count)-th smallest
+     * sample (so it never exceeds that sample and is within 1/32
+     * relative error below it); returns max() when the rank falls in
+     * the overflow tail, 0 on an empty histogram.
+     */
+    uint64_t percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0;
+        fatal_if(p <= 0.0 || p > 100.0, "percentile(%f) out of (0,100]",
+                 p);
+        // ceil(p/100 * count) without FP rank drift: use integer ceil
+        // on p expressed in thousandths (covers p50/p99/p999 exactly).
+        uint64_t milli = static_cast<uint64_t>(p * 1000.0 + 0.5);
+        uint64_t rank = (milli * count_ + 99999) / 100000;
+        if (rank < 1)
+            rank = 1;
+        if (rank > count_)
+            rank = count_;
+        uint64_t seen = 0;
+        for (uint32_t b = 0; b < kNumBuckets; ++b) {
+            seen += buckets_[b];
+            if (seen >= rank)
+                return bucketLowerEdge(b);
+        }
+        return max_; // rank landed in the overflow tail
+    }
+
+    void merge(const LatencyHistogram &o)
+    {
+        for (uint32_t b = 0; b < kNumBuckets; ++b)
+            buckets_[b] += o.buckets_[b];
+        count_ += o.count_;
+        sum_ += o.sum_;
+        overflow_ += o.overflow_;
+        if (o.count_ && o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+    }
+
+    /** Canonical text form: the bit-identity oracle for tests. */
+    std::string dumpString() const
+    {
+        std::ostringstream os;
+        os << "count=" << count_ << " sum=" << sum_ << " min=" << min()
+           << " max=" << max_ << " overflow=" << overflow_ << "\n";
+        for (uint32_t b = 0; b < kNumBuckets; ++b)
+            if (buckets_[b])
+                os << bucketLowerEdge(b) << ":" << buckets_[b] << "\n";
+        return os.str();
+    }
+
+    static uint32_t bucketIndex(uint64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<uint32_t>(v);
+        uint32_t msb = 63 - static_cast<uint32_t>(__builtin_clzll(v));
+        uint32_t sub = static_cast<uint32_t>(
+            (v >> (msb - kSubBits)) - kSubBuckets);
+        return kSubBuckets + (msb - kSubBits) * kSubBuckets + sub;
+    }
+
+    static uint64_t bucketLowerEdge(uint32_t b)
+    {
+        if (b < kSubBuckets)
+            return b;
+        uint32_t m = kSubBits + (b - kSubBuckets) / kSubBuckets;
+        uint32_t sub = (b - kSubBuckets) % kSubBuckets;
+        return static_cast<uint64_t>(kSubBuckets + sub)
+               << (m - kSubBits);
+    }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t min_ = std::numeric_limits<uint64_t>::max();
+    uint64_t max_ = 0;
+};
+
+/**
+ * Simulated cycles -> microseconds at the configured core clock.
+ * MHz is cycles per microsecond, so this is a single division.
+ */
+inline double
+cyclesToUs(uint64_t cycles, double core_clock_mhz)
+{
+    fatal_if(core_clock_mhz <= 0.0, "cyclesToUs: bad clock %f MHz",
+             core_clock_mhz);
+    return static_cast<double>(cycles) / core_clock_mhz;
+}
+
+} // namespace tta::service
+
+#endif // TTA_SERVICE_LATENCY_HH

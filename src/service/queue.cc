@@ -1,0 +1,142 @@
+#include "service/queue.hh"
+
+#include "sim/logging.hh"
+
+namespace tta::service {
+
+AdmissionQueue::AdmissionQueue(uint32_t num_tenants)
+    : lanes_(num_tenants), live_(num_tenants, 0)
+{
+    fatal_if(num_tenants == 0, "AdmissionQueue with zero tenants");
+}
+
+uint32_t
+AdmissionQueue::addLane()
+{
+    lanes_.emplace_back();
+    live_.push_back(0);
+    return static_cast<uint32_t>(lanes_.size() - 1);
+}
+
+void
+AdmissionQueue::enqueue(const QueryTicket &t)
+{
+    fatal_if(t.tenant >= lanes_.size(), "enqueue to unknown tenant %u",
+             t.tenant);
+    auto &lane = lanes_[t.tenant];
+    fatal_if(!lane.empty() && lane.back().ticket.arrival > t.arrival,
+             "tenant %u: arrivals out of order (%llu after %llu)",
+             t.tenant, (unsigned long long)t.arrival,
+             (unsigned long long)lane.back().ticket.arrival);
+    lane.push_back({t, false});
+    ++live_[t.tenant];
+}
+
+bool
+AdmissionQueue::cancel(uint32_t tenant, uint64_t seq)
+{
+    fatal_if(tenant >= lanes_.size(), "cancel on unknown tenant %u",
+             tenant);
+    for (auto &e : lanes_[tenant]) {
+        if (e.ticket.seq != seq)
+            continue;
+        if (e.canceled)
+            return false;
+        e.canceled = true;
+        --live_[tenant];
+        dropDeadFront(tenant);
+        return true;
+    }
+    return false; // already dispatched
+}
+
+uint64_t
+AdmissionQueue::pendingTotal() const
+{
+    uint64_t total = 0;
+    for (uint64_t n : live_)
+        total += n;
+    return total;
+}
+
+size_t
+AdmissionQueue::frontLive(uint32_t tenant) const
+{
+    const auto &lane = lanes_[tenant];
+    for (size_t i = 0; i < lane.size(); ++i)
+        if (!lane[i].canceled)
+            return i;
+    return SIZE_MAX;
+}
+
+void
+AdmissionQueue::dropDeadFront(uint32_t tenant)
+{
+    auto &lane = lanes_[tenant];
+    while (!lane.empty() && lane.front().canceled)
+        lane.pop_front();
+}
+
+sim::Cycle
+AdmissionQueue::earliestDeadline() const
+{
+    sim::Cycle best = kNoCycle;
+    for (uint32_t t = 0; t < lanes_.size(); ++t) {
+        size_t i = frontLive(t);
+        if (i != SIZE_MAX && lanes_[t][i].ticket.deadline < best)
+            best = lanes_[t][i].ticket.deadline;
+    }
+    return best;
+}
+
+int
+AdmissionQueue::selectTenant(sim::Cycle now, uint32_t max_batch,
+                             bool drain)
+{
+    fatal_if(max_batch == 0, "selectTenant with max_batch == 0");
+
+    // Rule 1: earliest expired deadline wins (ties -> lowest tenant).
+    int edf = -1;
+    sim::Cycle edf_deadline = kNoCycle;
+    for (uint32_t t = 0; t < lanes_.size(); ++t) {
+        size_t i = frontLive(t);
+        if (i == SIZE_MAX)
+            continue;
+        sim::Cycle d = lanes_[t][i].ticket.deadline;
+        if (d <= now && d < edf_deadline) {
+            edf = static_cast<int>(t);
+            edf_deadline = d;
+        }
+    }
+    if (edf >= 0)
+        return edf;
+
+    // Rule 2 (full batches) / rule 3 (drain): round-robin scan.
+    for (uint32_t k = 0; k < lanes_.size(); ++k) {
+        uint32_t t = (rrCursor_ + k) % lanes_.size();
+        if (live_[t] >= max_batch || (drain && live_[t] > 0))
+            return static_cast<int>(t);
+    }
+    return -1;
+}
+
+std::vector<QueryTicket>
+AdmissionQueue::popBatch(uint32_t tenant, uint32_t max_batch)
+{
+    fatal_if(tenant >= lanes_.size(), "popBatch on unknown tenant %u",
+             tenant);
+    std::vector<QueryTicket> batch;
+    auto &lane = lanes_[tenant];
+    while (!lane.empty() && batch.size() < max_batch) {
+        Entry e = lane.front();
+        lane.pop_front();
+        if (e.canceled)
+            continue;
+        batch.push_back(e.ticket);
+        --live_[tenant];
+    }
+    rrCursor_ = (tenant + 1) % lanes_.size();
+    return batch;
+}
+
+} // namespace tta::service

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Admission queue for the traversal service (src/service/service.hh).
+ *
+ * One FIFO lane per tenant. The dispatch policy selects a tenant when
+ *
+ *  1. any tenant's oldest live query has an expired max-wait deadline —
+ *     earliest deadline first (ties to the lowest tenant id), or
+ *  2. any tenant has a full batch pending — round-robin among them, or
+ *  3. the traffic source is drained — round-robin among the non-empty
+ *     lanes, flushing partial batches.
+ *
+ * Rule 1 bounds starvation: a query's wait is never extended past its
+ * deadline by another tenant's full batches (the fuzz suite in
+ * tests/test_service_queue.cc asserts this under randomized
+ * enqueue/cancel interleavings). Cancels are lazy — entries stay in
+ * place flagged canceled and are skipped by dispatch — so live order
+ * within a tenant is submission order, always.
+ *
+ * Everything here is plain integer state driven by explicit cycle
+ * timestamps: identical call sequences produce identical batches on
+ * any host, thread count or simulation kernel.
+ */
+
+#ifndef TTA_SERVICE_QUEUE_HH
+#define TTA_SERVICE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/ticked.hh"
+
+namespace tta::service {
+
+/** "No cycle": sorts after every real cycle. */
+inline constexpr sim::Cycle kNoCycle = ~sim::Cycle{0};
+
+/** One admitted query, queued until it joins a batch. */
+struct QueryTicket
+{
+    uint64_t seq = 0;     //!< global submission sequence, unique
+    uint32_t tenant = 0;  //!< tenant lane
+    uint32_t client = 0;  //!< issuing simulated client
+    uint32_t payload = 0; //!< index into the tenant's payload pool
+    sim::Cycle arrival = 0;
+    sim::Cycle deadline = 0; //!< arrival + max-wait
+};
+
+class AdmissionQueue
+{
+  public:
+    AdmissionQueue() = default;
+    explicit AdmissionQueue(uint32_t num_tenants);
+
+    /** Append an empty lane; @return its tenant id. */
+    uint32_t addLane();
+
+    /** Append to the tenant's lane. Arrival times must be
+     *  nondecreasing per tenant (FIFO == arrival order). */
+    void enqueue(const QueryTicket &t);
+
+    /**
+     * Cancel a still-queued query by (tenant, seq).
+     * @return true if it was live (now dropped from dispatch), false
+     *         if it already left in a batch or was already canceled.
+     */
+    bool cancel(uint32_t tenant, uint64_t seq);
+
+    /** Live (non-canceled) queued entries for one tenant / overall. */
+    uint64_t pending(uint32_t tenant) const { return live_[tenant]; }
+    uint64_t pendingTotal() const;
+
+    /** Earliest deadline among the live front entries, or kNoCycle. */
+    sim::Cycle earliestDeadline() const;
+
+    /**
+     * Dispatch decision at time @p now (see file header for the
+     * policy). @return tenant id, or -1 when nothing should launch.
+     */
+    int selectTenant(sim::Cycle now, uint32_t max_batch, bool drain);
+
+    /**
+     * Pop up to @p max_batch live tickets from the tenant's lane in
+     * submission order, discarding canceled entries as they surface.
+     * Advances the round-robin cursor past @p tenant.
+     */
+    std::vector<QueryTicket> popBatch(uint32_t tenant,
+                                      uint32_t max_batch);
+
+    uint32_t numTenants() const
+    {
+        return static_cast<uint32_t>(lanes_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        QueryTicket ticket;
+        bool canceled = false;
+    };
+
+    /** Index of the first live entry in a lane, or SIZE_MAX. */
+    size_t frontLive(uint32_t tenant) const;
+    void dropDeadFront(uint32_t tenant);
+
+    std::vector<std::deque<Entry>> lanes_;
+    std::vector<uint64_t> live_;
+    uint32_t rrCursor_ = 0;
+};
+
+} // namespace tta::service
+
+#endif // TTA_SERVICE_QUEUE_HH

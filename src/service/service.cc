@@ -1,0 +1,201 @@
+#include "service/service.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tta::service {
+
+TraversalService::TraversalService(const sim::Config &cfg,
+                                   sim::StatRegistry &stats,
+                                   const ServicePolicy &policy)
+    : cfg_(cfg), stats_(stats), policy_(policy)
+{
+    fatal_if(policy_.maxBatch == 0, "ServicePolicy.maxBatch == 0");
+    fatal_if(policy_.maxWaitCycles == 0,
+             "ServicePolicy.maxWaitCycles == 0");
+    device_ = std::make_unique<api::TtaDevice>(cfg_, stats_);
+}
+
+uint32_t
+TraversalService::addTenant(std::unique_ptr<Tenant> tenant)
+{
+    fatal_if(nextSeq_ != 0, "addTenant after traffic was served");
+    tenant->install(*device_, policy_.maxBatch);
+    uint32_t id = queue_.addLane();
+    fatal_if(id != tenants_.size(), "tenant/lane id skew");
+    tenants_.push_back(std::move(tenant));
+    tenantSubmitted_.push_back(0);
+    return id;
+}
+
+void
+TraversalService::admitUpTo(TrafficSource &src, sim::Cycle now,
+                            ServiceReport &report)
+{
+    while (src.peek() != kNoCycle && src.peek() <= now) {
+        Arrival a = src.pop();
+        fatal_if(a.tenant >= tenants_.size(),
+                 "arrival for unknown tenant %u", a.tenant);
+        QueryTicket t;
+        t.seq = nextSeq_++;
+        t.tenant = a.tenant;
+        t.client = a.client;
+        t.payload = static_cast<uint32_t>(
+            tenantSubmitted_[a.tenant]++ %
+            tenants_[a.tenant]->poolSize());
+        t.arrival = a.cycle;
+        t.deadline = a.cycle + policy_.maxWaitCycles;
+        queue_.enqueue(t);
+        ++report.submitted;
+        ++report.tenants[a.tenant].submitted;
+        if (a.cancelAfter)
+            cancels_.push({a.cycle + a.cancelAfter, t.seq, t.tenant});
+    }
+    while (!cancels_.empty() && cancels_.top().cycle <= now) {
+        CancelEvent e = cancels_.top();
+        cancels_.pop();
+        if (queue_.cancel(e.tenant, e.seq)) {
+            ++report.canceled;
+            ++report.tenants[e.tenant].canceled;
+        }
+    }
+}
+
+void
+TraversalService::dispatch(TrafficSource &src, uint32_t t,
+                           ServiceReport &report)
+{
+    Tenant &tenant = *tenants_[t];
+    std::vector<QueryTicket> batch =
+        queue_.popBatch(t, policy_.maxBatch);
+    fatal_if(batch.empty(), "dispatch of an empty batch");
+
+    tenant.writeBatch(device_->memory(), batch);
+    sim::Cycle elapsed =
+        device_->cmdTraverseTree(tenant.slot(), batch.size());
+    sim::Cycle complete = now_ + elapsed;
+    freeAt_ = complete;
+    report.deviceBusy += elapsed;
+
+    size_t bad = tenant.verifyBatch(device_->memory(), batch);
+    fatal_if(bad > tenant.verifyTolerance(batch.size()),
+             "tenant '%s': %zu result mismatches in a %zu-query batch",
+             tenant.name().c_str(), bad, batch.size());
+    report.tenants[t].verifySoftMismatches += bad;
+
+    TenantReport &tr = report.tenants[t];
+    for (const QueryTicket &q : batch) {
+        tr.latency.record(complete - q.arrival);
+        tr.queueWait.record(now_ - q.arrival);
+        report.latency.record(complete - q.arrival);
+        src.onCompletion(q, complete);
+    }
+    tr.completed += batch.size();
+    report.completed += batch.size();
+    ++tr.batches;
+    ++report.batches;
+    if (batch.front().deadline <= now_)
+        ++report.expiredDispatches;
+    if (complete > report.makespan)
+        report.makespan = complete;
+
+    if (report.batches <= kMaxLoggedBatches) {
+        std::ostringstream os;
+        os << "b" << report.batches << " t=" << t << " start=" << now_
+           << " done=" << complete << " n=" << batch.size() << " seq="
+           << batch.front().seq << ".." << batch.back().seq << "\n";
+        report.batchLog += os.str();
+    }
+}
+
+ServiceReport
+TraversalService::run(TrafficSource &src)
+{
+    fatal_if(tenants_.empty(), "TraversalService::run with no tenants");
+    ServiceReport report;
+    report.tenants.resize(tenants_.size());
+    for (uint32_t t = 0; t < tenants_.size(); ++t)
+        report.tenants[t].name = tenants_[t]->name();
+
+    while (true) {
+        admitUpTo(src, now_, report);
+        bool drain = src.exhausted();
+        int t = queue_.selectTenant(now_, policy_.maxBatch, drain);
+        if (t >= 0) {
+            if (freeAt_ > now_) {
+                // Device busy: later arrivals keep coalescing; the
+                // dispatch decision replays at the completion cycle.
+                now_ = freeAt_;
+                continue;
+            }
+            dispatch(src, static_cast<uint32_t>(t), report);
+            continue;
+        }
+        sim::Cycle next = src.peek();
+        if (queue_.pendingTotal() > 0) {
+            sim::Cycle d = queue_.earliestDeadline();
+            if (d < next)
+                next = d;
+        }
+        if (!cancels_.empty() && cancels_.top().cycle < next)
+            next = cancels_.top().cycle;
+        if (next == kNoCycle) {
+            fatal_if(queue_.pendingTotal() > 0,
+                     "service wedged with %llu queued queries",
+                     (unsigned long long)queue_.pendingTotal());
+            fatal_if(!src.exhausted(),
+                     "traffic source idle but not exhausted with an "
+                     "empty queue");
+            break;
+        }
+        now_ = next > now_ ? next : now_ + 1;
+    }
+
+    publishStats(report);
+    return report;
+}
+
+void
+TraversalService::publishStats(const ServiceReport &report)
+{
+    auto publish = [&](const std::string &prefix, const TenantReport &tr) {
+        stats_.counter(prefix + ".submitted") += tr.submitted;
+        stats_.counter(prefix + ".completed") += tr.completed;
+        stats_.counter(prefix + ".canceled") += tr.canceled;
+        stats_.counter(prefix + ".batches") += tr.batches;
+        const LatencyHistogram &h = tr.latency;
+        stats_.scalar(prefix + ".lat_p50_cycles")
+            .set(static_cast<double>(h.percentile(50)));
+        stats_.scalar(prefix + ".lat_p99_cycles")
+            .set(static_cast<double>(h.percentile(99)));
+        stats_.scalar(prefix + ".lat_p999_cycles")
+            .set(static_cast<double>(h.percentile(99.9)));
+        stats_.scalar(prefix + ".lat_max_cycles")
+            .set(static_cast<double>(h.max()));
+        stats_.scalar(prefix + ".wait_p99_cycles")
+            .set(static_cast<double>(tr.queueWait.percentile(99)));
+    };
+    TenantReport total;
+    total.latency = report.latency;
+    for (uint32_t t = 0; t < report.tenants.size(); ++t) {
+        const TenantReport &tr = report.tenants[t];
+        publish("service." + tr.name, tr);
+        total.submitted += tr.submitted;
+        total.completed += tr.completed;
+        total.canceled += tr.canceled;
+        total.batches += tr.batches;
+        total.queueWait.merge(tr.queueWait);
+    }
+    publish("service.total", total);
+    stats_.counter("service.expired_dispatches") +=
+        report.expiredDispatches;
+    stats_.scalar("service.makespan_cycles")
+        .set(static_cast<double>(report.makespan));
+    stats_.scalar("service.device_busy_cycles")
+        .set(static_cast<double>(report.deviceBusy));
+    stats_.scalar("service.throughput_qpmc")
+        .set(report.throughputQpmc());
+}
+
+} // namespace tta::service

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * TraversalService: a persistent query-serving layer on one device.
+ *
+ * One long-lived TtaDevice per service instance. Tenants (B-Tree
+ * lookups, radius searches, rays — see tenants.hh) serialize their
+ * trees into the device once and bind per-tenant pipeline slots; a
+ * stream of client arrivals is admitted into per-tenant FIFO lanes
+ * (queue.hh) and dispatched as coalesced batches:
+ *
+ *   - a lane launches when it holds a full batch (policy.maxBatch),
+ *   - or when its oldest query hits the max-wait deadline
+ *     (policy.maxWaitCycles) — earliest deadline preempts the
+ *     round-robin so no tenant starves behind another's full lanes,
+ *   - partial lanes flush once the traffic source is exhausted.
+ *
+ * Time model: the service keeps a virtual clock `now` in simulated
+ * device cycles. The device serves one batch at a time; a launch
+ * issued at `now` completes at `now + elapsed` where elapsed is the
+ * simulated cycle count returned by cmdTraverseTree (the device's own
+ * clock is continuous across launches, so cache warmth carries over
+ * exactly as it would on persistent hardware). While the device is
+ * busy, later arrivals keep coalescing into lanes — the next dispatch
+ * decision happens at the completion cycle.
+ *
+ * Determinism: every dispatch decision is a pure function of the
+ * arrival trace and per-launch elapsed cycles. Arrival traces come
+ * from seeded sim::Rng generators, and elapsed cycles are
+ * bit-identical across simulation kernels and thread counts, so batch
+ * composition, completion order and the latency histograms are too —
+ * tests/test_service.cc holds the service to that.
+ */
+
+#ifndef TTA_SERVICE_SERVICE_HH
+#define TTA_SERVICE_SERVICE_HH
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "api/tta_api.hh"
+#include "service/latency.hh"
+#include "service/queue.hh"
+#include "service/tenants.hh"
+#include "service/traffic.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace tta::service {
+
+struct ServicePolicy
+{
+    /** Dispatch a lane once it holds this many queries. */
+    uint32_t maxBatch = 256;
+    /** ... or once its oldest query has waited this long. */
+    sim::Cycle maxWaitCycles = 50000;
+};
+
+struct TenantReport
+{
+    std::string name;
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t canceled = 0;
+    uint64_t batches = 0;
+    uint64_t verifySoftMismatches = 0;
+    LatencyHistogram latency;   //!< completion - arrival, cycles
+    LatencyHistogram queueWait; //!< dispatch - arrival, cycles
+};
+
+struct ServiceReport
+{
+    std::vector<TenantReport> tenants;
+    LatencyHistogram latency; //!< all tenants merged
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t canceled = 0;
+    uint64_t batches = 0;
+    uint64_t expiredDispatches = 0; //!< launched by the deadline rule
+    sim::Cycle makespan = 0;        //!< last completion cycle
+    sim::Cycle deviceBusy = 0;      //!< sum of launch elapsed cycles
+    /** Compact per-batch log (tenant, start, size, seq range) for the
+     *  first kMaxLoggedBatches batches: the determinism oracle. */
+    std::string batchLog;
+
+    /** Completed queries per million simulated cycles. */
+    double throughputQpmc() const
+    {
+        return makespan
+                   ? 1e6 * static_cast<double>(completed) / makespan
+                   : 0.0;
+    }
+};
+
+class TraversalService
+{
+  public:
+    static constexpr uint64_t kMaxLoggedBatches = 8192;
+
+    TraversalService(const sim::Config &cfg, sim::StatRegistry &stats,
+                     const ServicePolicy &policy);
+
+    /** Install a tenant into the device (serialize + bind slot).
+     *  @return tenant id (index into the queue lanes). */
+    uint32_t addTenant(std::unique_ptr<Tenant> tenant);
+
+    uint32_t numTenants() const
+    {
+        return static_cast<uint32_t>(tenants_.size());
+    }
+    Tenant &tenant(uint32_t id) { return *tenants_[id]; }
+    api::TtaDevice &device() { return *device_; }
+    const ServicePolicy &policy() const { return policy_; }
+
+    /**
+     * Serve one arrival trace to completion (admit, batch, launch,
+     * verify, drain) and publish summary stats into the registry.
+     */
+    ServiceReport run(TrafficSource &src);
+
+  private:
+    struct CancelEvent
+    {
+        sim::Cycle cycle;
+        uint64_t seq;
+        uint32_t tenant;
+        bool operator>(const CancelEvent &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+
+    void admitUpTo(TrafficSource &src, sim::Cycle now,
+                   ServiceReport &report);
+    void dispatch(TrafficSource &src, uint32_t t, ServiceReport &report);
+    void publishStats(const ServiceReport &report);
+
+    const sim::Config cfg_;
+    sim::StatRegistry &stats_;
+    ServicePolicy policy_;
+    std::unique_ptr<api::TtaDevice> device_;
+    std::vector<std::unique_ptr<Tenant>> tenants_;
+    std::vector<uint64_t> tenantSubmitted_; //!< payload round-robin
+    AdmissionQueue queue_;
+    std::priority_queue<CancelEvent, std::vector<CancelEvent>,
+                        std::greater<CancelEvent>>
+        cancels_;
+    uint64_t nextSeq_ = 0;
+    sim::Cycle now_ = 0;
+    sim::Cycle freeAt_ = 0;
+};
+
+} // namespace tta::service
+
+#endif // TTA_SERVICE_SERVICE_HH

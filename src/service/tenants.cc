@@ -1,0 +1,238 @@
+#include "service/tenants.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace tta::service {
+
+// --- BTreeTenant --------------------------------------------------------
+
+BTreeTenant::BTreeTenant(std::string name, size_t n_keys,
+                         size_t pool_size, uint64_t seed, double hit_rate)
+    : Tenant(std::move(name))
+{
+    fatal_if(pool_size == 0, "BTreeTenant '%s': empty payload pool",
+             name_.c_str());
+    poolSize_ = pool_size;
+    // Even-integer keys (exact as floats), odd integers guaranteed
+    // absent — the same scheme BTreeWorkload uses.
+    sim::Rng rng(seed);
+    std::vector<float> keys(n_keys);
+    for (size_t i = 0; i < n_keys; ++i)
+        keys[i] = 2.0f * static_cast<float>(i + 1);
+    tree_ = std::make_unique<trees::BTree>(trees::BTreeKind::BPlusTree,
+                                           std::move(keys));
+
+    pool_.resize(pool_size);
+    expected_.resize(pool_size);
+    for (size_t q = 0; q < pool_size; ++q) {
+        if (rng.nextDouble() < hit_rate)
+            pool_[q] = 2.0f * static_cast<float>(rng.nextBounded(n_keys) + 1);
+        else
+            pool_[q] =
+                2.0f * static_cast<float>(rng.nextBounded(n_keys)) + 1.0f;
+        expected_[q] = tree_->search(pool_[q]).found ? 1 : 0;
+    }
+}
+
+void
+BTreeTenant::install(api::TtaDevice &device, uint32_t max_batch)
+{
+    mem::GlobalMemory &gmem = device.memory();
+    uint64_t root = tree_->serialize(gmem);
+    queryBase_ = gmem.alloc(4ull * max_batch, 128);
+    resultBase_ = gmem.alloc(4ull * max_batch, 128);
+    spec_ = std::make_unique<workloads::BTreeSpec>(gmem, root, queryBase_,
+                                                   resultBase_);
+    slot_ = device.bindPipelineSlot(workloads::BTreeWorkload::makePipeline(),
+                                    spec_.get());
+}
+
+void
+BTreeTenant::writeBatch(mem::GlobalMemory &gmem,
+                        const std::vector<QueryTicket> &batch)
+{
+    for (size_t i = 0; i < batch.size(); ++i) {
+        gmem.write<float>(queryBase_ + 4 * i, pool_[batch[i].payload]);
+        gmem.write<uint32_t>(resultBase_ + 4 * i, 0xdeadbeefu);
+    }
+}
+
+size_t
+BTreeTenant::verifyBatch(const mem::GlobalMemory &gmem,
+                         const std::vector<QueryTicket> &batch) const
+{
+    size_t bad = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        uint32_t got = gmem.read<uint32_t>(resultBase_ + 4 * i);
+        if (got != expected_[batch[i].payload])
+            ++bad;
+    }
+    return bad;
+}
+
+// --- RadiusTenant -------------------------------------------------------
+
+RadiusTenant::RadiusTenant(std::string name, size_t n_points,
+                           size_t pool_size, float radius, uint64_t seed)
+    : Tenant(std::move(name))
+{
+    fatal_if(pool_size == 0, "RadiusTenant '%s': empty payload pool",
+             name_.c_str());
+    poolSize_ = pool_size;
+    cloud_ = trees::PointCloud::generateLidarLike(n_points, seed);
+    index_ = std::make_unique<trees::RadiusSearchIndex>(cloud_, radius);
+
+    // Same query mix as RtnnWorkload: mostly jittered cloud points,
+    // the rest uniform over the scene volume.
+    sim::Rng rng(seed ^ 0x9e3779b9ull);
+    pool_.reserve(pool_size);
+    for (size_t q = 0; q < pool_size; ++q) {
+        if (rng.nextFloat() < 0.7f) {
+            const geom::Vec3 &p =
+                cloud_.points[rng.nextBounded(cloud_.points.size())];
+            pool_.push_back({p.x + 0.3f * rng.gaussian(),
+                             p.y + 0.3f * rng.gaussian(),
+                             p.z + 0.1f * rng.gaussian()});
+        } else {
+            pool_.push_back({rng.uniform(-80.0f, 80.0f),
+                             rng.uniform(-80.0f, 80.0f),
+                             rng.uniform(0.0f, 6.0f)});
+        }
+    }
+    expected_.reserve(pool_size);
+    for (const auto &q : pool_)
+        expected_.push_back(
+            static_cast<uint32_t>(index_->query(q).size()));
+}
+
+void
+RadiusTenant::install(api::TtaDevice &device, uint32_t max_batch)
+{
+    mem::GlobalMemory &gmem = device.memory();
+    sbvh_ = index_->bvh().serialize(gmem);
+    pointBase_ = cloud_.serialize(gmem);
+    queryBase_ = gmem.alloc(
+        static_cast<uint64_t>(max_batch) * trees::PointLayout::kPointBytes,
+        128);
+    resultBase_ = gmem.alloc(4ull * max_batch, 128);
+    spec_ = std::make_unique<workloads::RtnnSpec>(
+        gmem, sbvh_, pointBase_, queryBase_, resultBase_,
+        index_->radius(), /*offload_leaf=*/true);
+    slot_ = device.bindPipelineSlot(
+        workloads::RtnnWorkload::makePipeline(/*offload_leaf=*/true),
+        spec_.get());
+}
+
+void
+RadiusTenant::writeBatch(mem::GlobalMemory &gmem,
+                         const std::vector<QueryTicket> &batch)
+{
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const geom::Vec3 &q = pool_[batch[i].payload];
+        uint64_t addr =
+            queryBase_ + i * trees::PointLayout::kPointBytes;
+        gmem.write<float>(addr + 0, q.x);
+        gmem.write<float>(addr + 4, q.y);
+        gmem.write<float>(addr + 8, q.z);
+        gmem.write<uint32_t>(resultBase_ + 4 * i, 0xdeadbeefu);
+    }
+}
+
+size_t
+RadiusTenant::verifyBatch(const mem::GlobalMemory &gmem,
+                          const std::vector<QueryTicket> &batch) const
+{
+    size_t bad = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        uint32_t got = gmem.read<uint32_t>(resultBase_ + 4 * i);
+        if (got != expected_[batch[i].payload])
+            ++bad;
+    }
+    return bad;
+}
+
+// --- RayTenant ----------------------------------------------------------
+
+RayTenant::RayTenant(std::string name, size_t pool_size, uint64_t seed,
+                     workloads::SceneKind kind)
+    : Tenant(std::move(name)), kind_(kind)
+{
+    fatal_if(pool_size == 0, "RayTenant '%s': empty payload pool",
+             name_.c_str());
+    poolSize_ = pool_size;
+    scene_ = std::make_unique<workloads::RtScene>(kind_, seed);
+
+    // Random pinhole-camera rays: jittered image-plane samples, the
+    // same camera model the figure workload rasterizes.
+    const auto &g = scene_->geometry();
+    geom::Vec3 forward = geom::normalize(g.cameraTarget - g.cameraPos);
+    geom::Vec3 right = geom::normalize(geom::cross(forward, {0, 1, 0}));
+    geom::Vec3 up = geom::cross(right, forward);
+    float half = std::tan(g.fovDegrees * 3.14159265f / 360.0f);
+
+    sim::Rng rng(seed ^ 0x5bd1e995ull);
+    pool_.reserve(pool_size);
+    expected_.reserve(pool_size);
+    for (size_t q = 0; q < pool_size; ++q) {
+        float sx = rng.uniform(-half, half);
+        float sy = rng.uniform(-half, half);
+        workloads::RtRay r;
+        r.ray.origin = g.cameraPos;
+        r.ray.dir = geom::normalize(forward + right * sx + up * sy);
+        r.ray.tmin = 0.0f;
+        r.ray.tmax = 1e30f;
+        pool_.push_back(r);
+        expected_.push_back(scene_->closestHit(r.ray));
+    }
+}
+
+void
+RayTenant::install(api::TtaDevice &device, uint32_t max_batch)
+{
+    mem::GlobalMemory &gmem = device.memory();
+    scene_->serialize(gmem);
+    resultBase_ = gmem.alloc(8ull * max_batch, 128);
+    staged_.resize(max_batch);
+    spec_ = std::make_unique<workloads::RtSpec>(
+        gmem, *scene_, staged_, resultBase_, workloads::RtOptions{});
+    slot_ = device.bindPipelineSlot(
+        workloads::RayTracingWorkload::makePipeline(kind_,
+                                                    workloads::RtOptions{}),
+        spec_.get());
+}
+
+void
+RayTenant::writeBatch(mem::GlobalMemory &gmem,
+                      const std::vector<QueryTicket> &batch)
+{
+    for (size_t i = 0; i < batch.size(); ++i) {
+        staged_[i] = pool_[batch[i].payload];
+        gmem.write<float>(resultBase_ + 8 * i, -1.0f);
+        gmem.write<uint32_t>(resultBase_ + 8 * i + 4, UINT32_MAX);
+    }
+}
+
+size_t
+RayTenant::verifyBatch(const mem::GlobalMemory &gmem,
+                       const std::vector<QueryTicket> &batch) const
+{
+    // Same tolerance scheme as RayTracingWorkload: traversal order may
+    // tie on equal-t hits, so compare t within a relative epsilon.
+    size_t bad = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        float t = gmem.read<float>(resultBase_ + 8 * i);
+        bool hit = t >= 0.0f;
+        const workloads::RtHit &ref = expected_[batch[i].payload];
+        if (hit != ref.hit)
+            ++bad;
+        else if (hit &&
+                 std::fabs(t - ref.t) > 1e-3f * std::max(1.0f, ref.t))
+            ++bad;
+    }
+    return bad;
+}
+
+} // namespace tta::service

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Service tenants: one long-lived tree + pipeline slot per tenant.
+ *
+ * A tenant owns a host-side index (B-Tree, radius-search BVH, or a
+ * ray-tracing scene), serializes it once into the shared device at
+ * install time, and binds its pipeline + spec to a device slot. Per
+ * batch, the service asks the tenant to stage payloads into its
+ * pre-allocated query/result staging area and, after the launch, to
+ * verify the device results against the host reference — so the
+ * serving loop is continuously self-checking.
+ *
+ * Payloads come from a pre-generated verified pool: arrival k of a
+ * tenant carries pool index k % poolSize(). This keeps the query mix
+ * deterministic and lets millions of arrivals reuse host references
+ * computed once at startup.
+ */
+
+#ifndef TTA_SERVICE_TENANTS_HH
+#define TTA_SERVICE_TENANTS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/tta_api.hh"
+#include "service/queue.hh"
+#include "trees/btree.hh"
+#include "trees/pointcloud.hh"
+#include "workloads/btree_workload.hh"
+#include "workloads/raytracing_workload.hh"
+#include "workloads/rtnn_workload.hh"
+
+namespace tta::service {
+
+class Tenant
+{
+  public:
+    explicit Tenant(std::string name) : name_(std::move(name)) {}
+    virtual ~Tenant() = default;
+
+    const std::string &name() const { return name_; }
+    uint32_t slot() const { return slot_; }
+    uint32_t poolSize() const
+    {
+        return static_cast<uint32_t>(poolSize_);
+    }
+
+    /** Serialize the tree, allocate staging buffers for up to
+     *  @p max_batch queries, and bind the pipeline slot. Once. */
+    virtual void install(api::TtaDevice &device, uint32_t max_batch) = 0;
+
+    /** Stage the batch's payloads into device memory (lane i of the
+     *  launch reads staging slot i). */
+    virtual void writeBatch(mem::GlobalMemory &gmem,
+                            const std::vector<QueryTicket> &batch) = 0;
+
+    /** Check device results against the host reference.
+     *  @return mismatch count (0 = pass). */
+    virtual size_t
+    verifyBatch(const mem::GlobalMemory &gmem,
+                const std::vector<QueryTicket> &batch) const = 0;
+
+    /** Mismatches tolerated per batch (ray traversal order can tie on
+     *  equal-t hits; exact-result tenants keep 0). */
+    virtual size_t verifyTolerance(size_t) const { return 0; }
+
+  protected:
+    std::string name_;
+    uint32_t slot_ = 0;
+    size_t poolSize_ = 0;
+};
+
+/** B-Tree point lookups: float key -> found bit. */
+class BTreeTenant : public Tenant
+{
+  public:
+    BTreeTenant(std::string name, size_t n_keys, size_t pool_size,
+                uint64_t seed, double hit_rate = 0.5);
+
+    void install(api::TtaDevice &device, uint32_t max_batch) override;
+    void writeBatch(mem::GlobalMemory &gmem,
+                    const std::vector<QueryTicket> &batch) override;
+    size_t verifyBatch(const mem::GlobalMemory &gmem,
+                       const std::vector<QueryTicket> &batch)
+        const override;
+
+  private:
+    std::unique_ptr<trees::BTree> tree_;
+    std::vector<float> pool_;
+    std::vector<uint8_t> expected_;
+    uint64_t queryBase_ = 0;
+    uint64_t resultBase_ = 0;
+    std::unique_ptr<workloads::BTreeSpec> spec_;
+};
+
+/** RTNN-style fixed-radius neighbor counting over a point cloud. */
+class RadiusTenant : public Tenant
+{
+  public:
+    RadiusTenant(std::string name, size_t n_points, size_t pool_size,
+                 float radius, uint64_t seed);
+
+    void install(api::TtaDevice &device, uint32_t max_batch) override;
+    void writeBatch(mem::GlobalMemory &gmem,
+                    const std::vector<QueryTicket> &batch) override;
+    size_t verifyBatch(const mem::GlobalMemory &gmem,
+                       const std::vector<QueryTicket> &batch)
+        const override;
+
+  private:
+    trees::PointCloud cloud_;
+    std::unique_ptr<trees::RadiusSearchIndex> index_;
+    std::vector<geom::Vec3> pool_;
+    std::vector<uint32_t> expected_;
+    trees::SerializedBvh sbvh_;
+    uint64_t pointBase_ = 0;
+    uint64_t queryBase_ = 0;
+    uint64_t resultBase_ = 0;
+    std::unique_ptr<workloads::RtnnSpec> spec_;
+};
+
+/** Closest-hit rays into a procedural scene. */
+class RayTenant : public Tenant
+{
+  public:
+    RayTenant(std::string name, size_t pool_size, uint64_t seed,
+              workloads::SceneKind kind = workloads::SceneKind::CornellPt);
+
+    void install(api::TtaDevice &device, uint32_t max_batch) override;
+    void writeBatch(mem::GlobalMemory &gmem,
+                    const std::vector<QueryTicket> &batch) override;
+    size_t verifyBatch(const mem::GlobalMemory &gmem,
+                       const std::vector<QueryTicket> &batch)
+        const override;
+    size_t verifyTolerance(size_t batch_size) const override
+    {
+        return batch_size / 256 + 2;
+    }
+
+  private:
+    workloads::SceneKind kind_;
+    std::unique_ptr<workloads::RtScene> scene_;
+    std::vector<workloads::RtRay> pool_;
+    std::vector<workloads::RtHit> expected_;
+    std::vector<workloads::RtRay> staged_; //!< spec reads lanes from here
+    uint64_t resultBase_ = 0;
+    std::unique_ptr<workloads::RtSpec> spec_;
+};
+
+} // namespace tta::service
+
+#endif // TTA_SERVICE_TENANTS_HH

@@ -1,0 +1,153 @@
+#include "service/traffic.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tta::service {
+
+const char *
+arrivalProcessName(ArrivalProcess p)
+{
+    switch (p) {
+      case ArrivalProcess::Poisson:
+        return "poisson";
+      case ArrivalProcess::Bursty:
+        return "bursty";
+      case ArrivalProcess::ClosedLoop:
+        return "closed";
+    }
+    return "?";
+}
+
+TraceSource::TraceSource(std::vector<Arrival> trace)
+    : trace_(std::move(trace))
+{
+    for (size_t i = 1; i < trace_.size(); ++i)
+        fatal_if(trace_[i].cycle < trace_[i - 1].cycle,
+                 "TraceSource: arrivals not sorted at index %zu", i);
+}
+
+TrafficGen::TrafficGen(const TrafficConfig &cfg, uint32_t num_tenants,
+                       uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    fatal_if(num_tenants == 0, "TrafficGen with zero tenants");
+    fatal_if(cfg_.meanGapCycles <= 0.0, "meanGapCycles must be > 0");
+    std::vector<double> w = cfg_.tenantWeights;
+    if (w.empty())
+        w.assign(num_tenants, 1.0);
+    fatal_if(w.size() != num_tenants,
+             "tenantWeights has %zu entries for %u tenants", w.size(),
+             num_tenants);
+    double acc = 0.0;
+    for (double x : w) {
+        fatal_if(x < 0.0, "negative tenant weight");
+        acc += x;
+        cumWeights_.push_back(acc);
+    }
+    fatal_if(acc <= 0.0, "tenant weights sum to zero");
+
+    if (cfg_.process == ArrivalProcess::ClosedLoop) {
+        fatal_if(cfg_.clients == 0, "closed loop with zero clients");
+        // Stagger the initial think times so the population does not
+        // arrive as one synchronized burst at cycle 0.
+        for (uint32_t c = 0; c < cfg_.clients; ++c)
+            ready_.push({expGap(cfg_.thinkCycles), c});
+    } else {
+        nextCycle_ = expGap(currentGapMean());
+    }
+}
+
+double
+TrafficGen::currentGapMean() const
+{
+    if (cfg_.process == ArrivalProcess::Bursty)
+        return cfg_.meanGapCycles *
+               (burstState_ ? cfg_.burstGapScale : cfg_.calmGapScale);
+    return cfg_.meanGapCycles;
+}
+
+sim::Cycle
+TrafficGen::expGap(double mean)
+{
+    // Inverse-transform exponential; 1 - U keeps the argument in
+    // (0, 1], and gaps are clamped to >= 1 cycle so time advances.
+    double u = rng_.nextDouble();
+    double g = -std::log(1.0 - u) * mean;
+    if (g < 1.0)
+        return 1;
+    return static_cast<sim::Cycle>(g);
+}
+
+uint32_t
+TrafficGen::pickTenant()
+{
+    double x = rng_.nextDouble() * cumWeights_.back();
+    for (uint32_t t = 0; t < cumWeights_.size(); ++t)
+        if (x < cumWeights_[t])
+            return t;
+    return static_cast<uint32_t>(cumWeights_.size() - 1);
+}
+
+Arrival
+TrafficGen::stamp(sim::Cycle cycle, uint32_t client)
+{
+    Arrival a;
+    a.cycle = cycle;
+    a.tenant = pickTenant();
+    a.client = client;
+    if (cfg_.cancelFraction > 0.0 &&
+        rng_.nextDouble() < cfg_.cancelFraction)
+        a.cancelAfter = expGap(cfg_.cancelAfterMean);
+    return a;
+}
+
+sim::Cycle
+TrafficGen::peek() const
+{
+    if (issued_ >= cfg_.totalQueries)
+        return kNoCycle;
+    if (cfg_.process == ArrivalProcess::ClosedLoop)
+        return ready_.empty() ? kNoCycle : ready_.top().first;
+    return nextCycle_;
+}
+
+bool
+TrafficGen::exhausted() const
+{
+    return issued_ >= cfg_.totalQueries;
+}
+
+Arrival
+TrafficGen::pop()
+{
+    fatal_if(peek() == kNoCycle, "TrafficGen::pop with nothing ready");
+    ++issued_;
+    if (cfg_.process == ArrivalProcess::ClosedLoop) {
+        auto [cycle, client] = ready_.top();
+        ready_.pop();
+        return stamp(cycle, client);
+    }
+    sim::Cycle cycle = nextCycle_;
+    Arrival a = stamp(cycle, /*client=*/static_cast<uint32_t>(
+                                 issued_ % 1024));
+    // MMPP state transition: geometric dwell in arrivals.
+    if (cfg_.process == ArrivalProcess::Bursty &&
+        rng_.nextDouble() < 1.0 / cfg_.meanDwellArrivals)
+        burstState_ = !burstState_;
+    nextCycle_ = cycle + expGap(currentGapMean());
+    return a;
+}
+
+void
+TrafficGen::onCompletion(const QueryTicket &t, sim::Cycle when)
+{
+    if (cfg_.process != ArrivalProcess::ClosedLoop)
+        return;
+    if (issued_ >= cfg_.totalQueries)
+        return; // budget spent: the client population retires
+    ready_.push({when + expGap(cfg_.thinkCycles), t.client});
+}
+
+} // namespace tta::service

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic traffic sources for the traversal service.
+ *
+ * A TrafficSource hands the service a stream of arrivals (cycle,
+ * tenant, client, optional future cancel) and receives completion
+ * feedback. Three generators:
+ *
+ *  - Poisson: open-loop, exponential inter-arrival gaps at a fixed
+ *    aggregate rate.
+ *  - Bursty: open-loop two-state Markov-modulated Poisson process —
+ *    gaps alternate between a fast (burst) and a slow (calm) scale,
+ *    with geometrically distributed dwell times in each state.
+ *  - ClosedLoop: a fixed population of clients, each keeping at most
+ *    one query in flight; a client re-issues an exponential think time
+ *    after its previous query completes.
+ *
+ * All randomness comes from sim::Rng (Xoshiro256**), drawn in a fixed
+ * order per arrival, so the same (config, seed) replays the same
+ * trace bit-for-bit regardless of simulation kernel or thread count.
+ * TraceSource replays a hand-written arrival list for tests.
+ */
+
+#ifndef TTA_SERVICE_TRAFFIC_HH
+#define TTA_SERVICE_TRAFFIC_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "service/queue.hh"
+#include "sim/rng.hh"
+
+namespace tta::service {
+
+/** One client submission, before admission stamps a ticket. */
+struct Arrival
+{
+    sim::Cycle cycle = 0;
+    uint32_t tenant = 0;
+    uint32_t client = 0;
+    /** Cancel this query cancelAfter cycles after arrival (0 = never,
+     *  i.e. the client never gives up on a queued query). */
+    sim::Cycle cancelAfter = 0;
+};
+
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Cycle of the next arrival, or kNoCycle when none is currently
+     *  scheduled (closed loops idle until a completion). */
+    virtual sim::Cycle peek() const = 0;
+
+    /** Consume the next arrival; only valid when peek() != kNoCycle. */
+    virtual Arrival pop() = 0;
+
+    /** True once no arrival will ever be produced again. */
+    virtual bool exhausted() const = 0;
+
+    /** Completion feedback (closed loops schedule the client's next
+     *  think from here). */
+    virtual void onCompletion(const QueryTicket &, sim::Cycle) {}
+};
+
+/** Replays a fixed arrival list (must be sorted by cycle). */
+class TraceSource : public TrafficSource
+{
+  public:
+    explicit TraceSource(std::vector<Arrival> trace);
+
+    sim::Cycle peek() const override
+    {
+        return pos_ < trace_.size() ? trace_[pos_].cycle : kNoCycle;
+    }
+    Arrival pop() override { return trace_[pos_++]; }
+    bool exhausted() const override { return pos_ >= trace_.size(); }
+
+  private:
+    std::vector<Arrival> trace_;
+    size_t pos_ = 0;
+};
+
+enum class ArrivalProcess
+{
+    Poisson,
+    Bursty,
+    ClosedLoop,
+};
+
+const char *arrivalProcessName(ArrivalProcess p);
+
+struct TrafficConfig
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    uint64_t totalQueries = 1000000;
+
+    /** Open-loop aggregate mean inter-arrival gap (cycles). */
+    double meanGapCycles = 50.0;
+
+    /** Bursty (MMPP-2): gap scale per state + mean dwell (arrivals). */
+    double burstGapScale = 0.2;
+    double calmGapScale = 3.0;
+    double meanDwellArrivals = 256.0;
+
+    /** Closed loop: population and mean think time (cycles). */
+    uint32_t clients = 256;
+    double thinkCycles = 20000.0;
+
+    /** Fraction of arrivals that later cancel, and the mean delay
+     *  from arrival to the cancel request (exponential). */
+    double cancelFraction = 0.0;
+    double cancelAfterMean = 1000.0;
+
+    /** Per-tenant traffic share; empty = uniform. */
+    std::vector<double> tenantWeights;
+};
+
+class TrafficGen : public TrafficSource
+{
+  public:
+    TrafficGen(const TrafficConfig &cfg, uint32_t num_tenants,
+               uint64_t seed);
+
+    sim::Cycle peek() const override;
+    Arrival pop() override;
+    bool exhausted() const override;
+    void onCompletion(const QueryTicket &t, sim::Cycle when) override;
+
+    uint64_t issued() const { return issued_; }
+
+  private:
+    uint32_t pickTenant();
+    double currentGapMean() const;
+    sim::Cycle expGap(double mean);
+    Arrival stamp(sim::Cycle cycle, uint32_t client);
+
+    TrafficConfig cfg_;
+    sim::Rng rng_;
+    std::vector<double> cumWeights_;
+    uint64_t issued_ = 0;
+
+    // Open-loop state.
+    sim::Cycle nextCycle_ = 0;
+    bool burstState_ = false; //!< MMPP: currently in the fast state
+
+    // Closed-loop state: (ready cycle, client) min-heap.
+    using ClientEvent = std::pair<sim::Cycle, uint32_t>;
+    std::priority_queue<ClientEvent, std::vector<ClientEvent>,
+                        std::greater<ClientEvent>>
+        ready_;
+};
+
+} // namespace tta::service
+
+#endif // TTA_SERVICE_TRAFFIC_HH

@@ -106,6 +106,13 @@ BTreeWorkload::BTreeWorkload(trees::BTreeKind kind, size_t n_keys,
     }
 }
 
+BTreeWorkload::BTreeWorkload(const BTreeWorkload &other)
+    : tree_(std::make_unique<trees::BTree>(*other.tree_)),
+      queries_(other.queries_), expected_(other.expected_),
+      deviceResults_(other.deviceResults_), rootAddr_(other.rootAddr_),
+      queryBase_(other.queryBase_), resultBase_(other.resultBase_)
+{}
+
 void
 BTreeWorkload::setup(mem::GlobalMemory &gmem)
 {

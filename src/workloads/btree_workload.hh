@@ -70,6 +70,15 @@ class BTreeWorkload
     BTreeWorkload(trees::BTreeKind kind, size_t n_keys, size_t n_queries,
                   uint64_t seed = 1, double hit_rate = 0.5);
 
+    /**
+     * Deep copy: clones the built tree and query/reference vectors so
+     * the copy can setup()/run against its own device while the source
+     * (e.g. a bench::WorkloadCache prototype) stays untouched — a run
+     * on a copy is bit-identical to a run on a freshly built workload.
+     */
+    BTreeWorkload(const BTreeWorkload &other);
+    BTreeWorkload &operator=(const BTreeWorkload &) = delete;
+
     /** Serialize tree + buffers into a device's memory. */
     void setup(mem::GlobalMemory &gmem);
 

@@ -247,6 +247,16 @@ RtnnWorkload::RtnnWorkload(size_t n_points, size_t n_queries, float radius,
             static_cast<uint32_t>(index_->query(q).size()));
 }
 
+RtnnWorkload::RtnnWorkload(const RtnnWorkload &other)
+    : cloud_(other.cloud_),
+      index_(std::make_unique<trees::RadiusSearchIndex>(*other.index_,
+                                                        cloud_)),
+      radius_(other.radius_), queries_(other.queries_),
+      expected_(other.expected_), sbvh_(other.sbvh_),
+      pointBase_(other.pointBase_), queryBase_(other.queryBase_),
+      resultBase_(other.resultBase_), stackBase_(other.stackBase_)
+{}
+
 void
 RtnnWorkload::setup(mem::GlobalMemory &gmem, const sim::Config &cfg)
 {

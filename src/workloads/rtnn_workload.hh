@@ -90,6 +90,15 @@ class RtnnWorkload
     RtnnWorkload(size_t n_points, size_t n_queries, float radius = 1.0f,
                  uint64_t seed = 1);
 
+    /**
+     * Deep copy: clones the cloud and rebinds the copied index's cloud
+     * pointer to this object's own cloud (the index would otherwise
+     * dangle into the source). Runs on a copy are bit-identical to
+     * runs on a freshly built workload.
+     */
+    RtnnWorkload(const RtnnWorkload &other);
+    RtnnWorkload &operator=(const RtnnWorkload &) = delete;
+
     /** Serialize with the node layout selected by `cfg` (binary 64B
      *  nodes by default; wide SoA when cfg.bvhNodeWidth > 2). */
     void setup(mem::GlobalMemory &gmem, const sim::Config &cfg);

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the service latency-percentile math
+ * (service/latency.hh): exact nearest-rank percentiles on known
+ * distributions, the <= 1/32 relative-error bound of the log-bucketed
+ * layout, histogram-overflow behavior, merge associativity, and
+ * cycle <-> wall-clock conversion consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "service/latency.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+
+using tta::service::LatencyHistogram;
+using tta::service::cyclesToUs;
+
+namespace {
+
+/** Independent nearest-rank reference on the raw samples. */
+uint64_t
+refPercentile(std::vector<uint64_t> sorted, double p)
+{
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    if (rank < 1)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+TEST(Latency, BucketRoundTrip)
+{
+    // Every bucket's lower edge maps back to that bucket, and any value
+    // lands in a bucket whose edge is within 1/32 below it.
+    for (uint32_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+        uint64_t edge = LatencyHistogram::bucketLowerEdge(b);
+        EXPECT_EQ(LatencyHistogram::bucketIndex(edge), b)
+            << "edge " << edge;
+    }
+    tta::sim::Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t v = rng.next() >> (rng.nextBounded(40) + 24);
+        if (v >= (1ull << LatencyHistogram::kMaxBits))
+            continue;
+        uint64_t edge = LatencyHistogram::bucketLowerEdge(
+            LatencyHistogram::bucketIndex(v));
+        EXPECT_LE(edge, v);
+        EXPECT_LE(v - edge, std::max<uint64_t>(1, v / 32))
+            << "value " << v << " edge " << edge;
+    }
+}
+
+TEST(Latency, ExactSmallValues)
+{
+    // Values below 2^5 have unit-width buckets: percentiles are exact.
+    LatencyHistogram h;
+    for (uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 32u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 31u);
+    // Nearest rank: ceil(p/100 * 32)-th smallest.
+    EXPECT_EQ(h.percentile(50), 15u);  // rank 16 -> value 15
+    EXPECT_EQ(h.percentile(100), 31u); // rank 32 -> value 31
+    EXPECT_EQ(h.percentile(3.125), 0u); // rank 1 -> value 0
+}
+
+TEST(Latency, ExactKnownDistribution)
+{
+    // All values sit on exact bucket edges (10 and even values < 128),
+    // so p50/p99/p999 must come back exactly.
+    LatencyHistogram h;
+    for (int i = 0; i < 500; ++i)
+        h.record(10);
+    for (int i = 0; i < 490; ++i)
+        h.record(100);
+    for (int i = 0; i < 9; ++i)
+        h.record(120);
+    h.record(126);
+    ASSERT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.percentile(50), 10u);    // rank 500
+    EXPECT_EQ(h.percentile(99), 100u);   // rank 990
+    EXPECT_EQ(h.percentile(99.9), 120u); // rank 999
+    EXPECT_EQ(h.percentile(100), 126u);  // rank 1000
+    EXPECT_EQ(h.sum(), 500ull * 10 + 490ull * 100 + 9ull * 120 + 126);
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 1000.0);
+}
+
+TEST(Latency, RelativeErrorBound)
+{
+    // On arbitrary samples the reported percentile is the lower edge of
+    // the rank-holding bucket: never above the exact sample, never more
+    // than 1/32 below it.
+    tta::sim::Rng rng(99);
+    LatencyHistogram h;
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 50000; ++i) {
+        uint64_t v = rng.nextBounded(1000000000ull);
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double p : {50.0, 90.0, 99.0, 99.9}) {
+        uint64_t exact = refPercentile(samples, p);
+        uint64_t got = h.percentile(p);
+        EXPECT_LE(got, exact) << "p" << p;
+        EXPECT_GE(got, exact - std::max<uint64_t>(1, exact / 32))
+            << "p" << p;
+    }
+}
+
+TEST(Latency, OverflowTail)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 10; ++i)
+        h.record(100);
+    uint64_t huge = (1ull << LatencyHistogram::kMaxBits) + 12345;
+    for (int i = 0; i < 5; ++i)
+        h.record(huge + i);
+    EXPECT_EQ(h.count(), 15u);
+    EXPECT_EQ(h.overflow(), 5u);
+    EXPECT_EQ(h.max(), huge + 4);
+    // Ranks landing in the overflow tail report the tracked maximum.
+    EXPECT_EQ(h.percentile(99), h.max());
+    // Ranks below the tail are unaffected.
+    EXPECT_EQ(h.percentile(50), 100u);
+    // Overflow samples still count toward sum/mean.
+    EXPECT_EQ(h.sum(), 10ull * 100 + 5 * huge + (0 + 1 + 2 + 3 + 4));
+}
+
+TEST(Latency, MergeMatchesSingle)
+{
+    tta::sim::Rng rng(3);
+    LatencyHistogram all, a, b;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = rng.nextBounded(1ull << 36);
+        all.record(v);
+        (i % 2 ? a : b).record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.dumpString(), all.dumpString());
+}
+
+TEST(Latency, EmptyHistogram)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Latency, CycleWallClockConsistency)
+{
+    // MHz is cycles per microsecond: the two reporting units must agree
+    // through the configured core clock exactly.
+    tta::sim::Config cfg;
+    EXPECT_DOUBLE_EQ(cyclesToUs(static_cast<uint64_t>(cfg.coreClockMhz),
+                                cfg.coreClockMhz),
+                     1.0);
+    tta::sim::Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t cycles = rng.nextBounded(1ull << 40);
+        double us = cyclesToUs(cycles, cfg.coreClockMhz);
+        EXPECT_NEAR(us * cfg.coreClockMhz, static_cast<double>(cycles),
+                    static_cast<double>(cycles) * 1e-12);
+    }
+}

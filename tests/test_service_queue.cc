@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Property/fuzz tests for the service admission queue
+ * (service/queue.hh) under randomized enqueue/cancel/deadline
+ * interleavings, checked against an independently written shadow model
+ * of the dispatch policy. 500+ seeds; per seed we assert:
+ *
+ *  - no query is dropped or duplicated: every enqueued seq is either
+ *    dispatched exactly once or successfully canceled exactly once,
+ *  - batches preserve submission order within a tenant,
+ *  - with an always-free device, no dispatch happens after the front
+ *    query's deadline (rule 1 bounds starvation),
+ *  - every selectTenant decision matches the shadow policy (EDF with
+ *    lowest-id ties, round-robin full lanes, round-robin drain).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "service/queue.hh"
+#include "sim/rng.hh"
+
+using namespace tta::service;
+using tta::sim::Cycle;
+using tta::sim::Rng;
+
+namespace {
+
+/** Independent reimplementation of the lane state + dispatch policy. */
+class ShadowQueue
+{
+  public:
+    explicit ShadowQueue(uint32_t n) : lanes_(n) {}
+
+    void
+    enqueue(const QueryTicket &t)
+    {
+        lanes_[t.tenant].push_back({t.seq, t.deadline, false});
+    }
+
+    bool
+    cancel(uint32_t tenant, uint64_t seq)
+    {
+        for (auto &e : lanes_[tenant])
+            if (e.seq == seq)
+                return e.canceled ? false : (e.canceled = true, true);
+        return false;
+    }
+
+    uint64_t
+    live(uint32_t tenant) const
+    {
+        uint64_t n = 0;
+        for (const auto &e : lanes_[tenant])
+            n += !e.canceled;
+        return n;
+    }
+
+    uint64_t
+    liveTotal() const
+    {
+        uint64_t n = 0;
+        for (uint32_t t = 0; t < lanes_.size(); ++t)
+            n += live(t);
+        return n;
+    }
+
+    /** Deadline of the oldest live entry, or kNoCycle. */
+    Cycle
+    frontDeadline(uint32_t tenant) const
+    {
+        for (const auto &e : lanes_[tenant])
+            if (!e.canceled)
+                return e.deadline;
+        return kNoCycle;
+    }
+
+    Cycle
+    earliestDeadline() const
+    {
+        Cycle best = kNoCycle;
+        for (uint32_t t = 0; t < lanes_.size(); ++t)
+            best = std::min(best, frontDeadline(t));
+        return best;
+    }
+
+    int
+    selectTenant(Cycle now, uint32_t max_batch, bool drain) const
+    {
+        // Rule 1: earliest expired deadline, ties to the lowest id.
+        int best = -1;
+        Cycle best_dl = kNoCycle;
+        for (uint32_t t = 0; t < lanes_.size(); ++t) {
+            Cycle dl = frontDeadline(t);
+            if (dl <= now && dl < best_dl) {
+                best = static_cast<int>(t);
+                best_dl = dl;
+            }
+        }
+        if (best >= 0)
+            return best;
+        // Rules 2+3 share one round-robin scan: a lane launches when
+        // it is full, or merely non-empty once the source is drained.
+        for (uint32_t i = 0; i < lanes_.size(); ++i) {
+            uint32_t t = (cursor_ + i) % lanes_.size();
+            if (live(t) >= max_batch || (drain && live(t) > 0))
+                return static_cast<int>(t);
+        }
+        return -1;
+    }
+
+    std::vector<uint64_t>
+    popBatch(uint32_t tenant, uint32_t max_batch)
+    {
+        std::vector<uint64_t> seqs;
+        auto &lane = lanes_[tenant];
+        while (!lane.empty() && seqs.size() < max_batch) {
+            Entry e = lane.front();
+            lane.pop_front();
+            if (!e.canceled)
+                seqs.push_back(e.seq);
+        }
+        // Trim canceled leftovers so frontDeadline stays O(live).
+        while (!lane.empty() && lane.front().canceled)
+            lane.pop_front();
+        cursor_ = (tenant + 1) % static_cast<uint32_t>(lanes_.size());
+        return seqs;
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t seq;
+        Cycle deadline;
+        bool canceled;
+    };
+    std::vector<std::deque<Entry>> lanes_;
+    uint32_t cursor_ = 0;
+};
+
+struct FuzzResult
+{
+    uint64_t dispatched = 0;
+    uint64_t canceled = 0;
+};
+
+/** Drive AdmissionQueue + ShadowQueue through one random trace.
+ *  (void so ASSERT_* may bail out; totals accumulate into @p res.) */
+void
+fuzzOne(uint64_t seed, FuzzResult &res)
+{
+    Rng rng(seed);
+    const uint32_t numTenants = 1 + static_cast<uint32_t>(
+        rng.nextBounded(4));
+    const uint32_t maxBatch = 1 + static_cast<uint32_t>(
+        rng.nextBounded(8));
+    const Cycle maxWait = 10 + rng.nextBounded(100);
+    const uint64_t numArrivals = 50 + rng.nextBounded(400);
+    const bool instantService = (seed % 2) == 0;
+
+    // Pre-generate the arrival trace (nondecreasing cycles) and the
+    // cancel requests keyed off each arrival.
+    struct Arr
+    {
+        Cycle cycle;
+        uint32_t tenant;
+        Cycle cancelAt; //!< kNoCycle = never
+    };
+    std::vector<Arr> arrivals;
+    Cycle t = 0;
+    for (uint64_t i = 0; i < numArrivals; ++i) {
+        t += rng.nextBounded(20);
+        Arr a;
+        a.cycle = t;
+        a.tenant = static_cast<uint32_t>(rng.nextBounded(numTenants));
+        a.cancelAt = rng.nextBounded(10) < 3
+                         ? t + rng.nextBounded(2 * maxWait)
+                         : kNoCycle;
+        arrivals.push_back(a);
+    }
+
+    AdmissionQueue q(numTenants);
+    ShadowQueue shadow(numTenants);
+
+    struct Cancel
+    {
+        Cycle cycle;
+        uint64_t seq;
+        uint32_t tenant;
+        bool operator>(const Cancel &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+    std::priority_queue<Cancel, std::vector<Cancel>, std::greater<Cancel>>
+        cancels;
+
+    std::map<uint64_t, Cycle> deadlineOf;
+    std::map<uint64_t, uint32_t> tenantOf;
+    std::map<uint64_t, int> timesDispatched;
+    std::map<uint64_t, int> timesCanceled;
+    std::vector<uint64_t> lastSeq(numTenants, 0);
+    std::vector<bool> lastSeqValid(numTenants, false);
+
+    size_t idx = 0;
+    uint64_t nextSeq = 0;
+    uint64_t dispatched = 0, canceled = 0;
+    Cycle now = 0, freeAt = 0;
+
+    for (int guard = 0; guard < 1000000; ++guard) {
+        while (idx < arrivals.size() && arrivals[idx].cycle <= now) {
+            const Arr &a = arrivals[idx++];
+            QueryTicket ticket;
+            ticket.seq = nextSeq++;
+            ticket.tenant = a.tenant;
+            ticket.arrival = a.cycle;
+            ticket.deadline = a.cycle + maxWait;
+            q.enqueue(ticket);
+            shadow.enqueue(ticket);
+            deadlineOf[ticket.seq] = ticket.deadline;
+            tenantOf[ticket.seq] = a.tenant;
+            if (a.cancelAt != kNoCycle)
+                cancels.push({a.cancelAt, ticket.seq, a.tenant});
+        }
+        while (!cancels.empty() && cancels.top().cycle <= now) {
+            Cancel c = cancels.top();
+            cancels.pop();
+            bool ok = q.cancel(c.tenant, c.seq);
+            bool shadowOk = shadow.cancel(c.tenant, c.seq);
+            EXPECT_EQ(ok, shadowOk) << "seed " << seed << " seq "
+                                    << c.seq;
+            if (ok) {
+                ++timesCanceled[c.seq];
+                ++canceled;
+            }
+        }
+
+        // The two implementations must agree on all observable state.
+        EXPECT_EQ(q.pendingTotal(), shadow.liveTotal());
+        EXPECT_EQ(q.earliestDeadline(), shadow.earliestDeadline());
+        for (uint32_t tn = 0; tn < numTenants; ++tn)
+            EXPECT_EQ(q.pending(tn), shadow.live(tn));
+
+        bool drain = idx == arrivals.size();
+        bool dispatchedThisIter = false;
+        if (now >= freeAt) {
+            int sel = q.selectTenant(now, maxBatch, drain);
+            EXPECT_EQ(sel, shadow.selectTenant(now, maxBatch, drain))
+                << "seed " << seed << " now " << now;
+            if (sel >= 0) {
+                uint32_t tenant = static_cast<uint32_t>(sel);
+                Cycle frontDl = shadow.frontDeadline(tenant);
+                std::vector<QueryTicket> batch =
+                    q.popBatch(tenant, maxBatch);
+                std::vector<uint64_t> expect =
+                    shadow.popBatch(tenant, maxBatch);
+                ASSERT_EQ(batch.size(), expect.size()) << "seed "
+                                                       << seed;
+                for (size_t i = 0; i < batch.size(); ++i) {
+                    const QueryTicket &ticket = batch[i];
+                    EXPECT_EQ(ticket.seq, expect[i]);
+                    EXPECT_EQ(ticket.tenant, tenant);
+                    EXPECT_EQ(ticket.deadline, deadlineOf[ticket.seq]);
+                    // Submission order within a tenant, across batches.
+                    if (lastSeqValid[tenant]) {
+                        EXPECT_GT(ticket.seq, lastSeq[tenant]);
+                    }
+                    lastSeq[tenant] = ticket.seq;
+                    lastSeqValid[tenant] = true;
+                    ++timesDispatched[ticket.seq];
+                    ++dispatched;
+                    // Rule 1 starvation bound: with the device always
+                    // free, nothing launches past its deadline.
+                    if (instantService) {
+                        EXPECT_LE(now, ticket.deadline)
+                            << "seed " << seed << " seq " << ticket.seq;
+                    }
+                }
+                ASSERT_FALSE(batch.empty());
+                // If the dispatch was deadline-driven, EDF: no other
+                // tenant can hold an earlier live expired deadline.
+                if (frontDl <= now) {
+                    for (uint32_t o = 0; o < numTenants; ++o) {
+                        if (o != tenant) {
+                            EXPECT_GE(shadow.frontDeadline(o), frontDl);
+                        }
+                    }
+                }
+                freeAt = instantService ? now
+                                        : now + rng.nextBounded(40);
+                dispatchedThisIter = true;
+            }
+        }
+        if (dispatchedThisIter)
+            continue;
+
+        if (idx == arrivals.size() && cancels.empty() &&
+            q.pendingTotal() == 0)
+            break;
+
+        Cycle next = kNoCycle;
+        if (idx < arrivals.size())
+            next = std::min(next, arrivals[idx].cycle);
+        if (!cancels.empty())
+            next = std::min(next, cancels.top().cycle);
+        if (now < freeAt)
+            next = std::min(next, freeAt);
+        else
+            next = std::min(next, q.earliestDeadline());
+        ASSERT_NE(next, kNoCycle) << "seed " << seed << " stuck at "
+                                  << now;
+        ASSERT_GT(next, now) << "seed " << seed;
+        now = next;
+    }
+
+    // Conservation: every admitted query left exactly once.
+    EXPECT_EQ(q.pendingTotal(), 0u) << "seed " << seed;
+    for (uint64_t s = 0; s < nextSeq; ++s) {
+        int d = timesDispatched.count(s) ? timesDispatched[s] : 0;
+        int c = timesCanceled.count(s) ? timesCanceled[s] : 0;
+        EXPECT_EQ(d + c, 1) << "seed " << seed << " seq " << s
+                            << " dispatched " << d << " canceled " << c;
+    }
+    EXPECT_EQ(dispatched + canceled, nextSeq);
+    res.dispatched += dispatched;
+    res.canceled += canceled;
+}
+
+} // namespace
+
+TEST(ServiceQueueFuzz, RandomTraces)
+{
+    FuzzResult totals;
+    for (uint64_t seed = 1; seed <= 512; ++seed) {
+        fuzzOne(seed, totals);
+        if (::testing::Test::HasFailure())
+            FAIL() << "first failing seed: " << seed;
+    }
+    // Sanity: the trace generator exercised both paths heavily.
+    EXPECT_GT(totals.dispatched, 50000u);
+    EXPECT_GT(totals.canceled, 5000u);
+}
+
+TEST(ServiceQueue, CancelSemantics)
+{
+    AdmissionQueue q(2);
+    QueryTicket t;
+    t.seq = 7;
+    t.tenant = 1;
+    t.arrival = 10;
+    t.deadline = 60;
+    q.enqueue(t);
+    EXPECT_EQ(q.pending(1), 1u);
+    EXPECT_FALSE(q.cancel(1, 99)); // unknown seq
+    EXPECT_TRUE(q.cancel(1, 7));
+    EXPECT_FALSE(q.cancel(1, 7)); // double-cancel
+    EXPECT_EQ(q.pending(1), 0u);
+    EXPECT_EQ(q.earliestDeadline(), kNoCycle);
+    // Canceled front never dispatches, even on drain.
+    EXPECT_EQ(q.selectTenant(1000, 4, /*drain=*/true), -1);
+}
+
+TEST(ServiceQueue, DeadlinePreemptsRoundRobin)
+{
+    // Tenant 1 has a full batch; tenant 0 holds a single expired query.
+    AdmissionQueue q(2);
+    QueryTicket a;
+    a.seq = 0;
+    a.tenant = 0;
+    a.arrival = 0;
+    a.deadline = 50;
+    q.enqueue(a);
+    for (uint64_t i = 0; i < 4; ++i) {
+        QueryTicket b;
+        b.seq = 1 + i;
+        b.tenant = 1;
+        b.arrival = 5;
+        b.deadline = 500;
+        q.enqueue(b);
+    }
+    // Before the deadline, the full lane wins (rule 2)...
+    EXPECT_EQ(q.selectTenant(/*now=*/40, /*max_batch=*/4, false), 1);
+    // ...after it, the expired front preempts (rule 1).
+    auto popped = q.popBatch(1, 4);
+    ASSERT_EQ(popped.size(), 4u);
+    for (uint64_t i = 0; i < 4; ++i) {
+        QueryTicket b;
+        b.seq = 5 + i;
+        b.tenant = 1;
+        b.arrival = 55;
+        b.deadline = 555;
+        q.enqueue(b);
+    }
+    EXPECT_EQ(q.selectTenant(/*now=*/60, /*max_batch=*/4, false), 0);
+}
