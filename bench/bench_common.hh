@@ -35,6 +35,7 @@
 #ifndef TTA_BENCH_COMMON_HH
 #define TTA_BENCH_COMMON_HH
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -211,23 +212,46 @@ class WorkloadCache
     W
     get(const std::string &key, Build &&build)
     {
-        if (!enabled_)
+        if (!enabled_) {
+            lookups_.fetch_add(1, std::memory_order_relaxed);
             return build();
-        std::shared_ptr<Entry<W>> entry;
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            auto it = cache_.find(key);
-            if (it == cache_.end()) {
-                entry = std::make_shared<Entry<W>>();
-                cache_[key] = entry;
-            } else {
-                entry = std::static_pointer_cast<Entry<W>>(it->second);
-            }
         }
+        auto entry = lookup<W>(key);
         std::call_once(entry->once,
                        [&] { entry->proto =
                                  std::make_shared<const W>(build()); });
         return W(*entry->proto); // fresh deep copy per run
+    }
+
+    /**
+     * Like get(), but shares the immutable prototype itself instead of
+     * deep-copying it — for read-only host state safely referenced by
+     * many consumers at once (e.g. service tenant data shared across
+     * tenants and devices). @p build must return the
+     * shared_ptr<const W> to cache, so types whose internals
+     * self-reference (and so must never move) are built in place.
+     */
+    template <class W, class Build>
+    std::shared_ptr<const W>
+    getShared(const std::string &key, Build &&build)
+    {
+        if (!enabled_) {
+            lookups_.fetch_add(1, std::memory_order_relaxed);
+            return build();
+        }
+        auto entry = lookup<W>(key);
+        std::call_once(entry->once, [&] { entry->proto = build(); });
+        return entry->proto;
+    }
+
+    /** Lookups that found an already-cached prototype / total. */
+    uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    uint64_t lookups() const
+    {
+        return lookups_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -238,9 +262,27 @@ class WorkloadCache
         std::shared_ptr<const W> proto;
     };
 
+    template <class W>
+    std::shared_ptr<Entry<W>>
+    lookup(const std::string &key)
+    {
+        lookups_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            auto entry = std::make_shared<Entry<W>>();
+            cache_[key] = entry;
+            return entry;
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return std::static_pointer_cast<Entry<W>>(it->second);
+    }
+
     bool enabled_;
     std::mutex mu_;
     std::map<std::string, std::shared_ptr<void>> cache_;
+    std::atomic<uint64_t> lookups_{0};
+    std::atomic<uint64_t> hits_{0};
 };
 
 /**

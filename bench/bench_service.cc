@@ -1,30 +1,47 @@
 /**
  * @file
- * BENCH_8: traversal-as-a-service under sustained traffic.
+ * BENCH_8/BENCH_9: traversal-as-a-service under sustained traffic.
  *
- * Stands up a persistent TraversalService (one long-lived TtaDevice,
- * three tenants: B-Tree lookups, radius searches, rays) and drives it
- * with the deterministic closed/open-loop traffic generators: Poisson,
- * bursty (2-state MMPP) and closed-loop arrivals, millions of queries
- * per scenario. Reports sustained throughput plus p50/p99/p999 latency
- * in simulated cycles and microseconds (at Config::coreClockMhz),
- * alongside host wall-clock.
+ * Stands up a persistent TraversalService (a DeviceGroup of 1..N
+ * long-lived TtaDevices; three tenants: B-Tree lookups, radius
+ * searches, rays) and drives it with the deterministic
+ * closed/open-loop traffic generators: Poisson, bursty (2-state MMPP)
+ * and closed-loop arrivals, millions of queries per scenario. Reports
+ * sustained throughput plus p50/p99/p999 latency in simulated cycles
+ * and microseconds (at Config::coreClockMhz), alongside host
+ * wall-clock. Host-side tenant data (trees, payload pools, reference
+ * results) is built once in a WorkloadCache shared by every scenario,
+ * device count and determinism replay.
  *
  * Flags (on top of the shared bench flags in bench_common.hh):
  *   --queries=N            arrivals per scenario (default 1,000,000)
- *   --bench=SUBSTR         run only scenarios whose name contains SUBSTR
+ *   --bench=SUBSTR         run only scenarios whose name contains
+ *                          SUBSTR; the special name "overload" runs
+ *                          the BENCH_9 open-loop overload study
+ *   --scenario=NAME        run exactly one scenario; unknown names
+ *                          list the valid ones and exit 64
+ *   --list-scenarios       print scenario names and exit
+ *   --devices=N            override every scenario's device count
+ *   --serial-staging       run the DeviceGroup without worker threads
+ *                          (bit-identical, single-threaded host path)
  *   --max-batch=N          admission policy: dispatch threshold (256)
  *   --max-wait=N           admission policy: deadline in cycles (50000)
  *   --mean-gap=N           open-loop mean inter-arrival gap (cycles)
- *   --check-determinism    re-run every scenario under the threaded
- *                          kernel (2 sim threads) and require the batch
- *                          log + latency histograms to be bit-identical;
- *                          exits 2 on divergence (bench_speed codes)
+ *   --check-determinism    re-run every scenario (a) unchanged, (b)
+ *                          under the threaded kernel with 2 sim
+ *                          threads, (c) with --serial-staging toggled,
+ *                          and require batch logs (global + per
+ *                          device), latency histograms and the exact
+ *                          per-device histogram merge to be
+ *                          bit-identical; exits 2 on divergence
+ *   --check-overload-scaling=X  (overload study) require aggregate
+ *                          saturated throughput at 4 devices >= X times
+ *                          the 1-device value; exits 6 otherwise
  *
- * JSON records (--json=FILE, one line per scenario) carry the service
+ * JSON records (--json=FILE, one line per run) carry the service
  * scalars/counters plus derived values: throughput_qpmc (completed
  * queries per million simulated cycles), lat_p50/p99/p999_cycles and
- * _us, wait_p99_cycles, batches, expired_dispatches.
+ * _us, per-SLO-class percentiles, devices, offered load factor.
  */
 
 #include "bench_common.hh"
@@ -43,27 +60,51 @@ struct ScenarioSpec
     ArrivalProcess process;
     bool mix;              //!< all three tenants vs B-Tree only
     double cancelFraction; //!< impatient clients
+    uint32_t devices;      //!< DeviceGroup size
+    bool slo;              //!< B-Tree lane is latency-sensitive
 };
 
 const ScenarioSpec kScenarios[] = {
-    {"poisson/btree", ArrivalProcess::Poisson, false, 0.0},
-    {"poisson/mix", ArrivalProcess::Poisson, true, 0.0},
-    {"bursty/mix", ArrivalProcess::Bursty, true, 0.0},
-    {"bursty/cancel", ArrivalProcess::Bursty, true, 0.02},
-    {"closed/mix", ArrivalProcess::ClosedLoop, true, 0.0},
+    {"poisson/btree", ArrivalProcess::Poisson, false, 0.0, 1, false},
+    {"poisson/mix", ArrivalProcess::Poisson, true, 0.0, 1, false},
+    {"poisson/mix/d2", ArrivalProcess::Poisson, true, 0.0, 2, false},
+    {"poisson/mix/d4", ArrivalProcess::Poisson, true, 0.0, 4, false},
+    {"poisson/slo", ArrivalProcess::Poisson, true, 0.0, 2, true},
+    {"bursty/mix", ArrivalProcess::Bursty, true, 0.0, 1, false},
+    {"bursty/cancel", ArrivalProcess::Bursty, true, 0.02, 1, false},
+    {"closed/mix", ArrivalProcess::ClosedLoop, true, 0.0, 1, false},
 };
 
 struct ServiceArgs
 {
     uint64_t maxBatch = 256;
     uint64_t maxWait = 50000;
-    uint64_t meanGap = 0; //!< 0 = auto
-    std::string filter;
+    uint64_t meanGap = 0;  //!< 0 = auto
+    uint64_t devices = 0;  //!< 0 = scenario default
+    std::string filter;    //!< --bench substring ("overload" special)
+    std::string scenario;  //!< --scenario exact name
+    bool listScenarios = false;
+    bool serialStaging = false;
     bool checkDeterminism = false;
+    double overloadScale = 0.0; //!< --check-overload-scaling
 };
 
-/** Oracle string for the determinism cross-check: batch composition,
- *  completion order and every latency histogram, bit-for-bit. */
+void
+listScenarios()
+{
+    std::printf("scenarios (--scenario=NAME or --bench=SUBSTR):\n");
+    for (const auto &s : kScenarios)
+        std::printf("  %-15s devices=%u tenants=%s%s\n", s.name,
+                    s.devices, s.mix ? "btree+radius+rays" : "btree",
+                    s.slo ? " slo-classes" : "");
+    std::printf("  %-15s BENCH_9 open-loop overload study "
+                "(devices 1/2/4)\n",
+                "overload");
+}
+
+/** Oracle string for the determinism cross-checks: batch composition
+ *  and completion order (globally and per device), every latency
+ *  histogram, and the per-class views, bit-for-bit. */
 std::string
 oracleString(const ServiceReport &rep)
 {
@@ -73,48 +114,373 @@ oracleString(const ServiceReport &rep)
         s += tr.name + ":" + tr.latency.dumpString();
         s += tr.name + ".wait:" + tr.queueWait.dumpString();
     }
+    for (size_t d = 0; d < rep.devices.size(); ++d) {
+        s += "dev" + std::to_string(d) + ":" + rep.devices[d].batchLog;
+        s += "dev" + std::to_string(d) + ".lat:" +
+             rep.devices[d].latency.dumpString();
+    }
+    for (uint32_t c = 0; c < kNumSloClasses; ++c) {
+        const ClassReport &cr = rep.classes[c];
+        if (!cr.completed)
+            continue;
+        s += std::string("class.") +
+             sloClassName(static_cast<SloClass>(c)) + ":" +
+             cr.latency.dumpString();
+    }
     return s;
 }
 
+/** The merged-per-device histogram must equal the total, exactly. */
+bool
+mergeIsExact(const ServiceReport &rep)
+{
+    LatencyHistogram merged;
+    for (const auto &dr : rep.devices)
+        merged.merge(dr.latency);
+    return merged.dumpString() == rep.latency.dumpString();
+}
+
+struct ScenarioRun
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    bool mix = true;
+    bool slo = false;
+    double cancelFraction = 0.0;
+    uint32_t devices = 1;
+    double meanGap = 0.0; //!< 0 = auto
+    bool pipelined = true;
+    uint32_t clients = 512;      //!< closed-loop population
+    double thinkCycles = 30000.0; //!< closed-loop think time
+};
+
 ServiceReport
-runScenario(const ScenarioSpec &spec, const Args &args,
-            const ServiceArgs &sargs, const sim::Config &cfg,
-            sim::StatRegistry &stats)
+runService(const ScenarioRun &run, const Args &args,
+           const ServiceArgs &sargs, const sim::Config &cfg,
+           sim::StatRegistry &stats, WorkloadCache &cache)
 {
     ServicePolicy policy;
     policy.maxBatch = static_cast<uint32_t>(sargs.maxBatch);
     policy.maxWaitCycles = sargs.maxWait;
+    if (run.slo)
+        policy.lsMaxWaitCycles = sargs.maxWait / 5;
+    policy.numDevices = run.devices;
+    policy.pipelinedStaging = run.pipelined;
 
     TraversalService svc(cfg, stats, policy);
-    svc.addTenant(std::make_unique<BTreeTenant>(
-        "btree", args.keys / 5, /*pool=*/8192, args.seed));
-    if (spec.mix) {
-        svc.addTenant(std::make_unique<RadiusTenant>(
-            "radius", args.points / 4, /*pool=*/2048, 1.0f, args.seed));
-        svc.addTenant(std::make_unique<RayTenant>(
-            "rays", /*pool=*/1024, args.seed));
+    auto key = [&](const char *w) {
+        return std::string("svc.") + w + "/" + std::to_string(args.keys) +
+               "/" + std::to_string(args.points) + "/" +
+               std::to_string(args.seed);
+    };
+    auto btree = cache.getShared<BTreeTenantData>(key("btree"), [&] {
+        return BTreeTenantData::build(args.keys / 5, /*pool=*/8192,
+                                      args.seed);
+    });
+    svc.addTenant(std::make_unique<BTreeTenant>("btree", btree),
+                  run.slo ? SloClass::LatencySensitive
+                          : SloClass::Throughput);
+    if (run.mix) {
+        auto radius =
+            cache.getShared<RadiusTenantData>(key("radius"), [&] {
+                return RadiusTenantData::build(args.points / 4,
+                                               /*pool=*/2048, 1.0f,
+                                               args.seed);
+            });
+        auto rays = cache.getShared<RayTenantData>(key("rays"), [&] {
+            return RayTenantData::build(SceneKind::CornellPt,
+                                        /*pool=*/1024, args.seed);
+        });
+        svc.addTenant(std::make_unique<RadiusTenant>("radius", radius));
+        svc.addTenant(std::make_unique<RayTenant>("rays", rays));
     }
 
     TrafficConfig tc;
-    tc.process = spec.process;
+    tc.process = run.process;
     tc.totalQueries = args.queries;
-    tc.cancelFraction = spec.cancelFraction;
+    tc.cancelFraction = run.cancelFraction;
     tc.cancelAfterMean = static_cast<double>(sargs.maxWait) / 2;
     // Query mix skewed toward the cheap tenant so the aggregate rate
-    // keeps the device saturated without the expensive tenants
+    // keeps the devices saturated without the expensive tenants
     // dominating the makespan.
-    if (spec.mix)
+    if (run.mix)
         tc.tenantWeights = {0.90, 0.07, 0.03};
-    // Auto gap: keep the open-loop offered load near device capacity
-    // (~a few tens of cycles per B-Tree query in a full batch).
-    tc.meanGapCycles = sargs.meanGap
-                           ? static_cast<double>(sargs.meanGap)
-                           : (spec.mix ? 180.0 : 8.0);
-    tc.clients = 512;
-    tc.thinkCycles = 30000.0;
+    // Auto gap: keep the open-loop offered load near aggregate device
+    // capacity (~a few tens of cycles per B-Tree query in a full
+    // batch, divided across the group).
+    double autoGap = (run.mix ? 180.0 : 8.0) / run.devices;
+    tc.meanGapCycles = run.meanGap ? run.meanGap : autoGap;
+    tc.clients = run.clients;
+    tc.thinkCycles = run.thinkCycles;
 
     TrafficGen gen(tc, svc.numTenants(), args.seed ^ 0xbadc0ffeull);
     return svc.run(gen);
+}
+
+ScenarioRun
+toRun(const ScenarioSpec &spec, const ServiceArgs &sargs)
+{
+    ScenarioRun run;
+    run.process = spec.process;
+    run.mix = spec.mix;
+    run.slo = spec.slo;
+    run.cancelFraction = spec.cancelFraction;
+    run.devices = sargs.devices
+                      ? static_cast<uint32_t>(sargs.devices)
+                      : spec.devices;
+    run.meanGap = static_cast<double>(sargs.meanGap);
+    run.pipelined = !sargs.serialStaging;
+    return run;
+}
+
+void
+fillRecord(sim::RunRecord &rec, const ServiceReport &rep,
+           const sim::Config &cfg, uint32_t devices)
+{
+    rec.cycles = rep.makespan;
+    double mhz = cfg.coreClockMhz;
+    rec.values["devices"] = static_cast<double>(devices);
+    rec.values["throughput_qpmc"] = rep.throughputQpmc();
+    rec.values["lat_p50_cycles"] =
+        static_cast<double>(rep.latency.percentile(50));
+    rec.values["lat_p99_cycles"] =
+        static_cast<double>(rep.latency.percentile(99));
+    rec.values["lat_p999_cycles"] =
+        static_cast<double>(rep.latency.percentile(99.9));
+    rec.values["lat_p50_us"] = cyclesToUs(rep.latency.percentile(50), mhz);
+    rec.values["lat_p99_us"] = cyclesToUs(rep.latency.percentile(99), mhz);
+    rec.values["lat_p999_us"] =
+        cyclesToUs(rep.latency.percentile(99.9), mhz);
+    rec.values["batches"] = static_cast<double>(rep.batches);
+    rec.values["expired_dispatches"] =
+        static_cast<double>(rep.expiredDispatches);
+    rec.values["completed"] = static_cast<double>(rep.completed);
+    rec.values["canceled"] = static_cast<double>(rep.canceled);
+    for (uint32_t c = 0; c < kNumSloClasses; ++c) {
+        const ClassReport &cr = rep.classes[c];
+        if (!cr.completed)
+            continue;
+        std::string prefix = std::string("class_") +
+                             sloClassName(static_cast<SloClass>(c));
+        rec.values[prefix + "_completed"] =
+            static_cast<double>(cr.completed);
+        rec.values[prefix + "_p50_cycles"] =
+            static_cast<double>(cr.latency.percentile(50));
+        rec.values[prefix + "_p99_cycles"] =
+            static_cast<double>(cr.latency.percentile(99));
+        rec.values[prefix + "_p999_cycles"] =
+            static_cast<double>(cr.latency.percentile(99.9));
+    }
+}
+
+void
+emitRecords(const Args &args, const std::vector<sim::RunRecord> &records)
+{
+    if (args.json.empty())
+        return;
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (args.json != "-") {
+        file.open(args.json, std::ios::app);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n", args.json.c_str());
+            std::exit(1);
+        }
+        os = &file;
+    }
+    for (const auto &rec : records) {
+        rec.writeJson(*os, args.jsonTiming != 0);
+        *os << "\n";
+    }
+}
+
+void
+printCacheLine(const WorkloadCache &cache)
+{
+    std::printf("workload cache: %llu of %llu tenant-data lookups hit "
+                "(shared across tenants, devices and replays)\n",
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(cache.lookups()));
+}
+
+/**
+ * BENCH_9: open-loop overload study. Per device count {1,2,4}: probe
+ * the closed-loop capacity, then sweep offered load from 0.2x to 2x
+ * of it and record throughput + per-class latency. @return exit code.
+ */
+int
+runOverloadStudy(const Args &args, const ServiceArgs &sargs,
+                 WorkloadCache &cache)
+{
+    const uint32_t kDevCounts[] = {1, 2, 4};
+    const double kFactors[] = {0.2, 0.5, 0.8, 1.0, 1.25, 1.5, 2.0};
+
+    printHeader("BENCH_9", "multi-device open-loop overload study",
+                args);
+    std::printf("  policy: max-batch=%llu max-wait=%llu cycles, "
+                "slo classes on (btree=latency)\n",
+                static_cast<unsigned long long>(sargs.maxBatch),
+                static_cast<unsigned long long>(sargs.maxWait));
+
+    // Pass 1: closed-loop capacity probe per device count.
+    std::vector<sim::Job> probeJobs;
+    std::vector<ServiceReport> probeReports(std::size(kDevCounts));
+    for (size_t i = 0; i < std::size(kDevCounts); ++i) {
+        sim::Job job;
+        job.name = "overload/probe/d" + std::to_string(kDevCounts[i]);
+        job.config = modeConfig(sim::AccelMode::Tta);
+        job.seed = args.seed;
+        job.fn = [&, i](const sim::Config &cfg,
+                        sim::StatRegistry &stats, sim::RunRecord &rec) {
+            ScenarioRun run;
+            run.process = ArrivalProcess::ClosedLoop;
+            run.slo = true;
+            run.devices = kDevCounts[i];
+            run.pipelined = !sargs.serialStaging;
+            // The probe must saturate the group, not the clients:
+            // a large population with short think time keeps every
+            // device backlogged, so completed/makespan is the
+            // capacity point, not the client-limited arrival rate.
+            run.clients = 2048 * kDevCounts[i];
+            run.thinkCycles = 500.0;
+            ServiceReport rep =
+                runService(run, args, sargs, cfg, stats, cache);
+            fillRecord(rec, rep, cfg, run.devices);
+            probeReports[i] = rep;
+        };
+        probeJobs.push_back(std::move(job));
+    }
+    sim::ExperimentRunner probeRunner(static_cast<unsigned>(args.jobs));
+    std::vector<sim::RunRecord> probeRecords =
+        probeRunner.run(probeJobs);
+    for (const auto &rec : probeRecords) {
+        if (rec.failed()) {
+            std::fprintf(stderr, "probe '%s' failed: %s\n",
+                         rec.name.c_str(), rec.error.c_str());
+            return 1;
+        }
+    }
+
+    double capacity[std::size(kDevCounts)];
+    std::printf("\nclosed-loop capacity probes:\n");
+    for (size_t i = 0; i < std::size(kDevCounts); ++i) {
+        capacity[i] = probeReports[i].throughputQpmc();
+        std::printf("  d%u: %.1f qpmc (%llu batches)\n", kDevCounts[i],
+                    capacity[i],
+                    static_cast<unsigned long long>(
+                        probeReports[i].batches));
+        if (capacity[i] <= 0.0) {
+            std::fprintf(stderr, "degenerate capacity probe\n");
+            return 1;
+        }
+    }
+
+    // Pass 2: the open-loop sweep.
+    struct Cell
+    {
+        uint32_t devices;
+        double factor;
+        ServiceReport rep;
+    };
+    std::vector<Cell> cells;
+    std::vector<sim::Job> jobs;
+    for (size_t i = 0; i < std::size(kDevCounts); ++i) {
+        for (double f : kFactors) {
+            size_t idx = cells.size();
+            cells.push_back({kDevCounts[i], f, {}});
+            // Offered rate = factor x capacity; qpmc is per million
+            // cycles, so the mean gap is 1e6 / (capacity * factor).
+            double gap = 1e6 / (capacity[i] * f);
+            sim::Job job;
+            char name[64];
+            std::snprintf(name, sizeof name, "overload/d%u/x%.2f",
+                          kDevCounts[i], f);
+            job.name = name;
+            job.config = modeConfig(sim::AccelMode::Tta);
+            job.seed = args.seed;
+            job.fn = [&, idx, gap](const sim::Config &cfg,
+                                   sim::StatRegistry &stats,
+                                   sim::RunRecord &rec) {
+                Cell &cell = cells[idx];
+                ScenarioRun run;
+                run.process = ArrivalProcess::Poisson;
+                run.slo = true;
+                run.devices = cell.devices;
+                run.meanGap = gap;
+                run.pipelined = !sargs.serialStaging;
+                cell.rep =
+                    runService(run, args, sargs, cfg, stats, cache);
+                fillRecord(rec, cell.rep, cfg, cell.devices);
+                rec.values["offered_factor"] = cell.factor;
+                rec.values["offered_qpmc"] =
+                    cell.factor * capacity[idx / std::size(kFactors)];
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+    sim::ExperimentRunner runner(static_cast<unsigned>(args.jobs));
+    std::vector<sim::RunRecord> records = runner.run(jobs);
+    for (const auto &rec : records) {
+        if (rec.failed()) {
+            std::fprintf(stderr, "run '%s' failed: %s\n",
+                         rec.name.c_str(), rec.error.c_str());
+            return 1;
+        }
+    }
+    std::vector<sim::RunRecord> all = probeRecords;
+    all.insert(all.end(), records.begin(), records.end());
+    emitRecords(args, all);
+
+    std::printf("\n%-6s %6s %9s %9s | %10s %10s | %10s %10s %8s\n",
+                "dev", "load", "offered", "qpmc", "lat.p99",
+                "lat.p999", "thr.p99", "thr.p999", "expired");
+    std::printf("%-6s %6s %9s %9s | %21s | %s\n", "", "", "(qpmc)", "",
+                "latency class (us)", "throughput class (us) ");
+    for (const Cell &cell : cells) {
+        double mhz = modeConfig(sim::AccelMode::Tta).coreClockMhz;
+        const ClassReport &ls = cell.rep.classes[static_cast<uint32_t>(
+            SloClass::LatencySensitive)];
+        const ClassReport &tp = cell.rep.classes[static_cast<uint32_t>(
+            SloClass::Throughput)];
+        size_t di = 0;
+        while (kDevCounts[di] != cell.devices)
+            ++di;
+        std::printf("d%-5u %5.2fx %9.1f %9.1f | %10.1f %10.1f | %10.1f "
+                    "%10.1f %8llu\n",
+                    cell.devices, cell.factor,
+                    cell.factor * capacity[di],
+                    cell.rep.throughputQpmc(),
+                    cyclesToUs(ls.latency.percentile(99), mhz),
+                    cyclesToUs(ls.latency.percentile(99.9), mhz),
+                    cyclesToUs(tp.latency.percentile(99), mhz),
+                    cyclesToUs(tp.latency.percentile(99.9), mhz),
+                    static_cast<unsigned long long>(
+                        cell.rep.expiredDispatches));
+    }
+    std::printf("(offered = factor x closed-loop capacity; qpmc = "
+                "completed per million cycles)\n");
+    printCacheLine(cache);
+
+    if (sargs.overloadScale > 0.0) {
+        // Saturated aggregate scaling: the 2.0x cell at 4 devices vs
+        // 1 device, on simulated throughput (host-independent).
+        double q1 = 0.0, q4 = 0.0;
+        for (const Cell &cell : cells) {
+            if (cell.factor != 2.0)
+                continue;
+            if (cell.devices == 1)
+                q1 = cell.rep.throughputQpmc();
+            if (cell.devices == 4)
+                q4 = cell.rep.throughputQpmc();
+        }
+        double scale = q1 > 0.0 ? q4 / q1 : 0.0;
+        bool ok = scale >= sargs.overloadScale;
+        std::printf("overload scaling gate: d4/d1 saturated throughput "
+                    "%.2fx (need >= %.2fx): %s\n",
+                    scale, sargs.overloadScale, ok ? "PASS" : "FAIL");
+        if (!ok)
+            return 6;
+    }
+    return 0;
 }
 
 } // namespace
@@ -137,34 +503,75 @@ main(int argc, char **argv)
             sargs.maxWait = val("--max-wait=");
         else if (a.rfind("--mean-gap=", 0) == 0)
             sargs.meanGap = val("--mean-gap=");
+        else if (a.rfind("--devices=", 0) == 0)
+            sargs.devices = val("--devices=");
         else if (a.rfind("--bench=", 0) == 0)
             sargs.filter = a.substr(std::strlen("--bench="));
+        else if (a.rfind("--scenario=", 0) == 0)
+            sargs.scenario = a.substr(std::strlen("--scenario="));
+        else if (a == "--list-scenarios")
+            sargs.listScenarios = true;
+        else if (a == "--serial-staging")
+            sargs.serialStaging = true;
         else if (a == "--check-determinism")
             sargs.checkDeterminism = true;
+        else if (a.rfind("--check-overload-scaling=", 0) == 0)
+            sargs.overloadScale = std::strtod(
+                a.c_str() + std::strlen("--check-overload-scaling="),
+                nullptr);
         else
             passthrough.push_back(argv[i]);
     }
     Args args = Args::parse(static_cast<int>(passthrough.size()),
                             passthrough.data());
+
+    if (sargs.listScenarios) {
+        listScenarios();
+        return 0;
+    }
+
+    WorkloadCache cache(args.rebuildDevice == 0);
+
+    if (sargs.filter == "overload" || sargs.scenario == "overload") {
+        if (args.queries == 16384)
+            args.queries = 120000; // overload default per cell
+        return runOverloadStudy(args, sargs, cache);
+    }
     if (args.queries == 16384)
         args.queries = 1000000; // service default: a million arrivals
 
+    std::vector<const ScenarioSpec *> selected;
+    if (!sargs.scenario.empty()) {
+        for (const auto &s : kScenarios)
+            if (sargs.scenario == s.name)
+                selected.push_back(&s);
+        if (selected.empty()) {
+            std::fprintf(stderr, "unknown --scenario=%s\n",
+                         sargs.scenario.c_str());
+            listScenarios();
+            return 64;
+        }
+    } else {
+        for (const auto &s : kScenarios)
+            if (sargs.filter.empty() ||
+                std::string(s.name).find(sargs.filter) !=
+                    std::string::npos)
+                selected.push_back(&s);
+        if (selected.empty()) {
+            std::fprintf(stderr, "no scenario matches --bench=%s\n",
+                         sargs.filter.c_str());
+            listScenarios();
+            return 64;
+        }
+    }
+
     printHeader("BENCH_8", "traversal-as-a-service latency/throughput",
                 args);
-    std::printf("  policy: max-batch=%llu max-wait=%llu cycles\n",
+    std::printf("  policy: max-batch=%llu max-wait=%llu cycles%s%s\n",
                 static_cast<unsigned long long>(sargs.maxBatch),
-                static_cast<unsigned long long>(sargs.maxWait));
-
-    std::vector<const ScenarioSpec *> selected;
-    for (const auto &s : kScenarios)
-        if (sargs.filter.empty() ||
-            std::string(s.name).find(sargs.filter) != std::string::npos)
-            selected.push_back(&s);
-    if (selected.empty()) {
-        std::fprintf(stderr, "no scenario matches --bench=%s\n",
-                     sargs.filter.c_str());
-        return 64;
-    }
+                static_cast<unsigned long long>(sargs.maxWait),
+                sargs.devices ? " devices-override" : "",
+                sargs.serialStaging ? " serial-staging" : "");
 
     // One runner job per scenario: private registries, deterministic
     // result order, JSON records for free.
@@ -179,28 +586,10 @@ main(int argc, char **argv)
         job.fn = [&, i, &spec = *selected[i]](const sim::Config &cfg,
                                               sim::StatRegistry &stats,
                                               sim::RunRecord &rec) {
-            ServiceReport rep = runScenario(spec, args, sargs, cfg, stats);
-            rec.cycles = rep.makespan;
-            double mhz = cfg.coreClockMhz;
-            rec.values["throughput_qpmc"] = rep.throughputQpmc();
-            rec.values["lat_p50_cycles"] =
-                static_cast<double>(rep.latency.percentile(50));
-            rec.values["lat_p99_cycles"] =
-                static_cast<double>(rep.latency.percentile(99));
-            rec.values["lat_p999_cycles"] =
-                static_cast<double>(rep.latency.percentile(99.9));
-            rec.values["lat_p50_us"] =
-                cyclesToUs(rep.latency.percentile(50), mhz);
-            rec.values["lat_p99_us"] =
-                cyclesToUs(rep.latency.percentile(99), mhz);
-            rec.values["lat_p999_us"] =
-                cyclesToUs(rep.latency.percentile(99.9), mhz);
-            rec.values["batches"] = static_cast<double>(rep.batches);
-            rec.values["expired_dispatches"] =
-                static_cast<double>(rep.expiredDispatches);
-            rec.values["completed"] =
-                static_cast<double>(rep.completed);
-            rec.values["canceled"] = static_cast<double>(rep.canceled);
+            ScenarioRun run = toRun(spec, sargs);
+            ServiceReport rep =
+                runService(run, args, sargs, cfg, stats, cache);
+            fillRecord(rec, rep, cfg, run.devices);
             reports[i] = rep;
         };
         jobs.push_back(std::move(job));
@@ -215,39 +604,23 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    emitRecords(args, records);
 
-    if (!args.json.empty()) {
-        std::ofstream file;
-        std::ostream *os = &std::cout;
-        if (args.json != "-") {
-            file.open(args.json, std::ios::app);
-            if (!file) {
-                std::fprintf(stderr, "cannot open %s\n",
-                             args.json.c_str());
-                return 1;
-            }
-            os = &file;
-        }
-        for (const auto &rec : records) {
-            rec.writeJson(*os, args.jsonTiming != 0);
-            *os << "\n";
-        }
-    }
-
-    std::printf("\n%-15s %9s %7s %8s %9s %9s %9s %8s %8s\n", "scenario",
-                "queries", "batches", "qpmc", "p50(us)", "p99(us)",
-                "p999(us)", "util", "wall(s)");
+    std::printf("\n%-15s %3s %9s %7s %8s %9s %9s %9s %8s %8s\n",
+                "scenario", "dev", "queries", "batches", "qpmc",
+                "p50(us)", "p99(us)", "p999(us)", "util", "wall(s)");
     for (size_t i = 0; i < selected.size(); ++i) {
         const ServiceReport &rep = reports[i];
         double mhz = jobs[i].config.coreClockMhz;
-        double util = rep.makespan ? 100.0 *
-                                         static_cast<double>(
-                                             rep.deviceBusy) /
-                                         rep.makespan
-                                   : 0.0;
-        std::printf("%-15s %9llu %7llu %8.1f %9.1f %9.1f %9.1f %7.1f%% "
-                    "%8.2f\n",
-                    selected[i]->name,
+        uint32_t dev = static_cast<uint32_t>(rep.devices.size());
+        double util =
+            rep.makespan
+                ? 100.0 * static_cast<double>(rep.deviceBusy) /
+                      (static_cast<double>(rep.makespan) * dev)
+                : 0.0;
+        std::printf("%-15s %3u %9llu %7llu %8.1f %9.1f %9.1f %9.1f "
+                    "%7.1f%% %8.2f\n",
+                    selected[i]->name, dev,
                     static_cast<unsigned long long>(rep.completed),
                     static_cast<unsigned long long>(rep.batches),
                     rep.throughputQpmc(),
@@ -256,31 +629,66 @@ main(int argc, char **argv)
                     cyclesToUs(rep.latency.percentile(99.9), mhz), util,
                     records[i].wallSeconds);
     }
-    std::printf("(qpmc = completed queries per million simulated cycles; "
-                "util = device busy fraction)\n");
+    std::printf("(qpmc = completed queries per million simulated "
+                "cycles; util = mean device busy fraction)\n");
+    printCacheLine(cache);
+
+    int rc = 0;
+    for (size_t i = 0; i < selected.size(); ++i) {
+        if (!mergeIsExact(reports[i])) {
+            std::fprintf(stderr,
+                         "%s: per-device histogram merge is not exact\n",
+                         selected[i]->name);
+            rc = 2;
+        }
+    }
+    if (rc)
+        return rc;
 
     if (sargs.checkDeterminism) {
-        // Replay every scenario under the threaded kernel (2 simulation
-        // threads): admission decisions, batch composition and the
-        // latency histograms must be bit-identical to the first pass.
-        std::printf("\nDeterminism cross-check (threaded kernel, 2 "
-                    "sim-threads):\n");
-        sim::Simulator::setDefaultKernel(
-            sim::Simulator::Kernel::Threaded);
-        sim::Simulator::setDefaultSimThreads(2);
-        int rc = 0;
-        for (size_t i = 0; i < selected.size(); ++i) {
-            sim::StatRegistry stats;
-            ServiceReport rep = runScenario(*selected[i], args, sargs,
-                                            jobs[i].config, stats);
-            bool same = oracleString(rep) == oracleString(reports[i]);
-            std::printf("  %-15s %s\n", selected[i]->name,
-                        same ? "bit-identical" : "DIVERGED");
-            if (!same)
-                rc = 2;
+        // Replay every scenario three ways: identical rerun, threaded
+        // kernel (2 simulation threads), and the opposite staging mode.
+        // Admission decisions, batch composition (global and per
+        // device), and all latency histograms must be bit-identical.
+        struct Pass
+        {
+            const char *name;
+            bool threaded;
+            bool flipStaging;
+        };
+        const Pass kPasses[] = {
+            {"rerun", false, false},
+            {"threaded/2", true, false},
+            {"staging-flip", false, true},
+        };
+        for (const Pass &pass : kPasses) {
+            std::printf("\nDeterminism cross-check (%s):\n", pass.name);
+            if (pass.threaded) {
+                sim::Simulator::setDefaultKernel(
+                    sim::Simulator::Kernel::Threaded);
+                sim::Simulator::setDefaultSimThreads(2);
+            }
+            for (size_t i = 0; i < selected.size(); ++i) {
+                sim::StatRegistry stats;
+                ScenarioRun run = toRun(*selected[i], sargs);
+                if (pass.flipStaging)
+                    run.pipelined = !run.pipelined;
+                ServiceReport rep = runService(run, args, sargs,
+                                               jobs[i].config, stats,
+                                               cache);
+                bool same =
+                    oracleString(rep) == oracleString(reports[i]) &&
+                    mergeIsExact(rep);
+                std::printf("  %-15s %s\n", selected[i]->name,
+                            same ? "bit-identical" : "DIVERGED");
+                if (!same)
+                    rc = 2;
+            }
+            if (pass.threaded) {
+                sim::Simulator::resetDefaultKernel();
+                sim::Simulator::resetDefaultSimThreads();
+            }
         }
-        sim::Simulator::resetDefaultKernel();
-        sim::Simulator::resetDefaultSimThreads();
         if (rc)
             return rc;
     }

@@ -41,8 +41,23 @@
 # latency histograms must be bit-identical (the bench exits 2
 # otherwise, failing the recording).
 #
+# BENCH_9: the multi-device open-loop overload study (bench_service
+# --bench=overload): per device count {1, 2, 4}, a closed-loop probe
+# measures the group's saturated capacity, then an open-loop Poisson
+# sweep offers 0.2x-2x that capacity and records throughput plus
+# p50/p99/p999 per SLO class per cell. The run gates aggregate
+# saturated throughput at 4 devices >= 1.8x one device; throughput is
+# in simulated cycles, so host core count does not matter. (Kernel /
+# staging / device-count bit-identity is covered by bench_service
+# --check-determinism on the d1/d2/d4 scenarios and by
+# tests/test_service_multidev.cc, not re-proven here.)
+#
 # Usage: scripts/record_bench.sh [build-dir] [bench4-out] [bench5-out] \
-#            [bench6-out] [bench7-out] [bench8-out]
+#            [bench6-out] [bench7-out] [bench8-out] [bench9-out]
+#
+# RECORD_SECTIONS=4,5,6,7,8,9 (default: all) picks which BENCH_N
+# sections run — e.g. RECORD_SECTIONS=9 records only the overload
+# study.
 #
 # The pre-refactor fig12 baseline (the polling kernel before the
 # event-driven scheduler and its profiling-driven fixes landed, commit
@@ -58,13 +73,29 @@ OUT5=${3:-BENCH_5.json}
 OUT6=${4:-BENCH_6.json}
 OUT7=${5:-BENCH_7.json}
 OUT8=${6:-BENCH_8.json}
+OUT9=${7:-BENCH_9.json}
 PRE=${PRE_REFACTOR_POLLING_WALL_S:-110.9}
 THREADS=${BENCH5_SIM_THREADS:-1,2,4,8}
 EPOCHS=${BENCH6_SIM_EPOCHS:-1,20,64}
+SECTIONS=${RECORD_SECTIONS:-4,5,6,7,8,9}
+HOST_CORES=$(nproc)
+
+# want N: is section BENCH_N selected?
+want() {
+    case ",$SECTIONS," in
+      *",$1,"*) return 0 ;;
+      *) return 1 ;;
+    esac
+}
 
 SPEED_JSON=$(mktemp)
 BENCH5_DIR=$(mktemp -d)
-trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR"' EXIT
+BENCH6_DIR= BENCH7_DIR= BENCH8_DIR= BENCH9_DIR=
+trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR" \
+    ${BENCH6_DIR:+"$BENCH6_DIR"} ${BENCH7_DIR:+"$BENCH7_DIR"} \
+    ${BENCH8_DIR:+"$BENCH8_DIR"} ${BENCH9_DIR:+"$BENCH9_DIR"}' EXIT
+
+if want 4; then
 
 echo "== bench_speed (polling vs event per workload) =="
 "$BUILD"/bench/bench_speed --json="$SPEED_JSON"
@@ -114,11 +145,13 @@ print(f"wrote {out}: fig12 {pre:.1f}s -> {event:.1f}s "
       f"({pre / event:.2f}x vs pre-refactor baseline)")
 EOF
 
+fi # want 4
+
 # ---------------------------------------------------------------------
 # BENCH_5: threaded kernel vs event kernel across thread counts.
 # ---------------------------------------------------------------------
 
-HOST_CORES=$(nproc)
+if want 5; then
 
 # The four largest bench_speed configs at their default sizes; every run
 # re-verifies cycle equality across kernels and thread counts.
@@ -223,12 +256,15 @@ print(f"wrote {out}: best threaded-vs-event {best:.2f}x on "
       f"{worst_small:.2f}x")
 EOF
 
+fi # want 5
+
 # ---------------------------------------------------------------------
 # BENCH_6: threaded kernel, thread-count x epoch-size sweep.
 # ---------------------------------------------------------------------
 
+if want 6; then
+
 BENCH6_DIR=$(mktemp -d)
-trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR" "$BENCH6_DIR"' EXIT
 
 BENCH6_CONFIGS="btree/tta rtnn/tta"
 i=0
@@ -325,12 +361,15 @@ print(f"wrote {out}: worst pair {worst}x; 4-thread epoch-batched "
       f"speedups {best_at_4}")
 EOF
 
+fi # want 6
+
 # ---------------------------------------------------------------------
 # BENCH_7: wide SoA node layouts vs scalar trees (SIMD functional path).
 # ---------------------------------------------------------------------
 
+if want 7; then
+
 BENCH7_DIR=$(mktemp -d)
-trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR" "$BENCH6_DIR" "$BENCH7_DIR"' EXIT
 
 # Host SIMD capability: the vector flags the CPU advertises. Empty on
 # non-x86 hosts without /proc/cpuinfo flags (e.g. some ARM kernels).
@@ -396,13 +435,15 @@ EOF
 "$BUILD"/bench/bench_speed --bench=wide --check-wide-speedup=1.05 \
     >/dev/null
 
+fi # want 7
+
 # ---------------------------------------------------------------------
 # BENCH_8: traversal-as-a-service throughput and latency SLOs.
 # ---------------------------------------------------------------------
 
+if want 8; then
+
 BENCH8_DIR=$(mktemp -d)
-trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR" "$BENCH6_DIR" "$BENCH7_DIR" \
-    "$BENCH8_DIR"' EXIT
 
 BENCH8_QUERIES=${BENCH8_QUERIES:-1000000}
 
@@ -464,3 +505,102 @@ json.dump(report, open(out, "w"), indent=2)
 print(f"wrote {out}: {total} completed queries across "
       f"{len(scenarios)} scenarios")
 EOF
+
+fi # want 8
+
+# ---------------------------------------------------------------------
+# BENCH_9: multi-device open-loop overload study.
+# ---------------------------------------------------------------------
+
+if want 9; then
+
+BENCH9_DIR=$(mktemp -d)
+BENCH9_QUERIES=${BENCH9_QUERIES:-120000}
+
+echo "== bench_service --bench=overload ($BENCH9_QUERIES arrivals" \
+     "per cell, devices 1/2/4, 1.8x scaling gate) =="
+"$BUILD"/bench/bench_service --bench=overload \
+    --queries="$BENCH9_QUERIES" --check-overload-scaling=1.8 \
+    --json="$BENCH9_DIR/overload.jsonl"
+
+python3 - "$BENCH9_DIR/overload.jsonl" "$OUT9" "$HOST_CORES" \
+    "$BENCH9_QUERIES" <<'EOF'
+import json
+import sys
+
+jsonl, out, host_cores, queries = sys.argv[1:5]
+probes = {}
+cells = {}
+for line in open(jsonl):
+    line = line.strip()
+    if not line:
+        continue
+    rec = json.loads(line)
+    name = rec["name"]
+    if not name.startswith("overload/"):
+        continue
+    v = rec["values"]
+    d = str(int(v["devices"]))
+    if name.startswith("overload/probe/"):
+        probes[d] = {
+            "closed_loop_capacity_qpmc": round(v["throughput_qpmc"], 2),
+            "completed": int(v["completed"]),
+            "batches": int(v["batches"]),
+        }
+        continue
+    cell = {
+        "offered_factor": v["offered_factor"],
+        "offered_qpmc": round(v["offered_qpmc"], 2),
+        "throughput_qpmc": round(v["throughput_qpmc"], 2),
+        "lat_p50_us": round(v["lat_p50_us"], 2),
+        "lat_p99_us": round(v["lat_p99_us"], 2),
+        "lat_p999_us": round(v["lat_p999_us"], 2),
+        "expired_dispatches": int(v["expired_dispatches"]),
+    }
+    for cls in ("latency", "throughput"):
+        for pct in ("p50", "p99", "p999"):
+            key = f"class_{cls}_{pct}_cycles"
+            if key in v:
+                cell[key] = int(v[key])
+    cells.setdefault(d, []).append(cell)
+
+for lst in cells.values():
+    lst.sort(key=lambda c: c["offered_factor"])
+
+sat = {
+    d: next((c["throughput_qpmc"] for c in lst
+             if c["offered_factor"] == 2.0), None)
+    for d, lst in cells.items()
+}
+scaling = (round(sat["4"] / sat["1"], 2)
+           if sat.get("4") and sat.get("1") else None)
+
+report = {
+    "bench": "BENCH_9",
+    "description": "multi-device open-loop overload study: per device "
+                   "count, a closed-loop probe measures the group's "
+                   "saturated capacity, then Poisson arrivals offer "
+                   "0.2x-2x of it (three tenants, btree lane in the "
+                   "latency-sensitive SLO class; qpmc = completed "
+                   "queries per million simulated cycles)",
+    "host_cores": int(host_cores),
+    "arrivals_per_cell": int(queries),
+    "scaling_gate": "passed: saturated (2.0x offered) aggregate "
+                    "throughput at 4 devices >= 1.8x one device "
+                    "(bench_service exits 6 otherwise; simulated "
+                    "cycles, host-independent)",
+    "closed_loop_capacity": probes,
+    "offered_load_sweep": cells,
+    "summary": {
+        "saturated_qpmc_by_devices": sat,
+        "d4_vs_d1_saturated_scaling": scaling,
+    },
+}
+json.dump(report, open(out, "w"), indent=2)
+print(f"wrote {out}: d4/d1 saturated scaling {scaling}x "
+      f"({len(cells)} device counts x "
+      f"{max((len(l) for l in cells.values()), default=0)} "
+      f"load factors)")
+EOF
+
+fi # want 9

@@ -70,8 +70,10 @@ makeTraversalLauncher()
     return b.build();
 }
 
-TtaDevice::TtaDevice(const sim::Config &cfg, sim::StatRegistry &stats)
-    : cfg_(cfg), launcher_(makeTraversalLauncher())
+TtaDevice::TtaDevice(const sim::Config &cfg, sim::StatRegistry &stats,
+                     uint32_t device_index)
+    : cfg_(cfg), stats_(stats), deviceIndex_(device_index),
+      launcher_(makeTraversalLauncher())
 {
     gpu_ = std::make_unique<gpu::Gpu>(cfg_, stats);
     if (cfg_.accelMode != sim::AccelMode::BaselineGpu) {
@@ -150,8 +152,12 @@ sim::Cycle
 TtaDevice::cmdTraverseTree(uint32_t slot, uint64_t n_queries)
 {
     fatal_if(slots_.empty(), "cmdTraverseTree before bindPipeline");
-    if (slot != activeSlot_)
+    if (slot != activeSlot_) {
         activateSlot(slot);
+        // Registered lazily so single-slot devices (every figure
+        // workload) keep their stat registries byte-identical.
+        ++stats_.counter("api.slot_switches");
+    }
     return gpu_->runKernel(launcher_, n_queries);
 }
 

@@ -101,12 +101,22 @@ class TtaPipeline
 class TtaDevice
 {
   public:
-    TtaDevice(const sim::Config &cfg, sim::StatRegistry &stats);
+    /**
+     * @param device_index identity of this device within a multi-device
+     *        group (service::DeviceGroup); 0 for the classic
+     *        single-device flow. Purely a label — devices are fully
+     *        isolated (own Gpu, own memory, own accelerators) and any
+     *        number can coexist in one process, each publishing into
+     *        its own registry.
+     */
+    TtaDevice(const sim::Config &cfg, sim::StatRegistry &stats,
+              uint32_t device_index = 0);
     ~TtaDevice();
 
     gpu::Gpu &gpu() { return *gpu_; }
     mem::GlobalMemory &memory() { return gpu_->memory(); }
     const sim::Config &config() const { return cfg_; }
+    uint32_t deviceIndex() const { return deviceIndex_; }
 
     /**
      * Bind a pipeline + its functional spec to every accelerator.
@@ -166,6 +176,8 @@ class TtaDevice
     void activateSlot(uint32_t slot);
 
     const sim::Config cfg_;
+    sim::StatRegistry &stats_;
+    uint32_t deviceIndex_;
     std::unique_ptr<gpu::Gpu> gpu_;
     std::vector<std::unique_ptr<rta::RtaUnit>> rtas_;
     gpu::KernelProgram launcher_;

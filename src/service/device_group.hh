@@ -1,0 +1,174 @@
+/**
+ * @file
+ * DeviceGroup: N long-lived simulated TtaDevices behind one service.
+ *
+ * Each ServiceDevice owns a full TtaDevice (its own Gpu, global
+ * memory, accelerators) plus a private StatRegistry, so N devices can
+ * simulate concurrently on host threads without sharing any mutable
+ * state; the registries are absorbed into the caller's registry in
+ * device-index order after the run (exact integer merge, so the final
+ * dump is independent of host scheduling).
+ *
+ * The group also runs the host-side launch/verify pipeline. In
+ * pipelined mode every device gets a worker thread with two queues:
+ *
+ *   scheduler --submit--> [launch queue] -> worker: cmdTraverseTree
+ *                                            \-> publish elapsed
+ *                          [verify queue] -> worker: verifyBatch
+ *                                            \-> release parity
+ *
+ * The worker prefers launches over pending verifies, so the simulation
+ * of batch k+1 overlaps the host-side verify of batch k on the same
+ * device (and everything overlaps across devices). Staging and verify
+ * are double-buffered: every launch names a parity (0/1) selecting one
+ * of two staging buffer sets, and reserveParity() blocks until the
+ * previous launch that used that parity has finished verifying — so
+ * the scheduler can stage batch k+1 into one parity while batch k's
+ * launch/verify still reads the other.
+ *
+ * Serial mode (pipelinedStaging = false) runs the identical protocol
+ * inline on the caller's thread: launch, then verify, then release, at
+ * submit time. Because every observable output (elapsed cycles, verify
+ * mismatch counts, stat registries) is a pure function of the
+ * submitted work and not of host interleaving, pipelined and serial
+ * mode are bit-identical — which is the determinism argument for the
+ * whole serving layer: if an adversarially serialized schedule matches
+ * the pipelined one, no host thread interleaving can matter.
+ *
+ * Worker exceptions (verify tolerance violations, simulator fatals)
+ * are captured and rethrown on the scheduler thread at the next
+ * synchronization point, never std::terminate.
+ */
+
+#ifndef TTA_SERVICE_DEVICE_GROUP_HH
+#define TTA_SERVICE_DEVICE_GROUP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/tta_api.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace tta::service {
+
+/** Number of staging-buffer parities per (device, tenant). */
+inline constexpr uint32_t kStagingParities = 2;
+
+/**
+ * One simulated device plus its private stat registry: the per-device
+ * handle tenants install into (slot binding is per device, never
+ * global).
+ */
+class ServiceDevice
+{
+  public:
+    ServiceDevice(const sim::Config &cfg, uint32_t index)
+        : index_(index),
+          stats_(std::make_unique<sim::StatRegistry>()),
+          device_(std::make_unique<api::TtaDevice>(cfg, *stats_, index))
+    {}
+
+    uint32_t index() const { return index_; }
+    api::TtaDevice &api() { return *device_; }
+    mem::GlobalMemory &memory() const { return device_->memory(); }
+    sim::StatRegistry &stats() { return *stats_; }
+    const sim::StatRegistry &stats() const { return *stats_; }
+
+    /** Bind one tenant pipeline into this device; @return slot id. */
+    uint32_t
+    bindPipelineSlot(const api::TtaPipeline &pipeline,
+                     rta::TraversalSpec *spec)
+    {
+        return device_->bindPipelineSlot(pipeline, spec);
+    }
+
+  private:
+    uint32_t index_;
+    std::unique_ptr<sim::StatRegistry> stats_;
+    std::unique_ptr<api::TtaDevice> device_;
+};
+
+class DeviceGroup
+{
+  public:
+    /** One launch handed to a device worker. */
+    struct Launch
+    {
+        uint32_t slot = 0;       //!< pipeline slot to activate
+        uint64_t queries = 0;    //!< lanes to launch
+        uint32_t parity = 0;     //!< staging buffers this launch reads
+        /** Host-side verify; returns soft mismatches, throws on a
+         *  tolerance violation. Runs on the worker thread. */
+        std::function<size_t()> verify;
+        /** Thread-safe mismatch sink (e.g. bump an atomic). */
+        std::function<void(size_t)> onVerified;
+    };
+
+    DeviceGroup(const sim::Config &cfg, uint32_t num_devices,
+                bool pipelined);
+    ~DeviceGroup();
+
+    uint32_t size() const
+    {
+        return static_cast<uint32_t>(devices_.size());
+    }
+    ServiceDevice &device(uint32_t d) { return *devices_[d]; }
+    bool pipelined() const { return pipelined_; }
+
+    /**
+     * Block until parity @p parity of device @p d is no longer read by
+     * an earlier launch's verify pass. Call before staging new queries
+     * into that parity's buffers.
+     */
+    void reserveParity(uint32_t d, uint32_t parity);
+
+    /** Hand a staged launch to device @p d (FIFO per device). */
+    void submit(uint32_t d, Launch launch);
+
+    /**
+     * Elapsed simulated cycles of the oldest submitted-but-uncollected
+     * launch on device @p d; blocks until the simulation finishes.
+     */
+    sim::Cycle collectElapsed(uint32_t d);
+
+    /** Wait until every worker finished all submitted work (launches
+     *  and verifies); rethrows any captured worker exception. */
+    void drain();
+
+    /** Merge all per-device registries into @p into, index order. */
+    void absorbStats(sim::StatRegistry &into) const;
+
+  private:
+    struct Worker
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<Launch> launches;
+        std::deque<Launch> verifies; //!< launched, verify pending
+        std::deque<sim::Cycle> elapsed;
+        uint32_t parityBusy[kStagingParities] = {0, 0};
+        bool working = false; //!< worker is mid-task
+        bool stop = false;
+        std::exception_ptr error;
+        std::thread thread;
+    };
+
+    void workerLoop(uint32_t d);
+    void runInline(uint32_t d, Launch &launch);
+    static void rethrowLocked(Worker &w);
+
+    const bool pipelined_;
+    std::vector<std::unique_ptr<ServiceDevice>> devices_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+} // namespace tta::service
+
+#endif // TTA_SERVICE_DEVICE_GROUP_HH

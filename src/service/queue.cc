@@ -4,17 +4,31 @@
 
 namespace tta::service {
 
+const char *
+sloClassName(SloClass c)
+{
+    switch (c) {
+      case SloClass::LatencySensitive:
+        return "latency";
+      case SloClass::Throughput:
+        return "throughput";
+    }
+    return "?";
+}
+
 AdmissionQueue::AdmissionQueue(uint32_t num_tenants)
-    : lanes_(num_tenants), live_(num_tenants, 0)
+    : lanes_(num_tenants), live_(num_tenants, 0),
+      laneClass_(num_tenants, SloClass::Throughput)
 {
     fatal_if(num_tenants == 0, "AdmissionQueue with zero tenants");
 }
 
 uint32_t
-AdmissionQueue::addLane()
+AdmissionQueue::addLane(SloClass cls)
 {
     lanes_.emplace_back();
     live_.push_back(0);
+    laneClass_.push_back(cls);
     return static_cast<uint32_t>(lanes_.size() - 1);
 }
 
@@ -95,27 +109,41 @@ AdmissionQueue::selectTenant(sim::Cycle now, uint32_t max_batch,
 {
     fatal_if(max_batch == 0, "selectTenant with max_batch == 0");
 
-    // Rule 1: earliest expired deadline wins (ties -> lowest tenant).
-    int edf = -1;
-    sim::Cycle edf_deadline = kNoCycle;
-    for (uint32_t t = 0; t < lanes_.size(); ++t) {
-        size_t i = frontLive(t);
-        if (i == SIZE_MAX)
-            continue;
-        sim::Cycle d = lanes_[t][i].ticket.deadline;
-        if (d <= now && d < edf_deadline) {
-            edf = static_cast<int>(t);
-            edf_deadline = d;
-        }
-    }
-    if (edf >= 0)
-        return edf;
+    // Classes in strict priority order; the first class with any
+    // dispatchable work (expired deadline, full lane, or drain flush)
+    // wins outright.
+    for (uint32_t c = 0; c < kNumSloClasses; ++c) {
+        SloClass cls = static_cast<SloClass>(c);
 
-    // Rule 2 (full batches) / rule 3 (drain): round-robin scan.
-    for (uint32_t k = 0; k < lanes_.size(); ++k) {
-        uint32_t t = (rrCursor_ + k) % lanes_.size();
-        if (live_[t] >= max_batch || (drain && live_[t] > 0))
-            return static_cast<int>(t);
+        // Rule 1: earliest expired deadline in the class wins (ties ->
+        // lowest tenant id).
+        int edf = -1;
+        sim::Cycle edf_deadline = kNoCycle;
+        for (uint32_t t = 0; t < lanes_.size(); ++t) {
+            if (laneClass_[t] != cls)
+                continue;
+            size_t i = frontLive(t);
+            if (i == SIZE_MAX)
+                continue;
+            sim::Cycle d = lanes_[t][i].ticket.deadline;
+            if (d <= now && d < edf_deadline) {
+                edf = static_cast<int>(t);
+                edf_deadline = d;
+            }
+        }
+        if (edf >= 0)
+            return edf;
+
+        // Rule 2 (full batches) / rule 3 (drain): round-robin scan on
+        // the class's own cursor.
+        for (uint32_t k = 0; k < lanes_.size(); ++k) {
+            uint32_t t = (rrCursor_[c] + k) %
+                         static_cast<uint32_t>(lanes_.size());
+            if (laneClass_[t] != cls)
+                continue;
+            if (live_[t] >= max_batch || (drain && live_[t] > 0))
+                return static_cast<int>(t);
+        }
     }
     return -1;
 }
@@ -135,7 +163,8 @@ AdmissionQueue::popBatch(uint32_t tenant, uint32_t max_batch)
         batch.push_back(e.ticket);
         --live_[tenant];
     }
-    rrCursor_ = (tenant + 1) % lanes_.size();
+    rrCursor_[static_cast<uint32_t>(laneClass_[tenant])] =
+        (tenant + 1) % static_cast<uint32_t>(lanes_.size());
     return batch;
 }
 

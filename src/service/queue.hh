@@ -2,7 +2,11 @@
  * @file
  * Admission queue for the traversal service (src/service/service.hh).
  *
- * One FIFO lane per tenant. The dispatch policy selects a tenant when
+ * One FIFO lane per tenant; every lane belongs to an SLO class
+ * (latency-sensitive or throughput). The dispatch policy walks the
+ * classes in strict priority order (latency-sensitive first) and,
+ * within the first class that has dispatchable work, selects a tenant
+ * when
  *
  *  1. any tenant's oldest live query has an expired max-wait deadline —
  *     earliest deadline first (ties to the lowest tenant id), or
@@ -10,12 +14,21 @@
  *  3. the traffic source is drained — round-robin among the non-empty
  *     lanes, flushing partial batches.
  *
- * Rule 1 bounds starvation: a query's wait is never extended past its
- * deadline by another tenant's full batches (the fuzz suite in
- * tests/test_service_queue.cc asserts this under randomized
- * enqueue/cancel interleavings). Cancels are lazy — entries stay in
- * place flagged canceled and are skipped by dispatch — so live order
- * within a tenant is submission order, always.
+ * Each class keeps its own round-robin cursor, so a burst on one class
+ * never perturbs the other class's fairness rotation. With every lane
+ * in a single class the policy reduces exactly to the original
+ * classless queue (one EDF scan, one cursor).
+ *
+ * Rule 1 bounds starvation within a class: a query's wait is never
+ * extended past its deadline by another tenant's full batches in the
+ * same class (the fuzz suite in tests/test_service_queue.cc asserts
+ * this under randomized enqueue/cancel interleavings, including mixed
+ * classes). Across classes the priority is strict: throughput lanes
+ * only launch while no latency-sensitive lane has dispatchable work,
+ * so their bound additionally depends on the latency-sensitive load
+ * leaving device capacity. Cancels are lazy — entries stay in place
+ * flagged canceled and are skipped by dispatch — so live order within
+ * a tenant is submission order, always.
  *
  * Everything here is plain integer state driven by explicit cycle
  * timestamps: identical call sequences produce identical batches on
@@ -36,6 +49,17 @@ namespace tta::service {
 /** "No cycle": sorts after every real cycle. */
 inline constexpr sim::Cycle kNoCycle = ~sim::Cycle{0};
 
+/** Per-tenant SLO class. Order is dispatch priority (lower = first). */
+enum class SloClass : uint8_t
+{
+    LatencySensitive = 0,
+    Throughput = 1,
+};
+
+inline constexpr uint32_t kNumSloClasses = 2;
+
+const char *sloClassName(SloClass c);
+
 /** One admitted query, queued until it joins a batch. */
 struct QueryTicket
 {
@@ -44,17 +68,23 @@ struct QueryTicket
     uint32_t client = 0;  //!< issuing simulated client
     uint32_t payload = 0; //!< index into the tenant's payload pool
     sim::Cycle arrival = 0;
-    sim::Cycle deadline = 0; //!< arrival + max-wait
+    sim::Cycle deadline = 0; //!< arrival + the class's max-wait
 };
 
 class AdmissionQueue
 {
   public:
     AdmissionQueue() = default;
+    /** All lanes in the throughput class (the classless legacy shape). */
     explicit AdmissionQueue(uint32_t num_tenants);
 
-    /** Append an empty lane; @return its tenant id. */
-    uint32_t addLane();
+    /** Append an empty lane in @p cls; @return its tenant id. */
+    uint32_t addLane(SloClass cls = SloClass::Throughput);
+
+    SloClass laneClass(uint32_t tenant) const
+    {
+        return laneClass_[tenant];
+    }
 
     /** Append to the tenant's lane. Arrival times must be
      *  nondecreasing per tenant (FIFO == arrival order). */
@@ -83,7 +113,7 @@ class AdmissionQueue
     /**
      * Pop up to @p max_batch live tickets from the tenant's lane in
      * submission order, discarding canceled entries as they surface.
-     * Advances the round-robin cursor past @p tenant.
+     * Advances the tenant's class round-robin cursor past @p tenant.
      */
     std::vector<QueryTicket> popBatch(uint32_t tenant,
                                       uint32_t max_batch);
@@ -106,7 +136,8 @@ class AdmissionQueue
 
     std::vector<std::deque<Entry>> lanes_;
     std::vector<uint64_t> live_;
-    uint32_t rrCursor_ = 0;
+    std::vector<SloClass> laneClass_;
+    uint32_t rrCursor_[kNumSloClasses] = {0, 0};
 };
 
 } // namespace tta::service

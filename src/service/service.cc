@@ -14,15 +14,32 @@ TraversalService::TraversalService(const sim::Config &cfg,
     fatal_if(policy_.maxBatch == 0, "ServicePolicy.maxBatch == 0");
     fatal_if(policy_.maxWaitCycles == 0,
              "ServicePolicy.maxWaitCycles == 0");
-    device_ = std::make_unique<api::TtaDevice>(cfg_, stats_);
+    fatal_if(policy_.numDevices == 0, "ServicePolicy.numDevices == 0");
+    group_ = std::make_unique<DeviceGroup>(cfg_, policy_.numDevices,
+                                           policy_.pipelinedStaging);
+    inflight_.resize(policy_.numDevices);
+    deviceFreeAt_.resize(policy_.numDevices, 0);
+    deviceLaunches_.resize(policy_.numDevices, 0);
+}
+
+sim::Cycle
+TraversalService::classMaxWait(SloClass cls) const
+{
+    if (cls == SloClass::LatencySensitive && policy_.lsMaxWaitCycles)
+        return policy_.lsMaxWaitCycles;
+    return policy_.maxWaitCycles;
 }
 
 uint32_t
-TraversalService::addTenant(std::unique_ptr<Tenant> tenant)
+TraversalService::addTenant(std::unique_ptr<Tenant> tenant,
+                            SloClass slo)
 {
-    fatal_if(nextSeq_ != 0, "addTenant after traffic was served");
-    tenant->install(*device_, policy_.maxBatch);
-    uint32_t id = queue_.addLane();
+    fatal_if(ran_ || nextSeq_ != 0, "addTenant after traffic was served");
+    // Same tenant order on every device, so the per-device allocation
+    // sequences (and thus every serialized address) match exactly.
+    for (uint32_t d = 0; d < group_->size(); ++d)
+        tenant->install(group_->device(d), policy_.maxBatch);
+    uint32_t id = queue_.addLane(slo);
     fatal_if(id != tenants_.size(), "tenant/lane id skew");
     tenants_.push_back(std::move(tenant));
     tenantSubmitted_.push_back(0);
@@ -45,7 +62,7 @@ TraversalService::admitUpTo(TrafficSource &src, sim::Cycle now,
             tenantSubmitted_[a.tenant]++ %
             tenants_[a.tenant]->poolSize());
         t.arrival = a.cycle;
-        t.deadline = a.cycle + policy_.maxWaitCycles;
+        t.deadline = a.cycle + classMaxWait(queue_.laneClass(a.tenant));
         queue_.enqueue(t);
         ++report.submitted;
         ++report.tenants[a.tenant].submitted;
@@ -63,83 +80,217 @@ TraversalService::admitUpTo(TrafficSource &src, sim::Cycle now,
 }
 
 void
-TraversalService::dispatch(TrafficSource &src, uint32_t t,
-                           ServiceReport &report)
+TraversalService::dispatchTo(uint32_t d, uint32_t t,
+                             ServiceReport &report)
 {
     Tenant &tenant = *tenants_[t];
-    std::vector<QueryTicket> batch =
-        queue_.popBatch(t, policy_.maxBatch);
-    fatal_if(batch.empty(), "dispatch of an empty batch");
+    auto batch = std::make_shared<std::vector<QueryTicket>>(
+        queue_.popBatch(t, policy_.maxBatch));
+    fatal_if(batch->empty(), "dispatch of an empty batch");
 
-    tenant.writeBatch(device_->memory(), batch);
-    sim::Cycle elapsed =
-        device_->cmdTraverseTree(tenant.slot(), batch.size());
-    sim::Cycle complete = now_ + elapsed;
-    freeAt_ = complete;
-    report.deviceBusy += elapsed;
+    // Staging parity alternates per device launch, so batch k+1 stages
+    // into the buffers batch k-1 vacated while batch k is in flight.
+    // The alternation runs in serial mode too: identical buffer use,
+    // identical outputs.
+    uint32_t parity =
+        static_cast<uint32_t>(deviceLaunches_[d] % kStagingParities);
+    ++deviceLaunches_[d];
+    group_->reserveParity(d, parity);
 
-    size_t bad = tenant.verifyBatch(device_->memory(), batch);
-    fatal_if(bad > tenant.verifyTolerance(batch.size()),
-             "tenant '%s': %zu result mismatches in a %zu-query batch",
-             tenant.name().c_str(), bad, batch.size());
-    report.tenants[t].verifySoftMismatches += bad;
+    ServiceDevice &dev = group_->device(d);
+    tenant.writeBatch(dev, parity, *batch);
 
-    TenantReport &tr = report.tenants[t];
-    for (const QueryTicket &q : batch) {
-        tr.latency.record(complete - q.arrival);
-        tr.queueWait.record(now_ - q.arrival);
-        report.latency.record(complete - q.arrival);
-        src.onCompletion(q, complete);
-    }
-    tr.completed += batch.size();
-    report.completed += batch.size();
-    ++tr.batches;
-    ++report.batches;
-    if (batch.front().deadline <= now_)
+    DeviceGroup::Launch launch;
+    launch.slot = tenant.slot(d, parity);
+    launch.queries = batch->size();
+    launch.parity = parity;
+    Tenant *tp = &tenant;
+    ServiceDevice *dp = &dev;
+    launch.verify = [tp, dp, parity, batch] {
+        size_t bad = tp->verifyBatch(*dp, parity, *batch);
+        fatal_if(bad > tp->verifyTolerance(batch->size()),
+                 "tenant '%s' device %u: %zu result mismatches in a "
+                 "%zu-query batch",
+                 tp->name().c_str(), dp->index(), bad, batch->size());
+        return bad;
+    };
+    std::atomic<uint64_t> *tally = &verifyMismatches_[t];
+    launch.onVerified = [tally](size_t bad) {
+        tally->fetch_add(bad, std::memory_order_relaxed);
+    };
+    group_->submit(d, std::move(launch));
+
+    Inflight &f = inflight_[d];
+    f.active = true;
+    f.tenant = t;
+    f.parity = parity;
+    f.expired = batch->front().deadline <= now_;
+    f.start = now_;
+    f.complete = kNoCycle;
+    f.batch = std::move(batch);
+    if (f.expired)
         ++report.expiredDispatches;
-    if (complete > report.makespan)
-        report.makespan = complete;
+}
 
-    if (report.batches <= kMaxLoggedBatches) {
-        std::ostringstream os;
-        os << "b" << report.batches << " t=" << t << " start=" << now_
-           << " done=" << complete << " n=" << batch.size() << " seq="
-           << batch.front().seq << ".." << batch.back().seq << "\n";
-        report.batchLog += os.str();
+void
+TraversalService::ensureElapsed(uint32_t d, ServiceReport &report)
+{
+    Inflight &f = inflight_[d];
+    if (!f.active || f.complete != kNoCycle)
+        return;
+    sim::Cycle elapsed = group_->collectElapsed(d);
+    f.complete = f.start + elapsed;
+    report.deviceBusy += elapsed;
+    report.devices[d].busy += elapsed;
+}
+
+void
+TraversalService::retireDue(sim::Cycle now, TrafficSource &src,
+                            ServiceReport &report)
+{
+    for (uint32_t d = 0; d < inflight_.size(); ++d)
+        if (inflight_[d].active && inflight_[d].start < now)
+            ensureElapsed(d, report);
+
+    // Retire in (completion cycle, device index) order: the recording
+    // order of latencies, logs and closed-loop feedback is then a pure
+    // function of the virtual clock.
+    for (;;) {
+        int best = -1;
+        for (uint32_t d = 0; d < inflight_.size(); ++d) {
+            const Inflight &f = inflight_[d];
+            if (!f.active || f.complete == kNoCycle ||
+                f.complete > now)
+                continue;
+            if (best < 0 ||
+                f.complete < inflight_[best].complete)
+                best = static_cast<int>(d);
+        }
+        if (best < 0)
+            return;
+        uint32_t d = static_cast<uint32_t>(best);
+        Inflight &f = inflight_[d];
+        const std::vector<QueryTicket> &batch = *f.batch;
+
+        TenantReport &tr = report.tenants[f.tenant];
+        DeviceReport &dr = report.devices[d];
+        ClassReport &cr = report.classes[static_cast<uint32_t>(
+            queue_.laneClass(f.tenant))];
+        for (const QueryTicket &q : batch) {
+            sim::Cycle lat = f.complete - q.arrival;
+            sim::Cycle wait = f.start - q.arrival;
+            tr.latency.record(lat);
+            tr.queueWait.record(wait);
+            report.latency.record(lat);
+            dr.latency.record(lat);
+            cr.latency.record(lat);
+            cr.queueWait.record(wait);
+            src.onCompletion(q, f.complete);
+        }
+        tr.completed += batch.size();
+        report.completed += batch.size();
+        dr.completed += batch.size();
+        cr.completed += batch.size();
+        ++tr.batches;
+        ++report.batches;
+        ++dr.batches;
+        if (f.complete > dr.lastDone)
+            dr.lastDone = f.complete;
+        if (f.complete > report.makespan)
+            report.makespan = f.complete;
+
+        if (report.batches <= kMaxLoggedBatches) {
+            std::ostringstream os;
+            os << "b" << report.batches << " t=" << f.tenant
+               << " start=" << f.start << " done=" << f.complete
+               << " n=" << batch.size() << " seq=" << batch.front().seq
+               << ".." << batch.back().seq << " dev=" << d << "\n";
+            report.batchLog += os.str();
+        }
+        if (dr.batches <= kMaxLoggedBatches) {
+            std::ostringstream os;
+            os << "b" << dr.batches << " t=" << f.tenant
+               << " start=" << f.start << " done=" << f.complete
+               << " n=" << batch.size() << " seq=" << batch.front().seq
+               << ".." << batch.back().seq << "\n";
+            dr.batchLog += os.str();
+        }
+
+        deviceFreeAt_[d] = f.complete;
+        f.active = false;
+        f.batch.reset();
     }
 }
 
 ServiceReport
 TraversalService::run(TrafficSource &src)
 {
+    fatal_if(ran_, "TraversalService::run called twice");
+    ran_ = true;
     fatal_if(tenants_.empty(), "TraversalService::run with no tenants");
     ServiceReport report;
     report.tenants.resize(tenants_.size());
-    for (uint32_t t = 0; t < tenants_.size(); ++t)
+    report.devices.resize(group_->size());
+    for (uint32_t t = 0; t < tenants_.size(); ++t) {
         report.tenants[t].name = tenants_[t]->name();
+        report.tenants[t].slo = queue_.laneClass(t);
+    }
+    verifyMismatches_ = std::make_unique<std::atomic<uint64_t>[]>(
+        tenants_.size());
+    for (uint32_t t = 0; t < tenants_.size(); ++t)
+        verifyMismatches_[t].store(0, std::memory_order_relaxed);
 
     while (true) {
+        retireDue(now_, src, report);
         admitUpTo(src, now_, report);
-        bool drain = src.exhausted();
-        int t = queue_.selectTenant(now_, policy_.maxBatch, drain);
-        if (t >= 0) {
-            if (freeAt_ > now_) {
-                // Device busy: later arrivals keep coalescing; the
-                // dispatch decision replays at the completion cycle.
-                now_ = freeAt_;
-                continue;
+
+        // Dispatch to idle devices, longest-idle first (ties to the
+        // lowest index), while the queue has dispatchable work.
+        for (;;) {
+            int d = -1;
+            for (uint32_t i = 0; i < inflight_.size(); ++i) {
+                if (inflight_[i].active)
+                    continue;
+                if (d < 0 || deviceFreeAt_[i] <
+                                 deviceFreeAt_[static_cast<uint32_t>(d)])
+                    d = static_cast<int>(i);
             }
-            dispatch(src, static_cast<uint32_t>(t), report);
-            continue;
+            if (d < 0)
+                break;
+            int t = queue_.selectTenant(now_, policy_.maxBatch,
+                                        src.exhausted());
+            if (t < 0)
+                break;
+            dispatchTo(static_cast<uint32_t>(d),
+                       static_cast<uint32_t>(t), report);
         }
+
+        // Next event: arrival, cancel, deadline (only useful when a
+        // device could act on it), or the earliest in-flight
+        // completion (collected lazily here — this is where the
+        // scheduler blocks on device workers, one at a time, while the
+        // others keep simulating).
         sim::Cycle next = src.peek();
-        if (queue_.pendingTotal() > 0) {
-            sim::Cycle d = queue_.earliestDeadline();
-            if (d < next)
-                next = d;
+        bool anyIdle = false;
+        bool anyInflight = false;
+        for (const Inflight &f : inflight_)
+            (f.active ? anyInflight : anyIdle) = true;
+        if (anyIdle && queue_.pendingTotal() > 0) {
+            sim::Cycle dl = queue_.earliestDeadline();
+            if (dl < next)
+                next = dl;
         }
         if (!cancels_.empty() && cancels_.top().cycle < next)
             next = cancels_.top().cycle;
+        if (anyInflight) {
+            for (uint32_t d = 0; d < inflight_.size(); ++d) {
+                if (!inflight_[d].active)
+                    continue;
+                ensureElapsed(d, report);
+                if (inflight_[d].complete < next)
+                    next = inflight_[d].complete;
+            }
+        }
         if (next == kNoCycle) {
             fatal_if(queue_.pendingTotal() > 0,
                      "service wedged with %llu queued queries",
@@ -152,19 +303,22 @@ TraversalService::run(TrafficSource &src)
         now_ = next > now_ ? next : now_ + 1;
     }
 
+    // Finish outstanding verifies (and surface any worker error).
+    group_->drain();
+    for (uint32_t t = 0; t < tenants_.size(); ++t)
+        report.tenants[t].verifySoftMismatches =
+            verifyMismatches_[t].load(std::memory_order_relaxed);
+
     publishStats(report);
+    group_->absorbStats(stats_);
     return report;
 }
 
 void
 TraversalService::publishStats(const ServiceReport &report)
 {
-    auto publish = [&](const std::string &prefix, const TenantReport &tr) {
-        stats_.counter(prefix + ".submitted") += tr.submitted;
-        stats_.counter(prefix + ".completed") += tr.completed;
-        stats_.counter(prefix + ".canceled") += tr.canceled;
-        stats_.counter(prefix + ".batches") += tr.batches;
-        const LatencyHistogram &h = tr.latency;
+    auto publishLat = [&](const std::string &prefix,
+                          const LatencyHistogram &h) {
         stats_.scalar(prefix + ".lat_p50_cycles")
             .set(static_cast<double>(h.percentile(50)));
         stats_.scalar(prefix + ".lat_p99_cycles")
@@ -173,6 +327,13 @@ TraversalService::publishStats(const ServiceReport &report)
             .set(static_cast<double>(h.percentile(99.9)));
         stats_.scalar(prefix + ".lat_max_cycles")
             .set(static_cast<double>(h.max()));
+    };
+    auto publish = [&](const std::string &prefix, const TenantReport &tr) {
+        stats_.counter(prefix + ".submitted") += tr.submitted;
+        stats_.counter(prefix + ".completed") += tr.completed;
+        stats_.counter(prefix + ".canceled") += tr.canceled;
+        stats_.counter(prefix + ".batches") += tr.batches;
+        publishLat(prefix, tr.latency);
         stats_.scalar(prefix + ".wait_p99_cycles")
             .set(static_cast<double>(tr.queueWait.percentile(99)));
     };
@@ -188,6 +349,27 @@ TraversalService::publishStats(const ServiceReport &report)
         total.queueWait.merge(tr.queueWait);
     }
     publish("service.total", total);
+    for (uint32_t c = 0; c < kNumSloClasses; ++c) {
+        const ClassReport &cr = report.classes[c];
+        if (!cr.completed)
+            continue;
+        std::string prefix = std::string("service.class.") +
+                             sloClassName(static_cast<SloClass>(c));
+        stats_.counter(prefix + ".completed") += cr.completed;
+        publishLat(prefix, cr.latency);
+        stats_.scalar(prefix + ".wait_p99_cycles")
+            .set(static_cast<double>(cr.queueWait.percentile(99)));
+    }
+    for (uint32_t d = 0; d < report.devices.size(); ++d) {
+        const DeviceReport &dr = report.devices[d];
+        std::string prefix = "service.dev" + std::to_string(d);
+        stats_.counter(prefix + ".batches") += dr.batches;
+        stats_.counter(prefix + ".completed") += dr.completed;
+        stats_.scalar(prefix + ".busy_cycles")
+            .set(static_cast<double>(dr.busy));
+        stats_.scalar(prefix + ".lat_p99_cycles")
+            .set(static_cast<double>(dr.latency.percentile(99)));
+    }
     stats_.counter("service.expired_dispatches") +=
         report.expiredDispatches;
     stats_.scalar("service.makespan_cycles")

@@ -7,67 +7,114 @@
 
 namespace tta::service {
 
+Tenant::Binding &
+Tenant::newBinding(const ServiceDevice &dev)
+{
+    fatal_if(dev.index() != bindings_.size(),
+             "tenant '%s': install on device %u out of order (have %zu)",
+             name_.c_str(), dev.index(), bindings_.size());
+    bindings_.emplace_back();
+    return bindings_.back();
+}
+
 // --- BTreeTenant --------------------------------------------------------
 
-BTreeTenant::BTreeTenant(std::string name, size_t n_keys,
-                         size_t pool_size, uint64_t seed, double hit_rate)
-    : Tenant(std::move(name))
+namespace {
+
+std::vector<float>
+makeBTreeKeys(size_t n_keys)
 {
-    fatal_if(pool_size == 0, "BTreeTenant '%s': empty payload pool",
-             name_.c_str());
-    poolSize_ = pool_size;
     // Even-integer keys (exact as floats), odd integers guaranteed
     // absent — the same scheme BTreeWorkload uses.
-    sim::Rng rng(seed);
     std::vector<float> keys(n_keys);
     for (size_t i = 0; i < n_keys; ++i)
         keys[i] = 2.0f * static_cast<float>(i + 1);
-    tree_ = std::make_unique<trees::BTree>(trees::BTreeKind::BPlusTree,
-                                           std::move(keys));
+    return keys;
+}
 
-    pool_.resize(pool_size);
-    expected_.resize(pool_size);
+} // namespace
+
+BTreeTenantData::BTreeTenantData(size_t n_keys, size_t pool_size,
+                                 uint64_t seed, double hit_rate)
+    : tree(trees::BTreeKind::BPlusTree, makeBTreeKeys(n_keys))
+{
+    fatal_if(pool_size == 0, "BTreeTenantData: empty payload pool");
+    sim::Rng rng(seed);
+    pool.resize(pool_size);
+    expected.resize(pool_size);
     for (size_t q = 0; q < pool_size; ++q) {
         if (rng.nextDouble() < hit_rate)
-            pool_[q] = 2.0f * static_cast<float>(rng.nextBounded(n_keys) + 1);
+            pool[q] = 2.0f * static_cast<float>(rng.nextBounded(n_keys) + 1);
         else
-            pool_[q] =
+            pool[q] =
                 2.0f * static_cast<float>(rng.nextBounded(n_keys)) + 1.0f;
-        expected_[q] = tree_->search(pool_[q]).found ? 1 : 0;
+        expected[q] = tree.search(pool[q]).found ? 1 : 0;
+    }
+}
+
+std::shared_ptr<const BTreeTenantData>
+BTreeTenantData::build(size_t n_keys, size_t pool_size, uint64_t seed,
+                       double hit_rate)
+{
+    return std::make_shared<const BTreeTenantData>(n_keys, pool_size,
+                                                   seed, hit_rate);
+}
+
+BTreeTenant::BTreeTenant(std::string name,
+                         std::shared_ptr<const BTreeTenantData> data)
+    : Tenant(std::move(name)), data_(std::move(data))
+{
+    fatal_if(!data_, "BTreeTenant '%s': null data", name_.c_str());
+    poolSize_ = data_->pool.size();
+}
+
+BTreeTenant::BTreeTenant(std::string name, size_t n_keys,
+                         size_t pool_size, uint64_t seed, double hit_rate)
+    : BTreeTenant(std::move(name),
+                  BTreeTenantData::build(n_keys, pool_size, seed,
+                                         hit_rate))
+{}
+
+void
+BTreeTenant::install(ServiceDevice &dev, uint32_t max_batch)
+{
+    Binding &b = newBinding(dev);
+    mem::GlobalMemory &gmem = dev.memory();
+    uint64_t root = data_->tree.serialize(gmem);
+    for (uint32_t p = 0; p < kStagingParities; ++p) {
+        b.queryBase[p] = gmem.alloc(4ull * max_batch, 128);
+        b.resultBase[p] = gmem.alloc(4ull * max_batch, 128);
+        specs_.push_back(std::make_unique<workloads::BTreeSpec>(
+            gmem, root, b.queryBase[p], b.resultBase[p]));
+        b.slot[p] = dev.bindPipelineSlot(
+            workloads::BTreeWorkload::makePipeline(), specs_.back().get());
     }
 }
 
 void
-BTreeTenant::install(api::TtaDevice &device, uint32_t max_batch)
-{
-    mem::GlobalMemory &gmem = device.memory();
-    uint64_t root = tree_->serialize(gmem);
-    queryBase_ = gmem.alloc(4ull * max_batch, 128);
-    resultBase_ = gmem.alloc(4ull * max_batch, 128);
-    spec_ = std::make_unique<workloads::BTreeSpec>(gmem, root, queryBase_,
-                                                   resultBase_);
-    slot_ = device.bindPipelineSlot(workloads::BTreeWorkload::makePipeline(),
-                                    spec_.get());
-}
-
-void
-BTreeTenant::writeBatch(mem::GlobalMemory &gmem,
+BTreeTenant::writeBatch(ServiceDevice &dev, uint32_t parity,
                         const std::vector<QueryTicket> &batch)
 {
+    mem::GlobalMemory &gmem = dev.memory();
+    const Binding &b = bindings_[dev.index()];
     for (size_t i = 0; i < batch.size(); ++i) {
-        gmem.write<float>(queryBase_ + 4 * i, pool_[batch[i].payload]);
-        gmem.write<uint32_t>(resultBase_ + 4 * i, 0xdeadbeefu);
+        gmem.write<float>(b.queryBase[parity] + 4 * i,
+                          data_->pool[batch[i].payload]);
+        gmem.write<uint32_t>(b.resultBase[parity] + 4 * i, 0xdeadbeefu);
     }
 }
 
 size_t
-BTreeTenant::verifyBatch(const mem::GlobalMemory &gmem,
+BTreeTenant::verifyBatch(const ServiceDevice &dev, uint32_t parity,
                          const std::vector<QueryTicket> &batch) const
 {
+    const mem::GlobalMemory &gmem = dev.memory();
+    const Binding &b = bindings_[dev.index()];
     size_t bad = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
-        uint32_t got = gmem.read<uint32_t>(resultBase_ + 4 * i);
-        if (got != expected_[batch[i].payload])
+        uint32_t got =
+            gmem.read<uint32_t>(b.resultBase[parity] + 4 * i);
+        if (got != data_->expected[batch[i].payload])
             ++bad;
     }
     return bad;
@@ -75,80 +122,111 @@ BTreeTenant::verifyBatch(const mem::GlobalMemory &gmem,
 
 // --- RadiusTenant -------------------------------------------------------
 
-RadiusTenant::RadiusTenant(std::string name, size_t n_points,
-                           size_t pool_size, float radius, uint64_t seed)
-    : Tenant(std::move(name))
+RadiusTenantData::RadiusTenantData(size_t n_points, size_t pool_size,
+                                   float radius, uint64_t seed)
+    : cloud(trees::PointCloud::generateLidarLike(n_points, seed))
 {
-    fatal_if(pool_size == 0, "RadiusTenant '%s': empty payload pool",
-             name_.c_str());
-    poolSize_ = pool_size;
-    cloud_ = trees::PointCloud::generateLidarLike(n_points, seed);
-    index_ = std::make_unique<trees::RadiusSearchIndex>(cloud_, radius);
+    fatal_if(pool_size == 0, "RadiusTenantData: empty payload pool");
+    // Built here, not in the init list: the index keeps a pointer to
+    // `cloud`, which must already sit at its final address.
+    index = std::make_unique<trees::RadiusSearchIndex>(cloud, radius);
 
     // Same query mix as RtnnWorkload: mostly jittered cloud points,
     // the rest uniform over the scene volume.
     sim::Rng rng(seed ^ 0x9e3779b9ull);
-    pool_.reserve(pool_size);
+    pool.reserve(pool_size);
     for (size_t q = 0; q < pool_size; ++q) {
         if (rng.nextFloat() < 0.7f) {
             const geom::Vec3 &p =
-                cloud_.points[rng.nextBounded(cloud_.points.size())];
-            pool_.push_back({p.x + 0.3f * rng.gaussian(),
-                             p.y + 0.3f * rng.gaussian(),
-                             p.z + 0.1f * rng.gaussian()});
+                cloud.points[rng.nextBounded(cloud.points.size())];
+            pool.push_back({p.x + 0.3f * rng.gaussian(),
+                            p.y + 0.3f * rng.gaussian(),
+                            p.z + 0.1f * rng.gaussian()});
         } else {
-            pool_.push_back({rng.uniform(-80.0f, 80.0f),
-                             rng.uniform(-80.0f, 80.0f),
-                             rng.uniform(0.0f, 6.0f)});
+            pool.push_back({rng.uniform(-80.0f, 80.0f),
+                            rng.uniform(-80.0f, 80.0f),
+                            rng.uniform(0.0f, 6.0f)});
         }
     }
-    expected_.reserve(pool_size);
-    for (const auto &q : pool_)
-        expected_.push_back(
-            static_cast<uint32_t>(index_->query(q).size()));
+    expected.reserve(pool_size);
+    for (const auto &q : pool)
+        expected.push_back(
+            static_cast<uint32_t>(index->query(q).size()));
 }
 
-void
-RadiusTenant::install(api::TtaDevice &device, uint32_t max_batch)
+std::shared_ptr<const RadiusTenantData>
+RadiusTenantData::build(size_t n_points, size_t pool_size, float radius,
+                        uint64_t seed)
 {
-    mem::GlobalMemory &gmem = device.memory();
-    sbvh_ = index_->bvh().serialize(gmem);
-    pointBase_ = cloud_.serialize(gmem);
-    queryBase_ = gmem.alloc(
-        static_cast<uint64_t>(max_batch) * trees::PointLayout::kPointBytes,
-        128);
-    resultBase_ = gmem.alloc(4ull * max_batch, 128);
-    spec_ = std::make_unique<workloads::RtnnSpec>(
-        gmem, sbvh_, pointBase_, queryBase_, resultBase_,
-        index_->radius(), /*offload_leaf=*/true);
-    slot_ = device.bindPipelineSlot(
-        workloads::RtnnWorkload::makePipeline(/*offload_leaf=*/true),
-        spec_.get());
+    return std::make_shared<const RadiusTenantData>(n_points, pool_size,
+                                                    radius, seed);
+}
+
+RadiusTenant::RadiusTenant(std::string name,
+                           std::shared_ptr<const RadiusTenantData> data)
+    : Tenant(std::move(name)), data_(std::move(data))
+{
+    fatal_if(!data_, "RadiusTenant '%s': null data", name_.c_str());
+    poolSize_ = data_->pool.size();
+}
+
+RadiusTenant::RadiusTenant(std::string name, size_t n_points,
+                           size_t pool_size, float radius, uint64_t seed)
+    : RadiusTenant(std::move(name),
+                   RadiusTenantData::build(n_points, pool_size, radius,
+                                           seed))
+{}
+
+void
+RadiusTenant::install(ServiceDevice &dev, uint32_t max_batch)
+{
+    Binding &b = newBinding(dev);
+    mem::GlobalMemory &gmem = dev.memory();
+    trees::SerializedBvh sbvh = data_->index->bvh().serialize(gmem);
+    uint64_t pointBase = data_->cloud.serialize(gmem);
+    for (uint32_t p = 0; p < kStagingParities; ++p) {
+        b.queryBase[p] = gmem.alloc(
+            static_cast<uint64_t>(max_batch) *
+                trees::PointLayout::kPointBytes,
+            128);
+        b.resultBase[p] = gmem.alloc(4ull * max_batch, 128);
+        specs_.push_back(std::make_unique<workloads::RtnnSpec>(
+            gmem, sbvh, pointBase, b.queryBase[p], b.resultBase[p],
+            data_->index->radius(), /*offload_leaf=*/true));
+        b.slot[p] = dev.bindPipelineSlot(
+            workloads::RtnnWorkload::makePipeline(/*offload_leaf=*/true),
+            specs_.back().get());
+    }
 }
 
 void
-RadiusTenant::writeBatch(mem::GlobalMemory &gmem,
+RadiusTenant::writeBatch(ServiceDevice &dev, uint32_t parity,
                          const std::vector<QueryTicket> &batch)
 {
+    mem::GlobalMemory &gmem = dev.memory();
+    const Binding &b = bindings_[dev.index()];
     for (size_t i = 0; i < batch.size(); ++i) {
-        const geom::Vec3 &q = pool_[batch[i].payload];
+        const geom::Vec3 &q = data_->pool[batch[i].payload];
         uint64_t addr =
-            queryBase_ + i * trees::PointLayout::kPointBytes;
+            b.queryBase[parity] + i * trees::PointLayout::kPointBytes;
         gmem.write<float>(addr + 0, q.x);
         gmem.write<float>(addr + 4, q.y);
         gmem.write<float>(addr + 8, q.z);
-        gmem.write<uint32_t>(resultBase_ + 4 * i, 0xdeadbeefu);
+        gmem.write<uint32_t>(b.resultBase[parity] + 4 * i, 0xdeadbeefu);
     }
 }
 
 size_t
-RadiusTenant::verifyBatch(const mem::GlobalMemory &gmem,
+RadiusTenant::verifyBatch(const ServiceDevice &dev, uint32_t parity,
                           const std::vector<QueryTicket> &batch) const
 {
+    const mem::GlobalMemory &gmem = dev.memory();
+    const Binding &b = bindings_[dev.index()];
     size_t bad = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
-        uint32_t got = gmem.read<uint32_t>(resultBase_ + 4 * i);
-        if (got != expected_[batch[i].payload])
+        uint32_t got =
+            gmem.read<uint32_t>(b.resultBase[parity] + 4 * i);
+        if (got != data_->expected[batch[i].payload])
             ++bad;
     }
     return bad;
@@ -156,26 +234,27 @@ RadiusTenant::verifyBatch(const mem::GlobalMemory &gmem,
 
 // --- RayTenant ----------------------------------------------------------
 
-RayTenant::RayTenant(std::string name, size_t pool_size, uint64_t seed,
-                     workloads::SceneKind kind)
-    : Tenant(std::move(name)), kind_(kind)
+RayTenantData::RayTenantData(workloads::SceneKind scene_kind,
+                             size_t pool_size, uint64_t rng_seed)
+    : kind(scene_kind), seed(rng_seed)
 {
-    fatal_if(pool_size == 0, "RayTenant '%s': empty payload pool",
-             name_.c_str());
-    poolSize_ = pool_size;
-    scene_ = std::make_unique<workloads::RtScene>(kind_, seed);
+    fatal_if(pool_size == 0, "RayTenantData: empty payload pool");
+    // A throwaway scene computes the reference hits; tenant instances
+    // rebuild their own scenes from (kind, seed) because serialize()
+    // stores device layout inside the scene object.
+    workloads::RtScene scene(kind, seed);
 
     // Random pinhole-camera rays: jittered image-plane samples, the
     // same camera model the figure workload rasterizes.
-    const auto &g = scene_->geometry();
+    const auto &g = scene.geometry();
     geom::Vec3 forward = geom::normalize(g.cameraTarget - g.cameraPos);
     geom::Vec3 right = geom::normalize(geom::cross(forward, {0, 1, 0}));
     geom::Vec3 up = geom::cross(right, forward);
     float half = std::tan(g.fovDegrees * 3.14159265f / 360.0f);
 
     sim::Rng rng(seed ^ 0x5bd1e995ull);
-    pool_.reserve(pool_size);
-    expected_.reserve(pool_size);
+    pool.reserve(pool_size);
+    expected.reserve(pool_size);
     for (size_t q = 0; q < pool_size; ++q) {
         float sx = rng.uniform(-half, half);
         float sy = rng.uniform(-half, half);
@@ -184,48 +263,96 @@ RayTenant::RayTenant(std::string name, size_t pool_size, uint64_t seed,
         r.ray.dir = geom::normalize(forward + right * sx + up * sy);
         r.ray.tmin = 0.0f;
         r.ray.tmax = 1e30f;
-        pool_.push_back(r);
-        expected_.push_back(scene_->closestHit(r.ray));
+        pool.push_back(r);
+        expected.push_back(scene.closestHit(r.ray));
+    }
+}
+
+std::shared_ptr<const RayTenantData>
+RayTenantData::build(workloads::SceneKind kind, size_t pool_size,
+                     uint64_t seed)
+{
+    return std::make_shared<const RayTenantData>(kind, pool_size, seed);
+}
+
+RayTenant::RayTenant(std::string name,
+                     std::shared_ptr<const RayTenantData> data)
+    : Tenant(std::move(name)), data_(std::move(data))
+{
+    fatal_if(!data_, "RayTenant '%s': null data", name_.c_str());
+    poolSize_ = data_->pool.size();
+    scene_ = std::make_unique<workloads::RtScene>(data_->kind,
+                                                  data_->seed);
+}
+
+RayTenant::RayTenant(std::string name, size_t pool_size, uint64_t seed,
+                     workloads::SceneKind kind)
+    : RayTenant(std::move(name),
+                RayTenantData::build(kind, pool_size, seed))
+{}
+
+void
+RayTenant::install(ServiceDevice &dev, uint32_t max_batch)
+{
+    Binding &b = newBinding(dev);
+    mem::GlobalMemory &gmem = dev.memory();
+    scene_->serialize(gmem);
+    // serialize() overwrote the scene's stored layout with this
+    // device's addresses. Earlier devices' specs still read the scene
+    // lazily at sim time, so every device MUST land the scene at the
+    // same addresses — guaranteed when install order matches across
+    // devices, checked here.
+    if (dev.index() == 0) {
+        sphereBase0_ = scene_->sphereBase();
+        instanceBase0_ = scene_->instanceBase();
+    } else {
+        fatal_if(scene_->sphereBase() != sphereBase0_ ||
+                     scene_->instanceBase() != instanceBase0_,
+                 "tenant '%s': scene layout diverges on device %u "
+                 "(install order must match device 0)",
+                 name_.c_str(), dev.index());
+    }
+    for (uint32_t p = 0; p < kStagingParities; ++p) {
+        b.resultBase[p] = gmem.alloc(8ull * max_batch, 128);
+        staged_.emplace_back(max_batch);
+        specs_.push_back(std::make_unique<workloads::RtSpec>(
+            gmem, *scene_, staged_.back(), b.resultBase[p],
+            workloads::RtOptions{}));
+        b.slot[p] = dev.bindPipelineSlot(
+            workloads::RayTracingWorkload::makePipeline(
+                data_->kind, workloads::RtOptions{}),
+            specs_.back().get());
     }
 }
 
 void
-RayTenant::install(api::TtaDevice &device, uint32_t max_batch)
-{
-    mem::GlobalMemory &gmem = device.memory();
-    scene_->serialize(gmem);
-    resultBase_ = gmem.alloc(8ull * max_batch, 128);
-    staged_.resize(max_batch);
-    spec_ = std::make_unique<workloads::RtSpec>(
-        gmem, *scene_, staged_, resultBase_, workloads::RtOptions{});
-    slot_ = device.bindPipelineSlot(
-        workloads::RayTracingWorkload::makePipeline(kind_,
-                                                    workloads::RtOptions{}),
-        spec_.get());
-}
-
-void
-RayTenant::writeBatch(mem::GlobalMemory &gmem,
+RayTenant::writeBatch(ServiceDevice &dev, uint32_t parity,
                       const std::vector<QueryTicket> &batch)
 {
+    mem::GlobalMemory &gmem = dev.memory();
+    const Binding &b = bindings_[dev.index()];
+    auto &staged = staged_[dev.index() * kStagingParities + parity];
     for (size_t i = 0; i < batch.size(); ++i) {
-        staged_[i] = pool_[batch[i].payload];
-        gmem.write<float>(resultBase_ + 8 * i, -1.0f);
-        gmem.write<uint32_t>(resultBase_ + 8 * i + 4, UINT32_MAX);
+        staged[i] = data_->pool[batch[i].payload];
+        gmem.write<float>(b.resultBase[parity] + 8 * i, -1.0f);
+        gmem.write<uint32_t>(b.resultBase[parity] + 8 * i + 4,
+                             UINT32_MAX);
     }
 }
 
 size_t
-RayTenant::verifyBatch(const mem::GlobalMemory &gmem,
+RayTenant::verifyBatch(const ServiceDevice &dev, uint32_t parity,
                        const std::vector<QueryTicket> &batch) const
 {
     // Same tolerance scheme as RayTracingWorkload: traversal order may
     // tie on equal-t hits, so compare t within a relative epsilon.
+    const mem::GlobalMemory &gmem = dev.memory();
+    const Binding &b = bindings_[dev.index()];
     size_t bad = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
-        float t = gmem.read<float>(resultBase_ + 8 * i);
+        float t = gmem.read<float>(b.resultBase[parity] + 8 * i);
         bool hit = t >= 0.0f;
-        const workloads::RtHit &ref = expected_[batch[i].payload];
+        const workloads::RtHit &ref = data_->expected[batch[i].payload];
         if (hit != ref.hit)
             ++bad;
         else if (hit &&

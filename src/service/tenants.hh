@@ -1,29 +1,42 @@
 /**
  * @file
- * Service tenants: one long-lived tree + pipeline slot per tenant.
+ * Service tenants: one long-lived tree, installed on every device.
  *
- * A tenant owns a host-side index (B-Tree, radius-search BVH, or a
- * ray-tracing scene), serializes it once into the shared device at
- * install time, and binds its pipeline + spec to a device slot. Per
- * batch, the service asks the tenant to stage payloads into its
- * pre-allocated query/result staging area and, after the launch, to
- * verify the device results against the host reference — so the
- * serving loop is continuously self-checking.
+ * A tenant owns (or shares) a host-side index — B-Tree, radius-search
+ * BVH, or a ray-tracing scene — and installs it on each device of a
+ * DeviceGroup: serialize the tree into that device's memory, allocate
+ * query/result staging buffers, and bind pipeline slots. Per batch,
+ * the service asks the tenant to stage payloads into one device's
+ * staging area and, after the launch, to verify the device results
+ * against the host reference — so the serving loop is continuously
+ * self-checking on every device.
  *
- * Payloads come from a pre-generated verified pool: arrival k of a
- * tenant carries pool index k % poolSize(). This keeps the query mix
- * deterministic and lets millions of arrivals reuse host references
- * computed once at startup.
+ * Staging is double-buffered: install() binds kStagingParities (two)
+ * independent slot/buffer sets per device, and each writeBatch /
+ * launch / verifyBatch round names the parity it uses. Launch k+1 can
+ * therefore stage and run while launch k (the other parity) is still
+ * being verified. Each (device, parity) pair has its own pipeline
+ * slot, spec, and buffers; the tenant touches nothing else per batch,
+ * which is what makes concurrent per-device workers race-free.
+ *
+ * The expensive host state — tree build, payload pool, reference
+ * results — lives in immutable *TenantData structs shared by any
+ * number of tenant instances (and, via bench::WorkloadCache, across
+ * repeated service runs). Payloads come from that pre-generated
+ * verified pool: arrival k of a tenant carries pool index
+ * k % poolSize(). This keeps the query mix deterministic and lets
+ * millions of arrivals reuse host references computed once.
  */
 
 #ifndef TTA_SERVICE_TENANTS_HH
 #define TTA_SERVICE_TENANTS_HH
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "api/tta_api.hh"
+#include "service/device_group.hh"
 #include "service/queue.hh"
 #include "trees/btree.hh"
 #include "trees/pointcloud.hh"
@@ -40,25 +53,37 @@ class Tenant
     virtual ~Tenant() = default;
 
     const std::string &name() const { return name_; }
-    uint32_t slot() const { return slot_; }
     uint32_t poolSize() const
     {
         return static_cast<uint32_t>(poolSize_);
     }
 
-    /** Serialize the tree, allocate staging buffers for up to
-     *  @p max_batch queries, and bind the pipeline slot. Once. */
-    virtual void install(api::TtaDevice &device, uint32_t max_batch) = 0;
+    /** Pipeline slot bound for (device, parity). */
+    uint32_t slot(uint32_t device, uint32_t parity) const
+    {
+        return bindings_[device].slot[parity];
+    }
 
-    /** Stage the batch's payloads into device memory (lane i of the
-     *  launch reads staging slot i). */
-    virtual void writeBatch(mem::GlobalMemory &gmem,
+    /**
+     * Serialize the tree into @p dev, allocate dual-parity staging
+     * buffers for up to @p max_batch queries each, and bind one
+     * pipeline slot per parity. Call once per device, in device-index
+     * order, with the same order of tenants on every device (so the
+     * per-device allocation sequences — and thus addresses — match).
+     */
+    virtual void install(ServiceDevice &dev, uint32_t max_batch) = 0;
+
+    /** Stage the batch's payloads into @p dev's parity-@p parity
+     *  buffers (lane i of the launch reads staging slot i). */
+    virtual void writeBatch(ServiceDevice &dev, uint32_t parity,
                             const std::vector<QueryTicket> &batch) = 0;
 
-    /** Check device results against the host reference.
-     *  @return mismatch count (0 = pass). */
+    /** Check device results in @p dev's parity-@p parity buffers
+     *  against the host reference. @return mismatch count (0 = pass).
+     *  Runs on the device's worker thread; touches only that
+     *  (device, parity)'s buffers. */
     virtual size_t
-    verifyBatch(const mem::GlobalMemory &gmem,
+    verifyBatch(const ServiceDevice &dev, uint32_t parity,
                 const std::vector<QueryTicket> &batch) const = 0;
 
     /** Mismatches tolerated per batch (ray traversal order can tie on
@@ -66,71 +91,130 @@ class Tenant
     virtual size_t verifyTolerance(size_t) const { return 0; }
 
   protected:
+    struct Binding
+    {
+        uint32_t slot[kStagingParities] = {0, 0};
+        uint64_t queryBase[kStagingParities] = {0, 0};
+        uint64_t resultBase[kStagingParities] = {0, 0};
+    };
+
+    /** Append the binding record for @p dev (enforces index order). */
+    Binding &newBinding(const ServiceDevice &dev);
+
     std::string name_;
-    uint32_t slot_ = 0;
     size_t poolSize_ = 0;
+    std::vector<Binding> bindings_; //!< indexed by device
+};
+
+/** Shared immutable state of a B-Tree tenant: tree + verified pool. */
+struct BTreeTenantData
+{
+    BTreeTenantData(size_t n_keys, size_t pool_size, uint64_t seed,
+                    double hit_rate);
+
+    static std::shared_ptr<const BTreeTenantData>
+    build(size_t n_keys, size_t pool_size, uint64_t seed,
+          double hit_rate = 0.5);
+
+    trees::BTree tree;
+    std::vector<float> pool;
+    std::vector<uint8_t> expected;
 };
 
 /** B-Tree point lookups: float key -> found bit. */
 class BTreeTenant : public Tenant
 {
   public:
+    BTreeTenant(std::string name,
+                std::shared_ptr<const BTreeTenantData> data);
     BTreeTenant(std::string name, size_t n_keys, size_t pool_size,
                 uint64_t seed, double hit_rate = 0.5);
 
-    void install(api::TtaDevice &device, uint32_t max_batch) override;
-    void writeBatch(mem::GlobalMemory &gmem,
+    void install(ServiceDevice &dev, uint32_t max_batch) override;
+    void writeBatch(ServiceDevice &dev, uint32_t parity,
                     const std::vector<QueryTicket> &batch) override;
-    size_t verifyBatch(const mem::GlobalMemory &gmem,
+    size_t verifyBatch(const ServiceDevice &dev, uint32_t parity,
                        const std::vector<QueryTicket> &batch)
         const override;
 
   private:
-    std::unique_ptr<trees::BTree> tree_;
-    std::vector<float> pool_;
-    std::vector<uint8_t> expected_;
-    uint64_t queryBase_ = 0;
-    uint64_t resultBase_ = 0;
-    std::unique_ptr<workloads::BTreeSpec> spec_;
+    std::shared_ptr<const BTreeTenantData> data_;
+    //! one spec per (device, parity): index device * kStagingParities
+    //! + parity
+    std::vector<std::unique_ptr<workloads::BTreeSpec>> specs_;
+};
+
+/** Shared immutable state of a radius tenant: cloud, BVH, pool. */
+struct RadiusTenantData
+{
+    RadiusTenantData(size_t n_points, size_t pool_size, float radius,
+                     uint64_t seed);
+
+    static std::shared_ptr<const RadiusTenantData>
+    build(size_t n_points, size_t pool_size, float radius,
+          uint64_t seed);
+
+    trees::PointCloud cloud;
+    //! built in the ctor body, after `cloud` has its final address
+    //! (the index keeps a pointer to its cloud)
+    std::unique_ptr<trees::RadiusSearchIndex> index;
+    std::vector<geom::Vec3> pool;
+    std::vector<uint32_t> expected;
 };
 
 /** RTNN-style fixed-radius neighbor counting over a point cloud. */
 class RadiusTenant : public Tenant
 {
   public:
+    RadiusTenant(std::string name,
+                 std::shared_ptr<const RadiusTenantData> data);
     RadiusTenant(std::string name, size_t n_points, size_t pool_size,
                  float radius, uint64_t seed);
 
-    void install(api::TtaDevice &device, uint32_t max_batch) override;
-    void writeBatch(mem::GlobalMemory &gmem,
+    void install(ServiceDevice &dev, uint32_t max_batch) override;
+    void writeBatch(ServiceDevice &dev, uint32_t parity,
                     const std::vector<QueryTicket> &batch) override;
-    size_t verifyBatch(const mem::GlobalMemory &gmem,
+    size_t verifyBatch(const ServiceDevice &dev, uint32_t parity,
                        const std::vector<QueryTicket> &batch)
         const override;
 
   private:
-    trees::PointCloud cloud_;
-    std::unique_ptr<trees::RadiusSearchIndex> index_;
-    std::vector<geom::Vec3> pool_;
-    std::vector<uint32_t> expected_;
-    trees::SerializedBvh sbvh_;
-    uint64_t pointBase_ = 0;
-    uint64_t queryBase_ = 0;
-    uint64_t resultBase_ = 0;
-    std::unique_ptr<workloads::RtnnSpec> spec_;
+    std::shared_ptr<const RadiusTenantData> data_;
+    std::vector<std::unique_ptr<workloads::RtnnSpec>> specs_;
+};
+
+/** Shared immutable state of a ray tenant: scene recipe + verified
+ *  pool. The RtScene itself is NOT shared — serialize() stores the
+ *  device layout in the scene object, so each tenant instance rebuilds
+ *  its own scene from (kind, seed); only the expensive reference hits
+ *  are computed once. */
+struct RayTenantData
+{
+    RayTenantData(workloads::SceneKind kind, size_t pool_size,
+                  uint64_t seed);
+
+    static std::shared_ptr<const RayTenantData>
+    build(workloads::SceneKind kind, size_t pool_size, uint64_t seed);
+
+    workloads::SceneKind kind;
+    uint64_t seed;
+    std::vector<workloads::RtRay> pool;
+    std::vector<workloads::RtHit> expected;
 };
 
 /** Closest-hit rays into a procedural scene. */
 class RayTenant : public Tenant
 {
   public:
+    RayTenant(std::string name,
+              std::shared_ptr<const RayTenantData> data);
     RayTenant(std::string name, size_t pool_size, uint64_t seed,
               workloads::SceneKind kind = workloads::SceneKind::CornellPt);
 
-    void install(api::TtaDevice &device, uint32_t max_batch) override;
-    void writeBatch(mem::GlobalMemory &gmem,
+    void install(ServiceDevice &dev, uint32_t max_batch) override;
+    void writeBatch(ServiceDevice &dev, uint32_t parity,
                     const std::vector<QueryTicket> &batch) override;
-    size_t verifyBatch(const mem::GlobalMemory &gmem,
+    size_t verifyBatch(const ServiceDevice &dev, uint32_t parity,
                        const std::vector<QueryTicket> &batch)
         const override;
     size_t verifyTolerance(size_t batch_size) const override
@@ -139,13 +223,16 @@ class RayTenant : public Tenant
     }
 
   private:
-    workloads::SceneKind kind_;
+    std::shared_ptr<const RayTenantData> data_;
     std::unique_ptr<workloads::RtScene> scene_;
-    std::vector<workloads::RtRay> pool_;
-    std::vector<workloads::RtHit> expected_;
-    std::vector<workloads::RtRay> staged_; //!< spec reads lanes from here
-    uint64_t resultBase_ = 0;
-    std::unique_ptr<workloads::RtSpec> spec_;
+    //! spec reads lanes from here; one buffer per (device, parity).
+    //! deque: specs keep pointers, so elements must never move.
+    std::deque<std::vector<workloads::RtRay>> staged_;
+    std::vector<std::unique_ptr<workloads::RtSpec>> specs_;
+    //! device-0 layout fingerprint; later devices must reproduce it
+    //! (serialize() overwrites the scene's stored layout each time)
+    uint64_t sphereBase0_ = 0;
+    uint64_t instanceBase0_ = 0;
 };
 
 } // namespace tta::service

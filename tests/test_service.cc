@@ -11,11 +11,15 @@
  *  - a golden-stat snapshot of that config (tests/golden/
  *    service_small.json, TTA_UPDATE_GOLDEN=1 regenerates),
  *  - admission behavior against hand-written traces: full-batch
- *    dispatch, max-wait flush, cancels, drain, and the no-starvation
- *    bound for a sparse tenant behind a saturating one,
+ *    dispatch, max-wait flush, cancels, drain, the no-starvation
+ *    bound for a sparse tenant behind a saturating one, and the
+ *    tighter latency-sensitive SLO-class deadline,
  *  - the bench workload cache (bench_common.hh): serving a deep copy
- *    of a built workload is bit-identical to building it fresh, which
- *    is what lets the figure benches reuse one host tree per row.
+ *    of a built workload is bit-identical to building it fresh (which
+ *    is what lets the figure benches reuse one host tree per row),
+ *    hit/lookup counters, and getShared prototype sharing.
+ *
+ * Multi-device coverage lives in tests/test_service_multidev.cc.
  */
 
 #include <gtest/gtest.h>
@@ -416,6 +420,51 @@ TEST(ServiceTrace, SparseTenantDoesNotStarve)
         << "sparse tenant waited past its SLO bound";
 }
 
+TEST(ServiceTrace, LatencyClassFlushesOnTighterDeadline)
+{
+    // Two lanes that never fill: the latency-sensitive one must flush
+    // at its own (much tighter) max-wait, the throughput one at the
+    // default — the class deadline, not lane fill, sets the pace.
+    ServicePolicy policy;
+    policy.maxBatch = 64;
+    policy.maxWaitCycles = 50000;
+    policy.lsMaxWaitCycles = 500;
+
+    sim::StatRegistry stats;
+    TraversalService svc(serviceConfig(), stats, policy);
+    svc.addTenant(std::make_unique<BTreeTenant>("fast", 200, 64, 11),
+                  SloClass::LatencySensitive);
+    svc.addTenant(std::make_unique<BTreeTenant>("bulk", 200, 64, 12));
+
+    std::vector<Arrival> trace = {
+        {10, 0, 0, 0},      {10, 1, 0, 0},      {20, 0, 1, 0},
+        {20, 1, 1, 0},      {1000000, 0, 2, 0}, {1000000, 1, 2, 0},
+    };
+    TraceSource src(trace);
+    ServiceReport rep = svc.run(src);
+
+    ASSERT_EQ(rep.completed, 6u);
+    const TenantReport &fast = rep.tenants[0];
+    const TenantReport &bulk = rep.tenants[1];
+    EXPECT_EQ(fast.slo, SloClass::LatencySensitive);
+    EXPECT_EQ(bulk.slo, SloClass::Throughput);
+    // The latency pair flushes at arrival + lsMaxWait exactly (the
+    // device is idle when the deadline fires).
+    EXPECT_LE(fast.queueWait.max(), policy.lsMaxWaitCycles);
+    // The throughput pair keeps the long deadline: it must wait well
+    // past the latency class's bound, but never past its own (plus one
+    // in-flight batch).
+    EXPECT_GT(bulk.queueWait.max(), policy.lsMaxWaitCycles);
+    EXPECT_LE(bulk.queueWait.max(),
+              policy.maxWaitCycles + maxBatchDuration(rep));
+    // Per-class stats landed in the registry.
+    EXPECT_EQ(stats.counter("service.class.latency.completed").value(),
+              3u);
+    EXPECT_EQ(
+        stats.counter("service.class.throughput.completed").value(),
+        3u);
+}
+
 // ---------------------------------------------------------------------
 // Workload cache: a served deep copy == a fresh build, bit for bit.
 // ---------------------------------------------------------------------
@@ -463,6 +512,45 @@ TEST(WorkloadCacheIdentity, Rtnn)
     workloads::RunMetrics run = copy.runAccelerated(serviceConfig(), stats, true);
     EXPECT_EQ(run.cycles, freshRun.cycles);
     EXPECT_EQ(stats.dumpString(), freshStats.dumpString());
+}
+
+TEST(WorkloadCacheIdentity, HitCounterAndSharedPrototypes)
+{
+    bench::WorkloadCache cache(true);
+    auto build = [] {
+        return workloads::BTreeWorkload(trees::BTreeKind::BTree, 300,
+                                        32, 31);
+    };
+    EXPECT_EQ(cache.lookups(), 0u);
+    cache.get<workloads::BTreeWorkload>("a", build);
+    EXPECT_EQ(cache.lookups(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    cache.get<workloads::BTreeWorkload>("a", build);
+    EXPECT_EQ(cache.lookups(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    // getShared hands every caller the same immutable prototype — the
+    // path service tenants use to share one tree across tenants and
+    // devices without a deep copy.
+    int builds = 0;
+    auto buildShared = [&builds] {
+        ++builds;
+        return BTreeTenantData::build(200, 64, 32);
+    };
+    auto p1 = cache.getShared<BTreeTenantData>("svc", buildShared);
+    auto p2 = cache.getShared<BTreeTenantData>("svc", buildShared);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(p1.get(), p2.get());
+    EXPECT_EQ(cache.lookups(), 4u);
+    EXPECT_EQ(cache.hits(), 2u);
+
+    // A disabled cache counts lookups but never hits.
+    bench::WorkloadCache off(false);
+    off.getShared<BTreeTenantData>("svc", buildShared);
+    off.getShared<BTreeTenantData>("svc", buildShared);
+    EXPECT_EQ(builds, 3);
+    EXPECT_EQ(off.lookups(), 2u);
+    EXPECT_EQ(off.hits(), 0u);
 }
 
 TEST(WorkloadCacheIdentity, DisabledCacheRebuilds)

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Multi-device determinism tests for the traversal service
+ * (service/service.hh on a service/device_group.hh group):
+ *
+ *  - the full determinism matrix: devices {1, 2, 4} x simulation
+ *    kernels {event-driven, threaded} x staging {pipelined, serial}
+ *    must agree bit-for-bit on the global batch log, every per-device
+ *    batch log, every latency histogram and the whole stat registry,
+ *  - histogram merges are exact: the per-device latency histograms
+ *    merge to exactly the service-wide histogram, and so do the
+ *    per-SLO-class histograms,
+ *  - per-device batch logs partition the global (retirement-order) log:
+ *    filtering the global log by dev=d reproduces device d's own log,
+ *  - the dispatcher balances: with saturating traffic every device in
+ *    the group completes batches,
+ *  - a golden-stat snapshot of the two-device config
+ *    (tests/golden/service_multidev.json, TTA_UPDATE_GOLDEN=1
+ *    regenerates).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_lite.hh"
+#include "service/service.hh"
+#include "sim/ticked.hh"
+
+#ifndef TTA_GOLDEN_DIR
+#error "TTA_GOLDEN_DIR must point at tests/golden"
+#endif
+
+using namespace ::tta::service;
+namespace sim = ::tta::sim;
+namespace testjson = ::tta::testjson;
+
+namespace {
+
+sim::Config
+serviceConfig()
+{
+    sim::Config cfg;
+    cfg.accelMode = sim::AccelMode::Tta;
+    return cfg;
+}
+
+constexpr uint64_t kSeed = 17;
+
+/** Three tenants (one latency-sensitive) on @p num_devices devices,
+ *  arrivals fast enough to keep several devices busy at once. */
+ServiceReport
+runMultidevService(const sim::Config &cfg, sim::StatRegistry &stats,
+                   uint32_t num_devices, bool pipelined)
+{
+    ServicePolicy policy;
+    policy.maxBatch = 48;
+    policy.maxWaitCycles = 20000;
+    policy.lsMaxWaitCycles = 4000;
+    policy.numDevices = num_devices;
+    policy.pipelinedStaging = pipelined;
+    TraversalService svc(cfg, stats, policy);
+    svc.addTenant(std::make_unique<BTreeTenant>("btree", 400, 128,
+                                                kSeed),
+                  SloClass::LatencySensitive);
+    svc.addTenant(std::make_unique<RadiusTenant>("radius", 512, 32,
+                                                 1.0f, kSeed));
+    svc.addTenant(std::make_unique<BTreeTenant>("btree2", 300, 96,
+                                                kSeed + 1));
+
+    TrafficConfig tc;
+    tc.process = ArrivalProcess::Poisson;
+    tc.totalQueries = 1400;
+    tc.meanGapCycles = 12.0; // saturates one device, loads four
+    tc.tenantWeights = {0.55, 0.25, 0.20};
+    TrafficGen gen(tc, svc.numTenants(), kSeed ^ 0xfeedfaceull);
+    return svc.run(gen);
+}
+
+/** Merge all per-device histograms; must equal the total exactly. */
+bool
+deviceMergeIsExact(const ServiceReport &rep, std::string *why)
+{
+    LatencyHistogram merged;
+    for (const auto &dr : rep.devices)
+        merged.merge(dr.latency);
+    if (merged.dumpString() != rep.latency.dumpString()) {
+        *why = "device merge:\n" + merged.dumpString() + "vs total:\n" +
+               rep.latency.dumpString();
+        return false;
+    }
+    LatencyHistogram classes;
+    for (const auto &cr : rep.classes)
+        classes.merge(cr.latency);
+    if (classes.dumpString() != rep.latency.dumpString()) {
+        *why = "class merge:\n" + classes.dumpString() + "vs total:\n" +
+               rep.latency.dumpString();
+        return false;
+    }
+    return true;
+}
+
+/** Bit-identity oracle: global + per-device logs, every histogram. */
+std::string
+oracleString(const ServiceReport &rep)
+{
+    std::string s = rep.batchLog;
+    s += "total:" + rep.latency.dumpString();
+    for (const auto &tr : rep.tenants) {
+        s += tr.name + ":" + tr.latency.dumpString();
+        s += tr.name + ".wait:" + tr.queueWait.dumpString();
+    }
+    for (size_t d = 0; d < rep.devices.size(); ++d) {
+        s += "dev" + std::to_string(d) + ":" + rep.devices[d].batchLog;
+        s += "dev" + std::to_string(d) + ".lat:" +
+             rep.devices[d].latency.dumpString();
+    }
+    for (uint32_t c = 0; c < kNumSloClasses; ++c) {
+        s += std::string(sloClassName(static_cast<SloClass>(c))) + ":" +
+             rep.classes[c].latency.dumpString();
+    }
+    return s;
+}
+
+/** Drop the "b<k> " prefix of one batch-log line. */
+std::string
+stripBatchNumber(const std::string &line)
+{
+    size_t sp = line.find(' ');
+    return sp == std::string::npos ? line : line.substr(sp + 1);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The determinism matrix.
+// ---------------------------------------------------------------------
+
+TEST(ServiceMultiDevice, DeterminismMatrix)
+{
+    struct Variant
+    {
+        const char *name;
+        sim::Simulator::Kernel kernel;
+        unsigned simThreads;
+        bool pipelined;
+    };
+    const Variant variants[] = {
+        {"event/serial", sim::Simulator::Kernel::EventDriven, 1,
+         false},
+        {"threaded2/pipelined", sim::Simulator::Kernel::Threaded, 2,
+         true},
+        {"threaded2/serial", sim::Simulator::Kernel::Threaded, 2,
+         false},
+    };
+
+    for (uint32_t devices : {1u, 2u, 4u}) {
+        // Reference: event kernel, pipelined staging — run twice to
+        // also pin rerun identity.
+        sim::StatRegistry refStats;
+        ServiceReport ref = runMultidevService(serviceConfig(),
+                                               refStats, devices, true);
+        ASSERT_EQ(ref.completed, 1400u) << devices << " devices";
+        ASSERT_EQ(ref.devices.size(), devices);
+        std::string refOracle = oracleString(ref);
+        std::string refDump = refStats.dumpString();
+        std::string why;
+        EXPECT_TRUE(deviceMergeIsExact(ref, &why)) << why;
+
+        {
+            sim::StatRegistry stats;
+            ServiceReport rerun = runMultidevService(
+                serviceConfig(), stats, devices, true);
+            ASSERT_EQ(oracleString(rerun), refOracle)
+                << devices << " devices: rerun diverged";
+            ASSERT_EQ(stats.dumpString(), refDump)
+                << devices << " devices: rerun registry diverged";
+        }
+
+        for (const Variant &v : variants) {
+            sim::Simulator::setDefaultKernel(v.kernel);
+            sim::Simulator::setDefaultSimThreads(v.simThreads);
+            sim::StatRegistry stats;
+            ServiceReport rep = runMultidevService(
+                serviceConfig(), stats, devices, v.pipelined);
+            sim::Simulator::resetDefaultKernel();
+            sim::Simulator::resetDefaultSimThreads();
+
+            EXPECT_EQ(oracleString(rep), refOracle)
+                << devices << " devices, " << v.name
+                << ": batch logs / histograms diverged";
+            EXPECT_EQ(stats.dumpString(), refDump)
+                << devices << " devices, " << v.name
+                << ": stat registry diverged";
+            EXPECT_EQ(rep.makespan, ref.makespan)
+                << devices << " devices, " << v.name;
+            EXPECT_TRUE(deviceMergeIsExact(rep, &why)) << why;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structure of the multi-device report.
+// ---------------------------------------------------------------------
+
+TEST(ServiceMultiDevice, PerDeviceLogsPartitionGlobalLog)
+{
+    sim::StatRegistry stats;
+    ServiceReport rep = runMultidevService(serviceConfig(), stats, 4,
+                                           true);
+    ASSERT_EQ(rep.devices.size(), 4u);
+
+    // Split each device's own log into numbered lines.
+    std::vector<std::vector<std::string>> perDev(rep.devices.size());
+    for (size_t d = 0; d < rep.devices.size(); ++d) {
+        std::istringstream is(rep.devices[d].batchLog);
+        std::string line;
+        while (std::getline(is, line))
+            perDev[d].push_back(stripBatchNumber(line));
+    }
+
+    // Filter the global log by its dev= suffix: the subsequence for
+    // device d must reproduce device d's log, in order.
+    std::vector<size_t> next(rep.devices.size(), 0);
+    std::istringstream is(rep.batchLog);
+    std::string line;
+    uint64_t total = 0;
+    while (std::getline(is, line)) {
+        size_t tag = line.rfind(" dev=");
+        ASSERT_NE(tag, std::string::npos) << line;
+        unsigned dev = 0;
+        ASSERT_EQ(std::sscanf(line.c_str() + tag, " dev=%u", &dev), 1)
+            << line;
+        ASSERT_LT(dev, perDev.size());
+        std::string body = stripBatchNumber(line.substr(0, tag));
+        ASSERT_LT(next[dev], perDev[dev].size())
+            << "device " << dev << " log too short";
+        EXPECT_EQ(body, perDev[dev][next[dev]++]) << "device " << dev;
+        ++total;
+    }
+    for (size_t d = 0; d < perDev.size(); ++d) {
+        EXPECT_EQ(next[d], perDev[d].size())
+            << "device " << d << " log has extra lines";
+        // Saturating traffic: the dispatcher keeps every device busy.
+        EXPECT_GT(rep.devices[d].batches, 0u)
+            << "device " << d << " never dispatched";
+        EXPECT_EQ(rep.devices[d].batches, perDev[d].size());
+    }
+    EXPECT_EQ(total, rep.batches);
+
+    // Completions partition too.
+    uint64_t completed = 0;
+    sim::Cycle busy = 0;
+    for (const auto &dr : rep.devices) {
+        completed += dr.completed;
+        busy += dr.busy;
+    }
+    EXPECT_EQ(completed, rep.completed);
+    EXPECT_EQ(busy, rep.deviceBusy);
+
+    // SLO classes partition completions as well (both are populated).
+    uint64_t classCompleted = 0;
+    for (const auto &cr : rep.classes) {
+        EXPECT_GT(cr.completed, 0u);
+        classCompleted += cr.completed;
+    }
+    EXPECT_EQ(classCompleted, rep.completed);
+}
+
+TEST(ServiceMultiDevice, MoreDevicesFinishSooner)
+{
+    // Same saturating trace on 1 vs 4 devices: the group must shorten
+    // the virtual-clock makespan substantially (this is the simulated
+    // speedup the overload bench quantifies; here it gates a
+    // conservative 1.5x so the test stays robust to timing-model
+    // changes).
+    sim::StatRegistry s1, s4;
+    ServiceReport r1 = runMultidevService(serviceConfig(), s1, 1, true);
+    ServiceReport r4 = runMultidevService(serviceConfig(), s4, 4, true);
+    ASSERT_EQ(r1.completed, r4.completed);
+    EXPECT_GT(r1.makespan, r4.makespan);
+    EXPECT_GT(static_cast<double>(r1.makespan),
+              1.5 * static_cast<double>(r4.makespan))
+        << "4 devices did not shorten the makespan";
+}
+
+// ---------------------------------------------------------------------
+// Golden snapshot of the two-device config.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(TTA_GOLDEN_DIR) + "/service_multidev.json";
+}
+
+std::string
+snapshotJson(const ServiceReport &rep, const sim::StatRegistry &stats)
+{
+    std::ostringstream os;
+    os << "{\n  \"name\": \"service_multidev\",\n";
+    os << "  \"cycles\": " << rep.makespan << ",\n";
+    os << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[key, counter] : stats.counters()) {
+        os << (first ? "\n" : ",\n") << "    \"" << key
+           << "\": " << counter.value();
+        first = false;
+    }
+    os << "\n  },\n  \"scalars\": {";
+    first = true;
+    for (const auto &[key, scalar] : stats.scalars()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", scalar.value());
+        os << (first ? "\n" : ",\n") << "    \"" << key << "\": " << buf;
+        first = false;
+    }
+    os << "\n  }\n}\n";
+    return os.str();
+}
+
+void
+diffSection(const char *section, const testjson::Value &golden,
+            const testjson::Value &current)
+{
+    const auto &want = golden.at(section).asObject();
+    const auto &got = current.at(section).asObject();
+    for (const auto &[key, value] : want) {
+        auto it = got.find(key);
+        if (it == got.end()) {
+            ADD_FAILURE() << section << " stat '" << key
+                          << "' disappeared (golden value "
+                          << value.asNumber() << ")";
+            continue;
+        }
+        EXPECT_EQ(it->second.asNumber(), value.asNumber())
+            << section << " stat '" << key << "' drifted";
+    }
+    for (const auto &[key, value] : got) {
+        EXPECT_TRUE(want.count(key))
+            << "new " << section << " stat '" << key << "' (value "
+            << value.asNumber()
+            << ") not in golden snapshot; regenerate with "
+               "TTA_UPDATE_GOLDEN=1";
+    }
+}
+
+} // namespace
+
+TEST(ServiceMultiDeviceGolden, MatchesSnapshot)
+{
+    sim::StatRegistry stats;
+    ServiceReport rep = runMultidevService(serviceConfig(), stats, 2,
+                                           true);
+    std::string current = snapshotJson(rep, stats);
+
+    if (std::getenv("TTA_UPDATE_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << current;
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden snapshot " << goldenPath()
+                    << "; generate with TTA_UPDATE_GOLDEN=1";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    testjson::Value golden = testjson::parse(ss.str());
+    testjson::Value now = testjson::parse(current);
+    EXPECT_EQ(static_cast<uint64_t>(golden.at("cycles").asNumber()),
+              rep.makespan)
+        << "service makespan drifted";
+    diffSection("counters", golden, now);
+    diffSection("scalars", golden, now);
+}

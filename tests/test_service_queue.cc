@@ -10,8 +10,16 @@
  *  - batches preserve submission order within a tenant,
  *  - with an always-free device, no dispatch happens after the front
  *    query's deadline (rule 1 bounds starvation),
- *  - every selectTenant decision matches the shadow policy (EDF with
- *    lowest-id ties, round-robin full lanes, round-robin drain).
+ *  - every selectTenant decision matches the shadow policy (strict
+ *    SLO-class priority; within a class EDF with lowest-id ties, then
+ *    round-robin full lanes / round-robin drain on per-class cursors),
+ *  - a throughput lane never launches while any latency-sensitive lane
+ *    has dispatchable work (strict class priority).
+ *
+ * Two thirds of the seeds mix latency-sensitive and throughput lanes
+ * (with a tighter latency-class deadline); the rest keep every lane in
+ * the throughput class, pinning the single-class reduction to the
+ * original classless policy.
  */
 
 #include <gtest/gtest.h>
@@ -35,7 +43,10 @@ namespace {
 class ShadowQueue
 {
   public:
-    explicit ShadowQueue(uint32_t n) : lanes_(n) {}
+    explicit ShadowQueue(std::vector<SloClass> classes)
+        : classes_(std::move(classes)), lanes_(classes_.size())
+    {
+    }
 
     void
     enqueue(const QueryTicket &t)
@@ -92,24 +103,35 @@ class ShadowQueue
     int
     selectTenant(Cycle now, uint32_t max_batch, bool drain) const
     {
-        // Rule 1: earliest expired deadline, ties to the lowest id.
-        int best = -1;
-        Cycle best_dl = kNoCycle;
-        for (uint32_t t = 0; t < lanes_.size(); ++t) {
-            Cycle dl = frontDeadline(t);
-            if (dl <= now && dl < best_dl) {
-                best = static_cast<int>(t);
-                best_dl = dl;
+        // Strict class priority: the first class (by enum order) with
+        // any dispatchable work wins outright.
+        for (uint32_t c = 0; c < kNumSloClasses; ++c) {
+            SloClass cls = static_cast<SloClass>(c);
+            // Rule 1: earliest expired deadline in the class, ties to
+            // the lowest id.
+            int best = -1;
+            Cycle best_dl = kNoCycle;
+            for (uint32_t t = 0; t < lanes_.size(); ++t) {
+                if (classes_[t] != cls)
+                    continue;
+                Cycle dl = frontDeadline(t);
+                if (dl <= now && dl < best_dl) {
+                    best = static_cast<int>(t);
+                    best_dl = dl;
+                }
             }
-        }
-        if (best >= 0)
-            return best;
-        // Rules 2+3 share one round-robin scan: a lane launches when
-        // it is full, or merely non-empty once the source is drained.
-        for (uint32_t i = 0; i < lanes_.size(); ++i) {
-            uint32_t t = (cursor_ + i) % lanes_.size();
-            if (live(t) >= max_batch || (drain && live(t) > 0))
-                return static_cast<int>(t);
+            if (best >= 0)
+                return best;
+            // Rules 2+3 share one round-robin scan on the class's own
+            // cursor: a lane launches when it is full, or merely
+            // non-empty once the source is drained.
+            for (uint32_t i = 0; i < lanes_.size(); ++i) {
+                uint32_t t = (cursor_[c] + i) % lanes_.size();
+                if (classes_[t] != cls)
+                    continue;
+                if (live(t) >= max_batch || (drain && live(t) > 0))
+                    return static_cast<int>(t);
+            }
         }
         return -1;
     }
@@ -128,7 +150,8 @@ class ShadowQueue
         // Trim canceled leftovers so frontDeadline stays O(live).
         while (!lane.empty() && lane.front().canceled)
             lane.pop_front();
-        cursor_ = (tenant + 1) % static_cast<uint32_t>(lanes_.size());
+        cursor_[static_cast<uint32_t>(classes_[tenant])] =
+            (tenant + 1) % static_cast<uint32_t>(lanes_.size());
         return seqs;
     }
 
@@ -139,8 +162,9 @@ class ShadowQueue
         Cycle deadline;
         bool canceled;
     };
+    std::vector<SloClass> classes_;
     std::vector<std::deque<Entry>> lanes_;
-    uint32_t cursor_ = 0;
+    uint32_t cursor_[kNumSloClasses] = {0, 0};
 };
 
 struct FuzzResult
@@ -163,6 +187,22 @@ fuzzOne(uint64_t seed, FuzzResult &res)
     const uint64_t numArrivals = 50 + rng.nextBounded(400);
     const bool instantService = (seed % 2) == 0;
 
+    // 2/3 of seeds mix SLO classes; the rest stay all-throughput and
+    // pin the single-class reduction to the classless policy.
+    const bool mixedClasses = seed % 3 != 0;
+    std::vector<SloClass> classes(numTenants, SloClass::Throughput);
+    if (mixedClasses) {
+        for (auto &c : classes)
+            c = rng.nextBounded(2) ? SloClass::LatencySensitive
+                                   : SloClass::Throughput;
+    }
+    // Latency-sensitive lanes get a tighter deadline, like the service.
+    const Cycle lsWait = 1 + maxWait / 5;
+    auto waitOf = [&](uint32_t tenant) {
+        return classes[tenant] == SloClass::LatencySensitive ? lsWait
+                                                             : maxWait;
+    };
+
     // Pre-generate the arrival trace (nondecreasing cycles) and the
     // cancel requests keyed off each arrival.
     struct Arr
@@ -184,8 +224,10 @@ fuzzOne(uint64_t seed, FuzzResult &res)
         arrivals.push_back(a);
     }
 
-    AdmissionQueue q(numTenants);
-    ShadowQueue shadow(numTenants);
+    AdmissionQueue q;
+    for (SloClass c : classes)
+        q.addLane(c);
+    ShadowQueue shadow(classes);
 
     struct Cancel
     {
@@ -219,7 +261,7 @@ fuzzOne(uint64_t seed, FuzzResult &res)
             ticket.seq = nextSeq++;
             ticket.tenant = a.tenant;
             ticket.arrival = a.cycle;
-            ticket.deadline = a.cycle + maxWait;
+            ticket.deadline = a.cycle + waitOf(a.tenant);
             q.enqueue(ticket);
             shadow.enqueue(ticket);
             deadlineOf[ticket.seq] = ticket.deadline;
@@ -282,13 +324,31 @@ fuzzOne(uint64_t seed, FuzzResult &res)
                     }
                 }
                 ASSERT_FALSE(batch.empty());
-                // If the dispatch was deadline-driven, EDF: no other
-                // tenant can hold an earlier live expired deadline.
+                // If the dispatch was deadline-driven, EDF within the
+                // class: no same-class tenant can hold an earlier live
+                // expired deadline.
                 if (frontDl <= now) {
                     for (uint32_t o = 0; o < numTenants; ++o) {
-                        if (o != tenant) {
+                        if (o != tenant &&
+                            classes[o] == classes[tenant]) {
                             EXPECT_GE(shadow.frontDeadline(o), frontDl);
                         }
+                    }
+                }
+                // Strict class priority: a throughput launch implies
+                // no latency-sensitive lane had dispatchable work.
+                if (classes[tenant] == SloClass::Throughput) {
+                    for (uint32_t o = 0; o < numTenants; ++o) {
+                        if (classes[o] != SloClass::LatencySensitive)
+                            continue;
+                        EXPECT_FALSE(shadow.frontDeadline(o) <= now ||
+                                     shadow.live(o) >= maxBatch ||
+                                     (drain && shadow.live(o) > 0))
+                            << "seed " << seed << ": throughput lane "
+                            << tenant
+                            << " launched past dispatchable "
+                               "latency-sensitive lane "
+                            << o;
                     }
                 }
                 freeAt = instantService ? now
@@ -397,4 +457,43 @@ TEST(ServiceQueue, DeadlinePreemptsRoundRobin)
         q.enqueue(b);
     }
     EXPECT_EQ(q.selectTenant(/*now=*/60, /*max_batch=*/4, false), 0);
+}
+
+TEST(ServiceQueue, LatencyClassPreemptsThroughput)
+{
+    AdmissionQueue q;
+    const uint32_t ls = q.addLane(SloClass::LatencySensitive);
+    const uint32_t tp = q.addLane(SloClass::Throughput);
+    EXPECT_EQ(q.laneClass(ls), SloClass::LatencySensitive);
+    EXPECT_EQ(q.laneClass(tp), SloClass::Throughput);
+
+    // One unexpired latency query; a full throughput batch with an
+    // *earlier* deadline.
+    QueryTicket a;
+    a.seq = 0;
+    a.tenant = ls;
+    a.arrival = 0;
+    a.deadline = 100;
+    q.enqueue(a);
+    for (uint64_t i = 0; i < 4; ++i) {
+        QueryTicket b;
+        b.seq = 1 + i;
+        b.tenant = tp;
+        b.arrival = 0;
+        b.deadline = 50;
+        q.enqueue(b);
+    }
+
+    // Nothing expired, latency lane partial: the latency class has no
+    // dispatchable work, so the full throughput lane launches.
+    EXPECT_EQ(q.selectTenant(/*now=*/10, /*max_batch=*/4, false),
+              static_cast<int>(tp));
+    // Drain makes the partial latency lane dispatchable, and strict
+    // class priority puts it ahead of the full throughput lane.
+    EXPECT_EQ(q.selectTenant(/*now=*/10, /*max_batch=*/4, true),
+              static_cast<int>(ls));
+    // Both fronts expired: the throughput deadline (50) is earlier,
+    // but class priority still launches the latency lane first.
+    EXPECT_EQ(q.selectTenant(/*now=*/200, /*max_batch=*/4, false),
+              static_cast<int>(ls));
 }
