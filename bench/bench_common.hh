@@ -153,15 +153,255 @@ struct Args
                 std::fprintf(stderr, "ignoring unknown flag %s\n",
                              argv[i]);
         }
-        // One place covers all 16 benches: the threaded kernel reads
-        // the process default when each run's Simulator is built.
-        if (args.simThreads != 0) {
-            sim::Simulator::setDefaultSimThreads(
-                static_cast<unsigned>(args.simThreads));
-        }
+        args.applyDefaults();
         return args;
     }
+
+    /** Apply process-wide side effects of the parsed flags. One place
+     *  covers all benches: the threaded kernel reads the process
+     *  default when each run's Simulator is built. Called by parse();
+     *  FlagSet-based benches call it after FlagSet::parse(). */
+    void
+    applyDefaults() const
+    {
+        if (simThreads != 0) {
+            sim::Simulator::setDefaultSimThreads(
+                static_cast<unsigned>(simThreads));
+        }
+    }
 };
+
+/**
+ * Registration-based CLI parser for the strict benches (bench_service,
+ * bench_speed): every accepted flag is registered once with its help
+ * line, `--help` is generated from the registrations (so it can never
+ * drift from the accepted flags again), and unknown flags exit 64 —
+ * the usage exit code shared by both binaries.
+ *
+ * Value flags accept both `--name=V` and `--name V`. The older benches
+ * keep the permissive Args::parse (warn on unknown) unchanged.
+ */
+class FlagSet
+{
+  public:
+    static constexpr int kExitUsage = 64;
+
+    FlagSet(std::string prog, std::string blurb)
+        : prog_(std::move(prog)), blurb_(std::move(blurb))
+    {
+    }
+
+    /** Integer flag: --name=N (or --name N). */
+    template <class T>
+    void
+    number(const char *name, T &field, const char *help)
+    {
+        add(name, Arity::Required, help, [&field](const std::string &v) {
+            field = static_cast<T>(std::strtoull(v.c_str(), nullptr, 10));
+        });
+    }
+
+    /** Floating-point flag. */
+    void
+    real(const char *name, double &field, const char *help)
+    {
+        add(name, Arity::Required, help, [&field](const std::string &v) {
+            field = std::strtod(v.c_str(), nullptr);
+        });
+    }
+
+    /** String flag. */
+    void
+    str(const char *name, std::string &field, const char *help)
+    {
+        add(name, Arity::Required, help,
+            [&field](const std::string &v) { field = v; });
+    }
+
+    /** Valueless flag: presence sets @p field true. */
+    void
+    flag(const char *name, bool &field, const char *help)
+    {
+        add(name, Arity::None, help,
+            [&field](const std::string &) { field = true; });
+    }
+
+    /** Valueless-or-valued flag: bare sets 1, --name=N sets N. */
+    void
+    toggle(const char *name, uint64_t &field, const char *help)
+    {
+        add(name, Arity::Optional, help, [&field](const std::string &v) {
+            field = v.empty()
+                        ? 1
+                        : std::strtoull(v.c_str(), nullptr, 10);
+        });
+    }
+
+    /** Comma-separated unsigned list; bad or empty lists exit 64. */
+    void
+    list(const char *name, std::vector<unsigned> &field, const char *help)
+    {
+        std::string flag_name = std::string("--") + name;
+        add(name, Arity::Required, help,
+            [&field, flag_name](const std::string &spec) {
+                field.clear();
+                const char *p = spec.c_str();
+                while (*p) {
+                    char *end = nullptr;
+                    unsigned long v = std::strtoul(p, &end, 10);
+                    if (end == p) {
+                        std::fprintf(stderr, "bad %s list '%s'\n",
+                                     flag_name.c_str(), spec.c_str());
+                        std::exit(kExitUsage);
+                    }
+                    field.push_back(static_cast<unsigned>(v));
+                    p = *end == ',' ? end + 1 : end;
+                }
+                if (field.empty()) {
+                    std::fprintf(stderr, "empty %s list\n",
+                                 flag_name.c_str());
+                    std::exit(kExitUsage);
+                }
+            });
+    }
+
+    /** Arbitrary handler; @p takes_value decides --name vs --name=V. */
+    void
+    custom(const char *name, bool takes_value, const char *help,
+           std::function<void(const std::string &)> fn)
+    {
+        add(name, takes_value ? Arity::Required : Arity::None, help,
+            std::move(fn));
+    }
+
+    void
+    printHelp() const
+    {
+        std::printf("usage: %s [flags]\n", prog_.c_str());
+        if (!blurb_.empty())
+            std::printf("%s\n", blurb_.c_str());
+        std::printf("flags:\n");
+        for (const auto &o : opts_) {
+            std::string left = "--" + o.name;
+            if (o.arity == Arity::Required)
+                left += "=V";
+            else if (o.arity == Arity::Optional)
+                left += "[=V]";
+            std::printf("  %-26s %s\n", left.c_str(), o.help.c_str());
+        }
+        std::printf("  %-26s %s\n", "--help", "print this and exit 0");
+    }
+
+    /** Parse argv; handles --help (exit 0), unknowns exit 64. */
+    void
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a == "--help" || a == "-h") {
+                printHelp();
+                std::exit(0);
+            }
+            const Opt *opt = nullptr;
+            std::string value;
+            bool have_value = false;
+            if (a.rfind("--", 0) == 0) {
+                size_t eq = a.find('=');
+                std::string name = a.substr(2, eq == std::string::npos
+                                                   ? std::string::npos
+                                                   : eq - 2);
+                opt = find(name);
+                if (opt && eq != std::string::npos) {
+                    value = a.substr(eq + 1);
+                    have_value = true;
+                }
+            }
+            if (!opt) {
+                std::fprintf(stderr,
+                             "unknown flag %s (--help lists flags)\n",
+                             a.c_str());
+                std::exit(kExitUsage);
+            }
+            if (opt->arity == Arity::Required && !have_value) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "--%s needs a value\n",
+                                 opt->name.c_str());
+                    std::exit(kExitUsage);
+                }
+                value = argv[++i];
+            } else if (opt->arity == Arity::None && have_value) {
+                std::fprintf(stderr, "--%s takes no value\n",
+                             opt->name.c_str());
+                std::exit(kExitUsage);
+            }
+            opt->fn(value);
+        }
+    }
+
+  private:
+    enum class Arity
+    {
+        None,
+        Required,
+        Optional
+    };
+
+    struct Opt
+    {
+        std::string name;
+        Arity arity;
+        std::string help;
+        std::function<void(const std::string &)> fn;
+    };
+
+    void
+    add(const char *name, Arity arity, const char *help,
+        std::function<void(const std::string &)> fn)
+    {
+        opts_.push_back({name, arity, help, std::move(fn)});
+    }
+
+    const Opt *
+    find(const std::string &name) const
+    {
+        for (const auto &o : opts_)
+            if (o.name == name)
+                return &o;
+        return nullptr;
+    }
+
+    std::string prog_;
+    std::string blurb_;
+    std::vector<Opt> opts_;
+};
+
+/**
+ * Register the shared workload/runner flags (the ones Args::parse
+ * accepts) on a FlagSet, so strict benches keep one source of truth
+ * for the common surface. Call args.applyDefaults() after parse().
+ */
+inline void
+registerCommonFlags(FlagSet &fs, Args &args)
+{
+    fs.number("keys", args.keys, "B-Tree key count");
+    fs.number("queries", args.queries, "queries / arrivals per run");
+    fs.number("bodies", args.bodies, "n-body population");
+    fs.number("points", args.points, "point-cloud size");
+    fs.number("res", args.res, "framebuffer resolution (NxN)");
+    fs.number("seed", args.seed, "workload RNG seed");
+    fs.number("jobs", args.jobs,
+              "runner threads (0 = hardware concurrency)");
+    fs.number("sim-threads", args.simThreads,
+              "threaded-kernel threads per run (0 = auto)");
+    fs.str("json", args.json,
+           "append one JSON record per run ('-' = stdout)");
+    fs.number("json-timing", args.jsonTiming,
+              "0 omits wall_ms for byte-identical records");
+    fs.toggle("rebuild-device", args.rebuildDevice,
+              "bypass the WorkloadCache");
+    fs.custom("trace", true, "Chrome-trace output FILE[:mask]",
+              [&args](const std::string &v) { args.setTraceSpec(v); });
+}
 
 inline sim::Config
 modeConfig(sim::AccelMode mode)

@@ -13,11 +13,15 @@
  * results) is built once in a WorkloadCache shared by every scenario,
  * device count and determinism replay.
  *
- * Flags (on top of the shared bench flags in bench_common.hh):
+ * Flags (every flag is registered on a bench::FlagSet: `--help` is
+ * generated from the registrations, so it cannot drift, and unknown
+ * flags exit 64; the shared workload/runner flags come from
+ * bench::registerCommonFlags):
  *   --queries=N            arrivals per scenario (default 1,000,000)
  *   --bench=SUBSTR         run only scenarios whose name contains
- *                          SUBSTR; the special name "overload" runs
- *                          the BENCH_9 open-loop overload study
+ *                          SUBSTR; the special names "overload" and
+ *                          "sched" run the BENCH_9 open-loop overload
+ *                          study and the BENCH_10 scheduling study
  *   --scenario=NAME        run exactly one scenario; unknown names
  *                          list the valid ones and exit 64
  *   --list-scenarios       print scenario names and exit
@@ -27,21 +31,31 @@
  *   --max-batch=N          admission policy: dispatch threshold (256)
  *   --max-wait=N           admission policy: deadline in cycles (50000)
  *   --mean-gap=N           open-loop mean inter-arrival gap (cycles)
+ *   --sched=NAME           scheduling policy lld|size|affinity|steal|
+ *                          full (service/scheduler.hh); default lld,
+ *                          or the TTA_SCHED env var (the flag wins)
  *   --check-determinism    re-run every scenario (a) unchanged, (b)
  *                          under the threaded kernel with 2 sim
  *                          threads, (c) with --serial-staging toggled,
  *                          and require batch logs (global + per
- *                          device), latency histograms and the exact
- *                          per-device histogram merge to be
- *                          bit-identical; exits 2 on divergence
+ *                          device), the scheduler steal log, latency
+ *                          histograms and the exact per-device
+ *                          histogram merge to be bit-identical; exits
+ *                          2 on divergence
  *   --check-overload-scaling=X  (overload study) require aggregate
  *                          saturated throughput at 4 devices >= X times
  *                          the 1-device value; exits 6 otherwise
+ *   --check-sched-gain=X   (sched study) require the full policy to
+ *                          reach >= X times lld's saturated throughput
+ *                          at 4 devices with p99 not regressed; exits
+ *                          7 otherwise
  *
  * JSON records (--json=FILE, one line per run) carry the service
  * scalars/counters plus derived values: throughput_qpmc (completed
  * queries per million simulated cycles), lat_p50/p99/p999_cycles and
- * _us, per-SLO-class percentiles, devices, offered load factor.
+ * _us, per-SLO-class percentiles, devices, offered load factor,
+ * per-device batch/steal counts, and one trailing "workload_cache"
+ * record carrying the WorkloadCache lookup/hit counters.
  */
 
 #include "bench_common.hh"
@@ -81,12 +95,15 @@ struct ServiceArgs
     uint64_t maxWait = 50000;
     uint64_t meanGap = 0;  //!< 0 = auto
     uint64_t devices = 0;  //!< 0 = scenario default
-    std::string filter;    //!< --bench substring ("overload" special)
+    std::string filter;    //!< --bench substring ("overload"/"sched")
     std::string scenario;  //!< --scenario exact name
+    std::string schedName; //!< --sched; empty = TTA_SCHED or lld
+    SchedPolicy sched = SchedPolicy::LeastLoaded; //!< resolved
     bool listScenarios = false;
     bool serialStaging = false;
     bool checkDeterminism = false;
     double overloadScale = 0.0; //!< --check-overload-scaling
+    double schedGain = 0.0;     //!< --check-sched-gain
 };
 
 void
@@ -100,6 +117,9 @@ listScenarios()
     std::printf("  %-15s BENCH_9 open-loop overload study "
                 "(devices 1/2/4)\n",
                 "overload");
+    std::printf("  %-15s BENCH_10 scheduling-policy study "
+                "(policy x devices 1/2/4)\n",
+                "sched");
 }
 
 /** Oracle string for the determinism cross-checks: batch composition
@@ -127,6 +147,11 @@ oracleString(const ServiceReport &rep)
              sloClassName(static_cast<SloClass>(c)) + ":" +
              cr.latency.dumpString();
     }
+    // The scheduler's steal schedule (empty under non-stealing
+    // policies) is part of the oracle: a steal moving to a different
+    // (cycle, batch, device) triple on any kernel/staging/rerun is a
+    // determinism break even if the latency histograms happen to agree.
+    s += "steals:" + std::to_string(rep.steals) + "\n" + rep.stealLog;
     return s;
 }
 
@@ -151,6 +176,17 @@ struct ScenarioRun
     bool pipelined = true;
     uint32_t clients = 512;      //!< closed-loop population
     double thinkCycles = 30000.0; //!< closed-loop think time
+    SchedPolicy sched = SchedPolicy::LeastLoaded;
+    size_t btreeKeys = 0;    //!< tree-size override; 0 = args.keys/5
+    size_t radiusPoints = 0; //!< tree-size override; 0 = args.points/4
+    /** Locality-bound tenant set for the sched study: this many
+     *  equally-priced large-tree B-Tree tenants (distinct key sets, so
+     *  distinct working sets) instead of the radius/rays mix, plus the
+     *  base tenant shrunk into a cheap latency-sensitive lane. Tenant
+     *  interleaving on one device then thrashes its L2 between key
+     *  sets, which is exactly the regime affinity scheduling targets.
+     *  0 = off (the regular mix). */
+    uint32_t btreeFleet = 0;
 };
 
 ServiceReport
@@ -165,24 +201,53 @@ runService(const ScenarioRun &run, const Args &args,
         policy.lsMaxWaitCycles = sargs.maxWait / 5;
     policy.numDevices = run.devices;
     policy.pipelinedStaging = run.pipelined;
+    policy.sched = run.sched;
 
     TraversalService svc(cfg, stats, policy);
-    auto key = [&](const char *w) {
-        return std::string("svc.") + w + "/" + std::to_string(args.keys) +
-               "/" + std::to_string(args.points) + "/" +
+    size_t btree_keys = run.btreeKeys ? run.btreeKeys : args.keys / 5;
+    size_t radius_points =
+        run.radiusPoints ? run.radiusPoints : args.points / 4;
+    // The fleet's latency-sensitive lane stays cheap: a small tree
+    // whose lookups cost little and pollute little.
+    size_t base_keys =
+        run.btreeFleet ? std::max<size_t>(btree_keys / 16, 1024)
+                       : btree_keys;
+    auto key = [&](const std::string &w) {
+        return std::string("svc.") + w + "/" +
+               std::to_string(btree_keys) + "/" +
+               std::to_string(radius_points) + "/" +
                std::to_string(args.seed);
     };
-    auto btree = cache.getShared<BTreeTenantData>(key("btree"), [&] {
-        return BTreeTenantData::build(args.keys / 5, /*pool=*/8192,
-                                      args.seed);
-    });
+    auto btree = cache.getShared<BTreeTenantData>(
+        key("btree@" + std::to_string(base_keys)), [&] {
+            return BTreeTenantData::build(base_keys, /*pool=*/8192,
+                                          args.seed);
+        });
     svc.addTenant(std::make_unique<BTreeTenant>("btree", btree),
                   run.slo ? SloClass::LatencySensitive
                           : SloClass::Throughput);
-    if (run.mix) {
+    if (run.btreeFleet) {
+        for (uint32_t i = 0; i < run.btreeFleet; ++i) {
+            std::string name = "btree" + std::to_string(i);
+            // Pool sized so one tenant's reusable hot set (upper
+            // tree levels plus the pool's path lines, ~1MB at 4096
+            // queries over a 1M-key tree) shares a 3MB device L2
+            // with at most one other tenant: a device serving its
+            // one or two pinned tenants runs warm, a device that
+            // round-robins the whole fleet evicts every batch.
+            auto data =
+                cache.getShared<BTreeTenantData>(key(name), [&] {
+                    return BTreeTenantData::build(
+                        btree_keys, /*pool=*/4096,
+                        args.seed + 1 + 17 * i);
+                });
+            svc.addTenant(
+                std::make_unique<BTreeTenant>(name, data));
+        }
+    } else if (run.mix) {
         auto radius =
             cache.getShared<RadiusTenantData>(key("radius"), [&] {
-                return RadiusTenantData::build(args.points / 4,
+                return RadiusTenantData::build(radius_points,
                                                /*pool=*/2048, 1.0f,
                                                args.seed);
             });
@@ -202,12 +267,19 @@ runService(const ScenarioRun &run, const Args &args,
     // Query mix skewed toward the cheap tenant so the aggregate rate
     // keeps the devices saturated without the expensive tenants
     // dominating the makespan.
-    if (run.mix)
+    if (run.btreeFleet) {
+        // Fleet mode: a sliver of latency-sensitive traffic, the rest
+        // split evenly across the equally-priced big-tree tenants.
+        tc.tenantWeights.assign(1 + run.btreeFleet,
+                                0.90 / run.btreeFleet);
+        tc.tenantWeights[0] = 0.10;
+    } else if (run.mix)
         tc.tenantWeights = {0.90, 0.07, 0.03};
     // Auto gap: keep the open-loop offered load near aggregate device
     // capacity (~a few tens of cycles per B-Tree query in a full
     // batch, divided across the group).
-    double autoGap = (run.mix ? 180.0 : 8.0) / run.devices;
+    double autoGap =
+        (run.btreeFleet ? 20.0 : run.mix ? 180.0 : 8.0) / run.devices;
     tc.meanGapCycles = run.meanGap ? run.meanGap : autoGap;
     tc.clients = run.clients;
     tc.thinkCycles = run.thinkCycles;
@@ -229,6 +301,7 @@ toRun(const ScenarioSpec &spec, const ServiceArgs &sargs)
                       : spec.devices;
     run.meanGap = static_cast<double>(sargs.meanGap);
     run.pipelined = !sargs.serialStaging;
+    run.sched = sargs.sched;
     return run;
 }
 
@@ -255,6 +328,14 @@ fillRecord(sim::RunRecord &rec, const ServiceReport &rep,
         static_cast<double>(rep.expiredDispatches);
     rec.values["completed"] = static_cast<double>(rep.completed);
     rec.values["canceled"] = static_cast<double>(rep.canceled);
+    rec.values["steals"] = static_cast<double>(rep.steals);
+    for (size_t d = 0; d < rep.devices.size(); ++d) {
+        std::string prefix = "dev" + std::to_string(d);
+        rec.values[prefix + "_batches"] =
+            static_cast<double>(rep.devices[d].batches);
+        rec.values[prefix + "_steals"] =
+            static_cast<double>(rep.devices[d].steals);
+    }
     for (uint32_t c = 0; c < kNumSloClasses; ++c) {
         const ClassReport &cr = rep.classes[c];
         if (!cr.completed)
@@ -291,6 +372,23 @@ emitRecords(const Args &args, const std::vector<sim::RunRecord> &records)
         rec.writeJson(*os, args.jsonTiming != 0);
         *os << "\n";
     }
+}
+
+/**
+ * One trailing JSON record for the WorkloadCache counters. Recorded
+ * once, after every runner pool has joined: per-run snapshots would be
+ * racy under --jobs (lookup order depends on host scheduling) and
+ * would break --json-timing=0 byte-identity; the final aggregate is
+ * deterministic (hits = lookups - distinct keys).
+ */
+sim::RunRecord
+cacheRecord(const WorkloadCache &cache)
+{
+    sim::RunRecord rec;
+    rec.name = "workload_cache";
+    rec.values["cache_lookups"] = static_cast<double>(cache.lookups());
+    rec.values["cache_hits"] = static_cast<double>(cache.hits());
+    return rec;
 }
 
 void
@@ -428,6 +526,7 @@ runOverloadStudy(const Args &args, const ServiceArgs &sargs,
     }
     std::vector<sim::RunRecord> all = probeRecords;
     all.insert(all.end(), records.begin(), records.end());
+    all.push_back(cacheRecord(cache));
     emitRecords(args, all);
 
     std::printf("\n%-6s %6s %9s %9s | %10s %10s | %10s %10s %8s\n",
@@ -483,47 +582,264 @@ runOverloadStudy(const Args &args, const ServiceArgs &sargs,
     return 0;
 }
 
+/**
+ * BENCH_10: scheduling-policy study. Per device count {1,2,4}: probe
+ * the closed-loop capacity under lld, then run a locality-bound
+ * open-loop scenario — a fleet of equally-priced large-tree B-Tree
+ * tenants with distinct key sets plus a cheap latency-sensitive lane —
+ * at a saturating offered load (1.5x capacity) under every scheduling
+ * policy and compare throughput, tail latency and steal activity. One
+ * tenant's hot paths fit a device's L2, the fleet's combined working
+ * set does not, so lld's tenant interleaving thrashes — precisely the
+ * locality that affinity placement recovers. @return exit code.
+ */
+int
+runSchedStudy(const Args &args, const ServiceArgs &sargs,
+              WorkloadCache &cache)
+{
+    const uint32_t kDevCounts[] = {1, 2, 4};
+    const SchedPolicy kPolicies[] = {
+        SchedPolicy::LeastLoaded, SchedPolicy::SizeAware,
+        SchedPolicy::Affinity, SchedPolicy::Steal, SchedPolicy::Full,
+    };
+    const double kLoadFactor = 1.5; //!< offered load vs capacity
+
+    printHeader("BENCH_10", "locality-aware scheduling-policy study",
+                args);
+    std::printf("  policy sweep: lld size affinity steal full; "
+                "max-batch=%llu max-wait=%llu, offered load %.1fx "
+                "capacity, slo classes on\n",
+                static_cast<unsigned long long>(sargs.maxBatch),
+                static_cast<unsigned long long>(sargs.maxWait),
+                kLoadFactor);
+
+    // Locality-bound tenant fleet: six equally-priced B-Tree tenants
+    // on deliberately large trees (keys = --keys, ~10x the BENCH_8
+    // scenarios) with distinct key sets, plus a cheap
+    // latency-sensitive lane. Six lanes over four devices keeps every
+    // device saturated while still letting affinity carve stable
+    // 1-2-tenant homes; one device's L2 holds one or two tenants'
+    // hot paths comfortably but never the whole fleet, so lld's
+    // round-robin interleaving evicts on every batch — the locality
+    // affinity recovers it.
+    auto baseRun = [&](uint32_t devices) {
+        ScenarioRun run;
+        run.slo = true;
+        run.mix = false;
+        run.btreeFleet = 6;
+        run.devices = devices;
+        run.pipelined = !sargs.serialStaging;
+        run.btreeKeys = args.keys;
+        run.radiusPoints = args.points;
+        return run;
+    };
+
+    // Pass 1: closed-loop capacity probe per device count, under lld
+    // so every policy faces the identical offered load.
+    std::vector<sim::Job> probeJobs;
+    std::vector<ServiceReport> probeReports(std::size(kDevCounts));
+    for (size_t i = 0; i < std::size(kDevCounts); ++i) {
+        sim::Job job;
+        job.name = "sched/probe/d" + std::to_string(kDevCounts[i]);
+        job.config = modeConfig(sim::AccelMode::Tta);
+        job.seed = args.seed;
+        job.fn = [&, i](const sim::Config &cfg,
+                        sim::StatRegistry &stats, sim::RunRecord &rec) {
+            ScenarioRun run = baseRun(kDevCounts[i]);
+            run.process = ArrivalProcess::ClosedLoop;
+            // Enough closed-loop clients to fill several maxBatch
+            // batches per device, or the probe understates capacity.
+            run.clients = 8 * static_cast<uint32_t>(sargs.maxBatch) *
+                          kDevCounts[i];
+            run.thinkCycles = 500.0;
+            ServiceReport rep =
+                runService(run, args, sargs, cfg, stats, cache);
+            fillRecord(rec, rep, cfg, run.devices);
+            probeReports[i] = rep;
+        };
+        probeJobs.push_back(std::move(job));
+    }
+    sim::ExperimentRunner probeRunner(static_cast<unsigned>(args.jobs));
+    std::vector<sim::RunRecord> probeRecords =
+        probeRunner.run(probeJobs);
+    for (const auto &rec : probeRecords) {
+        if (rec.failed()) {
+            std::fprintf(stderr, "probe '%s' failed: %s\n",
+                         rec.name.c_str(), rec.error.c_str());
+            return 1;
+        }
+    }
+    double capacity[std::size(kDevCounts)];
+    std::printf("\nclosed-loop capacity probes (lld):\n");
+    for (size_t i = 0; i < std::size(kDevCounts); ++i) {
+        capacity[i] = probeReports[i].throughputQpmc();
+        std::printf("  d%u: %.1f qpmc (%llu batches)\n", kDevCounts[i],
+                    capacity[i],
+                    static_cast<unsigned long long>(
+                        probeReports[i].batches));
+        if (capacity[i] <= 0.0) {
+            std::fprintf(stderr, "degenerate capacity probe\n");
+            return 1;
+        }
+    }
+
+    // Pass 2: policy x devices at the saturating offered load.
+    struct Cell
+    {
+        uint32_t devices;
+        SchedPolicy policy;
+        ServiceReport rep;
+    };
+    std::vector<Cell> cells;
+    std::vector<sim::Job> jobs;
+    for (size_t i = 0; i < std::size(kDevCounts); ++i) {
+        double gap = 1e6 / (capacity[i] * kLoadFactor);
+        for (SchedPolicy pol : kPolicies) {
+            size_t idx = cells.size();
+            cells.push_back({kDevCounts[i], pol, {}});
+            sim::Job job;
+            job.name = std::string("sched/d") +
+                       std::to_string(kDevCounts[i]) + "/" +
+                       schedPolicyName(pol);
+            job.config = modeConfig(sim::AccelMode::Tta);
+            job.seed = args.seed;
+            job.fn = [&, idx, gap, pol](const sim::Config &cfg,
+                                        sim::StatRegistry &stats,
+                                        sim::RunRecord &rec) {
+                Cell &cell = cells[idx];
+                ScenarioRun run = baseRun(cell.devices);
+                run.process = ArrivalProcess::Poisson;
+                run.meanGap = gap;
+                run.sched = pol;
+                cell.rep =
+                    runService(run, args, sargs, cfg, stats, cache);
+                fillRecord(rec, cell.rep, cfg, cell.devices);
+                rec.values["offered_factor"] = kLoadFactor;
+                rec.values["l2_hits"] = static_cast<double>(
+                    stats.counterValue("l2.hits"));
+                rec.values["l2_misses"] = static_cast<double>(
+                    stats.counterValue("l2.misses"));
+                rec.values["dram_reads"] = static_cast<double>(
+                    stats.counterValue("dram.reads"));
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+    sim::ExperimentRunner runner(static_cast<unsigned>(args.jobs));
+    std::vector<sim::RunRecord> records = runner.run(jobs);
+    for (const auto &rec : records) {
+        if (rec.failed()) {
+            std::fprintf(stderr, "run '%s' failed: %s\n",
+                         rec.name.c_str(), rec.error.c_str());
+            return 1;
+        }
+    }
+    std::vector<sim::RunRecord> all = probeRecords;
+    all.insert(all.end(), records.begin(), records.end());
+    all.push_back(cacheRecord(cache));
+    emitRecords(args, all);
+
+    double mhz = modeConfig(sim::AccelMode::Tta).coreClockMhz;
+    std::printf("\n%-6s %-9s %9s %10s %10s %8s %8s\n", "dev",
+                "policy", "qpmc", "p99(us)", "ls.p99(us)", "steals",
+                "expired");
+    for (const Cell &cell : cells) {
+        const ClassReport &ls = cell.rep.classes[static_cast<uint32_t>(
+            SloClass::LatencySensitive)];
+        std::printf("d%-5u %-9s %9.1f %10.1f %10.1f %8llu %8llu\n",
+                    cell.devices, schedPolicyName(cell.policy),
+                    cell.rep.throughputQpmc(),
+                    cyclesToUs(cell.rep.latency.percentile(99), mhz),
+                    cyclesToUs(ls.latency.percentile(99), mhz),
+                    static_cast<unsigned long long>(cell.rep.steals),
+                    static_cast<unsigned long long>(
+                        cell.rep.expiredDispatches));
+    }
+    std::printf("(offered load %.1fx the lld closed-loop capacity; "
+                "qpmc = completed per million cycles)\n",
+                kLoadFactor);
+    printCacheLine(cache);
+
+    if (sargs.schedGain > 0.0) {
+        const ServiceReport *lld = nullptr, *full = nullptr;
+        for (const Cell &cell : cells) {
+            if (cell.devices != 4)
+                continue;
+            if (cell.policy == SchedPolicy::LeastLoaded)
+                lld = &cell.rep;
+            if (cell.policy == SchedPolicy::Full)
+                full = &cell.rep;
+        }
+        double q_lld = lld ? lld->throughputQpmc() : 0.0;
+        double q_full = full ? full->throughputQpmc() : 0.0;
+        double gain = q_lld > 0.0 ? q_full / q_lld : 0.0;
+        uint64_t p99_lld = lld ? lld->latency.percentile(99) : 0;
+        uint64_t p99_full = full ? full->latency.percentile(99) : 0;
+        bool gain_ok = gain >= sargs.schedGain;
+        bool p99_ok = p99_full <= p99_lld;
+        std::printf("sched gain gate (d4): full/lld saturated "
+                    "throughput %.2fx (need >= %.2fx): %s; p99 %llu vs "
+                    "%llu cycles (need <=): %s\n",
+                    gain, sargs.schedGain, gain_ok ? "PASS" : "FAIL",
+                    static_cast<unsigned long long>(p99_full),
+                    static_cast<unsigned long long>(p99_lld),
+                    p99_ok ? "PASS" : "FAIL");
+        if (!gain_ok || !p99_ok)
+            return 7;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    // Pre-scan service-specific flags; Args::parse warns on unknowns,
-    // so strip ours first.
     ServiceArgs sargs;
-    std::vector<char *> passthrough{argv[0]};
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto val = [&](const std::string &prefix) {
-            return std::strtoull(a.c_str() + prefix.size(), nullptr, 10);
-        };
-        if (a.rfind("--max-batch=", 0) == 0)
-            sargs.maxBatch = val("--max-batch=");
-        else if (a.rfind("--max-wait=", 0) == 0)
-            sargs.maxWait = val("--max-wait=");
-        else if (a.rfind("--mean-gap=", 0) == 0)
-            sargs.meanGap = val("--mean-gap=");
-        else if (a.rfind("--devices=", 0) == 0)
-            sargs.devices = val("--devices=");
-        else if (a.rfind("--bench=", 0) == 0)
-            sargs.filter = a.substr(std::strlen("--bench="));
-        else if (a.rfind("--scenario=", 0) == 0)
-            sargs.scenario = a.substr(std::strlen("--scenario="));
-        else if (a == "--list-scenarios")
-            sargs.listScenarios = true;
-        else if (a == "--serial-staging")
-            sargs.serialStaging = true;
-        else if (a == "--check-determinism")
-            sargs.checkDeterminism = true;
-        else if (a.rfind("--check-overload-scaling=", 0) == 0)
-            sargs.overloadScale = std::strtod(
-                a.c_str() + std::strlen("--check-overload-scaling="),
-                nullptr);
-        else
-            passthrough.push_back(argv[i]);
+    Args args;
+    FlagSet fs(argv[0],
+               "traversal-as-a-service bench (BENCH_8/9/10); see the "
+               "file comment in bench/bench_service.cc");
+    registerCommonFlags(fs, args);
+    fs.number("max-batch", sargs.maxBatch,
+              "admission dispatch threshold (queries)");
+    fs.number("max-wait", sargs.maxWait,
+              "admission deadline in cycles");
+    fs.number("mean-gap", sargs.meanGap,
+              "open-loop mean inter-arrival gap (0 = auto)");
+    fs.number("devices", sargs.devices,
+              "override every scenario's device count");
+    fs.str("bench", sargs.filter,
+           "scenario substring filter ('overload'/'sched' = studies)");
+    fs.str("scenario", sargs.scenario, "run exactly one scenario");
+    fs.str("sched", sargs.schedName,
+           "scheduling policy lld|size|affinity|steal|full "
+           "(default: TTA_SCHED or lld)");
+    fs.flag("list-scenarios", sargs.listScenarios,
+            "print scenario names and exit");
+    fs.flag("serial-staging", sargs.serialStaging,
+            "single-threaded host staging (bit-identical)");
+    fs.flag("check-determinism", sargs.checkDeterminism,
+            "replay rerun/threaded-2/staging-flip; exit 2 on "
+            "divergence");
+    fs.real("check-overload-scaling", sargs.overloadScale,
+            "overload study: require d4 >= X times d1; exit 6");
+    fs.real("check-sched-gain", sargs.schedGain,
+            "sched study: require full >= X times lld at d4; exit 7");
+    fs.parse(argc, argv);
+    args.applyDefaults();
+
+    if (!sargs.schedName.empty()) {
+        if (!parseSchedPolicy(sargs.schedName, sargs.sched)) {
+            std::fprintf(stderr,
+                         "unknown --sched=%s (lld|size|affinity|steal|"
+                         "full)\n",
+                         sargs.schedName.c_str());
+            return 64;
+        }
+    } else {
+        sargs.sched = schedPolicyFromEnv(SchedPolicy::LeastLoaded);
     }
-    Args args = Args::parse(static_cast<int>(passthrough.size()),
-                            passthrough.data());
 
     if (sargs.listScenarios) {
         listScenarios();
@@ -536,6 +852,23 @@ main(int argc, char **argv)
         if (args.queries == 16384)
             args.queries = 120000; // overload default per cell
         return runOverloadStudy(args, sargs, cache);
+    }
+    if (sargs.filter == "sched" || sargs.scenario == "sched") {
+        if (args.queries == 16384)
+            args.queries = 120000; // sched-study default per cell
+        // Locality-bound study defaults (overridable): deep trees so
+        // one tenant's hot path set is a meaningful fraction of the
+        // L2, and a mid-sized batch. 512 queries amortize launch cost
+        // but leave less query-level overlap than the accelerator can
+        // hide a cold L2 behind, so the warm/cold contrast the
+        // scheduler creates actually shows up in batch time (at 1024
+        // the latency hiding flattens a 38% L2-miss reduction into a
+        // ~1% throughput change).
+        if (args.keys == 100000)
+            args.keys = 1000000;
+        if (sargs.maxBatch == 256)
+            sargs.maxBatch = 512;
+        return runSchedStudy(args, sargs, cache);
     }
     if (args.queries == 16384)
         args.queries = 1000000; // service default: a million arrivals
@@ -567,9 +900,11 @@ main(int argc, char **argv)
 
     printHeader("BENCH_8", "traversal-as-a-service latency/throughput",
                 args);
-    std::printf("  policy: max-batch=%llu max-wait=%llu cycles%s%s\n",
+    std::printf("  policy: max-batch=%llu max-wait=%llu cycles "
+                "sched=%s%s%s\n",
                 static_cast<unsigned long long>(sargs.maxBatch),
                 static_cast<unsigned long long>(sargs.maxWait),
+                schedPolicyName(sargs.sched),
                 sargs.devices ? " devices-override" : "",
                 sargs.serialStaging ? " serial-staging" : "");
 
@@ -604,7 +939,11 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    emitRecords(args, records);
+    {
+        std::vector<sim::RunRecord> all = records;
+        all.push_back(cacheRecord(cache));
+        emitRecords(args, all);
+    }
 
     std::printf("\n%-15s %3s %9s %7s %8s %9s %9s %9s %8s %8s\n",
                 "scenario", "dev", "queries", "batches", "qpmc",

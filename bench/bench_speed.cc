@@ -65,6 +65,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
+
 #include "geom/intersect.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
@@ -86,7 +88,7 @@ constexpr int kExitCycleMismatch = 2;
 constexpr int kExitSpeedupGate = 3;
 constexpr int kExitSkipGate = 4;
 constexpr int kExitWideGate = 5;
-constexpr int kExitUsage = 64;
+// Usage errors exit 64 via bench::FlagSet::kExitUsage.
 
 struct SpeedArgs
 {
@@ -104,82 +106,33 @@ struct SpeedArgs
     double checkWideSpeedup = -1.0;     // ratio; <0 = no check
 };
 
-std::vector<unsigned>
-parseList(const char *flag, const char *spec)
-{
-    std::vector<unsigned> out;
-    const char *p = spec;
-    while (*p) {
-        char *end = nullptr;
-        unsigned long v = std::strtoul(p, &end, 10);
-        if (end == p) {
-            std::fprintf(stderr, "bad %s list '%s'\n", flag, spec);
-            std::exit(kExitUsage);
-        }
-        out.push_back(static_cast<unsigned>(v));
-        p = *end == ',' ? end + 1 : end;
-    }
-    if (out.empty()) {
-        std::fprintf(stderr, "empty %s list\n", flag);
-        std::exit(kExitUsage);
-    }
-    return out;
-}
-
 SpeedArgs
 parseArgs(int argc, char **argv)
 {
     SpeedArgs args;
-    for (int i = 1; i < argc; ++i) {
-        auto grab = [&](const char *name, auto &field) {
-            std::string prefix = std::string("--") + name + "=";
-            if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0)
-                return false;
-            field = std::strtoull(argv[i] + prefix.size(), nullptr, 10);
-            return true;
-        };
-        std::string prefix;
-        bool ok = grab("keys", args.keys) ||
-                  grab("queries", args.queries) ||
-                  grab("bodies", args.bodies) ||
-                  grab("points", args.points) || grab("seed", args.seed);
-        if (!ok && std::strncmp(argv[i], "--json=", 7) == 0) {
-            args.json = argv[i] + 7;
-            ok = true;
-        }
-        if (!ok && std::strncmp(argv[i], "--bench=", 8) == 0) {
-            args.benchFilter = argv[i] + 8;
-            ok = true;
-        }
-        if (!ok && std::strncmp(argv[i], "--sim-threads=", 14) == 0) {
-            args.simThreads = parseList("--sim-threads", argv[i] + 14);
-            ok = true;
-        }
-        if (!ok && std::strncmp(argv[i], "--sim-epoch=", 12) == 0) {
-            args.simEpochs = parseList("--sim-epoch", argv[i] + 12);
-            ok = true;
-        }
-        if (!ok &&
-            std::strncmp(argv[i], "--check-skip-fraction=", 22) == 0) {
-            args.checkSkipFraction = std::strtod(argv[i] + 22, nullptr);
-            ok = true;
-        }
-        if (!ok &&
-            std::strncmp(argv[i], "--check-threaded-speedup=", 25) == 0) {
-            args.checkThreadedSpeedup =
-                std::strtod(argv[i] + 25, nullptr);
-            ok = true;
-        }
-        if (!ok &&
-            std::strncmp(argv[i], "--check-wide-speedup=", 21) == 0) {
-            args.checkWideSpeedup = std::strtod(argv[i] + 21, nullptr);
-            ok = true;
-        }
-        if (!ok) {
-            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-            std::exit(kExitUsage);
-        }
-    }
+    bench::FlagSet fs(argv[0],
+                      "simulator-speed harness across kernels "
+                      "(BENCH_4/5/6/7); see bench/bench_speed.cc");
+    fs.number("keys", args.keys, "B-Tree key count");
+    fs.number("queries", args.queries, "queries per workload");
+    fs.number("bodies", args.bodies, "n-body population");
+    fs.number("points", args.points, "point-cloud size");
+    fs.number("seed", args.seed, "workload RNG seed");
+    fs.str("json", args.json, "write the report as JSON ('-' = stdout)");
+    fs.str("bench", args.benchFilter,
+           "only run benches whose name contains SUBSTR");
+    fs.list("sim-threads", args.simThreads,
+            "comma-separated threaded-kernel thread counts (0 = auto)");
+    fs.list("sim-epoch", args.simEpochs,
+            "comma-separated epoch sizes (0 = auto)");
+    fs.real("check-skip-fraction", args.checkSkipFraction,
+            "fail (exit 4) unless the event kernel skipped >= PCT%");
+    fs.real("check-threaded-speedup", args.checkThreadedSpeedup,
+            "fail (exit 3) unless best threaded >= X times event");
+    fs.real("check-wide-speedup", args.checkWideSpeedup,
+            "fail (exit 5) unless gated wide configs reach X times "
+            "scalar (auto-skip on the scalar SIMD backend)");
+    fs.parse(argc, argv);
     return args;
 }
 

@@ -52,10 +52,20 @@
 # --check-determinism on the d1/d2/d4 scenarios and by
 # tests/test_service_multidev.cc, not re-proven here.)
 #
-# Usage: scripts/record_bench.sh [build-dir] [bench4-out] [bench5-out] \
-#            [bench6-out] [bench7-out] [bench8-out] [bench9-out]
+# BENCH_10: the locality-aware scheduling-policy study (bench_service
+# --bench=sched): per device count {1, 2, 4}, a closed-loop lld probe
+# measures saturated capacity, then each policy (lld / size / affinity
+# / steal / full) faces the identical 1.5x-capacity Poisson trace over
+# a six-tenant B-Tree fleet sized so one device's L2 holds one or two
+# tenants' hot paths but never the whole fleet. The run gates full >=
+# 1.15x lld saturated throughput at 4 devices with p99 not regressed
+# (exit 7); throughput is simulated cycles, host-independent.
 #
-# RECORD_SECTIONS=4,5,6,7,8,9 (default: all) picks which BENCH_N
+# Usage: scripts/record_bench.sh [build-dir] [bench4-out] [bench5-out] \
+#            [bench6-out] [bench7-out] [bench8-out] [bench9-out] \
+#            [bench10-out]
+#
+# RECORD_SECTIONS=4,5,6,7,8,9,10 (default: all) picks which BENCH_N
 # sections run — e.g. RECORD_SECTIONS=9 records only the overload
 # study.
 #
@@ -74,10 +84,11 @@ OUT6=${4:-BENCH_6.json}
 OUT7=${5:-BENCH_7.json}
 OUT8=${6:-BENCH_8.json}
 OUT9=${7:-BENCH_9.json}
+OUT10=${8:-BENCH_10.json}
 PRE=${PRE_REFACTOR_POLLING_WALL_S:-110.9}
 THREADS=${BENCH5_SIM_THREADS:-1,2,4,8}
 EPOCHS=${BENCH6_SIM_EPOCHS:-1,20,64}
-SECTIONS=${RECORD_SECTIONS:-4,5,6,7,8,9}
+SECTIONS=${RECORD_SECTIONS:-4,5,6,7,8,9,10}
 HOST_CORES=$(nproc)
 
 # want N: is section BENCH_N selected?
@@ -90,10 +101,11 @@ want() {
 
 SPEED_JSON=$(mktemp)
 BENCH5_DIR=$(mktemp -d)
-BENCH6_DIR= BENCH7_DIR= BENCH8_DIR= BENCH9_DIR=
+BENCH6_DIR= BENCH7_DIR= BENCH8_DIR= BENCH9_DIR= BENCH10_DIR=
 trap 'rm -rf "$SPEED_JSON" "$BENCH5_DIR" \
     ${BENCH6_DIR:+"$BENCH6_DIR"} ${BENCH7_DIR:+"$BENCH7_DIR"} \
-    ${BENCH8_DIR:+"$BENCH8_DIR"} ${BENCH9_DIR:+"$BENCH9_DIR"}' EXIT
+    ${BENCH8_DIR:+"$BENCH8_DIR"} ${BENCH9_DIR:+"$BENCH9_DIR"} \
+    ${BENCH10_DIR:+"$BENCH10_DIR"}' EXIT
 
 if want 4; then
 
@@ -604,3 +616,103 @@ print(f"wrote {out}: d4/d1 saturated scaling {scaling}x "
 EOF
 
 fi # want 9
+
+# ---------------------------------------------------------------------
+# BENCH_10: locality-aware scheduling-policy study.
+# ---------------------------------------------------------------------
+
+if want 10; then
+
+BENCH10_DIR=$(mktemp -d)
+BENCH10_QUERIES=${BENCH10_QUERIES:-120000}
+
+echo "== bench_service --bench=sched ($BENCH10_QUERIES arrivals per" \
+     "cell, policies lld/size/affinity/steal/full x devices 1/2/4," \
+     "1.15x gain gate at d4) =="
+"$BUILD"/bench/bench_service --bench=sched \
+    --queries="$BENCH10_QUERIES" --check-sched-gain=1.15 \
+    --json="$BENCH10_DIR/sched.jsonl"
+
+python3 - "$BENCH10_DIR/sched.jsonl" "$OUT10" "$HOST_CORES" \
+    "$BENCH10_QUERIES" <<'EOF'
+import json
+import sys
+
+jsonl, out, host_cores, queries = sys.argv[1:5]
+probes = {}
+cells = {}
+for line in open(jsonl):
+    line = line.strip()
+    if not line:
+        continue
+    rec = json.loads(line)
+    name = rec["name"]
+    if not name.startswith("sched/"):
+        continue
+    v = rec["values"]
+    d = str(int(v["devices"]))
+    if name.startswith("sched/probe/"):
+        probes[d] = {
+            "closed_loop_capacity_qpmc": round(v["throughput_qpmc"], 2),
+            "completed": int(v["completed"]),
+            "batches": int(v["batches"]),
+        }
+        continue
+    policy = name.rsplit("/", 1)[1]
+    cells.setdefault(d, {})[policy] = {
+        "throughput_qpmc": round(v["throughput_qpmc"], 2),
+        "lat_p50_us": round(v["lat_p50_us"], 2),
+        "lat_p99_us": round(v["lat_p99_us"], 2),
+        "lat_p999_us": round(v["lat_p999_us"], 2),
+        "steals": int(v["steals"]),
+        "expired_dispatches": int(v["expired_dispatches"]),
+        "batches": int(v["batches"]),
+        "l2_misses": int(v["l2_misses"]),
+        "dram_reads": int(v["dram_reads"]),
+    }
+
+gains = {
+    d: {
+        pol: round(by_pol[pol]["throughput_qpmc"] /
+                   by_pol["lld"]["throughput_qpmc"], 3)
+        for pol in by_pol
+    }
+    for d, by_pol in cells.items()
+    if "lld" in by_pol
+}
+d4 = cells.get("4", {})
+gate_gain = gains.get("4", {}).get("full")
+locality = None
+if "lld" in d4 and "affinity" in d4 and d4["lld"]["l2_misses"]:
+    locality = round(
+        1.0 - d4["affinity"]["l2_misses"] / d4["lld"]["l2_misses"], 3)
+
+report = {
+    "bench": "BENCH_10",
+    "description": "locality-aware multi-device scheduling: per device "
+                   "count, a closed-loop lld probe measures saturated "
+                   "capacity, then every policy faces identical "
+                   "1.5x-capacity Poisson arrivals over a six-tenant "
+                   "B-Tree fleet whose per-tenant hot sets overflow one "
+                   "device L2 (qpmc = completed queries per million "
+                   "simulated cycles)",
+    "host_cores": int(host_cores),
+    "arrivals_per_cell": int(queries),
+    "gain_gate": "passed: full >= 1.15x lld saturated throughput at 4 "
+                 "devices with p99 not regressed (bench_service exits "
+                 "7 otherwise; simulated cycles, host-independent)",
+    "closed_loop_capacity": probes,
+    "policies": cells,
+    "throughput_vs_lld": gains,
+    "summary": {
+        "d4_full_vs_lld": gate_gain,
+        "d4_affinity_l2_miss_reduction": locality,
+        "d4_p99_us": {pol: c["lat_p99_us"] for pol, c in d4.items()},
+    },
+}
+json.dump(report, open(out, "w"), indent=2)
+print(f"wrote {out}: d4 full/lld {gate_gain}x, affinity L2-miss "
+      f"reduction {locality}")
+EOF
+
+fi # want 10

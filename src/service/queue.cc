@@ -92,6 +92,13 @@ AdmissionQueue::dropDeadFront(uint32_t tenant)
 }
 
 sim::Cycle
+AdmissionQueue::frontDeadline(uint32_t tenant) const
+{
+    size_t i = frontLive(tenant);
+    return i == SIZE_MAX ? kNoCycle : lanes_[tenant][i].ticket.deadline;
+}
+
+sim::Cycle
 AdmissionQueue::earliestDeadline() const
 {
     sim::Cycle best = kNoCycle;
@@ -103,12 +110,12 @@ AdmissionQueue::earliestDeadline() const
     return best;
 }
 
+template <typename QuotaFn, typename PreferFn>
 int
-AdmissionQueue::selectTenant(sim::Cycle now, uint32_t max_batch,
-                             bool drain)
+AdmissionQueue::selectTenantWith(sim::Cycle now, QuotaFn quota,
+                                 PreferFn prefer, bool drain,
+                                 sim::Cycle slack)
 {
-    fatal_if(max_batch == 0, "selectTenant with max_batch == 0");
-
     // Classes in strict priority order; the first class with any
     // dispatchable work (expired deadline, full lane, or drain flush)
     // wins outright.
@@ -116,9 +123,17 @@ AdmissionQueue::selectTenant(sim::Cycle now, uint32_t max_batch,
         SloClass cls = static_cast<SloClass>(c);
 
         // Rule 1: earliest expired deadline in the class wins (ties ->
-        // lowest tenant id).
-        int edf = -1;
-        sim::Cycle edf_deadline = kNoCycle;
+        // lowest tenant id). With a nonzero slack this is
+        // bounded-lateness EDF: among the expired lanes whose front
+        // deadline is within @p slack of the earliest, the highest
+        // preference score wins (equal scores fall back to earliest
+        // deadline, then lowest id — so slack == 0 or an all-zero
+        // preference is exact EDF). Lateness stays bounded: every
+        // pass-over pops some lane whose deadline is inside the
+        // window, and arrivals only ever append later deadlines, so
+        // after at most one pop per other lane in the class the
+        // earliest lane is the only candidate left.
+        sim::Cycle earliest = kNoCycle;
         for (uint32_t t = 0; t < lanes_.size(); ++t) {
             if (laneClass_[t] != cls)
                 continue;
@@ -126,26 +141,102 @@ AdmissionQueue::selectTenant(sim::Cycle now, uint32_t max_batch,
             if (i == SIZE_MAX)
                 continue;
             sim::Cycle d = lanes_[t][i].ticket.deadline;
-            if (d <= now && d < edf_deadline) {
-                edf = static_cast<int>(t);
-                edf_deadline = d;
-            }
+            if (d <= now && d < earliest)
+                earliest = d;
         }
-        if (edf >= 0)
+        if (earliest != kNoCycle) {
+            int edf = -1;
+            sim::Cycle edf_deadline = kNoCycle;
+            uint64_t edf_pref = 0;
+            for (uint32_t t = 0; t < lanes_.size(); ++t) {
+                if (laneClass_[t] != cls)
+                    continue;
+                size_t i = frontLive(t);
+                if (i == SIZE_MAX)
+                    continue;
+                sim::Cycle d = lanes_[t][i].ticket.deadline;
+                if (d > now || d - earliest > slack)
+                    continue;
+                uint64_t p = prefer(t);
+                if (edf < 0 || p > edf_pref ||
+                    (p == edf_pref && d < edf_deadline)) {
+                    edf = static_cast<int>(t);
+                    edf_deadline = d;
+                    edf_pref = p;
+                }
+            }
             return edf;
+        }
 
         // Rule 2 (full batches) / rule 3 (drain): round-robin scan on
-        // the class's own cursor.
+        // the class's own cursor; the highest preference score among
+        // the candidates wins (only a strictly greater score displaces
+        // an earlier candidate, so a constant preference reduces to
+        // plain round-robin).
+        int best = -1;
+        uint64_t best_pref = 0;
         for (uint32_t k = 0; k < lanes_.size(); ++k) {
             uint32_t t = (rrCursor_[c] + k) %
                          static_cast<uint32_t>(lanes_.size());
             if (laneClass_[t] != cls)
                 continue;
-            if (live_[t] >= max_batch || (drain && live_[t] > 0))
-                return static_cast<int>(t);
+            if (live_[t] < quota(t) && !(drain && live_[t] > 0))
+                continue;
+            uint64_t p = prefer(t);
+            if (best < 0 || p > best_pref) {
+                best = static_cast<int>(t);
+                best_pref = p;
+            }
         }
+        if (best >= 0)
+            return best;
     }
     return -1;
+}
+
+int
+AdmissionQueue::selectTenant(sim::Cycle now, uint32_t max_batch,
+                             bool drain)
+{
+    fatal_if(max_batch == 0, "selectTenant with max_batch == 0");
+    return selectTenantWith(
+        now, [max_batch](uint32_t) { return max_batch; },
+        [](uint32_t) { return uint64_t{0}; }, drain, 0);
+}
+
+int
+AdmissionQueue::selectTenant(sim::Cycle now,
+                             const std::vector<uint32_t> &quota,
+                             bool drain)
+{
+    fatal_if(quota.size() != lanes_.size(),
+             "selectTenant quota vector has %zu entries for %zu lanes",
+             quota.size(), lanes_.size());
+    for (uint32_t q : quota)
+        fatal_if(q == 0, "selectTenant with a zero quota");
+    return selectTenantWith(
+        now, [&quota](uint32_t t) { return quota[t]; },
+        [](uint32_t) { return uint64_t{0}; }, drain, 0);
+}
+
+int
+AdmissionQueue::selectTenant(sim::Cycle now,
+                             const std::vector<uint32_t> &quota,
+                             bool drain,
+                             const std::vector<uint64_t> &prefer,
+                             sim::Cycle slack)
+{
+    fatal_if(quota.size() != lanes_.size(),
+             "selectTenant quota vector has %zu entries for %zu lanes",
+             quota.size(), lanes_.size());
+    fatal_if(prefer.size() != lanes_.size(),
+             "selectTenant prefer vector has %zu entries for %zu lanes",
+             prefer.size(), lanes_.size());
+    for (uint32_t q : quota)
+        fatal_if(q == 0, "selectTenant with a zero quota");
+    return selectTenantWith(
+        now, [&quota](uint32_t t) { return quota[t]; },
+        [&prefer](uint32_t t) { return prefer[t]; }, drain, slack);
 }
 
 std::vector<QueryTicket>

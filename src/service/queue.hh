@@ -104,11 +104,43 @@ class AdmissionQueue
     /** Earliest deadline among the live front entries, or kNoCycle. */
     sim::Cycle earliestDeadline() const;
 
+    /** Deadline of the tenant's oldest live entry, or kNoCycle when
+     *  the lane is empty. */
+    sim::Cycle frontDeadline(uint32_t tenant) const;
+
     /**
      * Dispatch decision at time @p now (see file header for the
      * policy). @return tenant id, or -1 when nothing should launch.
      */
     int selectTenant(sim::Cycle now, uint32_t max_batch, bool drain);
+
+    /**
+     * Size-aware variant: rule 2's "full batch" test uses a per-tenant
+     * quota (service::Scheduler derives quotas from estimated service
+     * cost) instead of one shared max_batch. With every quota equal to
+     * max_batch this is byte-identical to the scalar overload.
+     */
+    int selectTenant(sim::Cycle now, const std::vector<uint32_t> &quota,
+                     bool drain);
+
+    /**
+     * Affinity variant: the class priority walk is unchanged, but the
+     * highest @p prefer score wins among the candidates of the rule
+     * that fires — rule 1 becomes bounded-lateness EDF (candidates are
+     * the expired lanes whose front deadline is within @p slack of the
+     * earliest; equal scores fall back to earliest-deadline, lowest
+     * id), rules 2/3 replace plain round-robin (ties resolve in
+     * round-robin scan order). An all-zero @p prefer with @p slack == 0
+     * is byte-identical to the quota overload. The service passes
+     * per-(tenant, device) cache-warmth scores so a device re-pulls
+     * the tenant whose tree it has hot. Starvation stays bounded: a
+     * lane can only be passed over for other lanes inside the slack
+     * window, each pass-over pops one of them past it, and new
+     * arrivals only append later deadlines.
+     */
+    int selectTenant(sim::Cycle now, const std::vector<uint32_t> &quota,
+                     bool drain, const std::vector<uint64_t> &prefer,
+                     sim::Cycle slack);
 
     /**
      * Pop up to @p max_batch live tickets from the tenant's lane in
@@ -129,6 +161,14 @@ class AdmissionQueue
         QueryTicket ticket;
         bool canceled = false;
     };
+
+    /** Shared policy walk; @p quota maps tenant -> rule-2 threshold,
+     *  @p prefer maps tenant -> selection score (higher wins), and
+     *  @p slack widens rule 1's candidate window (bounded-lateness
+     *  EDF). */
+    template <typename QuotaFn, typename PreferFn>
+    int selectTenantWith(sim::Cycle now, QuotaFn quota, PreferFn prefer,
+                         bool drain, sim::Cycle slack);
 
     /** Index of the first live entry in a lane, or SIZE_MAX. */
     size_t frontLive(uint32_t tenant) const;

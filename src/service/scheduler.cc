@@ -1,0 +1,424 @@
+#include "service/scheduler.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tta::service {
+
+const char *
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::LeastLoaded:
+        return "lld";
+      case SchedPolicy::SizeAware:
+        return "size";
+      case SchedPolicy::Affinity:
+        return "affinity";
+      case SchedPolicy::Steal:
+        return "steal";
+      case SchedPolicy::Full:
+        return "full";
+    }
+    return "?";
+}
+
+bool
+parseSchedPolicy(const std::string &name, SchedPolicy &out)
+{
+    for (SchedPolicy p :
+         {SchedPolicy::LeastLoaded, SchedPolicy::SizeAware,
+          SchedPolicy::Affinity, SchedPolicy::Steal, SchedPolicy::Full}) {
+        if (name == schedPolicyName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+SchedPolicy
+schedPolicyFromEnv(SchedPolicy fallback)
+{
+    const char *env = std::getenv("TTA_SCHED");
+    if (!env || !*env)
+        return fallback;
+    SchedPolicy p;
+    fatal_if(!parseSchedPolicy(env, p),
+             "TTA_SCHED=%s: expected lld|size|affinity|steal|full", env);
+    return p;
+}
+
+Scheduler::Scheduler(SchedPolicy policy, const SchedParams &params,
+                     uint32_t num_devices, uint32_t num_tenants,
+                     uint32_t max_batch)
+    : policy_(policy), params_(params), maxBatch_(max_batch),
+      backlog_(num_devices), backlogCost_(num_devices, 0),
+      busy_(num_devices, false), freeAt_(num_devices, 0),
+      busyUntilEst_(num_devices, 0),
+      costQ8_(num_tenants, params.seedCostCyclesPerQuery << 8),
+      calibrated_(num_tenants, false),
+      quota_(num_tenants, max_batch),
+      lastUse_(static_cast<size_t>(num_tenants) * num_devices,
+               kNoCycle),
+      servedSeq_(num_devices, 0),
+      lastServedSeq_(static_cast<size_t>(num_tenants) * num_devices,
+                     0),
+      dispatches_(num_devices, 0), steals_(num_devices, 0)
+{
+    fatal_if(num_devices == 0, "Scheduler with zero devices");
+    fatal_if(num_tenants == 0, "Scheduler with zero tenants");
+    fatal_if(max_batch == 0, "Scheduler with maxBatch == 0");
+    fatal_if(params_.ewmaShift >= 32, "SchedParams.ewmaShift too large");
+    fatal_if(params_.seedCostCyclesPerQuery == 0,
+             "SchedParams.seedCostCyclesPerQuery == 0");
+}
+
+void
+Scheduler::calibrate(uint32_t t, uint64_t queries, sim::Cycle elapsed)
+{
+    fatal_if(queries == 0, "calibrate with zero queries");
+    uint64_t q8 = (static_cast<uint64_t>(elapsed) << 8) / queries;
+    costQ8_[t] = q8 ? q8 : 1;
+    calibrated_[t] = true;
+}
+
+uint64_t
+Scheduler::estBatchCost(uint32_t t, uint64_t n) const
+{
+    uint64_t est = (costQ8_[t] * n) >> 8;
+    return est ? est : 1;
+}
+
+void
+Scheduler::refreshQuotas()
+{
+    if (!sizeAware())
+        return; // lld: quotas stay pinned at maxBatch
+    uint64_t minQ8 = costQ8_[0];
+    for (uint64_t c : costQ8_)
+        minQ8 = c < minQ8 ? c : minQ8;
+    // Target dispatch threshold: a lane becomes dispatchable once its
+    // queued queries cost about what a full (maxBatch) batch of the
+    // cheapest tenant costs, so a pricey tenant launches sooner
+    // instead of waiting to amass maxBatch queries. (The service pops
+    // up to maxBatch regardless — see batchQuota's doc.)
+    for (size_t t = 0; t < quota_.size(); ++t) {
+        uint64_t q = (static_cast<uint64_t>(maxBatch_) * minQ8) /
+                     costQ8_[t];
+        uint32_t lo = params_.minQuota ? params_.minQuota : 1;
+        if (q < lo)
+            q = lo;
+        if (q > maxBatch_)
+            q = maxBatch_;
+        quota_[t] = static_cast<uint32_t>(q);
+    }
+}
+
+bool
+Scheduler::hasRoom() const
+{
+    if (leastLoaded()) {
+        for (uint32_t d = 0; d < backlog_.size(); ++d)
+            if (!busy_[d] && backlog_[d].empty())
+                return true;
+        return false;
+    }
+    for (uint32_t d = 0; d < backlog_.size(); ++d)
+        if (backlog_[d].size() < params_.maxBacklog)
+            return true;
+    return false;
+}
+
+bool
+Scheduler::hasIdleDevice() const
+{
+    for (uint32_t d = 0; d < backlog_.size(); ++d)
+        if (!busy_[d] && backlog_[d].empty())
+            return true;
+    return false;
+}
+
+uint32_t
+Scheduler::nextPlacementDevice(sim::Cycle now) const
+{
+    int best = -1;
+    sim::Cycle bestLoad = 0;
+    for (uint32_t d = 0; d < backlog_.size(); ++d) {
+        if (backlog_[d].size() >= params_.maxBacklog)
+            continue;
+        sim::Cycle load = estLoad(d, now);
+        if (best < 0 || load < bestLoad) {
+            best = static_cast<int>(d);
+            bestLoad = load;
+        }
+    }
+    fatal_if(best < 0, "nextPlacementDevice called without room");
+    return static_cast<uint32_t>(best);
+}
+
+std::vector<uint64_t>
+Scheduler::warmthKeys(uint32_t d, sim::Cycle now) const
+{
+    std::vector<uint64_t> keys(costQ8_.size(), 0);
+    for (uint32_t t = 0; t < keys.size(); ++t)
+        keys[t] = warmthBonus(t, d, estBatchCost(t, quota_[t]), now);
+    return keys;
+}
+
+sim::Cycle
+Scheduler::estLoad(uint32_t d, sim::Cycle now) const
+{
+    sim::Cycle load = backlogCost_[d];
+    if (busy_[d] && busyUntilEst_[d] > now)
+        load += busyUntilEst_[d] - now;
+    return load;
+}
+
+sim::Cycle
+Scheduler::warmthBonus(uint32_t t, uint32_t d, uint64_t est_cost,
+                       sim::Cycle now) const
+{
+    return warmthAt(t, d, est_cost, now, backlog_[d].size());
+}
+
+sim::Cycle
+Scheduler::warmthAt(uint32_t t, uint32_t d, uint64_t est_cost,
+                    sim::Cycle now, size_t upto) const
+{
+    // Predict the cache state the batch will meet, not the state now:
+    // number the device's service sequence (launches so far, then the
+    // planned backlog), find the most recent slot tenant t occupies
+    // before the candidate's, and score by the batch distance. A
+    // device's L2 keeps a tenant's tree hot across a few intervening
+    // batches of its other resident tenants, so warmth reaches
+    // warmthResidencyBatches back, decaying linearly with distance.
+    uint32_t window = params_.warmthResidencyBatches;
+    if (window == 0)
+        return 0;
+    uint64_t cand = servedSeq_[d] + upto + 1;
+    uint64_t last =
+        lastServedSeq_[static_cast<size_t>(t) * backlog_.size() + d];
+    bool planned = false;
+    for (size_t i = 0; i < upto; ++i) {
+        if (backlog_[d][i].tenant == t) {
+            last = servedSeq_[d] + i + 1;
+            planned = true;
+        }
+    }
+    if (last == 0 || cand - last > window)
+        return 0;
+    if (!planned) {
+        // Historical warmth additionally honors the staleness bound:
+        // a long-idle device is cold no matter the batch distance. A
+        // launch still in flight (no retire yet) is fresh by
+        // construction.
+        sim::Cycle used = lastUse_[static_cast<size_t>(t) *
+                                       backlog_.size() + d];
+        if (used != kNoCycle && params_.warmthStalenessCycles &&
+            now - used >= params_.warmthStalenessCycles)
+            return 0;
+    }
+    uint64_t base = (est_cost * params_.warmthBonusFrac256) >> 8;
+    uint64_t age = cand - last; // in [1, window]
+    return static_cast<sim::Cycle>(base - (age - 1) * (base / window));
+}
+
+uint32_t
+Scheduler::place(uint32_t tenant,
+                 std::shared_ptr<std::vector<QueryTicket>> queries,
+                 bool expired, bool priority, sim::Cycle now)
+{
+    fatal_if(!queries || queries->empty(), "place of an empty batch");
+    Batch b;
+    b.id = nextBatchId_++;
+    b.tenant = tenant;
+    b.estCost = estBatchCost(tenant, queries->size());
+    b.expired = expired;
+    b.priority = priority;
+    b.queries = std::move(queries);
+
+    int best = -1;
+    if (leastLoaded()) {
+        // PR 9's dispatcher: the idle unplanned device that has been
+        // idle longest (smallest last-completion cycle, ties to the
+        // lowest index).
+        for (uint32_t d = 0; d < backlog_.size(); ++d) {
+            if (busy_[d] || !backlog_[d].empty())
+                continue;
+            if (best < 0 ||
+                freeAt_[d] < freeAt_[static_cast<uint32_t>(best)])
+                best = static_cast<int>(d);
+        }
+    } else {
+        // Estimated-ready score, minus the (bounded, decayed) warmth
+        // bonus under affinity policies. Ties to the lowest index.
+        uint64_t bestScore = 0;
+        for (uint32_t d = 0; d < backlog_.size(); ++d) {
+            if (backlog_[d].size() >= params_.maxBacklog)
+                continue;
+            uint64_t ready = now + estLoad(d, now);
+            if (affinity()) {
+                sim::Cycle bonus =
+                    warmthBonus(tenant, d, b.estCost, now);
+                ready = ready > bonus ? ready - bonus : 0;
+            }
+            if (best < 0 || ready < bestScore) {
+                best = static_cast<int>(d);
+                bestScore = ready;
+            }
+        }
+    }
+    fatal_if(best < 0, "place called without room");
+    uint32_t d = static_cast<uint32_t>(best);
+    enqueuePlanned(d, std::move(b));
+    ++planned_;
+    return d;
+}
+
+void
+Scheduler::enqueuePlanned(uint32_t d, Batch &&b)
+{
+    backlogCost_[d] += b.estCost;
+    if (b.priority) {
+        // Keep the queue's strict SLO-class order through planning: a
+        // latency-sensitive batch runs before the device's queued
+        // throughput batches (but after earlier priority plans).
+        auto it = backlog_[d].begin();
+        while (it != backlog_[d].end() && it->priority)
+            ++it;
+        backlog_[d].insert(it, std::move(b));
+    } else {
+        backlog_[d].push_back(std::move(b));
+    }
+}
+
+sim::Cycle
+Scheduler::stealThreshold() const
+{
+    if (params_.stealThresholdCycles)
+        return params_.stealThresholdCycles;
+    uint64_t minQ8 = costQ8_[0];
+    for (uint64_t c : costQ8_)
+        minQ8 = c < minQ8 ? c : minQ8;
+    sim::Cycle t = (static_cast<uint64_t>(maxBatch_) * minQ8) >> 8;
+    return t ? t : 1;
+}
+
+void
+Scheduler::rebalance(sim::Cycle now)
+{
+    if (!stealing())
+        return;
+    // Bounded pass: each iteration moves one tail batch from the
+    // most-loaded device to the least-loaded one, and only while the
+    // move strictly reduces that batch's estimated start cycle — so a
+    // batch never gets *later* through stealing (the no-inversion
+    // argument), and the loop terminates.
+    sim::Cycle threshold = stealThreshold();
+    for (uint32_t guard = 0;
+         guard < backlog_.size() * params_.maxBacklog + 1; ++guard) {
+        int thief = -1, victim = -1;
+        sim::Cycle thiefLoad = 0, victimLoad = 0;
+        for (uint32_t d = 0; d < backlog_.size(); ++d) {
+            sim::Cycle load = estLoad(d, now);
+            if (backlog_[d].size() < params_.maxBacklog &&
+                load < threshold &&
+                (thief < 0 || load < thiefLoad)) {
+                thief = static_cast<int>(d);
+                thiefLoad = load;
+            }
+            if (!backlog_[d].empty() &&
+                (victim < 0 || load > victimLoad)) {
+                victim = static_cast<int>(d);
+                victimLoad = load;
+            }
+        }
+        if (thief < 0 || victim < 0 || thief == victim)
+            return;
+        Batch &tail = backlog_[victim].back();
+        // New estimated start on the thief vs. current estimated start
+        // on the victim (it is the tail, so it starts after everything
+        // else there).
+        uint64_t moveCost = tail.estCost;
+        if (affinity()) {
+            // A steal that breaks a warm chain runs the batch cold on
+            // the thief: charge the move the warmth the batch would
+            // have enjoyed in place and credit any warmth waiting on
+            // the thief, so only steals that beat the locality loss
+            // happen.
+            sim::Cycle victimWarm = warmthAt(
+                tail.tenant, static_cast<uint32_t>(victim),
+                tail.estCost, now, backlog_[victim].size() - 1);
+            sim::Cycle thiefWarm =
+                warmthBonus(tail.tenant, static_cast<uint32_t>(thief),
+                            tail.estCost, now);
+            moveCost += victimWarm;
+            moveCost = moveCost > thiefWarm ? moveCost - thiefWarm : 0;
+        }
+        if (thiefLoad + moveCost >= victimLoad)
+            return; // no strictly earlier start: stop stealing
+        Batch moved = std::move(backlog_[victim].back());
+        backlog_[victim].pop_back();
+        backlogCost_[victim] -= moved.estCost;
+        ++steals_[thief];
+        ++stealsTotal_;
+        if (stealsTotal_ <= kMaxLoggedSteals) {
+            std::ostringstream os;
+            os << "s" << stealsTotal_ << " c=" << now
+               << " b=" << moved.id << " d" << victim << "->" << thief
+               << "\n";
+            stealLog_ += os.str();
+        }
+        enqueuePlanned(static_cast<uint32_t>(thief), std::move(moved));
+    }
+}
+
+Scheduler::Batch
+Scheduler::takeReady(uint32_t d)
+{
+    fatal_if(backlog_[d].empty(), "takeReady on an empty backlog");
+    Batch b = std::move(backlog_[d].front());
+    backlog_[d].pop_front();
+    backlogCost_[d] -= b.estCost;
+    --planned_;
+    return b;
+}
+
+void
+Scheduler::onLaunch(uint32_t d, const Batch &b, sim::Cycle now)
+{
+    fatal_if(busy_[d], "launch on a busy device");
+    busy_[d] = true;
+    busyUntilEst_[d] = now + b.estCost;
+    ++servedSeq_[d];
+    lastServedSeq_[static_cast<size_t>(b.tenant) * backlog_.size() +
+                   d] = servedSeq_[d];
+    ++dispatches_[d];
+}
+
+void
+Scheduler::onRetire(uint32_t d, uint32_t tenant, uint64_t queries,
+                    sim::Cycle complete, sim::Cycle elapsed)
+{
+    fatal_if(!busy_[d], "retire on an idle device");
+    busy_[d] = false;
+    freeAt_[d] = complete;
+    busyUntilEst_[d] = complete;
+    lastUse_[static_cast<size_t>(tenant) * backlog_.size() + d] =
+        complete;
+    if (!sizeAware() || queries == 0)
+        return;
+    // Integer EWMA on the Q8 cycles/query estimate: signed step toward
+    // the sample, alpha = 1 / 2^ewmaShift.
+    int64_t sample =
+        static_cast<int64_t>((static_cast<uint64_t>(elapsed) << 8) /
+                             queries);
+    int64_t cur = static_cast<int64_t>(costQ8_[tenant]);
+    int64_t next = cur + ((sample - cur) >> params_.ewmaShift);
+    costQ8_[tenant] = next > 0 ? static_cast<uint64_t>(next) : 1;
+}
+
+} // namespace tta::service

@@ -18,7 +18,6 @@ TraversalService::TraversalService(const sim::Config &cfg,
     group_ = std::make_unique<DeviceGroup>(cfg_, policy_.numDevices,
                                            policy_.pipelinedStaging);
     inflight_.resize(policy_.numDevices);
-    deviceFreeAt_.resize(policy_.numDevices, 0);
     deviceLaunches_.resize(policy_.numDevices, 0);
 }
 
@@ -80,13 +79,12 @@ TraversalService::admitUpTo(TrafficSource &src, sim::Cycle now,
 }
 
 void
-TraversalService::dispatchTo(uint32_t d, uint32_t t,
-                             ServiceReport &report)
+TraversalService::launchReady(uint32_t d, ServiceReport &report)
 {
+    Scheduler::Batch b = scheduler_->takeReady(d);
+    uint32_t t = b.tenant;
     Tenant &tenant = *tenants_[t];
-    auto batch = std::make_shared<std::vector<QueryTicket>>(
-        queue_.popBatch(t, policy_.maxBatch));
-    fatal_if(batch->empty(), "dispatch of an empty batch");
+    std::shared_ptr<std::vector<QueryTicket>> batch = b.queries;
 
     // Staging parity alternates per device launch, so batch k+1 stages
     // into the buffers batch k-1 vacated while batch k is in flight.
@@ -119,17 +117,60 @@ TraversalService::dispatchTo(uint32_t d, uint32_t t,
         tally->fetch_add(bad, std::memory_order_relaxed);
     };
     group_->submit(d, std::move(launch));
+    scheduler_->onLaunch(d, b, now_);
 
     Inflight &f = inflight_[d];
     f.active = true;
     f.tenant = t;
     f.parity = parity;
-    f.expired = batch->front().deadline <= now_;
+    f.expired = b.expired;
     f.start = now_;
     f.complete = kNoCycle;
     f.batch = std::move(batch);
     if (f.expired)
         ++report.expiredDispatches;
+}
+
+void
+TraversalService::runCalibrationProbe()
+{
+    uint32_t n = policy_.schedParams.probeQueries;
+    if (n > policy_.maxBatch)
+        n = policy_.maxBatch;
+    if (!scheduler_->sizeAware() || n == 0)
+        return;
+    // One probe batch per (tenant, device), synthetic payloads cycling
+    // the tenant's pool. Launched outside the traffic loop: no queue,
+    // report or sequence-number interaction — only the device clocks
+    // (and caches) advance, uniformly across the group, and the cost
+    // model is seeded from device 0's measurement.
+    for (uint32_t t = 0; t < tenants_.size(); ++t) {
+        Tenant &tenant = *tenants_[t];
+        std::vector<QueryTicket> batch(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            batch[i].seq = i;
+            batch[i].tenant = t;
+            batch[i].payload = static_cast<uint32_t>(
+                i % tenant.poolSize());
+        }
+        sim::Cycle seed_elapsed = 0;
+        for (uint32_t d = 0; d < group_->size(); ++d) {
+            uint32_t parity = static_cast<uint32_t>(
+                deviceLaunches_[d] % kStagingParities);
+            ++deviceLaunches_[d];
+            group_->reserveParity(d, parity);
+            tenant.writeBatch(group_->device(d), parity, batch);
+            DeviceGroup::Launch launch;
+            launch.slot = tenant.slot(d, parity);
+            launch.queries = n;
+            launch.parity = parity;
+            group_->submit(d, std::move(launch));
+            sim::Cycle elapsed = group_->collectElapsed(d);
+            if (d == 0)
+                seed_elapsed = elapsed;
+        }
+        scheduler_->calibrate(t, n, seed_elapsed);
+    }
 }
 
 void
@@ -216,7 +257,8 @@ TraversalService::retireDue(sim::Cycle now, TrafficSource &src,
             dr.batchLog += os.str();
         }
 
-        deviceFreeAt_[d] = f.complete;
+        scheduler_->onRetire(d, f.tenant, batch.size(), f.complete,
+                             f.complete - f.start);
         f.active = false;
         f.batch.reset();
     }
@@ -240,42 +282,91 @@ TraversalService::run(TrafficSource &src)
     for (uint32_t t = 0; t < tenants_.size(); ++t)
         verifyMismatches_[t].store(0, std::memory_order_relaxed);
 
+    scheduler_ = std::make_unique<Scheduler>(
+        policy_.sched, policy_.schedParams, group_->size(),
+        static_cast<uint32_t>(tenants_.size()), policy_.maxBatch);
+    runCalibrationProbe();
+
     while (true) {
         retireDue(now_, src, report);
         admitUpTo(src, now_, report);
 
-        // Dispatch to idle devices, longest-idle first (ties to the
-        // lowest index), while the queue has dispatchable work.
-        for (;;) {
-            int d = -1;
-            for (uint32_t i = 0; i < inflight_.size(); ++i) {
-                if (inflight_[i].active)
-                    continue;
-                if (d < 0 || deviceFreeAt_[i] <
-                                 deviceFreeAt_[static_cast<uint32_t>(d)])
-                    d = static_cast<int>(i);
-            }
-            if (d < 0)
-                break;
-            int t = queue_.selectTenant(now_, policy_.maxBatch,
+        // Plan: pull dispatchable batches from the admission queue and
+        // place them onto devices per the scheduling policy, while the
+        // scheduler has room. Under lld, "room" means an idle device
+        // with no plan and placement is longest-idle-first, so the
+        // pairing (and the launches below, all at the same now_) match
+        // the pre-scheduler dispatcher exactly.
+        scheduler_->refreshQuotas();
+        while (scheduler_->hasRoom()) {
+            int t;
+            if (scheduler_->affinity()) {
+                // Orient tenant selection around the device the batch
+                // will land on: among dispatchable full lanes, the one
+                // whose tree is warmest there wins (queue.hh documents
+                // why this keeps the SLO rules intact).
+                uint32_t d = scheduler_->nextPlacementDevice(now_);
+                t = queue_.selectTenant(now_, scheduler_->quotas(),
+                                        src.exhausted(),
+                                        scheduler_->warmthKeys(d, now_),
+                                        scheduler_->deadlineSlack());
+            } else if (scheduler_->sizeAware()) {
+                t = queue_.selectTenant(now_, scheduler_->quotas(),
                                         src.exhausted());
+            } else {
+                t = queue_.selectTenant(now_, policy_.maxBatch,
+                                        src.exhausted());
+            }
             if (t < 0)
                 break;
-            dispatchTo(static_cast<uint32_t>(d),
-                       static_cast<uint32_t>(t), report);
+            bool priority = queue_.laneClass(static_cast<uint32_t>(t)) ==
+                            SloClass::LatencySensitive;
+            // A partial throughput lane coalesces better the longer
+            // it waits; pop it early only for the reasons lld would —
+            // an expired front deadline or the trace draining. The
+            // quota makes a lane *eligible* (selectable) below
+            // maxBatch, but popping the sub-full preferred lane just
+            // to keep a device busy trades a full batch's
+            // amortization for a partial's, which measures as a net
+            // loss. Priority batches are exempt: they jump the
+            // backlog at placement anyway.
+            if (!scheduler_->leastLoaded() && !priority &&
+                queue_.pending(static_cast<uint32_t>(t)) <
+                    policy_.maxBatch &&
+                queue_.frontDeadline(static_cast<uint32_t>(t)) > now_ &&
+                !src.exhausted())
+                break;
+            // Quotas gate *when* a lane dispatches (rule 2 threshold);
+            // the pop itself always takes up to maxBatch, so a backed-
+            // up lane still launches full-size batches.
+            auto batch = std::make_shared<std::vector<QueryTicket>>(
+                queue_.popBatch(static_cast<uint32_t>(t),
+                                policy_.maxBatch));
+            fatal_if(batch->empty(), "dispatch of an empty batch");
+            bool expired = batch->front().deadline <= now_;
+            scheduler_->place(static_cast<uint32_t>(t),
+                              std::move(batch), expired, priority, now_);
         }
+        scheduler_->rebalance(now_);
 
-        // Next event: arrival, cancel, deadline (only useful when a
-        // device could act on it), or the earliest in-flight
+        // Launch the front of every idle device's plan. After this,
+        // every device with planned work is busy, so the loop can
+        // never wedge with planned batches outstanding.
+        for (uint32_t d = 0; d < inflight_.size(); ++d)
+            if (!inflight_[d].active && scheduler_->hasReady(d))
+                launchReady(d, report);
+
+        // Next event: arrival, cancel, deadline (only useful when the
+        // scheduler could act on it), or the earliest in-flight
         // completion (collected lazily here — this is where the
-        // scheduler blocks on device workers, one at a time, while the
+        // service blocks on device workers, one at a time, while the
         // others keep simulating).
         sim::Cycle next = src.peek();
-        bool anyIdle = false;
         bool anyInflight = false;
         for (const Inflight &f : inflight_)
-            (f.active ? anyInflight : anyIdle) = true;
-        if (anyIdle && queue_.pendingTotal() > 0) {
+            if (f.active)
+                anyInflight = true;
+        if (scheduler_->hasRoom() && queue_.pendingTotal() > 0) {
             sim::Cycle dl = queue_.earliestDeadline();
             if (dl < next)
                 next = dl;
@@ -295,6 +386,9 @@ TraversalService::run(TrafficSource &src)
             fatal_if(queue_.pendingTotal() > 0,
                      "service wedged with %llu queued queries",
                      (unsigned long long)queue_.pendingTotal());
+            fatal_if(scheduler_->plannedBatches() > 0,
+                     "service wedged with %llu planned batches",
+                     (unsigned long long)scheduler_->plannedBatches());
             fatal_if(!src.exhausted(),
                      "traffic source idle but not exhausted with an "
                      "empty queue");
@@ -302,6 +396,11 @@ TraversalService::run(TrafficSource &src)
         }
         now_ = next > now_ ? next : now_ + 1;
     }
+
+    for (uint32_t d = 0; d < report.devices.size(); ++d)
+        report.devices[d].steals = scheduler_->steals(d);
+    report.steals = scheduler_->stealsTotal();
+    report.stealLog = scheduler_->stealLog();
 
     // Finish outstanding verifies (and surface any worker error).
     group_->drain();
@@ -369,7 +468,14 @@ TraversalService::publishStats(const ServiceReport &report)
             .set(static_cast<double>(dr.busy));
         stats_.scalar(prefix + ".lat_p99_cycles")
             .set(static_cast<double>(dr.latency.percentile(99)));
+        // New-policy stats only: the lld stat surface must stay
+        // byte-identical to the pre-scheduler service (the golden
+        // snapshot diff rejects new keys).
+        if (policy_.sched != SchedPolicy::LeastLoaded)
+            stats_.counter(prefix + ".steals") += dr.steals;
     }
+    if (policy_.sched != SchedPolicy::LeastLoaded)
+        stats_.counter("service.sched.steals") += report.steals;
     stats_.counter("service.expired_dispatches") +=
         report.expiredDispatches;
     stats_.scalar("service.makespan_cycles")

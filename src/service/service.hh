@@ -17,10 +17,15 @@
  *     lanes (queue.hh documents the full policy),
  *   - partial lanes flush once the traffic source is exhausted.
  *
- * Dispatcher: when a batch is ready, it goes to the free device that
- * has been idle longest (smallest last-completion cycle, ties to the
- * lowest device index) — deterministic least-loaded-first on the
- * virtual clock.
+ * Dispatcher: batch placement is delegated to a pluggable policy layer
+ * (scheduler.hh). The default ("lld", policy.sched) reproduces the
+ * original least-loaded-first dispatcher decision-for-decision: a
+ * ready batch goes to the free device that has been idle longest
+ * (smallest last-completion cycle, ties to the lowest device index).
+ * The size/affinity/steal/full policies add an EWMA service-time
+ * estimator (seeded by a calibration probe run before traffic),
+ * tenant-to-device cache-warmth affinity, and deterministic tail-batch
+ * work stealing — all pure functions of the virtual clock.
  *
  * Time model: the service keeps a virtual clock `now` in simulated
  * device cycles. Each device serves one batch at a time; a launch
@@ -63,6 +68,7 @@
 #include "service/device_group.hh"
 #include "service/latency.hh"
 #include "service/queue.hh"
+#include "service/scheduler.hh"
 #include "service/tenants.hh"
 #include "service/traffic.hh"
 #include "sim/config.hh"
@@ -85,6 +91,11 @@ struct ServicePolicy
     /** Per-device worker threads with double-buffered staging/verify
      *  (bit-identical to the serial path, just faster wall-clock). */
     bool pipelinedStaging = true;
+    /** Dispatch policy; LeastLoaded reproduces the pre-scheduler
+     *  dispatcher bit-exactly (scheduler.hh). */
+    SchedPolicy sched = SchedPolicy::LeastLoaded;
+    /** Scheduler tuning knobs (ignored under LeastLoaded). */
+    SchedParams schedParams;
 };
 
 struct TenantReport
@@ -106,6 +117,7 @@ struct DeviceReport
     uint64_t completed = 0;
     sim::Cycle busy = 0;     //!< sum of launch elapsed cycles
     sim::Cycle lastDone = 0; //!< last completion cycle
+    uint64_t steals = 0;     //!< batches this device stole (as thief)
     LatencyHistogram latency;
     /** Per-device batch log, numbered per device: the per-device
      *  determinism oracle. */
@@ -130,12 +142,16 @@ struct ServiceReport
     uint64_t canceled = 0;
     uint64_t batches = 0;
     uint64_t expiredDispatches = 0; //!< launched by the deadline rule
+    uint64_t steals = 0;            //!< total scheduler steal events
     sim::Cycle makespan = 0;        //!< last completion cycle
     sim::Cycle deviceBusy = 0;      //!< sum over devices of busy
     /** Compact per-batch log (tenant, start, size, seq range, device)
      *  in retirement order for the first kMaxLoggedBatches batches:
      *  the determinism oracle. */
     std::string batchLog;
+    /** Scheduler steal log (scheduler.hh): part of the determinism
+     *  oracle under stealing policies; empty otherwise. */
+    std::string stealLog;
 
     /** Completed queries per million simulated cycles (aggregate
      *  across devices; the makespan is the shared virtual clock). */
@@ -204,8 +220,13 @@ class TraversalService
 
     void admitUpTo(TrafficSource &src, sim::Cycle now,
                    ServiceReport &report);
-    /** Stage + submit a batch of tenant @p t on device @p d at now_. */
-    void dispatchTo(uint32_t d, uint32_t t, ServiceReport &report);
+    /** Stage + submit device @p d's next planned batch at now_. */
+    void launchReady(uint32_t d, ServiceReport &report);
+    /** Seed the scheduler's cost model: one unverified probe batch per
+     *  (tenant, device) before traffic, so every device is uniformly
+     *  warmed and tenant estimates start from a measurement instead of
+     *  the static seed. No-op under lld or probeQueries == 0. */
+    void runCalibrationProbe();
     /** Block until device @p d's in-flight launch has a completion
      *  cycle (no-op when already known). */
     void ensureElapsed(uint32_t d, ServiceReport &report);
@@ -226,8 +247,8 @@ class TraversalService
     std::priority_queue<CancelEvent, std::vector<CancelEvent>,
                         std::greater<CancelEvent>>
         cancels_;
+    std::unique_ptr<Scheduler> scheduler_; //!< created in run()
     std::vector<Inflight> inflight_;      //!< per device
-    std::vector<sim::Cycle> deviceFreeAt_; //!< last completion cycle
     std::vector<uint64_t> deviceLaunches_; //!< parity alternation
     //! worker-side verify mismatch tallies, summed after drain
     std::unique_ptr<std::atomic<uint64_t>[]> verifyMismatches_;

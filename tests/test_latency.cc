@@ -135,6 +135,85 @@ TEST(Latency, OverflowTail)
     EXPECT_EQ(h.sum(), 10ull * 100 + 5 * huge + (0 + 1 + 2 + 3 + 4));
 }
 
+TEST(Latency, MergeWithOverflowTail)
+{
+    // Per-device histograms with overflow-tail entries must merge
+    // exactly: counts, sums, extrema and the overflow tally all add,
+    // and a rank landing in the merged tail reports the merged max.
+    const uint64_t lim = 1ull << LatencyHistogram::kMaxBits;
+    LatencyHistogram a, b, all;
+    auto rec = [&](LatencyHistogram &h, uint64_t v) {
+        h.record(v);
+        all.record(v);
+    };
+    for (int i = 0; i < 90; ++i)
+        rec(a, 1000 + i);
+    for (int i = 0; i < 5; ++i)
+        rec(a, lim + i); // a's tail holds the global max
+    for (int i = 0; i < 90; ++i)
+        rec(b, 500 + i);
+    for (int i = 0; i < 15; ++i)
+        rec(b, lim - 1 - i); // near-tail, below the overflow cut
+    rec(b, lim + 2);
+
+    LatencyHistogram m = a;
+    m.merge(b);
+    EXPECT_EQ(m.count(), a.count() + b.count());
+    EXPECT_EQ(m.overflow(), 6u);
+    EXPECT_EQ(m.sum(), a.sum() + b.sum());
+    EXPECT_EQ(m.min(), 500u);
+    EXPECT_EQ(m.max(), lim + 4);
+    // 201 samples, 6 in the tail: rank 197 (p98) is the first tail
+    // rank and reports the merged maximum; p97 (rank 195) still sits
+    // in b's near-tail bucket just under the cut.
+    EXPECT_EQ(m.percentile(98), m.max());
+    EXPECT_EQ(m.percentile(100), m.max());
+    uint64_t p97 = m.percentile(97);
+    EXPECT_LE(p97, lim - 1);
+    EXPECT_GE(p97, (lim - 1) - (lim - 1) / 32);
+    // Byte-identical to one histogram fed every sample directly, in
+    // either merge direction.
+    EXPECT_EQ(m.dumpString(), all.dumpString());
+    LatencyHistogram m2 = b;
+    m2.merge(a);
+    EXPECT_EQ(m2.dumpString(), all.dumpString());
+}
+
+TEST(Latency, MergeAssociativityWithOverflow)
+{
+    // Three-way merges with overflow entries agree regardless of
+    // grouping, and an empty histogram is a merge identity — the
+    // properties the per-device / per-class report merges rely on.
+    tta::sim::Rng rng(11);
+    const uint64_t lim = 1ull << LatencyHistogram::kMaxBits;
+    LatencyHistogram a, b, c, all;
+    for (int i = 0; i < 3000; ++i) {
+        uint64_t v = rng.nextBounded(16) == 0
+                         ? lim + rng.nextBounded(1ull << 20)
+                         : rng.nextBounded(lim);
+        all.record(v);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+    }
+    ASSERT_GT(all.overflow(), 0u);
+    LatencyHistogram ab = a;
+    ab.merge(b);
+    ab.merge(c); // (a + b) + c
+    LatencyHistogram bc = b;
+    bc.merge(c);
+    LatencyHistogram abc = a;
+    abc.merge(bc); // a + (b + c)
+    EXPECT_EQ(ab.dumpString(), all.dumpString());
+    EXPECT_EQ(abc.dumpString(), all.dumpString());
+
+    LatencyHistogram keep = all;
+    LatencyHistogram empty;
+    keep.merge(empty);
+    EXPECT_EQ(keep.dumpString(), all.dumpString());
+    LatencyHistogram onto;
+    onto.merge(all);
+    EXPECT_EQ(onto.dumpString(), all.dumpString());
+}
+
 TEST(Latency, MergeMatchesSingle)
 {
     tta::sim::Rng rng(3);

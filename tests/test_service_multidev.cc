@@ -7,6 +7,10 @@
  *    kernels {event-driven, threaded} x staging {pipelined, serial}
  *    must agree bit-for-bit on the global batch log, every per-device
  *    batch log, every latency histogram and the whole stat registry,
+ *  - the same matrix again per scheduling policy (size / affinity /
+ *    steal / full at two devices), with the scheduler's steal log in
+ *    the oracle — placement and stealing are pure functions of the
+ *    virtual clock on every kernel,
  *  - histogram merges are exact: the per-device latency histograms
  *    merge to exactly the service-wide histogram, and so do the
  *    per-SLO-class histograms,
@@ -56,7 +60,8 @@ constexpr uint64_t kSeed = 17;
  *  arrivals fast enough to keep several devices busy at once. */
 ServiceReport
 runMultidevService(const sim::Config &cfg, sim::StatRegistry &stats,
-                   uint32_t num_devices, bool pipelined)
+                   uint32_t num_devices, bool pipelined,
+                   SchedPolicy sched = SchedPolicy::LeastLoaded)
 {
     ServicePolicy policy;
     policy.maxBatch = 48;
@@ -64,6 +69,7 @@ runMultidevService(const sim::Config &cfg, sim::StatRegistry &stats,
     policy.lsMaxWaitCycles = 4000;
     policy.numDevices = num_devices;
     policy.pipelinedStaging = pipelined;
+    policy.sched = sched;
     TraversalService svc(cfg, stats, policy);
     svc.addTenant(std::make_unique<BTreeTenant>("btree", 400, 128,
                                                 kSeed),
@@ -124,6 +130,7 @@ oracleString(const ServiceReport &rep)
         s += std::string(sloClassName(static_cast<SloClass>(c))) + ":" +
              rep.classes[c].latency.dumpString();
     }
+    s += "steals=" + std::to_string(rep.steals) + ":" + rep.stealLog;
     return s;
 }
 
@@ -200,6 +207,71 @@ TEST(ServiceMultiDevice, DeterminismMatrix)
             EXPECT_EQ(rep.makespan, ref.makespan)
                 << devices << " devices, " << v.name;
             EXPECT_TRUE(deviceMergeIsExact(rep, &why)) << why;
+        }
+    }
+}
+
+TEST(ServiceMultiDevice, DeterminismMatrixPolicies)
+{
+    // The scheduler's placement, quota and steal decisions must also
+    // be pure functions of the virtual clock: rerun each non-lld
+    // policy on two devices across kernels and staging modes, with the
+    // steal log in the oracle.
+    struct Variant
+    {
+        const char *name;
+        sim::Simulator::Kernel kernel;
+        unsigned simThreads;
+        bool pipelined;
+    };
+    const Variant variants[] = {
+        {"event/serial", sim::Simulator::Kernel::EventDriven, 1,
+         false},
+        {"threaded2/pipelined", sim::Simulator::Kernel::Threaded, 2,
+         true},
+        {"threaded2/serial", sim::Simulator::Kernel::Threaded, 2,
+         false},
+    };
+
+    for (SchedPolicy pol :
+         {SchedPolicy::SizeAware, SchedPolicy::Affinity,
+          SchedPolicy::Steal, SchedPolicy::Full}) {
+        sim::StatRegistry refStats;
+        ServiceReport ref = runMultidevService(serviceConfig(),
+                                               refStats, 2, true, pol);
+        ASSERT_EQ(ref.completed, 1400u) << schedPolicyName(pol);
+        std::string refOracle = oracleString(ref);
+        std::string refDump = refStats.dumpString();
+        std::string why;
+        EXPECT_TRUE(deviceMergeIsExact(ref, &why)) << why;
+
+        {
+            sim::StatRegistry stats;
+            ServiceReport rerun = runMultidevService(
+                serviceConfig(), stats, 2, true, pol);
+            ASSERT_EQ(oracleString(rerun), refOracle)
+                << schedPolicyName(pol) << ": rerun diverged";
+            ASSERT_EQ(stats.dumpString(), refDump)
+                << schedPolicyName(pol) << ": rerun registry diverged";
+        }
+
+        for (const Variant &v : variants) {
+            sim::Simulator::setDefaultKernel(v.kernel);
+            sim::Simulator::setDefaultSimThreads(v.simThreads);
+            sim::StatRegistry stats;
+            ServiceReport rep = runMultidevService(
+                serviceConfig(), stats, 2, v.pipelined, pol);
+            sim::Simulator::resetDefaultKernel();
+            sim::Simulator::resetDefaultSimThreads();
+
+            EXPECT_EQ(oracleString(rep), refOracle)
+                << schedPolicyName(pol) << ", " << v.name
+                << ": batch/steal logs or histograms diverged";
+            EXPECT_EQ(stats.dumpString(), refDump)
+                << schedPolicyName(pol) << ", " << v.name
+                << ": stat registry diverged";
+            EXPECT_EQ(rep.makespan, ref.makespan)
+                << schedPolicyName(pol) << ", " << v.name;
         }
     }
 }

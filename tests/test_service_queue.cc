@@ -19,18 +19,35 @@
  * Two thirds of the seeds mix latency-sensitive and throughput lanes
  * (with a tighter latency-class deadline); the rest keep every lane in
  * the throughput class, pinning the single-class reduction to the
- * original classless policy.
+ * original classless policy. The seeds also rotate through the
+ * selectTenant overloads: per-tenant quota vectors (the scheduler's
+ * size-aware coalescing), preference scores with a bounded-lateness
+ * slack (affinity), and the scalar path, so every overload is checked
+ * against the one generalized shadow policy.
+ *
+ * A second fuzz (SchedulerFuzz) drives two identical
+ * service/scheduler.hh instances through random place / steal / launch
+ * / retire traces and asserts: replay identity (placements, launch
+ * order and the steal log are pure functions of the call sequence),
+ * conservation (every placed batch launches exactly once), the
+ * documented backlog order via a mirror (priority batches ahead of
+ * throughput ones, steals splice the victim's tail), and that a
+ * throughput launch never bypasses a planned priority batch — the
+ * no-SLO-inversion property of deterministic stealing.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <map>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "service/queue.hh"
+#include "service/scheduler.hh"
 #include "sim/rng.hh"
 
 using namespace tta::service;
@@ -103,35 +120,72 @@ class ShadowQueue
     int
     selectTenant(Cycle now, uint32_t max_batch, bool drain) const
     {
+        return selectTenant(
+            now, std::vector<uint32_t>(lanes_.size(), max_batch), drain,
+            std::vector<uint64_t>(lanes_.size(), 0), 0);
+    }
+
+    int
+    selectTenant(Cycle now, const std::vector<uint32_t> &quota,
+                 bool drain, const std::vector<uint64_t> &prefer,
+                 Cycle slack) const
+    {
         // Strict class priority: the first class (by enum order) with
         // any dispatchable work wins outright.
         for (uint32_t c = 0; c < kNumSloClasses; ++c) {
             SloClass cls = static_cast<SloClass>(c);
-            // Rule 1: earliest expired deadline in the class, ties to
-            // the lowest id.
-            int best = -1;
-            Cycle best_dl = kNoCycle;
+            // Rule 1, bounded-lateness EDF: among the expired fronts
+            // within @p slack of the earliest, the highest preference
+            // wins, then the earliest deadline, then the lowest id —
+            // so zero slack / all-zero preference is exact EDF.
+            Cycle earliest = kNoCycle;
             for (uint32_t t = 0; t < lanes_.size(); ++t) {
                 if (classes_[t] != cls)
                     continue;
                 Cycle dl = frontDeadline(t);
-                if (dl <= now && dl < best_dl) {
-                    best = static_cast<int>(t);
-                    best_dl = dl;
-                }
+                if (dl <= now && dl < earliest)
+                    earliest = dl;
             }
-            if (best >= 0)
+            if (earliest != kNoCycle) {
+                int best = -1;
+                Cycle best_dl = kNoCycle;
+                uint64_t best_p = 0;
+                for (uint32_t t = 0; t < lanes_.size(); ++t) {
+                    if (classes_[t] != cls)
+                        continue;
+                    Cycle dl = frontDeadline(t);
+                    if (dl > now || dl - earliest > slack)
+                        continue;
+                    if (best < 0 || prefer[t] > best_p ||
+                        (prefer[t] == best_p && dl < best_dl)) {
+                        best = static_cast<int>(t);
+                        best_dl = dl;
+                        best_p = prefer[t];
+                    }
+                }
                 return best;
+            }
             // Rules 2+3 share one round-robin scan on the class's own
-            // cursor: a lane launches when it is full, or merely
-            // non-empty once the source is drained.
+            // cursor: a lane is dispatchable when it meets its quota,
+            // or is merely non-empty once the source is drained; the
+            // highest preference among the candidates wins, and only a
+            // strictly greater score displaces an earlier candidate
+            // (so a constant preference is plain round-robin).
+            int best = -1;
+            uint64_t best_p = 0;
             for (uint32_t i = 0; i < lanes_.size(); ++i) {
                 uint32_t t = (cursor_[c] + i) % lanes_.size();
                 if (classes_[t] != cls)
                     continue;
-                if (live(t) >= max_batch || (drain && live(t) > 0))
-                    return static_cast<int>(t);
+                if (live(t) >= quota[t] || (drain && live(t) > 0)) {
+                    if (best < 0 || prefer[t] > best_p) {
+                        best = static_cast<int>(t);
+                        best_p = prefer[t];
+                    }
+                }
             }
+            if (best >= 0)
+                return best;
         }
         return -1;
     }
@@ -186,6 +240,15 @@ fuzzOne(uint64_t seed, FuzzResult &res)
     const Cycle maxWait = 10 + rng.nextBounded(100);
     const uint64_t numArrivals = 50 + rng.nextBounded(400);
     const bool instantService = (seed % 2) == 0;
+
+    // Rotate the selectTenant overloads: some seeds drive per-tenant
+    // quota vectors (size-aware coalescing), some add preference
+    // scores under a bounded-lateness slack (affinity), and the rest
+    // stay on the scalar path so its reduction keeps getting pinned.
+    const uint32_t mode = seed % 5;
+    const bool useQuota = mode == 1 || mode == 3;
+    const bool usePrefer = mode == 3 || mode == 4;
+    const Cycle slack = usePrefer ? rng.nextBounded(2 * maxWait) : 0;
 
     // 2/3 of seeds mix SLO classes; the rest stay all-throughput and
     // pin the single-class reduction to the classless policy.
@@ -291,8 +354,25 @@ fuzzOne(uint64_t seed, FuzzResult &res)
         bool drain = idx == arrivals.size();
         bool dispatchedThisIter = false;
         if (now >= freeAt) {
-            int sel = q.selectTenant(now, maxBatch, drain);
-            EXPECT_EQ(sel, shadow.selectTenant(now, maxBatch, drain))
+            // Fresh quota/preference vectors each dispatch tick, like
+            // the scheduler refreshing them from moving estimates.
+            std::vector<uint32_t> quota(numTenants, maxBatch);
+            if (useQuota)
+                for (auto &qt : quota)
+                    qt = 1 + static_cast<uint32_t>(
+                             rng.nextBounded(maxBatch));
+            std::vector<uint64_t> prefer(numTenants, 0);
+            if (usePrefer)
+                for (auto &p : prefer)
+                    p = rng.nextBounded(4); // small range: exercise ties
+            int sel =
+                usePrefer
+                    ? q.selectTenant(now, quota, drain, prefer, slack)
+                : useQuota ? q.selectTenant(now, quota, drain)
+                           : q.selectTenant(now, maxBatch, drain);
+            EXPECT_EQ(sel,
+                      shadow.selectTenant(now, quota, drain, prefer,
+                                          slack))
                 << "seed " << seed << " now " << now;
             if (sel >= 0) {
                 uint32_t tenant = static_cast<uint32_t>(sel);
@@ -324,25 +404,28 @@ fuzzOne(uint64_t seed, FuzzResult &res)
                     }
                 }
                 ASSERT_FALSE(batch.empty());
-                // If the dispatch was deadline-driven, EDF within the
-                // class: no same-class tenant can hold an earlier live
-                // expired deadline.
+                // If the dispatch was deadline-driven, bounded-lateness
+                // EDF within the class: no same-class tenant can hold a
+                // live expired deadline more than the slack earlier.
                 if (frontDl <= now) {
+                    Cycle floor = frontDl > slack ? frontDl - slack : 0;
                     for (uint32_t o = 0; o < numTenants; ++o) {
                         if (o != tenant &&
                             classes[o] == classes[tenant]) {
-                            EXPECT_GE(shadow.frontDeadline(o), frontDl);
+                            EXPECT_GE(shadow.frontDeadline(o), floor)
+                                << "seed " << seed;
                         }
                     }
                 }
                 // Strict class priority: a throughput launch implies
-                // no latency-sensitive lane had dispatchable work.
+                // no latency-sensitive lane had dispatchable work
+                // (against its own quota).
                 if (classes[tenant] == SloClass::Throughput) {
                     for (uint32_t o = 0; o < numTenants; ++o) {
                         if (classes[o] != SloClass::LatencySensitive)
                             continue;
                         EXPECT_FALSE(shadow.frontDeadline(o) <= now ||
-                                     shadow.live(o) >= maxBatch ||
+                                     shadow.live(o) >= quota[o] ||
                                      (drain && shadow.live(o) > 0))
                             << "seed " << seed << ": throughput lane "
                             << tenant
@@ -389,6 +472,229 @@ fuzzOne(uint64_t seed, FuzzResult &res)
     EXPECT_EQ(dispatched + canceled, nextSeq);
     res.dispatched += dispatched;
     res.canceled += canceled;
+}
+
+/** Make a batch of @p n minimal tickets for tenant @p t. */
+std::shared_ptr<std::vector<QueryTicket>>
+makeBatch(uint32_t t, uint32_t n, Cycle now, uint64_t &seq)
+{
+    auto qs = std::make_shared<std::vector<QueryTicket>>();
+    for (uint32_t i = 0; i < n; ++i) {
+        QueryTicket tk;
+        tk.seq = seq++;
+        tk.tenant = t;
+        tk.arrival = now;
+        tk.deadline = now + 100;
+        qs->push_back(tk);
+    }
+    return qs;
+}
+
+/** Drive two identical Schedulers through one random place / steal /
+ *  launch / retire trace; assert replay identity, conservation, the
+ *  documented backlog order via a mirror, and no SLO inversion. */
+void
+schedFuzzOne(uint64_t seed)
+{
+    Rng rng(seed);
+    const uint32_t numDevices = 1 + static_cast<uint32_t>(
+        rng.nextBounded(4));
+    const uint32_t numTenants = 1 + static_cast<uint32_t>(
+        rng.nextBounded(5));
+    const uint32_t maxBatch = 8 + static_cast<uint32_t>(
+        rng.nextBounded(57));
+    static const SchedPolicy kPolicies[] = {
+        SchedPolicy::SizeAware, SchedPolicy::Affinity,
+        SchedPolicy::Steal, SchedPolicy::Full};
+    const SchedPolicy policy = kPolicies[seed % 4];
+    SchedParams params;
+    params.maxBacklog = 1 + static_cast<uint32_t>(rng.nextBounded(3));
+    params.minQuota = 1 + static_cast<uint32_t>(rng.nextBounded(8));
+    Scheduler sched(policy, params, numDevices, numTenants, maxBatch);
+    Scheduler replay(policy, params, numDevices, numTenants, maxBatch);
+
+    // Half the seeds start from a calibration probe, spreading the
+    // cost estimates so quotas, placement scores and steal thresholds
+    // all diverge per tenant.
+    if (seed % 2) {
+        for (uint32_t t = 0; t < numTenants; ++t) {
+            Cycle elapsed = (1 + rng.nextBounded(200)) * 64;
+            sched.calibrate(t, 64, elapsed);
+            replay.calibrate(t, 64, elapsed);
+        }
+    }
+
+    // Mirror of every device's planned backlog, maintained by the
+    // *documented* rules only: place() return values, priority-ahead
+    // insertion, and tail steals parsed back out of the steal log.
+    struct Pending
+    {
+        uint64_t id;
+        bool priority;
+    };
+    std::vector<std::deque<Pending>> mirror(numDevices);
+    auto mirrorInsert = [&](uint32_t d, uint64_t id, bool prio) {
+        if (prio) {
+            auto it = mirror[d].begin();
+            while (it != mirror[d].end() && it->priority)
+                ++it;
+            mirror[d].insert(it, {id, prio});
+        } else {
+            mirror[d].push_back({id, prio});
+        }
+    };
+
+    std::vector<bool> busy(numDevices, false);
+    std::vector<Cycle> completeAt(numDevices, 0);
+    std::vector<Cycle> launchedAt(numDevices, 0);
+    std::vector<uint32_t> inflightTenant(numDevices, 0);
+    std::vector<uint64_t> inflightQueries(numDevices, 0);
+    std::map<uint64_t, int> timesLaunched;
+
+    const uint64_t numBatches = 60 + rng.nextBounded(100);
+    uint64_t placed = 0, launched = 0, seq = 0;
+    size_t logSeen = 0;
+    Cycle now = 0;
+
+    for (int guard = 0; guard < 1000000 && launched < numBatches;
+         ++guard) {
+        sched.refreshQuotas();
+        replay.refreshQuotas();
+        ASSERT_EQ(sched.quotas(), replay.quotas()) << "seed " << seed;
+        for (uint32_t a = 0; a < numTenants; ++a) {
+            EXPECT_GE(sched.batchQuota(a), params.minQuota);
+            EXPECT_LE(sched.batchQuota(a), maxBatch);
+            // Size-aware thresholds are monotone in the cost
+            // estimate: a pricier tenant never waits for more queries.
+            for (uint32_t b = 0; b < numTenants; ++b) {
+                if (sched.costPerQueryQ8(a) >= sched.costPerQueryQ8(b)) {
+                    EXPECT_LE(sched.batchQuota(a), sched.batchQuota(b))
+                        << "seed " << seed;
+                }
+            }
+        }
+
+        while (placed < numBatches && sched.hasRoom()) {
+            uint32_t t = static_cast<uint32_t>(
+                rng.nextBounded(numTenants));
+            uint32_t n = 1 + static_cast<uint32_t>(
+                rng.nextBounded(maxBatch));
+            bool prio = rng.nextBounded(4) == 0;
+            bool expired = rng.nextBounded(4) == 0;
+            auto qs = makeBatch(t, n, now, seq);
+            uint32_t d = sched.place(t, qs, expired, prio, now);
+            uint32_t d2 = replay.place(t, qs, expired, prio, now);
+            ASSERT_EQ(d, d2) << "seed " << seed << ": replay placed "
+                                "batch " << placed << " elsewhere";
+            ASSERT_LT(d, numDevices);
+            mirrorInsert(d, placed, prio); // ids are placement order
+            ++placed;
+            if (rng.nextBounded(3) == 0)
+                break; // vary the place/steal/launch interleaving
+        }
+
+        sched.rebalance(now);
+        replay.rebalance(now);
+        // Apply the steal pass to the mirror from the log delta (this
+        // also pins the log format and that steals take the tail).
+        const std::string &log = sched.stealLog();
+        while (logSeen < log.size()) {
+            size_t eol = log.find('\n', logSeen);
+            ASSERT_NE(eol, std::string::npos) << "seed " << seed;
+            std::string line = log.substr(logSeen, eol - logSeen);
+            logSeen = eol + 1;
+            unsigned long long k = 0, c = 0, b = 0;
+            unsigned victim = 0, thief = 0;
+            ASSERT_EQ(std::sscanf(line.c_str(),
+                                  "s%llu c=%llu b=%llu d%u->%u", &k,
+                                  &c, &b, &victim, &thief),
+                      5)
+                << "seed " << seed << " bad steal line: " << line;
+            EXPECT_EQ(c, now) << "seed " << seed;
+            ASSERT_LT(victim, numDevices);
+            ASSERT_LT(thief, numDevices);
+            ASSERT_NE(victim, thief);
+            ASSERT_FALSE(mirror[victim].empty()) << "seed " << seed;
+            EXPECT_EQ(mirror[victim].back().id, b)
+                << "seed " << seed << ": steal was not the tail";
+            bool prio = mirror[victim].back().priority;
+            mirror[victim].pop_back();
+            mirrorInsert(thief, b, prio);
+        }
+
+        for (uint32_t d = 0; d < numDevices; ++d) {
+            if (busy[d] || !sched.hasReady(d))
+                continue;
+            Scheduler::Batch b = sched.takeReady(d);
+            Scheduler::Batch rb = replay.takeReady(d);
+            EXPECT_EQ(b.id, rb.id)
+                << "seed " << seed << ": replay launch order diverged";
+            ASSERT_FALSE(mirror[d].empty()) << "seed " << seed;
+            // Launches must follow the mirror exactly: priority ahead
+            // of throughput, FIFO within a class, stolen tails spliced.
+            EXPECT_EQ(b.id, mirror[d].front().id) << "seed " << seed;
+            EXPECT_EQ(b.priority, mirror[d].front().priority);
+            mirror[d].pop_front();
+            // No SLO inversion: a throughput launch means no planned
+            // priority batch was waiting on this device.
+            if (!b.priority) {
+                for (const Pending &p : mirror[d]) {
+                    EXPECT_FALSE(p.priority)
+                        << "seed " << seed << ": throughput batch "
+                        << b.id << " launched past priority batch "
+                        << p.id;
+                }
+            }
+            sched.onLaunch(d, b, now);
+            replay.onLaunch(d, rb, now);
+            ++timesLaunched[b.id];
+            ++launched;
+            busy[d] = true;
+            launchedAt[d] = now;
+            inflightTenant[d] = b.tenant;
+            inflightQueries[d] = b.queries->size();
+            // Actual service time is independent of the estimate, so
+            // the EWMA keeps moving.
+            completeAt[d] = now + 1 + rng.nextBounded(4000);
+        }
+
+        Cycle next = kNoCycle;
+        for (uint32_t d = 0; d < numDevices; ++d)
+            if (busy[d])
+                next = std::min(next, completeAt[d]);
+        if (next == kNoCycle) {
+            now += 1 + rng.nextBounded(100);
+            continue;
+        }
+        now = next;
+        for (uint32_t d = 0; d < numDevices; ++d) {
+            if (!busy[d] || completeAt[d] != now)
+                continue;
+            busy[d] = false;
+            sched.onRetire(d, inflightTenant[d], inflightQueries[d],
+                           now, now - launchedAt[d]);
+            replay.onRetire(d, inflightTenant[d], inflightQueries[d],
+                            now, now - launchedAt[d]);
+        }
+    }
+
+    ASSERT_EQ(launched, numBatches) << "seed " << seed << " stalled";
+    EXPECT_EQ(sched.plannedBatches(), 0u) << "seed " << seed;
+    // Conservation: every placed batch launched exactly once, on the
+    // real scheduler and (via id equality above) on the replay.
+    for (uint64_t id = 0; id < placed; ++id)
+        EXPECT_EQ(timesLaunched[id], 1)
+            << "seed " << seed << " batch " << id;
+    uint64_t dispatches = 0, steals = 0;
+    for (uint32_t d = 0; d < numDevices; ++d) {
+        dispatches += sched.dispatches(d);
+        steals += sched.steals(d);
+    }
+    EXPECT_EQ(dispatches, launched) << "seed " << seed;
+    EXPECT_EQ(steals, sched.stealsTotal()) << "seed " << seed;
+    // Replay identity extends to the whole steal schedule.
+    EXPECT_EQ(sched.stealLog(), replay.stealLog()) << "seed " << seed;
+    EXPECT_EQ(sched.stealsTotal(), replay.stealsTotal());
 }
 
 } // namespace
@@ -496,4 +802,68 @@ TEST(ServiceQueue, LatencyClassPreemptsThroughput)
     // but class priority still launches the latency lane first.
     EXPECT_EQ(q.selectTenant(/*now=*/200, /*max_batch=*/4, false),
               static_cast<int>(ls));
+}
+
+TEST(SchedulerFuzz, RandomTraces)
+{
+    for (uint64_t seed = 1; seed <= 512; ++seed) {
+        schedFuzzOne(seed);
+        if (::testing::Test::HasFailure())
+            FAIL() << "first failing seed: " << seed;
+    }
+}
+
+TEST(Scheduler, PriorityBatchJumpsBacklog)
+{
+    // Planned priority batches run before planned throughput batches
+    // but behind earlier priority plans: place tp, prio, tp, prio on
+    // one device and read them back.
+    SchedParams params;
+    params.maxBacklog = 4;
+    Scheduler s(SchedPolicy::SizeAware, params, 1, 1, 16);
+    uint64_t seq = 0;
+    s.place(0, makeBatch(0, 4, 0, seq), false, /*priority=*/false, 0);
+    s.place(0, makeBatch(0, 4, 0, seq), false, /*priority=*/true, 0);
+    s.place(0, makeBatch(0, 4, 0, seq), false, /*priority=*/false, 0);
+    s.place(0, makeBatch(0, 4, 0, seq), false, /*priority=*/true, 0);
+    ASSERT_EQ(s.plannedBatches(), 4u);
+    EXPECT_EQ(s.takeReady(0).id, 1u); // first priority plan
+    EXPECT_EQ(s.takeReady(0).id, 3u); // second priority plan
+    EXPECT_EQ(s.takeReady(0).id, 0u); // then throughput, FIFO
+    EXPECT_EQ(s.takeReady(0).id, 2u);
+    EXPECT_EQ(s.plannedBatches(), 0u);
+}
+
+TEST(Scheduler, StealMovesTailToIdleDevice)
+{
+    // Two devices saturate, then one frees early with nothing planned:
+    // the steal pass must move the loaded device's tail batch over,
+    // log it, and leave it launchable on the thief.
+    SchedParams params;
+    params.maxBacklog = 2;
+    Scheduler s(SchedPolicy::Steal, params, 2, 1, 64);
+    uint64_t seq = 0;
+
+    // Launch one full batch on each device (est cost 64 q * 64 cyc).
+    for (uint32_t d = 0; d < 2; ++d) {
+        s.place(0, makeBatch(0, 64, 0, seq), false, false, 0);
+        Scheduler::Batch b = s.takeReady(d);
+        ASSERT_EQ(b.id, d);
+        s.onLaunch(d, b, 0);
+    }
+    // A third batch backlogs on device 0 (estimated loads tie; lowest
+    // index wins).
+    EXPECT_EQ(s.place(0, makeBatch(0, 64, 0, seq), false, false, 0),
+              0u);
+
+    // Device 1 retires early; device 0 still has ~4000 est cycles in
+    // flight plus the planned batch, so the idle device steals it.
+    s.onRetire(1, 0, 64, /*complete=*/100, /*elapsed=*/100);
+    s.rebalance(/*now=*/100);
+    EXPECT_EQ(s.stealsTotal(), 1u);
+    EXPECT_EQ(s.steals(1), 1u);
+    EXPECT_EQ(s.stealLog(), "s1 c=100 b=2 d0->1\n");
+    ASSERT_TRUE(s.hasReady(1));
+    EXPECT_FALSE(s.hasReady(0));
+    EXPECT_EQ(s.takeReady(1).id, 2u);
 }
