@@ -320,8 +320,8 @@ Scheduler::rebalance(sim::Cycle now)
     sim::Cycle threshold = stealThreshold();
     for (uint32_t guard = 0;
          guard < backlog_.size() * params_.maxBacklog + 1; ++guard) {
-        int thief = -1, victim = -1;
-        sim::Cycle thiefLoad = 0, victimLoad = 0;
+        int thief = -1;
+        sim::Cycle thiefLoad = 0;
         for (uint32_t d = 0; d < backlog_.size(); ++d) {
             sim::Cycle load = estLoad(d, now);
             if (backlog_[d].size() < params_.maxBacklog &&
@@ -330,13 +330,31 @@ Scheduler::rebalance(sim::Cycle now)
                 thief = static_cast<int>(d);
                 thiefLoad = load;
             }
-            if (!backlog_[d].empty() &&
-                (victim < 0 || load > victimLoad)) {
+        }
+        if (thief < 0)
+            return;
+        int victim = -1;
+        sim::Cycle victimLoad = 0;
+        for (uint32_t d = 0; d < backlog_.size(); ++d) {
+            if (d == static_cast<uint32_t>(thief) ||
+                backlog_[d].empty())
+                continue;
+            // A priority tail would be spliced *ahead* of the thief's
+            // queued throughput plans (enqueuePlanned keeps SLO
+            // order), delaying their estimated starts — which the
+            // no-inversion argument forbids. It may only move onto an
+            // empty backlog, where the priority insert degenerates to
+            // an append and the benefit test below is exact.
+            if (backlog_[d].back().priority &&
+                !backlog_[static_cast<uint32_t>(thief)].empty())
+                continue;
+            sim::Cycle load = estLoad(d, now);
+            if (victim < 0 || load > victimLoad) {
                 victim = static_cast<int>(d);
                 victimLoad = load;
             }
         }
-        if (thief < 0 || victim < 0 || thief == victim)
+        if (victim < 0)
             return;
         Batch &tail = backlog_[victim].back();
         // New estimated start on the thief vs. current estimated start

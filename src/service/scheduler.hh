@@ -45,9 +45,13 @@
  *      the virtual clock — bit-identical across simulation kernels,
  *      staging modes and `--sim-threads`. Tail-only steals that must
  *      strictly help are also what rules out SLO-priority inversion:
- *      no batch's estimated start ever increases because of a steal
- *      (tests/test_service_queue.cc fuzzes this against a shadow
- *      model).
+ *      no batch's estimated start ever increases because of a steal.
+ *      A priority (latency-sensitive) tail is the one case where the
+ *      thief-side insert is not an append — it would jump ahead of
+ *      the thief's queued throughput plans and delay them — so it is
+ *      only stolen onto an *empty* backlog, where insert and append
+ *      coincide (tests/test_service_queue.cc fuzzes the invariant
+ *      against a shadow model).
  *
  * Policy selection: SchedPolicy::LeastLoaded ("lld") reproduces PR 9
  * decision-for-decision; "size", "affinity" and "steal" enable one

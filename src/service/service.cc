@@ -123,7 +123,12 @@ TraversalService::launchReady(uint32_t d, ServiceReport &report)
     f.active = true;
     f.tenant = t;
     f.parity = parity;
-    f.expired = b.expired;
+    // Expiry is judged at launch, not placement: under non-lld
+    // policies a planned batch can sit in a device backlog and cross
+    // its front deadline before launching, and expiredDispatches must
+    // count it (under lld placement and launch share one now_, so
+    // this is the pre-scheduler semantics exactly).
+    f.expired = b.expired || b.queries->front().deadline <= now_;
     f.start = now_;
     f.complete = kNoCycle;
     f.batch = std::move(batch);
@@ -322,19 +327,23 @@ TraversalService::run(TrafficSource &src)
             bool priority = queue_.laneClass(static_cast<uint32_t>(t)) ==
                             SloClass::LatencySensitive;
             // A partial throughput lane coalesces better the longer
-            // it waits; pop it early only for the reasons lld would —
-            // an expired front deadline or the trace draining. The
-            // quota makes a lane *eligible* (selectable) below
-            // maxBatch, but popping the sub-full preferred lane just
-            // to keep a device busy trades a full batch's
-            // amortization for a partial's, which measures as a net
-            // loss. Priority batches are exempt: they jump the
-            // backlog at placement anyway.
+            // it waits, so while every device is busy it keeps
+            // accumulating: the quota makes a sub-maxBatch lane
+            // *eligible* (selectable), but planning it into a busy
+            // device's backlog trades a full batch's amortization for
+            // a partial's with nothing gained. The moment a device
+            // would otherwise sit idle (hasIdleDevice), the partial
+            // pops — that is the quota's early dispatch, and it is
+            // also lld's timing for expired/drain pops. Deferring
+            // never idles capacity: the defer only fires with no idle
+            // device, and the pass re-runs before the next launch.
+            // Priority batches are exempt: they jump the backlog at
+            // placement anyway.
             if (!scheduler_->leastLoaded() && !priority &&
                 queue_.pending(static_cast<uint32_t>(t)) <
                     policy_.maxBatch &&
                 queue_.frontDeadline(static_cast<uint32_t>(t)) > now_ &&
-                !src.exhausted())
+                !src.exhausted() && !scheduler_->hasIdleDevice())
                 break;
             // Quotas gate *when* a lane dispatches (rule 2 threshold);
             // the pop itself always takes up to maxBatch, so a backed-

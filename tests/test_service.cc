@@ -420,6 +420,69 @@ TEST(ServiceTrace, SparseTenantDoesNotStarve)
         << "sparse tenant waited past its SLO bound";
 }
 
+TEST(ServiceTrace, SizeAwareQuotaPopsPartialLaneWhenDeviceIdle)
+{
+    // The size-aware quota makes a pricey lane dispatchable below
+    // maxBatch, and the partial-pop defer must release it the moment
+    // a device would otherwise sit idle — not hold it until its
+    // deadline expires or the trace drains.
+    ServicePolicy policy;
+    policy.maxBatch = 64;
+    policy.maxWaitCycles = 400000; // far beyond the idle-driven pop
+    policy.sched = SchedPolicy::SizeAware;
+    policy.schedParams.minQuota = 1;
+
+    sim::StatRegistry stats;
+    TraversalService svc(serviceConfig(), stats, policy);
+    svc.addTenant(std::make_unique<BTreeTenant>("cheap", 200, 64, 11));
+    svc.addTenant(
+        std::make_unique<RadiusTenant>("pricey", 512, 64, 1.0f, 12));
+
+    // 63 pricey queries in one burst — above the lane's quota, below
+    // maxBatch — then a long quiet gap before a final cheap arrival.
+    std::vector<Arrival> trace;
+    for (uint32_t i = 0; i < 63; ++i)
+        trace.push_back({10, 1, i, 0});
+    trace.push_back({1000000, 0, 0, 0});
+    TraceSource src(trace);
+    ServiceReport rep = svc.run(src);
+
+    ASSERT_EQ(rep.completed, 64u);
+    // The burst pops as one partial batch at the burst cycle (the
+    // device is idle), so nothing ever reaches its deadline.
+    EXPECT_EQ(rep.tenants[1].batches, 1u);
+    EXPECT_EQ(rep.expiredDispatches, 0u);
+    EXPECT_EQ(rep.tenants[1].queueWait.max(), 0u)
+        << "partial lane was deferred past the idle device";
+}
+
+TEST(ServiceTrace, ExpiredDispatchCountedAtLaunchNotPlacement)
+{
+    // Under non-lld policies a batch can be planned unexpired into a
+    // busy device's backlog and cross its front deadline before it
+    // launches; expiredDispatches judges expiry at launch time.
+    ServicePolicy policy;
+    policy.maxBatch = 64;
+    policy.maxWaitCycles = 100;
+    policy.sched = SchedPolicy::SizeAware;
+    MiniService ms(policy);
+
+    std::vector<Arrival> trace;
+    for (uint32_t i = 0; i < 64; ++i)
+        trace.push_back({0, 0, i, 0});
+    for (uint32_t i = 0; i < 64; ++i)
+        trace.push_back({1, 0, 64 + i, 0});
+    TraceSource src(trace);
+    ServiceReport rep = ms.svc.run(src);
+
+    ASSERT_EQ(rep.completed, 128u);
+    EXPECT_EQ(rep.batches, 2u);
+    // The second full batch is planned at cycle 1 (deadline 101 still
+    // live) but only launches when the first batch retires, long past
+    // the deadline: it must count as an expired dispatch.
+    EXPECT_EQ(rep.expiredDispatches, 1u);
+}
+
 TEST(ServiceTrace, LatencyClassFlushesOnTighterDeadline)
 {
     // Two lanes that never fill: the latency-sensitive one must flush

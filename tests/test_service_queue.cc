@@ -867,3 +867,50 @@ TEST(Scheduler, StealMovesTailToIdleDevice)
     EXPECT_FALSE(s.hasReady(0));
     EXPECT_EQ(s.takeReady(1).id, 2u);
 }
+
+TEST(Scheduler, StealSkipsPriorityTailUnlessThiefBacklogEmpty)
+{
+    // A stolen batch is re-queued with the SLO-order insert, so a
+    // priority tail would jump *ahead* of the thief's queued
+    // throughput plans and delay their estimated starts — the steal
+    // pass must leave it in place until the thief's backlog is empty
+    // (where the priority insert degenerates to an append).
+    SchedParams params;
+    params.maxBacklog = 2;
+    Scheduler s(SchedPolicy::Steal, params, 2, 1, 64);
+    uint64_t seq = 0;
+
+    // Saturate both devices with one full batch each (b0, b1).
+    for (uint32_t d = 0; d < 2; ++d) {
+        s.place(0, makeBatch(0, 64, 0, seq), false, false, 0);
+        Scheduler::Batch b = s.takeReady(d);
+        ASSERT_EQ(b.id, d);
+        s.onLaunch(d, b, 0);
+    }
+    // A priority batch backlogs on device 0 (loads tie, lowest index
+    // wins), then a small throughput batch lands on device 1.
+    EXPECT_EQ(s.place(0, makeBatch(0, 64, 0, seq), false,
+                      /*priority=*/true, 0),
+              0u);
+    EXPECT_EQ(s.place(0, makeBatch(0, 8, 0, seq), false, false, 0), 1u);
+
+    // Device 1 frees early. It qualifies as a thief, but its backlog
+    // still holds the throughput plan: the priority tail on device 0
+    // must not be stolen over it.
+    s.onRetire(1, 0, 64, /*complete=*/600, /*elapsed=*/600);
+    s.rebalance(/*now=*/600);
+    EXPECT_EQ(s.stealsTotal(), 0u);
+
+    // Once the thief's own plan launches (backlog empty), the
+    // priority tail may move: the insert is an append now, so no
+    // thief-side batch gets later.
+    Scheduler::Batch b = s.takeReady(1);
+    ASSERT_EQ(b.id, 3u);
+    s.onLaunch(1, b, 600);
+    s.rebalance(/*now=*/600);
+    EXPECT_EQ(s.stealsTotal(), 1u);
+    EXPECT_EQ(s.stealLog(), "s1 c=600 b=2 d0->1\n");
+    ASSERT_TRUE(s.hasReady(1));
+    EXPECT_EQ(s.takeReady(1).id, 2u);
+    EXPECT_FALSE(s.hasReady(0));
+}
